@@ -1,0 +1,139 @@
+// Command dfrs-exp regenerates the paper's tables and figures (and the
+// ablation studies of DESIGN.md) at a configurable scale.
+//
+// Usage:
+//
+//	dfrs-exp -exp fig1a                 # Figure 1(a): no penalty
+//	dfrs-exp -exp fig1b                 # Figure 1(b): 5-minute penalty
+//	dfrs-exp -exp table1                # Table I
+//	dfrs-exp -exp table2                # Table II
+//	dfrs-exp -exp timing                # Section V timing study
+//	dfrs-exp -exp priority|period|packer|fairness   # ablations A1-A4
+//	dfrs-exp -exp all
+//
+// Scale flags: -traces, -jobs, -nodes, -weeks; the paper's full campaign is
+// -traces 100 -jobs 1000 -weeks 182 (CPU-hours). Defaults are a small but
+// representative slice.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig1a, fig1b, table1, table2, timing, priority, period, packer, fairness, all")
+		seed    = flag.Uint64("seed", 42, "campaign seed")
+		traces  = flag.Int("traces", 3, "number of base synthetic traces (paper: 100)")
+		jobs    = flag.Int("jobs", 150, "jobs per synthetic trace (paper: 1000)")
+		nodes   = flag.Int("nodes", 128, "cluster size (paper: 128)")
+		weeks   = flag.Int("weeks", 4, "HPC2N-like weekly segments for Table I (paper: 182)")
+		workers = flag.Int("workers", 0, "parallel simulations (0 = all cores)")
+		loads   = flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9", "comma-separated load levels")
+		check   = flag.Bool("check", false, "enable per-event simulator invariant checking")
+		csv     = flag.Bool("csv", false, "emit CSV instead of fixed-width tables")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Traces = *traces
+	cfg.JobsPerTrace = *jobs
+	cfg.Nodes = *nodes
+	cfg.HPC2NWeeks = *weeks
+	cfg.Workers = *workers
+	cfg.Check = *check
+	var err error
+	cfg.Loads, err = parseLoads(*loads)
+	if err != nil {
+		fatal(err)
+	}
+
+	run := func(name string) {
+		if err := dispatch(name, cfg, *csv); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+	if *exp == "all" {
+		for _, name := range []string{"fig1a", "fig1b", "table1", "table2", "timing", "priority", "period", "packer", "fairness"} {
+			run(name)
+			fmt.Println()
+		}
+		return
+	}
+	run(*exp)
+}
+
+// renderable is any experiment result that can print itself as a
+// fixed-width table or as CSV.
+type renderable interface {
+	Render(io.Writer) error
+	RenderCSV(io.Writer) error
+}
+
+func dispatch(name string, cfg experiments.Config, csv bool) error {
+	var res renderable
+	var err error
+	switch name {
+	case "fig1a":
+		res, err = experiments.Figure1(cfg, 0)
+	case "fig1b":
+		res, err = experiments.Figure1(cfg, experiments.PaperPenalty)
+	case "table1":
+		res, err = experiments.TableI(cfg)
+	case "table2":
+		c := cfg
+		c.Algorithms = experiments.PreemptingAlgorithms
+		res, err = experiments.TableII(c)
+	case "timing":
+		res, err = experiments.TimingStudy(cfg, "dynmcb8")
+	case "priority":
+		res, err = experiments.AblationPriorityPower(cfg)
+	case "period":
+		res, err = experiments.AblationPeriod(cfg)
+	case "packer":
+		res, err = experiments.AblationPacker(cfg)
+	case "fairness":
+		res, err = experiments.ExtensionFairness(cfg)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	if err != nil {
+		return err
+	}
+	if csv {
+		return res.RenderCSV(os.Stdout)
+	}
+	return res.Render(os.Stdout)
+}
+
+func parseLoads(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 || v > 1 {
+			return nil, fmt.Errorf("invalid load %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no load levels given")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfrs-exp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command dfrs-gen generates workload traces for the DFRS simulator.
+//
+//	dfrs-gen -model lublin -nodes 128 -jobs 1000 -seed 1 -load 0.7 > trace.txt
+//	dfrs-gen -model hpc2n -weeks 4 -seed 1 -swf > hpc2n-like.swf
+//
+// The lublin model emits the dfrs trace text format (see internal/workload);
+// the hpc2n model emits either the trace format (after the paper's
+// preprocessing) or raw SWF with -swf.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hpc2n"
+	"repro/internal/lublin"
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		model = flag.String("model", "lublin", "workload model: lublin or hpc2n")
+		nodes = flag.Int("nodes", 128, "cluster size (lublin)")
+		jobs  = flag.Int("jobs", 1000, "number of jobs (lublin)")
+		weeks = flag.Int("weeks", 4, "weeks of log (hpc2n)")
+		seed  = flag.Uint64("seed", 1, "generator seed")
+		load  = flag.Float64("load", 0, "rescale to this offered load (0 = keep natural load)")
+		swfFl = flag.Bool("swf", false, "emit raw SWF instead of the trace format (hpc2n only)")
+		name  = flag.String("name", "", "trace name (default derived from model and seed)")
+	)
+	flag.Parse()
+
+	switch *model {
+	case "lublin":
+		n := *name
+		if n == "" {
+			n = fmt.Sprintf("lublin-seed%d", *seed)
+		}
+		tr, err := lublin.GenerateTrace(rng.New(*seed), lublin.DefaultParams(*nodes), *jobs, n)
+		if err != nil {
+			fatal(err)
+		}
+		if *load > 0 {
+			if tr, err = tr.ScaleToLoad(*load); err != nil {
+				fatal(err)
+			}
+		}
+		if err := tr.Encode(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case "hpc2n":
+		p := hpc2n.DefaultSynthParams()
+		p.Weeks = *weeks
+		log, err := hpc2n.Synthesize(rng.New(*seed), p)
+		if err != nil {
+			fatal(err)
+		}
+		if *swfFl {
+			if err := log.Write(os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		n := *name
+		if n == "" {
+			n = fmt.Sprintf("hpc2n-like-seed%d", *seed)
+		}
+		tr, st, err := hpc2n.Preprocess(log, n)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dfrs-gen: %d/%d jobs kept (%d missing memory, %d dropped)\n",
+			st.Kept, st.Total, st.MissingMemory, st.DroppedRuntime+st.DroppedSize)
+		if *load > 0 {
+			if tr, err = tr.ScaleToLoad(*load); err != nil {
+				fatal(err)
+			}
+		}
+		if err := tr.Encode(os.Stdout); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfrs-gen:", err)
+	os.Exit(1)
+}

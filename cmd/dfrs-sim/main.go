@@ -1,0 +1,197 @@
+// Command dfrs-sim runs one scheduling algorithm over one trace and prints
+// the paper's metrics for the run.
+//
+//	dfrs-gen -model lublin -jobs 300 -load 0.7 > t.txt
+//	dfrs-sim -trace t.txt -alg dynmcb8-asap-per -penalty 300
+//
+// Without -trace, a synthetic workload is generated on the fly from -seed,
+// -jobs, -nodes and -load.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/lublin"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+
+	_ "repro/internal/sched/batch"
+	_ "repro/internal/sched/greedy"
+	_ "repro/internal/sched/mcb"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file (dfrs trace format); empty = synthesize")
+		alg       = flag.String("alg", "dynmcb8-asap-per", "algorithm (see -list)")
+		list      = flag.Bool("list", false, "list algorithms and exit")
+		penalty   = flag.Float64("penalty", 300, "rescheduling penalty in seconds")
+		seed      = flag.Uint64("seed", 1, "synthetic workload seed")
+		jobs      = flag.Int("jobs", 300, "synthetic workload size")
+		nodes     = flag.Int("nodes", 128, "synthetic cluster size")
+		load      = flag.Float64("load", 0.7, "synthetic offered load (0 = natural)")
+		check     = flag.Bool("check", false, "enable per-event invariant checking")
+		perJob    = flag.Bool("jobs-detail", false, "print per-job stretch table")
+		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
+		ganttJobs = flag.Int("gantt-jobs", 40, "max jobs shown in the Gantt chart")
+		tlCSV     = flag.String("timeline-csv", "", "write every per-job scheduling transition as CSV to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range sched.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	tr, err := loadTrace(*tracePath, *seed, *nodes, *jobs, *load)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := sched.New(*alg)
+	if err != nil {
+		fatal(err)
+	}
+	simulator, err := sim.New(sim.Config{
+		Trace:           tr,
+		Penalty:         *penalty,
+		CheckInvariants: *check,
+		RecordTimeline:  *gantt || *tlCSV != "",
+		MaxSimTime:      50 * 365 * 24 * 3600,
+	}, s)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := simulator.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if err := metrics.Validate(res); err != nil {
+		fatal(err)
+	}
+	sum := metrics.Summarize(res)
+	costs := metrics.Costs(res)
+	fmt.Printf("trace        %s (%d jobs, %d nodes, offered load %.2f)\n",
+		tr.Name, len(tr.Jobs), tr.Nodes, tr.OfferedLoad())
+	fmt.Printf("algorithm    %s (penalty %.0fs)\n", res.Algorithm, *penalty)
+	fmt.Printf("makespan     %.1f h\n", res.Makespan/3600)
+	fmt.Printf("max stretch  %.2f\n", sum.MaxStretch)
+	fmt.Printf("avg stretch  %.2f\n", sum.AvgStretch)
+	fmt.Printf("preemptions  %d (%.3f GB/s, %.2f/h, %.2f/job)\n",
+		res.PreemptionOps, costs.PmtnGBps, costs.PmtnPerHour, costs.PmtnPerJob)
+	fmt.Printf("migrations   %d (%.3f GB/s, %.2f/h, %.2f/job)\n",
+		res.MigrationOps, costs.MigGBps, costs.MigPerHour, costs.MigPerJob)
+	fmt.Printf("utilization  %.1f%% of cluster CPU over the makespan\n", 100*res.Utilization())
+	fmt.Printf("events       %d\n", res.Events)
+
+	if *tlCSV != "" {
+		if err := writeTimelineCSV(*tlCSV, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timeline     %d transitions written to %s\n", len(res.Timeline), *tlCSV)
+	}
+
+	if *gantt {
+		chart := &report.Gantt{
+			Title: fmt.Sprintf("schedule: %s on %s", res.Algorithm, tr.Name),
+			Lanes: ganttLanes(res, *ganttJobs),
+		}
+		fmt.Println()
+		if err := chart.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *perJob {
+		fmt.Println("\njob  tasks  exec      turnaround  stretch  pauses  migs")
+		rows := append([]sim.JobResult(nil), res.Jobs...)
+		sort.Slice(rows, func(a, b int) bool { return rows[a].Job.ID < rows[b].Job.ID })
+		for _, jr := range rows {
+			fmt.Printf("%-4d %-6d %-9.1f %-11.1f %-8.2f %-7d %d\n",
+				jr.Job.ID, jr.Job.Tasks, jr.Job.ExecTime, jr.Turnaround,
+				metrics.BoundedStretch(jr.Turnaround, jr.Job.ExecTime),
+				jr.Pauses, jr.Migrations)
+		}
+	}
+}
+
+// writeTimelineCSV dumps the recorded transitions for offline analysis or
+// plotting: one row per (time, job, kind, yield, frozen_until).
+func writeTimelineCSV(path string, res *sim.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintln(f, "time,jid,kind,yield,frozen_until"); err != nil {
+		return err
+	}
+	for _, e := range res.Timeline {
+		if _, err := fmt.Fprintf(f, "%.6f,%d,%s,%.6f,%.6f\n",
+			e.Time, e.JID, e.Kind, e.Yield, e.FrozenUntil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ganttLanes converts the recorded timeline into chart lanes, one per job
+// (in jid order, capped at maxJobs).
+func ganttLanes(res *sim.Result, maxJobs int) []report.GanttLane {
+	jids := map[int]bool{}
+	for _, e := range res.Timeline {
+		jids[e.JID] = true
+	}
+	ordered := make([]int, 0, len(jids))
+	for jid := range jids {
+		ordered = append(ordered, jid)
+	}
+	sort.Ints(ordered)
+	if maxJobs > 0 && len(ordered) > maxJobs {
+		ordered = ordered[:maxJobs]
+	}
+	lanes := make([]report.GanttLane, 0, len(ordered))
+	for _, jid := range ordered {
+		lane := report.GanttLane{Label: fmt.Sprintf("job %d", jid)}
+		for _, seg := range res.JobSegments(jid) {
+			lane.Segments = append(lane.Segments, report.GanttSegment{
+				From: seg.From, To: seg.To, State: seg.State.String(), Yield: seg.Yield,
+			})
+		}
+		lanes = append(lanes, lane)
+	}
+	return lanes
+}
+
+func loadTrace(path string, seed uint64, nodes, jobs int, load float64) (*workload.Trace, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return workload.ReadTrace(f)
+	}
+	tr, err := lublin.GenerateTrace(rng.New(seed), lublin.DefaultParams(nodes), jobs,
+		fmt.Sprintf("lublin-seed%d", seed))
+	if err != nil {
+		return nil, err
+	}
+	if load > 0 {
+		return tr.ScaleToLoad(load)
+	}
+	return tr, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfrs-sim:", err)
+	os.Exit(1)
+}

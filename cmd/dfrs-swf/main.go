@@ -1,0 +1,110 @@
+// Command dfrs-swf inspects Standard Workload Format files and converts
+// them to the dfrs trace format using the paper's HPC2N preprocessing
+// rules.
+//
+//	dfrs-swf -in log.swf               # print summary statistics
+//	dfrs-swf -in log.swf -convert      # emit dfrs trace format on stdout
+//	dfrs-swf -in log.swf -weeks        # emit per-week job counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hpc2n"
+	"repro/internal/stats"
+	"repro/internal/swf"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input SWF file (required)")
+		convert = flag.Bool("convert", false, "emit dfrs trace format after HPC2N preprocessing")
+		weeks   = flag.Bool("weeks", false, "print per-week segment summary after preprocessing")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	log, err := swf.Parse(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *convert {
+		tr, st, err := hpc2n.Preprocess(log, *in)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dfrs-swf: kept %d/%d jobs\n", st.Kept, st.Total)
+		if err := tr.Encode(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *weeks {
+		tr, _, err := hpc2n.Preprocess(log, *in)
+		if err != nil {
+			fatal(err)
+		}
+		segs, err := tr.SplitSegments(hpc2n.WeekSeconds)
+		if err != nil {
+			fatal(err)
+		}
+		for _, seg := range segs {
+			fmt.Printf("%-24s %6d jobs  offered load %.3f\n", seg.Name, len(seg.Jobs), seg.OfferedLoad())
+		}
+		return
+	}
+
+	var runtimes, procs stats.Stream
+	serial := 0
+	missingMem := 0
+	for _, rec := range log.Records {
+		if rec.RunTime > 0 {
+			runtimes.Add(float64(rec.RunTime))
+		}
+		p := rec.AllocatedProcs
+		if p <= 0 {
+			p = rec.RequestedProcs
+		}
+		if p > 0 {
+			procs.Add(float64(p))
+			if p == 1 {
+				serial++
+			}
+		}
+		if rec.UsedMemoryKB <= 0 && rec.RequestedMemKB <= 0 {
+			missingMem++
+		}
+	}
+	fmt.Printf("records        %d\n", len(log.Records))
+	fmt.Printf("header         %d comment lines", len(log.Header))
+	if v := log.HeaderValue("Computer"); v != "" {
+		fmt.Printf(" (Computer: %s)", v)
+	}
+	fmt.Println()
+	fmt.Printf("runtime        avg %.0fs  max %.0fs\n", runtimes.Mean(), runtimes.Max())
+	fmt.Printf("processors     avg %.1f  max %.0f  serial %.1f%%\n",
+		procs.Mean(), procs.Max(), 100*float64(serial)/float64(max(1, procs.N())))
+	fmt.Printf("missing memory %d (%.2f%%)\n", missingMem,
+		100*float64(missingMem)/float64(max(1, len(log.Records))))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfrs-swf:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,256 @@
+// Package dfrs is the public API of this reproduction of Stillwell, Vivien
+// and Casanova, "Dynamic Fractional Resource Scheduling for HPC Workloads"
+// (IPDPS 2010). It exposes, as a small facade over the internal packages:
+//
+//   - workload construction: the Lublin–Feitelson synthetic model, an
+//     HPC2N-like real-world stand-in, SWF ingestion, and load scaling;
+//   - the nine scheduling algorithms of the paper (FCFS, EASY, GREEDY,
+//     GREEDY-PMTN, GREEDY-PMTN-MIGR, DYNMCB8, DYNMCB8-PER,
+//     DYNMCB8-ASAP-PER, DYNMCB8-STRETCH-PER), selected by name;
+//   - the discrete-event simulation of a fractionally shared cluster with
+//     a configurable rescheduling penalty;
+//   - the paper's metrics: bounded stretch, degradation factors, and
+//     preemption/migration costs.
+//
+// A minimal run:
+//
+//	trace, _ := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 1, Nodes: 128, Jobs: 200})
+//	res, _ := dfrs.Run(trace, "dynmcb8-asap-per", dfrs.RunOptions{PenaltySeconds: 300})
+//	fmt.Println(res.MaxStretch())
+package dfrs
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/hpc2n"
+	"repro/internal/lublin"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/swf"
+	"repro/internal/workload"
+
+	// Register every scheduling algorithm.
+	_ "repro/internal/sched/batch"
+	_ "repro/internal/sched/gang"
+	_ "repro/internal/sched/greedy"
+	_ "repro/internal/sched/mcb"
+)
+
+// Trace is a workload destined for a homogeneous cluster. It wraps the
+// internal representation; construct one with SyntheticTrace,
+// HPC2NLikeTraces, FromSWF or FromJobs.
+type Trace struct {
+	t *workload.Trace
+}
+
+// Job describes one job: Tasks parallel tasks submitted at Submit seconds,
+// each needing the CPUNeed fraction of a node's CPU and the MemReq fraction
+// of its memory, running for ExecTime seconds at full speed.
+type Job = workload.Job
+
+// Name returns the trace's name.
+func (t Trace) Name() string { return t.t.Name }
+
+// Nodes returns the cluster size the trace targets.
+func (t Trace) Nodes() int { return t.t.Nodes }
+
+// Jobs returns a copy of the trace's jobs.
+func (t Trace) Jobs() []Job { return append([]Job(nil), t.t.Jobs...) }
+
+// OfferedLoad returns the trace's offered load (total work over cluster
+// capacity across the submission span).
+func (t Trace) OfferedLoad() float64 { return t.t.OfferedLoad() }
+
+// ScaleToLoad returns a copy of the trace with inter-arrival times rescaled
+// so its offered load matches target, as in the paper's construction of the
+// load-0.1 through load-0.9 instances.
+func (t Trace) ScaleToLoad(target float64) (Trace, error) {
+	scaled, err := t.t.ScaleToLoad(target)
+	if err != nil {
+		return Trace{}, err
+	}
+	return Trace{t: scaled}, nil
+}
+
+// SyntheticOptions configures the Lublin–Feitelson generator.
+type SyntheticOptions struct {
+	Seed  uint64
+	Nodes int // cluster size (the paper uses 128)
+	Jobs  int // number of jobs (the paper uses 1000)
+	Name  string
+}
+
+// SyntheticTrace draws a synthetic trace from the Lublin–Feitelson model
+// annotated with the paper's CPU needs and memory requirements.
+func SyntheticTrace(opt SyntheticOptions) (Trace, error) {
+	if opt.Nodes <= 0 {
+		opt.Nodes = 128
+	}
+	if opt.Jobs <= 0 {
+		opt.Jobs = 1000
+	}
+	if opt.Name == "" {
+		opt.Name = fmt.Sprintf("lublin-seed%d", opt.Seed)
+	}
+	tr, err := lublin.GenerateTrace(rng.New(opt.Seed), lublin.DefaultParams(opt.Nodes), opt.Jobs, opt.Name)
+	if err != nil {
+		return Trace{}, err
+	}
+	return Trace{t: tr}, nil
+}
+
+// HPC2NLikeTraces synthesizes the real-world stand-in workload (see
+// DESIGN.md section 4) and returns it split into 1-week instances, as the
+// paper splits the HPC2N log.
+func HPC2NLikeTraces(seed uint64, weeks int) ([]Trace, error) {
+	p := hpc2n.DefaultSynthParams()
+	if weeks > 0 {
+		p.Weeks = weeks
+	}
+	ws, _, err := hpc2n.WeeklyTraces(rng.New(seed), p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Trace, len(ws))
+	for i, w := range ws {
+		out[i] = Trace{t: w}
+	}
+	return out, nil
+}
+
+// FromSWF parses a Standard Workload Format stream and applies the paper's
+// HPC2N preprocessing rules (Section IV-C), so a genuine archive log can be
+// replayed through the simulator.
+func FromSWF(r io.Reader, name string) (Trace, error) {
+	log, err := swf.Parse(r)
+	if err != nil {
+		return Trace{}, err
+	}
+	tr, _, err := hpc2n.Preprocess(log, name)
+	if err != nil {
+		return Trace{}, err
+	}
+	return Trace{t: tr}, nil
+}
+
+// FromJobs builds a trace from explicit jobs for a cluster of the given
+// size; nodeMemGB is used only for migration-bandwidth accounting.
+func FromJobs(name string, nodes int, nodeMemGB float64, jobs []Job) (Trace, error) {
+	tr := &workload.Trace{Name: name, Nodes: nodes, NodeMemGB: nodeMemGB, Jobs: append([]Job(nil), jobs...)}
+	tr.SortBySubmit()
+	if err := tr.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return Trace{t: tr}, nil
+}
+
+// Algorithms lists every registered scheduling algorithm name.
+func Algorithms() []string { return sched.Names() }
+
+// RunOptions configures one simulation.
+type RunOptions struct {
+	// PenaltySeconds is the rescheduling penalty charged to every resume
+	// and migration (the paper evaluates 0 and 300).
+	PenaltySeconds float64
+	// CheckInvariants enables per-event state validation (slow; for
+	// tests).
+	CheckInvariants bool
+}
+
+// Result wraps a finished simulation.
+type Result struct {
+	r *sim.Result
+}
+
+// Run simulates the named algorithm over the trace.
+func Run(t Trace, algorithm string, opt RunOptions) (Result, error) {
+	s, err := sched.New(algorithm)
+	if err != nil {
+		return Result{}, err
+	}
+	simulator, err := sim.New(sim.Config{
+		Trace:           t.t,
+		Penalty:         opt.PenaltySeconds,
+		CheckInvariants: opt.CheckInvariants,
+		MaxSimTime:      50 * 365 * 24 * 3600,
+	}, s)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := simulator.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	if err := metrics.Validate(res); err != nil {
+		return Result{}, err
+	}
+	return Result{r: res}, nil
+}
+
+// Algorithm returns the algorithm that produced this result.
+func (r Result) Algorithm() string { return r.r.Algorithm }
+
+// Makespan returns the completion time of the last job, in seconds.
+func (r Result) Makespan() float64 { return r.r.Makespan }
+
+// MaxStretch returns the maximum bounded stretch over all jobs, the
+// paper's headline metric.
+func (r Result) MaxStretch() float64 { return metrics.Summarize(r.r).MaxStretch }
+
+// Utilization returns the fraction of cluster CPU capacity that delivered
+// useful work over the makespan (Section II-B2's platform-utilization
+// view).
+func (r Result) Utilization() float64 { return r.r.Utilization() }
+
+// AvgStretch returns the average bounded stretch over all jobs.
+func (r Result) AvgStretch() float64 { return metrics.Summarize(r.r).AvgStretch }
+
+// JobStretches returns the bounded stretch of every job, indexed as in
+// Trace.Jobs ordering by job ID.
+func (r Result) JobStretches() []float64 {
+	out := make([]float64, len(r.r.Jobs))
+	for i, jr := range r.r.Jobs {
+		out[i] = metrics.BoundedStretch(jr.Turnaround, jr.Job.ExecTime)
+	}
+	return out
+}
+
+// Costs summarizes preemption/migration bandwidth and operation rates as in
+// Table II.
+func (r Result) Costs() CostSummary {
+	c := metrics.Costs(r.r)
+	return CostSummary{
+		PreemptionGBps:     c.PmtnGBps,
+		MigrationGBps:      c.MigGBps,
+		PreemptionsPerHour: c.PmtnPerHour,
+		MigrationsPerHour:  c.MigPerHour,
+		PreemptionsPerJob:  c.PmtnPerJob,
+		MigrationsPerJob:   c.MigPerJob,
+	}
+}
+
+// CostSummary mirrors one row of the paper's Table II for one run.
+type CostSummary struct {
+	PreemptionGBps     float64
+	MigrationGBps      float64
+	PreemptionsPerHour float64
+	MigrationsPerHour  float64
+	PreemptionsPerJob  float64
+	MigrationsPerJob   float64
+}
+
+// BoundedStretch exposes the paper's bounded-stretch metric:
+// max(turnaround, 30s) / max(execTime, 30s).
+func BoundedStretch(turnaround, execTime float64) float64 {
+	return metrics.BoundedStretch(turnaround, execTime)
+}
+
+// DegradationFactors converts per-algorithm maximum stretches measured on
+// the same instance into degradation factors (ratio to the instance's best
+// algorithm), the quantity plotted in Figure 1 and tabulated in Table I.
+func DegradationFactors(maxStretchByAlgorithm map[string]float64) (map[string]float64, error) {
+	return metrics.DegradationFactors(maxStretchByAlgorithm)
+}

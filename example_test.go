@@ -1,0 +1,56 @@
+package dfrs_test
+
+import (
+	"fmt"
+
+	dfrs "repro"
+)
+
+// ExampleRun demonstrates the minimal DFRS workflow on a tiny hand-built
+// workload: two CPU-bound jobs share one node fractionally and each runs at
+// half speed.
+func ExampleRun() {
+	jobs := []dfrs.Job{
+		{ID: 0, Submit: 0, Tasks: 1, CPUNeed: 1.0, MemReq: 0.3, ExecTime: 100},
+		{ID: 1, Submit: 0, Tasks: 1, CPUNeed: 1.0, MemReq: 0.3, ExecTime: 100},
+	}
+	trace, err := dfrs.FromJobs("pair", 1, 8, jobs)
+	if err != nil {
+		panic(err)
+	}
+	res, err := dfrs.Run(trace, "greedy", dfrs.RunOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("makespan %.0fs, max stretch %.2f\n", res.Makespan(), res.MaxStretch())
+	// Output: makespan 200s, max stretch 2.00
+}
+
+// ExampleBoundedStretch shows the paper's metric: turnaround over dedicated
+// execution time, both floored at 30 seconds so that short failing jobs do
+// not dominate.
+func ExampleBoundedStretch() {
+	fmt.Printf("%.1f\n", dfrs.BoundedStretch(7200, 3600)) // 2h turnaround for a 1h job
+	fmt.Printf("%.1f\n", dfrs.BoundedStretch(10, 1))      // short job run immediately
+	fmt.Printf("%.1f\n", dfrs.BoundedStretch(300, 1))     // short job delayed 5 minutes
+	// Output:
+	// 2.0
+	// 1.0
+	// 10.0
+}
+
+// ExampleDegradationFactors converts per-algorithm maximum stretches on one
+// instance into the Figure 1 / Table I quantity.
+func ExampleDegradationFactors() {
+	deg, err := dfrs.DegradationFactors(map[string]float64{
+		"easy":             1100,
+		"greedy-pmtn":      9,
+		"dynmcb8-asap-per": 4.5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("easy %.1fx, greedy-pmtn %.1fx, dynmcb8-asap-per %.1fx\n",
+		deg["easy"], deg["greedy-pmtn"], deg["dynmcb8-asap-per"])
+	// Output: easy 244.4x, greedy-pmtn 2.0x, dynmcb8-asap-per 1.0x
+}

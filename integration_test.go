@@ -1,0 +1,208 @@
+package dfrs_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	dfrs "repro"
+)
+
+// smallTrace builds a deterministic synthetic instance small enough to run
+// every algorithm with full invariant checking.
+func smallTrace(t *testing.T, seed uint64, jobs int, load float64) dfrs.Trace {
+	t.Helper()
+	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: seed, Nodes: 64, Jobs: jobs})
+	if err != nil {
+		t.Fatalf("SyntheticTrace: %v", err)
+	}
+	scaled, err := tr.ScaleToLoad(load)
+	if err != nil {
+		t.Fatalf("ScaleToLoad: %v", err)
+	}
+	return scaled
+}
+
+// TestAllAlgorithmsRunClean runs every registered algorithm over a small
+// workload with per-event invariant checking at both paper penalties.
+func TestAllAlgorithmsRunClean(t *testing.T) {
+	tr := smallTrace(t, 11, 60, 0.7)
+	for _, alg := range dfrs.Algorithms() {
+		for _, penalty := range []float64{0, 300} {
+			alg, penalty := alg, penalty
+			t.Run(alg+pen(penalty), func(t *testing.T) {
+				t.Parallel()
+				res, err := dfrs.Run(tr, alg, dfrs.RunOptions{
+					PenaltySeconds:  penalty,
+					CheckInvariants: true,
+				})
+				if err != nil {
+					t.Fatalf("Run(%s): %v", alg, err)
+				}
+				if got := res.MaxStretch(); math.IsNaN(got) || got < 1 {
+					t.Errorf("max stretch = %v, want >= 1", got)
+				}
+				if res.Makespan() <= 0 {
+					t.Errorf("makespan = %v, want > 0", res.Makespan())
+				}
+				for i, s := range res.JobStretches() {
+					if s < 1-1e-9 {
+						t.Errorf("job %d stretch %v < 1", i, s)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDFRSOutperformsBatchOnContendedLoad checks the paper's headline
+// claim: on a contended workload the DFRS algorithms achieve much lower
+// maximum stretch than the batch baselines.
+func TestDFRSOutperformsBatchOnContendedLoad(t *testing.T) {
+	tr := smallTrace(t, 3, 120, 0.8)
+	max := map[string]float64{}
+	for _, alg := range []string{"fcfs", "easy", "greedy-pmtn", "dynmcb8-asap-per"} {
+		res, err := dfrs.Run(tr, alg, dfrs.RunOptions{PenaltySeconds: 300})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", alg, err)
+		}
+		max[alg] = res.MaxStretch()
+	}
+	bestDFRS := math.Min(max["greedy-pmtn"], max["dynmcb8-asap-per"])
+	worstBatch := math.Min(max["fcfs"], max["easy"]) // even the better baseline
+	if bestDFRS >= worstBatch {
+		t.Errorf("DFRS (%.2f) should beat batch (%.2f) on contended load: %v",
+			bestDFRS, worstBatch, max)
+	}
+}
+
+// TestDeterminism verifies that identical seeds produce identical results.
+func TestDeterminism(t *testing.T) {
+	for _, alg := range []string{"easy", "greedy-pmtn-migr", "dynmcb8-per"} {
+		tr := smallTrace(t, 5, 50, 0.6)
+		a, err := dfrs.Run(tr, alg, dfrs.RunOptions{PenaltySeconds: 300})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", alg, err)
+		}
+		b, err := dfrs.Run(tr, alg, dfrs.RunOptions{PenaltySeconds: 300})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", alg, err)
+		}
+		if a.MaxStretch() != b.MaxStretch() || a.Makespan() != b.Makespan() {
+			t.Errorf("%s: non-deterministic results: (%v,%v) vs (%v,%v)",
+				alg, a.MaxStretch(), a.Makespan(), b.MaxStretch(), b.Makespan())
+		}
+	}
+}
+
+// TestDegradationFactors checks the Figure 1 metric construction.
+func TestDegradationFactors(t *testing.T) {
+	deg, err := dfrs.DegradationFactors(map[string]float64{"a": 10, "b": 5, "c": 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg["b"] != 1 || deg["a"] != 2 || deg["c"] != 10 {
+		t.Errorf("unexpected degradation factors: %v", deg)
+	}
+	if _, err := dfrs.DegradationFactors(nil); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+// TestBoundedStretch pins the metric's corner cases.
+func TestBoundedStretch(t *testing.T) {
+	cases := []struct {
+		turnaround, exec, want float64
+	}{
+		{3600, 1800, 2},               // plain ratio above the bound
+		{10, 1, 1},                    // short job run immediately: exactly 1
+		{300, 1, 10},                  // short job delayed: bounded denominator
+		{30, 30, 1},                   // at the bound
+		{7200, 7200, 1},               // long job run dedicated
+		{14400, 7200, 2},              // long job halved
+		{29, 29, 1},                   // below bound in both terms
+		{601, 30.0001, 601 / 30.0001}, // just above bound
+	}
+	for _, c := range cases {
+		if got := dfrs.BoundedStretch(c.turnaround, c.exec); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("BoundedStretch(%v, %v) = %v, want %v", c.turnaround, c.exec, got, c.want)
+		}
+	}
+}
+
+// TestFromJobs exercises the explicit-trace constructor and a hand-checked
+// schedule: two 1-task jobs that fit together must both run immediately
+// under DFRS, giving both a stretch of 1 when uncontended.
+func TestFromJobs(t *testing.T) {
+	jobs := []dfrs.Job{
+		{ID: 0, Submit: 0, Tasks: 1, CPUNeed: 0.5, MemReq: 0.4, ExecTime: 100},
+		{ID: 1, Submit: 0, Tasks: 1, CPUNeed: 0.5, MemReq: 0.4, ExecTime: 100},
+	}
+	tr, err := dfrs.FromJobs("two-jobs", 1, 8, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dfrs.Run(tr, "greedy", dfrs.RunOptions{CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both jobs share one node; each needs 50% CPU, so both can run at
+	// full speed simultaneously: turnaround 100s, stretch 1.
+	if got := res.MaxStretch(); math.Abs(got-1) > 1e-6 {
+		t.Errorf("max stretch = %v, want 1", got)
+	}
+	if got := res.Makespan(); math.Abs(got-100) > 1e-6 {
+		t.Errorf("makespan = %v, want 100", got)
+	}
+}
+
+// TestFromJobsValidation rejects malformed jobs.
+func TestFromJobsValidation(t *testing.T) {
+	bad := []dfrs.Job{{ID: 0, Submit: 0, Tasks: 3, CPUNeed: 0.5, MemReq: 0.5, ExecTime: 10}}
+	if _, err := dfrs.FromJobs("bad", 2, 8, bad); err == nil ||
+		!strings.Contains(err.Error(), "tasks") {
+		t.Errorf("expected task-count validation error, got %v", err)
+	}
+}
+
+// TestFromSWF round-trips a tiny SWF document through the paper's HPC2N
+// preprocessing rules.
+func TestFromSWF(t *testing.T) {
+	const doc = `; Computer: test
+; MaxNodes: 120
+1 0 -1 600 4 -1 209715 4 -1 -1 1 1 1 -1 0 0 -1 -1
+2 60 -1 120 3 -1 1468006 3 -1 -1 1 1 1 -1 0 0 -1 -1
+3 120 -1 60 1 -1 -1 1 -1 -1 1 1 1 -1 0 0 -1 -1
+`
+	tr, err := dfrs.FromSWF(strings.NewReader(doc), "swf-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := tr.Jobs()
+	if len(jobs) != 3 {
+		t.Fatalf("got %d jobs, want 3", len(jobs))
+	}
+	// Job 1: 4 procs, 10% per-proc memory (209715 KB of 2 GB) -> even
+	// count, low memory: 2 multi-threaded tasks, 100% CPU, 20% memory.
+	if jobs[0].Tasks != 2 || jobs[0].CPUNeed != 1.0 || math.Abs(jobs[0].MemReq-0.2) > 1e-3 {
+		t.Errorf("job 1 preprocessed wrong: %+v", jobs[0])
+	}
+	// Job 2: odd processor count -> 3 tasks at 50% CPU need, 70% memory.
+	if jobs[1].Tasks != 3 || jobs[1].CPUNeed != 0.5 || math.Abs(jobs[1].MemReq-0.7) > 1e-3 {
+		t.Errorf("job 2 preprocessed wrong: %+v", jobs[1])
+	}
+	// Job 3: missing memory -> 10% floor; serial -> 1 task at 50%.
+	if jobs[2].Tasks != 1 || jobs[2].CPUNeed != 0.5 || math.Abs(jobs[2].MemReq-0.1) > 1e-3 {
+		t.Errorf("job 3 preprocessed wrong: %+v", jobs[2])
+	}
+	if _, err := dfrs.Run(tr, "dynmcb8", dfrs.RunOptions{CheckInvariants: true}); err != nil {
+		t.Fatalf("running SWF trace: %v", err)
+	}
+}
+
+func pen(p float64) string {
+	if p == 0 {
+		return "/pen0"
+	}
+	return "/pen300"
+}

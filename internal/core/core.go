@@ -1,0 +1,448 @@
+// Package core implements the paper's primary contribution: the DFRS
+// (dynamic fractional resource scheduling) allocation machinery that every
+// scheduler in this repository builds on.
+//
+// It provides:
+//
+//   - the yield model (Section II-B2): the yield of a job is the CPU
+//     fraction allocated to each of its tasks divided by the task's CPU
+//     need; all tasks of a job receive identical yields;
+//   - minimum-yield maximization by binary search over vector-packing
+//     feasibility (Section III-B);
+//   - the average-yield improvement heuristic that hands out leftover CPU
+//     to jobs in ascending order of total CPU need (Section III-A);
+//   - the preemption priority function max(30, flowTime)/virtualTime^2
+//     (Section III-A);
+//   - the estimated-stretch solver used by DYNMCB8-STRETCH-PER
+//     (Section III-B).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/floats"
+	"repro/internal/vectorpack"
+)
+
+// StretchBound is the 30-second threshold shared by the bounded-stretch
+// metric and the priority function (Sections II-B2 and III-A).
+const StretchBound = 30.0
+
+// YieldAccuracy is the absolute accuracy of the minimum-yield binary search
+// (the paper uses 0.01).
+const YieldAccuracy = 0.01
+
+// MinProgressYield is the floor yield handed to jobs by the stretch-driven
+// allocator so that no job holds memory without making progress.
+const MinProgressYield = 0.01
+
+// JobSpec is the scheduler-facing description of a job's resource shape.
+// All tasks of a job are identical (Section II-B1).
+type JobSpec struct {
+	ID      int
+	Tasks   int
+	CPUNeed float64 // per-task CPU need, fraction of a node in (0, 1]
+	MemReq  float64 // per-task memory requirement, fraction of a node in (0, 1]
+	// Weight scales the job's yield under contention (user-priority
+	// extension, paper Section VII); 0 means the default weight 1.
+	Weight float64
+}
+
+// effectiveWeight returns the weight, defaulting to 1.
+func (j JobSpec) effectiveWeight() float64 {
+	if j.Weight <= 0 {
+		return 1
+	}
+	return j.Weight
+}
+
+// TotalCPUNeed returns the job's CPU need summed over its tasks, the
+// quantity the average-yield heuristic sorts by.
+func (j JobSpec) TotalCPUNeed() float64 { return float64(j.Tasks) * j.CPUNeed }
+
+// Allocation maps every job to the nodes hosting its tasks and the common
+// yield of those tasks.
+type Allocation struct {
+	// NodesOf[jobID][k] is the node hosting task k. A node may host
+	// several tasks of the same job.
+	NodesOf map[int][]int
+	// YieldOf[jobID] is the job's yield in [0, 1].
+	YieldOf map[int]float64
+	// MinYield is the smallest yield across jobs (0 for an empty
+	// allocation).
+	MinYield float64
+}
+
+// NewAllocation returns an empty allocation.
+func NewAllocation() *Allocation {
+	return &Allocation{NodesOf: map[int][]int{}, YieldOf: map[int]float64{}}
+}
+
+// Priority returns the preemption priority of a job: max(30, flowTime)
+// divided by the square of its virtual time. Jobs with zero virtual time
+// have infinite priority (they have never run and must not be paused or
+// passed over for resumption). Higher priority means "keep running /
+// resume first"; jobs are paused in increasing priority order.
+func Priority(flowTime, virtualTime float64) float64 {
+	if virtualTime <= 0 {
+		return math.Inf(1)
+	}
+	return math.Max(StretchBound, flowTime) / (virtualTime * virtualTime)
+}
+
+// PriorityLinear is the ablation variant without the square (paper
+// Section III-A notes it performs markedly worse).
+func PriorityLinear(flowTime, virtualTime float64) float64 {
+	if virtualTime <= 0 {
+		return math.Inf(1)
+	}
+	return math.Max(StretchBound, flowTime) / virtualTime
+}
+
+// items builds the vector-packing instance for the given per-job yields:
+// one item per task with CPU requirement need*yield and the fixed memory
+// requirement.
+func items(jobs []JobSpec, yieldOf func(JobSpec) float64) ([]vectorpack.Item, []int) {
+	var its []vectorpack.Item
+	var owner []int // item index -> index into jobs
+	for ji, j := range jobs {
+		cpu := j.CPUNeed * yieldOf(j)
+		if cpu > 1 {
+			cpu = 1
+		}
+		for k := 0; k < j.Tasks; k++ {
+			its = append(its, vectorpack.Item{CPU: cpu, Mem: j.MemReq})
+			owner = append(owner, ji)
+		}
+	}
+	return its, owner
+}
+
+// capacityBound is the O(T) necessary condition for packability: total CPU
+// and memory requirements cannot exceed the cluster's aggregate capacity.
+// It prunes hopeless binary-search probes before the expensive packing.
+func capacityBound(its []vectorpack.Item, n int) bool {
+	var cpu, mem float64
+	for _, it := range its {
+		cpu += it.CPU
+		mem += it.Mem
+	}
+	limit := float64(n) + floats.Eps
+	return cpu <= limit && mem <= limit
+}
+
+// buildAllocation converts a packing assignment back to per-job node lists.
+func buildAllocation(jobs []JobSpec, owner, assign []int, yieldOf func(JobSpec) float64) *Allocation {
+	alloc := NewAllocation()
+	for ji, j := range jobs {
+		alloc.NodesOf[j.ID] = make([]int, 0, j.Tasks)
+		y := yieldOf(jobs[ji])
+		alloc.YieldOf[j.ID] = y
+		if alloc.MinYield == 0 || y < alloc.MinYield {
+			alloc.MinYield = y
+		}
+	}
+	for item, node := range assign {
+		j := jobs[owner[item]]
+		alloc.NodesOf[j.ID] = append(alloc.NodesOf[j.ID], node)
+	}
+	if len(jobs) == 0 {
+		alloc.MinYield = 0
+	}
+	return alloc
+}
+
+// MaxMinYield searches for the largest base yield Y such that all jobs fit
+// on n nodes when every job receives yield min(1, weight*Y) — for the
+// paper's unweighted workloads this is exactly the uniform-yield
+// maximization of Section III-B; with per-job weights it implements the
+// user-priority extension of Section VII. The binary search has absolute
+// accuracy YieldAccuracy. On success it returns an allocation giving every
+// job its weighted yield. It fails only when even Y -> 0 is infeasible,
+// i.e. the jobs' memory requirements alone cannot be packed.
+func MaxMinYield(jobs []JobSpec, n int, packer vectorpack.Packer) (*Allocation, bool) {
+	if len(jobs) == 0 {
+		return NewAllocation(), true
+	}
+	yieldAt := func(y float64) func(JobSpec) float64 {
+		return func(j JobSpec) float64 {
+			w := y * j.effectiveWeight()
+			if w > 1 {
+				return 1
+			}
+			return w
+		}
+	}
+	feasible := func(y float64) ([]int, []int, bool) {
+		its, owner := items(jobs, yieldAt(y))
+		if !capacityBound(its, n) {
+			return nil, nil, false
+		}
+		assign, ok := packer.Pack(its, n)
+		return assign, owner, ok
+	}
+	// Memory-only feasibility first: with Y = 0 CPU vanishes.
+	bestAssign, bestOwner, ok := feasible(0)
+	if !ok {
+		return nil, false
+	}
+	bestY := 0.0
+	if assign, owner, ok := feasible(1); ok {
+		return buildAllocation(jobs, owner, assign, yieldAt(1)), true
+	}
+	lo, hi := 0.0, 1.0
+	for hi-lo > YieldAccuracy {
+		mid := (lo + hi) / 2
+		if assign, owner, ok := feasible(mid); ok {
+			lo, bestY = mid, mid
+			bestAssign, bestOwner = assign, owner
+		} else {
+			hi = mid
+		}
+	}
+	// Degenerate overload: the optimum lies below the search accuracy.
+	// Refine geometrically so the returned yield is positive whenever any
+	// positive yield is feasible; a zero yield would let jobs hold memory
+	// without ever progressing.
+	for bestY == 0 && hi > 1e-9 {
+		mid := hi / 2
+		if assign, owner, ok := feasible(mid); ok {
+			bestY = mid
+			bestAssign, bestOwner = assign, owner
+		} else {
+			hi = mid
+		}
+	}
+	return buildAllocation(jobs, bestOwner, bestAssign, yieldAt(bestY)), true
+}
+
+// ImproveAverageYield implements the average-yield improvement heuristic of
+// Section III-A: repeatedly select the job with the lowest total CPU need
+// whose yield can still be increased and raise its yield as much as the CPU
+// headroom of its nodes allows (never beyond 1.0). Yields are never
+// decreased. The allocation is modified in place; n is the node count.
+//
+// jobs must list every job of the allocation — node usage is computed from
+// all of them. eligible, when non-nil, restricts which jobs may be raised
+// (the fairness extension excludes long-running jobs); nil means all.
+func ImproveAverageYield(jobs []JobSpec, alloc *Allocation, n int, eligible func(JobSpec) bool) {
+	used := make([]float64, n)
+	// tasksOn[jobIdx][node] = number of that job's tasks on node.
+	tasksOn := make([]map[int]int, len(jobs))
+	for ji, j := range jobs {
+		tasksOn[ji] = map[int]int{}
+		for _, node := range alloc.NodesOf[j.ID] {
+			tasksOn[ji][node]++
+			used[node] += j.CPUNeed * alloc.YieldOf[j.ID]
+		}
+	}
+	// Ascending total CPU need, ties by ID for determinism.
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ta, tb := jobs[order[a]].TotalCPUNeed(), jobs[order[b]].TotalCPUNeed()
+		if ta != tb {
+			return ta < tb
+		}
+		return jobs[order[a]].ID < jobs[order[b]].ID
+	})
+	for {
+		improvedAny := false
+		for _, ji := range order {
+			j := jobs[ji]
+			if eligible != nil && !eligible(j) {
+				continue
+			}
+			y := alloc.YieldOf[j.ID]
+			if floats.GreaterEq(y, 1) {
+				continue
+			}
+			// Maximum extra yield limited by the tightest node.
+			delta := math.Inf(1)
+			for node, cnt := range tasksOn[ji] {
+				head := 1 - used[node]
+				if head < 0 {
+					head = 0
+				}
+				d := head / (j.CPUNeed * float64(cnt))
+				if d < delta {
+					delta = d
+				}
+			}
+			if delta > 1-y {
+				delta = 1 - y
+			}
+			if !floats.Greater(delta, 0) {
+				continue
+			}
+			alloc.YieldOf[j.ID] = y + delta
+			for node, cnt := range tasksOn[ji] {
+				used[node] += j.CPUNeed * float64(cnt) * delta
+			}
+			improvedAny = true
+			// The paper re-selects the cheapest improvable job after
+			// every increase; restart the scan.
+			break
+		}
+		if !improvedAny {
+			return
+		}
+	}
+}
+
+// StretchState carries the history a stretch-driven allocation needs about
+// one job: its flow time (time since submission) and accumulated virtual
+// time at the current scheduling event.
+type StretchState struct {
+	JobSpec
+	FlowTime    float64
+	VirtualTime float64
+}
+
+// EstStretch returns the job's current estimated stretch, flow time divided
+// by virtual time (infinite for jobs that have not progressed).
+func (s StretchState) EstStretch() float64 {
+	if s.VirtualTime <= 0 {
+		return math.Inf(1)
+	}
+	return s.FlowTime / s.VirtualTime
+}
+
+// YieldForStretchTarget returns the yield a job must receive over the next
+// period of length T for its estimated stretch at the next event to equal
+// target: solving (flow+T)/(vt + y*T) = target for y. Results are clamped
+// to [MinProgressYield, 1] as in the paper: negative solutions (the target
+// is met even when paused) become the 0.01 floor, and solutions above 1 are
+// capped since a job cannot use more than its need.
+func YieldForStretchTarget(s StretchState, T, target float64) float64 {
+	if T <= 0 || target <= 0 {
+		return 1
+	}
+	y := ((s.FlowTime+T)/target - s.VirtualTime) / T
+	if math.IsNaN(y) || y < MinProgressYield {
+		return MinProgressYield
+	}
+	if y > 1 {
+		return 1
+	}
+	return y
+}
+
+// MinEstimatedStretch finds the smallest achievable estimated maximum
+// stretch at the next scheduling event (period T) by binary search over
+// packing feasibility, mirroring MaxMinYield but for the stretch-driven
+// variant (Section III-B, DYNMCB8-STRETCH-PER). It returns the per-job
+// yields realizing the best found target. Feasibility is monotone: larger
+// targets need smaller yields. The search stops at 1% relative accuracy.
+// It fails only when the memory requirements alone cannot be packed.
+func MinEstimatedStretch(jobs []StretchState, n int, packer vectorpack.Packer, T float64) (*Allocation, bool) {
+	if len(jobs) == 0 {
+		return NewAllocation(), true
+	}
+	specs := make([]JobSpec, len(jobs))
+	for i, s := range jobs {
+		specs[i] = s.JobSpec
+	}
+	yieldAt := func(target float64) func(JobSpec) float64 {
+		byID := make(map[int]float64, len(jobs))
+		for _, s := range jobs {
+			byID[s.ID] = YieldForStretchTarget(s, T, target)
+		}
+		return func(j JobSpec) float64 { return byID[j.ID] }
+	}
+	try := func(target float64) ([]int, []int, bool) {
+		its, owner := items(specs, yieldAt(target))
+		if !capacityBound(its, n) {
+			return nil, nil, false
+		}
+		assign, ok := packer.Pack(its, n)
+		return assign, owner, ok
+	}
+	// Even an infinite target leaves every job its 0.01 floor yield; if
+	// that is infeasible the instance is memory-bound and the caller must
+	// shed a job.
+	const maxTarget = 1e12
+	bestAssign, bestOwner, ok := try(maxTarget)
+	if !ok {
+		return nil, false
+	}
+	bestTarget := maxTarget
+	lo := 1.0
+	if assign, owner, ok := try(lo); ok {
+		return buildAllocation(specs, owner, assign, yieldAt(lo)), true
+	}
+	hi := 2.0
+	for hi < maxTarget {
+		if assign, owner, ok := try(hi); ok {
+			bestTarget = hi
+			bestAssign, bestOwner = assign, owner
+			break
+		}
+		lo = hi
+		hi *= 2
+	}
+	for (hi-lo)/lo > 0.01 {
+		mid := (lo + hi) / 2
+		if assign, owner, ok := try(mid); ok {
+			hi, bestTarget = mid, mid
+			bestAssign, bestOwner = assign, owner
+		} else {
+			lo = mid
+		}
+	}
+	return buildAllocation(specs, bestOwner, bestAssign, yieldAt(bestTarget)), true
+}
+
+// ImproveAverageStretch is the stretch-driven counterpart of
+// ImproveAverageYield: leftover CPU is granted to jobs in ascending total
+// CPU need, which raises their yields and therefore lowers their estimated
+// stretch at the next event. The mechanics are identical; only the
+// motivation differs, so it simply delegates.
+func ImproveAverageStretch(jobs []StretchState, alloc *Allocation, n int) {
+	specs := make([]JobSpec, len(jobs))
+	for i, s := range jobs {
+		specs[i] = s.JobSpec
+	}
+	ImproveAverageYield(specs, alloc, n, nil)
+}
+
+// ValidateAllocation checks an allocation against the hard constraints of
+// Section II-B1: per-node memory at most 1, per-node allocated CPU at most
+// 1, yields within [0, 1], and every job owning exactly Tasks placements.
+func ValidateAllocation(jobs []JobSpec, alloc *Allocation, n int) error {
+	cpu := make([]float64, n)
+	mem := make([]float64, n)
+	for _, j := range jobs {
+		nodes, ok := alloc.NodesOf[j.ID]
+		if !ok {
+			return fmt.Errorf("core: job %d missing from allocation", j.ID)
+		}
+		if len(nodes) != j.Tasks {
+			return fmt.Errorf("core: job %d has %d placements for %d tasks", j.ID, len(nodes), j.Tasks)
+		}
+		y := alloc.YieldOf[j.ID]
+		if y < 0 || floats.Greater(y, 1) {
+			return fmt.Errorf("core: job %d yield %g outside [0,1]", j.ID, y)
+		}
+		for _, node := range nodes {
+			if node < 0 || node >= n {
+				return fmt.Errorf("core: job %d placed on node %d of %d", j.ID, node, n)
+			}
+			cpu[node] += j.CPUNeed * y
+			mem[node] += j.MemReq
+		}
+	}
+	for node := 0; node < n; node++ {
+		if floats.Greater(cpu[node], 1) {
+			return fmt.Errorf("core: node %d CPU %.6f > 1", node, cpu[node])
+		}
+		if floats.Greater(mem[node], 1) {
+			return fmt.Errorf("core: node %d memory %.6f > 1", node, mem[node])
+		}
+	}
+	return nil
+}

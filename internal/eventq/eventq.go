@@ -1,0 +1,125 @@
+// Package eventq implements the event calendar used by the discrete-event
+// simulator: a binary min-heap ordered by (time, sequence) with O(log n)
+// insertion, extraction and cancellation. The sequence number breaks ties so
+// that events scheduled earlier fire first at equal timestamps, which keeps
+// simulations fully deterministic.
+package eventq
+
+// Event is an entry in the calendar. The payload is opaque to the queue.
+type Event struct {
+	Time    float64
+	Seq     uint64 // insertion order; tie-breaker at equal times
+	Payload any
+
+	index int // position in the heap, -1 when removed
+}
+
+// Queue is a time-ordered event calendar. The zero value is ready to use.
+// It is not safe for concurrent use.
+type Queue struct {
+	heap []*Event
+	seq  uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Empty reports whether no events are pending.
+func (q *Queue) Empty() bool { return len(q.heap) == 0 }
+
+// Push schedules payload at the given time and returns a handle that can be
+// passed to Cancel.
+func (q *Queue) Push(time float64, payload any) *Event {
+	q.seq++
+	e := &Event{Time: time, Seq: q.seq, Payload: payload, index: len(q.heap)}
+	q.heap = append(q.heap, e)
+	q.up(e.index)
+	return e
+}
+
+// Peek returns the earliest pending event without removing it, or nil if the
+// queue is empty.
+func (q *Queue) Peek() *Event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return q.heap[0]
+}
+
+// Pop removes and returns the earliest pending event, or nil if the queue is
+// empty.
+func (q *Queue) Pop() *Event {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	e := q.heap[0]
+	q.removeAt(0)
+	return e
+}
+
+// Cancel removes a previously pushed event. It reports whether the event was
+// still pending; cancelling an already-fired or already-cancelled event is a
+// harmless no-op returning false.
+func (q *Queue) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 || e.index >= len(q.heap) || q.heap[e.index] != e {
+		return false
+	}
+	q.removeAt(e.index)
+	return true
+}
+
+func (q *Queue) removeAt(i int) {
+	last := len(q.heap) - 1
+	q.swap(i, last)
+	removed := q.heap[last]
+	q.heap = q.heap[:last]
+	removed.index = -1
+	if i < last {
+		q.down(i)
+		q.up(i)
+	}
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.Seq < b.Seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].index = i
+	q.heap[j].index = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,159 @@
+package eventq
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPopOrder(t *testing.T) {
+	var q Queue
+	q.Push(3, "c")
+	q.Push(1, "a")
+	q.Push(2, "b")
+	var got []string
+	for !q.Empty() {
+		got = append(got, q.Pop().Payload.(string))
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	var q Queue
+	q.Push(5, "first")
+	q.Push(5, "second")
+	q.Push(5, "third")
+	if got := q.Pop().Payload.(string); got != "first" {
+		t.Errorf("first pop = %q", got)
+	}
+	if got := q.Pop().Payload.(string); got != "second" {
+		t.Errorf("second pop = %q", got)
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue
+	if q.Peek() != nil {
+		t.Error("Peek on empty queue should be nil")
+	}
+	q.Push(2, "x")
+	q.Push(1, "y")
+	if got := q.Peek().Payload.(string); got != "y" {
+		t.Errorf("Peek = %q, want y", got)
+	}
+	if q.Len() != 2 {
+		t.Errorf("Peek consumed an event")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	a := q.Push(1, "a")
+	b := q.Push(2, "b")
+	c := q.Push(3, "c")
+	if !q.Cancel(b) {
+		t.Error("Cancel of pending event returned false")
+	}
+	if q.Cancel(b) {
+		t.Error("double Cancel returned true")
+	}
+	if q.Cancel(nil) {
+		t.Error("Cancel(nil) returned true")
+	}
+	if got := q.Pop(); got != a {
+		t.Errorf("pop after cancel = %v", got.Payload)
+	}
+	if got := q.Pop(); got != c {
+		t.Errorf("pop after cancel = %v", got.Payload)
+	}
+	if !q.Empty() {
+		t.Error("queue should be empty")
+	}
+	if q.Cancel(a) {
+		t.Error("Cancel of popped event returned true")
+	}
+}
+
+func TestCancelHead(t *testing.T) {
+	var q Queue
+	a := q.Push(1, "a")
+	q.Push(2, "b")
+	q.Cancel(a)
+	if got := q.Pop().Payload.(string); got != "b" {
+		t.Errorf("pop = %q, want b after cancelling head", got)
+	}
+}
+
+// Property: popping always yields non-decreasing times, with cancellations
+// interleaved at random.
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(seed int64, times []float64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var q Queue
+		var handles []*Event
+		for _, tm := range times {
+			handles = append(handles, q.Push(tm, nil))
+			if len(handles) > 1 && r.Intn(4) == 0 {
+				victim := handles[r.Intn(len(handles))]
+				q.Cancel(victim)
+			}
+		}
+		prev := math.Inf(-1)
+		for !q.Empty() {
+			e := q.Pop()
+			if e.Time < prev {
+				return false
+			}
+			prev = e.Time
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: without cancellation the queue is a stable sort by (time, seq).
+func TestStableSortProperty(t *testing.T) {
+	f := func(times []float64) bool {
+		var q Queue
+		type tagged struct {
+			t   float64
+			idx int
+		}
+		var want []tagged
+		for i, tm := range times {
+			q.Push(tm, i)
+			want = append(want, tagged{tm, i})
+		}
+		sort.SliceStable(want, func(a, b int) bool { return want[a].t < want[b].t })
+		for _, w := range want {
+			e := q.Pop()
+			if e.Time != w.t || e.Payload.(int) != w.idx {
+				return false
+			}
+		}
+		return q.Empty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var q Queue
+	for i := 0; i < b.N; i++ {
+		q.Push(r.Float64(), nil)
+		if q.Len() > 1024 {
+			q.Pop()
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/sched/mcb"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/vectorpack"
+	"repro/internal/workload"
+)
+
+// AblationResult compares a set of algorithm variants by degradation
+// factor over the scaled synthetic traces at the given penalty.
+type AblationResult struct {
+	Title      string
+	Penalty    float64
+	Algorithms []string
+	Stats      map[string]stats.Summary
+}
+
+// runAblation executes the named algorithms on every scaled trace and
+// aggregates degradation factors. The named algorithms must be registered;
+// ablation-only variants register themselves in their packages' init.
+func runAblation(cfg Config, title string, algs []string, penalty float64) (*AblationResult, error) {
+	base, err := cfg.BaseTraces()
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := cfg.ScaledTraces(base)
+	if err != nil {
+		return nil, err
+	}
+	var traces []*workload.Trace
+	for _, load := range cfg.Loads {
+		traces = append(traces, scaled[load]...)
+	}
+	streams := map[string]*stats.Stream{}
+	for _, alg := range algs {
+		streams[alg] = &stats.Stream{}
+	}
+	var mu sync.Mutex
+	err = parallelFor(len(traces), cfg.workers(), func(i int) error {
+		inst, err := RunInstance(traces[i], algs, penalty, cfg.Check, 0)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for _, alg := range algs {
+			streams[alg].Add(inst.Degradation[alg])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Title: title, Penalty: penalty, Algorithms: algs, Stats: map[string]stats.Summary{}}
+	for alg, s := range streams {
+		res.Stats[alg] = s.Summary()
+	}
+	return res, nil
+}
+
+// AblationPriorityPower compares the paper's squared-virtual-time priority
+// against the linear variant the authors report as markedly inferior
+// (experiment A1).
+func AblationPriorityPower(cfg Config) (*AblationResult, error) {
+	return runAblation(cfg, "A1: priority function power (squared vs linear virtual time)",
+		[]string{"greedy-pmtn", "greedy-pmtn-linprio"}, PaperPenalty)
+}
+
+// AblationPeriod sweeps the scheduling period T over {60, 600, 3600} for
+// DYNMCB8-ASAP-PER (experiment A2; the paper reports T=600 as the sweet
+// spot against the 5-minute penalty).
+func AblationPeriod(cfg Config) (*AblationResult, error) {
+	ensurePeriodVariants()
+	return runAblation(cfg, "A2: scheduling period sweep for DYNMCB8-ASAP-PER",
+		[]string{"dynmcb8-asap-per-60", "dynmcb8-asap-per", "dynmcb8-asap-per-3600"}, PaperPenalty)
+}
+
+// AblationPacker swaps MCB8 for first-fit-decreasing and
+// best-fit-decreasing inside DYNMCB8-PER (experiment A3).
+func AblationPacker(cfg Config) (*AblationResult, error) {
+	ensurePackerVariants()
+	return runAblation(cfg, "A3: packing heuristic inside DYNMCB8-PER",
+		[]string{"dynmcb8-per", "dynmcb8-per-ffd", "dynmcb8-per-bfd"}, PaperPenalty)
+}
+
+// ExtensionFairness evaluates the Section VII future-work idea: excluding
+// long-running jobs from the average-yield improvement (experiment A4).
+func ExtensionFairness(cfg Config) (*AblationResult, error) {
+	return runAblation(cfg, "A4: fairness extension (yield decay for long-running jobs)",
+		[]string{"dynmcb8-per", "dynmcb8-per-fair"}, PaperPenalty)
+}
+
+var variantOnce sync.Once
+
+func ensurePeriodVariants() {
+	variantOnce.Do(registerVariants)
+}
+
+func ensurePackerVariants() {
+	variantOnce.Do(registerVariants)
+}
+
+// registerMCB registers an ablation-only DYNMCB8 variant under a custom
+// name.
+func registerMCB(name string, opt mcb.Options) {
+	sched.Register(name, func() sim.Scheduler { return mcb.New(opt) })
+}
+
+func registerVariants() {
+	registerMCB("dynmcb8-asap-per-60", mcb.Options{Period: 60, ASAP: true, NameOverride: "dynmcb8-asap-per-60"})
+	registerMCB("dynmcb8-asap-per-3600", mcb.Options{Period: 3600, ASAP: true, NameOverride: "dynmcb8-asap-per-3600"})
+	registerMCB("dynmcb8-per-ffd", mcb.Options{Period: mcb.DefaultPeriod, Packer: vectorpack.FirstFitDecreasing{}, NameOverride: "dynmcb8-per-ffd"})
+	registerMCB("dynmcb8-per-bfd", mcb.Options{Period: mcb.DefaultPeriod, Packer: vectorpack.BestFitDecreasing{}, NameOverride: "dynmcb8-per-bfd"})
+}
+
+// Table builds the ablation comparison table.
+func (a *AblationResult) Table() *report.Table {
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("%s (penalty %.0fs)", a.Title, a.Penalty),
+		Headers: []string{"variant", "deg avg", "deg std", "deg max"},
+	}
+	for _, alg := range a.Algorithms {
+		s := a.Stats[alg]
+		tbl.AddRow(alg, f2(s.Mean), f2(s.Std), f2(s.Max))
+	}
+	return tbl
+}
+
+// Render writes the ablation comparison as a fixed-width table.
+func (a *AblationResult) Render(w io.Writer) error { return a.Table().Render(w) }
+
+// RenderCSV writes the ablation comparison as CSV.
+func (a *AblationResult) RenderCSV(w io.Writer) error { return a.Table().RenderCSV(w) }

@@ -1,0 +1,240 @@
+// Package experiments defines the paper's evaluation campaigns (Figure 1,
+// Table I, Table II, the Section V timing study) and the ablation studies
+// listed in DESIGN.md, on top of the workload generators, the simulator and
+// the metrics package. Every experiment is deterministic given its seed and
+// scales from quick smoke runs to the paper's full 100-trace campaigns via
+// Config.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/lublin"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	// Register all scheduling algorithms.
+	_ "repro/internal/sched/batch"
+	_ "repro/internal/sched/gang"
+	_ "repro/internal/sched/greedy"
+	_ "repro/internal/sched/mcb"
+)
+
+// Algorithms is the paper's nine algorithms in the order of Figure 1's
+// legend and Table I's rows.
+var Algorithms = []string{
+	"fcfs",
+	"easy",
+	"greedy",
+	"greedy-pmtn",
+	"greedy-pmtn-migr",
+	"dynmcb8",
+	"dynmcb8-per",
+	"dynmcb8-asap-per",
+	"dynmcb8-stretch-per",
+}
+
+// PreemptingAlgorithms are the six Table II rows (algorithms that pause or
+// migrate).
+var PreemptingAlgorithms = []string{
+	"greedy-pmtn",
+	"greedy-pmtn-migr",
+	"dynmcb8",
+	"dynmcb8-per",
+	"dynmcb8-asap-per",
+	"dynmcb8-stretch-per",
+}
+
+// PaperPenalty is the 5-minute rescheduling penalty in seconds.
+const PaperPenalty = 300.0
+
+// Config sets the scale of an experiment campaign.
+type Config struct {
+	Seed         uint64
+	Traces       int       // number of base synthetic traces (paper: 100)
+	JobsPerTrace int       // jobs per synthetic trace (paper: 1000)
+	Nodes        int       // cluster size (paper: 128)
+	Loads        []float64 // offered-load levels (paper: 0.1..0.9)
+	Algorithms   []string
+	Workers      int  // parallel simulations; <=0 means GOMAXPROCS
+	Check        bool // enable simulator invariant checking
+	HPC2NWeeks   int  // weekly segments for the real-world leg (paper: 182)
+}
+
+// DefaultConfig returns a laptop-scale campaign that preserves the paper's
+// platform (128 nodes, loads 0.1–0.9, all nine algorithms) while keeping
+// trace counts small enough for CI; scale Traces/JobsPerTrace up to the
+// paper's 100/1000 for the full reproduction.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         42,
+		Traces:       3,
+		JobsPerTrace: 150,
+		Nodes:        128,
+		Loads:        []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		Algorithms:   Algorithms,
+		HPC2NWeeks:   4,
+	}
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// BaseTraces generates the campaign's synthetic traces (the "unscaled"
+// traces of Table I's middle column).
+func (c Config) BaseTraces() ([]*workload.Trace, error) {
+	root := rng.New(c.Seed)
+	traces := make([]*workload.Trace, c.Traces)
+	for i := range traces {
+		r := root.Split(fmt.Sprintf("trace-%d", i))
+		tr, err := lublin.GenerateTrace(r, lublin.DefaultParams(c.Nodes), c.JobsPerTrace,
+			fmt.Sprintf("lublin-%03d", i))
+		if err != nil {
+			return nil, err
+		}
+		traces[i] = tr
+	}
+	return traces, nil
+}
+
+// ScaledTraces rescales every base trace to every configured load level,
+// reproducing the paper's 900 scaled instances (100 traces x 9 loads) at
+// the configured scale. The returned map is load -> traces.
+func (c Config) ScaledTraces(base []*workload.Trace) (map[float64][]*workload.Trace, error) {
+	out := make(map[float64][]*workload.Trace, len(c.Loads))
+	for _, load := range c.Loads {
+		for _, tr := range base {
+			scaled, err := tr.ScaleToLoad(load)
+			if err != nil {
+				return nil, err
+			}
+			out[load] = append(out[load], scaled)
+		}
+	}
+	return out, nil
+}
+
+// RunOne simulates one named algorithm over one trace.
+func RunOne(tr *workload.Trace, alg string, penalty float64, check bool) (*sim.Result, error) {
+	s, err := sched.New(alg)
+	if err != nil {
+		return nil, err
+	}
+	simulator, err := sim.New(sim.Config{
+		Trace:           tr,
+		Penalty:         penalty,
+		CheckInvariants: check,
+		MaxSimTime:      50 * 365 * 24 * 3600, // livelock guard
+	}, s)
+	if err != nil {
+		return nil, err
+	}
+	res, err := simulator.Run()
+	if err != nil {
+		return nil, err
+	}
+	if err := metrics.Validate(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Instance is the outcome of running a set of algorithms on one trace: the
+// per-algorithm maximum bounded stretch, the derived degradation factors,
+// and the Table II cost summaries.
+type Instance struct {
+	Trace       string
+	Load        float64
+	MaxStretch  map[string]float64
+	Degradation map[string]float64
+	Costs       map[string]metrics.CostSummary
+}
+
+// RunInstance executes every algorithm on the trace and computes
+// per-instance degradation factors.
+func RunInstance(tr *workload.Trace, algs []string, penalty float64, check bool, load float64) (*Instance, error) {
+	inst := &Instance{
+		Trace:       tr.Name,
+		Load:        load,
+		MaxStretch:  map[string]float64{},
+		Degradation: map[string]float64{},
+		Costs:       map[string]metrics.CostSummary{},
+	}
+	for _, alg := range algs {
+		res, err := RunOne(tr, alg, penalty, check)
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", alg, tr.Name, err)
+		}
+		sum := metrics.Summarize(res)
+		if math.IsNaN(sum.MaxStretch) {
+			return nil, fmt.Errorf("%s on %s produced no finished jobs", alg, tr.Name)
+		}
+		inst.MaxStretch[alg] = sum.MaxStretch
+		inst.Costs[alg] = metrics.Costs(res)
+	}
+	deg, err := metrics.DegradationFactors(inst.MaxStretch)
+	if err != nil {
+		return nil, err
+	}
+	inst.Degradation = deg
+	return inst, nil
+}
+
+// parallelFor runs fn(0..n-1) across the given number of workers, stopping
+// at the first error.
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps experiment tests fast while still exercising the full
+// pipeline: trace generation, scaling, all algorithms, aggregation and
+// rendering.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Traces = 1
+	cfg.JobsPerTrace = 40
+	cfg.Nodes = 32
+	cfg.Loads = []float64{0.3, 0.7}
+	cfg.HPC2NWeeks = 1
+	cfg.Check = true
+	return cfg
+}
+
+func TestBaseTracesDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	a, err := cfg.BaseTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.BaseTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if len(a[i].Jobs) != len(b[i].Jobs) {
+			t.Fatal("trace sizes differ across generations")
+		}
+		for j := range a[i].Jobs {
+			if a[i].Jobs[j] != b[i].Jobs[j] {
+				t.Fatalf("trace %d job %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestScaledTracesHitTargets(t *testing.T) {
+	cfg := tinyConfig()
+	base, err := cfg.BaseTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := cfg.ScaledTraces(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, load := range cfg.Loads {
+		for _, tr := range scaled[load] {
+			if got := tr.OfferedLoad(); math.Abs(got-load) > 1e-9 {
+				t.Errorf("trace %s load %v, want %v", tr.Name, got, load)
+			}
+		}
+	}
+}
+
+func TestRunInstance(t *testing.T) {
+	cfg := tinyConfig()
+	base, err := cfg.BaseTraces()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := base[0].ScaleToLoad(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := []string{"easy", "greedy-pmtn", "dynmcb8-asap-per"}
+	inst, err := RunInstance(scaled, algs, PaperPenalty, true, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(1)
+	for _, alg := range algs {
+		if inst.MaxStretch[alg] <= 0 {
+			t.Errorf("%s max stretch = %v", alg, inst.MaxStretch[alg])
+		}
+		if inst.Degradation[alg] < 1-1e-12 {
+			t.Errorf("%s degradation = %v < 1", alg, inst.Degradation[alg])
+		}
+		if inst.Degradation[alg] < best {
+			best = inst.Degradation[alg]
+		}
+	}
+	if math.Abs(best-1) > 1e-12 {
+		t.Errorf("no algorithm scored 1.0: %v", inst.Degradation)
+	}
+}
+
+func TestFigure1EndToEnd(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Algorithms = []string{"easy", "greedy-pmtn", "dynmcb8-per"}
+	res, err := Figure1(cfg, PaperPenalty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Instances) != len(cfg.Loads)*cfg.Traces {
+		t.Errorf("%d instances", len(res.Instances))
+	}
+	for _, alg := range cfg.Algorithms {
+		if len(res.Mean[alg]) != len(cfg.Loads) {
+			t.Errorf("%s has %d points", alg, len(res.Mean[alg]))
+		}
+		for i, m := range res.Mean[alg] {
+			if math.IsNaN(m) || m < 1-1e-9 {
+				t.Errorf("%s mean degradation at load %v = %v", alg, cfg.Loads[i], m)
+			}
+		}
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "greedy-pmtn") {
+		t.Errorf("render output incomplete:\n%s", out)
+	}
+}
+
+func TestTableIEndToEnd(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Algorithms = []string{"easy", "dynmcb8-asap-per"}
+	res, err := TableI(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range cfg.Algorithms {
+		if res.Scaled[alg].N == 0 || res.Unscaled[alg].N == 0 || res.RealWorld[alg].N == 0 {
+			t.Errorf("%s missing observations: %+v %+v %+v",
+				alg, res.Scaled[alg], res.Unscaled[alg], res.RealWorld[alg])
+		}
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Table I") {
+		t.Error("render output missing title")
+	}
+}
+
+func TestTableIIEndToEnd(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Algorithms = []string{"greedy-pmtn", "dynmcb8-per"}
+	res, err := TableII(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range cfg.Algorithms {
+		row := res.Streams[alg]
+		for k := range row {
+			if row[k].N == 0 {
+				t.Errorf("%s column %d has no observations", alg, k)
+			}
+			if row[k].Mean < 0 {
+				t.Errorf("%s column %d mean %v < 0", alg, k, row[k].Mean)
+			}
+		}
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Table II") {
+		t.Error("render output missing title")
+	}
+}
+
+func TestTableIIRequiresHighLoads(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Loads = []float64{0.1, 0.2}
+	if _, err := TableII(cfg); err == nil {
+		t.Error("Table II without >=0.7 loads should fail")
+	}
+}
+
+func TestTimingStudy(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := TimingStudy(cfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "dynmcb8" {
+		t.Errorf("default algorithm = %q", res.Algorithm)
+	}
+	if res.Observations == 0 {
+		t.Error("no timing observations")
+	}
+	if res.All.Mean < 0 {
+		t.Errorf("negative mean time %v", res.All.Mean)
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "timing study") {
+		t.Error("render output missing title")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Loads = []float64{0.7}
+	for name, run := range map[string]func(Config) (*AblationResult, error){
+		"priority": AblationPriorityPower,
+		"period":   AblationPeriod,
+		"packer":   AblationPacker,
+		"fairness": ExtensionFairness,
+	} {
+		res, err := run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, alg := range res.Algorithms {
+			if res.Stats[alg].N == 0 {
+				t.Errorf("%s: %s has no observations", name, alg)
+			}
+		}
+		var b strings.Builder
+		if err := res.Render(&b); err != nil {
+			t.Fatalf("%s render: %v", name, err)
+		}
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	n := 100
+	seen := make([]bool, n)
+	err := parallelFor(n, 8, func(i int) error {
+		seen[i] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d not visited", i)
+		}
+	}
+}
+
+func TestParallelForPropagatesError(t *testing.T) {
+	err := parallelFor(50, 4, func(i int) error {
+		if i == 20 {
+			return errTest
+		}
+		return nil
+	})
+	if err != errTest {
+		t.Errorf("err = %v, want errTest", err)
+	}
+}
+
+var errTest = errTestType{}
+
+type errTestType struct{}
+
+func (errTestType) Error() string { return "test error" }

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Figure1Result holds the Figure 1 curves: for each algorithm, the average
+// degradation factor at each load level.
+type Figure1Result struct {
+	Penalty    float64
+	Loads      []float64
+	Algorithms []string
+	// Mean[alg][i] is the average degradation factor at Loads[i].
+	Mean map[string][]float64
+	// Summary[alg][i] carries the full per-load statistics.
+	Summary   map[string][]stats.Summary
+	Instances []*Instance
+}
+
+// Figure1 runs experiment E1 (penalty 0) or E2 (penalty 300): every
+// configured algorithm over every scaled synthetic trace, averaging
+// degradation factors per load level.
+func Figure1(cfg Config, penalty float64) (*Figure1Result, error) {
+	base, err := cfg.BaseTraces()
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := cfg.ScaledTraces(base)
+	if err != nil {
+		return nil, err
+	}
+	type task struct {
+		tr   *workload.Trace
+		load float64
+	}
+	var tasks []task
+	for _, load := range cfg.Loads {
+		for _, tr := range scaled[load] {
+			tasks = append(tasks, task{tr: tr, load: load})
+		}
+	}
+	instances := make([]*Instance, len(tasks))
+	var mu sync.Mutex
+	err = parallelFor(len(tasks), cfg.workers(), func(i int) error {
+		inst, err := RunInstance(tasks[i].tr, cfg.Algorithms, penalty, cfg.Check, tasks[i].load)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		instances[i] = inst
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure1Result{
+		Penalty:    penalty,
+		Loads:      cfg.Loads,
+		Algorithms: cfg.Algorithms,
+		Mean:       map[string][]float64{},
+		Summary:    map[string][]stats.Summary{},
+		Instances:  instances,
+	}
+	for _, alg := range cfg.Algorithms {
+		res.Mean[alg] = make([]float64, len(cfg.Loads))
+		res.Summary[alg] = make([]stats.Summary, len(cfg.Loads))
+		for li, load := range cfg.Loads {
+			var s stats.Stream
+			for _, inst := range instances {
+				if inst.Load == load {
+					s.Add(inst.Degradation[alg])
+				}
+			}
+			res.Mean[alg][li] = s.Mean()
+			res.Summary[alg][li] = s.Summary()
+		}
+	}
+	return res, nil
+}
+
+// Table builds the Figure 1 data table.
+func (r *Figure1Result) Table() *report.Table {
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("Figure 1: average degradation factor vs load (penalty %.0fs)", r.Penalty),
+		Headers: append([]string{"algorithm"}, loadHeaders(r.Loads)...),
+	}
+	for _, alg := range r.Algorithms {
+		row := []string{alg}
+		for li := range r.Loads {
+			row = append(row, fmt.Sprintf("%.2f", r.Mean[alg][li]))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl
+}
+
+// RenderCSV writes the Figure 1 data as CSV.
+func (r *Figure1Result) RenderCSV(w io.Writer) error { return r.Table().RenderCSV(w) }
+
+// Render writes the Figure 1 data as a table plus an ASCII log-scale chart
+// matching the paper's presentation.
+func (r *Figure1Result) Render(w io.Writer) error {
+	if err := r.Table().Render(w); err != nil {
+		return err
+	}
+	chart := &report.Chart{
+		Title:  "degradation factor vs load",
+		XLabel: "load",
+		YLabel: "avg degradation factor",
+		LogY:   true,
+	}
+	for _, alg := range r.Algorithms {
+		s := report.Series{Label: alg}
+		for li, load := range r.Loads {
+			s.Points = append(s.Points, report.Point{X: load, Y: r.Mean[alg][li]})
+		}
+		chart.Series = append(chart.Series, s)
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	return chart.Render(w)
+}
+
+func loadHeaders(loads []float64) []string {
+	hs := make([]string, len(loads))
+	for i, l := range loads {
+		hs[i] = fmt.Sprintf("%.1f", l)
+	}
+	return hs
+}

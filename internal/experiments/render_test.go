@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func sampleFigure1() *Figure1Result {
+	mk := func(vals ...float64) []float64 { return vals }
+	return &Figure1Result{
+		Penalty:    300,
+		Loads:      []float64{0.1, 0.5, 0.9},
+		Algorithms: []string{"easy", "dynmcb8-asap-per"},
+		Mean: map[string][]float64{
+			"easy":             mk(100, 200, 300),
+			"dynmcb8-asap-per": mk(2, 1.5, 1.1),
+		},
+	}
+}
+
+func TestFigure1CSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleFigure1().RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "algorithm,0.1,0.5,0.9\n") {
+		t.Errorf("CSV header wrong: %q", out)
+	}
+	if !strings.Contains(out, "easy,100.00,200.00,300.00") {
+		t.Errorf("CSV row missing: %q", out)
+	}
+}
+
+func TestTableICSV(t *testing.T) {
+	res := &TableIResult{
+		Algorithms: []string{"easy"},
+		Scaled:     map[string]stats.Summary{"easy": {Mean: 195.5, Std: 216.6, Max: 1100.9}},
+		Unscaled:   map[string]stats.Summary{"easy": {Mean: 312.4, Std: 425.7, Max: 1061.6}},
+		RealWorld:  map[string]stats.Summary{"easy": {Mean: 650.3, Std: 896.8, Max: 2225.9}},
+	}
+	var b strings.Builder
+	if err := res.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "easy,195.50,216.60,1100.90,312.40") {
+		t.Errorf("Table I CSV wrong: %q", b.String())
+	}
+}
+
+func TestTableIICSV(t *testing.T) {
+	res := &TableIIResult{
+		Algorithms: []string{"dynmcb8-per"},
+		Streams: map[string][6]stats.Summary{
+			"dynmcb8-per": {
+				{Mean: 0.60, Max: 1.31}, {Mean: 0.26, Max: 0.77},
+				{Mean: 45.58, Max: 110.16}, {Mean: 48.80, Max: 141.84},
+				{Mean: 7.63, Max: 32.32}, {Mean: 6.18, Max: 20.77},
+			},
+		},
+	}
+	var b strings.Builder
+	if err := res.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "dynmcb8-per,0.60 (1.31)") {
+		t.Errorf("Table II CSV wrong: %q", b.String())
+	}
+}
+
+func TestAblationCSV(t *testing.T) {
+	res := &AblationResult{
+		Title:      "A1",
+		Penalty:    300,
+		Algorithms: []string{"a", "b"},
+		Stats: map[string]stats.Summary{
+			"a": {Mean: 1.1, Std: 0.3, Max: 2.7},
+			"b": {Mean: 4.8, Std: 9.3, Max: 43.4},
+		},
+	}
+	var b strings.Builder
+	if err := res.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "a,1.10,0.30,2.70") || !strings.Contains(out, "b,4.80,9.30,43.40") {
+		t.Errorf("ablation CSV wrong: %q", out)
+	}
+}
+
+func TestTimingCSV(t *testing.T) {
+	res := &TimingResult{
+		Algorithm:     "dynmcb8",
+		Observations:  100,
+		SmallFastFrac: 0.67,
+		All:           stats.Summary{Mean: 0.00025, Max: 0.0045},
+		Large:         stats.Summary{Mean: 0.0003},
+		MaxJobs:       102,
+	}
+	var b strings.Builder
+	if err := res.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "scheduling events observed,100") {
+		t.Errorf("timing CSV wrong: %q", out)
+	}
+	if !strings.Contains(out, "67.00%") {
+		t.Errorf("timing CSV fraction wrong: %q", out)
+	}
+}

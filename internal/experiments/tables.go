@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/hpc2n"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TableIResult reproduces Table I: degradation-factor statistics
+// (avg/std/max) per algorithm for the three workload families, all with the
+// 5-minute rescheduling penalty.
+type TableIResult struct {
+	Algorithms []string
+	Scaled     map[string]stats.Summary // scaled synthetic traces
+	Unscaled   map[string]stats.Summary // unscaled synthetic traces
+	RealWorld  map[string]stats.Summary // HPC2N-like weekly traces
+}
+
+// TableI runs experiment E3.
+func TableI(cfg Config) (*TableIResult, error) {
+	base, err := cfg.BaseTraces()
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := cfg.ScaledTraces(base)
+	if err != nil {
+		return nil, err
+	}
+	var scaledList []*workload.Trace
+	for _, load := range cfg.Loads {
+		scaledList = append(scaledList, scaled[load]...)
+	}
+	synth := hpc2n.DefaultSynthParams()
+	synth.Weeks = cfg.HPC2NWeeks
+	weeks, _, err := hpc2n.WeeklyTraces(rng.New(cfg.Seed).Split("hpc2n"), synth)
+	if err != nil {
+		return nil, err
+	}
+	res := &TableIResult{Algorithms: cfg.Algorithms}
+	res.Scaled, err = degradationStats(cfg, scaledList, PaperPenalty)
+	if err != nil {
+		return nil, err
+	}
+	res.Unscaled, err = degradationStats(cfg, base, PaperPenalty)
+	if err != nil {
+		return nil, err
+	}
+	res.RealWorld, err = degradationStats(cfg, weeks, PaperPenalty)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// degradationStats runs every algorithm on every trace and aggregates the
+// degradation factors per algorithm.
+func degradationStats(cfg Config, traces []*workload.Trace, penalty float64) (map[string]stats.Summary, error) {
+	streams := map[string]*stats.Stream{}
+	for _, alg := range cfg.Algorithms {
+		streams[alg] = &stats.Stream{}
+	}
+	var mu sync.Mutex
+	err := parallelFor(len(traces), cfg.workers(), func(i int) error {
+		inst, err := RunInstance(traces[i], cfg.Algorithms, penalty, cfg.Check, 0)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for _, alg := range cfg.Algorithms {
+			streams[alg].Add(inst.Degradation[alg])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]stats.Summary{}
+	for alg, s := range streams {
+		out[alg] = s.Summary()
+	}
+	return out, nil
+}
+
+// Table builds Table I in the paper's layout.
+func (t *TableIResult) Table() *report.Table {
+	tbl := &report.Table{
+		Title: "Table I: degradation factor, 5-minute rescheduling penalty",
+		Headers: []string{"algorithm",
+			"scaled avg", "scaled std", "scaled max",
+			"unscaled avg", "unscaled std", "unscaled max",
+			"real avg", "real std", "real max"},
+	}
+	for _, alg := range t.Algorithms {
+		s, u, r := t.Scaled[alg], t.Unscaled[alg], t.RealWorld[alg]
+		tbl.AddRow(alg,
+			f2(s.Mean), f2(s.Std), f2(s.Max),
+			f2(u.Mean), f2(u.Std), f2(u.Max),
+			f2(r.Mean), f2(r.Std), f2(r.Max))
+	}
+	return tbl
+}
+
+// Render writes Table I as a fixed-width table.
+func (t *TableIResult) Render(w io.Writer) error { return t.Table().Render(w) }
+
+// RenderCSV writes Table I as CSV.
+func (t *TableIResult) RenderCSV(w io.Writer) error { return t.Table().RenderCSV(w) }
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// TableIIResult reproduces Table II: preemption and migration costs over
+// the scaled synthetic traces with load >= 0.7 and the 5-minute penalty.
+// Each entry holds the average over instances with the per-trace maximum in
+// Max.
+type TableIIResult struct {
+	Algorithms []string
+	// Streams[alg] aggregates the six cost columns per instance:
+	// pmtn GB/s, mig GB/s, pmtn/h, mig/h, pmtn/job, mig/job.
+	Streams map[string][6]stats.Summary
+}
+
+// tableIIMinLoad is the paper's load cutoff for Table II.
+const tableIIMinLoad = 0.7
+
+// TableII runs experiment E4.
+func TableII(cfg Config) (*TableIIResult, error) {
+	base, err := cfg.BaseTraces()
+	if err != nil {
+		return nil, err
+	}
+	var loads []float64
+	for _, l := range cfg.Loads {
+		if l >= tableIIMinLoad {
+			loads = append(loads, l)
+		}
+	}
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("experiments: Table II needs load levels >= %.1f", tableIIMinLoad)
+	}
+	hiCfg := cfg
+	hiCfg.Loads = loads
+	scaled, err := hiCfg.ScaledTraces(base)
+	if err != nil {
+		return nil, err
+	}
+	var traces []*workload.Trace
+	for _, l := range loads {
+		traces = append(traces, scaled[l]...)
+	}
+	algs := cfg.Algorithms
+	if len(algs) == 0 {
+		algs = PreemptingAlgorithms
+	}
+	type accum struct{ streams [6]*stats.Stream }
+	acc := map[string]*accum{}
+	for _, alg := range algs {
+		a := &accum{}
+		for i := range a.streams {
+			a.streams[i] = &stats.Stream{}
+		}
+		acc[alg] = a
+	}
+	var mu sync.Mutex
+	err = parallelFor(len(traces), cfg.workers(), func(i int) error {
+		for _, alg := range algs {
+			res, err := RunOne(traces[i], alg, PaperPenalty, cfg.Check)
+			if err != nil {
+				return fmt.Errorf("%s on %s: %w", alg, traces[i].Name, err)
+			}
+			c := costsOf(res)
+			mu.Lock()
+			for k := range c {
+				acc[alg].streams[k].Add(c[k])
+			}
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &TableIIResult{Algorithms: algs, Streams: map[string][6]stats.Summary{}}
+	for _, alg := range algs {
+		var row [6]stats.Summary
+		for k := range row {
+			row[k] = acc[alg].streams[k].Summary()
+		}
+		out.Streams[alg] = row
+	}
+	return out, nil
+}
+
+// costsOf flattens a run's Table II quantities into column order.
+func costsOf(res *sim.Result) [6]float64 {
+	c := metrics.Costs(res)
+	return [6]float64{c.PmtnGBps, c.MigGBps, c.PmtnPerHour, c.MigPerHour, c.PmtnPerJob, c.MigPerJob}
+}
+
+// Table builds Table II in the paper's layout: average values with maxima
+// in parentheses.
+func (t *TableIIResult) Table() *report.Table {
+	tbl := &report.Table{
+		Title: "Table II: preemption/migration costs, scaled traces with load >= 0.7, 5-minute penalty",
+		Headers: []string{"algorithm",
+			"pmtn GB/s", "mig GB/s",
+			"pmtn /hour", "mig /hour",
+			"pmtn /job", "mig /job"},
+	}
+	for _, alg := range t.Algorithms {
+		row := t.Streams[alg]
+		cells := []string{alg}
+		for k := 0; k < 6; k++ {
+			cells = append(cells, fmt.Sprintf("%.2f (%.2f)", row[k].Mean, row[k].Max))
+		}
+		tbl.AddRow(cells...)
+	}
+	return tbl
+}
+
+// Render writes Table II as a fixed-width table.
+func (t *TableIIResult) Render(w io.Writer) error { return t.Table().Render(w) }
+
+// RenderCSV writes Table II as CSV.
+func (t *TableIIResult) RenderCSV(w io.Writer) error { return t.Table().RenderCSV(w) }

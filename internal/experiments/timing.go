@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// TimingResult reproduces the Section V timing study: how long DYNMCB8
+// takes to compute an allocation per scheduling event, as a function of the
+// number of jobs in the system. The paper reports that 67.25% of events had
+// at most 10 jobs and completed in under 1 ms, with a ~0.25 s average and a
+// <4.5 s maximum over 100 unscaled traces on 2008 hardware.
+type TimingResult struct {
+	Algorithm     string
+	Observations  int
+	SmallFastFrac float64 // fraction of events with <=10 jobs and <1ms
+	All           stats.Summary
+	Large         stats.Summary // events with more than 10 jobs
+	MaxJobs       int
+}
+
+// TimingStudy runs experiment E5 on the unscaled synthetic traces.
+func TimingStudy(cfg Config, algorithm string) (*TimingResult, error) {
+	if algorithm == "" {
+		algorithm = "dynmcb8"
+	}
+	base, err := cfg.BaseTraces()
+	if err != nil {
+		return nil, err
+	}
+	var (
+		mu        sync.Mutex
+		all       stats.Stream
+		large     stats.Stream
+		smallFast int
+		total     int
+		maxJobs   int
+	)
+	err = parallelFor(len(base), cfg.workers(), func(i int) error {
+		s, err := sched.New(algorithm)
+		if err != nil {
+			return err
+		}
+		simulator, err := sim.New(sim.Config{
+			Trace:            base[i],
+			Penalty:          PaperPenalty,
+			RecordSchedTimes: true,
+			MaxSimTime:       50 * 365 * 24 * 3600,
+		}, s)
+		if err != nil {
+			return err
+		}
+		res, err := simulator.Run()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for _, sample := range res.SchedSamples {
+			total++
+			all.Add(sample.Seconds)
+			if sample.JobsInSystem <= 10 {
+				if sample.Seconds < 1e-3 {
+					smallFast++
+				}
+			} else {
+				large.Add(sample.Seconds)
+			}
+			if sample.JobsInSystem > maxJobs {
+				maxJobs = sample.JobsInSystem
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &TimingResult{
+		Algorithm:    algorithm,
+		Observations: total,
+		All:          all.Summary(),
+		Large:        large.Summary(),
+		MaxJobs:      maxJobs,
+	}
+	if total > 0 {
+		out.SmallFastFrac = float64(smallFast) / float64(total)
+	}
+	return out, nil
+}
+
+// Table builds the timing study summary table.
+func (t *TimingResult) Table() *report.Table {
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("Section V timing study: %s allocation compute time", t.Algorithm),
+		Headers: []string{"metric", "value"},
+	}
+	tbl.AddRow("scheduling events observed", fmt.Sprintf("%d", t.Observations))
+	tbl.AddRow("events with <=10 jobs finishing <1ms", fmt.Sprintf("%.2f%%", 100*t.SmallFastFrac))
+	tbl.AddRow("mean compute time (all events)", fmt.Sprintf("%.6fs", t.All.Mean))
+	tbl.AddRow("max compute time (all events)", fmt.Sprintf("%.6fs", t.All.Max))
+	tbl.AddRow("mean compute time (>10 jobs)", fmt.Sprintf("%.6fs", t.Large.Mean))
+	tbl.AddRow("max jobs in system", fmt.Sprintf("%d", t.MaxJobs))
+	return tbl
+}
+
+// Render writes the timing study summary as a fixed-width table.
+func (t *TimingResult) Render(w io.Writer) error { return t.Table().Render(w) }
+
+// RenderCSV writes the timing study summary as CSV.
+func (t *TimingResult) RenderCSV(w io.Writer) error { return t.Table().RenderCSV(w) }

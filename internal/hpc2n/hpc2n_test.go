@@ -1,0 +1,233 @@
+package hpc2n
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/swf"
+)
+
+func rec(job, submit, runtime, procs, memKB int64) swf.Record {
+	return swf.Record{
+		JobNumber: job, SubmitTime: submit, RunTime: runtime,
+		AllocatedProcs: procs, RequestedProcs: procs,
+		UsedMemoryKB: memKB, RequestedMemKB: memKB,
+		WaitTime: -1, AvgCPUTimeUsed: -1, RequestedTime: -1, Status: 1,
+		UserID: 1, GroupID: 1, ExecutableNum: -1, QueueNum: 0,
+		PartitionNum: 0, PrecedingJob: -1, ThinkTime: -1,
+	}
+}
+
+func TestPreprocessEvenLowMemory(t *testing.T) {
+	// 4 processors, 10% per-processor memory: pairs into 2 multi-threaded
+	// tasks with doubled memory and 100% CPU need.
+	log := &swf.Log{Records: []swf.Record{rec(1, 0, 600, 4, 209715)}}
+	tr, st, err := Preprocess(log, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kept != 1 {
+		t.Fatalf("kept %d", st.Kept)
+	}
+	j := tr.Jobs[0]
+	if j.Tasks != 2 || j.CPUNeed != 1.0 || math.Abs(j.MemReq-0.2) > 1e-3 {
+		t.Errorf("job: %+v", j)
+	}
+}
+
+func TestPreprocessOddProcs(t *testing.T) {
+	log := &swf.Log{Records: []swf.Record{rec(1, 0, 600, 5, 209715)}}
+	tr, _, err := Preprocess(log, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := tr.Jobs[0]
+	if j.Tasks != 5 || j.CPUNeed != 0.5 || math.Abs(j.MemReq-0.1) > 1e-3 {
+		t.Errorf("odd-processor job: %+v", j)
+	}
+}
+
+func TestPreprocessHighMemoryEven(t *testing.T) {
+	// Even processors but 60% memory per processor: stays one task per
+	// processor at 50% CPU.
+	kb := int64(0.6 * nodeMemKBf)
+	log := &swf.Log{Records: []swf.Record{rec(1, 0, 600, 4, kb)}}
+	tr, _, err := Preprocess(log, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := tr.Jobs[0]
+	if j.Tasks != 4 || j.CPUNeed != 0.5 || math.Abs(j.MemReq-0.6) > 1e-3 {
+		t.Errorf("high-memory job: %+v", j)
+	}
+}
+
+func TestPreprocessMemoryRules(t *testing.T) {
+	// Missing memory -> 10% floor; tiny memory -> floored at 10%; the
+	// larger of used and requested wins.
+	recs := []swf.Record{
+		rec(1, 0, 60, 1, -1),   // missing
+		rec(2, 1, 60, 1, 1024), // ~0.05% -> floor
+	}
+	withReq := rec(3, 2, 60, 1, 102400) // used 5%...
+	withReq.RequestedMemKB = int64(0.3 * nodeMemKBf)
+	recs = append(recs, withReq)
+	tr, st, err := Preprocess(&swf.Log{Records: recs}, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MissingMemory != 1 {
+		t.Errorf("missing memory count = %d", st.MissingMemory)
+	}
+	if math.Abs(tr.Jobs[0].MemReq-0.1) > 1e-3 || math.Abs(tr.Jobs[1].MemReq-0.1) > 1e-3 {
+		t.Errorf("floors not applied: %v, %v", tr.Jobs[0].MemReq, tr.Jobs[1].MemReq)
+	}
+	if math.Abs(tr.Jobs[2].MemReq-0.3) > 1e-3 {
+		t.Errorf("requested memory not used: %v", tr.Jobs[2].MemReq)
+	}
+}
+
+func TestPreprocessDrops(t *testing.T) {
+	recs := []swf.Record{
+		rec(1, 0, 0, 4, -1),    // zero runtime
+		rec(2, 1, -1, 4, -1),   // missing runtime
+		rec(3, 2, 60, 0, -1),   // zero procs
+		rec(4, 3, 60, 241, -1), // 241 odd procs -> 241 tasks > 120 nodes
+		rec(5, 4, 60, 2, -1),   // fine
+	}
+	tr, st, err := Preprocess(&swf.Log{Records: recs}, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kept != 1 || len(tr.Jobs) != 1 {
+		t.Errorf("kept %d jobs (stats %+v)", len(tr.Jobs), st)
+	}
+	if st.DroppedRuntime != 2 || st.DroppedSize != 2 {
+		t.Errorf("drop stats: %+v", st)
+	}
+}
+
+func TestPreprocessSerialJob(t *testing.T) {
+	// 1 processor (odd): 1 task at 50% CPU — a serial job on a dual-core
+	// node uses one core.
+	log := &swf.Log{Records: []swf.Record{rec(1, 0, 60, 1, -1)}}
+	tr, _, err := Preprocess(log, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Jobs[0].Tasks != 1 || tr.Jobs[0].CPUNeed != 0.5 {
+		t.Errorf("serial job: %+v", tr.Jobs[0])
+	}
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	p := DefaultSynthParams()
+	p.Weeks = 2
+	log, err := Synthesize(rng.New(1), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Records) != p.Weeks*p.JobsPerWeek {
+		t.Fatalf("%d records", len(log.Records))
+	}
+	serial, missing := 0, 0
+	prev := int64(-1)
+	for _, r := range log.Records {
+		if r.SubmitTime < prev {
+			t.Fatal("arrivals not monotone")
+		}
+		prev = r.SubmitTime
+		if r.AllocatedProcs == 1 {
+			serial++
+		}
+		if r.UsedMemoryKB <= 0 {
+			missing++
+		}
+		if r.RunTime < 1 {
+			t.Fatalf("runtime %d", r.RunTime)
+		}
+	}
+	serialFrac := float64(serial) / float64(len(log.Records))
+	if serialFrac < 0.55 || serialFrac > 0.7 {
+		t.Errorf("serial fraction = %v, want ~0.62", serialFrac)
+	}
+	missingFrac := float64(missing) / float64(len(log.Records))
+	if missingFrac < 0.001 || missingFrac > 0.03 {
+		t.Errorf("missing-memory fraction = %v, want ~0.01", missingFrac)
+	}
+}
+
+func TestSynthesizeDeterminism(t *testing.T) {
+	p := DefaultSynthParams()
+	p.Weeks = 1
+	a, err := Synthesize(rng.New(3), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(rng.New(3), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("records diverge at %d", i)
+		}
+	}
+}
+
+func TestSynthesizeRejectsBadParams(t *testing.T) {
+	if _, err := Synthesize(rng.New(1), SynthParams{}); err == nil {
+		t.Error("zero params accepted")
+	}
+}
+
+func TestWeeklyTraces(t *testing.T) {
+	p := DefaultSynthParams()
+	p.Weeks = 3
+	weeks, st, err := WeeklyTraces(rng.New(2), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kept == 0 {
+		t.Fatal("nothing kept")
+	}
+	if len(weeks) < 2 || len(weeks) > 5 {
+		t.Errorf("%d weekly segments from a 3-week log", len(weeks))
+	}
+	for _, w := range weeks {
+		if err := w.Validate(); err != nil {
+			t.Errorf("week %s invalid: %v", w.Name, err)
+		}
+		if w.Nodes != Nodes || w.NodeMemGB != NodeMemGB {
+			t.Errorf("week %s platform: %d nodes %v GB", w.Name, w.Nodes, w.NodeMemGB)
+		}
+		// Each 1-week segment's submissions fit within the week.
+		for _, j := range w.Jobs {
+			if j.Submit < 0 || j.Submit >= WeekSeconds {
+				t.Errorf("week %s job submitted at %v", w.Name, j.Submit)
+			}
+		}
+	}
+}
+
+// TestShortSerialJobsDominate checks the property the paper attributes to
+// HPC2N ("a large number of short-duration serial jobs"), which drives the
+// Table I real-world column.
+func TestShortSerialJobsDominate(t *testing.T) {
+	p := DefaultSynthParams()
+	p.Weeks = 2
+	log, err := Synthesize(rng.New(4), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shortSerial := 0
+	for _, r := range log.Records {
+		if r.AllocatedProcs == 1 && r.RunTime < 600 {
+			shortSerial++
+		}
+	}
+	if frac := float64(shortSerial) / float64(len(log.Records)); frac < 0.15 {
+		t.Errorf("short serial fraction = %v; the real-world leg needs plenty", frac)
+	}
+}

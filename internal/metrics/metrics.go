@@ -1,0 +1,135 @@
+// Package metrics computes the paper's evaluation quantities from raw
+// simulation results: the bounded stretch of Section II-B2, per-instance
+// maximum/average stretch, the degradation factor of Section V (ratio to
+// the best algorithm on the same instance), and the preemption/migration
+// cost summaries of Table II.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// StretchBound is the 30-second threshold of the bounded stretch.
+const StretchBound = 30.0
+
+// BoundedStretch returns max(turnaround, 30) / max(execTime, 30), the
+// bounded-slowdown variant the paper adopts so that short (often failing)
+// jobs do not dominate the metric. It is always >= 1 for feasible
+// schedules (turnaround >= execTime).
+func BoundedStretch(turnaround, execTime float64) float64 {
+	return math.Max(turnaround, StretchBound) / math.Max(execTime, StretchBound)
+}
+
+// InstanceSummary aggregates one simulation run.
+type InstanceSummary struct {
+	Algorithm  string
+	Trace      string
+	MaxStretch float64
+	AvgStretch float64
+	Makespan   float64
+	Jobs       int
+}
+
+// Summarize computes per-instance stretch statistics.
+func Summarize(res *sim.Result) InstanceSummary {
+	var s stats.Stream
+	for _, jr := range res.Jobs {
+		s.Add(BoundedStretch(jr.Turnaround, jr.Job.ExecTime))
+	}
+	return InstanceSummary{
+		Algorithm:  res.Algorithm,
+		Trace:      res.Trace,
+		MaxStretch: s.Max(),
+		AvgStretch: s.Mean(),
+		Makespan:   res.Makespan,
+		Jobs:       len(res.Jobs),
+	}
+}
+
+// DegradationFactors converts per-algorithm maximum stretches on one
+// instance into degradation factors: each value divided by the instance's
+// best (smallest) maximum stretch. The best algorithm scores exactly 1.
+func DegradationFactors(maxStretch map[string]float64) (map[string]float64, error) {
+	if len(maxStretch) == 0 {
+		return nil, fmt.Errorf("metrics: no algorithms to compare")
+	}
+	best := math.Inf(1)
+	for _, v := range maxStretch {
+		if v < best {
+			best = v
+		}
+	}
+	if !(best > 0) || math.IsInf(best, 1) {
+		return nil, fmt.Errorf("metrics: invalid best maximum stretch %g", best)
+	}
+	out := make(map[string]float64, len(maxStretch))
+	for alg, v := range maxStretch {
+		out[alg] = v / best
+	}
+	return out, nil
+}
+
+// CostSummary is one row of Table II for one instance: bandwidth in GB/s,
+// occurrences per hour, and occurrences per job, split between preemptions
+// and migrations.
+type CostSummary struct {
+	Algorithm   string
+	Trace       string
+	PmtnGBps    float64
+	MigGBps     float64
+	PmtnPerHour float64
+	MigPerHour  float64
+	PmtnPerJob  float64
+	MigPerJob   float64
+}
+
+// Costs derives Table II quantities from a run. Rates use the instance
+// makespan; per-job counts use the job population.
+func Costs(res *sim.Result) CostSummary {
+	c := CostSummary{Algorithm: res.Algorithm, Trace: res.Trace}
+	if res.Makespan > 0 {
+		c.PmtnGBps = res.PreemptionGB / res.Makespan
+		c.MigGBps = res.MigrationGB / res.Makespan
+		hours := res.Makespan / 3600
+		c.PmtnPerHour = float64(res.PreemptionOps) / hours
+		c.MigPerHour = float64(res.MigrationOps) / hours
+	}
+	if n := len(res.Jobs); n > 0 {
+		var pmtn, mig int
+		for _, jr := range res.Jobs {
+			pmtn += jr.Pauses
+			mig += jr.Migrations
+		}
+		c.PmtnPerJob = float64(pmtn) / float64(n)
+		c.MigPerJob = float64(mig) / float64(n)
+	}
+	return c
+}
+
+// Validate sanity-checks a result against the scheduling model: every job
+// finished after submission, no job finished before its dedicated execution
+// time, and counters are non-negative. Tests run it on every simulation.
+func Validate(res *sim.Result) error {
+	for _, jr := range res.Jobs {
+		if jr.Finish < jr.Job.Submit {
+			return fmt.Errorf("metrics: job %d finished before submission", jr.Job.ID)
+		}
+		// A job cannot run faster than with yield 1.0 from submission.
+		if jr.Turnaround < jr.Job.ExecTime-1e-6 {
+			return fmt.Errorf("metrics: job %d turnaround %.3f below execution time %.3f",
+				jr.Job.ID, jr.Turnaround, jr.Job.ExecTime)
+		}
+		if jr.Pauses < 0 || jr.Migrations < 0 {
+			return fmt.Errorf("metrics: job %d has negative operation counts", jr.Job.ID)
+		}
+	}
+	if res.PreemptionOps < 0 || res.MigrationOps < 0 ||
+		res.PreemptionGB < -1e-9 || res.MigrationGB < -1e-9 {
+		return fmt.Errorf("metrics: negative cost accounting in %s/%s", res.Algorithm, res.Trace)
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestBoundedStretch(t *testing.T) {
+	cases := []struct{ turn, exec, want float64 }{
+		{7200, 3600, 2},
+		{10, 5, 1},          // both under the bound
+		{300, 10, 10},       // bounded denominator
+		{40, 10, 40.0 / 30}, // numerator above, denominator below
+		{30, 30, 1},
+	}
+	for _, c := range cases {
+		if got := BoundedStretch(c.turn, c.exec); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("BoundedStretch(%v, %v) = %v, want %v", c.turn, c.exec, got, c.want)
+		}
+	}
+}
+
+// Property: bounded stretch is >= 1 whenever turnaround >= execTime, and
+// monotone in the turnaround.
+func TestBoundedStretchProperties(t *testing.T) {
+	f := func(exec16, wait16 uint16) bool {
+		exec := 1 + float64(exec16)
+		turn := exec + float64(wait16)
+		s := BoundedStretch(turn, exec)
+		if s < 1-1e-12 {
+			return false
+		}
+		return BoundedStretch(turn+10, exec) >= s-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mkResult() *sim.Result {
+	return &sim.Result{
+		Algorithm: "test-alg",
+		Trace:     "test-trace",
+		Nodes:     4,
+		Makespan:  7200,
+		Jobs: []sim.JobResult{
+			{Job: workload.Job{ID: 0, ExecTime: 3600, Tasks: 2, MemReq: 0.5}, Start: 0, Finish: 3600, Turnaround: 3600, Pauses: 1, Migrations: 0},
+			{Job: workload.Job{ID: 1, ExecTime: 1800, Tasks: 1, MemReq: 0.25}, Start: 100, Finish: 7200, Turnaround: 7200, Pauses: 1, Migrations: 2},
+		},
+		PreemptionOps: 2,
+		MigrationOps:  2,
+		PreemptionGB:  36,
+		MigrationGB:   72,
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(mkResult())
+	if s.Algorithm != "test-alg" || s.Trace != "test-trace" || s.Jobs != 2 {
+		t.Errorf("summary metadata: %+v", s)
+	}
+	// Stretches: 3600/3600 = 1; 7200/1800 = 4.
+	if s.MaxStretch != 4 {
+		t.Errorf("MaxStretch = %v, want 4", s.MaxStretch)
+	}
+	if math.Abs(s.AvgStretch-2.5) > 1e-12 {
+		t.Errorf("AvgStretch = %v, want 2.5", s.AvgStretch)
+	}
+}
+
+func TestDegradationFactors(t *testing.T) {
+	deg, err := DegradationFactors(map[string]float64{"x": 3, "y": 12, "z": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg["x"] != 1 || deg["z"] != 1 || deg["y"] != 4 {
+		t.Errorf("degradation: %v", deg)
+	}
+	if _, err := DegradationFactors(map[string]float64{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := DegradationFactors(map[string]float64{"a": 0}); err == nil {
+		t.Error("zero best accepted")
+	}
+	if _, err := DegradationFactors(map[string]float64{"a": math.Inf(1)}); err == nil {
+		t.Error("infinite best accepted")
+	}
+}
+
+// Property: the minimum degradation factor is exactly 1 and all factors
+// are >= 1.
+func TestDegradationFactorsProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		in := map[string]float64{}
+		for i, v := range vals {
+			in[string(rune('a'+i%26))+string(rune('0'+i/26))] = 1 + float64(v)
+		}
+		deg, err := DegradationFactors(in)
+		if err != nil {
+			return false
+		}
+		min := math.Inf(1)
+		for _, d := range deg {
+			if d < 1-1e-12 {
+				return false
+			}
+			if d < min {
+				min = d
+			}
+		}
+		return math.Abs(min-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosts(t *testing.T) {
+	c := Costs(mkResult())
+	// Makespan 7200s = 2h.
+	if math.Abs(c.PmtnGBps-36.0/7200) > 1e-12 {
+		t.Errorf("PmtnGBps = %v", c.PmtnGBps)
+	}
+	if math.Abs(c.MigGBps-72.0/7200) > 1e-12 {
+		t.Errorf("MigGBps = %v", c.MigGBps)
+	}
+	if math.Abs(c.PmtnPerHour-1) > 1e-12 {
+		t.Errorf("PmtnPerHour = %v, want 1", c.PmtnPerHour)
+	}
+	if math.Abs(c.MigPerHour-1) > 1e-12 {
+		t.Errorf("MigPerHour = %v, want 1", c.MigPerHour)
+	}
+	if math.Abs(c.PmtnPerJob-1) > 1e-12 {
+		t.Errorf("PmtnPerJob = %v, want 1", c.PmtnPerJob)
+	}
+	if math.Abs(c.MigPerJob-1) > 1e-12 {
+		t.Errorf("MigPerJob = %v, want 1", c.MigPerJob)
+	}
+}
+
+func TestCostsEmptyResult(t *testing.T) {
+	c := Costs(&sim.Result{Algorithm: "x", Trace: "y"})
+	if c.PmtnGBps != 0 || c.MigPerJob != 0 {
+		t.Errorf("empty result costs: %+v", c)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(mkResult()); err != nil {
+		t.Errorf("valid result rejected: %v", err)
+	}
+	tooFast := mkResult()
+	tooFast.Jobs[0].Turnaround = 100 // below its 3600s execution time
+	if err := Validate(tooFast); err == nil {
+		t.Error("impossibly fast job accepted")
+	}
+	negOps := mkResult()
+	negOps.PreemptionOps = -1
+	if err := Validate(negOps); err == nil {
+		t.Error("negative ops accepted")
+	}
+	early := mkResult()
+	early.Jobs[0].Finish = -5
+	early.Jobs[0].Job.Submit = 0
+	if err := Validate(early); err == nil {
+		t.Error("finish before submission accepted")
+	}
+}

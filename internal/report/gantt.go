@@ -1,0 +1,131 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// GanttLane is one row of a Gantt chart: a labelled sequence of segments.
+type GanttLane struct {
+	Label    string
+	Segments []GanttSegment
+}
+
+// GanttSegment is one interval of a lane. State selects the glyph family:
+//
+//	"waiting"  -> '.'
+//	"paused"   -> 'p'
+//	"frozen"   -> '#'
+//	"running"  -> '1'..'9' by yield decile ('9' is full speed)
+type GanttSegment struct {
+	From, To float64
+	State    string
+	Yield    float64
+}
+
+// Gantt renders lanes into a fixed-width ASCII chart with a shared time
+// axis. Each character cell covers (maxTime-minTime)/width seconds; a cell
+// overlapped by several segments shows the one covering most of the cell.
+type Gantt struct {
+	Title string
+	Width int // plot columns, default 80
+	Lanes []GanttLane
+}
+
+func glyph(seg GanttSegment) byte {
+	switch seg.State {
+	case "waiting":
+		return '.'
+	case "paused":
+		return 'p'
+	case "frozen":
+		return '#'
+	case "running":
+		d := int(math.Round(seg.Yield * 9))
+		if d < 1 {
+			d = 1
+		}
+		if d > 9 {
+			d = 9
+		}
+		return byte('0' + d)
+	}
+	return '?'
+}
+
+// Render writes the chart to w.
+func (g *Gantt) Render(w io.Writer) error {
+	width := g.Width
+	if width <= 0 {
+		width = 80
+	}
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	for _, lane := range g.Lanes {
+		for _, seg := range lane.Segments {
+			minT = math.Min(minT, seg.From)
+			maxT = math.Max(maxT, seg.To)
+		}
+	}
+	if math.IsInf(minT, 1) {
+		return fmt.Errorf("report: gantt %q has no segments", g.Title)
+	}
+	if maxT <= minT {
+		maxT = minT + 1
+	}
+	cell := (maxT - minT) / float64(width)
+
+	labelWidth := 0
+	for _, lane := range g.Lanes {
+		if len(lane.Label) > labelWidth {
+			labelWidth = len(lane.Label)
+		}
+	}
+
+	var b strings.Builder
+	if g.Title != "" {
+		fmt.Fprintf(&b, "%s\n", g.Title)
+	}
+	for _, lane := range g.Lanes {
+		row := make([]byte, width)
+		cover := make([]float64, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		segs := append([]GanttSegment(nil), lane.Segments...)
+		sort.SliceStable(segs, func(a, bIdx int) bool { return segs[a].From < segs[bIdx].From })
+		for _, seg := range segs {
+			lo := int((seg.From - minT) / cell)
+			hi := int(math.Ceil((seg.To - minT) / cell))
+			if hi > width {
+				hi = width
+			}
+			for c := lo; c < hi; c++ {
+				cellStart := minT + float64(c)*cell
+				cellEnd := cellStart + cell
+				overlap := math.Min(seg.To, cellEnd) - math.Max(seg.From, cellStart)
+				if overlap > cover[c] {
+					cover[c] = overlap
+					row[c] = glyph(seg)
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelWidth, lane.Label, string(row))
+	}
+	axis := fmt.Sprintf("%-*s  %-12.4g%s%12.4g", labelWidth, "", minT,
+		strings.Repeat(" ", maxInt(0, width-24)), maxT)
+	fmt.Fprintf(&b, "%s\n", axis)
+	fmt.Fprintf(&b, "%-*s  legend: . waiting  p paused  # frozen(penalty)  1-9 running yield decile\n",
+		labelWidth, "")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

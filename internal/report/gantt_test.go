@@ -1,0 +1,102 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGanttRender(t *testing.T) {
+	g := &Gantt{
+		Title: "demo schedule",
+		Width: 40,
+		Lanes: []GanttLane{
+			{Label: "job 0", Segments: []GanttSegment{
+				{From: 0, To: 50, State: "running", Yield: 1.0},
+				{From: 50, To: 60, State: "paused"},
+				{From: 60, To: 80, State: "frozen"},
+				{From: 80, To: 100, State: "running", Yield: 0.5},
+			}},
+			{Label: "job 1", Segments: []GanttSegment{
+				{From: 0, To: 30, State: "waiting"},
+				{From: 30, To: 100, State: "running", Yield: 0.22},
+			}},
+		},
+	}
+	var b strings.Builder
+	if err := g.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "demo schedule") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(out, "\n")
+	var lane0 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "job 0") {
+			lane0 = l
+		}
+	}
+	if lane0 == "" {
+		t.Fatal("missing lane for job 0")
+	}
+	// Full-yield running shows '9', half yield '5' (0.5*9 rounds to 5
+	// via math.Round(4.5)=5), pause 'p', freeze '#'.
+	for _, want := range []string{"9", "5", "p", "#"} {
+		if !strings.Contains(lane0, want) {
+			t.Errorf("lane 0 missing %q: %q", want, lane0)
+		}
+	}
+	var lane1 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "job 1") {
+			lane1 = l
+		}
+	}
+	if !strings.Contains(lane1, ".") || !strings.Contains(lane1, "2") {
+		t.Errorf("lane 1 missing waiting/yield glyphs: %q", lane1)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Error("missing legend")
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	g := &Gantt{Lanes: []GanttLane{{Label: "x"}}}
+	var b strings.Builder
+	if err := g.Render(&b); err == nil {
+		t.Error("empty gantt rendered without error")
+	}
+}
+
+func TestGanttYieldGlyphBounds(t *testing.T) {
+	// Tiny positive yields round up to '1'; yields above 1 clamp at '9'.
+	if g := glyph(GanttSegment{State: "running", Yield: 0.01}); g != '1' {
+		t.Errorf("glyph(0.01) = %c", g)
+	}
+	if g := glyph(GanttSegment{State: "running", Yield: 2}); g != '9' {
+		t.Errorf("glyph(2) = %c", g)
+	}
+	if g := glyph(GanttSegment{State: "unknown"}); g != '?' {
+		t.Errorf("glyph(unknown) = %c", g)
+	}
+}
+
+func TestGanttDominantSegmentWins(t *testing.T) {
+	// Two segments share one cell; the one covering more of the cell
+	// chooses the glyph. Width 1 => one cell covering [0, 100).
+	g := &Gantt{
+		Width: 1,
+		Lanes: []GanttLane{{Label: "j", Segments: []GanttSegment{
+			{From: 0, To: 80, State: "running", Yield: 1},
+			{From: 80, To: 100, State: "paused"},
+		}}},
+	}
+	var b strings.Builder
+	if err := g.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "|9|") {
+		t.Errorf("dominant glyph not selected: %q", b.String())
+	}
+}

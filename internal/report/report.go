@@ -1,0 +1,204 @@
+// Package report renders experiment output: fixed-width text tables, CSV,
+// and ASCII line charts (used to draw the Figure 1 degradation-factor
+// curves on a logarithmic axis in a terminal).
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple fixed-width text table with a title and column headers.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of pre-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table to w with columns padded to their widest cell.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as CSV (headers first). Cells containing
+// commas or quotes are quoted.
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one labelled curve for an ASCII chart.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one (x, y) observation.
+type Point struct{ X, Y float64 }
+
+// Chart draws labelled series as an ASCII scatter/line chart. LogY plots
+// the y axis on a log10 scale, as in the paper's Figure 1.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 70)
+	Height int // plot area rows (default 20)
+	LogY   bool
+	Series []Series
+}
+
+// markers assigns one rune per series, cycling if necessary.
+var markers = []rune{'*', '+', 'o', 'x', '#', '@', '%', '&', '$'}
+
+// Render writes the chart to w.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 70
+	}
+	if height <= 0 {
+		height = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	ty := func(y float64) float64 {
+		if c.LogY {
+			return math.Log10(math.Max(y, 1e-12))
+		}
+		return y
+	}
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			minY = math.Min(minY, ty(p.Y))
+			maxY = math.Max(maxY, ty(p.Y))
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return fmt.Errorf("report: chart %q has no points", c.Title)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		for _, p := range s.Points {
+			col := int(math.Round((p.X - minX) / (maxX - minX) * float64(width-1)))
+			row := int(math.Round((ty(p.Y) - minY) / (maxY - minY) * float64(height-1)))
+			grid[height-1-row][col] = m
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yTick := func(row int) float64 {
+		v := minY + (maxY-minY)*float64(height-1-row)/float64(height-1)
+		if c.LogY {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	for row := 0; row < height; row++ {
+		label := "          "
+		if row == 0 || row == height-1 || row == height/2 {
+			label = fmt.Sprintf("%9.3g ", yTick(row))
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(grid[row]))
+	}
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s%-10.3g%s%10.3g\n", strings.Repeat(" ", 10), minX, strings.Repeat(" ", width-20), maxX)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "           x: %s   y: %s%s\n", c.XLabel, c.YLabel, logSuffix(c.LogY))
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "           %c %s\n", markers[si%len(markers)], s.Label)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func logSuffix(logY bool) string {
+	if logY {
+		return " (log scale)"
+	}
+	return ""
+}

@@ -1,0 +1,106 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("alpha", "1.00")
+	tbl.AddRow("a-much-longer-name", "2")
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator line = %q", lines[2])
+	}
+	// Columns aligned: "value" starts at the same offset in every row.
+	idx := strings.Index(lines[1], "value")
+	if got := strings.Index(lines[3], "1.00"); got != idx {
+		t.Errorf("column misaligned: %d vs %d\n%s", got, idx, out)
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "b"}}
+	tbl.AddRow("plain", `has,comma`)
+	tbl.AddRow(`has"quote`, "x")
+	var b strings.Builder
+	if err := tbl.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Errorf("comma cell not quoted: %q", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Errorf("quote cell not escaped: %q", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("missing header row: %q", out)
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	c := &Chart{
+		Title:  "test chart",
+		XLabel: "load",
+		YLabel: "degradation",
+		LogY:   true,
+		Series: []Series{
+			{Label: "one", Points: []Point{{0.1, 1}, {0.5, 10}, {0.9, 100}}},
+			{Label: "two", Points: []Point{{0.1, 5}, {0.5, 5}, {0.9, 5}}},
+		},
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "test chart") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* one") || !strings.Contains(out, "+ two") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "(log scale)") {
+		t.Error("missing log-scale note")
+	}
+	// Marker characters appear in the plot area.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("missing plot markers")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	var b strings.Builder
+	if err := c.Render(&b); err == nil {
+		t.Error("empty chart rendered without error")
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// A single point (zero x and y ranges) must not divide by zero.
+	c := &Chart{Series: []Series{{Label: "p", Points: []Point{{1, 1}}}}}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "*") {
+		t.Error("single point not plotted")
+	}
+}

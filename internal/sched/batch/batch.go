@@ -1,0 +1,210 @@
+// Package batch implements the paper's two baseline batch-scheduling
+// algorithms (Section IV-B): FCFS, which starts queued jobs strictly in
+// submission order as whole nodes free up, and EASY backfilling, which
+// additionally lets later jobs jump ahead when doing so does not delay the
+// reservation of the queue's head job. As in the paper, EASY is granted
+// perfect knowledge of job execution times, while the DFRS algorithms get
+// none.
+//
+// Batch allocations are integral and exclusive: each task receives a whole
+// node and the job runs with yield 1.0 from start to finish; batch
+// schedulers never preempt or migrate.
+package batch
+
+import (
+	"sort"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func init() {
+	sched.Register("fcfs", func() sim.Scheduler { return &FCFS{} })
+	sched.Register("easy", func() sim.Scheduler { return &EASY{} })
+}
+
+// nodePool tracks which nodes are exclusively held by batch jobs.
+type nodePool struct {
+	free []int // sorted free node ids
+}
+
+func newNodePool(n int) *nodePool {
+	p := &nodePool{free: make([]int, n)}
+	for i := range p.free {
+		p.free[i] = i
+	}
+	return p
+}
+
+func (p *nodePool) freeCount() int { return len(p.free) }
+
+// take removes and returns k nodes from the pool.
+func (p *nodePool) take(k int) []int {
+	nodes := append([]int(nil), p.free[:k]...)
+	p.free = p.free[k:]
+	return nodes
+}
+
+// give returns nodes to the pool, keeping it sorted for determinism.
+func (p *nodePool) give(nodes []int) {
+	p.free = append(p.free, nodes...)
+	sort.Ints(p.free)
+}
+
+// FCFS is the First-Come-First-Serve baseline: a strict FIFO queue with no
+// backfilling. The head of the queue blocks all later jobs until enough
+// nodes are free.
+type FCFS struct {
+	pool    *nodePool
+	queue   []int
+	holding map[int][]int // jid -> nodes held (the simulator clears a job's
+	// node list on completion, so batch schedulers do their own bookkeeping)
+}
+
+// Name implements sim.Scheduler.
+func (f *FCFS) Name() string { return "fcfs" }
+
+// Init implements sim.Scheduler.
+func (f *FCFS) Init(ctl *sim.Controller) {
+	f.pool = newNodePool(ctl.NumNodes())
+	f.queue = nil
+	f.holding = map[int][]int{}
+}
+
+// OnArrival implements sim.Scheduler.
+func (f *FCFS) OnArrival(ctl *sim.Controller, jid int) {
+	f.queue = append(f.queue, jid)
+	f.dispatch(ctl)
+}
+
+// OnCompletion implements sim.Scheduler.
+func (f *FCFS) OnCompletion(ctl *sim.Controller, jid int) {
+	f.pool.give(f.holding[jid])
+	delete(f.holding, jid)
+	f.dispatch(ctl)
+}
+
+// OnTimer implements sim.Scheduler; FCFS arms no timers.
+func (f *FCFS) OnTimer(*sim.Controller, int64) {}
+
+func (f *FCFS) dispatch(ctl *sim.Controller) {
+	for len(f.queue) > 0 {
+		head := ctl.Job(f.queue[0])
+		if head.Job.Tasks > f.pool.freeCount() {
+			return
+		}
+		nodes := f.pool.take(head.Job.Tasks)
+		ctl.Start(head.JID, nodes)
+		ctl.SetYield(head.JID, 1)
+		f.holding[head.JID] = nodes
+		f.queue = f.queue[1:]
+	}
+}
+
+// EASY is the EASY-backfilling baseline: FCFS plus backfilling of later
+// queued jobs whenever they cannot delay the earliest-possible start of the
+// queue's head job, computed from perfect execution-time estimates.
+type EASY struct {
+	pool    *nodePool
+	queue   []int
+	holding map[int][]int
+}
+
+// Name implements sim.Scheduler.
+func (e *EASY) Name() string { return "easy" }
+
+// Init implements sim.Scheduler.
+func (e *EASY) Init(ctl *sim.Controller) {
+	e.pool = newNodePool(ctl.NumNodes())
+	e.queue = nil
+	e.holding = map[int][]int{}
+}
+
+// OnArrival implements sim.Scheduler.
+func (e *EASY) OnArrival(ctl *sim.Controller, jid int) {
+	e.queue = append(e.queue, jid)
+	e.dispatch(ctl)
+}
+
+// OnCompletion implements sim.Scheduler.
+func (e *EASY) OnCompletion(ctl *sim.Controller, jid int) {
+	e.pool.give(e.holding[jid])
+	delete(e.holding, jid)
+	e.dispatch(ctl)
+}
+
+// OnTimer implements sim.Scheduler; EASY arms no timers.
+func (e *EASY) OnTimer(*sim.Controller, int64) {}
+
+func (e *EASY) start(ctl *sim.Controller, jid int) {
+	nodes := e.pool.take(ctl.Job(jid).Job.Tasks)
+	ctl.Start(jid, nodes)
+	ctl.SetYield(jid, 1)
+	e.holding[jid] = nodes
+}
+
+func (e *EASY) dispatch(ctl *sim.Controller) {
+	// Start jobs in FIFO order while they fit.
+	for len(e.queue) > 0 && ctl.Job(e.queue[0]).Job.Tasks <= e.pool.freeCount() {
+		e.start(ctl, e.queue[0])
+		e.queue = e.queue[1:]
+	}
+	if len(e.queue) == 0 {
+		return
+	}
+	// The head cannot start: give it a reservation at the earliest time
+	// enough nodes will be free, then backfill later jobs that do not
+	// interfere with that reservation.
+	for i := 1; i < len(e.queue); {
+		jid := e.queue[i]
+		ji := ctl.Job(jid)
+		if ji.Job.Tasks > e.pool.freeCount() {
+			i++
+			continue
+		}
+		shadow, extra := e.reservation(ctl)
+		finish := ctl.Now() + ji.Job.ExecTime
+		if finish <= shadow || ji.Job.Tasks <= extra {
+			e.start(ctl, jid)
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			// A started job changes the free pool (and possibly the
+			// reservation); rescan from the front of the backfill
+			// candidates.
+			i = 1
+			continue
+		}
+		i++
+	}
+}
+
+// reservation computes, with perfect estimates, the shadow time at which
+// the head job can start (when cumulative releases plus currently free
+// nodes first cover its size) and the number of extra nodes: nodes free at
+// the shadow time beyond what the head job needs. A backfill job that
+// finishes before the shadow time, or that is small enough to fit in the
+// extra nodes, cannot delay the head.
+func (e *EASY) reservation(ctl *sim.Controller) (shadow float64, extra int) {
+	need := ctl.Job(e.queue[0]).Job.Tasks
+	avail := e.pool.freeCount()
+	if avail >= need {
+		return ctl.Now(), avail - need
+	}
+	type release struct {
+		t     float64
+		tasks int
+	}
+	var rel []release
+	for _, jid := range ctl.JobsInState(sim.Running) {
+		rel = append(rel, release{t: ctl.EarliestFinish(jid), tasks: ctl.Job(jid).Job.Tasks})
+	}
+	sort.Slice(rel, func(a, b int) bool { return rel[a].t < rel[b].t })
+	for _, r := range rel {
+		avail += r.tasks
+		if avail >= need {
+			return r.t, avail - need
+		}
+	}
+	// Unreachable for valid traces (job size <= cluster size), but keep a
+	// safe fallback: no backfilling allowed.
+	return ctl.Now(), 0
+}

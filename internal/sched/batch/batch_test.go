@@ -1,0 +1,175 @@
+package batch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func jb(id int, submit float64, tasks int, exec float64) workload.Job {
+	return workload.Job{ID: id, Submit: submit, Tasks: tasks, CPUNeed: 1.0, MemReq: 0.1, ExecTime: exec}
+}
+
+func run(t *testing.T, alg sim.Scheduler, nodes int, jobs ...workload.Job) *sim.Result {
+	t.Helper()
+	tr := &workload.Trace{Name: "batch-test", Nodes: nodes, NodeMemGB: 8, Jobs: jobs}
+	simulator, err := sim.New(sim.Config{Trace: tr, CheckInvariants: true}, alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simulator.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.Validate(res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func byID(res *sim.Result) map[int]sim.JobResult {
+	out := map[int]sim.JobResult{}
+	for _, jr := range res.Jobs {
+		out[jr.Job.ID] = jr
+	}
+	return out
+}
+
+func TestFCFSSequencing(t *testing.T) {
+	// 2 nodes. Job 0 takes both for 100s; jobs 1 and 2 (1 node each)
+	// queue and start together at t=100.
+	res := run(t, &FCFS{}, 2,
+		jb(0, 0, 2, 100),
+		jb(1, 10, 1, 50),
+		jb(2, 20, 1, 50),
+	)
+	jr := byID(res)
+	if jr[0].Start != 0 || jr[0].Finish != 100 {
+		t.Errorf("job 0: %+v", jr[0])
+	}
+	if jr[1].Start != 100 || jr[2].Start != 100 {
+		t.Errorf("queued jobs started at %v and %v, want 100", jr[1].Start, jr[2].Start)
+	}
+}
+
+func TestFCFSHeadOfLineBlocking(t *testing.T) {
+	// 2 nodes. Job 0 uses one node for 100s. Job 1 needs both nodes and
+	// blocks job 2, which needs only the free node — strict FCFS must NOT
+	// let job 2 jump ahead.
+	res := run(t, &FCFS{}, 2,
+		jb(0, 0, 1, 100),
+		jb(1, 10, 2, 50),
+		jb(2, 20, 1, 10),
+	)
+	jr := byID(res)
+	if jr[1].Start != 100 {
+		t.Errorf("job 1 start = %v, want 100", jr[1].Start)
+	}
+	if jr[2].Start < jr[1].Start {
+		t.Errorf("FCFS let job 2 (start %v) pass job 1 (start %v)", jr[2].Start, jr[1].Start)
+	}
+}
+
+func TestEASYBackfills(t *testing.T) {
+	// Same instance as the blocking test: EASY backfills job 2 into the
+	// idle node because it finishes (t=30) before job 1's reservation
+	// (t=100).
+	res := run(t, &EASY{}, 2,
+		jb(0, 0, 1, 100),
+		jb(1, 10, 2, 50),
+		jb(2, 20, 1, 10),
+	)
+	jr := byID(res)
+	if jr[2].Start != 20 {
+		t.Errorf("job 2 start = %v, want 20 (backfilled)", jr[2].Start)
+	}
+	if jr[1].Start != 100 {
+		t.Errorf("job 1 start = %v, want 100 (reservation honored)", jr[1].Start)
+	}
+}
+
+func TestEASYDoesNotDelayReservation(t *testing.T) {
+	// Backfill candidate would run past the reservation and needs the
+	// reserved node: it must wait.
+	res := run(t, &EASY{}, 2,
+		jb(0, 0, 1, 100),  // node until t=100
+		jb(1, 10, 2, 50),  // reservation at t=100 for both nodes
+		jb(2, 20, 1, 500), // would block the reservation until t=520
+	)
+	jr := byID(res)
+	if jr[1].Start != 100 {
+		t.Errorf("job 1 start = %v, want 100", jr[1].Start)
+	}
+	if jr[2].Start < jr[1].Start {
+		t.Errorf("job 2 (start %v) delayed the reservation", jr[2].Start)
+	}
+}
+
+func TestEASYBackfillsOnExtraNodes(t *testing.T) {
+	// 3 nodes. Job 0 holds 1 node for 100s; job 1 needs 2 nodes -> it can
+	// start immediately... make job 0 hold 2 nodes instead. Job 1 needs 2
+	// nodes, reservation at t=100 using the freed nodes plus the spare;
+	// the spare count at reservation time is 1, so a long 1-node job 2
+	// may backfill onto the extra node even though it outlives the
+	// reservation.
+	res := run(t, &EASY{}, 3,
+		jb(0, 0, 2, 100),
+		jb(1, 10, 2, 50),
+		jb(2, 20, 1, 500),
+	)
+	jr := byID(res)
+	if jr[2].Start != 20 {
+		t.Errorf("job 2 start = %v, want 20 (fits in extra nodes)", jr[2].Start)
+	}
+	if jr[1].Start != 100 {
+		t.Errorf("job 1 start = %v, want 100", jr[1].Start)
+	}
+}
+
+func TestBatchNeverPreempts(t *testing.T) {
+	res := run(t, &EASY{}, 2,
+		jb(0, 0, 2, 50), jb(1, 5, 1, 30), jb(2, 9, 2, 40), jb(3, 11, 1, 20),
+	)
+	if res.PreemptionOps != 0 || res.MigrationOps != 0 {
+		t.Errorf("batch scheduler preempted/migrated: %d/%d", res.PreemptionOps, res.MigrationOps)
+	}
+	for _, jr := range res.Jobs {
+		// Exclusive nodes at yield 1: runtime equals execution time.
+		if math.Abs((jr.Finish-jr.Start)-jr.Job.ExecTime) > 1e-9 {
+			t.Errorf("job %d ran %v, want %v", jr.Job.ID, jr.Finish-jr.Start, jr.Job.ExecTime)
+		}
+	}
+}
+
+func TestFCFSFullClusterJob(t *testing.T) {
+	res := run(t, &FCFS{}, 4,
+		jb(0, 0, 4, 10),
+		jb(1, 1, 4, 10),
+	)
+	jr := byID(res)
+	if jr[0].Start != 0 || jr[1].Start != 10 {
+		t.Errorf("starts: %v, %v", jr[0].Start, jr[1].Start)
+	}
+}
+
+func TestNodePool(t *testing.T) {
+	p := newNodePool(4)
+	if p.freeCount() != 4 {
+		t.Fatalf("freeCount = %d", p.freeCount())
+	}
+	taken := p.take(3)
+	if len(taken) != 3 || p.freeCount() != 1 {
+		t.Fatalf("take: %v, free %d", taken, p.freeCount())
+	}
+	p.give(taken[1:2])
+	if p.freeCount() != 2 {
+		t.Fatalf("give: free %d", p.freeCount())
+	}
+	// Pool stays sorted for determinism.
+	if p.free[0] > p.free[1] {
+		t.Errorf("pool unsorted: %v", p.free)
+	}
+}

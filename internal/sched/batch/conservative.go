@@ -1,0 +1,163 @@
+package batch
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func init() {
+	sched.Register("conservative", func() sim.Scheduler { return &Conservative{} })
+}
+
+// Conservative implements conservative backfilling, the classical
+// alternative to EASY in the batch-scheduling literature the paper builds
+// its baselines from: *every* queued job holds a reservation (not just the
+// head), and a job may only backfill when it delays no reservation at all.
+// Like EASY it receives perfect execution-time estimates. It is not part of
+// the paper's evaluation but is the natural third batch comparator, and the
+// experiment harness accepts it anywhere "fcfs" or "easy" appear.
+type Conservative struct {
+	pool    *nodePool
+	queue   []int
+	holding map[int][]int
+}
+
+// Name implements sim.Scheduler.
+func (c *Conservative) Name() string { return "conservative" }
+
+// Init implements sim.Scheduler.
+func (c *Conservative) Init(ctl *sim.Controller) {
+	c.pool = newNodePool(ctl.NumNodes())
+	c.queue = nil
+	c.holding = map[int][]int{}
+}
+
+// OnArrival implements sim.Scheduler.
+func (c *Conservative) OnArrival(ctl *sim.Controller, jid int) {
+	c.queue = append(c.queue, jid)
+	c.dispatch(ctl)
+}
+
+// OnCompletion implements sim.Scheduler.
+func (c *Conservative) OnCompletion(ctl *sim.Controller, jid int) {
+	c.pool.give(c.holding[jid])
+	delete(c.holding, jid)
+	c.dispatch(ctl)
+}
+
+// OnTimer implements sim.Scheduler; no timers are used.
+func (c *Conservative) OnTimer(*sim.Controller, int64) {}
+
+// dispatch runs the conservative scheduling pass: simulate the future node
+// availability profile with perfect estimates, give every queued job its
+// earliest start in queue order, and start those whose reserved start is
+// now.
+func (c *Conservative) dispatch(ctl *sim.Controller) {
+	for {
+		started := c.dispatchOnce(ctl)
+		if !started {
+			return
+		}
+	}
+}
+
+// dispatchOnce plans reservations for the whole queue and starts at most
+// the first job whose reservation is the current instant. Restarting the
+// planning after every start keeps the profile exact.
+func (c *Conservative) dispatchOnce(ctl *sim.Controller) bool {
+	if len(c.queue) == 0 {
+		return false
+	}
+	now := ctl.Now()
+	// Build the availability profile from running jobs' exact finish
+	// times.
+	type release struct {
+		t     float64
+		tasks int
+	}
+	var rel []release
+	for _, jid := range ctl.JobsInState(sim.Running) {
+		rel = append(rel, release{t: ctl.EarliestFinish(jid), tasks: ctl.Job(jid).Job.Tasks})
+	}
+	sort.Slice(rel, func(a, b int) bool { return rel[a].t < rel[b].t })
+
+	// profile is a step function of available nodes over time, starting
+	// with the currently free pool and gaining nodes at each release. As
+	// jobs are (virtually) placed, capacity is subtracted from the
+	// affected steps.
+	times := []float64{now}
+	avail := []int{c.pool.freeCount()}
+	for _, r := range rel {
+		times = append(times, r.t)
+		avail = append(avail, avail[len(avail)-1]+r.tasks)
+	}
+	// earliestStart finds the first time at which `tasks` nodes are
+	// available continuously for `duration`.
+	earliestStart := func(tasks int, duration float64) (float64, int) {
+		for i := 0; i < len(times); i++ {
+			if avail[i] < tasks {
+				continue
+			}
+			end := times[i] + duration
+			feasible := true
+			for k := i + 1; k < len(times) && times[k] < end; k++ {
+				if avail[k] < tasks {
+					feasible = false
+					break
+				}
+			}
+			if feasible {
+				return times[i], i
+			}
+		}
+		// The profile ends with the full cluster free; always feasible at
+		// its last step.
+		return times[len(times)-1], len(times) - 1
+	}
+	// reserve subtracts capacity from every step the job overlaps,
+	// inserting a new step at its end so later steps regain the nodes.
+	reserve := func(startIdx int, tasks int, start, duration float64) {
+		end := start + duration
+		// Insert an end step if needed.
+		insertAt := len(times)
+		for k := startIdx; k < len(times); k++ {
+			if times[k] == end {
+				insertAt = -1
+				break
+			}
+			if times[k] > end {
+				insertAt = k
+				break
+			}
+		}
+		if insertAt >= 0 {
+			prev := avail[insertAt-1]
+			times = append(times[:insertAt], append([]float64{end}, times[insertAt:]...)...)
+			avail = append(avail[:insertAt], append([]int{prev}, avail[insertAt:]...)...)
+		}
+		for k := startIdx; k < len(times) && times[k] < end; k++ {
+			avail[k] -= tasks
+		}
+	}
+
+	for qi, jid := range c.queue {
+		ji := ctl.Job(jid)
+		start, idx := earliestStart(ji.Job.Tasks, ji.Job.ExecTime)
+		if start <= now+1e-9 && qi >= 0 {
+			// Starts now: take real nodes and dispatch.
+			if ji.Job.Tasks <= c.pool.freeCount() {
+				nodes := c.pool.take(ji.Job.Tasks)
+				ctl.Start(jid, nodes)
+				ctl.SetYield(jid, 1)
+				c.holding[jid] = nodes
+				c.queue = append(c.queue[:qi], c.queue[qi+1:]...)
+				return true
+			}
+		}
+		reserve(idx, ji.Job.Tasks, math.Max(start, now), ji.Job.ExecTime)
+	}
+	return false
+}

@@ -1,0 +1,252 @@
+// Package gang implements a gang scheduler, the classical time-sharing
+// alternative that Section VI of the paper contrasts DFRS against: tasks of
+// a parallel job execute in the same synchronized time slices across the
+// cluster's nodes, with distributed context switches at every slice
+// boundary.
+//
+// The implementation uses an Ousterhout-style matrix: rows are time slices,
+// columns are nodes; each job occupies one row on as many columns as it has
+// tasks. During its slice a job runs at full speed (yield 1); otherwise it
+// is suspended. The per-node memory constraint applies to the *sum over
+// rows* of a column's tasks, modelling the memory pressure that Section VI
+// identifies as gang scheduling's weakness — jobs whose memory does not fit
+// under the jobs already stacked on a column must wait, exactly the
+// behaviour the DFRS memory constraint was designed to preserve.
+//
+// The simulator cannot context-switch for free: changing the set of running
+// jobs is done through yield changes (zero-cost, as in real gang schedulers
+// where switching is seconds against multi-second slices), not through
+// pause/resume (which would charge the rescheduling penalty meant for
+// VM save/restore cycles). The quantum is configurable; the package
+// registers "gang" with a 60-second quantum (gang schedulers need slices
+// long against context-switch costs; Section VI).
+package gang
+
+import (
+	"fmt"
+
+	"repro/internal/floats"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// DefaultQuantum is the registered variant's time slice in seconds.
+const DefaultQuantum = 60.0
+
+const tickTag int64 = -2
+
+func init() {
+	sched.Register("gang", func() sim.Scheduler { return New(DefaultQuantum) })
+}
+
+// Scheduler is the gang scheduler.
+type Scheduler struct {
+	quantum float64
+	name    string
+
+	rows    []row
+	current int // row currently executing
+	memUse  []float64
+	// placed[jid] = row index.
+	placed map[int]int
+	queue  []int
+}
+
+type row struct {
+	jobs  []int
+	nodes map[int][]int // jid -> node per task
+	load  []float64     // per-node CPU need in this row
+}
+
+// New builds a gang scheduler with the given time quantum in seconds.
+func New(quantum float64) *Scheduler {
+	if quantum <= 0 {
+		quantum = DefaultQuantum
+	}
+	return &Scheduler{quantum: quantum, name: fmt.Sprintf("gang-%.0f", quantum)}
+}
+
+// Name implements sim.Scheduler. The registered default is named "gang".
+func (g *Scheduler) Name() string {
+	if g.quantum == DefaultQuantum {
+		return "gang"
+	}
+	return g.name
+}
+
+// Init implements sim.Scheduler.
+func (g *Scheduler) Init(ctl *sim.Controller) {
+	g.rows = nil
+	g.current = 0
+	g.memUse = make([]float64, ctl.NumNodes())
+	g.placed = map[int]int{}
+	g.queue = nil
+	ctl.SetTimer(ctl.Now()+g.quantum, tickTag)
+}
+
+// OnArrival implements sim.Scheduler.
+func (g *Scheduler) OnArrival(ctl *sim.Controller, jid int) {
+	if !g.tryPlace(ctl, jid) {
+		g.queue = append(g.queue, jid)
+		return
+	}
+	g.applySlice(ctl)
+}
+
+// OnCompletion implements sim.Scheduler.
+func (g *Scheduler) OnCompletion(ctl *sim.Controller, jid int) {
+	g.remove(ctl, jid)
+	g.admitQueued(ctl)
+	g.applySlice(ctl)
+}
+
+// OnTimer implements sim.Scheduler: advance to the next time slice.
+func (g *Scheduler) OnTimer(ctl *sim.Controller, tag int64) {
+	if tag != tickTag {
+		return
+	}
+	if len(g.rows) > 0 {
+		g.current = (g.current + 1) % len(g.rows)
+	}
+	g.admitQueued(ctl)
+	g.applySlice(ctl)
+	ctl.SetTimer(ctl.Now()+g.quantum, tickTag)
+}
+
+// tryPlace finds (or creates) a row with CPU room on enough columns whose
+// cumulative memory (across all rows) can take the job's tasks. Returns
+// false when the memory constraint blocks admission.
+func (g *Scheduler) tryPlace(ctl *sim.Controller, jid int) bool {
+	ji := ctl.Job(jid)
+	n := ctl.NumNodes()
+	for ri := range g.rows {
+		if nodes, ok := g.fitInRow(ji, &g.rows[ri], n); ok {
+			g.commit(ctl, jid, ri, nodes)
+			return true
+		}
+	}
+	// Open a fresh row.
+	fresh := row{nodes: map[int][]int{}, load: make([]float64, n)}
+	if nodes, ok := g.fitInRow(ji, &fresh, n); ok {
+		g.rows = append(g.rows, fresh)
+		g.commit(ctl, jid, len(g.rows)-1, nodes)
+		return true
+	}
+	return false
+}
+
+// fitInRow plans one node per task: the node must have CPU headroom within
+// the row (need sums to at most 1 per node per slice) and global memory
+// headroom across all rows.
+func (g *Scheduler) fitInRow(ji sim.JobInfo, r *row, n int) ([]int, bool) {
+	nodes := make([]int, 0, ji.Job.Tasks)
+	planLoad := make([]float64, n)
+	planMem := make([]float64, n)
+	for task := 0; task < ji.Job.Tasks; task++ {
+		found := -1
+		for node := 0; node < n; node++ {
+			if !floats.LessEq(r.load[node]+planLoad[node]+ji.Job.CPUNeed, 1) {
+				continue
+			}
+			if !floats.LessEq(g.memUse[node]+planMem[node]+ji.Job.MemReq, 1) {
+				continue
+			}
+			found = node
+			break
+		}
+		if found < 0 {
+			return nil, false
+		}
+		nodes = append(nodes, found)
+		planLoad[found] += ji.Job.CPUNeed
+		planMem[found] += ji.Job.MemReq
+	}
+	return nodes, true
+}
+
+func (g *Scheduler) commit(ctl *sim.Controller, jid, ri int, nodes []int) {
+	r := &g.rows[ri]
+	r.jobs = append(r.jobs, jid)
+	r.nodes[jid] = nodes
+	ji := ctl.Job(jid)
+	for _, node := range nodes {
+		r.load[node] += ji.Job.CPUNeed
+		g.memUse[node] += ji.Job.MemReq
+	}
+	g.placed[jid] = ri
+	ctl.Start(jid, nodes)
+}
+
+func (g *Scheduler) remove(ctl *sim.Controller, jid int) {
+	ri, ok := g.placed[jid]
+	if !ok {
+		return
+	}
+	delete(g.placed, jid)
+	r := &g.rows[ri]
+	ji := ctl.Job(jid)
+	for _, node := range r.nodes[jid] {
+		r.load[node] -= ji.Job.CPUNeed
+		g.memUse[node] -= ji.Job.MemReq
+		r.load[node] = floats.NonNeg(r.load[node])
+		g.memUse[node] = floats.NonNeg(g.memUse[node])
+	}
+	delete(r.nodes, jid)
+	for i, j := range r.jobs {
+		if j == jid {
+			r.jobs = append(r.jobs[:i], r.jobs[i+1:]...)
+			break
+		}
+	}
+	g.compactRows()
+}
+
+// compactRows drops empty trailing rows and clamps the current slice index.
+func (g *Scheduler) compactRows() {
+	out := g.rows[:0]
+	remap := make([]int, len(g.rows))
+	for ri := range g.rows {
+		if len(g.rows[ri].jobs) == 0 {
+			remap[ri] = -1
+			continue
+		}
+		remap[ri] = len(out)
+		out = append(out, g.rows[ri])
+	}
+	for jid, ri := range g.placed {
+		g.placed[jid] = remap[ri]
+	}
+	g.rows = out
+	if g.current >= len(g.rows) {
+		g.current = 0
+	}
+}
+
+func (g *Scheduler) admitQueued(ctl *sim.Controller) {
+	remaining := g.queue[:0]
+	for _, jid := range g.queue {
+		if ctl.Job(jid).State != sim.Pending || !g.tryPlace(ctl, jid) {
+			remaining = append(remaining, jid)
+		}
+	}
+	g.queue = remaining
+}
+
+// applySlice gives yield 1 to every job in the current row and 0 to all
+// other running jobs — the synchronized context switch. Jobs that completed
+// in the current event but whose OnCompletion has not fired yet still sit
+// in placed; they are skipped.
+func (g *Scheduler) applySlice(ctl *sim.Controller) {
+	yields := map[int]float64{}
+	for jid, ri := range g.placed {
+		if ctl.Job(jid).State != sim.Running {
+			continue
+		}
+		if len(g.rows) > 0 && ri == g.current {
+			yields[jid] = 1
+		} else {
+			yields[jid] = 0
+		}
+	}
+	sched.ApplyYields(ctl, yields)
+}

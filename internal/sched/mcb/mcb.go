@@ -1,0 +1,313 @@
+// Package mcb implements the paper's global DFRS algorithms built on
+// multi-capacity bin packing (Section III-B):
+//
+//   - DYNMCB8 repacks all jobs in the system at every event, maximizing the
+//     minimum yield by binary search over MCB8 feasibility;
+//   - DYNMCB8-PER-T does the same but only every T seconds, queueing
+//     arrivals until the next scheduling event;
+//   - DYNMCB8-ASAP-PER-T additionally starts arrivals immediately by greedy
+//     placement when memory allows;
+//   - DYNMCB8-STRETCH-PER-T replaces min-yield maximization with
+//     minimization of the estimated maximum stretch at the next event.
+//
+// Whenever no allocation exists however small the yield (a memory-bound
+// instance), the job with the smallest priority is removed from
+// consideration — paused if it was running — and the packing is retried.
+//
+// The package also provides the fairness extension sketched in the paper's
+// conclusion (Section VII): long-running jobs are excluded from the
+// average-yield improvement so that leftover CPU flows to short jobs.
+package mcb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/vectorpack"
+)
+
+// DefaultPeriod is the paper's scheduling period for the periodic variants
+// (10 minutes; Section III-B reports T=600 balances overhead and
+// reactivity against T=60 and T=3600).
+const DefaultPeriod = 600.0
+
+// tickTag is the timer tag used for periodic scheduling events.
+const tickTag int64 = -1
+
+func init() {
+	sched.Register("dynmcb8", func() sim.Scheduler { return New(Options{}) })
+	sched.Register("dynmcb8-per", func() sim.Scheduler {
+		return New(Options{Period: DefaultPeriod})
+	})
+	sched.Register("dynmcb8-asap-per", func() sim.Scheduler {
+		return New(Options{Period: DefaultPeriod, ASAP: true})
+	})
+	sched.Register("dynmcb8-stretch-per", func() sim.Scheduler {
+		return New(Options{Period: DefaultPeriod, Stretch: true})
+	})
+	// A4 extension: periodic variant with the fairness decay of
+	// Section VII's future-work discussion.
+	sched.Register("dynmcb8-per-fair", func() sim.Scheduler {
+		return New(Options{Period: DefaultPeriod, FairnessAge: 2 * 3600})
+	})
+}
+
+// Options selects a DYNMCB8 variant.
+type Options struct {
+	// Period is the scheduling period in seconds; 0 means schedule at
+	// every event (plain DYNMCB8).
+	Period float64
+	// ASAP starts arrivals immediately via greedy placement when memory
+	// allows instead of queueing them until the next period.
+	ASAP bool
+	// Stretch switches the optimization from maximizing the minimum yield
+	// to minimizing the estimated maximum stretch.
+	Stretch bool
+	// Packer selects the bin-packing heuristic; nil means MCB8. Used by
+	// ablation A3.
+	Packer vectorpack.Packer
+	// Priority selects the removal priority function; nil means
+	// core.Priority.
+	Priority sched.PriorityFunc
+	// FairnessAge, when positive, enables the Section VII extension: jobs
+	// with more than this much virtual time are excluded from the
+	// average-yield improvement heuristic, so spare CPU is reserved for
+	// young jobs.
+	FairnessAge float64
+	// NameOverride sets a custom Name (for ablation variants).
+	NameOverride string
+}
+
+// Scheduler is the DYNMCB8 family implementation.
+type Scheduler struct {
+	opt    Options
+	packer vectorpack.Packer
+	prio   sched.PriorityFunc
+	name   string
+}
+
+// New builds a DYNMCB8-family scheduler from options.
+func New(opt Options) *Scheduler {
+	s := &Scheduler{opt: opt, packer: opt.Packer, prio: opt.Priority}
+	if s.packer == nil {
+		s.packer = vectorpack.MCB8{}
+	}
+	if s.prio == nil {
+		s.prio = core.Priority
+	}
+	s.name = opt.NameOverride
+	if s.name == "" {
+		switch {
+		case opt.Period <= 0:
+			s.name = "dynmcb8"
+		case opt.Stretch:
+			s.name = fmt.Sprintf("dynmcb8-stretch-per-%.0f", opt.Period)
+		case opt.ASAP:
+			s.name = fmt.Sprintf("dynmcb8-asap-per-%.0f", opt.Period)
+		case opt.FairnessAge > 0:
+			s.name = fmt.Sprintf("dynmcb8-per-fair-%.0f", opt.Period)
+		default:
+			s.name = fmt.Sprintf("dynmcb8-per-%.0f", opt.Period)
+		}
+	}
+	return s
+}
+
+// Name implements sim.Scheduler.
+func (s *Scheduler) Name() string { return s.name }
+
+// Init implements sim.Scheduler: periodic variants arm the first tick.
+func (s *Scheduler) Init(ctl *sim.Controller) {
+	if s.opt.Period > 0 {
+		ctl.SetTimer(ctl.Now()+s.opt.Period, tickTag)
+	}
+}
+
+// OnArrival implements sim.Scheduler.
+func (s *Scheduler) OnArrival(ctl *sim.Controller, jid int) {
+	if s.opt.Period <= 0 {
+		s.reschedule(ctl)
+		return
+	}
+	if s.opt.ASAP {
+		if nodes, ok := sched.GreedyPlace(ctl, jid); ok {
+			ctl.Start(jid, nodes)
+			sched.ApplyGreedyYields(ctl)
+		}
+	}
+	// Otherwise the job waits in the queue until the next tick.
+}
+
+// OnCompletion implements sim.Scheduler.
+func (s *Scheduler) OnCompletion(ctl *sim.Controller, _ int) {
+	if s.opt.Period <= 0 {
+		s.reschedule(ctl)
+	}
+	// Periodic variants let freed resources sit until the next tick
+	// (Section III-B); the ASAP variant only accelerates *arrivals*.
+}
+
+// OnTimer implements sim.Scheduler: a periodic scheduling event.
+func (s *Scheduler) OnTimer(ctl *sim.Controller, tag int64) {
+	if tag != tickTag {
+		return
+	}
+	s.reschedule(ctl)
+	ctl.SetTimer(ctl.Now()+s.opt.Period, tickTag)
+}
+
+// reschedule runs the global repack over every job in the system.
+func (s *Scheduler) reschedule(ctl *sim.Controller) {
+	now := ctl.Now()
+	candidates := ctl.ActiveJobs()
+	if len(candidates) == 0 {
+		return
+	}
+	var alloc *core.Allocation
+	var inSet []int
+	for {
+		inSet = candidates
+		var ok bool
+		alloc, ok = s.solve(ctl, inSet, now)
+		if ok {
+			break
+		}
+		// Memory-bound: drop the smallest-priority job and retry. Ties
+		// break toward the job with the largest memory footprint (fastest
+		// route back to feasibility), then by jid.
+		drop := s.pickRemoval(ctl, candidates, now)
+		next := candidates[:0:0]
+		for _, jid := range candidates {
+			if jid != drop {
+				next = append(next, jid)
+			}
+		}
+		candidates = next
+		if len(candidates) == 0 {
+			alloc = core.NewAllocation()
+			inSet = nil
+			break
+		}
+	}
+	s.apply(ctl, inSet, alloc)
+}
+
+// solve computes the optimal allocation for the given job set under the
+// variant's objective.
+func (s *Scheduler) solve(ctl *sim.Controller, jids []int, now float64) (*core.Allocation, bool) {
+	if s.opt.Stretch {
+		states := make([]core.StretchState, 0, len(jids))
+		for _, jid := range jids {
+			ji := ctl.Job(jid)
+			states = append(states, core.StretchState{
+				JobSpec:     sched.Spec(ji),
+				FlowTime:    ji.FlowTime(now),
+				VirtualTime: ji.VirtualTime,
+			})
+		}
+		alloc, ok := core.MinEstimatedStretch(states, ctl.NumNodes(), s.packer, s.opt.Period)
+		if !ok {
+			return nil, false
+		}
+		core.ImproveAverageStretch(states, alloc, ctl.NumNodes())
+		return alloc, true
+	}
+	specs := make([]core.JobSpec, 0, len(jids))
+	for _, jid := range jids {
+		specs = append(specs, sched.Spec(ctl.Job(jid)))
+	}
+	alloc, ok := core.MaxMinYield(specs, ctl.NumNodes(), s.packer)
+	if !ok {
+		return nil, false
+	}
+	var eligible func(core.JobSpec) bool
+	if s.opt.FairnessAge > 0 {
+		eligible = func(spec core.JobSpec) bool {
+			return ctl.Job(spec.ID).VirtualTime <= s.opt.FairnessAge
+		}
+	}
+	core.ImproveAverageYield(specs, alloc, ctl.NumNodes(), eligible)
+	return alloc, true
+}
+
+// pickRemoval selects the job to drop from a memory-bound instance.
+func (s *Scheduler) pickRemoval(ctl *sim.Controller, jids []int, now float64) int {
+	best := -1
+	bestPrio := math.Inf(1)
+	bestMem := -1.0
+	for _, jid := range jids {
+		ji := ctl.Job(jid)
+		p := s.prio(ji.FlowTime(now), ji.VirtualTime)
+		mem := float64(ji.Job.Tasks) * ji.Job.MemReq
+		switch {
+		case best < 0,
+			p < bestPrio,
+			p == bestPrio && mem > bestMem,
+			p == bestPrio && mem == bestMem && jid < best:
+			best, bestPrio, bestMem = jid, p, mem
+		}
+	}
+	return best
+}
+
+// apply transitions the cluster from its current allocation to alloc:
+// running jobs that fell out of the set are paused; running jobs whose node
+// multiset changed are paused and immediately resumed at the new location
+// (the simulator reclassifies this as a migration); pending and paused jobs
+// in the set are started/resumed; finally yields are applied through the
+// two-phase update.
+func (s *Scheduler) apply(ctl *sim.Controller, inSet []int, alloc *core.Allocation) {
+	keep := map[int]bool{}
+	for _, jid := range inSet {
+		keep[jid] = true
+	}
+	// Phase 1: release everything that leaves or moves.
+	for _, jid := range ctl.JobsInState(sim.Running) {
+		ji := ctl.Job(jid)
+		if !keep[jid] {
+			ctl.Pause(jid)
+			continue
+		}
+		if !sameMultiset(ji.Nodes, alloc.NodesOf[jid]) {
+			ctl.Pause(jid)
+		}
+	}
+	// Phase 2: occupy new placements (deterministic order).
+	ordered := append([]int(nil), inSet...)
+	sort.Ints(ordered)
+	yields := map[int]float64{}
+	for _, jid := range ordered {
+		nodes := alloc.NodesOf[jid]
+		switch ctl.Job(jid).State {
+		case sim.Pending:
+			ctl.Start(jid, nodes)
+		case sim.Paused:
+			ctl.Resume(jid, nodes)
+		case sim.Running:
+			// Unchanged multiset; nothing to move.
+		}
+		yields[jid] = alloc.YieldOf[jid]
+	}
+	sched.ApplyYields(ctl, yields)
+}
+
+func sameMultiset(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	count := map[int]int{}
+	for _, x := range a {
+		count[x]++
+	}
+	for _, x := range b {
+		count[x]--
+		if count[x] < 0 {
+			return false
+		}
+	}
+	return true
+}

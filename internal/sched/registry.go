@@ -1,0 +1,53 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Factory builds a fresh scheduler instance. Schedulers carry per-run state
+// (queues, timers), so every simulation must use a new instance.
+type Factory func() sim.Scheduler
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register adds a named scheduler constructor. It panics on duplicates;
+// registration happens in package init functions, where a duplicate is a
+// programming error.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("sched: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// New returns a fresh instance of the named scheduler.
+func New(name string) (sim.Scheduler, error) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown algorithm %q (known: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists all registered algorithm names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

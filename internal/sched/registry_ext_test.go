@@ -1,0 +1,44 @@
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+
+	// Populate the registry exactly as production binaries do.
+	_ "repro/internal/sched/batch"
+	_ "repro/internal/sched/greedy"
+	_ "repro/internal/sched/mcb"
+)
+
+func TestRegistryContainsPaperAlgorithms(t *testing.T) {
+	have := map[string]bool{}
+	for _, n := range sched.Names() {
+		have[n] = true
+	}
+	for _, want := range []string{
+		"fcfs", "easy", "greedy", "greedy-pmtn", "greedy-pmtn-migr",
+		"dynmcb8", "dynmcb8-per", "dynmcb8-asap-per", "dynmcb8-stretch-per",
+	} {
+		if !have[want] {
+			t.Errorf("algorithm %q not registered (have %v)", want, sched.Names())
+		}
+	}
+}
+
+func TestNewReturnsFreshInstances(t *testing.T) {
+	a, err := sched.New("fcfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sched.New("fcfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("New returned a shared instance; schedulers carry per-run state")
+	}
+	if a.Name() != "fcfs" {
+		t.Errorf("Name = %q", a.Name())
+	}
+}

@@ -1,0 +1,174 @@
+// Package sched provides the machinery shared by every scheduling
+// algorithm: greedy task placement, the pause/resume priority ordering of
+// Section III-A, uniform-yield application with the average-yield
+// improvement heuristic, and a registry mapping the paper's algorithm names
+// to constructors.
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/floats"
+	"repro/internal/sim"
+)
+
+// PriorityFunc computes a job's preemption priority from its flow time and
+// virtual time. The default is core.Priority; core.PriorityLinear is the
+// ablation variant.
+type PriorityFunc func(flowTime, virtualTime float64) float64
+
+// Spec converts a job snapshot into the DFRS core's resource description.
+func Spec(ji sim.JobInfo) core.JobSpec {
+	return core.JobSpec{
+		ID:      ji.JID,
+		Tasks:   ji.Job.Tasks,
+		CPUNeed: ji.Job.CPUNeed,
+		MemReq:  ji.Job.MemReq,
+		Weight:  ji.Job.Weight,
+	}
+}
+
+// GreedyPlace computes the GREEDY placement of Section III-A for job jid:
+// each task in turn goes to the node with the lowest CPU load among nodes
+// with enough free memory (taking the tasks already placed in this call
+// into account). It returns one node per task, or ok=false if some task
+// cannot be placed. Cluster state is not modified.
+func GreedyPlace(ctl *sim.Controller, jid int) (nodes []int, ok bool) {
+	return GreedyPlaceExtra(ctl, jid, nil)
+}
+
+// GreedyPlaceExtra is GreedyPlace with additional hypothetical usage:
+// extraMem/extraLoad (indexed by node, may be nil) are added on top of the
+// simulator's current state. This lets callers plan multi-job placements
+// (e.g. resuming several paused jobs in one event) without mutating the
+// cluster between decisions.
+func GreedyPlaceExtra(ctl *sim.Controller, jid int, extra *Plan) ([]int, bool) {
+	ji := ctl.Job(jid)
+	n := ctl.NumNodes()
+	nodes := make([]int, 0, ji.Job.Tasks)
+	planMem := make([]float64, n)
+	planLoad := make([]float64, n)
+	if extra != nil {
+		copy(planMem, extra.Mem)
+		copy(planLoad, extra.Load)
+	}
+	for task := 0; task < ji.Job.Tasks; task++ {
+		best := -1
+		bestLoad := math.Inf(1)
+		for node := 0; node < n; node++ {
+			if !floats.LessEq(ji.Job.MemReq, ctl.FreeMem(node)-planMem[node]) {
+				continue
+			}
+			load := ctl.CPULoad(node) + planLoad[node]
+			if load < bestLoad {
+				bestLoad = load
+				best = node
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		nodes = append(nodes, best)
+		planMem[best] += ji.Job.MemReq
+		planLoad[best] += ji.Job.CPUNeed
+	}
+	return nodes, true
+}
+
+// Plan accumulates hypothetical extra memory and CPU load per node across a
+// sequence of placement decisions within one scheduling event.
+type Plan struct {
+	Mem  []float64
+	Load []float64
+}
+
+// NewPlan returns an empty plan for n nodes.
+func NewPlan(n int) *Plan {
+	return &Plan{Mem: make([]float64, n), Load: make([]float64, n)}
+}
+
+// Commit adds a placement for the given job shape to the plan.
+func (p *Plan) Commit(nodes []int, memReq, cpuNeed float64) {
+	for _, node := range nodes {
+		p.Mem[node] += memReq
+		p.Load[node] += cpuNeed
+	}
+}
+
+// ByPriority returns jids sorted by the priority function evaluated at now:
+// ascending (pause candidates first) when asc is true, descending (resume
+// candidates first) otherwise. Infinite priorities sort last in ascending
+// order and first in descending order; ties break by jid for determinism.
+func ByPriority(ctl *sim.Controller, jids []int, now float64, pf PriorityFunc, asc bool) []int {
+	out := append([]int(nil), jids...)
+	prio := make(map[int]float64, len(out))
+	for _, jid := range out {
+		ji := ctl.Job(jid)
+		prio[jid] = pf(ji.FlowTime(now), ji.VirtualTime)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		pa, pb := prio[out[a]], prio[out[b]]
+		if pa != pb {
+			if asc {
+				return pa < pb
+			}
+			return pa > pb
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// ApplyGreedyYields implements the GREEDY yield rule of Section III-A on
+// the current set of running jobs: every job receives the uniform yield
+// 1/max(1, maxLoad), which maximizes the minimum yield for the current
+// placement, and the average-yield improvement heuristic then distributes
+// leftover CPU. Yields are applied through a zero-first two-phase update so
+// no node ever transiently exceeds capacity.
+func ApplyGreedyYields(ctl *sim.Controller) {
+	running := ctl.JobsInState(sim.Running)
+	if len(running) == 0 {
+		return
+	}
+	base := 1.0 / math.Max(1, ctl.MaxCPULoad())
+	alloc := core.NewAllocation()
+	specs := make([]core.JobSpec, 0, len(running))
+	for _, jid := range running {
+		ji := ctl.Job(jid)
+		specs = append(specs, Spec(ji))
+		alloc.NodesOf[jid] = ji.Nodes
+		alloc.YieldOf[jid] = base
+	}
+	alloc.MinYield = base
+	core.ImproveAverageYield(specs, alloc, ctl.NumNodes(), nil)
+	ApplyYields(ctl, alloc.YieldOf)
+}
+
+// ApplyYields sets each listed running job's yield, zeroing all of them
+// first so that no intermediate state oversubscribes a node's CPU.
+func ApplyYields(ctl *sim.Controller, yields map[int]float64) {
+	jids := make([]int, 0, len(yields))
+	for jid := range yields {
+		jids = append(jids, jid)
+	}
+	sort.Ints(jids)
+	for _, jid := range jids {
+		ctl.SetYield(jid, 0)
+	}
+	for _, jid := range jids {
+		ctl.SetYield(jid, floats.Clamp01(yields[jid]))
+	}
+}
+
+// BackoffDelay returns the bounded exponential backoff of Section III-A for
+// the given number of failed scheduling attempts: min(2^12, 2^count)
+// seconds.
+func BackoffDelay(count int) float64 {
+	const cap = 1 << 12
+	if count >= 12 {
+		return cap
+	}
+	return float64(int(1) << count)
+}

@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floats"
+)
+
+// Controller is the interface the simulator hands to scheduling algorithms.
+// It exposes read access to cluster and job state and the mutating
+// operations of Section II-B1: starting jobs, setting per-job yields,
+// pausing (preempting), resuming and migrating. All mutations take effect
+// instantaneously in simulated time; resumes and migrations additionally
+// freeze the job for the configured rescheduling penalty, which the
+// algorithms do not observe.
+//
+// Misuse (starting a non-pending job, oversubscribing memory, yields
+// violating node CPU capacity) panics: schedulers in this repository are
+// trusted code and such a call is always a bug.
+type Controller struct {
+	sim *Simulator
+}
+
+// Now returns the current simulated time in seconds.
+func (c *Controller) Now() float64 { return c.sim.now }
+
+// NumNodes returns the cluster size.
+func (c *Controller) NumNodes() int { return len(c.sim.usedCPU) }
+
+// NumJobs returns the number of jobs in the trace.
+func (c *Controller) NumJobs() int { return len(c.sim.jobs) }
+
+// Job returns a read-only snapshot of job jid.
+func (c *Controller) Job(jid int) JobInfo {
+	j := c.sim.jobs[jid]
+	var nodes []int
+	if j.nodes != nil {
+		nodes = append([]int(nil), j.nodes...)
+	}
+	return JobInfo{
+		JID:         jid,
+		Job:         j.job,
+		State:       j.state,
+		Nodes:       nodes,
+		Yield:       j.yield,
+		VirtualTime: j.virtual,
+		Remaining:   j.remaining,
+		FrozenUntil: j.frozenUntil,
+		Attempts:    j.attempts,
+		LastPause:   j.lastPauseTime,
+	}
+}
+
+// JobsInState returns the jids of all jobs currently in the given state, in
+// increasing jid order (deterministic). Jobs whose submission time lies in
+// the future are invisible to schedulers and never returned, even though
+// they sit in the Pending state internally.
+func (c *Controller) JobsInState(state JobState) []int {
+	var out []int
+	for jid, j := range c.sim.jobs {
+		if j.state == state && j.job.Submit <= c.sim.now {
+			out = append(out, jid)
+		}
+	}
+	return out
+}
+
+// ActiveJobs returns the jids of all jobs currently in the system and
+// holding or wanting resources: submitted-pending, running and paused.
+func (c *Controller) ActiveJobs() []int {
+	var out []int
+	for jid, j := range c.sim.jobs {
+		if j.state != Done && j.job.Submit <= c.sim.now {
+			out = append(out, jid)
+		}
+	}
+	return out
+}
+
+// CPULoad returns the paper's CPU load of a node: the sum of the CPU needs
+// of the tasks allocated to it (which may exceed 1).
+func (c *Controller) CPULoad(node int) float64 { return c.sim.cpuLoad[node] }
+
+// AllocatedCPU returns the CPU fraction of a node currently promised to
+// tasks (sum of need x yield; at most 1).
+func (c *Controller) AllocatedCPU(node int) float64 { return c.sim.usedCPU[node] }
+
+// UsedMem returns the memory fraction of a node currently allocated.
+func (c *Controller) UsedMem(node int) float64 { return c.sim.usedMem[node] }
+
+// FreeMem returns the free memory fraction of a node.
+func (c *Controller) FreeMem(node int) float64 {
+	return floats.NonNeg(1 - c.sim.usedMem[node])
+}
+
+// MaxCPULoad returns the maximum CPU load over all nodes (the paper's
+// capital lambda), used by the greedy yield rule 1/max(1, lambda).
+func (c *Controller) MaxCPULoad() float64 {
+	m := 0.0
+	for _, l := range c.sim.cpuLoad {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// IncrementAttempts bumps and returns the job's failed-attempt counter,
+// which greedy algorithms use for bounded exponential backoff.
+func (c *Controller) IncrementAttempts(jid int) int {
+	c.sim.jobs[jid].attempts++
+	return c.sim.jobs[jid].attempts
+}
+
+// SetTimer schedules an OnTimer callback with the given tag at time at
+// (>= now).
+func (c *Controller) SetTimer(at float64, tag int64) {
+	if at < c.sim.now {
+		panic(fmt.Sprintf("sim: timer at %.3f in the past (now %.3f)", at, c.sim.now))
+	}
+	c.sim.queue.Push(at, timerEv{tag: tag})
+}
+
+// Start dispatches pending job jid onto the given nodes (one entry per
+// task; a node may appear multiple times) with an initial yield of zero.
+// Callers must follow up with SetYield. Starting fresh carries no penalty.
+func (c *Controller) Start(jid int, nodes []int) {
+	s := c.sim
+	j := s.jobs[jid]
+	if j.state != Pending {
+		panic(fmt.Sprintf("sim: Start on job %d in state %v", jid, j.state))
+	}
+	if len(nodes) != j.job.Tasks {
+		panic(fmt.Sprintf("sim: Start job %d with %d nodes for %d tasks", jid, len(nodes), j.job.Tasks))
+	}
+	s.occupyNodes(j, nodes)
+	j.state = Running
+	j.yield = 0
+	if j.start < 0 {
+		j.start = s.now
+	}
+	s.record(TlStart, jid, 0, 0)
+}
+
+// Pause preempts running job jid: it stops progressing and releases its
+// nodes immediately. The preemption occurrence and the save traffic
+// (tasks x memReq x nodeMemGB) are accounted to Table II's preemption
+// columns; the matching restore traffic is accounted on Resume.
+func (c *Controller) Pause(jid int) {
+	s := c.sim
+	j := s.jobs[jid]
+	if j.state != Running {
+		panic(fmt.Sprintf("sim: Pause on job %d in state %v", jid, j.state))
+	}
+	j.lastNodes = append([]int(nil), j.nodes...)
+	s.releaseNodes(j)
+	j.state = Paused
+	j.yield = 0
+	j.pauses++
+	j.lastPauseTime = s.now
+	j.lastPauseWas = true
+	s.result.PreemptionOps++
+	s.result.PreemptionGB += s.memGB(j)
+	s.record(TlPause, jid, 0, 0)
+}
+
+// Resume restarts paused job jid on the given nodes with yield zero and
+// freezes it for the rescheduling penalty. Two special cases implement the
+// paper's semantics for same-event pause+resume (GREEDY-PMTN-MIGR and the
+// DYNMCB8 repacks):
+//
+//   - resumed in the same event on the same node multiset: the pause never
+//     physically happened; its occurrence and traffic are refunded and no
+//     penalty applies;
+//   - resumed in the same event on a different node multiset: the pair is
+//     reclassified as one migration (the pause's occurrence and save
+//     traffic move to the migration columns).
+func (c *Controller) Resume(jid int, nodes []int) {
+	s := c.sim
+	j := s.jobs[jid]
+	if j.state != Paused {
+		panic(fmt.Sprintf("sim: Resume on job %d in state %v", jid, j.state))
+	}
+	if len(nodes) != j.job.Tasks {
+		panic(fmt.Sprintf("sim: Resume job %d with %d nodes for %d tasks", jid, len(nodes), j.job.Tasks))
+	}
+	sameEvent := j.lastPauseWas && j.lastPauseTime == s.now
+	switch {
+	case sameEvent && sameMultiset(nodes, j.lastNodes):
+		// Undo: the job never actually moved.
+		j.pauses--
+		s.result.PreemptionOps--
+		s.result.PreemptionGB -= s.memGB(j)
+		s.occupyNodes(j, nodes)
+		j.state = Running
+		j.yield = 0
+	case sameEvent:
+		// Reclassify pause+resume as a single migration.
+		j.pauses--
+		j.migrations++
+		s.result.PreemptionOps--
+		s.result.PreemptionGB -= s.memGB(j)
+		s.result.MigrationOps++
+		s.result.MigrationGB += 2 * s.memGB(j)
+		s.occupyNodes(j, nodes)
+		j.state = Running
+		j.yield = 0
+		j.frozenUntil = s.now + s.cfg.Penalty
+	default:
+		s.result.PreemptionGB += s.memGB(j) // restore traffic
+		s.occupyNodes(j, nodes)
+		j.state = Running
+		j.yield = 0
+		j.frozenUntil = s.now + s.cfg.Penalty
+	}
+	j.lastPauseWas = false
+	if j.start < 0 {
+		j.start = s.now
+	}
+	s.record(TlResume, jid, 0, j.frozenUntil)
+}
+
+// Migrate moves running job jid to a new node multiset in one step
+// (pause+resume within the event), counting one migration occurrence and a
+// save+restore of the job's memory, and freezing the job for the penalty.
+// Migrating onto the identical node multiset is a no-op.
+func (c *Controller) Migrate(jid int, nodes []int) {
+	s := c.sim
+	j := s.jobs[jid]
+	if j.state != Running {
+		panic(fmt.Sprintf("sim: Migrate on job %d in state %v", jid, j.state))
+	}
+	if len(nodes) != j.job.Tasks {
+		panic(fmt.Sprintf("sim: Migrate job %d with %d nodes for %d tasks", jid, len(nodes), j.job.Tasks))
+	}
+	if sameMultiset(nodes, j.nodes) {
+		return
+	}
+	s.releaseNodes(j)
+	s.occupyNodes(j, nodes)
+	j.yield = 0
+	j.migrations++
+	j.frozenUntil = s.now + s.cfg.Penalty
+	s.result.MigrationOps++
+	s.result.MigrationGB += 2 * s.memGB(j)
+	s.record(TlMigrate, jid, 0, j.frozenUntil)
+}
+
+// SetYield assigns job jid's yield, adjusting every hosting node's
+// allocated CPU. It panics if the new allocation would exceed any node's
+// CPU capacity beyond tolerance.
+func (c *Controller) SetYield(jid int, y float64) {
+	s := c.sim
+	j := s.jobs[jid]
+	if j.state != Running {
+		panic(fmt.Sprintf("sim: SetYield on job %d in state %v", jid, j.state))
+	}
+	if y < 0 || y > 1+capTol {
+		panic(fmt.Sprintf("sim: SetYield job %d to %g outside [0,1]", jid, y))
+	}
+	if y > 1 {
+		y = 1
+	}
+	delta := j.job.CPUNeed * (y - j.yield)
+	for _, node := range j.nodes {
+		s.usedCPU[node] += delta
+		if s.usedCPU[node] > 1+capTol {
+			panic(fmt.Sprintf("sim: %s oversubscribed CPU on node %d (%.6f) at t=%.1f",
+				s.sched.Name(), node, s.usedCPU[node], s.now))
+		}
+		s.usedCPU[node] = floats.NonNeg(s.usedCPU[node])
+	}
+	j.yield = y
+	s.record(TlYield, jid, y, 0)
+}
+
+// Penalty returns the configured rescheduling penalty. Exposed for tests
+// and reports only; the paper's algorithms never consult it.
+func (c *Controller) Penalty() float64 { return c.sim.cfg.Penalty }
+
+// sameMultiset reports whether a and b contain the same nodes with the same
+// multiplicities. Tasks are interchangeable, so allocations differing only
+// by a permutation are physically identical.
+func sameMultiset(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	count := map[int]int{}
+	for _, x := range a {
+		count[x]++
+	}
+	for _, x := range b {
+		count[x]--
+		if count[x] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EarliestFinish returns, assuming perfect knowledge of execution times and
+// current yields, the completion instant of running job jid. It is used by
+// the EASY baseline, which the paper grants perfect estimates; DFRS
+// algorithms must not call it.
+func (c *Controller) EarliestFinish(jid int) float64 {
+	j := c.sim.jobs[jid]
+	if j.state != Running || j.yield <= 0 {
+		return math.Inf(1)
+	}
+	from := math.Max(c.sim.now, j.frozenUntil)
+	return from + j.remaining/j.yield
+}

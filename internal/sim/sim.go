@@ -1,0 +1,455 @@
+// Package sim implements the discrete-event cluster simulator of
+// Section IV-A: a homogeneous cluster whose nodes can be fractionally
+// time-shared among VM-hosted tasks, with hard per-node memory constraints,
+// pause/resume/migration of jobs, a configurable rescheduling penalty that
+// the scheduling algorithms are unaware of, and the bandwidth/occurrence
+// accounting behind Table II.
+//
+// The simulator advances job progress in virtual time: a job with yield y
+// accumulates y seconds of virtual time per wall-clock second and completes
+// when its accumulated virtual time reaches its dedicated execution time.
+// A job hit by a preemption or migration is frozen (makes no progress) for
+// the rescheduling penalty while already occupying its destination nodes,
+// which is the paper's pessimistic pause/resume model of migration.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/eventq"
+	"repro/internal/floats"
+	"repro/internal/workload"
+)
+
+// capTol is the tolerance on node capacity sums; exceeding it indicates a
+// scheduler bug and panics, because no correct DFRS algorithm may
+// oversubscribe memory or allocated CPU.
+const capTol = 1e-6
+
+// JobState is the lifecycle state of a job inside the simulator.
+type JobState int
+
+const (
+	// Pending jobs have been submitted and hold no resources.
+	Pending JobState = iota
+	// Running jobs hold nodes and progress at their yield (unless frozen).
+	Running
+	// Paused jobs were preempted and hold no resources.
+	Paused
+	// Done jobs have completed.
+	Done
+)
+
+// String returns the lowercase state name.
+func (s JobState) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Paused:
+		return "paused"
+	case Done:
+		return "done"
+	}
+	return fmt.Sprintf("JobState(%d)", int(s))
+}
+
+// Scheduler is the algorithm under test. The simulator invokes exactly one
+// hook per event, after advancing job progress to the event time; the hook
+// inspects and mutates cluster state through the Controller.
+type Scheduler interface {
+	// Name identifies the algorithm in results and reports.
+	Name() string
+	// Init runs once before the first event (e.g. to arm periodic timers).
+	Init(ctl *Controller)
+	// OnArrival runs when job jid is submitted.
+	OnArrival(ctl *Controller, jid int)
+	// OnCompletion runs after job jid has completed and released its nodes.
+	OnCompletion(ctl *Controller, jid int)
+	// OnTimer runs when a timer armed with SetTimer fires.
+	OnTimer(ctl *Controller, tag int64)
+}
+
+// JobInfo is a read-only snapshot of one job's simulation state.
+type JobInfo struct {
+	JID         int
+	Job         workload.Job
+	State       JobState
+	Nodes       []int   // one node per task while Running, nil otherwise
+	Yield       float64 // current yield while Running
+	VirtualTime float64 // accumulated virtual seconds
+	Remaining   float64 // virtual seconds left until completion
+	FrozenUntil float64 // job makes no progress before this instant
+	Attempts    int     // scheduler-maintained failed-attempt counter
+	LastPause   float64 // time of the most recent pause, -1 if never paused
+}
+
+// FlowTime returns now minus the job's submission time.
+func (ji JobInfo) FlowTime(now float64) float64 { return now - ji.Job.Submit }
+
+type jobRT struct {
+	job         workload.Job
+	state       JobState
+	nodes       []int
+	yield       float64
+	virtual     float64
+	remaining   float64
+	frozenUntil float64
+	attempts    int
+
+	start         float64 // first dispatch time (-1 until started)
+	finish        float64
+	pauses        int
+	migrations    int
+	lastPauseTime float64 // for same-event pause+resume reclassification
+	lastPauseWas  bool
+	lastNodes     []int
+}
+
+// event payloads
+type (
+	arrivalEv    struct{ jid int }
+	completionEv struct{ gen uint64 }
+	timerEv      struct{ tag int64 }
+)
+
+// JobResult records the outcome of one job.
+type JobResult struct {
+	Job        workload.Job
+	Start      float64 // first dispatch time
+	Finish     float64
+	Turnaround float64 // Finish - Submit
+	Pauses     int
+	Migrations int
+}
+
+// Utilization returns the fraction of the cluster's CPU capacity that
+// delivered useful work over the schedule's makespan, or 0 for an empty
+// run. Lower makespans at equal work mean higher utilization — the paper's
+// under-subscription discussion (Section II-B2) in one number.
+func (r *Result) Utilization() float64 {
+	if r.Makespan <= 0 || r.Nodes == 0 {
+		return 0
+	}
+	return r.DeliveredCPUSeconds / (r.Makespan * float64(r.Nodes))
+}
+
+// SchedSample is one timing observation of the scheduler: how long one hook
+// invocation took with how many jobs in the system (pending+running+paused).
+type SchedSample struct {
+	JobsInSystem int
+	Seconds      float64
+}
+
+// Result is the outcome of a full simulation run.
+type Result struct {
+	Algorithm string
+	Trace     string
+	Nodes     int
+	Penalty   float64
+	Jobs      []JobResult
+	Makespan  float64 // completion time of the last job
+
+	PreemptionOps int
+	MigrationOps  int
+	PreemptionGB  float64 // data saved+restored due to preemptions
+	MigrationGB   float64 // data moved due to migrations
+
+	// DeliveredCPUSeconds is the total CPU work delivered across all
+	// tasks (integral over time of need x yield, summed over tasks). The
+	// paper's Section II-B2 motivates the average-yield heuristic with
+	// platform utilization; Utilization() derives it from this.
+	DeliveredCPUSeconds float64
+
+	SchedSamples []SchedSample   // empty unless Config.RecordSchedTimes
+	Timeline     []TimelineEvent // empty unless Config.RecordTimeline
+	Events       int             // number of simulation events processed
+}
+
+// Config configures one simulation run.
+type Config struct {
+	Trace *workload.Trace
+	// Penalty is the rescheduling penalty in seconds (0 or 300 in the
+	// paper's experiments) applied to every resume and migration.
+	Penalty float64
+	// CheckInvariants enables full state validation after every event
+	// (used by tests; expensive).
+	CheckInvariants bool
+	// RecordSchedTimes measures wall-clock time per scheduler invocation
+	// for the Section V timing study.
+	RecordSchedTimes bool
+	// RecordTimeline captures every per-job scheduling transition so the
+	// run can be rendered as a Gantt chart (Result.Timeline,
+	// Result.JobSegments).
+	RecordTimeline bool
+	// MaxSimTime aborts runs whose simulated clock passes this value
+	// (safety net against livelock; 0 disables).
+	MaxSimTime float64
+}
+
+// Simulator executes one scheduling algorithm over one trace.
+type Simulator struct {
+	cfg   Config
+	sched Scheduler
+
+	now     float64
+	jobs    []*jobRT
+	queue   eventq.Queue
+	ctl     Controller
+	usedCPU []float64 // sum over tasks of need*yield
+	cpuLoad []float64 // sum over tasks of need (the paper's "CPU load")
+	usedMem []float64
+
+	completionGen   uint64
+	pendingComplete *eventq.Event
+
+	remainingJobs int
+	result        Result
+}
+
+// New creates a simulator for the given configuration and algorithm. The
+// trace is validated eagerly.
+func New(cfg Config, sched Scheduler) (*Simulator, error) {
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("sim: nil trace")
+	}
+	if err := cfg.Trace.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Penalty < 0 {
+		return nil, fmt.Errorf("sim: negative penalty %g", cfg.Penalty)
+	}
+	s := &Simulator{cfg: cfg, sched: sched}
+	n := cfg.Trace.Nodes
+	s.usedCPU = make([]float64, n)
+	s.cpuLoad = make([]float64, n)
+	s.usedMem = make([]float64, n)
+	s.jobs = make([]*jobRT, len(cfg.Trace.Jobs))
+	for i, j := range cfg.Trace.Jobs {
+		s.jobs[i] = &jobRT{job: j, state: Pending, remaining: j.ExecTime, start: -1, lastPauseTime: -1}
+	}
+	s.remainingJobs = len(s.jobs)
+	s.ctl = Controller{sim: s}
+	s.result = Result{
+		Algorithm: sched.Name(),
+		Trace:     cfg.Trace.Name,
+		Nodes:     n,
+		Penalty:   cfg.Penalty,
+	}
+	return s, nil
+}
+
+// Run executes the simulation to completion and returns the result. A
+// simulation fails if the event queue drains while jobs remain (scheduler
+// livelock) or the simulated clock exceeds MaxSimTime.
+func (s *Simulator) Run() (*Result, error) {
+	for jid := range s.jobs {
+		s.queue.Push(s.jobs[jid].job.Submit, arrivalEv{jid: jid})
+	}
+	s.invoke(func() { s.sched.Init(&s.ctl) })
+	for s.remainingJobs > 0 {
+		ev := s.queue.Pop()
+		if ev == nil {
+			return nil, fmt.Errorf("sim: %s deadlocked at t=%.1f with %d jobs unfinished",
+				s.sched.Name(), s.now, s.remainingJobs)
+		}
+		if ev.Time < s.now-floats.Eps {
+			return nil, fmt.Errorf("sim: event time %.6f precedes clock %.6f", ev.Time, s.now)
+		}
+		s.advance(ev.Time)
+		s.result.Events++
+		switch p := ev.Payload.(type) {
+		case arrivalEv:
+			s.record(TlSubmit, p.jid, 0, 0)
+			s.invoke(func() { s.sched.OnArrival(&s.ctl, p.jid) })
+		case completionEv:
+			if p.gen != s.completionGen {
+				break // stale tentative completion
+			}
+			s.pendingComplete = nil
+			for _, jid := range s.finishDue() {
+				s.invoke(func() { s.sched.OnCompletion(&s.ctl, jid) })
+			}
+		case timerEv:
+			s.invoke(func() { s.sched.OnTimer(&s.ctl, p.tag) })
+		}
+		s.rescheduleCompletion()
+		if s.cfg.CheckInvariants {
+			if err := s.validate(); err != nil {
+				return nil, err
+			}
+		}
+		if s.cfg.MaxSimTime > 0 && s.now > s.cfg.MaxSimTime {
+			return nil, fmt.Errorf("sim: %s exceeded max simulated time %.0f with %d jobs unfinished",
+				s.sched.Name(), s.cfg.MaxSimTime, s.remainingJobs)
+		}
+	}
+	sort.Slice(s.result.Jobs, func(a, b int) bool { return s.result.Jobs[a].Job.ID < s.result.Jobs[b].Job.ID })
+	return &s.result, nil
+}
+
+func (s *Simulator) invoke(hook func()) {
+	if !s.cfg.RecordSchedTimes {
+		hook()
+		return
+	}
+	inSystem := 0
+	for _, j := range s.jobs {
+		if j.state != Done {
+			inSystem++
+		}
+	}
+	t0 := time.Now()
+	hook()
+	s.result.SchedSamples = append(s.result.SchedSamples, SchedSample{
+		JobsInSystem: inSystem,
+		Seconds:      time.Since(t0).Seconds(),
+	})
+}
+
+// advance moves the clock to t, accruing virtual time for running jobs.
+func (s *Simulator) advance(t float64) {
+	if t <= s.now {
+		s.now = math.Max(s.now, t)
+		return
+	}
+	for _, j := range s.jobs {
+		if j.state != Running || j.yield <= 0 {
+			continue
+		}
+		from := math.Max(s.now, j.frozenUntil)
+		if from >= t {
+			continue
+		}
+		progress := (t - from) * j.yield
+		j.virtual += progress
+		j.remaining = floats.NonNeg(j.remaining - progress)
+		s.result.DeliveredCPUSeconds += progress * j.job.CPUNeed * float64(j.job.Tasks)
+	}
+	s.now = t
+}
+
+// finishDue completes every running job whose remaining virtual time has
+// reached zero, releasing its resources, and returns their jids.
+func (s *Simulator) finishDue() []int {
+	var done []int
+	for jid, j := range s.jobs {
+		if j.state != Running || j.remaining > floats.Eps {
+			continue
+		}
+		s.releaseNodes(j)
+		j.state = Done
+		j.finish = s.now
+		j.yield = 0
+		s.remainingJobs--
+		s.result.Jobs = append(s.result.Jobs, JobResult{
+			Job:        j.job,
+			Start:      j.start,
+			Finish:     j.finish,
+			Turnaround: j.finish - j.job.Submit,
+			Pauses:     j.pauses,
+			Migrations: j.migrations,
+		})
+		if j.finish > s.result.Makespan {
+			s.result.Makespan = j.finish
+		}
+		s.record(TlFinish, jid, 0, 0)
+		done = append(done, jid)
+	}
+	return done
+}
+
+// rescheduleCompletion computes the earliest tentative completion across
+// running jobs and (re)arms the single completion event.
+func (s *Simulator) rescheduleCompletion() {
+	earliest := math.Inf(1)
+	for _, j := range s.jobs {
+		if j.state != Running || j.yield <= 0 {
+			continue
+		}
+		from := math.Max(s.now, j.frozenUntil)
+		t := from + j.remaining/j.yield
+		if t < earliest {
+			earliest = t
+		}
+	}
+	if s.pendingComplete != nil {
+		s.queue.Cancel(s.pendingComplete)
+		s.pendingComplete = nil
+	}
+	if !math.IsInf(earliest, 1) {
+		s.completionGen++
+		s.pendingComplete = s.queue.Push(earliest, completionEv{gen: s.completionGen})
+	}
+}
+
+func (s *Simulator) occupyNodes(j *jobRT, nodes []int) {
+	j.nodes = append([]int(nil), nodes...)
+	for _, node := range nodes {
+		s.cpuLoad[node] += j.job.CPUNeed
+		s.usedMem[node] += j.job.MemReq
+		if s.usedMem[node] > 1+capTol {
+			panic(fmt.Sprintf("sim: %s oversubscribed memory on node %d (%.6f) at t=%.1f",
+				s.sched.Name(), node, s.usedMem[node], s.now))
+		}
+	}
+}
+
+func (s *Simulator) releaseNodes(j *jobRT) {
+	for _, node := range j.nodes {
+		s.cpuLoad[node] -= j.job.CPUNeed
+		s.usedMem[node] -= j.job.MemReq
+		s.usedCPU[node] -= j.job.CPUNeed * j.yield
+		s.cpuLoad[node] = floats.NonNeg(s.cpuLoad[node])
+		s.usedMem[node] = floats.NonNeg(s.usedMem[node])
+		s.usedCPU[node] = floats.NonNeg(s.usedCPU[node])
+	}
+	j.nodes = nil
+}
+
+// memGB returns the job's total memory footprint in gigabytes, the unit of
+// Table II's bandwidth accounting.
+func (s *Simulator) memGB(j *jobRT) float64 {
+	return float64(j.job.Tasks) * j.job.MemReq * s.cfg.Trace.NodeMemGB
+}
+
+// validate is the paranoia check run after every event in tests.
+func (s *Simulator) validate() error {
+	usedCPU := make([]float64, len(s.usedCPU))
+	usedMem := make([]float64, len(s.usedMem))
+	for jid, j := range s.jobs {
+		switch j.state {
+		case Running:
+			if len(j.nodes) != j.job.Tasks {
+				return fmt.Errorf("sim: job %d running with %d of %d tasks placed", jid, len(j.nodes), j.job.Tasks)
+			}
+			if j.yield < -floats.Eps || j.yield > 1+capTol {
+				return fmt.Errorf("sim: job %d yield %g outside [0,1]", jid, j.yield)
+			}
+			for _, node := range j.nodes {
+				usedCPU[node] += j.job.CPUNeed * j.yield
+				usedMem[node] += j.job.MemReq
+			}
+		case Pending, Paused, Done:
+			if j.nodes != nil {
+				return fmt.Errorf("sim: job %d in state %v still holds nodes", jid, j.state)
+			}
+		}
+		if j.remaining < -floats.Eps {
+			return fmt.Errorf("sim: job %d has negative remaining work %g", jid, j.remaining)
+		}
+	}
+	for node := range usedCPU {
+		if usedCPU[node] > 1+capTol {
+			return fmt.Errorf("sim: node %d allocated CPU %.6f > 1", node, usedCPU[node])
+		}
+		if usedMem[node] > 1+capTol {
+			return fmt.Errorf("sim: node %d allocated memory %.6f > 1", node, usedMem[node])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUtilizationSingleJob(t *testing.T) {
+	// One 1-task job, need 0.5, exec 100s, yield 1 on a 4-node cluster:
+	// delivered = 0.5 * 100 = 50 CPU-seconds; makespan 100 on 4 nodes =
+	// 400 capacity -> utilization 12.5%.
+	res := mustRun(t, Config{Trace: trace(job(0, 0, 1, 100))}, startImmediately(1))
+	if got := res.DeliveredCPUSeconds; math.Abs(got-50) > 1e-6 {
+		t.Errorf("delivered = %v, want 50", got)
+	}
+	if got := res.Utilization(); math.Abs(got-0.125) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.125", got)
+	}
+}
+
+func TestUtilizationIndependentOfYield(t *testing.T) {
+	// Halving the yield doubles the makespan but delivers the same work,
+	// so utilization halves.
+	full := mustRun(t, Config{Trace: trace(job(0, 0, 1, 100))}, startImmediately(1))
+	half := mustRun(t, Config{Trace: trace(job(0, 0, 1, 100))}, startImmediately(0.5))
+	if math.Abs(full.DeliveredCPUSeconds-half.DeliveredCPUSeconds) > 1e-6 {
+		t.Errorf("delivered work changed with yield: %v vs %v",
+			full.DeliveredCPUSeconds, half.DeliveredCPUSeconds)
+	}
+	if math.Abs(half.Utilization()-full.Utilization()/2) > 1e-9 {
+		t.Errorf("utilization: full %v, half %v", full.Utilization(), half.Utilization())
+	}
+}
+
+func TestUtilizationEmptyResult(t *testing.T) {
+	r := &Result{}
+	if r.Utilization() != 0 {
+		t.Errorf("empty utilization = %v", r.Utilization())
+	}
+}
+
+func TestUtilizationMultiTask(t *testing.T) {
+	// 2 tasks x need 0.5 x 100s = 100 CPU-seconds on 4 nodes over 100s.
+	res := mustRun(t, Config{Trace: trace(job(0, 0, 2, 100))}, startImmediately(1))
+	if got := res.DeliveredCPUSeconds; math.Abs(got-100) > 1e-6 {
+		t.Errorf("delivered = %v, want 100", got)
+	}
+	if got := res.Utilization(); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.25", got)
+	}
+}

@@ -1,0 +1,143 @@
+// Package swf reads and writes the Standard Workload Format (SWF) of the
+// Parallel Workloads Archive, the format of the HPC2N log used in the
+// paper's Section IV-C. Each record is one line of 18 whitespace-separated
+// integer fields; missing values are -1; comment lines start with ';'.
+package swf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Record is one SWF job entry. Field names follow the SWF specification;
+// all values are int64 with -1 meaning "unknown" as in the format.
+type Record struct {
+	JobNumber      int64
+	SubmitTime     int64 // seconds from log start
+	WaitTime       int64 // seconds
+	RunTime        int64 // seconds
+	AllocatedProcs int64
+	AvgCPUTimeUsed int64 // seconds, per processor
+	UsedMemoryKB   int64 // kilobytes, per processor
+	RequestedProcs int64
+	RequestedTime  int64
+	RequestedMemKB int64 // kilobytes, per processor
+	Status         int64
+	UserID         int64
+	GroupID        int64
+	ExecutableNum  int64
+	QueueNum       int64
+	PartitionNum   int64
+	PrecedingJob   int64
+	ThinkTime      int64
+}
+
+// fields flattens a record into SWF column order.
+func (r Record) fields() [18]int64 {
+	return [18]int64{
+		r.JobNumber, r.SubmitTime, r.WaitTime, r.RunTime, r.AllocatedProcs,
+		r.AvgCPUTimeUsed, r.UsedMemoryKB, r.RequestedProcs, r.RequestedTime,
+		r.RequestedMemKB, r.Status, r.UserID, r.GroupID, r.ExecutableNum,
+		r.QueueNum, r.PartitionNum, r.PrecedingJob, r.ThinkTime,
+	}
+}
+
+func fromFields(f [18]int64) Record {
+	return Record{
+		JobNumber: f[0], SubmitTime: f[1], WaitTime: f[2], RunTime: f[3],
+		AllocatedProcs: f[4], AvgCPUTimeUsed: f[5], UsedMemoryKB: f[6],
+		RequestedProcs: f[7], RequestedTime: f[8], RequestedMemKB: f[9],
+		Status: f[10], UserID: f[11], GroupID: f[12], ExecutableNum: f[13],
+		QueueNum: f[14], PartitionNum: f[15], PrecedingJob: f[16], ThinkTime: f[17],
+	}
+}
+
+// Log is a parsed SWF file: its records plus the header comments (the
+// lines starting with ';', stripped of the marker).
+type Log struct {
+	Header  []string
+	Records []Record
+}
+
+// Parse reads an SWF stream. Lines with fewer than 18 fields are padded
+// with -1 (some archive logs truncate trailing unknowns); blank lines are
+// skipped.
+func Parse(r io.Reader) (*Log, error) {
+	log := &Log{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			log.Header = append(log.Header, strings.TrimSpace(strings.TrimPrefix(line, ";")))
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) > 18 {
+			return nil, fmt.Errorf("swf: line %d has %d fields (max 18)", lineno, len(parts))
+		}
+		var f [18]int64
+		for i := range f {
+			f[i] = -1
+		}
+		for i, p := range parts {
+			v, err := strconv.ParseInt(p, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("swf: line %d field %d: %v", lineno, i+1, err)
+			}
+			f[i] = v
+		}
+		log.Records = append(log.Records, fromFields(f))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("swf: %v", err)
+	}
+	return log, nil
+}
+
+// Write serializes the log in SWF format.
+func (l *Log) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, h := range l.Header {
+		if _, err := fmt.Fprintf(bw, "; %s\n", h); err != nil {
+			return err
+		}
+	}
+	for _, rec := range l.Records {
+		f := rec.fields()
+		for i, v := range f {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatInt(v, 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// HeaderValue extracts "Key: value" metadata from the header comments
+// (e.g. "MaxNodes", "MaxProcs"). It returns "" when absent.
+func (l *Log) HeaderValue(key string) string {
+	prefix := key + ":"
+	for _, h := range l.Header {
+		if strings.HasPrefix(h, prefix) {
+			return strings.TrimSpace(strings.TrimPrefix(h, prefix))
+		}
+	}
+	return ""
+}

@@ -1,0 +1,143 @@
+package swf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sample = `; Computer: Test Cluster
+; MaxNodes: 120
+; MaxProcs: 240
+1 0 5 600 4 550 204800 4 700 204800 1 101 5 3 1 1 -1 -1
+2 60 10 120 1 100 -1 1 -1 -1 0 102 5 3 1 1 -1 -1
+3 120 0 60 16 -1 102400 16 100 102400 1 103 6 4 2 1 2 30
+`
+
+func TestParse(t *testing.T) {
+	log, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Records) != 3 {
+		t.Fatalf("%d records", len(log.Records))
+	}
+	if len(log.Header) != 3 {
+		t.Fatalf("%d header lines", len(log.Header))
+	}
+	r := log.Records[0]
+	if r.JobNumber != 1 || r.SubmitTime != 0 || r.WaitTime != 5 || r.RunTime != 600 ||
+		r.AllocatedProcs != 4 || r.AvgCPUTimeUsed != 550 || r.UsedMemoryKB != 204800 ||
+		r.RequestedProcs != 4 || r.RequestedTime != 700 || r.RequestedMemKB != 204800 ||
+		r.Status != 1 || r.UserID != 101 || r.GroupID != 5 || r.ExecutableNum != 3 ||
+		r.QueueNum != 1 || r.PartitionNum != 1 || r.PrecedingJob != -1 || r.ThinkTime != -1 {
+		t.Errorf("record 1 fields wrong: %+v", r)
+	}
+	if log.Records[1].UsedMemoryKB != -1 {
+		t.Error("missing memory should parse as -1")
+	}
+}
+
+func TestParsePadsShortLines(t *testing.T) {
+	log, err := Parse(strings.NewReader("7 10 -1 30 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := log.Records[0]
+	if r.JobNumber != 7 || r.AllocatedProcs != 2 {
+		t.Errorf("short line parsed wrong: %+v", r)
+	}
+	if r.ThinkTime != -1 || r.Status != -1 {
+		t.Error("missing trailing fields should default to -1")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("1 2 three\n")); err == nil {
+		t.Error("non-numeric field accepted")
+	}
+	long := strings.Repeat("1 ", 19)
+	if _, err := Parse(strings.NewReader(long + "\n")); err == nil {
+		t.Error("19-field line accepted")
+	}
+}
+
+func TestParseSkipsBlankLines(t *testing.T) {
+	log, err := Parse(strings.NewReader("\n\n1 0 -1 60 1\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Records) != 1 {
+		t.Errorf("%d records", len(log.Records))
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	orig, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != len(orig.Records) || len(back.Header) != len(orig.Header) {
+		t.Fatalf("round trip changed sizes")
+	}
+	for i := range orig.Records {
+		if back.Records[i] != orig.Records[i] {
+			t.Errorf("record %d changed: %+v vs %+v", i, orig.Records[i], back.Records[i])
+		}
+	}
+}
+
+// Property: any record survives a write/parse round trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(vals [18]int16) bool {
+		var rec Record
+		fields := [18]*int64{
+			&rec.JobNumber, &rec.SubmitTime, &rec.WaitTime, &rec.RunTime,
+			&rec.AllocatedProcs, &rec.AvgCPUTimeUsed, &rec.UsedMemoryKB,
+			&rec.RequestedProcs, &rec.RequestedTime, &rec.RequestedMemKB,
+			&rec.Status, &rec.UserID, &rec.GroupID, &rec.ExecutableNum,
+			&rec.QueueNum, &rec.PartitionNum, &rec.PrecedingJob, &rec.ThinkTime,
+		}
+		for i := range fields {
+			*fields[i] = int64(vals[i])
+		}
+		log := &Log{Records: []Record{rec}}
+		var buf bytes.Buffer
+		if err := log.Write(&buf); err != nil {
+			return false
+		}
+		back, err := Parse(&buf)
+		if err != nil || len(back.Records) != 1 {
+			return false
+		}
+		return back.Records[0] == rec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeaderValue(t *testing.T) {
+	log, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := log.HeaderValue("MaxNodes"); got != "120" {
+		t.Errorf("MaxNodes = %q", got)
+	}
+	if got := log.HeaderValue("Computer"); got != "Test Cluster" {
+		t.Errorf("Computer = %q", got)
+	}
+	if got := log.HeaderValue("Missing"); got != "" {
+		t.Errorf("Missing = %q", got)
+	}
+}

@@ -1,0 +1,329 @@
+// Package vectorpack implements bi-dimensional vector packing heuristics for
+// the DFRS resource-allocation problem: place tasks, each with a CPU
+// requirement and a memory requirement (both fractions of one node), onto
+// homogeneous nodes of capacity 1.0 x 1.0.
+//
+// The primary algorithm is MCB8, the multi-capacity bin-packing heuristic of
+// Leinberger, Karypis and Kumar ("Multi-capacity bin packing algorithms with
+// applications to job scheduling under multiple constraints", ICPP 1999) as
+// used by Stillwell et al.: tasks are split into a CPU-heavy and a
+// memory-heavy list, each sorted by non-increasing largest requirement, and
+// nodes are filled one at a time, always picking the first fitting task from
+// the list that goes against the node's current resource imbalance.
+//
+// First-fit-decreasing and best-fit-decreasing packers are provided as
+// ablation baselines.
+package vectorpack
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/floats"
+)
+
+// Item is one task to pack. CPU and Mem are fractions of a node in [0, 1].
+// Items are identified by index so callers can map assignments back to
+// (job, task) pairs.
+type Item struct {
+	CPU float64
+	Mem float64
+}
+
+// Packer places items onto n unit-capacity nodes. Pack returns, for each
+// item, the node index it was assigned to, and reports whether every item
+// was placed. A failed pack returns a nil assignment.
+type Packer interface {
+	Name() string
+	Pack(items []Item, n int) (assign []int, ok bool)
+}
+
+// Validate checks that an assignment respects both node capacities; it is
+// used by tests and the simulator's paranoia mode. A nil error means the
+// assignment is feasible.
+func Validate(items []Item, assign []int, n int) error {
+	if len(assign) != len(items) {
+		return fmt.Errorf("vectorpack: %d assignments for %d items", len(assign), len(items))
+	}
+	cpu := make([]float64, n)
+	mem := make([]float64, n)
+	for i, node := range assign {
+		if node < 0 || node >= n {
+			return fmt.Errorf("vectorpack: item %d assigned to node %d of %d", i, node, n)
+		}
+		cpu[node] += items[i].CPU
+		mem[node] += items[i].Mem
+	}
+	for node := 0; node < n; node++ {
+		if floats.Greater(cpu[node], 1) {
+			return fmt.Errorf("vectorpack: node %d CPU %.6f > 1", node, cpu[node])
+		}
+		if floats.Greater(mem[node], 1) {
+			return fmt.Errorf("vectorpack: node %d memory %.6f > 1", node, mem[node])
+		}
+	}
+	return nil
+}
+
+// MCB8 is the multi-capacity bin-packing heuristic used by every DYNMCB8
+// scheduler variant. The zero value is ready to use.
+type MCB8 struct{}
+
+// Name returns "mcb8".
+func (MCB8) Name() string { return "mcb8" }
+
+// chain is a singly linked list over a sorted item order; placed items are
+// unlinked in O(1) so repeated first-fit scans never revisit them.
+type chain struct {
+	order []int // item indices in sorted order
+	next  []int // next[k] = position after k in the chain, len(order) = end
+	head  int
+}
+
+func newChain(order []int) *chain {
+	c := &chain{order: order, next: make([]int, len(order)), head: 0}
+	for k := range c.next {
+		c.next[k] = k + 1
+	}
+	return c
+}
+
+// headItem returns the first item index in the chain, or -1 if empty.
+func (c *chain) headItem() int {
+	if c.head >= len(c.order) {
+		return -1
+	}
+	return c.order[c.head]
+}
+
+// firstFit finds the first chained item fitting (cpuFree, memFree), unlinks
+// it and returns its item index, or -1.
+func (c *chain) firstFit(items []Item, cpuFree, memFree float64) int {
+	prev := -1
+	for k := c.head; k < len(c.order); k = c.next[k] {
+		idx := c.order[k]
+		if floats.LessEq(items[idx].CPU, cpuFree) && floats.LessEq(items[idx].Mem, memFree) {
+			if prev < 0 {
+				c.head = c.next[k]
+			} else {
+				c.next[prev] = c.next[k]
+			}
+			return idx
+		}
+		prev = k
+	}
+	return -1
+}
+
+// unlinkHead removes the chain's first element.
+func (c *chain) unlinkHead() {
+	if c.head < len(c.order) {
+		c.head = c.next[c.head]
+	}
+}
+
+// Pack implements Packer.
+func (MCB8) Pack(items []Item, n int) ([]int, bool) {
+	if len(items) == 0 {
+		return []int{}, true
+	}
+	// Split into CPU-heavy and memory-heavy lists; ties go to the CPU list
+	// (arbitrary but fixed for determinism).
+	var cpuHeavy, memHeavy []int
+	for i, it := range items {
+		if it.CPU >= it.Mem {
+			cpuHeavy = append(cpuHeavy, i)
+		} else {
+			memHeavy = append(memHeavy, i)
+		}
+	}
+	// Sort each list by non-increasing largest requirement; break ties by
+	// index for determinism.
+	byMaxReq := func(list []int) {
+		sort.SliceStable(list, func(a, b int) bool {
+			ma := max2(items[list[a]].CPU, items[list[a]].Mem)
+			mb := max2(items[list[b]].CPU, items[list[b]].Mem)
+			if ma != mb {
+				return ma > mb
+			}
+			return list[a] < list[b]
+		})
+	}
+	byMaxReq(cpuHeavy)
+	byMaxReq(memHeavy)
+	cpuChain := newChain(cpuHeavy)
+	memChain := newChain(memHeavy)
+
+	assign := make([]int, len(items))
+	for i := range assign {
+		assign[i] = -1
+	}
+	placed := 0
+	for node := 0; node < n && placed < len(items); node++ {
+		cpuFree, memFree := 1.0, 1.0
+		// Seed the node with the head of either list, preferring the one
+		// with the overall largest requirement (the original algorithm
+		// picks arbitrarily; this choice is deterministic and matches
+		// the sort order). Every item fits on an empty node.
+		ch, cm := cpuChain.headItem(), memChain.headItem()
+		var seed int
+		var seedChain *chain
+		switch {
+		case ch < 0 && cm < 0:
+			continue
+		case cm < 0 || (ch >= 0 && max2(items[ch].CPU, items[ch].Mem) >= max2(items[cm].CPU, items[cm].Mem)):
+			seed, seedChain = ch, cpuChain
+		default:
+			seed, seedChain = cm, memChain
+		}
+		seedChain.unlinkHead()
+		assign[seed] = node
+		cpuFree -= items[seed].CPU
+		memFree -= items[seed].Mem
+		placed++
+		// Keep filling: pick from the list that goes against the node's
+		// current imbalance.
+		for {
+			var primary, secondary *chain
+			if cpuFree >= memFree {
+				// More CPU headroom than memory: prefer a CPU-heavy task.
+				primary, secondary = cpuChain, memChain
+			} else {
+				primary, secondary = memChain, cpuChain
+			}
+			idx := primary.firstFit(items, cpuFree, memFree)
+			if idx < 0 {
+				idx = secondary.firstFit(items, cpuFree, memFree)
+			}
+			if idx < 0 {
+				break
+			}
+			assign[idx] = node
+			cpuFree -= items[idx].CPU
+			memFree -= items[idx].Mem
+			placed++
+		}
+	}
+	if placed < len(items) {
+		return nil, false
+	}
+	return assign, true
+}
+
+// FirstFitDecreasing packs items in non-increasing order of their largest
+// requirement onto the first node with room. Ablation baseline A3.
+type FirstFitDecreasing struct{}
+
+// Name returns "ffd".
+func (FirstFitDecreasing) Name() string { return "ffd" }
+
+// Pack implements Packer.
+func (FirstFitDecreasing) Pack(items []Item, n int) ([]int, bool) {
+	order := sortedByMaxReq(items)
+	assign := make([]int, len(items))
+	for i := range assign {
+		assign[i] = -1
+	}
+	cpuFree := fullNodes(n)
+	memFree := fullNodes(n)
+	for _, idx := range order {
+		placedNode := -1
+		for node := 0; node < n; node++ {
+			if floats.LessEq(items[idx].CPU, cpuFree[node]) && floats.LessEq(items[idx].Mem, memFree[node]) {
+				placedNode = node
+				break
+			}
+		}
+		if placedNode < 0 {
+			return nil, false
+		}
+		assign[idx] = placedNode
+		cpuFree[placedNode] -= items[idx].CPU
+		memFree[placedNode] -= items[idx].Mem
+	}
+	return assign, true
+}
+
+// BestFitDecreasing packs items in non-increasing order of largest
+// requirement onto the feasible node with the least remaining slack
+// (CPU+memory). Ablation baseline A3.
+type BestFitDecreasing struct{}
+
+// Name returns "bfd".
+func (BestFitDecreasing) Name() string { return "bfd" }
+
+// Pack implements Packer.
+func (BestFitDecreasing) Pack(items []Item, n int) ([]int, bool) {
+	order := sortedByMaxReq(items)
+	assign := make([]int, len(items))
+	for i := range assign {
+		assign[i] = -1
+	}
+	cpuFree := fullNodes(n)
+	memFree := fullNodes(n)
+	for _, idx := range order {
+		best := -1
+		bestSlack := 3.0
+		for node := 0; node < n; node++ {
+			if !floats.LessEq(items[idx].CPU, cpuFree[node]) || !floats.LessEq(items[idx].Mem, memFree[node]) {
+				continue
+			}
+			slack := cpuFree[node] - items[idx].CPU + memFree[node] - items[idx].Mem
+			if slack < bestSlack {
+				bestSlack = slack
+				best = node
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		assign[idx] = best
+		cpuFree[best] -= items[idx].CPU
+		memFree[best] -= items[idx].Mem
+	}
+	return assign, true
+}
+
+// ByName returns the packer registered under name ("mcb8", "ffd", "bfd").
+func ByName(name string) (Packer, error) {
+	switch name {
+	case "mcb8":
+		return MCB8{}, nil
+	case "ffd":
+		return FirstFitDecreasing{}, nil
+	case "bfd":
+		return BestFitDecreasing{}, nil
+	}
+	return nil, fmt.Errorf("vectorpack: unknown packer %q", name)
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sortedByMaxReq(items []Item) []int {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ma := max2(items[order[a]].CPU, items[order[a]].Mem)
+		mb := max2(items[order[b]].CPU, items[order[b]].Mem)
+		if ma != mb {
+			return ma > mb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+func fullNodes(n int) []float64 {
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = 1
+	}
+	return f
+}

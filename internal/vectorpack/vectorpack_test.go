@@ -1,0 +1,196 @@
+package vectorpack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var allPackers = []Packer{MCB8{}, FirstFitDecreasing{}, BestFitDecreasing{}}
+
+func TestPackEmpty(t *testing.T) {
+	for _, p := range allPackers {
+		assign, ok := p.Pack(nil, 3)
+		if !ok || len(assign) != 0 {
+			t.Errorf("%s: empty pack failed", p.Name())
+		}
+	}
+}
+
+func TestPackSingleItem(t *testing.T) {
+	for _, p := range allPackers {
+		assign, ok := p.Pack([]Item{{CPU: 0.5, Mem: 0.5}}, 1)
+		if !ok || assign[0] != 0 {
+			t.Errorf("%s: single item pack: %v %v", p.Name(), assign, ok)
+		}
+	}
+}
+
+func TestPackInfeasible(t *testing.T) {
+	// Three items of 0.6 memory cannot share two nodes.
+	items := []Item{{CPU: 0.1, Mem: 0.6}, {CPU: 0.1, Mem: 0.6}, {CPU: 0.1, Mem: 0.6}}
+	for _, p := range allPackers {
+		if _, ok := p.Pack(items, 2); ok {
+			t.Errorf("%s: infeasible instance packed", p.Name())
+		}
+	}
+}
+
+func TestPackExactFit(t *testing.T) {
+	// Four 0.5x0.5 items exactly fill two nodes.
+	items := []Item{
+		{CPU: 0.5, Mem: 0.5}, {CPU: 0.5, Mem: 0.5},
+		{CPU: 0.5, Mem: 0.5}, {CPU: 0.5, Mem: 0.5},
+	}
+	for _, p := range allPackers {
+		assign, ok := p.Pack(items, 2)
+		if !ok {
+			t.Errorf("%s: exact fit failed", p.Name())
+			continue
+		}
+		if err := Validate(items, assign, 2); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+// TestMCB8Balancing checks the defining property of MCB8: it packs
+// complementary (CPU-heavy + memory-heavy) items together where a naive
+// first fit would fragment. Two nodes, two CPU-heavy and two memory-heavy
+// items that only fit pairwise complementary.
+func TestMCB8Balancing(t *testing.T) {
+	items := []Item{
+		{CPU: 0.9, Mem: 0.1}, // cpu-heavy
+		{CPU: 0.9, Mem: 0.1},
+		{CPU: 0.1, Mem: 0.9}, // mem-heavy
+		{CPU: 0.1, Mem: 0.9},
+	}
+	assign, ok := MCB8{}.Pack(items, 2)
+	if !ok {
+		t.Fatal("MCB8 failed a feasible complementary instance")
+	}
+	if err := Validate(items, assign, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Each node must hold one of each kind.
+	if assign[0] == assign[1] {
+		t.Errorf("both CPU-heavy items on node %d: %v", assign[0], assign)
+	}
+	if assign[2] == assign[3] {
+		t.Errorf("both memory-heavy items on node %d: %v", assign[2], assign)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	items := []Item{{CPU: 0.7, Mem: 0.2}, {CPU: 0.5, Mem: 0.2}}
+	if err := Validate(items, []int{0, 0}, 1); err == nil {
+		t.Error("CPU oversubscription not detected")
+	}
+	if err := Validate(items, []int{0, 1}, 2); err != nil {
+		t.Errorf("valid assignment rejected: %v", err)
+	}
+	if err := Validate(items, []int{0}, 2); err == nil {
+		t.Error("length mismatch not detected")
+	}
+	if err := Validate(items, []int{0, 5}, 2); err == nil {
+		t.Error("out-of-range node not detected")
+	}
+	memItems := []Item{{CPU: 0.1, Mem: 0.8}, {CPU: 0.1, Mem: 0.8}}
+	if err := Validate(memItems, []int{0, 0}, 1); err == nil {
+		t.Error("memory oversubscription not detected")
+	}
+}
+
+// randomItems draws n items with requirements in (0, maxReq].
+func randomItems(r *rand.Rand, n int, maxReq float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			CPU: r.Float64() * maxReq,
+			Mem: 0.01 + r.Float64()*(maxReq-0.01),
+		}
+	}
+	return items
+}
+
+// Property: whenever a packer reports success, the assignment is valid.
+func TestPackSoundnessProperty(t *testing.T) {
+	f := func(seed int64, nItems, nNodes uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(nNodes%16)
+		items := randomItems(r, int(nItems%64), 0.8)
+		for _, p := range allPackers {
+			assign, ok := p.Pack(items, n)
+			if ok {
+				if err := Validate(items, assign, n); err != nil {
+					t.Logf("%s: %v", p.Name(), err)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any instance that first-fit can pack, MCB8 can pack too after
+// relaxation is not guaranteed in general — but an instance where every
+// item fits on its own node and there are enough nodes must always pack.
+func TestPackTrivialFeasibilityProperty(t *testing.T) {
+	f := func(seed int64, nItems uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nItems % 32)
+		items := randomItems(r, n, 0.99)
+		for _, p := range allPackers {
+			if _, ok := p.Pack(items, len(items)); n > 0 && !ok {
+				t.Logf("%s failed with one node per item", p.Name())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"mcb8", "ffd", "bfd"} {
+		p, err := ByName(name)
+		if err != nil || p.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown packer accepted")
+	}
+}
+
+// TestMCB8Determinism: identical inputs give identical assignments.
+func TestMCB8Determinism(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	items := randomItems(r, 40, 0.5)
+	a1, ok1 := MCB8{}.Pack(items, 10)
+	a2, ok2 := MCB8{}.Pack(items, 10)
+	if ok1 != ok2 {
+		t.Fatal("determinism: ok flags differ")
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("determinism: assignments differ at %d", i)
+		}
+	}
+}
+
+func BenchmarkMCB8Pack(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	items := randomItems(r, 500, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := (MCB8{}).Pack(items, 128); !ok {
+			b.Fatal("bench instance infeasible")
+		}
+	}
+}

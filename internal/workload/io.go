@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The trace file format is a small line-oriented text format so generated
+// workloads can be stored and replayed by the command-line tools:
+//
+//	# dfrs-trace v1
+//	# name: lublin-000
+//	# nodes: 128
+//	# nodemem_gb: 8
+//	id submit tasks cpu_need mem_req exec_time
+//	0 12.5 4 1.0 0.10 3600
+//	...
+//
+// Comment lines start with '#'; the single header row is required.
+
+// Encode serializes the trace in the dfrs trace format. When any job
+// carries a non-default weight, the optional seventh column is emitted.
+func (t *Trace) Encode(w io.Writer) error {
+	weighted := false
+	for _, j := range t.Jobs {
+		if j.Weight > 0 && j.Weight != 1 {
+			weighted = true
+			break
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# dfrs-trace v1\n")
+	fmt.Fprintf(bw, "# name: %s\n", t.Name)
+	fmt.Fprintf(bw, "# nodes: %d\n", t.Nodes)
+	fmt.Fprintf(bw, "# nodemem_gb: %g\n", t.NodeMemGB)
+	if weighted {
+		fmt.Fprintf(bw, "id submit tasks cpu_need mem_req exec_time weight\n")
+	} else {
+		fmt.Fprintf(bw, "id submit tasks cpu_need mem_req exec_time\n")
+	}
+	for _, j := range t.Jobs {
+		if weighted {
+			fmt.Fprintf(bw, "%d %.6f %d %.6f %.6f %.6f %.6f\n",
+				j.ID, j.Submit, j.Tasks, j.CPUNeed, j.MemReq, j.ExecTime, j.EffectiveWeight())
+		} else {
+			fmt.Fprintf(bw, "%d %.6f %d %.6f %.6f %.6f\n",
+				j.ID, j.Submit, j.Tasks, j.CPUNeed, j.MemReq, j.ExecTime)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace file written by Encode.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			meta := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			switch {
+			case strings.HasPrefix(meta, "name:"):
+				t.Name = strings.TrimSpace(strings.TrimPrefix(meta, "name:"))
+			case strings.HasPrefix(meta, "nodes:"):
+				v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(meta, "nodes:")))
+				if err != nil {
+					return nil, fmt.Errorf("workload: line %d: bad nodes: %v", lineno, err)
+				}
+				t.Nodes = v
+			case strings.HasPrefix(meta, "nodemem_gb:"):
+				v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(meta, "nodemem_gb:")), 64)
+				if err != nil {
+					return nil, fmt.Errorf("workload: line %d: bad nodemem_gb: %v", lineno, err)
+				}
+				t.NodeMemGB = v
+			}
+			continue
+		}
+		if !sawHeader {
+			if !strings.HasPrefix(line, "id ") {
+				return nil, fmt.Errorf("workload: line %d: missing column header", lineno)
+			}
+			sawHeader = true
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 6 && len(f) != 7 {
+			return nil, fmt.Errorf("workload: line %d: %d fields, want 6 or 7", lineno, len(f))
+		}
+		var j Job
+		var err error
+		if j.ID, err = strconv.Atoi(f[0]); err != nil {
+			return nil, fmt.Errorf("workload: line %d: id: %v", lineno, err)
+		}
+		if j.Submit, err = strconv.ParseFloat(f[1], 64); err != nil {
+			return nil, fmt.Errorf("workload: line %d: submit: %v", lineno, err)
+		}
+		if j.Tasks, err = strconv.Atoi(f[2]); err != nil {
+			return nil, fmt.Errorf("workload: line %d: tasks: %v", lineno, err)
+		}
+		if j.CPUNeed, err = strconv.ParseFloat(f[3], 64); err != nil {
+			return nil, fmt.Errorf("workload: line %d: cpu_need: %v", lineno, err)
+		}
+		if j.MemReq, err = strconv.ParseFloat(f[4], 64); err != nil {
+			return nil, fmt.Errorf("workload: line %d: mem_req: %v", lineno, err)
+		}
+		if j.ExecTime, err = strconv.ParseFloat(f[5], 64); err != nil {
+			return nil, fmt.Errorf("workload: line %d: exec_time: %v", lineno, err)
+		}
+		if len(f) == 7 {
+			if j.Weight, err = strconv.ParseFloat(f[6], 64); err != nil {
+				return nil, fmt.Errorf("workload: line %d: weight: %v", lineno, err)
+			}
+		}
+		t.Jobs = append(t.Jobs, j)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: %v", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

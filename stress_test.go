@@ -1,0 +1,77 @@
+package dfrs_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	dfrs "repro"
+)
+
+// randomJobs draws a small adversarial workload: bursts of simultaneous
+// submissions, memory hogs, single-second jobs, and full-cluster jobs.
+func randomJobs(r *rand.Rand, n, nodes int) []dfrs.Job {
+	jobs := make([]dfrs.Job, n)
+	t := 0.0
+	for i := range jobs {
+		if r.Intn(4) != 0 { // 25% chance of a simultaneous submission
+			t += r.Float64() * 400
+		}
+		tasks := 1
+		switch r.Intn(4) {
+		case 1:
+			tasks = 1 + r.Intn(nodes/2)
+		case 2:
+			tasks = nodes // full-cluster job
+		}
+		exec := []float64{1, 5, 30, 120, 900, 4000, 20000}[r.Intn(7)]
+		jobs[i] = dfrs.Job{
+			ID:       i,
+			Submit:   t,
+			Tasks:    tasks,
+			CPUNeed:  []float64{0.25, 0.5, 1.0}[r.Intn(3)],
+			MemReq:   []float64{0.1, 0.3, 0.5, 0.9}[r.Intn(4)],
+			ExecTime: exec,
+		}
+	}
+	return jobs
+}
+
+// TestRandomWorkloadStress pushes every algorithm through adversarial
+// random workloads with per-event invariant checking: no panics, no
+// deadlocks, every job finishes, every stretch is sane. This is the
+// repository's failure-injection net for the scheduler/simulator contract.
+func TestRandomWorkloadStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	algorithms := dfrs.Algorithms()
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(seed))
+			nodes := []int{4, 16, 64}[r.Intn(3)]
+			jobs := randomJobs(r, 25+r.Intn(25), nodes)
+			tr, err := dfrs.FromJobs(fmt.Sprintf("stress-%d", seed), nodes, 8, jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			penalty := []float64{0, 300}[r.Intn(2)]
+			for _, alg := range algorithms {
+				res, err := dfrs.Run(tr, alg, dfrs.RunOptions{
+					PenaltySeconds:  penalty,
+					CheckInvariants: true,
+				})
+				if err != nil {
+					t.Fatalf("%s (penalty %.0f): %v", alg, penalty, err)
+				}
+				for i, s := range res.JobStretches() {
+					if s < 1-1e-9 {
+						t.Errorf("%s: job %d stretch %v < 1", alg, i, s)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,38 @@
+package dfrs_test
+
+import (
+	"testing"
+
+	dfrs "repro"
+)
+
+// TestWeightedJobFinishesFaster exercises the Section VII user-priority
+// extension end to end: two identical contending jobs, one with weight 3,
+// run under DYNMCB8 — the weighted job must finish first.
+func TestWeightedJobFinishesFaster(t *testing.T) {
+	jobs := []dfrs.Job{
+		{ID: 0, Submit: 0, Tasks: 1, CPUNeed: 1.0, MemReq: 0.2, ExecTime: 1000, Weight: 3},
+		{ID: 1, Submit: 0, Tasks: 1, CPUNeed: 1.0, MemReq: 0.2, ExecTime: 1000},
+	}
+	tr, err := dfrs.FromJobs("weighted", 1, 8, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dfrs.Run(tr, "dynmcb8", dfrs.RunOptions{CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stretches := res.JobStretches()
+	if stretches[0] >= stretches[1] {
+		t.Errorf("weighted job stretch %v should beat unit job stretch %v",
+			stretches[0], stretches[1])
+	}
+}
+
+// TestNegativeWeightRejected: validation catches bad weights.
+func TestNegativeWeightRejected(t *testing.T) {
+	jobs := []dfrs.Job{{ID: 0, Submit: 0, Tasks: 1, CPUNeed: 0.5, MemReq: 0.5, ExecTime: 10, Weight: -2}}
+	if _, err := dfrs.FromJobs("bad", 1, 8, jobs); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
