@@ -1,0 +1,26 @@
+# Build/test entry points; `make ci` is what the repository considers green.
+GO ?= go
+
+.PHONY: all build test race bench fuzz ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The campaign worker pool must be race-clean; this is the gate for it.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Short fuzz session over the SWF parser (the deterministic corpus also
+# runs as a normal test in `make test`).
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/swf/
+
+ci: build test race

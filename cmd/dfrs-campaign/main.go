@@ -1,0 +1,224 @@
+// Command dfrs-campaign runs a declarative scenario grid — algorithms x
+// workload families x loads x seeds x penalties x cluster sizes — on the
+// campaign engine (internal/campaign), streaming one JSONL record per
+// finished simulation. Output is checkpointed: interrupting a campaign and
+// re-running with -resume completes only the missing cells.
+//
+// Presets reproduce the paper's campaigns:
+//
+//	dfrs-campaign -preset fig1a  -out fig1a.jsonl      # Figure 1(a): no penalty
+//	dfrs-campaign -preset fig1b  -out fig1b.jsonl      # Figure 1(b): 5-minute penalty
+//	dfrs-campaign -preset table1 -out table1.jsonl     # Table I's three workload legs
+//	dfrs-campaign -preset table2 -out table2.jsonl     # Table II's high-load cost study
+//
+// Or declare a custom grid directly:
+//
+//	dfrs-campaign -algs easy,dynmcb8-asap-per -seeds 1,2,3 -traces 10 \
+//	    -loads 0.5,0.7,0.9 -penalties 0,300 -workers 8 -out sweep.jsonl
+//
+// The paper's full scale is -traces 100 -jobs 1000 -weeks 182 (CPU-hours);
+// defaults are a small representative slice. Records sort by their "key"
+// field into a canonical order that is byte-identical for any -workers
+// value.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/experiments"
+
+	// Register every scheduling algorithm.
+	_ "repro/internal/sched/batch"
+	_ "repro/internal/sched/gang"
+	_ "repro/internal/sched/greedy"
+	_ "repro/internal/sched/mcb"
+)
+
+func main() {
+	var (
+		preset    = flag.String("preset", "", "paper campaign: fig1a, fig1b, table1, table2 (empty = custom grid from flags)")
+		algs      = flag.String("algs", strings.Join(experiments.Algorithms, ","), "comma-separated algorithm names")
+		seeds     = flag.String("seeds", "42", "comma-separated campaign seeds")
+		traces    = flag.Int("traces", 3, "synthetic traces per seed (paper: 100)")
+		jobs      = flag.Int("jobs", 150, "jobs per synthetic trace (paper: 1000)")
+		nodes     = flag.String("nodes", "128", "comma-separated cluster sizes (paper: 128)")
+		loads     = flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9", "comma-separated load levels; 0 means unscaled")
+		penalties = flag.String("penalties", "300", "comma-separated rescheduling penalties in seconds")
+		weeks     = flag.Int("weeks", 0, "HPC2N-like weekly segments to add as a second family (0 = none; paper: 182)")
+		workers   = flag.Int("workers", 0, "parallel simulations (0 = all cores)")
+		out       = flag.String("out", "-", "output JSONL path (- = stdout)")
+		resume    = flag.Bool("resume", false, "skip cells already present in -out and append the rest")
+		check     = flag.Bool("check", false, "enable per-event simulator invariant checking")
+		timing    = flag.Bool("timing", false, "record wall-clock scheduler timing aggregates (nondeterministic)")
+		quiet     = flag.Bool("q", false, "suppress progress output on stderr")
+	)
+	flag.Parse()
+
+	g, err := buildGrid(*preset, *algs, *seeds, *traces, *jobs, *nodes, *loads, *penalties, *weeks)
+	if err != nil {
+		fatal(err)
+	}
+	g.Check = *check
+	g.Timing = *timing
+
+	runner := &campaign.Runner{Workers: *workers}
+	if !*quiet {
+		runner.Progress = func(done, total int, rec campaign.Record) {
+			fmt.Fprintf(os.Stderr, "dfrs-campaign: [%d/%d] %s\n", done, total, rec.Key)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, skip, err := openOutput(*out, *resume)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+		runner.Skip = skip
+	} else if *resume {
+		fatal(fmt.Errorf("-resume requires -out pointing at a file"))
+	}
+	runner.Sink = campaign.NewJSONLSink(w)
+
+	total := len(g.Cells())
+	recs, err := runner.Run(g)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "dfrs-campaign: %d cells finished (%d already checkpointed)\n",
+			len(recs), total-len(recs))
+	}
+}
+
+// buildGrid assembles the campaign grid from the preset or the custom grid
+// flags. Presets start from the flag values and override only the
+// dimensions that define the paper campaign, so -traces/-jobs/-seeds still
+// scale them.
+func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, loads, penalties string, weeks int) (*campaign.Grid, error) {
+	seedList, err := parseUints(seeds)
+	if err != nil {
+		return nil, fmt.Errorf("bad -seeds: %w", err)
+	}
+	nodeList, err := parseInts(nodes)
+	if err != nil {
+		return nil, fmt.Errorf("bad -nodes: %w", err)
+	}
+	loadList, err := parseFloats(loads)
+	if err != nil {
+		return nil, fmt.Errorf("bad -loads: %w", err)
+	}
+	penList, err := parseFloats(penalties)
+	if err != nil {
+		return nil, fmt.Errorf("bad -penalties: %w", err)
+	}
+	g := &campaign.Grid{
+		Name:         "custom",
+		Seeds:        seedList,
+		Algorithms:   splitList(algs),
+		Families:     []campaign.Family{{Kind: campaign.FamilyLublin, Count: traces}},
+		Loads:        loadList,
+		Penalties:    penList,
+		Nodes:        nodeList,
+		JobsPerTrace: jobs,
+	}
+	if weeks > 0 {
+		g.Families = append(g.Families,
+			campaign.Family{Kind: campaign.FamilyHPC2N, Count: weeks, Loads: []float64{campaign.Unscaled}})
+	}
+	paperLoads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	switch preset {
+	case "":
+	case "fig1a":
+		g.Name, g.Loads, g.Penalties = "fig1a", paperLoads, []float64{0}
+	case "fig1b":
+		g.Name, g.Loads, g.Penalties = "fig1b", paperLoads, []float64{experiments.PaperPenalty}
+	case "table1":
+		g.Name, g.Loads, g.Penalties = "table1", paperLoads, []float64{experiments.PaperPenalty}
+		w := weeks
+		if w <= 0 {
+			w = 4
+		}
+		g.Families = []campaign.Family{
+			{Kind: campaign.FamilyLublin, Count: traces},
+			{Kind: campaign.FamilyLublin, Count: traces, Loads: []float64{campaign.Unscaled}},
+			{Kind: campaign.FamilyHPC2N, Count: w, Loads: []float64{campaign.Unscaled}},
+		}
+	case "table2":
+		g.Name, g.Loads, g.Penalties = "table2", []float64{0.7, 0.8, 0.9}, []float64{experiments.PaperPenalty}
+		g.Algorithms = experiments.PreemptingAlgorithms
+	default:
+		return nil, fmt.Errorf("unknown preset %q (want fig1a, fig1b, table1 or table2)", preset)
+	}
+	return g, g.Validate()
+}
+
+// openOutput prepares the JSONL output file. With resume it reuses the
+// campaign checkpoint protocol (read keys, repair a torn final line, open
+// for append); otherwise it truncates.
+func openOutput(path string, resume bool) (*os.File, map[string]bool, error) {
+	if !resume {
+		f, err := os.Create(path)
+		return f, nil, err
+	}
+	return campaign.OpenCheckpoint(path)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("invalid value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseUints(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid value %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfrs-campaign:", err)
+	os.Exit(1)
+}

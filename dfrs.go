@@ -17,6 +17,18 @@
 //	trace, _ := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 1, Nodes: 128, Jobs: 200})
 //	res, _ := dfrs.Run(trace, "dynmcb8-asap-per", dfrs.RunOptions{PenaltySeconds: 300})
 //	fmt.Println(res.MaxStretch())
+//
+// Full evaluation campaigns — the paper's nine-algorithm scenario grid over
+// loads, seeds, penalties and cluster sizes — run on the campaign engine
+// (internal/campaign): a declarative grid expands into cells, executes on a
+// bounded worker pool with deterministic per-cell RNG substreams (the
+// key-sorted record set is byte-identical for any worker count), and
+// streams each finished cell as a JSONL record that doubles as a
+// checkpoint for resumable runs. The
+// dfrs-campaign command exposes the engine directly (-preset fig1a/fig1b/
+// table1/table2 or custom grids, -workers, -out, -resume), dfrs-exp renders
+// the paper's tables and figures from the same engine, and examples/campaign
+// is a runnable end-to-end walkthrough.
 package dfrs
 
 import (

@@ -1,0 +1,293 @@
+// Package campaign is the experiment-orchestration engine behind every
+// evaluation in this repository. A campaign is a declarative Grid — the
+// cross product of algorithms, workload families, offered-load levels,
+// seeds, rescheduling penalties and cluster sizes — that expands into
+// independent Cells, each naming exactly one simulation. A Runner executes
+// the cells on a bounded worker pool, materialising each cell's trace from
+// a deterministic RNG substream (rng.Source.Split keyed by seed and trace
+// index) so that results are bit-identical regardless of worker count or
+// scheduling order, and streams each finished cell as one JSONL Record to a
+// pluggable Sink.
+//
+// Because every cell has a canonical Key and every record carries it,
+// campaigns checkpoint for free: re-running a grid with the keys of an
+// existing output file in Runner.Skip completes only the missing cells.
+// The paper's figures and tables (internal/experiments) and the
+// dfrs-campaign CLI are thin grid definitions plus record aggregation on
+// top of this package.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Family kinds understood by the trace materialiser.
+const (
+	// FamilyLublin is the Lublin–Feitelson synthetic workload model, the
+	// paper's 100-trace campaign family.
+	FamilyLublin = "lublin"
+	// FamilyHPC2N is the HPC2N-like real-world stand-in, split into
+	// weekly segments as in Section IV-C. Its cluster size is fixed by
+	// the model, so grid Nodes values are ignored for this family.
+	FamilyHPC2N = "hpc2n"
+)
+
+// Unscaled is the Load value meaning "do not rescale the trace" (the
+// paper's unscaled instances of Table I).
+const Unscaled = 0.0
+
+// Family selects one workload family and its per-family sweep dimensions.
+type Family struct {
+	// Kind is FamilyLublin or FamilyHPC2N.
+	Kind string `json:"kind"`
+	// Count is the number of traces (lublin) or weekly segments (hpc2n).
+	Count int `json:"count"`
+	// Loads optionally overrides Grid.Loads for this family; an entry of
+	// Unscaled (0) keeps the trace at its natural offered load.
+	Loads []float64 `json:"loads,omitempty"`
+}
+
+// Grid declares a campaign: the full cross product of its dimensions.
+// Empty dimensions fall back to single-element defaults (see Cells) so a
+// minimal grid needs only Algorithms and one Family.
+type Grid struct {
+	// Name labels the campaign in logs and reports.
+	Name string `json:"name"`
+	// Seeds are the root seeds; every seed yields an independent set of
+	// base traces. Empty means {42}.
+	Seeds []uint64 `json:"seeds"`
+	// Algorithms are registered scheduler names (internal/sched).
+	Algorithms []string `json:"algorithms"`
+	// Families are the workload families to sweep.
+	Families []Family `json:"families"`
+	// Loads are the offered-load levels applied to families without their
+	// own; empty means {Unscaled}.
+	Loads []float64 `json:"loads"`
+	// Penalties are rescheduling penalties in seconds; empty means {0}.
+	Penalties []float64 `json:"penalties"`
+	// Nodes are cluster sizes for the lublin family; empty means {128},
+	// the paper's platform.
+	Nodes []int `json:"nodes"`
+	// JobsPerTrace is the lublin trace length; 0 means 1000 (the paper's).
+	JobsPerTrace int `json:"jobs_per_trace"`
+	// Check enables per-event simulator invariant validation (slow).
+	Check bool `json:"check"`
+	// Timing records wall-clock scheduler timing aggregates in each
+	// record (Record.Timing). Timing data is inherently nondeterministic;
+	// leave it off for campaigns whose output must be reproducible
+	// byte-for-byte.
+	Timing bool `json:"timing"`
+}
+
+// Cell is one point of an expanded grid: exactly one simulation.
+type Cell struct {
+	Seed      uint64  `json:"seed"`
+	Family    string  `json:"family"`
+	TraceIdx  int     `json:"trace_idx"`
+	Load      float64 `json:"load"` // Unscaled (0) or the target offered load
+	Nodes     int     `json:"nodes"`
+	Jobs      int     `json:"jobs"`
+	Penalty   float64 `json:"penalty"`
+	Algorithm string  `json:"algorithm"`
+}
+
+// Key returns the cell's canonical identity, the string used for
+// checkpoint/resume matching. It is stable across runs and versions of the
+// expansion order.
+func (c Cell) Key() string {
+	return fmt.Sprintf("seed=%d/family=%s/trace=%d/load=%s/nodes=%d/jobs=%d/pen=%s/alg=%s",
+		c.Seed, c.Family, c.TraceIdx, ftoa(c.Load), c.Nodes, c.Jobs, ftoa(c.Penalty), c.Algorithm)
+}
+
+// ftoa formats a float with the shortest exact representation so keys are
+// canonical.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Validate checks the grid's declarative consistency (family kinds, counts
+// and load ranges); algorithm names are resolved at run time against the
+// scheduler registry.
+func (g *Grid) Validate() error {
+	if len(g.Algorithms) == 0 {
+		return fmt.Errorf("campaign: grid %q has no algorithms", g.Name)
+	}
+	if len(g.Families) == 0 {
+		return fmt.Errorf("campaign: grid %q has no workload families", g.Name)
+	}
+	for _, f := range g.Families {
+		switch f.Kind {
+		case FamilyLublin, FamilyHPC2N:
+		default:
+			return fmt.Errorf("campaign: unknown workload family %q", f.Kind)
+		}
+		if f.Count <= 0 {
+			return fmt.Errorf("campaign: family %s has count %d", f.Kind, f.Count)
+		}
+		for _, l := range f.Loads {
+			if l < 0 || l > 1 {
+				return fmt.Errorf("campaign: family %s load %g outside [0,1]", f.Kind, l)
+			}
+		}
+	}
+	for _, l := range g.Loads {
+		if l < 0 || l > 1 {
+			return fmt.Errorf("campaign: load %g outside [0,1]", l)
+		}
+	}
+	for _, p := range g.Penalties {
+		if p < 0 {
+			return fmt.Errorf("campaign: negative penalty %g", p)
+		}
+	}
+	for _, n := range g.Nodes {
+		if n <= 0 {
+			return fmt.Errorf("campaign: non-positive cluster size %d", n)
+		}
+	}
+	if g.JobsPerTrace < 0 {
+		return fmt.Errorf("campaign: negative jobs per trace %d", g.JobsPerTrace)
+	}
+	return nil
+}
+
+// Cells expands the grid into its cells in a deterministic order:
+// seed-major, then family, trace index, load, nodes, penalty, algorithm.
+func (g *Grid) Cells() []Cell {
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{42}
+	}
+	defLoads := g.Loads
+	if len(defLoads) == 0 {
+		defLoads = []float64{Unscaled}
+	}
+	penalties := g.Penalties
+	if len(penalties) == 0 {
+		penalties = []float64{0}
+	}
+	nodes := g.Nodes
+	if len(nodes) == 0 {
+		nodes = []int{128}
+	}
+	jobs := g.JobsPerTrace
+	if jobs == 0 {
+		jobs = 1000
+	}
+	// Overlapping families (e.g. the same lublin traces swept scaled and
+	// unscaled) may expand to identical cells; keep the first occurrence so
+	// every key names exactly one simulation.
+	seen := map[string]bool{}
+	var cells []Cell
+	for _, seed := range seeds {
+		for _, fam := range g.Families {
+			loads := fam.Loads
+			if len(loads) == 0 {
+				loads = defLoads
+			}
+			// The HPC2N-like model fixes its own cluster size and trace
+			// length; collapse both dimensions to 0 so identical
+			// simulations never expand under distinct keys.
+			famNodes, famJobs := nodes, jobs
+			if fam.Kind == FamilyHPC2N {
+				famNodes, famJobs = []int{0}, 0
+			}
+			for idx := 0; idx < fam.Count; idx++ {
+				for _, load := range loads {
+					for _, n := range famNodes {
+						for _, pen := range penalties {
+							for _, alg := range g.Algorithms {
+								c := Cell{
+									Seed:      seed,
+									Family:    fam.Kind,
+									TraceIdx:  idx,
+									Load:      load,
+									Nodes:     n,
+									Jobs:      famJobs,
+									Penalty:   pen,
+									Algorithm: alg,
+								}
+								if key := c.Key(); !seen[key] {
+									seen[key] = true
+									cells = append(cells, c)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// InstanceKey identifies the instance a cell belongs to: everything except
+// the algorithm. Records sharing an instance key ran identical traces, so
+// their stretches are comparable — this is the grouping behind degradation
+// factors.
+func (c Cell) InstanceKey() string {
+	return fmt.Sprintf("seed=%d/family=%s/trace=%d/load=%s/nodes=%d/jobs=%d/pen=%s",
+		c.Seed, c.Family, c.TraceIdx, ftoa(c.Load), c.Nodes, c.Jobs, ftoa(c.Penalty))
+}
+
+// TimingAgg aggregates the Section V scheduler-timing samples of one run so
+// that exact campaign-wide statistics can be merged from per-cell records.
+// All wall-clock quantities are in seconds. Timing data is nondeterministic.
+type TimingAgg struct {
+	Samples   int     `json:"samples"`
+	Sum       float64 `json:"sum"`
+	SumSq     float64 `json:"sum_sq"`
+	Min       float64 `json:"min"`
+	Max       float64 `json:"max"`
+	LargeN    int     `json:"large_n"` // samples with more than 10 jobs in system
+	LargeSum  float64 `json:"large_sum"`
+	LargeSqSm float64 `json:"large_sum_sq"`
+	LargeMin  float64 `json:"large_min"`
+	LargeMax  float64 `json:"large_max"`
+	SmallFast int     `json:"small_fast"` // <=10 jobs and <1ms
+	MaxJobs   int     `json:"max_jobs"`
+}
+
+// Record is the JSONL checkpoint unit: one finished cell plus the metrics
+// every report in this repository aggregates from. All fields except Timing
+// are deterministic functions of the cell.
+type Record struct {
+	Key       string  `json:"key"`
+	Seed      uint64  `json:"seed"`
+	Family    string  `json:"family"`
+	Trace     string  `json:"trace"`
+	TraceIdx  int     `json:"trace_idx"`
+	Load      float64 `json:"load"`
+	Nodes     int     `json:"nodes"`
+	Jobs      int     `json:"jobs"`
+	Penalty   float64 `json:"penalty"`
+	Algorithm string  `json:"algorithm"`
+
+	MaxStretch  float64 `json:"max_stretch"`
+	AvgStretch  float64 `json:"avg_stretch"`
+	Makespan    float64 `json:"makespan"`
+	Utilization float64 `json:"utilization"`
+	Finished    int     `json:"finished"`
+	Events      int     `json:"events"`
+
+	PmtnGBps    float64 `json:"pmtn_gbps"`
+	MigGBps     float64 `json:"mig_gbps"`
+	PmtnPerHour float64 `json:"pmtn_per_hour"`
+	MigPerHour  float64 `json:"mig_per_hour"`
+	PmtnPerJob  float64 `json:"pmtn_per_job"`
+	MigPerJob   float64 `json:"mig_per_job"`
+
+	Timing *TimingAgg `json:"timing,omitempty"`
+}
+
+// InstanceKey groups records that ran the same trace under different
+// algorithms; see Cell.InstanceKey.
+func (r Record) InstanceKey() string {
+	return Cell{Seed: r.Seed, Family: r.Family, TraceIdx: r.TraceIdx, Load: r.Load,
+		Nodes: r.Nodes, Jobs: r.Jobs, Penalty: r.Penalty}.InstanceKey()
+}
+
+// SortRecords orders records by cell key, the canonical presentation order.
+func SortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+}

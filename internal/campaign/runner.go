@@ -1,0 +1,304 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/hpc2n"
+	"repro/internal/lublin"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// maxSimTime is the livelock guard shared by every campaign run (50 years
+// of simulated time).
+const maxSimTime = 50 * 365 * 24 * 3600
+
+// Runner executes a grid's cells on a bounded worker pool. The zero value
+// runs on all cores with no sink and no skipping.
+type Runner struct {
+	// Workers bounds concurrent simulations; <=0 means GOMAXPROCS.
+	Workers int
+	// Sink, when non-nil, receives every finished record as it completes.
+	// Completion order is nondeterministic with more than one worker; sort
+	// records by key (SortRecords) for a canonical view.
+	Sink Sink
+	// Skip holds cell keys to treat as already finished (checkpoint
+	// resume); their cells are neither simulated nor re-emitted.
+	Skip map[string]bool
+	// Progress, when non-nil, is called after each finished cell with the
+	// number of cells done and the total to run. Calls are serialised.
+	Progress func(done, total int, rec Record)
+}
+
+// Run expands, validates and executes the grid, returning the records of
+// every cell that was not skipped, sorted by cell key. The first cell error
+// aborts the run.
+func (r *Runner) Run(g *Grid) ([]Record, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	cells := g.Cells()
+	if len(r.Skip) > 0 {
+		kept := cells[:0]
+		for _, c := range cells {
+			if !r.Skip[c.Key()] {
+				kept = append(kept, c)
+			}
+		}
+		cells = kept
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	mat := newMaterialiser()
+	records := make([]Record, 0, len(cells))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		done     int
+	)
+	next := make(chan Cell, len(cells))
+	for _, c := range cells {
+		next <- c
+	}
+	close(next)
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range next {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				rec, err := runCell(mat, g, c)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("campaign: cell %s: %w", c.Key(), err)
+					}
+					mu.Unlock()
+					return
+				}
+				if r.Sink != nil {
+					if serr := r.Sink.Write(rec); serr != nil && firstErr == nil {
+						firstErr = fmt.Errorf("campaign: sink: %w", serr)
+						mu.Unlock()
+						return
+					}
+				}
+				records = append(records, rec)
+				done++
+				if r.Progress != nil {
+					r.Progress(done, len(cells), rec)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	SortRecords(records)
+	return records, nil
+}
+
+// runCell materialises the cell's trace and simulates it, producing the
+// checkpoint record.
+func runCell(mat *materialiser, g *Grid, c Cell) (Record, error) {
+	tr, err := mat.trace(c)
+	if err != nil {
+		return Record{}, err
+	}
+	s, err := sched.New(c.Algorithm)
+	if err != nil {
+		return Record{}, err
+	}
+	simulator, err := sim.New(sim.Config{
+		Trace:            tr,
+		Penalty:          c.Penalty,
+		CheckInvariants:  g.Check,
+		RecordSchedTimes: g.Timing,
+		MaxSimTime:       maxSimTime,
+	}, s)
+	if err != nil {
+		return Record{}, err
+	}
+	res, err := simulator.Run()
+	if err != nil {
+		return Record{}, err
+	}
+	if err := metrics.Validate(res); err != nil {
+		return Record{}, err
+	}
+	sum := metrics.Summarize(res)
+	if math.IsNaN(sum.MaxStretch) {
+		return Record{}, fmt.Errorf("no finished jobs")
+	}
+	costs := metrics.Costs(res)
+	rec := Record{
+		Key:       c.Key(),
+		Seed:      c.Seed,
+		Family:    c.Family,
+		Trace:     tr.Name,
+		TraceIdx:  c.TraceIdx,
+		Load:      c.Load,
+		Nodes:     c.Nodes,
+		Jobs:      c.Jobs,
+		Penalty:   c.Penalty,
+		Algorithm: c.Algorithm,
+
+		MaxStretch:  sum.MaxStretch,
+		AvgStretch:  sum.AvgStretch,
+		Makespan:    res.Makespan,
+		Utilization: res.Utilization(),
+		Finished:    len(res.Jobs),
+		Events:      res.Events,
+
+		PmtnGBps:    costs.PmtnGBps,
+		MigGBps:     costs.MigGBps,
+		PmtnPerHour: costs.PmtnPerHour,
+		MigPerHour:  costs.MigPerHour,
+		PmtnPerJob:  costs.PmtnPerJob,
+		MigPerJob:   costs.MigPerJob,
+	}
+	if g.Timing {
+		rec.Timing = aggregateTiming(res.SchedSamples)
+	}
+	return rec, nil
+}
+
+// aggregateTiming folds raw scheduler timing samples into the mergeable
+// per-cell aggregate.
+func aggregateTiming(samples []sim.SchedSample) *TimingAgg {
+	agg := &TimingAgg{Min: math.Inf(1), LargeMin: math.Inf(1)}
+	for _, s := range samples {
+		agg.Samples++
+		agg.Sum += s.Seconds
+		agg.SumSq += s.Seconds * s.Seconds
+		agg.Min = math.Min(agg.Min, s.Seconds)
+		agg.Max = math.Max(agg.Max, s.Seconds)
+		if s.JobsInSystem <= 10 {
+			if s.Seconds < 1e-3 {
+				agg.SmallFast++
+			}
+		} else {
+			agg.LargeN++
+			agg.LargeSum += s.Seconds
+			agg.LargeSqSm += s.Seconds * s.Seconds
+			agg.LargeMin = math.Min(agg.LargeMin, s.Seconds)
+			agg.LargeMax = math.Max(agg.LargeMax, s.Seconds)
+		}
+		if s.JobsInSystem > agg.MaxJobs {
+			agg.MaxJobs = s.JobsInSystem
+		}
+	}
+	if agg.Samples == 0 {
+		agg.Min = 0
+	}
+	if agg.LargeN == 0 {
+		agg.LargeMin = 0
+	}
+	return agg
+}
+
+// materialiser builds and caches the traces a grid's cells run on. Base
+// traces are derived from RNG substreams keyed only by (seed, family,
+// index), never by execution order, so any subset of cells sees identical
+// traces no matter how the worker pool interleaves. Load scaling is pure
+// and cheap, so scaled variants are derived per cell rather than cached.
+type materialiser struct {
+	mu      sync.Mutex
+	entries map[string]*matEntry
+}
+
+type matEntry struct {
+	once sync.Once
+	tr   *workload.Trace
+	err  error
+}
+
+func newMaterialiser() *materialiser {
+	return &materialiser{entries: map[string]*matEntry{}}
+}
+
+// trace returns the (possibly load-scaled) trace for one cell.
+func (m *materialiser) trace(c Cell) (*workload.Trace, error) {
+	base, err := m.base(c)
+	if err != nil {
+		return nil, err
+	}
+	if c.Load == Unscaled {
+		return base, nil
+	}
+	return base.ScaleToLoad(c.Load)
+}
+
+// base returns the unscaled trace for the cell, generating it at most once
+// per (seed, family, index, nodes, jobs) combination.
+func (m *materialiser) base(c Cell) (*workload.Trace, error) {
+	key := fmt.Sprintf("%s/%d/%d/%d/%d", c.Family, c.Seed, c.TraceIdx, c.Nodes, c.Jobs)
+	m.mu.Lock()
+	e, ok := m.entries[key]
+	if !ok {
+		e = &matEntry{}
+		m.entries[key] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() { e.tr, e.err = generateBase(c) })
+	return e.tr, e.err
+}
+
+// generateBase draws the cell's base trace from its deterministic RNG
+// substream. The lublin split labels match the historical
+// experiments.Config.BaseTraces labels so campaigns reproduce the exact
+// synthetic traces of the pre-engine harness. The hpc2n family
+// intentionally differs from the pre-engine Table I leg: instead of one
+// continuous multi-week log split into segments (whose week contents
+// depended on the total week count), every weekly segment is an
+// independent one-week synthesis, so each cell's trace is a function of
+// (seed, index) alone.
+func generateBase(c Cell) (*workload.Trace, error) {
+	root := rng.New(c.Seed)
+	switch c.Family {
+	case FamilyLublin:
+		r := root.Split(fmt.Sprintf("trace-%d", c.TraceIdx))
+		return lublin.GenerateTrace(r, lublin.DefaultParams(c.Nodes), c.Jobs,
+			fmt.Sprintf("lublin-s%d-%03d", c.Seed, c.TraceIdx))
+	case FamilyHPC2N:
+		// Each weekly segment is an independent one-week synthesis drawn
+		// from its own substream, so a cell's trace depends only on
+		// (seed, index) — never on how many weeks the family sweeps.
+		p := hpc2n.DefaultSynthParams()
+		p.Weeks = 1
+		weeks, _, err := hpc2n.WeeklyTraces(root.Split(fmt.Sprintf("hpc2n-week-%d", c.TraceIdx)), p)
+		if err != nil {
+			return nil, err
+		}
+		if len(weeks) == 0 {
+			return nil, fmt.Errorf("hpc2n synthesis produced no weekly segments")
+		}
+		week := weeks[0]
+		week.Name = fmt.Sprintf("hpc2n-s%d-w%03d", c.Seed, c.TraceIdx)
+		return week, nil
+	default:
+		return nil, fmt.Errorf("unknown workload family %q", c.Family)
+	}
+}

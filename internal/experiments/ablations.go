@@ -11,7 +11,6 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vectorpack"
-	"repro/internal/workload"
 )
 
 // AblationResult compares a set of algorithm variants by degradation
@@ -23,47 +22,20 @@ type AblationResult struct {
 	Stats      map[string]stats.Summary
 }
 
-// runAblation executes the named algorithms on every scaled trace and
-// aggregates degradation factors. The named algorithms must be registered;
-// ablation-only variants register themselves in their packages' init.
+// runAblation executes the named variants as one campaign grid over the
+// scaled traces and aggregates degradation factors. The named algorithms
+// must be registered; ablation-only variants register themselves via
+// registerVariants.
 func runAblation(cfg Config, title string, algs []string, penalty float64) (*AblationResult, error) {
-	base, err := cfg.BaseTraces()
+	recs, err := cfg.run(cfg.grid("ablation", algs, cfg.Loads, penalty))
 	if err != nil {
 		return nil, err
 	}
-	scaled, err := cfg.ScaledTraces(base)
+	st, err := degradationStats(recs, algs)
 	if err != nil {
 		return nil, err
 	}
-	var traces []*workload.Trace
-	for _, load := range cfg.Loads {
-		traces = append(traces, scaled[load]...)
-	}
-	streams := map[string]*stats.Stream{}
-	for _, alg := range algs {
-		streams[alg] = &stats.Stream{}
-	}
-	var mu sync.Mutex
-	err = parallelFor(len(traces), cfg.workers(), func(i int) error {
-		inst, err := RunInstance(traces[i], algs, penalty, cfg.Check, 0)
-		if err != nil {
-			return err
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		for _, alg := range algs {
-			streams[alg].Add(inst.Degradation[alg])
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	res := &AblationResult{Title: title, Penalty: penalty, Algorithms: algs, Stats: map[string]stats.Summary{}}
-	for alg, s := range streams {
-		res.Stats[alg] = s.Summary()
-	}
-	return res, nil
+	return &AblationResult{Title: title, Penalty: penalty, Algorithms: algs, Stats: st}, nil
 }
 
 // AblationPriorityPower compares the paper's squared-virtual-time priority

@@ -1,22 +1,24 @@
 // Package experiments defines the paper's evaluation campaigns (Figure 1,
 // Table I, Table II, the Section V timing study) and the ablation studies
-// listed in DESIGN.md, on top of the workload generators, the simulator and
-// the metrics package. Every experiment is deterministic given its seed and
-// scales from quick smoke runs to the paper's full 100-trace campaigns via
-// Config.
+// listed in DESIGN.md as thin grid definitions over the campaign engine
+// (internal/campaign): each experiment declares a campaign.Grid, runs it on
+// the engine's worker pool, and aggregates the resulting records into the
+// paper's tables and figures. Every experiment is deterministic given its
+// seed and scales from quick smoke runs to the paper's full 100-trace
+// campaigns via Config.
 package experiments
 
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
+	"repro/internal/campaign"
 	"repro/internal/lublin"
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 	// Register all scheduling algorithms.
 	_ "repro/internal/sched/batch"
@@ -82,15 +84,32 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) workers() int {
-	if c.Workers > 0 {
-		return c.Workers
+// grid translates the config into a campaign grid over the synthetic
+// family with the given loads and penalty; pass campaign.Unscaled as the
+// only load for unscaled runs.
+func (c Config) grid(name string, algs []string, loads []float64, penalty float64) *campaign.Grid {
+	return &campaign.Grid{
+		Name:         name,
+		Seeds:        []uint64{c.Seed},
+		Algorithms:   algs,
+		Families:     []campaign.Family{{Kind: campaign.FamilyLublin, Count: c.Traces}},
+		Loads:        loads,
+		Penalties:    []float64{penalty},
+		Nodes:        []int{c.Nodes},
+		JobsPerTrace: c.JobsPerTrace,
+		Check:        c.Check,
 	}
-	return runtime.GOMAXPROCS(0)
+}
+
+// run executes the grid on the campaign engine with the config's worker
+// budget.
+func (c Config) run(g *campaign.Grid) ([]campaign.Record, error) {
+	return (&campaign.Runner{Workers: c.Workers}).Run(g)
 }
 
 // BaseTraces generates the campaign's synthetic traces (the "unscaled"
-// traces of Table I's middle column).
+// traces of Table I's middle column). The campaign engine materialises the
+// identical traces from the same substream labels.
 func (c Config) BaseTraces() ([]*workload.Trace, error) {
 	root := rng.New(c.Seed)
 	traces := make([]*workload.Trace, c.Traces)
@@ -189,52 +208,72 @@ func RunInstance(tr *workload.Trace, algs []string, penalty float64, check bool,
 	return inst, nil
 }
 
-// parallelFor runs fn(0..n-1) across the given number of workers, stopping
-// at the first error.
-func parallelFor(n, workers int, fn func(i int) error) error {
-	if workers > n {
-		workers = n
+// instancesFromRecords groups flat campaign records by instance (same
+// trace, load, penalty — every algorithm ran the identical workload) and
+// derives per-instance degradation factors. Records must cover every
+// algorithm in algs for every instance.
+func instancesFromRecords(recs []campaign.Record, algs []string) ([]*Instance, error) {
+	byInstance := map[string]*Instance{}
+	var order []string
+	for _, rec := range recs {
+		key := rec.InstanceKey()
+		inst, ok := byInstance[key]
+		if !ok {
+			inst = &Instance{
+				Trace:       rec.Trace,
+				Load:        rec.Load,
+				MaxStretch:  map[string]float64{},
+				Degradation: map[string]float64{},
+				Costs:       map[string]metrics.CostSummary{},
+			}
+			byInstance[key] = inst
+			order = append(order, key)
+		}
+		inst.MaxStretch[rec.Algorithm] = rec.MaxStretch
+		inst.Costs[rec.Algorithm] = metrics.CostSummary{
+			Algorithm: rec.Algorithm, Trace: rec.Trace,
+			PmtnGBps: rec.PmtnGBps, MigGBps: rec.MigGBps,
+			PmtnPerHour: rec.PmtnPerHour, MigPerHour: rec.MigPerHour,
+			PmtnPerJob: rec.PmtnPerJob, MigPerJob: rec.MigPerJob,
+		}
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
+	out := make([]*Instance, 0, len(byInstance))
+	for _, key := range order {
+		inst := byInstance[key]
+		for _, alg := range algs {
+			if _, ok := inst.MaxStretch[alg]; !ok {
+				return nil, fmt.Errorf("experiments: instance %s missing algorithm %s", key, alg)
 			}
 		}
-		return nil
+		deg, err := metrics.DegradationFactors(inst.MaxStretch)
+		if err != nil {
+			return nil, err
+		}
+		inst.Degradation = deg
+		out = append(out, inst)
 	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
+	return out, nil
+}
+
+// degradationStats folds a record set into per-algorithm degradation
+// statistics, the aggregation behind Table I and the ablations.
+func degradationStats(recs []campaign.Record, algs []string) (map[string]stats.Summary, error) {
+	instances, err := instancesFromRecords(recs, algs)
+	if err != nil {
+		return nil, err
 	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				mu.Lock()
-				stop := firstErr != nil
-				mu.Unlock()
-				if stop {
-					return
-				}
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-			}
-		}()
+	streams := map[string]*stats.Stream{}
+	for _, alg := range algs {
+		streams[alg] = &stats.Stream{}
 	}
-	wg.Wait()
-	return firstErr
+	for _, inst := range instances {
+		for _, alg := range algs {
+			streams[alg].Add(inst.Degradation[alg])
+		}
+	}
+	out := map[string]stats.Summary{}
+	for alg, s := range streams {
+		out[alg] = s.Summary()
+	}
+	return out, nil
 }

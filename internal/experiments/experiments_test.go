@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/campaign"
 )
 
 // tinyConfig keeps experiment tests fast while still exercising the full
@@ -229,37 +231,35 @@ func TestAblations(t *testing.T) {
 	}
 }
 
-func TestParallelFor(t *testing.T) {
-	n := 100
-	seen := make([]bool, n)
-	err := parallelFor(n, 8, func(i int) error {
-		seen[i] = true
-		return nil
-	})
+// TestInstancesFromRecords checks the record-to-instance reconstruction
+// that every table builds on: grouping by instance key, degradation
+// derivation, and the missing-algorithm error path.
+func TestInstancesFromRecords(t *testing.T) {
+	mk := func(alg string, trace int, load, maxStretch float64) campaign.Record {
+		c := campaign.Cell{Seed: 1, Family: campaign.FamilyLublin, TraceIdx: trace,
+			Load: load, Nodes: 32, Jobs: 10, Penalty: 300, Algorithm: alg}
+		return campaign.Record{Key: c.Key(), Seed: 1, Family: c.Family, TraceIdx: trace,
+			Load: load, Nodes: 32, Jobs: 10, Penalty: 300, Algorithm: alg, MaxStretch: maxStretch}
+	}
+	algs := []string{"a", "b"}
+	recs := []campaign.Record{
+		mk("a", 0, 0.5, 10), mk("b", 0, 0.5, 5),
+		mk("a", 1, 0.5, 4), mk("b", 1, 0.5, 8),
+	}
+	instances, err := instancesFromRecords(recs, algs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, s := range seen {
-		if !s {
-			t.Fatalf("index %d not visited", i)
-		}
+	if len(instances) != 2 {
+		t.Fatalf("%d instances, want 2", len(instances))
+	}
+	if d := instances[0].Degradation["a"]; math.Abs(d-2) > 1e-12 {
+		t.Errorf("instance 0 degradation[a] = %v, want 2", d)
+	}
+	if d := instances[1].Degradation["b"]; math.Abs(d-2) > 1e-12 {
+		t.Errorf("instance 1 degradation[b] = %v, want 2", d)
+	}
+	if _, err := instancesFromRecords(recs[:1], algs); err == nil {
+		t.Error("instance missing an algorithm should be rejected")
 	}
 }
-
-func TestParallelForPropagatesError(t *testing.T) {
-	err := parallelFor(50, 4, func(i int) error {
-		if i == 20 {
-			return errTest
-		}
-		return nil
-	})
-	if err != errTest {
-		t.Errorf("err = %v, want errTest", err)
-	}
-}
-
-var errTest = errTestType{}
-
-type errTestType struct{}
-
-func (errTestType) Error() string { return "test error" }

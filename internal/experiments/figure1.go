@@ -3,11 +3,9 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"repro/internal/report"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // Figure1Result holds the Figure 1 curves: for each algorithm, the average
@@ -25,38 +23,15 @@ type Figure1Result struct {
 
 // Figure1 runs experiment E1 (penalty 0) or E2 (penalty 300): every
 // configured algorithm over every scaled synthetic trace, averaging
-// degradation factors per load level.
+// degradation factors per load level. The campaign is one grid —
+// algorithms x traces x loads — on the campaign engine.
 func Figure1(cfg Config, penalty float64) (*Figure1Result, error) {
-	base, err := cfg.BaseTraces()
+	g := cfg.grid(fmt.Sprintf("figure1-pen%.0f", penalty), cfg.Algorithms, cfg.Loads, penalty)
+	recs, err := cfg.run(g)
 	if err != nil {
 		return nil, err
 	}
-	scaled, err := cfg.ScaledTraces(base)
-	if err != nil {
-		return nil, err
-	}
-	type task struct {
-		tr   *workload.Trace
-		load float64
-	}
-	var tasks []task
-	for _, load := range cfg.Loads {
-		for _, tr := range scaled[load] {
-			tasks = append(tasks, task{tr: tr, load: load})
-		}
-	}
-	instances := make([]*Instance, len(tasks))
-	var mu sync.Mutex
-	err = parallelFor(len(tasks), cfg.workers(), func(i int) error {
-		inst, err := RunInstance(tasks[i].tr, cfg.Algorithms, penalty, cfg.Check, tasks[i].load)
-		if err != nil {
-			return err
-		}
-		mu.Lock()
-		instances[i] = inst
-		mu.Unlock()
-		return nil
-	})
+	instances, err := instancesFromRecords(recs, cfg.Algorithms)
 	if err != nil {
 		return nil, err
 	}

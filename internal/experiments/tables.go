@@ -3,15 +3,10 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sync"
 
-	"repro/internal/hpc2n"
-	"repro/internal/metrics"
+	"repro/internal/campaign"
 	"repro/internal/report"
-	"repro/internal/rng"
-	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // TableIResult reproduces Table I: degradation-factor statistics
@@ -24,70 +19,42 @@ type TableIResult struct {
 	RealWorld  map[string]stats.Summary // HPC2N-like weekly traces
 }
 
-// TableI runs experiment E3.
+// TableI runs experiment E3 as a single grid spanning the three workload
+// legs: load-scaled synthetic traces, the same traces unscaled, and the
+// HPC2N-like weekly segments. The records partition by family and load.
 func TableI(cfg Config) (*TableIResult, error) {
-	base, err := cfg.BaseTraces()
+	g := cfg.grid("table1", cfg.Algorithms, cfg.Loads, PaperPenalty)
+	g.Families = []campaign.Family{
+		{Kind: campaign.FamilyLublin, Count: cfg.Traces},                                         // scaled (grid loads)
+		{Kind: campaign.FamilyLublin, Count: cfg.Traces, Loads: []float64{campaign.Unscaled}},    // unscaled
+		{Kind: campaign.FamilyHPC2N, Count: cfg.HPC2NWeeks, Loads: []float64{campaign.Unscaled}}, // real-world stand-in
+	}
+	recs, err := cfg.run(g)
 	if err != nil {
 		return nil, err
 	}
-	scaled, err := cfg.ScaledTraces(base)
-	if err != nil {
-		return nil, err
-	}
-	var scaledList []*workload.Trace
-	for _, load := range cfg.Loads {
-		scaledList = append(scaledList, scaled[load]...)
-	}
-	synth := hpc2n.DefaultSynthParams()
-	synth.Weeks = cfg.HPC2NWeeks
-	weeks, _, err := hpc2n.WeeklyTraces(rng.New(cfg.Seed).Split("hpc2n"), synth)
-	if err != nil {
-		return nil, err
+	var scaled, unscaled, real []campaign.Record
+	for _, rec := range recs {
+		switch {
+		case rec.Family == campaign.FamilyHPC2N:
+			real = append(real, rec)
+		case rec.Load == campaign.Unscaled:
+			unscaled = append(unscaled, rec)
+		default:
+			scaled = append(scaled, rec)
+		}
 	}
 	res := &TableIResult{Algorithms: cfg.Algorithms}
-	res.Scaled, err = degradationStats(cfg, scaledList, PaperPenalty)
-	if err != nil {
+	if res.Scaled, err = degradationStats(scaled, cfg.Algorithms); err != nil {
 		return nil, err
 	}
-	res.Unscaled, err = degradationStats(cfg, base, PaperPenalty)
-	if err != nil {
+	if res.Unscaled, err = degradationStats(unscaled, cfg.Algorithms); err != nil {
 		return nil, err
 	}
-	res.RealWorld, err = degradationStats(cfg, weeks, PaperPenalty)
-	if err != nil {
+	if res.RealWorld, err = degradationStats(real, cfg.Algorithms); err != nil {
 		return nil, err
 	}
 	return res, nil
-}
-
-// degradationStats runs every algorithm on every trace and aggregates the
-// degradation factors per algorithm.
-func degradationStats(cfg Config, traces []*workload.Trace, penalty float64) (map[string]stats.Summary, error) {
-	streams := map[string]*stats.Stream{}
-	for _, alg := range cfg.Algorithms {
-		streams[alg] = &stats.Stream{}
-	}
-	var mu sync.Mutex
-	err := parallelFor(len(traces), cfg.workers(), func(i int) error {
-		inst, err := RunInstance(traces[i], cfg.Algorithms, penalty, cfg.Check, 0)
-		if err != nil {
-			return err
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		for _, alg := range cfg.Algorithms {
-			streams[alg].Add(inst.Degradation[alg])
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := map[string]stats.Summary{}
-	for alg, s := range streams {
-		out[alg] = s.Summary()
-	}
-	return out, nil
 }
 
 // Table builds Table I in the paper's layout.
@@ -131,12 +98,10 @@ type TableIIResult struct {
 // tableIIMinLoad is the paper's load cutoff for Table II.
 const tableIIMinLoad = 0.7
 
-// TableII runs experiment E4.
+// TableII runs experiment E4: the preempting algorithms over the high-load
+// scaled traces, aggregating the six cost columns directly from the
+// campaign records.
 func TableII(cfg Config) (*TableIIResult, error) {
-	base, err := cfg.BaseTraces()
-	if err != nil {
-		return nil, err
-	}
 	var loads []float64
 	for _, l := range cfg.Loads {
 		if l >= tableIIMinLoad {
@@ -146,19 +111,13 @@ func TableII(cfg Config) (*TableIIResult, error) {
 	if len(loads) == 0 {
 		return nil, fmt.Errorf("experiments: Table II needs load levels >= %.1f", tableIIMinLoad)
 	}
-	hiCfg := cfg
-	hiCfg.Loads = loads
-	scaled, err := hiCfg.ScaledTraces(base)
-	if err != nil {
-		return nil, err
-	}
-	var traces []*workload.Trace
-	for _, l := range loads {
-		traces = append(traces, scaled[l]...)
-	}
 	algs := cfg.Algorithms
 	if len(algs) == 0 {
 		algs = PreemptingAlgorithms
+	}
+	recs, err := cfg.run(cfg.grid("table2", algs, loads, PaperPenalty))
+	if err != nil {
+		return nil, err
 	}
 	type accum struct{ streams [6]*stats.Stream }
 	acc := map[string]*accum{}
@@ -169,24 +128,11 @@ func TableII(cfg Config) (*TableIIResult, error) {
 		}
 		acc[alg] = a
 	}
-	var mu sync.Mutex
-	err = parallelFor(len(traces), cfg.workers(), func(i int) error {
-		for _, alg := range algs {
-			res, err := RunOne(traces[i], alg, PaperPenalty, cfg.Check)
-			if err != nil {
-				return fmt.Errorf("%s on %s: %w", alg, traces[i].Name, err)
-			}
-			c := costsOf(res)
-			mu.Lock()
-			for k := range c {
-				acc[alg].streams[k].Add(c[k])
-			}
-			mu.Unlock()
+	for _, rec := range recs {
+		cols := [6]float64{rec.PmtnGBps, rec.MigGBps, rec.PmtnPerHour, rec.MigPerHour, rec.PmtnPerJob, rec.MigPerJob}
+		for k := range cols {
+			acc[rec.Algorithm].streams[k].Add(cols[k])
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	out := &TableIIResult{Algorithms: algs, Streams: map[string][6]stats.Summary{}}
 	for _, alg := range algs {
@@ -197,12 +143,6 @@ func TableII(cfg Config) (*TableIIResult, error) {
 		out.Streams[alg] = row
 	}
 	return out, nil
-}
-
-// costsOf flattens a run's Table II quantities into column order.
-func costsOf(res *sim.Result) [6]float64 {
-	c := metrics.Costs(res)
-	return [6]float64{c.PmtnGBps, c.MigGBps, c.PmtnPerHour, c.MigPerHour, c.PmtnPerJob, c.MigPerJob}
 }
 
 // Table builds Table II in the paper's layout: average values with maxima

@@ -3,11 +3,10 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sync"
+	"math"
 
+	"repro/internal/campaign"
 	"repro/internal/report"
-	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -25,73 +24,82 @@ type TimingResult struct {
 	MaxJobs       int
 }
 
-// TimingStudy runs experiment E5 on the unscaled synthetic traces.
+// TimingStudy runs experiment E5 on the unscaled synthetic traces: a
+// one-algorithm grid with per-cell timing aggregates enabled, merged into
+// campaign-wide statistics. Timing numbers are wall-clock and therefore the
+// only nondeterministic output of the harness.
 func TimingStudy(cfg Config, algorithm string) (*TimingResult, error) {
 	if algorithm == "" {
 		algorithm = "dynmcb8"
 	}
-	base, err := cfg.BaseTraces()
+	g := cfg.grid("timing", []string{algorithm}, []float64{campaign.Unscaled}, PaperPenalty)
+	g.Timing = true
+	recs, err := cfg.run(g)
 	if err != nil {
 		return nil, err
 	}
-	var (
-		mu        sync.Mutex
-		all       stats.Stream
-		large     stats.Stream
-		smallFast int
-		total     int
-		maxJobs   int
-	)
-	err = parallelFor(len(base), cfg.workers(), func(i int) error {
-		s, err := sched.New(algorithm)
-		if err != nil {
-			return err
+	out := &TimingResult{Algorithm: algorithm}
+	var smallFast int
+	var all, large mergedStream
+	for _, rec := range recs {
+		agg := rec.Timing
+		if agg == nil {
+			return nil, fmt.Errorf("experiments: record %s carries no timing aggregate", rec.Key)
 		}
-		simulator, err := sim.New(sim.Config{
-			Trace:            base[i],
-			Penalty:          PaperPenalty,
-			RecordSchedTimes: true,
-			MaxSimTime:       50 * 365 * 24 * 3600,
-		}, s)
-		if err != nil {
-			return err
+		all.merge(agg.Samples, agg.Sum, agg.SumSq, agg.Min, agg.Max)
+		large.merge(agg.LargeN, agg.LargeSum, agg.LargeSqSm, agg.LargeMin, agg.LargeMax)
+		smallFast += agg.SmallFast
+		if agg.MaxJobs > out.MaxJobs {
+			out.MaxJobs = agg.MaxJobs
 		}
-		res, err := simulator.Run()
-		if err != nil {
-			return err
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		for _, sample := range res.SchedSamples {
-			total++
-			all.Add(sample.Seconds)
-			if sample.JobsInSystem <= 10 {
-				if sample.Seconds < 1e-3 {
-					smallFast++
-				}
-			} else {
-				large.Add(sample.Seconds)
-			}
-			if sample.JobsInSystem > maxJobs {
-				maxJobs = sample.JobsInSystem
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	out := &TimingResult{
-		Algorithm:    algorithm,
-		Observations: total,
-		All:          all.Summary(),
-		Large:        large.Summary(),
-		MaxJobs:      maxJobs,
-	}
-	if total > 0 {
-		out.SmallFastFrac = float64(smallFast) / float64(total)
+	out.Observations = all.n
+	out.All = all.summary()
+	out.Large = large.summary()
+	if all.n > 0 {
+		out.SmallFastFrac = float64(smallFast) / float64(all.n)
 	}
 	return out, nil
+}
+
+// mergedStream reconstructs exact summary statistics from per-cell moment
+// aggregates (count, sum, sum of squares, extrema).
+type mergedStream struct {
+	n          int
+	sum, sumSq float64
+	min, max   float64
+	any        bool
+}
+
+func (m *mergedStream) merge(n int, sum, sumSq, min, max float64) {
+	if n == 0 {
+		return
+	}
+	if !m.any {
+		m.min, m.max = min, max
+		m.any = true
+	} else {
+		m.min = math.Min(m.min, min)
+		m.max = math.Max(m.max, max)
+	}
+	m.n += n
+	m.sum += sum
+	m.sumSq += sumSq
+}
+
+func (m *mergedStream) summary() stats.Summary {
+	if m.n == 0 {
+		return stats.Summary{Mean: math.NaN(), Std: math.NaN(), Min: math.NaN(), Max: math.NaN()}
+	}
+	mean := m.sum / float64(m.n)
+	std := 0.0
+	if m.n > 1 {
+		variance := (m.sumSq - float64(m.n)*mean*mean) / float64(m.n-1)
+		if variance > 0 {
+			std = math.Sqrt(variance)
+		}
+	}
+	return stats.Summary{N: m.n, Mean: mean, Std: std, Min: m.min, Max: m.max, Sum: m.sum}
 }
 
 // Table builds the timing study summary table.

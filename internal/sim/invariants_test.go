@@ -1,0 +1,152 @@
+package sim_test
+
+// Simulator invariant battery: every one of the paper's nine algorithms is
+// run over a small but adversarial synthetic trace with per-event state
+// validation enabled (node CPU/memory allocation never exceeds capacity at
+// any event time), and the results are checked against the scheduling
+// model: no job finishes before its arrival, no job beats its dedicated
+// execution time, and the CPU work delivered by the cluster equals the work
+// submitted by the finished jobs. This lives in an external test package so
+// it can pull in the real scheduler registry without an import cycle.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lublin"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+
+	_ "repro/internal/sched/batch"
+	_ "repro/internal/sched/gang"
+	_ "repro/internal/sched/greedy"
+	_ "repro/internal/sched/mcb"
+)
+
+// nineAlgorithms is the paper's full algorithm set (Figure 1 legend order).
+var nineAlgorithms = []string{
+	"fcfs",
+	"easy",
+	"greedy",
+	"greedy-pmtn",
+	"greedy-pmtn-migr",
+	"dynmcb8",
+	"dynmcb8-per",
+	"dynmcb8-asap-per",
+	"dynmcb8-stretch-per",
+}
+
+// invariantTrace builds a small high-load trace: enough contention that
+// preempting algorithms actually pause, migrate and reschedule.
+func invariantTrace(t *testing.T) *workload.Trace {
+	t.Helper()
+	tr, err := lublin.GenerateTrace(rng.New(11), lublin.DefaultParams(16), 40, "invariants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := tr.ScaleToLoad(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scaled
+}
+
+func TestInvariantsAcrossAllAlgorithms(t *testing.T) {
+	tr := invariantTrace(t)
+	for _, alg := range nineAlgorithms {
+		for _, penalty := range []float64{0, 300} {
+			s, err := sched.New(alg)
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			simulator, err := sim.New(sim.Config{
+				Trace: tr,
+				// CheckInvariants validates after every event that no
+				// node's allocated CPU or memory fraction exceeds 1.0 and
+				// that no job holds nodes outside the Running state.
+				CheckInvariants: true,
+				Penalty:         penalty,
+				MaxSimTime:      50 * 365 * 24 * 3600,
+			}, s)
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			res, err := simulator.Run()
+			if err != nil {
+				t.Fatalf("%s (penalty %.0f): %v", alg, penalty, err)
+			}
+			checkResultInvariants(t, tr, res, alg, penalty)
+		}
+	}
+}
+
+// checkResultInvariants verifies the model-level properties of a finished
+// run.
+func checkResultInvariants(t *testing.T, tr *workload.Trace, res *sim.Result, alg string, penalty float64) {
+	t.Helper()
+	if len(res.Jobs) != len(tr.Jobs) {
+		t.Errorf("%s (penalty %.0f): %d of %d jobs finished", alg, penalty, len(res.Jobs), len(tr.Jobs))
+		return
+	}
+	var submitted, delivered float64
+	for _, jr := range res.Jobs {
+		// No job may finish (or start) before its arrival.
+		if jr.Finish < jr.Job.Submit {
+			t.Errorf("%s (penalty %.0f): job %d finished at %.3f before its arrival %.3f",
+				alg, penalty, jr.Job.ID, jr.Finish, jr.Job.Submit)
+		}
+		if jr.Start >= 0 && jr.Start < jr.Job.Submit-1e-9 {
+			t.Errorf("%s (penalty %.0f): job %d started at %.3f before its arrival %.3f",
+				alg, penalty, jr.Job.ID, jr.Start, jr.Job.Submit)
+		}
+		// No job may run faster than with yield 1.0 from submission.
+		if jr.Turnaround < jr.Job.ExecTime-1e-6 {
+			t.Errorf("%s (penalty %.0f): job %d turnaround %.3f below execution time %.3f",
+				alg, penalty, jr.Job.ID, jr.Turnaround, jr.Job.ExecTime)
+		}
+		// A finished job's tasks each absorbed CPUNeed x ExecTime of CPU.
+		submitted += float64(jr.Job.Tasks) * jr.Job.CPUNeed * jr.Job.ExecTime
+	}
+	delivered = res.DeliveredCPUSeconds
+	// Work conservation: total CPU work the cluster delivered equals the
+	// work the finished jobs submitted (relative tolerance for the
+	// accumulated floating-point integration).
+	if diff := math.Abs(delivered - submitted); diff > 1e-6*math.Max(1, submitted) {
+		t.Errorf("%s (penalty %.0f): delivered %.6f CPU-seconds, submitted %.6f (diff %g)",
+			alg, penalty, delivered, submitted, diff)
+	}
+	if res.Makespan <= 0 {
+		t.Errorf("%s (penalty %.0f): non-positive makespan %g", alg, penalty, res.Makespan)
+	}
+}
+
+// TestInvariantsOnHighMemoryPressure drives a hand-built trace where memory
+// is the binding constraint, the regime where oversubscription bugs would
+// hide: four memory-heavy jobs on two nodes cannot all run at once.
+func TestInvariantsOnHighMemoryPressure(t *testing.T) {
+	jobs := []workload.Job{
+		{ID: 0, Submit: 0, Tasks: 1, CPUNeed: 0.5, MemReq: 0.6, ExecTime: 100},
+		{ID: 1, Submit: 1, Tasks: 1, CPUNeed: 0.5, MemReq: 0.6, ExecTime: 100},
+		{ID: 2, Submit: 2, Tasks: 2, CPUNeed: 0.9, MemReq: 0.4, ExecTime: 100},
+		{ID: 3, Submit: 3, Tasks: 1, CPUNeed: 1.0, MemReq: 1.0, ExecTime: 50},
+	}
+	tr := &workload.Trace{Name: "mem-pressure", Nodes: 2, NodeMemGB: 4, Jobs: jobs}
+	for _, alg := range nineAlgorithms {
+		s, err := sched.New(alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simulator, err := sim.New(sim.Config{Trace: tr, CheckInvariants: true, Penalty: 300,
+			MaxSimTime: 50 * 365 * 24 * 3600}, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := simulator.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		checkResultInvariants(t, tr, res, alg, 300)
+	}
+}

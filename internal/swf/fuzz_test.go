@@ -1,0 +1,47 @@
+package swf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the loader's crash-safety contract: no input — however
+// malformed, truncated or hostile — may panic the parser. Accepted inputs
+// must additionally survive a Write/Parse round trip with every record
+// intact, since resumable campaigns depend on re-reading what they wrote.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte("; Version: 2.2\n; MaxNodes: 120\n1 0 10 3600 4 -1 1048576 4 7200 -1 1 3 2 1 1 1 -1 -1\n"))
+	f.Add([]byte("2 60 -1 100 1 -1 -1 1 -1 -1 0 5 1 1 1 1 -1 -1"))
+	f.Add([]byte("1 2 3\n"))                                           // short line, padded with -1
+	f.Add([]byte("1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19\n")) // too many fields
+	f.Add([]byte("not numbers at all\n"))
+	f.Add([]byte(";\n;;\n;   \n"))
+	f.Add([]byte("9223372036854775807 -9223372036854775808 0\n"))
+	f.Add([]byte("99999999999999999999 0 0\n")) // int64 overflow
+	f.Add([]byte("\x00\xff\xfe\n1\n"))
+	f.Add([]byte(strings.Repeat("1 ", 17) + "1\n; trailing header\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		var buf bytes.Buffer
+		if err := log.Write(&buf); err != nil {
+			t.Fatalf("Write failed on accepted log: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\noriginal: %q\nwritten: %q", err, data, buf.String())
+		}
+		if len(back.Records) != len(log.Records) {
+			t.Fatalf("round trip lost records: %d -> %d", len(log.Records), len(back.Records))
+		}
+		for i := range back.Records {
+			if back.Records[i] != log.Records[i] {
+				t.Fatalf("record %d changed in round trip:\n%+v\n%+v", i, log.Records[i], back.Records[i])
+			}
+		}
+	})
+}
