@@ -1,7 +1,7 @@
 # Build/test entry points; `make ci` is what the repository considers green.
 GO ?= go
 
-.PHONY: all build test race bench fuzz ci
+.PHONY: all build test race bench bench-json fuzz ci
 
 all: build
 
@@ -17,6 +17,12 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Benchmark results as committable JSON (see BENCH_PR*.json baselines).
+# Override BENCH_OUT to choose the output file.
+BENCH_OUT ?= BENCH.json
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | $(GO) run ./cmd/dfrs-bench > $(BENCH_OUT)
 
 # Short fuzz session over the SWF parser (the deterministic corpus also
 # runs as a normal test in `make test`).

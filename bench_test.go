@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/lublin"
@@ -129,7 +130,7 @@ func BenchmarkMCB8Allocation(b *testing.B) {
 	// jobs from the tail until the packing exists, exactly as the
 	// DYNMCB8 schedulers do.
 	for len(specs) > 0 {
-		if _, ok := core.MaxMinYield(specs, 128, vectorpack.MCB8{}); ok {
+		if _, ok := core.MaxMinYield(specs, cluster.Homogeneous(128), vectorpack.MCB8{}); ok {
 			break
 		}
 		specs = specs[:len(specs)-1]
@@ -139,7 +140,7 @@ func BenchmarkMCB8Allocation(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok := core.MaxMinYield(specs, 128, vectorpack.MCB8{}); !ok {
+		if _, ok := core.MaxMinYield(specs, cluster.Homogeneous(128), vectorpack.MCB8{}); !ok {
 			b.Fatal("bench instance infeasible")
 		}
 	}

@@ -1,0 +1,85 @@
+// Command dfrs-bench converts `go test -bench` output on stdin into a JSON
+// array on stdout, one object per benchmark result, so benchmark baselines
+// can be committed and diffed across PRs:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | dfrs-bench > BENCH.json
+//
+// Lines that are not benchmark results (package headers, PASS/ok trailers)
+// are ignored. Standard testing metrics (ns/op, B/op, allocs/op) get their
+// own fields; any custom metrics land in the "extra" map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	AllocsUnit float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds nonstandard "value unit" pairs reported via b.ReportMetric.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfrs-bench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "dfrs-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark lines of the form
+//
+//	BenchmarkName-8   	      12	  98765 ns/op	  4096 B/op	  12 allocs/op
+func parse(sc *bufio.Scanner) ([]Result, error) {
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	results := []Result{}
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmarking..." chatter, not a result line
+		}
+		r := Result{Name: fields[0], Iterations: iters}
+		// The remainder is "value unit" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value %q in %q", fields[i], sc.Text())
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsUnit = v
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[fields[i+1]] = v
+			}
+		}
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}

@@ -16,6 +16,11 @@
 //	dfrs-campaign -algs easy,dynmcb8-asap-per -seeds 1,2,3 -traces 10 \
 //	    -loads 0.5,0.7,0.9 -penalties 0,300 -workers 8 -out sweep.jsonl
 //
+// Heterogeneous platforms are a grid axis: -node-mix sweeps named node-mix
+// profiles (uniform, bimodal, powerlaw; see internal/cluster), e.g.
+//
+//	dfrs-campaign -node-mix uniform,bimodal -loads 0.7 -out het.jsonl
+//
 // The paper's full scale is -traces 100 -jobs 1000 -weeks 182 (CPU-hours);
 // defaults are a small representative slice. Records sort by their "key"
 // field into a canonical order that is byte-identical for any -workers
@@ -31,7 +36,9 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/sched"
 
 	// Register every scheduling algorithm.
 	_ "repro/internal/sched/batch"
@@ -48,6 +55,7 @@ func main() {
 		traces    = flag.Int("traces", 3, "synthetic traces per seed (paper: 100)")
 		jobs      = flag.Int("jobs", 150, "jobs per synthetic trace (paper: 1000)")
 		nodes     = flag.String("nodes", "128", "comma-separated cluster sizes (paper: 128)")
+		nodeMix   = flag.String("node-mix", "", "comma-separated node-mix profiles (uniform, bimodal, powerlaw); empty = homogeneous")
 		loads     = flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9", "comma-separated load levels; 0 means unscaled")
 		penalties = flag.String("penalties", "300", "comma-separated rescheduling penalties in seconds")
 		weeks     = flag.Int("weeks", 0, "HPC2N-like weekly segments to add as a second family (0 = none; paper: 182)")
@@ -60,7 +68,7 @@ func main() {
 	)
 	flag.Parse()
 
-	g, err := buildGrid(*preset, *algs, *seeds, *traces, *jobs, *nodes, *loads, *penalties, *weeks)
+	g, err := buildGrid(*preset, *algs, *seeds, *traces, *jobs, *nodes, *nodeMix, *loads, *penalties, *weeks)
 	if err != nil {
 		fatal(err)
 	}
@@ -102,23 +110,60 @@ func main() {
 // buildGrid assembles the campaign grid from the preset or the custom grid
 // flags. Presets start from the flag values and override only the
 // dimensions that define the paper campaign, so -traces/-jobs/-seeds still
-// scale them.
-func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, loads, penalties string, weeks int) (*campaign.Grid, error) {
+// scale them. Flag values are validated eagerly so a bad sweep fails with a
+// clear message before any cell runs.
+func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loads, penalties string, weeks int) (*campaign.Grid, error) {
 	seedList, err := parseUints(seeds)
 	if err != nil {
 		return nil, fmt.Errorf("bad -seeds: %w", err)
+	}
+	if traces <= 0 {
+		return nil, fmt.Errorf("bad -traces: %d traces per seed, want at least 1", traces)
+	}
+	if jobs <= 0 {
+		return nil, fmt.Errorf("bad -jobs: %d jobs per trace, want at least 1", jobs)
+	}
+	if weeks < 0 {
+		return nil, fmt.Errorf("bad -weeks: negative segment count %d", weeks)
 	}
 	nodeList, err := parseInts(nodes)
 	if err != nil {
 		return nil, fmt.Errorf("bad -nodes: %w", err)
 	}
+	for _, n := range nodeList {
+		if n <= 0 {
+			return nil, fmt.Errorf("bad -nodes: cluster size %d, want at least 1", n)
+		}
+	}
 	loadList, err := parseFloats(loads)
 	if err != nil {
 		return nil, fmt.Errorf("bad -loads: %w", err)
 	}
+	for _, l := range loadList {
+		if l < 0 || l > 1 {
+			return nil, fmt.Errorf("bad -loads: load %g outside [0,1] (0 means unscaled)", l)
+		}
+	}
 	penList, err := parseFloats(penalties)
 	if err != nil {
 		return nil, fmt.Errorf("bad -penalties: %w", err)
+	}
+	for _, p := range penList {
+		if p < 0 {
+			return nil, fmt.Errorf("bad -penalties: negative penalty %g", p)
+		}
+	}
+	mixList := splitList(nodeMix)
+	for _, mix := range mixList {
+		if !cluster.ValidProfile(mix) {
+			return nil, fmt.Errorf("bad -node-mix: unknown profile %q (known: %v)",
+				mix, cluster.ProfileNames())
+		}
+	}
+	for _, alg := range splitList(algs) {
+		if _, err := sched.New(alg); err != nil {
+			return nil, fmt.Errorf("bad -algs: %w", err)
+		}
 	}
 	g := &campaign.Grid{
 		Name:         "custom",
@@ -128,6 +173,7 @@ func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, loads, penal
 		Loads:        loadList,
 		Penalties:    penList,
 		Nodes:        nodeList,
+		NodeMixes:    mixList,
 		JobsPerTrace: jobs,
 	}
 	if weeks > 0 {

@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig1a, fig1b, table1, table2, timing, priority, period, packer, fairness, all")
+		exp     = flag.String("exp", "all", "experiment: fig1a, fig1b, table1, table2, timing, priority, period, packer, fairness, heterogeneity, all")
 		seed    = flag.Uint64("seed", 42, "campaign seed")
 		traces  = flag.Int("traces", 3, "number of base synthetic traces (paper: 100)")
 		jobs    = flag.Int("jobs", 150, "jobs per synthetic trace (paper: 1000)")
@@ -62,7 +62,7 @@ func main() {
 		}
 	}
 	if *exp == "all" {
-		for _, name := range []string{"fig1a", "fig1b", "table1", "table2", "timing", "priority", "period", "packer", "fairness"} {
+		for _, name := range []string{"fig1a", "fig1b", "table1", "table2", "timing", "priority", "period", "packer", "fairness", "heterogeneity"} {
 			run(name)
 			fmt.Println()
 		}
@@ -102,6 +102,8 @@ func dispatch(name string, cfg experiments.Config, csv bool) error {
 		res, err = experiments.AblationPacker(cfg)
 	case "fairness":
 		res, err = experiments.ExtensionFairness(cfg)
+	case "heterogeneity":
+		res, err = experiments.HeterogeneityStudy(cfg)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

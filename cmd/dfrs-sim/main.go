@@ -14,6 +14,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/cluster"
 	"repro/internal/lublin"
 	"repro/internal/metrics"
 	"repro/internal/report"
@@ -36,6 +37,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "synthetic workload seed")
 		jobs      = flag.Int("jobs", 300, "synthetic workload size")
 		nodes     = flag.Int("nodes", 128, "synthetic cluster size")
+		nodeMix   = flag.String("node-mix", "", "node-mix profile (uniform, bimodal, powerlaw); empty = homogeneous")
 		load      = flag.Float64("load", 0.7, "synthetic offered load (0 = natural)")
 		check     = flag.Bool("check", false, "enable per-event invariant checking")
 		perJob    = flag.Bool("jobs-detail", false, "print per-job stretch table")
@@ -52,7 +54,31 @@ func main() {
 		return
 	}
 
+	// Validate flags eagerly so misuse fails with a clear message instead
+	// of a generator or simulator error deep in the run.
+	if *tracePath == "" {
+		if *nodes <= 0 {
+			fatal(fmt.Errorf("bad -nodes: cluster size %d, want at least 1", *nodes))
+		}
+		if *jobs <= 0 {
+			fatal(fmt.Errorf("bad -jobs: workload size %d, want at least 1", *jobs))
+		}
+	}
+	if *load < 0 || *load > 1 {
+		fatal(fmt.Errorf("bad -load: offered load %g outside [0,1] (0 means natural)", *load))
+	}
+	if *penalty < 0 {
+		fatal(fmt.Errorf("bad -penalty: negative rescheduling penalty %g", *penalty))
+	}
+	if !cluster.ValidProfile(*nodeMix) {
+		fatal(fmt.Errorf("bad -node-mix: unknown profile %q (known: %v)", *nodeMix, cluster.ProfileNames()))
+	}
+
 	tr, err := loadTrace(*tracePath, *seed, *nodes, *jobs, *load)
+	if err != nil {
+		fatal(err)
+	}
+	cl, err := cluster.Profile(*nodeMix, tr.Nodes)
 	if err != nil {
 		fatal(err)
 	}
@@ -62,6 +88,7 @@ func main() {
 	}
 	simulator, err := sim.New(sim.Config{
 		Trace:           tr,
+		Cluster:         cl,
 		Penalty:         *penalty,
 		CheckInvariants: *check,
 		RecordTimeline:  *gantt || *tlCSV != "",
@@ -81,6 +108,10 @@ func main() {
 	costs := metrics.Costs(res)
 	fmt.Printf("trace        %s (%d jobs, %d nodes, offered load %.2f)\n",
 		tr.Name, len(tr.Jobs), tr.Nodes, tr.OfferedLoad())
+	if !cl.Homogeneous() {
+		fmt.Printf("cluster      node-mix %s (total CPU capacity %.1f, memory %.1f)\n",
+			*nodeMix, cl.TotalCPU(), cl.TotalMem())
+	}
 	fmt.Printf("algorithm    %s (penalty %.0fs)\n", res.Algorithm, *penalty)
 	fmt.Printf("makespan     %.1f h\n", res.Makespan/3600)
 	fmt.Printf("max stretch  %.2f\n", sum.MaxStretch)

@@ -18,6 +18,23 @@
 //	res, _ := dfrs.Run(trace, "dynmcb8-asap-per", dfrs.RunOptions{PenaltySeconds: 300})
 //	fmt.Println(res.MaxStretch())
 //
+// # Cluster resource model
+//
+// Every layer works against a shared cluster resource model
+// (internal/cluster): each node has its own CPU and memory capacity in
+// units of the paper's reference node. By default a trace runs on the
+// paper's homogeneous platform — Trace.Nodes reference nodes of capacity
+// 1.0 x 1.0 — and reproduces the published algorithms exactly.
+// Heterogeneous platforms are selected with RunOptions.NodeMix, one of the
+// deterministic named profiles listed by NodeMixes (for example "bimodal":
+// alternating double-capacity fat nodes and reference nodes). Job resource
+// requirements stay fractions of the reference node, and profiles never
+// shrink a node below reference capacity, so every valid workload remains
+// schedulable on every profile. The vector-packing kernel packs into the
+// resulting unequal bins, the allocation math measures yields against each
+// node's own CPU capacity, and the simulator enforces per-node capacities
+// at every event.
+//
 // Full evaluation campaigns — the paper's nine-algorithm scenario grid over
 // loads, seeds, penalties and cluster sizes — run on the campaign engine
 // (internal/campaign): a declarative grid expands into cells, executes on a
@@ -35,6 +52,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/cluster"
 	"repro/internal/hpc2n"
 	"repro/internal/lublin"
 	"repro/internal/metrics"
@@ -162,11 +180,19 @@ func FromJobs(name string, nodes int, nodeMemGB float64, jobs []Job) (Trace, err
 // Algorithms lists every registered scheduling algorithm name.
 func Algorithms() []string { return sched.Names() }
 
+// NodeMixes lists the named node-mix profiles accepted by
+// RunOptions.NodeMix ("uniform", "bimodal", "powerlaw", ...).
+func NodeMixes() []string { return cluster.ProfileNames() }
+
 // RunOptions configures one simulation.
 type RunOptions struct {
 	// PenaltySeconds is the rescheduling penalty charged to every resume
 	// and migration (the paper evaluates 0 and 300).
 	PenaltySeconds float64
+	// NodeMix selects a heterogeneous node-mix profile (see NodeMixes)
+	// laid out over the trace's node count. Empty means the paper's
+	// homogeneous platform.
+	NodeMix string
 	// CheckInvariants enables per-event state validation (slow; for
 	// tests).
 	CheckInvariants bool
@@ -183,8 +209,13 @@ func Run(t Trace, algorithm string, opt RunOptions) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	cl, err := cluster.Profile(opt.NodeMix, t.t.Nodes)
+	if err != nil {
+		return Result{}, err
+	}
 	simulator, err := sim.New(sim.Config{
 		Trace:           t.t,
+		Cluster:         cl,
 		Penalty:         opt.PenaltySeconds,
 		CheckInvariants: opt.CheckInvariants,
 		MaxSimTime:      50 * 365 * 24 * 3600,

@@ -1,7 +1,8 @@
 // Package campaign is the experiment-orchestration engine behind every
 // evaluation in this repository. A campaign is a declarative Grid — the
 // cross product of algorithms, workload families, offered-load levels,
-// seeds, rescheduling penalties and cluster sizes — that expands into
+// seeds, rescheduling penalties, cluster sizes and node-mix profiles
+// (heterogeneous platforms; internal/cluster) — that expands into
 // independent Cells, each naming exactly one simulation. A Runner executes
 // the cells on a bounded worker pool, materialising each cell's trace from
 // a deterministic RNG substream (rng.Source.Split keyed by seed and trace
@@ -21,6 +22,8 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+
+	"repro/internal/cluster"
 )
 
 // Family kinds understood by the trace materialiser.
@@ -70,6 +73,12 @@ type Grid struct {
 	// Nodes are cluster sizes for the lublin family; empty means {128},
 	// the paper's platform.
 	Nodes []int `json:"nodes"`
+	// NodeMixes are node-mix profile names (internal/cluster.Profile)
+	// giving each cell's per-node capacities; empty means the homogeneous
+	// platform. "uniform" and "" are aliases for homogeneous and expand to
+	// the same cell keys as grids predating the heterogeneity axis, so old
+	// checkpoints stay resumable.
+	NodeMixes []string `json:"node_mixes,omitempty"`
 	// JobsPerTrace is the lublin trace length; 0 means 1000 (the paper's).
 	JobsPerTrace int `json:"jobs_per_trace"`
 	// Check enables per-event simulator invariant validation (slow).
@@ -83,22 +92,35 @@ type Grid struct {
 
 // Cell is one point of an expanded grid: exactly one simulation.
 type Cell struct {
-	Seed      uint64  `json:"seed"`
-	Family    string  `json:"family"`
-	TraceIdx  int     `json:"trace_idx"`
-	Load      float64 `json:"load"` // Unscaled (0) or the target offered load
-	Nodes     int     `json:"nodes"`
-	Jobs      int     `json:"jobs"`
+	Seed     uint64  `json:"seed"`
+	Family   string  `json:"family"`
+	TraceIdx int     `json:"trace_idx"`
+	Load     float64 `json:"load"` // Unscaled (0) or the target offered load
+	Nodes    int     `json:"nodes"`
+	Jobs     int     `json:"jobs"`
+	// NodeMix is the canonical node-mix profile name; empty means the
+	// homogeneous platform.
+	NodeMix   string  `json:"node_mix,omitempty"`
 	Penalty   float64 `json:"penalty"`
 	Algorithm string  `json:"algorithm"`
 }
 
 // Key returns the cell's canonical identity, the string used for
 // checkpoint/resume matching. It is stable across runs and versions of the
-// expansion order.
+// expansion order; homogeneous cells keep the pre-heterogeneity key format
+// so existing checkpoints remain valid.
 func (c Cell) Key() string {
-	return fmt.Sprintf("seed=%d/family=%s/trace=%d/load=%s/nodes=%d/jobs=%d/pen=%s/alg=%s",
-		c.Seed, c.Family, c.TraceIdx, ftoa(c.Load), c.Nodes, c.Jobs, ftoa(c.Penalty), c.Algorithm)
+	return fmt.Sprintf("seed=%d/family=%s/trace=%d/load=%s/nodes=%d/jobs=%d%s/pen=%s/alg=%s",
+		c.Seed, c.Family, c.TraceIdx, ftoa(c.Load), c.Nodes, c.Jobs, mixKey(c.NodeMix), ftoa(c.Penalty), c.Algorithm)
+}
+
+// mixKey renders the node-mix key segment; homogeneous cells contribute
+// nothing so their keys match grids predating the heterogeneity axis.
+func mixKey(mix string) string {
+	if mix == "" {
+		return ""
+	}
+	return "/mix=" + mix
 }
 
 // ftoa formats a float with the shortest exact representation so keys are
@@ -145,6 +167,11 @@ func (g *Grid) Validate() error {
 			return fmt.Errorf("campaign: non-positive cluster size %d", n)
 		}
 	}
+	for _, mix := range g.NodeMixes {
+		if !cluster.ValidProfile(mix) {
+			return fmt.Errorf("campaign: unknown node-mix profile %q (known: %v)", mix, cluster.ProfileNames())
+		}
+	}
 	if g.JobsPerTrace < 0 {
 		return fmt.Errorf("campaign: negative jobs per trace %d", g.JobsPerTrace)
 	}
@@ -152,7 +179,8 @@ func (g *Grid) Validate() error {
 }
 
 // Cells expands the grid into its cells in a deterministic order:
-// seed-major, then family, trace index, load, nodes, penalty, algorithm.
+// seed-major, then family, trace index, load, nodes, node mix, penalty,
+// algorithm.
 func (g *Grid) Cells() []Cell {
 	seeds := g.Seeds
 	if len(seeds) == 0 {
@@ -169,6 +197,13 @@ func (g *Grid) Cells() []Cell {
 	nodes := g.Nodes
 	if len(nodes) == 0 {
 		nodes = []int{128}
+	}
+	mixes := make([]string, 0, len(g.NodeMixes))
+	for _, mix := range g.NodeMixes {
+		mixes = append(mixes, cluster.NormalizeProfile(mix))
+	}
+	if len(mixes) == 0 {
+		mixes = []string{""}
 	}
 	jobs := g.JobsPerTrace
 	if jobs == 0 {
@@ -195,21 +230,24 @@ func (g *Grid) Cells() []Cell {
 			for idx := 0; idx < fam.Count; idx++ {
 				for _, load := range loads {
 					for _, n := range famNodes {
-						for _, pen := range penalties {
-							for _, alg := range g.Algorithms {
-								c := Cell{
-									Seed:      seed,
-									Family:    fam.Kind,
-									TraceIdx:  idx,
-									Load:      load,
-									Nodes:     n,
-									Jobs:      famJobs,
-									Penalty:   pen,
-									Algorithm: alg,
-								}
-								if key := c.Key(); !seen[key] {
-									seen[key] = true
-									cells = append(cells, c)
+						for _, mix := range mixes {
+							for _, pen := range penalties {
+								for _, alg := range g.Algorithms {
+									c := Cell{
+										Seed:      seed,
+										Family:    fam.Kind,
+										TraceIdx:  idx,
+										Load:      load,
+										Nodes:     n,
+										Jobs:      famJobs,
+										NodeMix:   mix,
+										Penalty:   pen,
+										Algorithm: alg,
+									}
+									if key := c.Key(); !seen[key] {
+										seen[key] = true
+										cells = append(cells, c)
+									}
 								}
 							}
 						}
@@ -222,12 +260,12 @@ func (g *Grid) Cells() []Cell {
 }
 
 // InstanceKey identifies the instance a cell belongs to: everything except
-// the algorithm. Records sharing an instance key ran identical traces, so
-// their stretches are comparable — this is the grouping behind degradation
-// factors.
+// the algorithm. Records sharing an instance key ran identical traces on
+// identical clusters, so their stretches are comparable — this is the
+// grouping behind degradation factors.
 func (c Cell) InstanceKey() string {
-	return fmt.Sprintf("seed=%d/family=%s/trace=%d/load=%s/nodes=%d/jobs=%d/pen=%s",
-		c.Seed, c.Family, c.TraceIdx, ftoa(c.Load), c.Nodes, c.Jobs, ftoa(c.Penalty))
+	return fmt.Sprintf("seed=%d/family=%s/trace=%d/load=%s/nodes=%d/jobs=%d%s/pen=%s",
+		c.Seed, c.Family, c.TraceIdx, ftoa(c.Load), c.Nodes, c.Jobs, mixKey(c.NodeMix), ftoa(c.Penalty))
 }
 
 // TimingAgg aggregates the Section V scheduler-timing samples of one run so
@@ -252,14 +290,17 @@ type TimingAgg struct {
 // every report in this repository aggregates from. All fields except Timing
 // are deterministic functions of the cell.
 type Record struct {
-	Key       string  `json:"key"`
-	Seed      uint64  `json:"seed"`
-	Family    string  `json:"family"`
-	Trace     string  `json:"trace"`
-	TraceIdx  int     `json:"trace_idx"`
-	Load      float64 `json:"load"`
-	Nodes     int     `json:"nodes"`
-	Jobs      int     `json:"jobs"`
+	Key      string  `json:"key"`
+	Seed     uint64  `json:"seed"`
+	Family   string  `json:"family"`
+	Trace    string  `json:"trace"`
+	TraceIdx int     `json:"trace_idx"`
+	Load     float64 `json:"load"`
+	Nodes    int     `json:"nodes"`
+	Jobs     int     `json:"jobs"`
+	// NodeMix is the cell's node-mix profile; omitted for homogeneous
+	// cells so pre-heterogeneity outputs are byte-identical.
+	NodeMix   string  `json:"node_mix,omitempty"`
 	Penalty   float64 `json:"penalty"`
 	Algorithm string  `json:"algorithm"`
 
@@ -284,7 +325,7 @@ type Record struct {
 // algorithms; see Cell.InstanceKey.
 func (r Record) InstanceKey() string {
 	return Cell{Seed: r.Seed, Family: r.Family, TraceIdx: r.TraceIdx, Load: r.Load,
-		Nodes: r.Nodes, Jobs: r.Jobs, Penalty: r.Penalty}.InstanceKey()
+		Nodes: r.Nodes, Jobs: r.Jobs, NodeMix: r.NodeMix, Penalty: r.Penalty}.InstanceKey()
 }
 
 // SortRecords orders records by cell key, the canonical presentation order.

@@ -1,0 +1,138 @@
+package campaign
+
+// Heterogeneity-axis tests: cell expansion and key compatibility, the
+// engine's determinism guarantee on heterogeneous grids, and the
+// end-to-end acceptance run — all nine paper algorithms over a
+// heterogeneous node mix with per-event capacity invariants enforced.
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperAlgorithms is the paper's full algorithm set.
+var paperAlgorithms = []string{
+	"fcfs", "easy",
+	"greedy", "greedy-pmtn", "greedy-pmtn-migr",
+	"dynmcb8", "dynmcb8-per", "dynmcb8-asap-per", "dynmcb8-stretch-per",
+}
+
+func hetGrid() *Grid {
+	return &Grid{
+		Name:         "het-test",
+		Seeds:        []uint64{7},
+		Algorithms:   []string{"easy", "greedy-pmtn"},
+		Families:     []Family{{Kind: FamilyLublin, Count: 1}},
+		Loads:        []float64{0.7},
+		Penalties:    []float64{300},
+		Nodes:        []int{16},
+		NodeMixes:    []string{"uniform", "bimodal", "powerlaw"},
+		JobsPerTrace: 30,
+	}
+}
+
+func TestNodeMixExpansion(t *testing.T) {
+	g := hetGrid()
+	cells := g.Cells()
+	// 1 trace x 1 load x 1 nodes x 3 mixes x 1 penalty x 2 algs = 6.
+	if len(cells) != 6 {
+		t.Fatalf("expanded to %d cells, want 6", len(cells))
+	}
+	mixes := map[string]int{}
+	for _, c := range cells {
+		mixes[c.NodeMix]++
+	}
+	// "uniform" canonicalizes to the empty mix.
+	if mixes[""] != 2 || mixes["bimodal"] != 2 || mixes["powerlaw"] != 2 {
+		t.Fatalf("mix distribution = %v", mixes)
+	}
+	for _, c := range cells {
+		key := c.Key()
+		if c.NodeMix == "" && strings.Contains(key, "mix=") {
+			t.Errorf("homogeneous cell key carries a mix segment: %s", key)
+		}
+		if c.NodeMix != "" && !strings.Contains(key, "/mix="+c.NodeMix+"/") {
+			t.Errorf("heterogeneous cell key lacks its mix segment: %s", key)
+		}
+	}
+}
+
+// TestNodeMixKeyCompatibility pins the checkpoint contract: homogeneous
+// cells — with or without an explicit "uniform" mix — produce exactly the
+// key format that predates the heterogeneity axis.
+func TestNodeMixKeyCompatibility(t *testing.T) {
+	c := Cell{Seed: 42, Family: FamilyLublin, TraceIdx: 3, Load: 0.7, Nodes: 128, Jobs: 150,
+		Penalty: 300, Algorithm: "easy"}
+	want := "seed=42/family=lublin/trace=3/load=0.7/nodes=128/jobs=150/pen=300/alg=easy"
+	if got := c.Key(); got != want {
+		t.Fatalf("Key() = %q, want %q", got, want)
+	}
+	c.NodeMix = "bimodal"
+	want = "seed=42/family=lublin/trace=3/load=0.7/nodes=128/jobs=150/mix=bimodal/pen=300/alg=easy"
+	if got := c.Key(); got != want {
+		t.Fatalf("heterogeneous Key() = %q, want %q", got, want)
+	}
+	if !strings.Contains(c.InstanceKey(), "/mix=bimodal") {
+		t.Errorf("InstanceKey misses the mix: %s", c.InstanceKey())
+	}
+}
+
+func TestNodeMixValidate(t *testing.T) {
+	g := hetGrid()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g.NodeMixes = []string{"no-such-mix"}
+	if err := g.Validate(); err == nil {
+		t.Error("unknown node mix accepted")
+	}
+}
+
+// TestHeterogeneousDeterminism extends the engine's core guarantee to the
+// node-mix axis: byte-identical sorted JSONL for any worker count.
+func TestHeterogeneousDeterminism(t *testing.T) {
+	g := hetGrid()
+	serial := runJSONL(t, g, 1)
+	parallel := runJSONL(t, g, 8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial run emitted %d records, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("record %d differs:\nserial:   %s\nparallel: %s", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestAllAlgorithmsOnHeterogeneousMix is the acceptance run: every paper
+// algorithm completes a bimodal-mix campaign cell with per-event capacity
+// invariants enforced by the simulator.
+func TestAllAlgorithmsOnHeterogeneousMix(t *testing.T) {
+	g := &Grid{
+		Name:         "het-acceptance",
+		Seeds:        []uint64{7},
+		Algorithms:   paperAlgorithms,
+		Families:     []Family{{Kind: FamilyLublin, Count: 1}},
+		Loads:        []float64{0.8},
+		Penalties:    []float64{300},
+		Nodes:        []int{16},
+		NodeMixes:    []string{"bimodal"},
+		JobsPerTrace: 30,
+		Check:        true, // per-event per-node capacity validation
+	}
+	recs, err := (&Runner{Workers: 4}).Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(paperAlgorithms) {
+		t.Fatalf("%d records for %d algorithms", len(recs), len(paperAlgorithms))
+	}
+	for _, rec := range recs {
+		if rec.NodeMix != "bimodal" {
+			t.Errorf("record %s carries mix %q", rec.Key, rec.NodeMix)
+		}
+		if rec.Finished != 30 {
+			t.Errorf("%s finished %d of 30 jobs", rec.Algorithm, rec.Finished)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/cluster"
 	"repro/internal/hpc2n"
 	"repro/internal/lublin"
 	"repro/internal/metrics"
@@ -131,8 +132,15 @@ func runCell(mat *materialiser, g *Grid, c Cell) (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
+	// The node-mix profile is laid out over the materialised trace's node
+	// count (families like hpc2n fix their own cluster size).
+	cl, err := cluster.Profile(c.NodeMix, tr.Nodes)
+	if err != nil {
+		return Record{}, err
+	}
 	simulator, err := sim.New(sim.Config{
 		Trace:            tr,
+		Cluster:          cl,
 		Penalty:          c.Penalty,
 		CheckInvariants:  g.Check,
 		RecordSchedTimes: g.Timing,
@@ -162,6 +170,7 @@ func runCell(mat *materialiser, g *Grid, c Cell) (Record, error) {
 		Load:      c.Load,
 		Nodes:     c.Nodes,
 		Jobs:      c.Jobs,
+		NodeMix:   c.NodeMix,
 		Penalty:   c.Penalty,
 		Algorithm: c.Algorithm,
 

@@ -1,0 +1,121 @@
+// Package cluster defines the shared cluster resource model: a set of
+// nodes, each with its own CPU and memory capacity, expressed in units of
+// the paper's reference node (capacity 1.0 x 1.0). Every layer of the
+// reproduction — the vector-packing kernel, the DFRS allocation math, the
+// discrete-event simulator and the scheduling algorithms — works against
+// this model, so heterogeneous platforms are a first-class scenario axis
+// rather than a special case.
+//
+// A homogeneous cluster (Homogeneous, or the "uniform" profile) reproduces
+// the paper's platform exactly: capacities of 1.0 collapse every per-node
+// capacity computation to the original unit-capacity arithmetic,
+// bit-for-bit. Heterogeneous platforms come from explicit NodeSpec lists or
+// from the named node-mix profiles (Profile): deterministic capacity
+// layouts such as a bimodal fat/thin mix or a power-law tier mix, keyed
+// only by profile name and node count so campaign results stay reproducible.
+//
+// Job resource requirements remain fractions of the reference node in
+// (0, 1]; profiles therefore never shrink a node below 1.0 x 1.0, which
+// guarantees that every workload valid on the paper's platform stays
+// schedulable on every profile. Custom clusters built with New may include
+// thin nodes (capacity below 1.0); the packing and placement layers treat
+// such nodes correctly, but callers are responsible for workload
+// feasibility.
+package cluster
+
+import "fmt"
+
+// NodeSpec is the capacity of one node in units of the reference node.
+type NodeSpec struct {
+	// CPUCap is the node's CPU capacity; a task with CPU need c consumes
+	// c*yield of it. The paper's reference node has CPUCap 1.0.
+	CPUCap float64
+	// MemCap is the node's memory capacity, a hard constraint on the sum of
+	// the memory requirements of the tasks it hosts.
+	MemCap float64
+}
+
+// Unit is the reference node of the paper's homogeneous platform.
+var Unit = NodeSpec{CPUCap: 1, MemCap: 1}
+
+// Cluster is an immutable-by-convention set of nodes. Construct one with
+// New, Homogeneous or Profile; callers must not mutate Nodes afterwards.
+type Cluster struct {
+	// Nodes holds one spec per node, indexed by node id.
+	Nodes []NodeSpec
+}
+
+// New builds a cluster from explicit node specs (the slice is copied).
+func New(nodes []NodeSpec) *Cluster {
+	return &Cluster{Nodes: append([]NodeSpec(nil), nodes...)}
+}
+
+// Homogeneous returns the paper's platform: n reference nodes of capacity
+// 1.0 x 1.0.
+func Homogeneous(n int) *Cluster {
+	return &Cluster{Nodes: Uniform(n)}
+}
+
+// Uniform returns n reference node specs (capacity 1.0 x 1.0).
+func Uniform(n int) []NodeSpec {
+	nodes := make([]NodeSpec, n)
+	for i := range nodes {
+		nodes[i] = Unit
+	}
+	return nodes
+}
+
+// N returns the number of nodes.
+func (c *Cluster) N() int { return len(c.Nodes) }
+
+// CPUCap returns node i's CPU capacity.
+func (c *Cluster) CPUCap(i int) float64 { return c.Nodes[i].CPUCap }
+
+// MemCap returns node i's memory capacity.
+func (c *Cluster) MemCap(i int) float64 { return c.Nodes[i].MemCap }
+
+// TotalCPU returns the cluster's aggregate CPU capacity. For a homogeneous
+// cluster this is exactly float64(n), matching the unit-capacity arithmetic
+// the paper's formulas use.
+func (c *Cluster) TotalCPU() float64 {
+	var t float64
+	for _, n := range c.Nodes {
+		t += n.CPUCap
+	}
+	return t
+}
+
+// TotalMem returns the cluster's aggregate memory capacity.
+func (c *Cluster) TotalMem() float64 {
+	var t float64
+	for _, n := range c.Nodes {
+		t += n.MemCap
+	}
+	return t
+}
+
+// Homogeneous reports whether every node is the reference node.
+func (c *Cluster) Homogeneous() bool {
+	for _, n := range c.Nodes {
+		if n != Unit {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (c *Cluster) Clone() *Cluster { return New(c.Nodes) }
+
+// Validate checks that the cluster is non-empty with positive capacities.
+func (c *Cluster) Validate() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("cluster: no nodes")
+	}
+	for i, n := range c.Nodes {
+		if n.CPUCap <= 0 || n.MemCap <= 0 {
+			return fmt.Errorf("cluster: node %d has non-positive capacity %+v", i, n)
+		}
+	}
+	return nil
+}

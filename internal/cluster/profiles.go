@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Named node-mix profiles. A profile is a deterministic function of
+// (name, node count): no randomness, so campaign cells using a profile stay
+// byte-reproducible. Every profile keeps each node at or above the
+// reference capacity 1.0 x 1.0, guaranteeing that any workload valid on the
+// paper's homogeneous platform remains schedulable.
+const (
+	// ProfileUniform is the paper's homogeneous platform (all nodes
+	// 1.0 x 1.0). The empty string is an accepted alias.
+	ProfileUniform = "uniform"
+	// ProfileBimodal is a fat/thin mix: every other node is a double
+	// capacity (2.0 x 2.0) "fat" node, the rest are reference nodes.
+	ProfileBimodal = "bimodal"
+	// ProfilePowerlaw is a power-law tier mix: 1/8 of the nodes are 4.0x,
+	// a further 1/8 are 2.0x, and the remaining 3/4 are reference nodes —
+	// few very fat nodes, many thin ones.
+	ProfilePowerlaw = "powerlaw"
+)
+
+// profileBuilders maps canonical profile names to their layout functions.
+var profileBuilders = map[string]func(i int) NodeSpec{
+	ProfileUniform: func(int) NodeSpec { return Unit },
+	ProfileBimodal: func(i int) NodeSpec {
+		if i%2 == 0 {
+			return NodeSpec{CPUCap: 2, MemCap: 2}
+		}
+		return Unit
+	},
+	ProfilePowerlaw: func(i int) NodeSpec {
+		switch {
+		case i%8 == 0:
+			return NodeSpec{CPUCap: 4, MemCap: 4}
+		case i%8 == 4:
+			return NodeSpec{CPUCap: 2, MemCap: 2}
+		default:
+			return Unit
+		}
+	},
+}
+
+// ProfileNames lists the canonical profile names, sorted.
+func ProfileNames() []string {
+	names := make([]string, 0, len(profileBuilders))
+	for n := range profileBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NormalizeProfile maps a profile name to its canonical form: the empty
+// string and "uniform" both canonicalize to "" (the homogeneous default, so
+// campaign cell keys for homogeneous runs are identical with and without
+// the heterogeneity axis); any other name is returned unchanged.
+func NormalizeProfile(name string) string {
+	if name == ProfileUniform {
+		return ""
+	}
+	return name
+}
+
+// ValidProfile reports whether name denotes a known profile ("" counts as
+// uniform).
+func ValidProfile(name string) bool {
+	if name == "" {
+		return true
+	}
+	_, ok := profileBuilders[name]
+	return ok
+}
+
+// Profile builds the named node-mix over n nodes. The empty name is the
+// uniform (homogeneous) profile.
+func Profile(name string, n int) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: profile %q needs a positive node count, got %d", name, n)
+	}
+	if name == "" {
+		name = ProfileUniform
+	}
+	build, ok := profileBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown node-mix profile %q (known: %v)", name, ProfileNames())
+	}
+	nodes := make([]NodeSpec, n)
+	for i := range nodes {
+		nodes[i] = build(i)
+	}
+	return &Cluster{Nodes: nodes}, nil
+}

@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/cluster"
 	"repro/internal/floats"
 	"repro/internal/vectorpack"
 )
@@ -123,14 +124,13 @@ func items(jobs []JobSpec, yieldOf func(JobSpec) float64) ([]vectorpack.Item, []
 // capacityBound is the O(T) necessary condition for packability: total CPU
 // and memory requirements cannot exceed the cluster's aggregate capacity.
 // It prunes hopeless binary-search probes before the expensive packing.
-func capacityBound(its []vectorpack.Item, n int) bool {
+func capacityBound(its []vectorpack.Item, c *cluster.Cluster) bool {
 	var cpu, mem float64
 	for _, it := range its {
 		cpu += it.CPU
 		mem += it.Mem
 	}
-	limit := float64(n) + floats.Eps
-	return cpu <= limit && mem <= limit
+	return cpu <= c.TotalCPU()+floats.Eps && mem <= c.TotalMem()+floats.Eps
 }
 
 // buildAllocation converts a packing assignment back to per-job node lists.
@@ -155,14 +155,14 @@ func buildAllocation(jobs []JobSpec, owner, assign []int, yieldOf func(JobSpec) 
 }
 
 // MaxMinYield searches for the largest base yield Y such that all jobs fit
-// on n nodes when every job receives yield min(1, weight*Y) — for the
+// on the cluster when every job receives yield min(1, weight*Y) — for the
 // paper's unweighted workloads this is exactly the uniform-yield
 // maximization of Section III-B; with per-job weights it implements the
 // user-priority extension of Section VII. The binary search has absolute
 // accuracy YieldAccuracy. On success it returns an allocation giving every
 // job its weighted yield. It fails only when even Y -> 0 is infeasible,
 // i.e. the jobs' memory requirements alone cannot be packed.
-func MaxMinYield(jobs []JobSpec, n int, packer vectorpack.Packer) (*Allocation, bool) {
+func MaxMinYield(jobs []JobSpec, c *cluster.Cluster, packer vectorpack.Packer) (*Allocation, bool) {
 	if len(jobs) == 0 {
 		return NewAllocation(), true
 	}
@@ -177,10 +177,10 @@ func MaxMinYield(jobs []JobSpec, n int, packer vectorpack.Packer) (*Allocation, 
 	}
 	feasible := func(y float64) ([]int, []int, bool) {
 		its, owner := items(jobs, yieldAt(y))
-		if !capacityBound(its, n) {
+		if !capacityBound(its, c) {
 			return nil, nil, false
 		}
-		assign, ok := packer.Pack(its, n)
+		assign, ok := packer.Pack(its, c.Nodes)
 		return assign, owner, ok
 	}
 	// Memory-only feasibility first: with Y = 0 CPU vanishes.
@@ -222,13 +222,14 @@ func MaxMinYield(jobs []JobSpec, n int, packer vectorpack.Packer) (*Allocation, 
 // Section III-A: repeatedly select the job with the lowest total CPU need
 // whose yield can still be increased and raise its yield as much as the CPU
 // headroom of its nodes allows (never beyond 1.0). Yields are never
-// decreased. The allocation is modified in place; n is the node count.
+// decreased. The allocation is modified in place; headroom is measured
+// against each hosting node's own CPU capacity.
 //
 // jobs must list every job of the allocation — node usage is computed from
 // all of them. eligible, when non-nil, restricts which jobs may be raised
 // (the fairness extension excludes long-running jobs); nil means all.
-func ImproveAverageYield(jobs []JobSpec, alloc *Allocation, n int, eligible func(JobSpec) bool) {
-	used := make([]float64, n)
+func ImproveAverageYield(jobs []JobSpec, alloc *Allocation, c *cluster.Cluster, eligible func(JobSpec) bool) {
+	used := make([]float64, c.N())
 	// tasksOn[jobIdx][node] = number of that job's tasks on node.
 	tasksOn := make([]map[int]int, len(jobs))
 	for ji, j := range jobs {
@@ -264,7 +265,7 @@ func ImproveAverageYield(jobs []JobSpec, alloc *Allocation, n int, eligible func
 			// Maximum extra yield limited by the tightest node.
 			delta := math.Inf(1)
 			for node, cnt := range tasksOn[ji] {
-				head := 1 - used[node]
+				head := c.CPUCap(node) - used[node]
 				if head < 0 {
 					head = 0
 				}
@@ -339,7 +340,7 @@ func YieldForStretchTarget(s StretchState, T, target float64) float64 {
 // yields realizing the best found target. Feasibility is monotone: larger
 // targets need smaller yields. The search stops at 1% relative accuracy.
 // It fails only when the memory requirements alone cannot be packed.
-func MinEstimatedStretch(jobs []StretchState, n int, packer vectorpack.Packer, T float64) (*Allocation, bool) {
+func MinEstimatedStretch(jobs []StretchState, c *cluster.Cluster, packer vectorpack.Packer, T float64) (*Allocation, bool) {
 	if len(jobs) == 0 {
 		return NewAllocation(), true
 	}
@@ -356,10 +357,10 @@ func MinEstimatedStretch(jobs []StretchState, n int, packer vectorpack.Packer, T
 	}
 	try := func(target float64) ([]int, []int, bool) {
 		its, owner := items(specs, yieldAt(target))
-		if !capacityBound(its, n) {
+		if !capacityBound(its, c) {
 			return nil, nil, false
 		}
-		assign, ok := packer.Pack(its, n)
+		assign, ok := packer.Pack(its, c.Nodes)
 		return assign, owner, ok
 	}
 	// Even an infinite target leaves every job its 0.01 floor yield; if
@@ -402,18 +403,20 @@ func MinEstimatedStretch(jobs []StretchState, n int, packer vectorpack.Packer, T
 // CPU need, which raises their yields and therefore lowers their estimated
 // stretch at the next event. The mechanics are identical; only the
 // motivation differs, so it simply delegates.
-func ImproveAverageStretch(jobs []StretchState, alloc *Allocation, n int) {
+func ImproveAverageStretch(jobs []StretchState, alloc *Allocation, c *cluster.Cluster) {
 	specs := make([]JobSpec, len(jobs))
 	for i, s := range jobs {
 		specs[i] = s.JobSpec
 	}
-	ImproveAverageYield(specs, alloc, n, nil)
+	ImproveAverageYield(specs, alloc, c, nil)
 }
 
 // ValidateAllocation checks an allocation against the hard constraints of
-// Section II-B1: per-node memory at most 1, per-node allocated CPU at most
-// 1, yields within [0, 1], and every job owning exactly Tasks placements.
-func ValidateAllocation(jobs []JobSpec, alloc *Allocation, n int) error {
+// Section II-B1, generalized to per-node capacities: each node's memory and
+// allocated CPU stay within its own capacity, yields lie within [0, 1], and
+// every job owns exactly Tasks placements.
+func ValidateAllocation(jobs []JobSpec, alloc *Allocation, c *cluster.Cluster) error {
+	n := c.N()
 	cpu := make([]float64, n)
 	mem := make([]float64, n)
 	for _, j := range jobs {
@@ -437,11 +440,11 @@ func ValidateAllocation(jobs []JobSpec, alloc *Allocation, n int) error {
 		}
 	}
 	for node := 0; node < n; node++ {
-		if floats.Greater(cpu[node], 1) {
-			return fmt.Errorf("core: node %d CPU %.6f > 1", node, cpu[node])
+		if floats.Greater(cpu[node], c.CPUCap(node)) {
+			return fmt.Errorf("core: node %d CPU %.6f > capacity %.6f", node, cpu[node], c.CPUCap(node))
 		}
-		if floats.Greater(mem[node], 1) {
-			return fmt.Errorf("core: node %d memory %.6f > 1", node, mem[node])
+		if floats.Greater(mem[node], c.MemCap(node)) {
+			return fmt.Errorf("core: node %d memory %.6f > capacity %.6f", node, mem[node], c.MemCap(node))
 		}
 	}
 	return nil

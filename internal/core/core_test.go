@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/cluster"
 	"repro/internal/vectorpack"
 )
 
@@ -50,9 +51,12 @@ func TestPriorityMonotonicityProperty(t *testing.T) {
 
 func specs(jobs ...JobSpec) []JobSpec { return jobs }
 
+// nodes builds the homogeneous n-node cluster used throughout these tests.
+func nodes(n int) *cluster.Cluster { return cluster.Homogeneous(n) }
+
 func TestMaxMinYieldSingleJob(t *testing.T) {
 	// One job fitting alone runs at full yield.
-	alloc, ok := MaxMinYield(specs(JobSpec{ID: 0, Tasks: 2, CPUNeed: 0.4, MemReq: 0.3}), 2, vectorpack.MCB8{})
+	alloc, ok := MaxMinYield(specs(JobSpec{ID: 0, Tasks: 2, CPUNeed: 0.4, MemReq: 0.3}), nodes(2), vectorpack.MCB8{})
 	if !ok {
 		t.Fatal("feasible instance failed")
 	}
@@ -71,14 +75,14 @@ func TestMaxMinYieldOversubscribed(t *testing.T) {
 		JobSpec{ID: 0, Tasks: 1, CPUNeed: 1.0, MemReq: 0.2},
 		JobSpec{ID: 1, Tasks: 1, CPUNeed: 1.0, MemReq: 0.2},
 	)
-	alloc, ok := MaxMinYield(js, 1, vectorpack.MCB8{})
+	alloc, ok := MaxMinYield(js, nodes(1), vectorpack.MCB8{})
 	if !ok {
 		t.Fatal("feasible instance failed")
 	}
 	if y := alloc.MinYield; y < 0.49 || y > 0.5+1e-9 {
 		t.Errorf("min yield = %v, want ~0.5 (binary search accuracy 0.01)", y)
 	}
-	if err := ValidateAllocation(js, alloc, 1); err != nil {
+	if err := ValidateAllocation(js, alloc, nodes(1)); err != nil {
 		t.Error(err)
 	}
 }
@@ -88,13 +92,13 @@ func TestMaxMinYieldMemoryInfeasible(t *testing.T) {
 		JobSpec{ID: 0, Tasks: 1, CPUNeed: 0.1, MemReq: 0.8},
 		JobSpec{ID: 1, Tasks: 1, CPUNeed: 0.1, MemReq: 0.8},
 	)
-	if _, ok := MaxMinYield(js, 1, vectorpack.MCB8{}); ok {
+	if _, ok := MaxMinYield(js, nodes(1), vectorpack.MCB8{}); ok {
 		t.Error("memory-infeasible instance reported feasible")
 	}
 }
 
 func TestMaxMinYieldEmpty(t *testing.T) {
-	alloc, ok := MaxMinYield(nil, 4, vectorpack.MCB8{})
+	alloc, ok := MaxMinYield(nil, nodes(4), vectorpack.MCB8{})
 	if !ok || alloc.MinYield != 0 || len(alloc.NodesOf) != 0 {
 		t.Errorf("empty instance: %+v, %v", alloc, ok)
 	}
@@ -115,11 +119,11 @@ func TestMaxMinYieldSoundnessProperty(t *testing.T) {
 				MemReq:  0.05 + r.Float64()*0.45,
 			})
 		}
-		alloc, ok := MaxMinYield(js, n, vectorpack.MCB8{})
+		alloc, ok := MaxMinYield(js, nodes(n), vectorpack.MCB8{})
 		if !ok {
 			return true // memory-bound: nothing to check
 		}
-		if err := ValidateAllocation(js, alloc, n); err != nil {
+		if err := ValidateAllocation(js, alloc, nodes(n)); err != nil {
 			t.Log(err)
 			return false
 		}
@@ -147,7 +151,7 @@ func TestImproveAverageYieldFillsLeftover(t *testing.T) {
 	alloc.NodesOf[1] = []int{1}
 	alloc.YieldOf[0] = 0.5
 	alloc.YieldOf[1] = 0.5
-	ImproveAverageYield(js, alloc, 2, nil)
+	ImproveAverageYield(js, alloc, nodes(2), nil)
 	if alloc.YieldOf[0] != 1 || alloc.YieldOf[1] != 1 {
 		t.Errorf("yields = %v, want both 1", alloc.YieldOf)
 	}
@@ -166,7 +170,7 @@ func TestImproveAverageYieldPrefersCheapJobs(t *testing.T) {
 	alloc.YieldOf[0] = 0.5
 	alloc.YieldOf[1] = 0.5
 	// Used: 0.2*0.5 + 0.8*0.5 = 0.5, headroom 0.5.
-	ImproveAverageYield(js, alloc, 1, nil)
+	ImproveAverageYield(js, alloc, nodes(1), nil)
 	if alloc.YieldOf[0] != 1 {
 		t.Errorf("cheap job yield = %v, want 1", alloc.YieldOf[0])
 	}
@@ -189,7 +193,7 @@ func TestImproveAverageYieldRespectsEligibility(t *testing.T) {
 	alloc.YieldOf[1] = 0.5
 	// Only job 1 may be raised; headroom is 0.5 so job 1 reaches 1.0 and
 	// job 0 stays put.
-	ImproveAverageYield(js, alloc, 1, func(j JobSpec) bool { return j.ID == 1 })
+	ImproveAverageYield(js, alloc, nodes(1), func(j JobSpec) bool { return j.ID == 1 })
 	if alloc.YieldOf[0] != 0.5 {
 		t.Errorf("ineligible job raised to %v", alloc.YieldOf[0])
 	}
@@ -213,7 +217,7 @@ func TestImproveAverageYieldSoundnessProperty(t *testing.T) {
 				MemReq:  0.05 + r.Float64()*0.3,
 			})
 		}
-		alloc, ok := MaxMinYield(js, n, vectorpack.MCB8{})
+		alloc, ok := MaxMinYield(js, nodes(n), vectorpack.MCB8{})
 		if !ok {
 			return true
 		}
@@ -221,13 +225,13 @@ func TestImproveAverageYieldSoundnessProperty(t *testing.T) {
 		for id, y := range alloc.YieldOf {
 			before[id] = y
 		}
-		ImproveAverageYield(js, alloc, n, nil)
+		ImproveAverageYield(js, alloc, nodes(n), nil)
 		for id, y := range alloc.YieldOf {
 			if y < before[id]-1e-12 || y > 1+1e-9 {
 				return false
 			}
 		}
-		return ValidateAllocation(js, alloc, n) == nil
+		return ValidateAllocation(js, alloc, nodes(n)) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
@@ -282,7 +286,7 @@ func TestMinEstimatedStretch(t *testing.T) {
 		{JobSpec: JobSpec{ID: 0, Tasks: 1, CPUNeed: 1.0, MemReq: 0.2}, FlowTime: 600, VirtualTime: 100},
 		{JobSpec: JobSpec{ID: 1, Tasks: 1, CPUNeed: 1.0, MemReq: 0.2}, FlowTime: 1200, VirtualTime: 100},
 	}
-	alloc, ok := MinEstimatedStretch(states, 1, vectorpack.MCB8{}, 600)
+	alloc, ok := MinEstimatedStretch(states, nodes(1), vectorpack.MCB8{}, 600)
 	if !ok {
 		t.Fatal("feasible instance failed")
 	}
@@ -292,7 +296,7 @@ func TestMinEstimatedStretch(t *testing.T) {
 		t.Errorf("worse-off job got less yield: %v", alloc.YieldOf)
 	}
 	sp := []JobSpec{states[0].JobSpec, states[1].JobSpec}
-	if err := ValidateAllocation(sp, alloc, 1); err != nil {
+	if err := ValidateAllocation(sp, alloc, nodes(1)); err != nil {
 		t.Error(err)
 	}
 }
@@ -302,7 +306,7 @@ func TestMinEstimatedStretchMemoryBound(t *testing.T) {
 		{JobSpec: JobSpec{ID: 0, Tasks: 1, CPUNeed: 0.1, MemReq: 0.9}, FlowTime: 60, VirtualTime: 10},
 		{JobSpec: JobSpec{ID: 1, Tasks: 1, CPUNeed: 0.1, MemReq: 0.9}, FlowTime: 60, VirtualTime: 10},
 	}
-	if _, ok := MinEstimatedStretch(states, 1, vectorpack.MCB8{}, 600); ok {
+	if _, ok := MinEstimatedStretch(states, nodes(1), vectorpack.MCB8{}, 600); ok {
 		t.Error("memory-bound instance reported feasible")
 	}
 }
@@ -321,24 +325,24 @@ func TestValidateAllocationCatchesViolations(t *testing.T) {
 	alloc := NewAllocation()
 	alloc.NodesOf[0] = []int{0, 0} // both tasks on one node: memory 1.2
 	alloc.YieldOf[0] = 0.5
-	if err := ValidateAllocation(js, alloc, 2); err == nil {
+	if err := ValidateAllocation(js, alloc, nodes(2)); err == nil {
 		t.Error("memory violation not detected")
 	}
 	alloc.NodesOf[0] = []int{0}
-	if err := ValidateAllocation(js, alloc, 2); err == nil {
+	if err := ValidateAllocation(js, alloc, nodes(2)); err == nil {
 		t.Error("missing placement not detected")
 	}
 	alloc.NodesOf[0] = []int{0, 7}
-	if err := ValidateAllocation(js, alloc, 2); err == nil {
+	if err := ValidateAllocation(js, alloc, nodes(2)); err == nil {
 		t.Error("node out of range not detected")
 	}
 	alloc.NodesOf[0] = []int{0, 1}
 	alloc.YieldOf[0] = 1.5
-	if err := ValidateAllocation(js, alloc, 2); err == nil {
+	if err := ValidateAllocation(js, alloc, nodes(2)); err == nil {
 		t.Error("yield out of range not detected")
 	}
 	missing := NewAllocation()
-	if err := ValidateAllocation(js, missing, 2); err == nil {
+	if err := ValidateAllocation(js, missing, nodes(2)); err == nil {
 		t.Error("absent job not detected")
 	}
 }

@@ -15,7 +15,7 @@ func TestWeightedYields(t *testing.T) {
 		{ID: 0, Tasks: 1, CPUNeed: 1.0, MemReq: 0.2, Weight: 2},
 		{ID: 1, Tasks: 1, CPUNeed: 1.0, MemReq: 0.2, Weight: 1},
 	}
-	alloc, ok := MaxMinYield(js, 1, vectorpack.MCB8{})
+	alloc, ok := MaxMinYield(js, nodes(1), vectorpack.MCB8{})
 	if !ok {
 		t.Fatal("feasible instance failed")
 	}
@@ -27,7 +27,7 @@ func TestWeightedYields(t *testing.T) {
 	if y := alloc.YieldOf[1]; math.Abs(y-1.0/3) > 0.03 {
 		t.Errorf("unit job yield = %v, want ~0.333", y)
 	}
-	if err := ValidateAllocation(js, alloc, 1); err != nil {
+	if err := ValidateAllocation(js, alloc, nodes(1)); err != nil {
 		t.Error(err)
 	}
 }
@@ -38,7 +38,7 @@ func TestWeightCapsAtFullYield(t *testing.T) {
 		{ID: 0, Tasks: 1, CPUNeed: 0.5, MemReq: 0.2, Weight: 100},
 		{ID: 1, Tasks: 1, CPUNeed: 0.5, MemReq: 0.2},
 	}
-	alloc, ok := MaxMinYield(js, 1, vectorpack.MCB8{})
+	alloc, ok := MaxMinYield(js, nodes(1), vectorpack.MCB8{})
 	if !ok {
 		t.Fatal("feasible instance failed")
 	}
@@ -63,11 +63,11 @@ func TestZeroWeightMeansDefault(t *testing.T) {
 		{ID: 0, Tasks: 1, CPUNeed: 1.0, MemReq: 0.2, Weight: 1},
 		{ID: 1, Tasks: 1, CPUNeed: 1.0, MemReq: 0.2, Weight: 1},
 	}
-	a, ok := MaxMinYield(unweighted, 1, vectorpack.MCB8{})
+	a, ok := MaxMinYield(unweighted, nodes(1), vectorpack.MCB8{})
 	if !ok {
 		t.Fatal("unweighted failed")
 	}
-	b, ok := MaxMinYield(explicit, 1, vectorpack.MCB8{})
+	b, ok := MaxMinYield(explicit, nodes(1), vectorpack.MCB8{})
 	if !ok {
 		t.Fatal("explicit failed")
 	}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/campaign"
+	"repro/internal/cluster"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// HeterogeneityMixes are the node-mix profiles swept by the heterogeneity
+// study: the paper's homogeneous platform plus the two heterogeneous
+// presets.
+var HeterogeneityMixes = []string{
+	cluster.ProfileUniform,
+	cluster.ProfileBimodal,
+	cluster.ProfilePowerlaw,
+}
+
+// HeterogeneityResult holds the heterogeneity study: for each algorithm and
+// node-mix profile, the mean maximum bounded stretch across the scaled
+// instances, plus the mean degradation factor within each (instance, mix)
+// group. It answers the question the homogeneous paper cannot: does an
+// algorithm's ranking survive unequal nodes?
+type HeterogeneityResult struct {
+	Penalty    float64
+	Loads      []float64
+	Mixes      []string
+	Algorithms []string
+	// MeanStretch[alg][mi] is the mean max-stretch on Mixes[mi].
+	MeanStretch map[string][]float64
+	// MeanDegradation[alg][mi] is the mean per-instance degradation factor
+	// (ratio to the instance's best algorithm) on Mixes[mi].
+	MeanDegradation map[string][]float64
+}
+
+// HeterogeneityStudy runs every configured algorithm over every scaled
+// synthetic trace on each node-mix profile — a single campaign grid with
+// the node-mix axis — and aggregates stretch and degradation per mix.
+func HeterogeneityStudy(cfg Config) (*HeterogeneityResult, error) {
+	g := cfg.grid("heterogeneity", cfg.Algorithms, cfg.Loads, PaperPenalty)
+	g.NodeMixes = HeterogeneityMixes
+	recs, err := cfg.run(g)
+	if err != nil {
+		return nil, err
+	}
+	res := &HeterogeneityResult{
+		Penalty:         PaperPenalty,
+		Loads:           cfg.Loads,
+		Mixes:           HeterogeneityMixes,
+		Algorithms:      cfg.Algorithms,
+		MeanStretch:     map[string][]float64{},
+		MeanDegradation: map[string][]float64{},
+	}
+	// Group records by instance (trace x load x mix x ...) to compute
+	// degradation factors against the instance's best algorithm.
+	byInstance := map[string][]campaign.Record{}
+	for _, rec := range recs {
+		k := rec.InstanceKey()
+		byInstance[k] = append(byInstance[k], rec)
+	}
+	type agg struct{ stretch, degr stats.Stream }
+	cells := map[string]map[string]*agg{} // alg -> canonical mix -> agg
+	for _, alg := range cfg.Algorithms {
+		cells[alg] = map[string]*agg{}
+		for _, mix := range HeterogeneityMixes {
+			cells[alg][cluster.NormalizeProfile(mix)] = &agg{}
+		}
+	}
+	for _, group := range byInstance {
+		best := 0.0
+		for i, rec := range group {
+			if i == 0 || rec.MaxStretch < best {
+				best = rec.MaxStretch
+			}
+		}
+		for _, rec := range group {
+			a, ok := cells[rec.Algorithm][rec.NodeMix]
+			if !ok {
+				continue
+			}
+			a.stretch.Add(rec.MaxStretch)
+			if best > 0 {
+				a.degr.Add(rec.MaxStretch / best)
+			}
+		}
+	}
+	for _, alg := range cfg.Algorithms {
+		res.MeanStretch[alg] = make([]float64, len(HeterogeneityMixes))
+		res.MeanDegradation[alg] = make([]float64, len(HeterogeneityMixes))
+		for mi, mix := range HeterogeneityMixes {
+			a := cells[alg][cluster.NormalizeProfile(mix)]
+			res.MeanStretch[alg][mi] = a.stretch.Mean()
+			res.MeanDegradation[alg][mi] = a.degr.Mean()
+		}
+	}
+	return res, nil
+}
+
+// Table builds the heterogeneity study table: one row per algorithm, one
+// column pair (mean degradation, mean max-stretch) per node mix.
+func (r *HeterogeneityResult) Table() *report.Table {
+	headers := []string{"algorithm"}
+	for _, mix := range r.Mixes {
+		headers = append(headers, mix+" degr", mix+" stretch")
+	}
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("Heterogeneity study: degradation and max stretch per node mix (penalty %.0fs)", r.Penalty),
+		Headers: headers,
+	}
+	for _, alg := range r.Algorithms {
+		row := []string{alg}
+		for mi := range r.Mixes {
+			row = append(row,
+				fmt.Sprintf("%.2f", r.MeanDegradation[alg][mi]),
+				fmt.Sprintf("%.1f", r.MeanStretch[alg][mi]))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl
+}
+
+// Render writes the study as an aligned text table.
+func (r *HeterogeneityResult) Render(w io.Writer) error { return r.Table().Render(w) }
+
+// RenderCSV writes the study as CSV.
+func (r *HeterogeneityResult) RenderCSV(w io.Writer) error { return r.Table().RenderCSV(w) }

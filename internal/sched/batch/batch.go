@@ -8,14 +8,20 @@
 //
 // Batch allocations are integral and exclusive: each task receives a whole
 // node and the job runs with yield 1.0 from start to finish; batch
-// schedulers never preempt or migrate.
+// schedulers never preempt or migrate. On a heterogeneous cluster a node is
+// eligible for a job only if its capacities cover the per-task CPU need and
+// memory requirement at full speed; on the paper's homogeneous platform
+// every node is eligible for every valid job, reproducing the published
+// algorithms exactly.
 package batch
 
 import (
 	"sort"
 
+	"repro/internal/cluster"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 func init() {
@@ -23,25 +29,57 @@ func init() {
 	sched.Register("easy", func() sim.Scheduler { return &EASY{} })
 }
 
-// nodePool tracks which nodes are exclusively held by batch jobs.
+// nodePool tracks which nodes are exclusively held by batch jobs and which
+// of them can host a given job's tasks at yield 1.0.
 type nodePool struct {
+	cl   *cluster.Cluster
 	free []int // sorted free node ids
 }
 
-func newNodePool(n int) *nodePool {
-	p := &nodePool{free: make([]int, n)}
+func newNodePool(cl *cluster.Cluster) *nodePool {
+	p := &nodePool{cl: cl, free: make([]int, cl.N())}
 	for i := range p.free {
 		p.free[i] = i
 	}
 	return p
 }
 
+// fits reports whether a node can exclusively host one task of the job at
+// full speed.
+func (p *nodePool) fits(node int, j workload.Job) bool {
+	return p.cl.CPUCap(node) >= j.CPUNeed && p.cl.MemCap(node) >= j.MemReq
+}
+
+// freeCount counts all free nodes regardless of eligibility (used by the
+// conservative planner's availability profile, which is exact on a
+// homogeneous cluster and advisory on a heterogeneous one).
 func (p *nodePool) freeCount() int { return len(p.free) }
 
-// take removes and returns k nodes from the pool.
-func (p *nodePool) take(k int) []int {
-	nodes := append([]int(nil), p.free[:k]...)
-	p.free = p.free[k:]
+// freeFor counts the free nodes eligible for the job.
+func (p *nodePool) freeFor(j workload.Job) int {
+	n := 0
+	for _, node := range p.free {
+		if p.fits(node, j) {
+			n++
+		}
+	}
+	return n
+}
+
+// takeFor removes and returns the first k free nodes eligible for the job
+// (in node-id order, deterministic). The caller must have checked
+// freeFor(j) >= k.
+func (p *nodePool) takeFor(j workload.Job, k int) []int {
+	nodes := make([]int, 0, k)
+	kept := p.free[:0]
+	for _, node := range p.free {
+		if len(nodes) < k && p.fits(node, j) {
+			nodes = append(nodes, node)
+			continue
+		}
+		kept = append(kept, node)
+	}
+	p.free = kept
 	return nodes
 }
 
@@ -66,7 +104,7 @@ func (f *FCFS) Name() string { return "fcfs" }
 
 // Init implements sim.Scheduler.
 func (f *FCFS) Init(ctl *sim.Controller) {
-	f.pool = newNodePool(ctl.NumNodes())
+	f.pool = newNodePool(ctl.Cluster())
 	f.queue = nil
 	f.holding = map[int][]int{}
 }
@@ -90,10 +128,10 @@ func (f *FCFS) OnTimer(*sim.Controller, int64) {}
 func (f *FCFS) dispatch(ctl *sim.Controller) {
 	for len(f.queue) > 0 {
 		head := ctl.Job(f.queue[0])
-		if head.Job.Tasks > f.pool.freeCount() {
+		if head.Job.Tasks > f.pool.freeFor(head.Job) {
 			return
 		}
-		nodes := f.pool.take(head.Job.Tasks)
+		nodes := f.pool.takeFor(head.Job, head.Job.Tasks)
 		ctl.Start(head.JID, nodes)
 		ctl.SetYield(head.JID, 1)
 		f.holding[head.JID] = nodes
@@ -115,7 +153,7 @@ func (e *EASY) Name() string { return "easy" }
 
 // Init implements sim.Scheduler.
 func (e *EASY) Init(ctl *sim.Controller) {
-	e.pool = newNodePool(ctl.NumNodes())
+	e.pool = newNodePool(ctl.Cluster())
 	e.queue = nil
 	e.holding = map[int][]int{}
 }
@@ -137,7 +175,8 @@ func (e *EASY) OnCompletion(ctl *sim.Controller, jid int) {
 func (e *EASY) OnTimer(*sim.Controller, int64) {}
 
 func (e *EASY) start(ctl *sim.Controller, jid int) {
-	nodes := e.pool.take(ctl.Job(jid).Job.Tasks)
+	j := ctl.Job(jid).Job
+	nodes := e.pool.takeFor(j, j.Tasks)
 	ctl.Start(jid, nodes)
 	ctl.SetYield(jid, 1)
 	e.holding[jid] = nodes
@@ -145,7 +184,11 @@ func (e *EASY) start(ctl *sim.Controller, jid int) {
 
 func (e *EASY) dispatch(ctl *sim.Controller) {
 	// Start jobs in FIFO order while they fit.
-	for len(e.queue) > 0 && ctl.Job(e.queue[0]).Job.Tasks <= e.pool.freeCount() {
+	for len(e.queue) > 0 {
+		j := ctl.Job(e.queue[0]).Job
+		if j.Tasks > e.pool.freeFor(j) {
+			break
+		}
 		e.start(ctl, e.queue[0])
 		e.queue = e.queue[1:]
 	}
@@ -153,12 +196,12 @@ func (e *EASY) dispatch(ctl *sim.Controller) {
 		return
 	}
 	// The head cannot start: give it a reservation at the earliest time
-	// enough nodes will be free, then backfill later jobs that do not
-	// interfere with that reservation.
+	// enough eligible nodes will be free, then backfill later jobs that do
+	// not interfere with that reservation.
 	for i := 1; i < len(e.queue); {
 		jid := e.queue[i]
 		ji := ctl.Job(jid)
-		if ji.Job.Tasks > e.pool.freeCount() {
+		if ji.Job.Tasks > e.pool.freeFor(ji.Job) {
 			i++
 			continue
 		}
@@ -178,14 +221,17 @@ func (e *EASY) dispatch(ctl *sim.Controller) {
 }
 
 // reservation computes, with perfect estimates, the shadow time at which
-// the head job can start (when cumulative releases plus currently free
-// nodes first cover its size) and the number of extra nodes: nodes free at
-// the shadow time beyond what the head job needs. A backfill job that
-// finishes before the shadow time, or that is small enough to fit in the
-// extra nodes, cannot delay the head.
+// the head job can start (when cumulative releases of head-eligible nodes
+// plus currently free head-eligible nodes first cover its size) and the
+// number of extra nodes: head-eligible nodes free at the shadow time beyond
+// what the head job needs. A backfill job that finishes before the shadow
+// time, or that is small enough to fit in the extra nodes, cannot delay the
+// head. On a homogeneous cluster every node is head-eligible and this is
+// exactly classical EASY backfilling.
 func (e *EASY) reservation(ctl *sim.Controller) (shadow float64, extra int) {
-	need := ctl.Job(e.queue[0]).Job.Tasks
-	avail := e.pool.freeCount()
+	head := ctl.Job(e.queue[0]).Job
+	need := head.Tasks
+	avail := e.pool.freeFor(head)
 	if avail >= need {
 		return ctl.Now(), avail - need
 	}
@@ -195,7 +241,15 @@ func (e *EASY) reservation(ctl *sim.Controller) (shadow float64, extra int) {
 	}
 	var rel []release
 	for _, jid := range ctl.JobsInState(sim.Running) {
-		rel = append(rel, release{t: ctl.EarliestFinish(jid), tasks: ctl.Job(jid).Job.Tasks})
+		eligible := 0
+		for _, node := range e.holding[jid] {
+			if e.pool.fits(node, head) {
+				eligible++
+			}
+		}
+		if eligible > 0 {
+			rel = append(rel, release{t: ctl.EarliestFinish(jid), tasks: eligible})
+		}
 	}
 	sort.Slice(rel, func(a, b int) bool { return rel[a].t < rel[b].t })
 	for _, r := range rel {

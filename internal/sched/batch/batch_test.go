@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -156,11 +157,12 @@ func TestFCFSFullClusterJob(t *testing.T) {
 }
 
 func TestNodePool(t *testing.T) {
-	p := newNodePool(4)
-	if p.freeCount() != 4 {
-		t.Fatalf("freeCount = %d", p.freeCount())
+	p := newNodePool(cluster.Homogeneous(4))
+	j := workload.Job{Tasks: 3, CPUNeed: 0.5, MemReq: 0.5}
+	if p.freeCount() != 4 || p.freeFor(j) != 4 {
+		t.Fatalf("freeCount = %d, freeFor = %d", p.freeCount(), p.freeFor(j))
 	}
-	taken := p.take(3)
+	taken := p.takeFor(j, 3)
 	if len(taken) != 3 || p.freeCount() != 1 {
 		t.Fatalf("take: %v, free %d", taken, p.freeCount())
 	}
@@ -171,5 +173,28 @@ func TestNodePool(t *testing.T) {
 	// Pool stays sorted for determinism.
 	if p.free[0] > p.free[1] {
 		t.Errorf("pool unsorted: %v", p.free)
+	}
+}
+
+// TestNodePoolEligibility: a thin node is skipped for jobs its capacities
+// cannot host at full speed, while still counting as free for others.
+func TestNodePoolEligibility(t *testing.T) {
+	p := newNodePool(cluster.New([]cluster.NodeSpec{
+		{CPUCap: 0.5, MemCap: 0.5},
+		{CPUCap: 1, MemCap: 1},
+		{CPUCap: 2, MemCap: 2},
+	}))
+	big := workload.Job{Tasks: 1, CPUNeed: 0.8, MemReq: 0.8}
+	small := workload.Job{Tasks: 1, CPUNeed: 0.3, MemReq: 0.3}
+	if p.freeFor(big) != 2 || p.freeFor(small) != 3 {
+		t.Fatalf("freeFor: big %d small %d", p.freeFor(big), p.freeFor(small))
+	}
+	// takeFor skips the ineligible thin node 0.
+	taken := p.takeFor(big, 2)
+	if len(taken) != 2 || taken[0] != 1 || taken[1] != 2 {
+		t.Fatalf("takeFor(big, 2) = %v, want [1 2]", taken)
+	}
+	if p.freeCount() != 1 || p.freeFor(big) != 0 {
+		t.Errorf("after take: free %d, freeFor(big) %d", p.freeCount(), p.freeFor(big))
 	}
 }

@@ -30,7 +30,7 @@ func (c *Conservative) Name() string { return "conservative" }
 
 // Init implements sim.Scheduler.
 func (c *Conservative) Init(ctl *sim.Controller) {
-	c.pool = newNodePool(ctl.NumNodes())
+	c.pool = newNodePool(ctl.Cluster())
 	c.queue = nil
 	c.holding = map[int][]int{}
 }
@@ -146,10 +146,12 @@ func (c *Conservative) dispatchOnce(ctl *sim.Controller) bool {
 	for qi, jid := range c.queue {
 		ji := ctl.Job(jid)
 		start, idx := earliestStart(ji.Job.Tasks, ji.Job.ExecTime)
-		if start <= now+1e-9 && qi >= 0 {
-			// Starts now: take real nodes and dispatch.
-			if ji.Job.Tasks <= c.pool.freeCount() {
-				nodes := c.pool.take(ji.Job.Tasks)
+		if start <= now+1e-9 {
+			// Starts now: take real nodes and dispatch. On a heterogeneous
+			// cluster the profile is advisory; the eligibility check here is
+			// what keeps every start within per-node capacities.
+			if ji.Job.Tasks <= c.pool.freeFor(ji.Job) {
+				nodes := c.pool.takeFor(ji.Job, ji.Job.Tasks)
 				ctl.Start(jid, nodes)
 				ctl.SetYield(jid, 1)
 				c.holding[jid] = nodes

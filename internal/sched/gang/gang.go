@@ -120,14 +120,14 @@ func (g *Scheduler) tryPlace(ctl *sim.Controller, jid int) bool {
 	ji := ctl.Job(jid)
 	n := ctl.NumNodes()
 	for ri := range g.rows {
-		if nodes, ok := g.fitInRow(ji, &g.rows[ri], n); ok {
+		if nodes, ok := g.fitInRow(ctl, ji, &g.rows[ri], n); ok {
 			g.commit(ctl, jid, ri, nodes)
 			return true
 		}
 	}
 	// Open a fresh row.
 	fresh := row{nodes: map[int][]int{}, load: make([]float64, n)}
-	if nodes, ok := g.fitInRow(ji, &fresh, n); ok {
+	if nodes, ok := g.fitInRow(ctl, ji, &fresh, n); ok {
 		g.rows = append(g.rows, fresh)
 		g.commit(ctl, jid, len(g.rows)-1, nodes)
 		return true
@@ -136,19 +136,20 @@ func (g *Scheduler) tryPlace(ctl *sim.Controller, jid int) bool {
 }
 
 // fitInRow plans one node per task: the node must have CPU headroom within
-// the row (need sums to at most 1 per node per slice) and global memory
-// headroom across all rows.
-func (g *Scheduler) fitInRow(ji sim.JobInfo, r *row, n int) ([]int, bool) {
+// the row (need sums to at most the node's CPU capacity per slice, so the
+// row can run at yield 1) and global memory headroom across all rows. On a
+// homogeneous cluster both capacities are 1.0, the published formulation.
+func (g *Scheduler) fitInRow(ctl *sim.Controller, ji sim.JobInfo, r *row, n int) ([]int, bool) {
 	nodes := make([]int, 0, ji.Job.Tasks)
 	planLoad := make([]float64, n)
 	planMem := make([]float64, n)
 	for task := 0; task < ji.Job.Tasks; task++ {
 		found := -1
 		for node := 0; node < n; node++ {
-			if !floats.LessEq(r.load[node]+planLoad[node]+ji.Job.CPUNeed, 1) {
+			if !floats.LessEq(r.load[node]+planLoad[node]+ji.Job.CPUNeed, ctl.CPUCap(node)) {
 				continue
 			}
-			if !floats.LessEq(g.memUse[node]+planMem[node]+ji.Job.MemReq, 1) {
+			if !floats.LessEq(g.memUse[node]+planMem[node]+ji.Job.MemReq, ctl.MemCap(node)) {
 				continue
 			}
 			found = node

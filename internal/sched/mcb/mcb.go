@@ -209,18 +209,18 @@ func (s *Scheduler) solve(ctl *sim.Controller, jids []int, now float64) (*core.A
 				VirtualTime: ji.VirtualTime,
 			})
 		}
-		alloc, ok := core.MinEstimatedStretch(states, ctl.NumNodes(), s.packer, s.opt.Period)
+		alloc, ok := core.MinEstimatedStretch(states, ctl.Cluster(), s.packer, s.opt.Period)
 		if !ok {
 			return nil, false
 		}
-		core.ImproveAverageStretch(states, alloc, ctl.NumNodes())
+		core.ImproveAverageStretch(states, alloc, ctl.Cluster())
 		return alloc, true
 	}
 	specs := make([]core.JobSpec, 0, len(jids))
 	for _, jid := range jids {
 		specs = append(specs, sched.Spec(ctl.Job(jid)))
 	}
-	alloc, ok := core.MaxMinYield(specs, ctl.NumNodes(), s.packer)
+	alloc, ok := core.MaxMinYield(specs, ctl.Cluster(), s.packer)
 	if !ok {
 		return nil, false
 	}
@@ -230,7 +230,7 @@ func (s *Scheduler) solve(ctl *sim.Controller, jids []int, now float64) (*core.A
 			return ctl.Job(spec.ID).VirtualTime <= s.opt.FairnessAge
 		}
 	}
-	core.ImproveAverageYield(specs, alloc, ctl.NumNodes(), eligible)
+	core.ImproveAverageYield(specs, alloc, ctl.Cluster(), eligible)
 	return alloc, true
 }
 

@@ -31,19 +31,21 @@ func Spec(ji sim.JobInfo) core.JobSpec {
 }
 
 // GreedyPlace computes the GREEDY placement of Section III-A for job jid:
-// each task in turn goes to the node with the lowest CPU load among nodes
-// with enough free memory (taking the tasks already placed in this call
-// into account). It returns one node per task, or ok=false if some task
-// cannot be placed. Cluster state is not modified.
+// each task in turn goes to the node with the lowest relative CPU load
+// (load divided by the node's CPU capacity — on the paper's unit-capacity
+// platform exactly the raw load) among nodes with enough free memory
+// (taking the tasks already placed in this call into account). It returns
+// one node per task, or ok=false if some task cannot be placed. Cluster
+// state is not modified.
 func GreedyPlace(ctl *sim.Controller, jid int) (nodes []int, ok bool) {
 	return GreedyPlaceExtra(ctl, jid, nil)
 }
 
-// GreedyPlaceExtra is GreedyPlace with additional hypothetical usage:
-// extraMem/extraLoad (indexed by node, may be nil) are added on top of the
-// simulator's current state. This lets callers plan multi-job placements
-// (e.g. resuming several paused jobs in one event) without mutating the
-// cluster between decisions.
+// GreedyPlaceExtra is GreedyPlace with additional hypothetical usage: the
+// plan's extra memory and load (indexed by node, may be nil) are added on
+// top of the simulator's current state. This lets callers plan multi-job
+// placements (e.g. resuming several paused jobs in one event) without
+// mutating the cluster between decisions.
 func GreedyPlaceExtra(ctl *sim.Controller, jid int, extra *Plan) ([]int, bool) {
 	ji := ctl.Job(jid)
 	n := ctl.NumNodes()
@@ -61,7 +63,7 @@ func GreedyPlaceExtra(ctl *sim.Controller, jid int, extra *Plan) ([]int, bool) {
 			if !floats.LessEq(ji.Job.MemReq, ctl.FreeMem(node)-planMem[node]) {
 				continue
 			}
-			load := ctl.CPULoad(node) + planLoad[node]
+			load := (ctl.CPULoad(node) + planLoad[node]) / ctl.CPUCap(node)
 			if load < bestLoad {
 				bestLoad = load
 				best = node
@@ -123,10 +125,12 @@ func ByPriority(ctl *sim.Controller, jids []int, now float64, pf PriorityFunc, a
 
 // ApplyGreedyYields implements the GREEDY yield rule of Section III-A on
 // the current set of running jobs: every job receives the uniform yield
-// 1/max(1, maxLoad), which maximizes the minimum yield for the current
-// placement, and the average-yield improvement heuristic then distributes
-// leftover CPU. Yields are applied through a zero-first two-phase update so
-// no node ever transiently exceeds capacity.
+// 1/max(1, maxLoad) — maxLoad being the maximum relative (capacity-scaled)
+// CPU load, which maximizes the minimum yield for the current placement and
+// keeps every node within its own CPU capacity — and the average-yield
+// improvement heuristic then distributes leftover CPU. Yields are applied
+// through a zero-first two-phase update so no node ever transiently exceeds
+// capacity.
 func ApplyGreedyYields(ctl *sim.Controller) {
 	running := ctl.JobsInState(sim.Running)
 	if len(running) == 0 {
@@ -142,7 +146,7 @@ func ApplyGreedyYields(ctl *sim.Controller) {
 		alloc.YieldOf[jid] = base
 	}
 	alloc.MinYield = base
-	core.ImproveAverageYield(specs, alloc, ctl.NumNodes(), nil)
+	core.ImproveAverageYield(specs, alloc, ctl.Cluster(), nil)
 	ApplyYields(ctl, alloc.YieldOf)
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/cluster"
 	"repro/internal/floats"
 )
 
@@ -27,6 +28,16 @@ func (c *Controller) Now() float64 { return c.sim.now }
 
 // NumNodes returns the cluster size.
 func (c *Controller) NumNodes() int { return len(c.sim.usedCPU) }
+
+// Cluster returns the simulated cluster's resource model. Schedulers must
+// treat it as read-only.
+func (c *Controller) Cluster() *cluster.Cluster { return c.sim.cl }
+
+// CPUCap returns node's CPU capacity (1.0 on the paper's platform).
+func (c *Controller) CPUCap(node int) float64 { return c.sim.cl.CPUCap(node) }
+
+// MemCap returns node's memory capacity (1.0 on the paper's platform).
+func (c *Controller) MemCap(node int) float64 { return c.sim.cl.MemCap(node) }
 
 // NumJobs returns the number of jobs in the trace.
 func (c *Controller) NumJobs() int { return len(c.sim.jobs) }
@@ -79,28 +90,31 @@ func (c *Controller) ActiveJobs() []int {
 }
 
 // CPULoad returns the paper's CPU load of a node: the sum of the CPU needs
-// of the tasks allocated to it (which may exceed 1).
+// of the tasks allocated to it (which may exceed the node's capacity).
 func (c *Controller) CPULoad(node int) float64 { return c.sim.cpuLoad[node] }
 
-// AllocatedCPU returns the CPU fraction of a node currently promised to
-// tasks (sum of need x yield; at most 1).
+// AllocatedCPU returns the CPU of a node currently promised to tasks (sum
+// of need x yield; at most the node's CPU capacity).
 func (c *Controller) AllocatedCPU(node int) float64 { return c.sim.usedCPU[node] }
 
-// UsedMem returns the memory fraction of a node currently allocated.
+// UsedMem returns the memory of a node currently allocated.
 func (c *Controller) UsedMem(node int) float64 { return c.sim.usedMem[node] }
 
-// FreeMem returns the free memory fraction of a node.
+// FreeMem returns the free memory of a node (its capacity minus the
+// allocated memory).
 func (c *Controller) FreeMem(node int) float64 {
-	return floats.NonNeg(1 - c.sim.usedMem[node])
+	return floats.NonNeg(c.sim.cl.MemCap(node) - c.sim.usedMem[node])
 }
 
-// MaxCPULoad returns the maximum CPU load over all nodes (the paper's
-// capital lambda), used by the greedy yield rule 1/max(1, lambda).
+// MaxCPULoad returns the maximum relative CPU load over all nodes — each
+// node's load divided by its own CPU capacity (the paper's capital lambda;
+// on the unit-capacity platform this is exactly the raw load). The greedy
+// yield rule 1/max(1, lambda) keeps every node within its capacity.
 func (c *Controller) MaxCPULoad() float64 {
 	m := 0.0
-	for _, l := range c.sim.cpuLoad {
-		if l > m {
-			m = l
+	for node, l := range c.sim.cpuLoad {
+		if rel := l / c.sim.cl.CPUCap(node); rel > m {
+			m = rel
 		}
 	}
 	return m
@@ -265,9 +279,9 @@ func (c *Controller) SetYield(jid int, y float64) {
 	delta := j.job.CPUNeed * (y - j.yield)
 	for _, node := range j.nodes {
 		s.usedCPU[node] += delta
-		if s.usedCPU[node] > 1+capTol {
-			panic(fmt.Sprintf("sim: %s oversubscribed CPU on node %d (%.6f) at t=%.1f",
-				s.sched.Name(), node, s.usedCPU[node], s.now))
+		if s.usedCPU[node] > s.cl.CPUCap(node)+capTol {
+			panic(fmt.Sprintf("sim: %s oversubscribed CPU on node %d (%.6f of %.6f) at t=%.1f",
+				s.sched.Name(), node, s.usedCPU[node], s.cl.CPUCap(node), s.now))
 		}
 		s.usedCPU[node] = floats.NonNeg(s.usedCPU[node])
 	}

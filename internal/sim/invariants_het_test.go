@@ -1,0 +1,135 @@
+package sim_test
+
+// Heterogeneous-cluster invariant battery, mirroring invariants_test.go:
+// every registered algorithm runs over a contended trace on each named
+// node-mix profile and on a hand-built fat/thin cluster, with per-event
+// validation that no node exceeds its own CPU or memory capacity. The
+// model-level checks (no early finishes, no super-dedicated speed, work
+// conservation) are shared with the homogeneous battery.
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+
+	_ "repro/internal/sched/batch"
+	_ "repro/internal/sched/gang"
+	_ "repro/internal/sched/greedy"
+	_ "repro/internal/sched/mcb"
+)
+
+func TestInvariantsOnHeterogeneousProfiles(t *testing.T) {
+	tr := invariantTrace(t)
+	for _, mix := range cluster.ProfileNames() {
+		cl, err := cluster.Profile(mix, tr.Nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range nineAlgorithms {
+			s, err := sched.New(alg)
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			simulator, err := sim.New(sim.Config{
+				Trace:           tr,
+				Cluster:         cl,
+				CheckInvariants: true,
+				Penalty:         300,
+				MaxSimTime:      50 * 365 * 24 * 3600,
+			}, s)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", alg, mix, err)
+			}
+			res, err := simulator.Run()
+			if err != nil {
+				t.Fatalf("%s on %s: %v", alg, mix, err)
+			}
+			checkResultInvariants(t, tr, res, alg+"/"+mix, 300)
+		}
+	}
+}
+
+// TestInvariantsOnFatThinMemoryPressure drives memory-heavy jobs onto a
+// hand-built cluster whose thin node cannot host them: every placement must
+// respect the thin node's 0.5 capacities while the fat node absorbs the
+// heavy tasks. This is the regime where a capacity-unaware scheduler would
+// oversubscribe the thin node.
+func TestInvariantsOnFatThinMemoryPressure(t *testing.T) {
+	jobs := []workload.Job{
+		{ID: 0, Submit: 0, Tasks: 1, CPUNeed: 0.9, MemReq: 0.8, ExecTime: 100},
+		{ID: 1, Submit: 1, Tasks: 1, CPUNeed: 0.9, MemReq: 0.8, ExecTime: 100},
+		{ID: 2, Submit: 2, Tasks: 1, CPUNeed: 0.3, MemReq: 0.4, ExecTime: 50},
+		{ID: 3, Submit: 3, Tasks: 2, CPUNeed: 0.5, MemReq: 0.6, ExecTime: 80},
+	}
+	tr := &workload.Trace{Name: "fat-thin", Nodes: 3, NodeMemGB: 4, Jobs: jobs}
+	cl := cluster.New([]cluster.NodeSpec{
+		{CPUCap: 2, MemCap: 2},     // fat
+		{CPUCap: 1, MemCap: 1},     // reference
+		{CPUCap: 0.5, MemCap: 0.5}, // thin: only job 2 fits here
+	})
+	for _, alg := range nineAlgorithms {
+		s, err := sched.New(alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simulator, err := sim.New(sim.Config{Trace: tr, Cluster: cl, CheckInvariants: true,
+			Penalty: 300, MaxSimTime: 50 * 365 * 24 * 3600}, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := simulator.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		checkResultInvariants(t, tr, res, alg+"/fat-thin", 300)
+	}
+}
+
+// TestClusterMismatchRejected: a cluster whose node count disagrees with
+// the trace is a configuration error, not a panic.
+func TestClusterMismatchRejected(t *testing.T) {
+	tr := &workload.Trace{Name: "m", Nodes: 2, NodeMemGB: 4, Jobs: []workload.Job{
+		{ID: 0, Submit: 0, Tasks: 1, CPUNeed: 0.5, MemReq: 0.5, ExecTime: 10},
+	}}
+	s, err := sched.New("fcfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.New(sim.Config{Trace: tr, Cluster: cluster.Homogeneous(3)}, s); err == nil {
+		t.Error("node-count mismatch accepted")
+	}
+	if _, err := sim.New(sim.Config{Trace: tr, Cluster: cluster.New(nil)}, s); err == nil {
+		t.Error("empty cluster accepted")
+	}
+}
+
+// TestHeterogeneousUtilization: utilization is measured against the
+// cluster's aggregate capacity, not the node count.
+func TestHeterogeneousUtilization(t *testing.T) {
+	tr := &workload.Trace{Name: "u", Nodes: 2, NodeMemGB: 4, Jobs: []workload.Job{
+		{ID: 0, Submit: 0, Tasks: 1, CPUNeed: 1.0, MemReq: 0.5, ExecTime: 100},
+	}}
+	cl := cluster.New([]cluster.NodeSpec{{CPUCap: 2, MemCap: 2}, {CPUCap: 2, MemCap: 2}})
+	s, err := sched.New("fcfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulator, err := sim.New(sim.Config{Trace: tr, Cluster: cl, CheckInvariants: true}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simulator.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCPUCap != 4 {
+		t.Errorf("TotalCPUCap = %v, want 4", res.TotalCPUCap)
+	}
+	// 100 CPU-seconds of work over a 100s makespan on 4 units of capacity.
+	if got, want := res.Utilization(), 0.25; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("Utilization = %v, want %v", got, want)
+	}
+}

@@ -1,9 +1,10 @@
 // Package sim implements the discrete-event cluster simulator of
-// Section IV-A: a homogeneous cluster whose nodes can be fractionally
-// time-shared among VM-hosted tasks, with hard per-node memory constraints,
-// pause/resume/migration of jobs, a configurable rescheduling penalty that
-// the scheduling algorithms are unaware of, and the bandwidth/occurrence
-// accounting behind Table II.
+// Section IV-A: a cluster whose nodes can be fractionally time-shared among
+// VM-hosted tasks, with hard per-node memory constraints, per-node CPU and
+// memory capacities (internal/cluster; the paper's homogeneous 1.0 x 1.0
+// platform is the default), pause/resume/migration of jobs, a configurable
+// rescheduling penalty that the scheduling algorithms are unaware of, and
+// the bandwidth/occurrence accounting behind Table II.
 //
 // The simulator advances job progress in virtual time: a job with yield y
 // accumulates y seconds of virtual time per wall-clock second and completes
@@ -19,6 +20,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/eventq"
 	"repro/internal/floats"
 	"repro/internal/workload"
@@ -130,12 +132,18 @@ type JobResult struct {
 // Utilization returns the fraction of the cluster's CPU capacity that
 // delivered useful work over the schedule's makespan, or 0 for an empty
 // run. Lower makespans at equal work mean higher utilization — the paper's
-// under-subscription discussion (Section II-B2) in one number.
+// under-subscription discussion (Section II-B2) in one number. On a
+// homogeneous cluster TotalCPUCap equals the node count, matching the
+// paper's formula.
 func (r *Result) Utilization() float64 {
-	if r.Makespan <= 0 || r.Nodes == 0 {
+	cap := r.TotalCPUCap
+	if cap == 0 {
+		cap = float64(r.Nodes)
+	}
+	if r.Makespan <= 0 || cap == 0 {
 		return 0
 	}
-	return r.DeliveredCPUSeconds / (r.Makespan * float64(r.Nodes))
+	return r.DeliveredCPUSeconds / (r.Makespan * cap)
 }
 
 // SchedSample is one timing observation of the scheduler: how long one hook
@@ -150,9 +158,12 @@ type Result struct {
 	Algorithm string
 	Trace     string
 	Nodes     int
-	Penalty   float64
-	Jobs      []JobResult
-	Makespan  float64 // completion time of the last job
+	// TotalCPUCap is the cluster's aggregate CPU capacity in reference-node
+	// units (equal to Nodes for a homogeneous cluster).
+	TotalCPUCap float64
+	Penalty     float64
+	Jobs        []JobResult
+	Makespan    float64 // completion time of the last job
 
 	PreemptionOps int
 	MigrationOps  int
@@ -173,6 +184,10 @@ type Result struct {
 // Config configures one simulation run.
 type Config struct {
 	Trace *workload.Trace
+	// Cluster describes per-node capacities. Nil means the paper's
+	// homogeneous platform: Trace.Nodes reference nodes of capacity
+	// 1.0 x 1.0. When set, its node count must equal Trace.Nodes.
+	Cluster *cluster.Cluster
 	// Penalty is the rescheduling penalty in seconds (0 or 300 in the
 	// paper's experiments) applied to every resume and migration.
 	Penalty float64
@@ -200,6 +215,7 @@ type Simulator struct {
 	jobs    []*jobRT
 	queue   eventq.Queue
 	ctl     Controller
+	cl      *cluster.Cluster
 	usedCPU []float64 // sum over tasks of need*yield
 	cpuLoad []float64 // sum over tasks of need (the paper's "CPU load")
 	usedMem []float64
@@ -225,6 +241,16 @@ func New(cfg Config, sched Scheduler) (*Simulator, error) {
 	}
 	s := &Simulator{cfg: cfg, sched: sched}
 	n := cfg.Trace.Nodes
+	s.cl = cfg.Cluster
+	if s.cl == nil {
+		s.cl = cluster.Homogeneous(n)
+	}
+	if err := s.cl.Validate(); err != nil {
+		return nil, err
+	}
+	if s.cl.N() != n {
+		return nil, fmt.Errorf("sim: cluster has %d nodes but trace %q targets %d", s.cl.N(), cfg.Trace.Name, n)
+	}
 	s.usedCPU = make([]float64, n)
 	s.cpuLoad = make([]float64, n)
 	s.usedMem = make([]float64, n)
@@ -235,10 +261,11 @@ func New(cfg Config, sched Scheduler) (*Simulator, error) {
 	s.remainingJobs = len(s.jobs)
 	s.ctl = Controller{sim: s}
 	s.result = Result{
-		Algorithm: sched.Name(),
-		Trace:     cfg.Trace.Name,
-		Nodes:     n,
-		Penalty:   cfg.Penalty,
+		Algorithm:   sched.Name(),
+		Trace:       cfg.Trace.Name,
+		Nodes:       n,
+		TotalCPUCap: s.cl.TotalCPU(),
+		Penalty:     cfg.Penalty,
 	}
 	return s, nil
 }
@@ -392,9 +419,9 @@ func (s *Simulator) occupyNodes(j *jobRT, nodes []int) {
 	for _, node := range nodes {
 		s.cpuLoad[node] += j.job.CPUNeed
 		s.usedMem[node] += j.job.MemReq
-		if s.usedMem[node] > 1+capTol {
-			panic(fmt.Sprintf("sim: %s oversubscribed memory on node %d (%.6f) at t=%.1f",
-				s.sched.Name(), node, s.usedMem[node], s.now))
+		if s.usedMem[node] > s.cl.MemCap(node)+capTol {
+			panic(fmt.Sprintf("sim: %s oversubscribed memory on node %d (%.6f of %.6f) at t=%.1f",
+				s.sched.Name(), node, s.usedMem[node], s.cl.MemCap(node), s.now))
 		}
 	}
 }
@@ -444,11 +471,11 @@ func (s *Simulator) validate() error {
 		}
 	}
 	for node := range usedCPU {
-		if usedCPU[node] > 1+capTol {
-			return fmt.Errorf("sim: node %d allocated CPU %.6f > 1", node, usedCPU[node])
+		if usedCPU[node] > s.cl.CPUCap(node)+capTol {
+			return fmt.Errorf("sim: node %d allocated CPU %.6f > capacity %.6f", node, usedCPU[node], s.cl.CPUCap(node))
 		}
-		if usedMem[node] > 1+capTol {
-			return fmt.Errorf("sim: node %d allocated memory %.6f > 1", node, usedMem[node])
+		if usedMem[node] > s.cl.MemCap(node)+capTol {
+			return fmt.Errorf("sim: node %d allocated memory %.6f > capacity %.6f", node, usedMem[node], s.cl.MemCap(node))
 		}
 	}
 	return nil

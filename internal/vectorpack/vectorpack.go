@@ -1,7 +1,10 @@
 // Package vectorpack implements bi-dimensional vector packing heuristics for
 // the DFRS resource-allocation problem: place tasks, each with a CPU
-// requirement and a memory requirement (both fractions of one node), onto
-// homogeneous nodes of capacity 1.0 x 1.0.
+// requirement and a memory requirement (fractions of the reference node),
+// onto a cluster of nodes with individual CPU and memory capacities
+// (internal/cluster.NodeSpec). On the paper's homogeneous platform every
+// bin is the 1.0 x 1.0 reference node and the heuristics reduce exactly to
+// their published form; heterogeneous clusters simply present unequal bins.
 //
 // The primary algorithm is MCB8, the multi-capacity bin-packing heuristic of
 // Leinberger, Karypis and Kumar ("Multi-capacity bin packing algorithms with
@@ -17,34 +20,37 @@ package vectorpack
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
+	"repro/internal/cluster"
 	"repro/internal/floats"
 )
 
-// Item is one task to pack. CPU and Mem are fractions of a node in [0, 1].
-// Items are identified by index so callers can map assignments back to
-// (job, task) pairs.
+// Item is one task to pack. CPU and Mem are fractions of the reference node
+// in [0, 1]. Items are identified by index so callers can map assignments
+// back to (job, task) pairs.
 type Item struct {
 	CPU float64
 	Mem float64
 }
 
-// Packer places items onto n unit-capacity nodes. Pack returns, for each
-// item, the node index it was assigned to, and reports whether every item
-// was placed. A failed pack returns a nil assignment.
+// Packer places items onto the given nodes (one NodeSpec per bin). Pack
+// returns, for each item, the node index it was assigned to, and reports
+// whether every item was placed. A failed pack returns a nil assignment.
 type Packer interface {
 	Name() string
-	Pack(items []Item, n int) (assign []int, ok bool)
+	Pack(items []Item, nodes []cluster.NodeSpec) (assign []int, ok bool)
 }
 
-// Validate checks that an assignment respects both node capacities; it is
-// used by tests and the simulator's paranoia mode. A nil error means the
+// Validate checks that an assignment respects every node's capacities; it
+// is used by tests and the simulator's paranoia mode. A nil error means the
 // assignment is feasible.
-func Validate(items []Item, assign []int, n int) error {
+func Validate(items []Item, assign []int, nodes []cluster.NodeSpec) error {
 	if len(assign) != len(items) {
 		return fmt.Errorf("vectorpack: %d assignments for %d items", len(assign), len(items))
 	}
+	n := len(nodes)
 	cpu := make([]float64, n)
 	mem := make([]float64, n)
 	for i, node := range assign {
@@ -55,11 +61,11 @@ func Validate(items []Item, assign []int, n int) error {
 		mem[node] += items[i].Mem
 	}
 	for node := 0; node < n; node++ {
-		if floats.Greater(cpu[node], 1) {
-			return fmt.Errorf("vectorpack: node %d CPU %.6f > 1", node, cpu[node])
+		if floats.Greater(cpu[node], nodes[node].CPUCap) {
+			return fmt.Errorf("vectorpack: node %d CPU %.6f > capacity %.6f", node, cpu[node], nodes[node].CPUCap)
 		}
-		if floats.Greater(mem[node], 1) {
-			return fmt.Errorf("vectorpack: node %d memory %.6f > 1", node, mem[node])
+		if floats.Greater(mem[node], nodes[node].MemCap) {
+			return fmt.Errorf("vectorpack: node %d memory %.6f > capacity %.6f", node, mem[node], nodes[node].MemCap)
 		}
 	}
 	return nil
@@ -88,42 +94,43 @@ func newChain(order []int) *chain {
 	return c
 }
 
-// headItem returns the first item index in the chain, or -1 if empty.
-func (c *chain) headItem() int {
-	if c.head >= len(c.order) {
-		return -1
+// findFit returns the chain position (and its predecessor) of the first
+// chained item fitting (cpuFree, memFree), or (-1, -1).
+func (c *chain) findFit(items []Item, cpuFree, memFree float64) (pos, prev int) {
+	prev = -1
+	for k := c.head; k < len(c.order); k = c.next[k] {
+		idx := c.order[k]
+		if floats.LessEq(items[idx].CPU, cpuFree) && floats.LessEq(items[idx].Mem, memFree) {
+			return k, prev
+		}
+		prev = k
 	}
-	return c.order[c.head]
+	return -1, -1
+}
+
+// unlink removes position pos (whose predecessor is prev, -1 for the head)
+// from the chain.
+func (c *chain) unlink(pos, prev int) {
+	if prev < 0 {
+		c.head = c.next[pos]
+	} else {
+		c.next[prev] = c.next[pos]
+	}
 }
 
 // firstFit finds the first chained item fitting (cpuFree, memFree), unlinks
 // it and returns its item index, or -1.
 func (c *chain) firstFit(items []Item, cpuFree, memFree float64) int {
-	prev := -1
-	for k := c.head; k < len(c.order); k = c.next[k] {
-		idx := c.order[k]
-		if floats.LessEq(items[idx].CPU, cpuFree) && floats.LessEq(items[idx].Mem, memFree) {
-			if prev < 0 {
-				c.head = c.next[k]
-			} else {
-				c.next[prev] = c.next[k]
-			}
-			return idx
-		}
-		prev = k
+	pos, prev := c.findFit(items, cpuFree, memFree)
+	if pos < 0 {
+		return -1
 	}
-	return -1
-}
-
-// unlinkHead removes the chain's first element.
-func (c *chain) unlinkHead() {
-	if c.head < len(c.order) {
-		c.head = c.next[c.head]
-	}
+	c.unlink(pos, prev)
+	return c.order[pos]
 }
 
 // Pack implements Packer.
-func (MCB8) Pack(items []Item, n int) ([]int, bool) {
+func (MCB8) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
 	if len(items) == 0 {
 		return []int{}, true
 	}
@@ -159,33 +166,40 @@ func (MCB8) Pack(items []Item, n int) ([]int, bool) {
 		assign[i] = -1
 	}
 	placed := 0
-	for node := 0; node < n && placed < len(items); node++ {
-		cpuFree, memFree := 1.0, 1.0
-		// Seed the node with the head of either list, preferring the one
-		// with the overall largest requirement (the original algorithm
-		// picks arbitrarily; this choice is deterministic and matches
-		// the sort order). Every item fits on an empty node.
-		ch, cm := cpuChain.headItem(), memChain.headItem()
+	for node := 0; node < len(nodes) && placed < len(items); node++ {
+		cpuFree, memFree := nodes[node].CPUCap, nodes[node].MemCap
+		// Seed the node with the first item of either list that fits its
+		// capacities, preferring the one with the overall largest
+		// requirement (the original algorithm picks arbitrarily; this choice
+		// is deterministic and matches the sort order). On a reference node
+		// every item fits, so the first fitting item is the list head and
+		// the behaviour is identical to the homogeneous algorithm; a thin
+		// node may have to skip items too large for it.
+		cPos, cPrev := cpuChain.findFit(items, cpuFree, memFree)
+		mPos, mPrev := memChain.findFit(items, cpuFree, memFree)
 		var seed int
-		var seedChain *chain
 		switch {
-		case ch < 0 && cm < 0:
+		case cPos < 0 && mPos < 0:
 			continue
-		case cm < 0 || (ch >= 0 && max2(items[ch].CPU, items[ch].Mem) >= max2(items[cm].CPU, items[cm].Mem)):
-			seed, seedChain = ch, cpuChain
+		case mPos < 0 || (cPos >= 0 && itemMax(items, cpuChain, cPos) >= itemMax(items, memChain, mPos)):
+			seed = cpuChain.order[cPos]
+			cpuChain.unlink(cPos, cPrev)
 		default:
-			seed, seedChain = cm, memChain
+			seed = memChain.order[mPos]
+			memChain.unlink(mPos, mPrev)
 		}
-		seedChain.unlinkHead()
 		assign[seed] = node
 		cpuFree -= items[seed].CPU
 		memFree -= items[seed].Mem
 		placed++
 		// Keep filling: pick from the list that goes against the node's
-		// current imbalance.
+		// current imbalance, measured relative to the node's own capacities
+		// (on equal-ratio nodes — every built-in profile and the reference
+		// node — this is exactly the absolute comparison of the published
+		// algorithm).
 		for {
 			var primary, secondary *chain
-			if cpuFree >= memFree {
+			if cpuFree/nodes[node].CPUCap >= memFree/nodes[node].MemCap {
 				// More CPU headroom than memory: prefer a CPU-heavy task.
 				primary, secondary = cpuChain, memChain
 			} else {
@@ -210,6 +224,12 @@ func (MCB8) Pack(items []Item, n int) ([]int, bool) {
 	return assign, true
 }
 
+// itemMax returns the largest requirement of the item at chain position pos.
+func itemMax(items []Item, c *chain, pos int) float64 {
+	it := items[c.order[pos]]
+	return max2(it.CPU, it.Mem)
+}
+
 // FirstFitDecreasing packs items in non-increasing order of their largest
 // requirement onto the first node with room. Ablation baseline A3.
 type FirstFitDecreasing struct{}
@@ -218,17 +238,16 @@ type FirstFitDecreasing struct{}
 func (FirstFitDecreasing) Name() string { return "ffd" }
 
 // Pack implements Packer.
-func (FirstFitDecreasing) Pack(items []Item, n int) ([]int, bool) {
+func (FirstFitDecreasing) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
 	order := sortedByMaxReq(items)
 	assign := make([]int, len(items))
 	for i := range assign {
 		assign[i] = -1
 	}
-	cpuFree := fullNodes(n)
-	memFree := fullNodes(n)
+	cpuFree, memFree := freeCaps(nodes)
 	for _, idx := range order {
 		placedNode := -1
-		for node := 0; node < n; node++ {
+		for node := range nodes {
 			if floats.LessEq(items[idx].CPU, cpuFree[node]) && floats.LessEq(items[idx].Mem, memFree[node]) {
 				placedNode = node
 				break
@@ -253,18 +272,17 @@ type BestFitDecreasing struct{}
 func (BestFitDecreasing) Name() string { return "bfd" }
 
 // Pack implements Packer.
-func (BestFitDecreasing) Pack(items []Item, n int) ([]int, bool) {
+func (BestFitDecreasing) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
 	order := sortedByMaxReq(items)
 	assign := make([]int, len(items))
 	for i := range assign {
 		assign[i] = -1
 	}
-	cpuFree := fullNodes(n)
-	memFree := fullNodes(n)
+	cpuFree, memFree := freeCaps(nodes)
 	for _, idx := range order {
 		best := -1
-		bestSlack := 3.0
-		for node := 0; node < n; node++ {
+		bestSlack := math.Inf(1)
+		for node := range nodes {
 			if !floats.LessEq(items[idx].CPU, cpuFree[node]) || !floats.LessEq(items[idx].Mem, memFree[node]) {
 				continue
 			}
@@ -320,10 +338,13 @@ func sortedByMaxReq(items []Item) []int {
 	return order
 }
 
-func fullNodes(n int) []float64 {
-	f := make([]float64, n)
-	for i := range f {
-		f[i] = 1
+// freeCaps returns per-node free CPU and memory initialized to capacity.
+func freeCaps(nodes []cluster.NodeSpec) (cpu, mem []float64) {
+	cpu = make([]float64, len(nodes))
+	mem = make([]float64, len(nodes))
+	for i, n := range nodes {
+		cpu[i] = n.CPUCap
+		mem[i] = n.MemCap
 	}
-	return f
+	return cpu, mem
 }

@@ -4,13 +4,15 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/cluster"
 )
 
 var allPackers = []Packer{MCB8{}, FirstFitDecreasing{}, BestFitDecreasing{}}
 
 func TestPackEmpty(t *testing.T) {
 	for _, p := range allPackers {
-		assign, ok := p.Pack(nil, 3)
+		assign, ok := p.Pack(nil, cluster.Uniform(3))
 		if !ok || len(assign) != 0 {
 			t.Errorf("%s: empty pack failed", p.Name())
 		}
@@ -19,7 +21,7 @@ func TestPackEmpty(t *testing.T) {
 
 func TestPackSingleItem(t *testing.T) {
 	for _, p := range allPackers {
-		assign, ok := p.Pack([]Item{{CPU: 0.5, Mem: 0.5}}, 1)
+		assign, ok := p.Pack([]Item{{CPU: 0.5, Mem: 0.5}}, cluster.Uniform(1))
 		if !ok || assign[0] != 0 {
 			t.Errorf("%s: single item pack: %v %v", p.Name(), assign, ok)
 		}
@@ -30,8 +32,41 @@ func TestPackInfeasible(t *testing.T) {
 	// Three items of 0.6 memory cannot share two nodes.
 	items := []Item{{CPU: 0.1, Mem: 0.6}, {CPU: 0.1, Mem: 0.6}, {CPU: 0.1, Mem: 0.6}}
 	for _, p := range allPackers {
-		if _, ok := p.Pack(items, 2); ok {
+		if _, ok := p.Pack(items, cluster.Uniform(2)); ok {
 			t.Errorf("%s: infeasible instance packed", p.Name())
+		}
+	}
+}
+
+func TestPackZeroNodes(t *testing.T) {
+	items := []Item{{CPU: 0.1, Mem: 0.1}}
+	for _, p := range allPackers {
+		if _, ok := p.Pack(items, nil); ok {
+			t.Errorf("%s: packed onto zero nodes", p.Name())
+		}
+		// Zero items onto zero nodes is trivially feasible.
+		if _, ok := p.Pack(nil, nil); !ok {
+			t.Errorf("%s: empty instance on zero nodes failed", p.Name())
+		}
+	}
+}
+
+func TestPackItemLargerThanAnyNode(t *testing.T) {
+	// A 0.9 x 0.9 item cannot fit a cluster of 0.5-capacity thin nodes.
+	thin := []cluster.NodeSpec{{CPUCap: 0.5, MemCap: 0.5}, {CPUCap: 0.5, MemCap: 0.5}}
+	items := []Item{{CPU: 0.9, Mem: 0.9}}
+	for _, p := range allPackers {
+		if _, ok := p.Pack(items, thin); ok {
+			t.Errorf("%s: oversized item placed on thin nodes", p.Name())
+		}
+	}
+	// The same item fits as soon as one node is fat enough.
+	mixed := append([]cluster.NodeSpec{}, thin...)
+	mixed = append(mixed, cluster.NodeSpec{CPUCap: 1, MemCap: 1})
+	for _, p := range allPackers {
+		assign, ok := p.Pack(items, mixed)
+		if !ok || assign[0] != 2 {
+			t.Errorf("%s: oversized item not routed to the fat node: %v %v", p.Name(), assign, ok)
 		}
 	}
 }
@@ -43,12 +78,35 @@ func TestPackExactFit(t *testing.T) {
 		{CPU: 0.5, Mem: 0.5}, {CPU: 0.5, Mem: 0.5},
 	}
 	for _, p := range allPackers {
-		assign, ok := p.Pack(items, 2)
+		assign, ok := p.Pack(items, cluster.Uniform(2))
 		if !ok {
 			t.Errorf("%s: exact fit failed", p.Name())
 			continue
 		}
-		if err := Validate(items, assign, 2); err != nil {
+		if err := Validate(items, assign, cluster.Uniform(2)); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+// TestPackUnequalBins: six 0.5x0.5 items fit one 2.0 fat node plus one
+// reference node (4 + 2 tasks) but not two reference nodes.
+func TestPackUnequalBins(t *testing.T) {
+	items := make([]Item, 6)
+	for i := range items {
+		items[i] = Item{CPU: 0.5, Mem: 0.5}
+	}
+	het := []cluster.NodeSpec{{CPUCap: 2, MemCap: 2}, {CPUCap: 1, MemCap: 1}}
+	for _, p := range allPackers {
+		if _, ok := p.Pack(items, cluster.Uniform(2)); ok {
+			t.Errorf("%s: six half-items packed into two reference nodes", p.Name())
+		}
+		assign, ok := p.Pack(items, het)
+		if !ok {
+			t.Errorf("%s: heterogeneous exact fit failed", p.Name())
+			continue
+		}
+		if err := Validate(items, assign, het); err != nil {
 			t.Errorf("%s: %v", p.Name(), err)
 		}
 	}
@@ -65,11 +123,11 @@ func TestMCB8Balancing(t *testing.T) {
 		{CPU: 0.1, Mem: 0.9}, // mem-heavy
 		{CPU: 0.1, Mem: 0.9},
 	}
-	assign, ok := MCB8{}.Pack(items, 2)
+	assign, ok := MCB8{}.Pack(items, cluster.Uniform(2))
 	if !ok {
 		t.Fatal("MCB8 failed a feasible complementary instance")
 	}
-	if err := Validate(items, assign, 2); err != nil {
+	if err := Validate(items, assign, cluster.Uniform(2)); err != nil {
 		t.Fatal(err)
 	}
 	// Each node must hold one of each kind.
@@ -83,21 +141,27 @@ func TestMCB8Balancing(t *testing.T) {
 
 func TestValidate(t *testing.T) {
 	items := []Item{{CPU: 0.7, Mem: 0.2}, {CPU: 0.5, Mem: 0.2}}
-	if err := Validate(items, []int{0, 0}, 1); err == nil {
+	if err := Validate(items, []int{0, 0}, cluster.Uniform(1)); err == nil {
 		t.Error("CPU oversubscription not detected")
 	}
-	if err := Validate(items, []int{0, 1}, 2); err != nil {
+	if err := Validate(items, []int{0, 1}, cluster.Uniform(2)); err != nil {
 		t.Errorf("valid assignment rejected: %v", err)
 	}
-	if err := Validate(items, []int{0}, 2); err == nil {
+	if err := Validate(items, []int{0}, cluster.Uniform(2)); err == nil {
 		t.Error("length mismatch not detected")
 	}
-	if err := Validate(items, []int{0, 5}, 2); err == nil {
+	if err := Validate(items, []int{0, 5}, cluster.Uniform(2)); err == nil {
 		t.Error("out-of-range node not detected")
 	}
 	memItems := []Item{{CPU: 0.1, Mem: 0.8}, {CPU: 0.1, Mem: 0.8}}
-	if err := Validate(memItems, []int{0, 0}, 1); err == nil {
+	if err := Validate(memItems, []int{0, 0}, cluster.Uniform(1)); err == nil {
 		t.Error("memory oversubscription not detected")
+	}
+	// Per-node capacities: the same two items that oversubscribe a
+	// reference node are fine on a fat node.
+	fat := []cluster.NodeSpec{{CPUCap: 2, MemCap: 2}}
+	if err := Validate(items, []int{0, 0}, fat); err != nil {
+		t.Errorf("fat-node assignment rejected: %v", err)
 	}
 }
 
@@ -113,18 +177,33 @@ func randomItems(r *rand.Rand, n int, maxReq float64) []Item {
 	return items
 }
 
-// Property: whenever a packer reports success, the assignment is valid.
+// randomNodes draws n node specs with capacities in [0.5, 2.5).
+func randomNodes(r *rand.Rand, n int) []cluster.NodeSpec {
+	nodes := make([]cluster.NodeSpec, n)
+	for i := range nodes {
+		nodes[i] = cluster.NodeSpec{
+			CPUCap: 0.5 + 2*r.Float64(),
+			MemCap: 0.5 + 2*r.Float64(),
+		}
+	}
+	return nodes
+}
+
+// Property: whenever a packer reports success, the assignment is valid —
+// on homogeneous and heterogeneous clusters alike.
 func TestPackSoundnessProperty(t *testing.T) {
 	f := func(seed int64, nItems, nNodes uint8) bool {
 		r := rand.New(rand.NewSource(seed))
 		n := 1 + int(nNodes%16)
 		items := randomItems(r, int(nItems%64), 0.8)
-		for _, p := range allPackers {
-			assign, ok := p.Pack(items, n)
-			if ok {
-				if err := Validate(items, assign, n); err != nil {
-					t.Logf("%s: %v", p.Name(), err)
-					return false
+		for _, nodes := range [][]cluster.NodeSpec{cluster.Uniform(n), randomNodes(r, n)} {
+			for _, p := range allPackers {
+				assign, ok := p.Pack(items, nodes)
+				if ok {
+					if err := Validate(items, assign, nodes); err != nil {
+						t.Logf("%s: %v", p.Name(), err)
+						return false
+					}
 				}
 			}
 		}
@@ -135,16 +214,15 @@ func TestPackSoundnessProperty(t *testing.T) {
 	}
 }
 
-// Property: any instance that first-fit can pack, MCB8 can pack too after
-// relaxation is not guaranteed in general — but an instance where every
-// item fits on its own node and there are enough nodes must always pack.
+// Property: an instance where every item fits on its own node and there are
+// enough nodes must always pack.
 func TestPackTrivialFeasibilityProperty(t *testing.T) {
 	f := func(seed int64, nItems uint8) bool {
 		r := rand.New(rand.NewSource(seed))
 		n := int(nItems % 32)
 		items := randomItems(r, n, 0.99)
 		for _, p := range allPackers {
-			if _, ok := p.Pack(items, len(items)); n > 0 && !ok {
+			if _, ok := p.Pack(items, cluster.Uniform(len(items))); n > 0 && !ok {
 				t.Logf("%s failed with one node per item", p.Name())
 				return false
 			}
@@ -172,14 +250,16 @@ func TestByName(t *testing.T) {
 func TestMCB8Determinism(t *testing.T) {
 	r := rand.New(rand.NewSource(9))
 	items := randomItems(r, 40, 0.5)
-	a1, ok1 := MCB8{}.Pack(items, 10)
-	a2, ok2 := MCB8{}.Pack(items, 10)
-	if ok1 != ok2 {
-		t.Fatal("determinism: ok flags differ")
-	}
-	for i := range a1 {
-		if a1[i] != a2[i] {
-			t.Fatalf("determinism: assignments differ at %d", i)
+	for _, nodes := range [][]cluster.NodeSpec{cluster.Uniform(10), randomNodes(r, 10)} {
+		a1, ok1 := MCB8{}.Pack(items, nodes)
+		a2, ok2 := MCB8{}.Pack(items, nodes)
+		if ok1 != ok2 {
+			t.Fatal("determinism: ok flags differ")
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				t.Fatalf("determinism: assignments differ at %d", i)
+			}
 		}
 	}
 }
@@ -187,9 +267,25 @@ func TestMCB8Determinism(t *testing.T) {
 func BenchmarkMCB8Pack(b *testing.B) {
 	r := rand.New(rand.NewSource(2))
 	items := randomItems(r, 500, 0.3)
+	nodes := cluster.Uniform(128)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, ok := (MCB8{}).Pack(items, 128); !ok {
+		if _, ok := (MCB8{}).Pack(items, nodes); !ok {
+			b.Fatal("bench instance infeasible")
+		}
+	}
+}
+
+func BenchmarkMCB8PackHeterogeneous(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	items := randomItems(r, 500, 0.3)
+	c, err := cluster.Profile(cluster.ProfileBimodal, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := (MCB8{}).Pack(items, c.Nodes); !ok {
 			b.Fatal("bench instance infeasible")
 		}
 	}
