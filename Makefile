@@ -1,7 +1,7 @@
 # Build/test entry points; `make ci` is what the repository considers green.
 GO ?= go
 
-.PHONY: all build test race bench bench-json fuzz ci
+.PHONY: all build test race bench bench-json bench-compare fuzz ci
 
 all: build
 
@@ -23,6 +23,15 @@ bench:
 BENCH_OUT ?= BENCH.json
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | $(GO) run ./cmd/dfrs-bench > $(BENCH_OUT)
+
+# Compare the current PR's committed baseline against the previous one and
+# flag >10% ns/op regressions. Non-blocking in CI (single-iteration
+# benchmark timings are noisy; treat failures as a prompt to re-measure,
+# not a verdict). Override BENCH_OLD/BENCH_NEW to diff other baselines.
+BENCH_OLD ?= BENCH_PR2.json
+BENCH_NEW ?= BENCH_PR3.json
+bench-compare:
+	$(GO) run ./cmd/dfrs-bench -compare -old $(BENCH_OLD) -new $(BENCH_NEW) -threshold 10
 
 # Short fuzz session over the SWF parser (the deterministic corpus also
 # runs as a normal test in `make test`).

@@ -7,9 +7,10 @@
 // Run all of them with:
 //
 //	go test -bench=. -benchmem
-package dfrs
+package dfrs_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -39,7 +40,7 @@ func benchConfig() experiments.Config {
 func BenchmarkFigure1a(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure1(cfg, 0)
+		res, err := experiments.Figure1(context.Background(), cfg, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -54,7 +55,7 @@ func BenchmarkFigure1a(b *testing.B) {
 func BenchmarkFigure1b(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Figure1(cfg, experiments.PaperPenalty)
+		res, err := experiments.Figure1(context.Background(), cfg, experiments.PaperPenalty)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func BenchmarkFigure1b(b *testing.B) {
 func BenchmarkTableI(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.TableI(cfg)
+		res, err := experiments.TableI(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,7 +90,7 @@ func BenchmarkTableII(b *testing.B) {
 	cfg := benchConfig()
 	cfg.Algorithms = experiments.PreemptingAlgorithms
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.TableII(cfg)
+		res, err := experiments.TableII(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,7 +105,7 @@ func BenchmarkTableII(b *testing.B) {
 func BenchmarkTimingStudy(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.TimingStudy(cfg, "dynmcb8")
+		res, err := experiments.TimingStudy(context.Background(), cfg, "dynmcb8")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +153,7 @@ func BenchmarkMCB8Allocation(b *testing.B) {
 func BenchmarkAblationPriorityPower(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationPriorityPower(cfg)
+		res, err := experiments.AblationPriorityPower(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,7 +167,7 @@ func BenchmarkAblationPriorityPower(b *testing.B) {
 func BenchmarkAblationPeriod(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationPeriod(cfg)
+		res, err := experiments.AblationPeriod(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -181,7 +182,7 @@ func BenchmarkAblationPeriod(b *testing.B) {
 func BenchmarkAblationPacker(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationPacker(cfg)
+		res, err := experiments.AblationPacker(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -197,7 +198,7 @@ func BenchmarkAblationPacker(b *testing.B) {
 func BenchmarkExtensionFairness(b *testing.B) {
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.ExtensionFairness(cfg)
+		res, err := experiments.ExtensionFairness(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -220,7 +221,7 @@ func BenchmarkSingleSimulation(b *testing.B) {
 	for _, alg := range []string{"fcfs", "easy", "greedy", "greedy-pmtn", "dynmcb8", "dynmcb8-asap-per"} {
 		b.Run(alg, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := experiments.RunOne(scaled, alg, experiments.PaperPenalty, false)
+				res, err := experiments.RunOne(context.Background(), scaled, alg, experiments.PaperPenalty, false)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,0 +1,267 @@
+package dfrs_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	dfrs "repro"
+	"repro/internal/campaign"
+)
+
+// apiGrid is the small homogeneous grid the campaign API tests share. Its
+// cells use pre-heterogeneity keys, so it is also the byte-compatibility
+// subject.
+func apiGrid() dfrs.Grid {
+	return dfrs.Grid{
+		Name:         "api",
+		Seeds:        []uint64{42},
+		Algorithms:   []string{"easy", "greedy-pmtn"},
+		Families:     []dfrs.CampaignFamily{{Kind: dfrs.FamilyLublin, Count: 2}},
+		Loads:        []float64{0.5, 0.8},
+		Penalties:    []float64{300},
+		Nodes:        []int{16},
+		JobsPerTrace: 30,
+	}
+}
+
+// TestCampaignJSONLByteIdenticalToEngine pins the public API to the
+// engine: the JSONL stream produced through dfrs.Campaign (one worker, so
+// completion order is deterministic) must be byte-identical to the
+// internal campaign runner's output.
+func TestCampaignJSONLByteIdenticalToEngine(t *testing.T) {
+	g := apiGrid()
+
+	var engine bytes.Buffer
+	gg := g
+	if _, err := (&campaign.Runner{Workers: 1, Sink: campaign.NewJSONLSink(&engine)}).Run(&gg); err != nil {
+		t.Fatal(err)
+	}
+
+	var public bytes.Buffer
+	run, err := dfrs.Campaign(context.Background(), g, dfrs.CampaignOptions{Workers: 1, Output: &public})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(engine.Bytes(), public.Bytes()) {
+		t.Fatalf("public campaign JSONL differs from engine output:\nengine:\n%s\npublic:\n%s",
+			engine.String(), public.String())
+	}
+	if engine.Len() == 0 {
+		t.Fatal("no JSONL produced")
+	}
+}
+
+// TestCampaignStreamsAllRecords checks the streaming channel delivers
+// every record and Wait returns the same set sorted by key.
+func TestCampaignStreamsAllRecords(t *testing.T) {
+	g := apiGrid()
+	run, err := dfrs.Campaign(context.Background(), g, dfrs.CampaignOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := map[string]dfrs.CampaignRecord{}
+	for rec := range run.Records() {
+		streamed[rec.Key] = rec
+	}
+	recs, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Total() != len(g.Cells()) || len(recs) != run.Total() {
+		t.Fatalf("ran %d of %d cells (grid has %d)", len(recs), run.Total(), len(g.Cells()))
+	}
+	if len(streamed) != len(recs) {
+		t.Fatalf("streamed %d records, Wait returned %d", len(streamed), len(recs))
+	}
+	for i, rec := range recs {
+		if i > 0 && recs[i-1].Key >= rec.Key {
+			t.Fatalf("Wait records not sorted by key at %d", i)
+		}
+		if !reflect.DeepEqual(streamed[rec.Key], rec) {
+			t.Errorf("streamed record %s differs from Wait record", rec.Key)
+		}
+	}
+}
+
+// TestCampaignCancelCheckpointResume is the interruption contract end to
+// end: cancel mid-campaign, verify the checkpoint is parseable and the run
+// stopped within one cell, then resume and verify exactly the missing
+// cells ran and the final file equals an uninterrupted campaign.
+func TestCampaignCancelCheckpointResume(t *testing.T) {
+	g := apiGrid()
+	path := filepath.Join(t.TempDir(), "ckpt.jsonl")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	run, err := dfrs.Campaign(ctx, g, dfrs.CampaignOptions{
+		Workers:    1,
+		Checkpoint: path,
+		Progress: func(done, total int, rec dfrs.CampaignRecord) {
+			if done == 1 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := run.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	total := len(g.Cells())
+	if len(partial) == 0 || len(partial) >= total {
+		t.Fatalf("cancelled campaign ran %d of %d cells; want a strict partial set", len(partial), total)
+	}
+
+	// The flushed checkpoint must be valid JSONL holding exactly the
+	// completed cells.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := dfrs.ReadCampaignRecords(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckpt) != len(partial) {
+		t.Fatalf("checkpoint holds %d records, run returned %d", len(ckpt), len(partial))
+	}
+
+	// Resume: exactly the missing cells run, nothing is recomputed.
+	run2, err := dfrs.Campaign(context.Background(), g, dfrs.CampaignOptions{
+		Workers: 1, Checkpoint: path, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, err := run2.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run2.Skipped() != len(partial) {
+		t.Errorf("resume skipped %d cells, want %d", run2.Skipped(), len(partial))
+	}
+	if len(partial)+len(rest) != total {
+		t.Errorf("resume ran %d cells, want %d", len(rest), total-len(partial))
+	}
+
+	// The resumed file must contain the full record set, equal (as sorted
+	// records) to an uninterrupted campaign.
+	f, err = os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalRecs, err := dfrs.ReadCampaignRecords(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfrs.SortCampaignRecords(finalRecs)
+
+	clean, err := dfrs.Campaign(context.Background(), g, dfrs.CampaignOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRecs, err := clean.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(finalRecs, cleanRecs) {
+		t.Fatal("interrupt+resume record set differs from an uninterrupted campaign")
+	}
+}
+
+// TestCampaignPerCellObserver wires an observer factory through
+// CampaignOptions and checks every cell delivers a deterministic event
+// stream.
+func TestCampaignPerCellObserver(t *testing.T) {
+	g := apiGrid()
+	counts := map[string]*dfrs.EventRecorder{}
+	run, err := dfrs.Campaign(context.Background(), g, dfrs.CampaignOptions{
+		Workers: 1,
+		Observer: func(c dfrs.CampaignCell) dfrs.Observer {
+			rec := &dfrs.EventRecorder{}
+			counts[c.Key()] = rec
+			return rec
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != len(recs) {
+		t.Fatalf("observed %d cells, ran %d", len(counts), len(recs))
+	}
+	for key, rec := range counts {
+		completions := 0
+		for _, ev := range rec.Events() {
+			if ev.Kind == dfrs.EvCompleted {
+				completions++
+			}
+		}
+		if completions != g.JobsPerTrace {
+			t.Errorf("cell %s observed %d completions, want %d", key, completions, g.JobsPerTrace)
+		}
+	}
+}
+
+// TestCampaignSkippedCountsOnlyThisGrid resumes against a checkpoint
+// holding keys from a larger, foreign grid: Skipped must count only cells
+// of the current grid, never exceeding Total.
+func TestCampaignSkippedCountsOnlyThisGrid(t *testing.T) {
+	big := apiGrid()
+	big.Loads = []float64{0.3, 0.5, 0.8} // superset of apiGrid's loads
+	path := filepath.Join(t.TempDir(), "foreign.jsonl")
+	bigRun, err := dfrs.Campaign(context.Background(), big, dfrs.CampaignOptions{Workers: 2, Checkpoint: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigRecs, err := bigRun.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := apiGrid()
+	run, err := dfrs.Campaign(context.Background(), g, dfrs.CampaignOptions{
+		Workers: 1, Checkpoint: path, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := run.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Skipped() != run.Total() {
+		t.Errorf("Skipped() = %d, want %d (every cell of this grid is checkpointed; file holds %d foreign records)",
+			run.Skipped(), run.Total(), len(bigRecs))
+	}
+	if len(recs) != 0 {
+		t.Errorf("resume against a superset checkpoint re-ran %d cells", len(recs))
+	}
+}
+
+// TestCampaignValidatesEagerly checks option and grid errors surface
+// before any goroutine launches.
+func TestCampaignValidatesEagerly(t *testing.T) {
+	if _, err := dfrs.Campaign(context.Background(), dfrs.Grid{}, dfrs.CampaignOptions{}); err == nil {
+		t.Error("empty grid accepted")
+	}
+	if _, err := dfrs.Campaign(context.Background(), apiGrid(), dfrs.CampaignOptions{Resume: true}); err == nil {
+		t.Error("Resume without Checkpoint accepted")
+	}
+}

@@ -7,15 +7,28 @@
 // Lines that are not benchmark results (package headers, PASS/ok trailers)
 // are ignored. Standard testing metrics (ns/op, B/op, allocs/op) get their
 // own fields; any custom metrics land in the "extra" map.
+//
+// With -compare, the command instead diffs two committed baselines and
+// flags wall-clock regressions beyond a threshold (the `make
+// bench-compare` non-blocking CI step):
+//
+//	dfrs-bench -compare -old BENCH_PR2.json -new BENCH_PR3.json -threshold 10
+//
+// It exits 1 if any benchmark present in both files regressed its ns/op by
+// more than the threshold percentage.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/cli"
 )
 
 // Result is one benchmark measurement.
@@ -30,17 +43,110 @@ type Result struct {
 }
 
 func main() {
+	var (
+		compare   = flag.Bool("compare", false, "compare two baseline JSON files instead of parsing bench output")
+		oldPath   = flag.String("old", "", "baseline JSON (with -compare)")
+		newPath   = flag.String("new", "", "candidate JSON (with -compare)")
+		threshold = flag.Float64("threshold", 10, "ns/op regression percentage that fails the comparison (with -compare)")
+	)
+	flag.Parse()
+	// SIGINT/SIGTERM aborts the in-flight encode.
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
+	if *compare {
+		if *oldPath == "" || *newPath == "" {
+			fatal(fmt.Errorf("-compare requires -old and -new"))
+		}
+		regressed, err := compareBaselines(os.Stdout, *oldPath, *newPath, *threshold)
+		if err != nil {
+			fatal(err)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
+
 	results, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dfrs-bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(cli.Writer(ctx, os.Stdout))
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
-		fmt.Fprintln(os.Stderr, "dfrs-bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+}
+
+// compareBaselines diffs two committed baseline files by benchmark name and
+// reports every ns/op change, flagging regressions beyond thresholdPct. It
+// returns whether any benchmark regressed beyond the threshold. Benchmarks
+// present in only one file are listed but never fail the comparison, so
+// adding or retiring benchmarks stays cheap.
+func compareBaselines(w *os.File, oldPath, newPath string, thresholdPct float64) (bool, error) {
+	oldRes, err := readBaseline(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRes, err := readBaseline(newPath)
+	if err != nil {
+		return false, err
+	}
+	names := make([]string, 0, len(newRes))
+	for name := range newRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressed := false
+	fmt.Fprintf(w, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		nr := newRes[name]
+		or, ok := oldRes[name]
+		if !ok || or.NsPerOp == 0 {
+			fmt.Fprintf(w, "%-60s %14s %14.0f %8s\n", name, "-", nr.NsPerOp, "new")
+			continue
+		}
+		deltaPct := 100 * (nr.NsPerOp - or.NsPerOp) / or.NsPerOp
+		mark := ""
+		if deltaPct > thresholdPct {
+			mark = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %+7.1f%%%s\n", name, or.NsPerOp, nr.NsPerOp, deltaPct, mark)
+	}
+	for name := range oldRes {
+		if _, ok := newRes[name]; !ok {
+			fmt.Fprintf(w, "%-60s %14.0f %14s %8s\n", name, oldRes[name].NsPerOp, "-", "gone")
+		}
+	}
+	if regressed {
+		fmt.Fprintf(w, "\nbenchmarks regressed more than %.0f%% ns/op against %s\n", thresholdPct, oldPath)
+	}
+	return regressed, nil
+}
+
+// readBaseline loads a committed BENCH_PR*.json file into a name-keyed map.
+func readBaseline(path string) (map[string]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var results []Result
+	if err := json.NewDecoder(f).Decode(&results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Result, len(results))
+	for _, r := range results {
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfrs-bench:", err)
+	os.Exit(1)
 }
 
 // parse extracts benchmark lines of the form

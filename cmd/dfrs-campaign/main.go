@@ -1,8 +1,10 @@
 // Command dfrs-campaign runs a declarative scenario grid — algorithms x
-// workload families x loads x seeds x penalties x cluster sizes — on the
-// campaign engine (internal/campaign), streaming one JSONL record per
-// finished simulation. Output is checkpointed: interrupting a campaign and
-// re-running with -resume completes only the missing cells.
+// workload families x loads x seeds x penalties x cluster sizes — through
+// the public campaign API (dfrs.Campaign), streaming one JSONL record per
+// finished simulation. Output is checkpointed: interrupting a campaign
+// (including with SIGINT/SIGTERM, which cancels the run context, finishes
+// within one cell per worker and flushes the file) and re-running with
+// -resume completes only the missing cells.
 //
 // Presets reproduce the paper's campaigns:
 //
@@ -17,7 +19,7 @@
 //	    -loads 0.5,0.7,0.9 -penalties 0,300 -workers 8 -out sweep.jsonl
 //
 // Heterogeneous platforms are a grid axis: -node-mix sweeps named node-mix
-// profiles (uniform, bimodal, powerlaw; see internal/cluster), e.g.
+// profiles (uniform, bimodal, powerlaw), e.g.
 //
 //	dfrs-campaign -node-mix uniform,bimodal -loads 0.7 -out het.jsonl
 //
@@ -28,23 +30,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strconv"
 	"strings"
 
-	"repro/internal/campaign"
-	"repro/internal/cluster"
+	dfrs "repro"
+	"repro/internal/cli"
 	"repro/internal/experiments"
-	"repro/internal/sched"
-
-	// Register every scheduling algorithm.
-	_ "repro/internal/sched/batch"
-	_ "repro/internal/sched/gang"
-	_ "repro/internal/sched/greedy"
-	_ "repro/internal/sched/mcb"
 )
 
 func main() {
@@ -75,35 +71,41 @@ func main() {
 	g.Check = *check
 	g.Timing = *timing
 
-	runner := &campaign.Runner{Workers: *workers}
+	opt := dfrs.CampaignOptions{Workers: *workers}
 	if !*quiet {
-		runner.Progress = func(done, total int, rec campaign.Record) {
+		opt.Progress = func(done, total int, rec dfrs.CampaignRecord) {
 			fmt.Fprintf(os.Stderr, "dfrs-campaign: [%d/%d] %s\n", done, total, rec.Key)
 		}
 	}
-
-	var w io.Writer = os.Stdout
-	if *out != "-" {
-		f, skip, err := openOutput(*out, *resume)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		w = f
-		runner.Skip = skip
-	} else if *resume {
+	switch {
+	case *out == "-" && *resume:
 		fatal(fmt.Errorf("-resume requires -out pointing at a file"))
+	case *out == "-":
+		opt.Output = os.Stdout
+	default:
+		opt.Checkpoint = *out
+		opt.Resume = *resume
 	}
-	runner.Sink = campaign.NewJSONLSink(w)
 
-	total := len(g.Cells())
-	recs, err := runner.Run(g)
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	run, err := dfrs.Campaign(ctx, *g, opt)
 	if err != nil {
+		fatal(err)
+	}
+	recs, err := run.Wait()
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr,
+				"dfrs-campaign: interrupted after %d cells; checkpoint flushed, re-run with -resume to finish\n",
+				len(recs))
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "dfrs-campaign: %d cells finished (%d already checkpointed)\n",
-			len(recs), total-len(recs))
+			len(recs), run.Skipped())
 	}
 }
 
@@ -112,7 +114,7 @@ func main() {
 // dimensions that define the paper campaign, so -traces/-jobs/-seeds still
 // scale them. Flag values are validated eagerly so a bad sweep fails with a
 // clear message before any cell runs.
-func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loads, penalties string, weeks int) (*campaign.Grid, error) {
+func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loads, penalties string, weeks int) (*dfrs.Grid, error) {
 	seedList, err := parseUints(seeds)
 	if err != nil {
 		return nil, fmt.Errorf("bad -seeds: %w", err)
@@ -155,21 +157,21 @@ func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loa
 	}
 	mixList := splitList(nodeMix)
 	for _, mix := range mixList {
-		if !cluster.ValidProfile(mix) {
+		if !dfrs.ValidNodeMix(mix) {
 			return nil, fmt.Errorf("bad -node-mix: unknown profile %q (known: %v)",
-				mix, cluster.ProfileNames())
+				mix, dfrs.NodeMixes())
 		}
 	}
 	for _, alg := range splitList(algs) {
-		if _, err := sched.New(alg); err != nil {
-			return nil, fmt.Errorf("bad -algs: %w", err)
+		if !dfrs.KnownAlgorithm(alg) {
+			return nil, fmt.Errorf("bad -algs: unknown algorithm %q (known: %v)", alg, dfrs.Algorithms())
 		}
 	}
-	g := &campaign.Grid{
+	g := &dfrs.Grid{
 		Name:         "custom",
 		Seeds:        seedList,
 		Algorithms:   splitList(algs),
-		Families:     []campaign.Family{{Kind: campaign.FamilyLublin, Count: traces}},
+		Families:     []dfrs.CampaignFamily{{Kind: dfrs.FamilyLublin, Count: traces}},
 		Loads:        loadList,
 		Penalties:    penList,
 		Nodes:        nodeList,
@@ -178,7 +180,7 @@ func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loa
 	}
 	if weeks > 0 {
 		g.Families = append(g.Families,
-			campaign.Family{Kind: campaign.FamilyHPC2N, Count: weeks, Loads: []float64{campaign.Unscaled}})
+			dfrs.CampaignFamily{Kind: dfrs.FamilyHPC2N, Count: weeks, Loads: []float64{dfrs.UnscaledLoad}})
 	}
 	paperLoads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
 	switch preset {
@@ -193,10 +195,10 @@ func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loa
 		if w <= 0 {
 			w = 4
 		}
-		g.Families = []campaign.Family{
-			{Kind: campaign.FamilyLublin, Count: traces},
-			{Kind: campaign.FamilyLublin, Count: traces, Loads: []float64{campaign.Unscaled}},
-			{Kind: campaign.FamilyHPC2N, Count: w, Loads: []float64{campaign.Unscaled}},
+		g.Families = []dfrs.CampaignFamily{
+			{Kind: dfrs.FamilyLublin, Count: traces},
+			{Kind: dfrs.FamilyLublin, Count: traces, Loads: []float64{dfrs.UnscaledLoad}},
+			{Kind: dfrs.FamilyHPC2N, Count: w, Loads: []float64{dfrs.UnscaledLoad}},
 		}
 	case "table2":
 		g.Name, g.Loads, g.Penalties = "table2", []float64{0.7, 0.8, 0.9}, []float64{experiments.PaperPenalty}
@@ -205,17 +207,6 @@ func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loa
 		return nil, fmt.Errorf("unknown preset %q (want fig1a, fig1b, table1 or table2)", preset)
 	}
 	return g, g.Validate()
-}
-
-// openOutput prepares the JSONL output file. With resume it reuses the
-// campaign checkpoint protocol (read keys, repair a torn final line, open
-// for append); otherwise it truncates.
-func openOutput(path string, resume bool) (*os.File, map[string]bool, error) {
-	if !resume {
-		f, err := os.Create(path)
-		return f, nil, err
-	}
-	return campaign.OpenCheckpoint(path)
 }
 
 func splitList(s string) []string {

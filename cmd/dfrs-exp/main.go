@@ -17,6 +17,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
@@ -56,8 +59,16 @@ func main() {
 		fatal(err)
 	}
 
+	// SIGINT/SIGTERM cancels the campaign context: the engine stops within
+	// one cell per worker and the command exits cleanly.
+	ctx, stop := cli.SignalContext()
+	defer stop()
 	run := func(name string) {
-		if err := dispatch(name, cfg, *csv); err != nil {
+		if err := dispatch(ctx, name, cfg, *csv); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "dfrs-exp: interrupted")
+				os.Exit(1)
+			}
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 	}
@@ -78,32 +89,32 @@ type renderable interface {
 	RenderCSV(io.Writer) error
 }
 
-func dispatch(name string, cfg experiments.Config, csv bool) error {
+func dispatch(ctx context.Context, name string, cfg experiments.Config, csv bool) error {
 	var res renderable
 	var err error
 	switch name {
 	case "fig1a":
-		res, err = experiments.Figure1(cfg, 0)
+		res, err = experiments.Figure1(ctx, cfg, 0)
 	case "fig1b":
-		res, err = experiments.Figure1(cfg, experiments.PaperPenalty)
+		res, err = experiments.Figure1(ctx, cfg, experiments.PaperPenalty)
 	case "table1":
-		res, err = experiments.TableI(cfg)
+		res, err = experiments.TableI(ctx, cfg)
 	case "table2":
 		c := cfg
 		c.Algorithms = experiments.PreemptingAlgorithms
-		res, err = experiments.TableII(c)
+		res, err = experiments.TableII(ctx, c)
 	case "timing":
-		res, err = experiments.TimingStudy(cfg, "dynmcb8")
+		res, err = experiments.TimingStudy(ctx, cfg, "dynmcb8")
 	case "priority":
-		res, err = experiments.AblationPriorityPower(cfg)
+		res, err = experiments.AblationPriorityPower(ctx, cfg)
 	case "period":
-		res, err = experiments.AblationPeriod(cfg)
+		res, err = experiments.AblationPeriod(ctx, cfg)
 	case "packer":
-		res, err = experiments.AblationPacker(cfg)
+		res, err = experiments.AblationPacker(ctx, cfg)
 	case "fairness":
-		res, err = experiments.ExtensionFairness(cfg)
+		res, err = experiments.ExtensionFairness(ctx, cfg)
 	case "heterogeneity":
-		res, err = experiments.HeterogeneityStudy(cfg)
+		res, err = experiments.HeterogeneityStudy(ctx, cfg)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

@@ -11,8 +11,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/hpc2n"
 	"repro/internal/lublin"
 	"repro/internal/rng"
@@ -31,6 +33,13 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancels the context; the context-aware writer then
+	// fails the in-flight encode so the command exits promptly instead of
+	// finishing a multi-megabyte trace dump.
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	var out io.Writer = cli.Writer(ctx, os.Stdout)
+
 	switch *model {
 	case "lublin":
 		n := *name
@@ -46,7 +55,7 @@ func main() {
 				fatal(err)
 			}
 		}
-		if err := tr.Encode(os.Stdout); err != nil {
+		if err := tr.Encode(out); err != nil {
 			fatal(err)
 		}
 	case "hpc2n":
@@ -57,7 +66,7 @@ func main() {
 			fatal(err)
 		}
 		if *swfFl {
-			if err := log.Write(os.Stdout); err != nil {
+			if err := log.Write(out); err != nil {
 				fatal(err)
 			}
 			return
@@ -77,7 +86,7 @@ func main() {
 				fatal(err)
 			}
 		}
-		if err := tr.Encode(os.Stdout); err != nil {
+		if err := tr.Encode(out); err != nil {
 			fatal(err)
 		}
 	default:

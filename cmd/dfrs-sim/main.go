@@ -5,27 +5,24 @@
 //	dfrs-sim -trace t.txt -alg dynmcb8-asap-per -penalty 300
 //
 // Without -trace, a synthetic workload is generated on the fly from -seed,
-// -jobs, -nodes and -load.
+// -jobs, -nodes and -load. The command is built on the v2 facade: the run
+// is context-driven, so SIGINT/SIGTERM cancels it cleanly at event
+// granularity, and -events streams every scheduling transition live to
+// stderr through the observer hooks.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
-	"repro/internal/cluster"
-	"repro/internal/lublin"
-	"repro/internal/metrics"
+	dfrs "repro"
+	"repro/internal/cli"
 	"repro/internal/report"
-	"repro/internal/rng"
-	"repro/internal/sched"
-	"repro/internal/sim"
-	"repro/internal/workload"
-
-	_ "repro/internal/sched/batch"
-	_ "repro/internal/sched/greedy"
-	_ "repro/internal/sched/mcb"
 )
 
 func main() {
@@ -40,6 +37,7 @@ func main() {
 		nodeMix   = flag.String("node-mix", "", "node-mix profile (uniform, bimodal, powerlaw); empty = homogeneous")
 		load      = flag.Float64("load", 0.7, "synthetic offered load (0 = natural)")
 		check     = flag.Bool("check", false, "enable per-event invariant checking")
+		events    = flag.Bool("events", false, "stream every scheduling transition live to stderr")
 		perJob    = flag.Bool("jobs-detail", false, "print per-job stretch table")
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
 		ganttJobs = flag.Int("gantt-jobs", 40, "max jobs shown in the Gantt chart")
@@ -48,7 +46,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, name := range sched.Names() {
+		for _, name := range dfrs.Algorithms() {
 			fmt.Println(name)
 		}
 		return
@@ -70,69 +68,66 @@ func main() {
 	if *penalty < 0 {
 		fatal(fmt.Errorf("bad -penalty: negative rescheduling penalty %g", *penalty))
 	}
-	if !cluster.ValidProfile(*nodeMix) {
-		fatal(fmt.Errorf("bad -node-mix: unknown profile %q (known: %v)", *nodeMix, cluster.ProfileNames()))
+	if !dfrs.ValidNodeMix(*nodeMix) {
+		fatal(fmt.Errorf("bad -node-mix: unknown profile %q (known: %v)", *nodeMix, dfrs.NodeMixes()))
 	}
+	if !dfrs.KnownAlgorithm(*alg) {
+		fatal(fmt.Errorf("bad -alg: unknown algorithm %q (known: %v)", *alg, dfrs.Algorithms()))
+	}
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	tr, err := loadTrace(*tracePath, *seed, *nodes, *jobs, *load)
 	if err != nil {
 		fatal(err)
 	}
-	cl, err := cluster.Profile(*nodeMix, tr.Nodes)
+	opts := []dfrs.RunOption{dfrs.WithPenalty(*penalty), dfrs.WithNodeMix(*nodeMix)}
+	if *check {
+		opts = append(opts, dfrs.WithInvariantChecking())
+	}
+	if *gantt || *tlCSV != "" {
+		opts = append(opts, dfrs.WithTimeline())
+	}
+	if *events {
+		opts = append(opts, dfrs.WithObserver(stderrObserver{}))
+	}
+	res, err := dfrs.Run(ctx, tr, *alg, opts...)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "dfrs-sim: interrupted; partial run discarded")
+			os.Exit(1)
+		}
 		fatal(err)
 	}
-	s, err := sched.New(*alg)
-	if err != nil {
-		fatal(err)
-	}
-	simulator, err := sim.New(sim.Config{
-		Trace:           tr,
-		Cluster:         cl,
-		Penalty:         *penalty,
-		CheckInvariants: *check,
-		RecordTimeline:  *gantt || *tlCSV != "",
-		MaxSimTime:      50 * 365 * 24 * 3600,
-	}, s)
-	if err != nil {
-		fatal(err)
-	}
-	res, err := simulator.Run()
-	if err != nil {
-		fatal(err)
-	}
-	if err := metrics.Validate(res); err != nil {
-		fatal(err)
-	}
-	sum := metrics.Summarize(res)
-	costs := metrics.Costs(res)
+	costs := res.Costs()
 	fmt.Printf("trace        %s (%d jobs, %d nodes, offered load %.2f)\n",
-		tr.Name, len(tr.Jobs), tr.Nodes, tr.OfferedLoad())
-	if !cl.Homogeneous() {
-		fmt.Printf("cluster      node-mix %s (total CPU capacity %.1f, memory %.1f)\n",
-			*nodeMix, cl.TotalCPU(), cl.TotalMem())
+		tr.Name(), len(tr.Jobs()), tr.Nodes(), tr.OfferedLoad())
+	if *nodeMix != "" && *nodeMix != "uniform" {
+		fmt.Printf("cluster      node-mix %s\n", *nodeMix)
 	}
-	fmt.Printf("algorithm    %s (penalty %.0fs)\n", res.Algorithm, *penalty)
-	fmt.Printf("makespan     %.1f h\n", res.Makespan/3600)
-	fmt.Printf("max stretch  %.2f\n", sum.MaxStretch)
-	fmt.Printf("avg stretch  %.2f\n", sum.AvgStretch)
+	fmt.Printf("algorithm    %s (penalty %.0fs)\n", res.Algorithm(), *penalty)
+	fmt.Printf("makespan     %.1f h\n", res.Makespan()/3600)
+	fmt.Printf("max stretch  %.2f\n", res.MaxStretch())
+	fmt.Printf("avg stretch  %.2f\n", res.AvgStretch())
 	fmt.Printf("preemptions  %d (%.3f GB/s, %.2f/h, %.2f/job)\n",
-		res.PreemptionOps, costs.PmtnGBps, costs.PmtnPerHour, costs.PmtnPerJob)
+		res.Preemptions(), costs.PreemptionGBps, costs.PreemptionsPerHour, costs.PreemptionsPerJob)
 	fmt.Printf("migrations   %d (%.3f GB/s, %.2f/h, %.2f/job)\n",
-		res.MigrationOps, costs.MigGBps, costs.MigPerHour, costs.MigPerJob)
+		res.Migrations(), costs.MigrationGBps, costs.MigrationsPerHour, costs.MigrationsPerJob)
 	fmt.Printf("utilization  %.1f%% of cluster CPU over the makespan\n", 100*res.Utilization())
-	fmt.Printf("events       %d\n", res.Events)
+	fmt.Printf("events       %d\n", res.Events())
 
 	if *tlCSV != "" {
-		if err := writeTimelineCSV(*tlCSV, res); err != nil {
+		n, err := writeTimelineCSV(*tlCSV, res)
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("timeline     %d transitions written to %s\n", len(res.Timeline), *tlCSV)
+		fmt.Printf("timeline     %d transitions written to %s\n", n, *tlCSV)
 	}
 
 	if *gantt {
 		chart := &report.Gantt{
-			Title: fmt.Sprintf("schedule: %s on %s", res.Algorithm, tr.Name),
+			Title: fmt.Sprintf("schedule: %s on %s", res.Algorithm(), tr.Name()),
 			Lanes: ganttLanes(res, *ganttJobs),
 		}
 		fmt.Println()
@@ -143,42 +138,62 @@ func main() {
 
 	if *perJob {
 		fmt.Println("\njob  tasks  exec      turnaround  stretch  pauses  migs")
-		rows := append([]sim.JobResult(nil), res.Jobs...)
-		sort.Slice(rows, func(a, b int) bool { return rows[a].Job.ID < rows[b].Job.ID })
-		for _, jr := range rows {
+		for _, jr := range res.Jobs() {
 			fmt.Printf("%-4d %-6d %-9.1f %-11.1f %-8.2f %-7d %d\n",
 				jr.Job.ID, jr.Job.Tasks, jr.Job.ExecTime, jr.Turnaround,
-				metrics.BoundedStretch(jr.Turnaround, jr.Job.ExecTime),
+				dfrs.BoundedStretch(jr.Turnaround, jr.Job.ExecTime),
 				jr.Pauses, jr.Migrations)
 		}
 	}
 }
 
+// stderrObserver prints every scheduling transition live, the simplest
+// consumer of the observer hooks.
+type stderrObserver struct{}
+
+func (stderrObserver) JobSubmitted(now float64, jid int) {
+	fmt.Fprintf(os.Stderr, "t=%-12.1f submit   job %d\n", now, jid)
+}
+func (stderrObserver) JobStarted(now float64, jid int, nodes []int) {
+	fmt.Fprintf(os.Stderr, "t=%-12.1f start    job %d on %v\n", now, jid, nodes)
+}
+func (stderrObserver) JobPreempted(now float64, jid int) {
+	fmt.Fprintf(os.Stderr, "t=%-12.1f preempt  job %d\n", now, jid)
+}
+func (stderrObserver) JobMigrated(now float64, jid int, nodes []int) {
+	fmt.Fprintf(os.Stderr, "t=%-12.1f migrate  job %d to %v\n", now, jid, nodes)
+}
+func (stderrObserver) JobCompleted(now float64, jid int, turnaround float64) {
+	fmt.Fprintf(os.Stderr, "t=%-12.1f complete job %d (turnaround %.1fs)\n", now, jid, turnaround)
+}
+func (stderrObserver) SchedulerInvoked(float64, string, int, time.Duration) {}
+
 // writeTimelineCSV dumps the recorded transitions for offline analysis or
 // plotting: one row per (time, job, kind, yield, frozen_until).
-func writeTimelineCSV(path string, res *sim.Result) error {
+func writeTimelineCSV(path string, res dfrs.Result) (int, error) {
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
 	if _, err := fmt.Fprintln(f, "time,jid,kind,yield,frozen_until"); err != nil {
-		return err
+		return 0, err
 	}
-	for _, e := range res.Timeline {
+	tl := res.Timeline()
+	for _, e := range tl {
 		if _, err := fmt.Fprintf(f, "%.6f,%d,%s,%.6f,%.6f\n",
 			e.Time, e.JID, e.Kind, e.Yield, e.FrozenUntil); err != nil {
-			return err
+			return 0, err
 		}
 	}
-	return nil
+	return len(tl), nil
 }
 
 // ganttLanes converts the recorded timeline into chart lanes, one per job
 // (in jid order, capped at maxJobs).
-func ganttLanes(res *sim.Result, maxJobs int) []report.GanttLane {
+func ganttLanes(res dfrs.Result, maxJobs int) []report.GanttLane {
 	jids := map[int]bool{}
-	for _, e := range res.Timeline {
+	for _, e := range res.Timeline() {
 		jids[e.JID] = true
 	}
 	ordered := make([]int, 0, len(jids))
@@ -202,19 +217,18 @@ func ganttLanes(res *sim.Result, maxJobs int) []report.GanttLane {
 	return lanes
 }
 
-func loadTrace(path string, seed uint64, nodes, jobs int, load float64) (*workload.Trace, error) {
+func loadTrace(path string, seed uint64, nodes, jobs int, load float64) (dfrs.Trace, error) {
 	if path != "" {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return dfrs.Trace{}, err
 		}
 		defer f.Close()
-		return workload.ReadTrace(f)
+		return dfrs.ReadTrace(f)
 	}
-	tr, err := lublin.GenerateTrace(rng.New(seed), lublin.DefaultParams(nodes), jobs,
-		fmt.Sprintf("lublin-seed%d", seed))
+	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: seed, Nodes: nodes, Jobs: jobs})
 	if err != nil {
-		return nil, err
+		return dfrs.Trace{}, err
 	}
 	if load > 0 {
 		return tr.ScaleToLoad(load)

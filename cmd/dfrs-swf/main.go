@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/hpc2n"
 	"repro/internal/stats"
 	"repro/internal/swf"
@@ -27,6 +28,10 @@ func main() {
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required"))
 	}
+	// SIGINT/SIGTERM aborts the in-flight conversion at write granularity.
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	out := cli.Writer(ctx, os.Stdout)
 	f, err := os.Open(*in)
 	if err != nil {
 		fatal(err)
@@ -43,7 +48,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "dfrs-swf: kept %d/%d jobs\n", st.Kept, st.Total)
-		if err := tr.Encode(os.Stdout); err != nil {
+		if err := tr.Encode(out); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,35 @@
+package dfrs
+
+import "context"
+
+// RunOptions configures one simulation for the deprecated v1 entry point
+// RunWithOptions.
+//
+// Deprecated: use the functional options of Run (WithPenalty, WithNodeMix,
+// WithInvariantChecking).
+type RunOptions struct {
+	// PenaltySeconds is the rescheduling penalty charged to every resume
+	// and migration (the paper evaluates 0 and 300).
+	PenaltySeconds float64
+	// NodeMix selects a heterogeneous node-mix profile (see NodeMixes);
+	// empty means the paper's homogeneous platform.
+	NodeMix string
+	// CheckInvariants enables per-event state validation (slow; for
+	// tests).
+	CheckInvariants bool
+}
+
+// RunWithOptions simulates the named algorithm over the trace with the v1
+// struct options, blocking until completion. It is a thin wrapper over Run
+// with a background context and remains only so v1 callers keep compiling;
+// it will be kept for at least two further releases (see the deprecation
+// policy in CHANGES.md).
+//
+// Deprecated: use Run with a context and functional options.
+func RunWithOptions(t Trace, algorithm string, opt RunOptions) (Result, error) {
+	opts := []RunOption{WithPenalty(opt.PenaltySeconds), WithNodeMix(opt.NodeMix)}
+	if opt.CheckInvariants {
+		opts = append(opts, WithInvariantChecking())
+	}
+	return Run(context.Background(), t, algorithm, opts...)
+}

@@ -1,22 +1,52 @@
 // Package dfrs is the public API of this reproduction of Stillwell, Vivien
 // and Casanova, "Dynamic Fractional Resource Scheduling for HPC Workloads"
-// (IPDPS 2010). It exposes, as a small facade over the internal packages:
+// (IPDPS 2010). It exposes, as a facade over the internal packages:
 //
 //   - workload construction: the Lublin–Feitelson synthetic model, an
-//     HPC2N-like real-world stand-in, SWF ingestion, and load scaling;
+//     HPC2N-like real-world stand-in, SWF ingestion, trace-file reading,
+//     and load scaling;
 //   - the nine scheduling algorithms of the paper (FCFS, EASY, GREEDY,
 //     GREEDY-PMTN, GREEDY-PMTN-MIGR, DYNMCB8, DYNMCB8-PER,
-//     DYNMCB8-ASAP-PER, DYNMCB8-STRETCH-PER), selected by name;
-//   - the discrete-event simulation of a fractionally shared cluster with
-//     a configurable rescheduling penalty;
+//     DYNMCB8-ASAP-PER, DYNMCB8-STRETCH-PER), selected by name, plus open
+//     registration of out-of-tree schedulers (RegisterAlgorithm);
+//   - context-aware, observable simulation of a fractionally shared
+//     cluster: Run takes a context and cancels at event granularity,
+//     WithObserver taps every scheduling transition, and Stream turns the
+//     hooks into a typed event channel for live consumers;
+//   - full evaluation campaigns (Campaign): declarative scenario grids
+//     executed on a bounded worker pool, streamed as JSONL records that
+//     double as resumable checkpoints;
 //   - the paper's metrics: bounded stretch, degradation factors, and
 //     preemption/migration costs.
 //
 // A minimal run:
 //
 //	trace, _ := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 1, Nodes: 128, Jobs: 200})
-//	res, _ := dfrs.Run(trace, "dynmcb8-asap-per", dfrs.RunOptions{PenaltySeconds: 300})
+//	res, _ := dfrs.Run(ctx, trace, "dynmcb8-asap-per", dfrs.WithPenalty(300))
 //	fmt.Println(res.MaxStretch())
+//
+// # Observable simulations
+//
+// Run is a blocking call, but every scheduling transition inside it —
+// submission, dispatch, preemption, migration, completion, and each
+// scheduler invocation with its wall-clock timing — can be observed
+// live through the Observer interface (WithObserver) or consumed as a
+// typed event channel:
+//
+//	events, wait := dfrs.Stream(ctx, trace, "greedy-pmtn")
+//	for ev := range events {
+//		fmt.Println(ev) // live progress, online metrics, dashboards
+//	}
+//	res, err := wait()
+//
+// Observation is zero-cost when absent: an unobserved run executes the
+// identical hot path as before the hooks existed. Event sequences are a
+// deterministic function of (trace, algorithm, cluster, penalty); only the
+// wall-clock Elapsed field of scheduler invocations varies between runs.
+// Cancelling the context stops a run between two simulation events and
+// returns an error wrapping ctx.Err(), which is what makes long
+// simulations safe to embed in servers: deadlines, SIGINT handlers and
+// early termination all fall out of standard context plumbing.
 //
 // # Cluster resource model
 //
@@ -25,27 +55,36 @@
 // units of the paper's reference node. By default a trace runs on the
 // paper's homogeneous platform — Trace.Nodes reference nodes of capacity
 // 1.0 x 1.0 — and reproduces the published algorithms exactly.
-// Heterogeneous platforms are selected with RunOptions.NodeMix, one of the
+// Heterogeneous platforms are selected with WithNodeMix, one of the
 // deterministic named profiles listed by NodeMixes (for example "bimodal":
-// alternating double-capacity fat nodes and reference nodes). Job resource
-// requirements stay fractions of the reference node, and profiles never
-// shrink a node below reference capacity, so every valid workload remains
-// schedulable on every profile. The vector-packing kernel packs into the
-// resulting unequal bins, the allocation math measures yields against each
-// node's own CPU capacity, and the simulator enforces per-node capacities
-// at every event.
+// alternating double-capacity fat nodes and reference nodes). A job whose
+// per-task requirement exceeds every node of the materialised cluster can
+// never be placed; such traces are rejected up front with a typed
+// UnschedulableError naming the job and the binding resource instead of
+// starving at run time.
 //
-// Full evaluation campaigns — the paper's nine-algorithm scenario grid over
-// loads, seeds, penalties and cluster sizes — run on the campaign engine
-// (internal/campaign): a declarative grid expands into cells, executes on a
-// bounded worker pool with deterministic per-cell RNG substreams (the
-// key-sorted record set is byte-identical for any worker count), and
-// streams each finished cell as a JSONL record that doubles as a
-// checkpoint for resumable runs. The
-// dfrs-campaign command exposes the engine directly (-preset fig1a/fig1b/
-// table1/table2 or custom grids, -workers, -out, -resume), dfrs-exp renders
-// the paper's tables and figures from the same engine, and examples/campaign
-// is a runnable end-to-end walkthrough.
+// # Campaigns
+//
+// Campaign runs the paper's nine-algorithm scenario grid — algorithms x
+// workload families x loads x seeds x penalties x cluster sizes x node
+// mixes — on the campaign engine: a declarative Grid expands into cells,
+// executes on a bounded worker pool with deterministic per-cell RNG
+// substreams (the key-sorted record set is byte-identical for any worker
+// count), and streams each finished cell as a JSONL record that doubles as
+// a checkpoint for resumable runs. CampaignRun.Records delivers records
+// live as cells finish; cancelling the campaign context stops within one
+// cell per worker and leaves the checkpoint valid, so a resumed campaign
+// completes exactly the missing cells. The dfrs-campaign command exposes
+// this API directly, dfrs-exp renders the paper's tables and figures from
+// the same engine, and examples/campaign and examples/streaming are
+// runnable end-to-end walkthroughs.
+//
+// # Deprecated v1 entry points
+//
+// The v1 blocking entry point RunWithOptions (the former Run(Trace,
+// string, RunOptions) signature) remains as a thin wrapper over the v2 API
+// and will be kept for at least two further releases; new code should call
+// Run with a context and functional options.
 package dfrs
 
 import (
@@ -58,7 +97,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/sched"
-	"repro/internal/sim"
 	"repro/internal/swf"
 	"repro/internal/workload"
 
@@ -71,7 +109,7 @@ import (
 
 // Trace is a workload destined for a homogeneous cluster. It wraps the
 // internal representation; construct one with SyntheticTrace,
-// HPC2NLikeTraces, FromSWF or FromJobs.
+// HPC2NLikeTraces, FromSWF, ReadTrace or FromJobs.
 type Trace struct {
 	t *workload.Trace
 }
@@ -166,6 +204,16 @@ func FromSWF(r io.Reader, name string) (Trace, error) {
 	return Trace{t: tr}, nil
 }
 
+// ReadTrace parses the dfrs trace text format (the output of dfrs-gen and
+// Trace encoding) from r.
+func ReadTrace(r io.Reader) (Trace, error) {
+	tr, err := workload.ReadTrace(r)
+	if err != nil {
+		return Trace{}, err
+	}
+	return Trace{t: tr}, nil
+}
+
 // FromJobs builds a trace from explicit jobs for a cluster of the given
 // size; nodeMemGB is used only for migration-bandwidth accounting.
 func FromJobs(name string, nodes int, nodeMemGB float64, jobs []Job) (Trace, error) {
@@ -177,113 +225,20 @@ func FromJobs(name string, nodes int, nodeMemGB float64, jobs []Job) (Trace, err
 	return Trace{t: tr}, nil
 }
 
-// Algorithms lists every registered scheduling algorithm name.
+// Algorithms lists every registered scheduling algorithm name, including
+// schedulers added through RegisterAlgorithm.
 func Algorithms() []string { return sched.Names() }
 
-// NodeMixes lists the named node-mix profiles accepted by
-// RunOptions.NodeMix ("uniform", "bimodal", "powerlaw", ...).
+// KnownAlgorithm reports whether name is a registered algorithm.
+func KnownAlgorithm(name string) bool { return sched.Registered(name) }
+
+// NodeMixes lists the named node-mix profiles accepted by WithNodeMix
+// ("uniform", "bimodal", "powerlaw", ...).
 func NodeMixes() []string { return cluster.ProfileNames() }
 
-// RunOptions configures one simulation.
-type RunOptions struct {
-	// PenaltySeconds is the rescheduling penalty charged to every resume
-	// and migration (the paper evaluates 0 and 300).
-	PenaltySeconds float64
-	// NodeMix selects a heterogeneous node-mix profile (see NodeMixes)
-	// laid out over the trace's node count. Empty means the paper's
-	// homogeneous platform.
-	NodeMix string
-	// CheckInvariants enables per-event state validation (slow; for
-	// tests).
-	CheckInvariants bool
-}
-
-// Result wraps a finished simulation.
-type Result struct {
-	r *sim.Result
-}
-
-// Run simulates the named algorithm over the trace.
-func Run(t Trace, algorithm string, opt RunOptions) (Result, error) {
-	s, err := sched.New(algorithm)
-	if err != nil {
-		return Result{}, err
-	}
-	cl, err := cluster.Profile(opt.NodeMix, t.t.Nodes)
-	if err != nil {
-		return Result{}, err
-	}
-	simulator, err := sim.New(sim.Config{
-		Trace:           t.t,
-		Cluster:         cl,
-		Penalty:         opt.PenaltySeconds,
-		CheckInvariants: opt.CheckInvariants,
-		MaxSimTime:      50 * 365 * 24 * 3600,
-	}, s)
-	if err != nil {
-		return Result{}, err
-	}
-	res, err := simulator.Run()
-	if err != nil {
-		return Result{}, err
-	}
-	if err := metrics.Validate(res); err != nil {
-		return Result{}, err
-	}
-	return Result{r: res}, nil
-}
-
-// Algorithm returns the algorithm that produced this result.
-func (r Result) Algorithm() string { return r.r.Algorithm }
-
-// Makespan returns the completion time of the last job, in seconds.
-func (r Result) Makespan() float64 { return r.r.Makespan }
-
-// MaxStretch returns the maximum bounded stretch over all jobs, the
-// paper's headline metric.
-func (r Result) MaxStretch() float64 { return metrics.Summarize(r.r).MaxStretch }
-
-// Utilization returns the fraction of cluster CPU capacity that delivered
-// useful work over the makespan (Section II-B2's platform-utilization
-// view).
-func (r Result) Utilization() float64 { return r.r.Utilization() }
-
-// AvgStretch returns the average bounded stretch over all jobs.
-func (r Result) AvgStretch() float64 { return metrics.Summarize(r.r).AvgStretch }
-
-// JobStretches returns the bounded stretch of every job, indexed as in
-// Trace.Jobs ordering by job ID.
-func (r Result) JobStretches() []float64 {
-	out := make([]float64, len(r.r.Jobs))
-	for i, jr := range r.r.Jobs {
-		out[i] = metrics.BoundedStretch(jr.Turnaround, jr.Job.ExecTime)
-	}
-	return out
-}
-
-// Costs summarizes preemption/migration bandwidth and operation rates as in
-// Table II.
-func (r Result) Costs() CostSummary {
-	c := metrics.Costs(r.r)
-	return CostSummary{
-		PreemptionGBps:     c.PmtnGBps,
-		MigrationGBps:      c.MigGBps,
-		PreemptionsPerHour: c.PmtnPerHour,
-		MigrationsPerHour:  c.MigPerHour,
-		PreemptionsPerJob:  c.PmtnPerJob,
-		MigrationsPerJob:   c.MigPerJob,
-	}
-}
-
-// CostSummary mirrors one row of the paper's Table II for one run.
-type CostSummary struct {
-	PreemptionGBps     float64
-	MigrationGBps      float64
-	PreemptionsPerHour float64
-	MigrationsPerHour  float64
-	PreemptionsPerJob  float64
-	MigrationsPerJob   float64
-}
+// ValidNodeMix reports whether name is a known node-mix profile; the empty
+// string and "uniform" both select the paper's homogeneous platform.
+func ValidNodeMix(name string) bool { return cluster.ValidProfile(name) }
 
 // BoundedStretch exposes the paper's bounded-stretch metric:
 // max(turnaround, 30s) / max(execTime, 30s).

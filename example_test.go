@@ -1,6 +1,7 @@
 package dfrs_test
 
 import (
+	"context"
 	"fmt"
 
 	dfrs "repro"
@@ -18,7 +19,7 @@ func ExampleRun() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := dfrs.Run(trace, "greedy", dfrs.RunOptions{})
+	res, err := dfrs.Run(context.Background(), trace, "greedy")
 	if err != nil {
 		panic(err)
 	}

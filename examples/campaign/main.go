@@ -1,29 +1,26 @@
-// Command campaign demonstrates the campaign engine (internal/campaign):
-// it declares a small scenario grid — algorithms x synthetic traces x loads
-// x penalties — runs it on a bounded worker pool with deterministic
-// per-cell RNG substreams, checkpoints every finished cell as JSONL, and
-// then aggregates the records into a per-load degradation table.
+// Command campaign demonstrates the public campaign API (dfrs.Campaign):
+// it declares a small scenario grid — algorithms x synthetic traces x
+// loads x penalties — launches it on a bounded worker pool with
+// deterministic per-cell RNG substreams, consumes finished cells live from
+// the streaming record channel, checkpoints them as JSONL, and then
+// aggregates the records into a per-load degradation table.
 //
 // The same grid always produces the same records regardless of -workers;
-// interrupting the program and re-running it with the same -out path
-// completes only the missing cells (the dfrs-campaign CLI exposes the same
-// engine with the full flag surface).
+// interrupting the program (ctrl-C cancels the context and stops within
+// one cell per worker) and re-running it with the same -out path completes
+// only the missing cells. The dfrs-campaign CLI exposes the same API with
+// the full flag surface.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
-	"repro/internal/campaign"
-	"repro/internal/metrics"
-
-	// Register the scheduling algorithms the grid names.
-	_ "repro/internal/sched/batch"
-	_ "repro/internal/sched/gang"
-	_ "repro/internal/sched/greedy"
-	_ "repro/internal/sched/mcb"
+	dfrs "repro"
 )
 
 func main() {
@@ -33,12 +30,12 @@ func main() {
 	)
 	flag.Parse()
 
-	grid := &campaign.Grid{
+	grid := dfrs.Grid{
 		Name:       "example",
 		Seeds:      []uint64{42},
 		Algorithms: []string{"fcfs", "easy", "greedy-pmtn", "dynmcb8-asap-per"},
-		Families: []campaign.Family{
-			{Kind: campaign.FamilyLublin, Count: 2},
+		Families: []dfrs.CampaignFamily{
+			{Kind: dfrs.FamilyLublin, Count: 2},
 		},
 		Loads:        []float64{0.3, 0.6, 0.9},
 		Penalties:    []float64{300},
@@ -46,57 +43,64 @@ func main() {
 		JobsPerTrace: 80,
 	}
 
-	runner := &campaign.Runner{Workers: *workers}
-	if *out != "" {
-		// Resume: skip every cell already checkpointed in the file and
-		// append the rest (OpenCheckpoint also repairs a torn final line
-		// left by an interrupted run).
-		f, skip, err := campaign.OpenCheckpoint(*out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		runner.Skip = skip
-		runner.Sink = campaign.NewJSONLSink(f)
-		if len(skip) > 0 {
-			fmt.Printf("resuming: %d cells already checkpointed in %s\n", len(skip), *out)
-		}
-	}
+	// ctrl-C cancels the campaign gracefully: in-flight cells finish, the
+	// checkpoint stays valid, and a re-run resumes exactly the rest.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	records, err := runner.Run(grid)
+	opt := dfrs.CampaignOptions{Workers: *workers}
+	if *out != "" {
+		opt.Checkpoint = *out
+		opt.Resume = true
+	}
+	run, err := dfrs.Campaign(ctx, grid, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ran %d of %d cells (grid %q)\n\n", len(records), len(grid.Cells()), grid.Name)
+	if run.Skipped() > 0 {
+		fmt.Printf("resuming: %d of %d cells already checkpointed in %s\n",
+			run.Skipped(), run.Total(), *out)
+	}
 
-	// Aggregate: per-instance degradation factors, averaged per load.
+	// Consume records live as cells finish (order is nondeterministic with
+	// more than one worker; Wait returns the canonical sorted set).
+	for rec := range run.Records() {
+		fmt.Printf("  done: %s (max stretch %.2f)\n", rec.Key, rec.MaxStretch)
+	}
+	records, err := run.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran %d of %d cells (grid %q)\n\n", len(records), run.Total(), grid.Name)
+
+	// Aggregate: per-instance degradation factors, averaged per load. With
+	// a checkpoint, aggregate the full file so resumed runs include the
+	// cells finished earlier.
 	if *out != "" {
 		f, err := os.Open(*out)
 		if err != nil {
 			log.Fatal(err)
 		}
-		records, err = campaign.ReadRecords(f)
+		records, err = dfrs.ReadCampaignRecords(f)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
 	maxStretch := map[string]map[string]float64{} // instance -> alg -> max stretch
+	loadOf := map[string]float64{}
 	for _, rec := range records {
 		key := rec.InstanceKey()
 		if maxStretch[key] == nil {
 			maxStretch[key] = map[string]float64{}
 		}
 		maxStretch[key][rec.Algorithm] = rec.MaxStretch
+		loadOf[key] = rec.Load
 	}
 	sum := map[string]map[float64]float64{}
 	count := map[float64]int{}
-	loadOf := map[string]float64{}
-	for _, rec := range records {
-		loadOf[rec.InstanceKey()] = rec.Load
-	}
 	for key, byAlg := range maxStretch {
-		deg, err := metrics.DegradationFactors(byAlg)
+		deg, err := dfrs.DegradationFactors(byAlg)
 		if err != nil {
 			log.Fatal(err)
 		}

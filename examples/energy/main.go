@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -43,7 +44,7 @@ func main() {
 	fmt.Printf("%-18s %12s %14s %16s %12s\n",
 		"algorithm", "makespan(h)", "capacity(nh)", "idle(nh)", "max stretch")
 	for _, alg := range []string{"easy", "dynmcb8-asap-per"} {
-		res, err := dfrs.Run(trace, alg, dfrs.RunOptions{PenaltySeconds: 300})
+		res, err := dfrs.Run(context.Background(), trace, alg, dfrs.WithPenalty(300))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,10 +1,13 @@
-// Command quickstart is the minimal end-to-end example: generate a small
-// synthetic workload, run one batch baseline and one DFRS algorithm over
-// it, and compare maximum bounded stretches — the paper's headline
-// comparison, in ~40 lines.
+// Command quickstart is the minimal end-to-end example of the v2 API:
+// generate a small synthetic workload, run one batch baseline and two DFRS
+// algorithms over it with a context and functional options, and compare
+// maximum bounded stretches — the paper's headline comparison in ~40
+// lines. See examples/streaming for the observable variant and
+// examples/campaign for full scenario grids.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +15,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	trace, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{
 		Seed:  7,
 		Nodes: 128,
@@ -30,7 +35,9 @@ func main() {
 		len(trace.Jobs()), trace.Nodes(), trace.OfferedLoad())
 
 	for _, alg := range []string{"easy", "greedy-pmtn", "dynmcb8-asap-per"} {
-		res, err := dfrs.Run(trace, alg, dfrs.RunOptions{PenaltySeconds: 300})
+		// Run blocks until the simulation completes; cancelling ctx (a
+		// deadline, a signal handler) would stop it at event granularity.
+		res, err := dfrs.Run(ctx, trace, alg, dfrs.WithPenalty(300))
 		if err != nil {
 			log.Fatal(err)
 		}

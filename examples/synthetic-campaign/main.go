@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -44,7 +45,7 @@ func main() {
 			}
 			maxStretch := map[string]float64{}
 			for _, alg := range algorithms {
-				res, err := dfrs.Run(scaled, alg, dfrs.RunOptions{PenaltySeconds: *penalty})
+				res, err := dfrs.Run(context.Background(), scaled, alg, dfrs.WithPenalty(*penalty))
 				if err != nil {
 					log.Fatal(err)
 				}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -52,7 +53,7 @@ func main() {
 	for _, tr := range traces {
 		maxStretch := map[string]float64{}
 		for _, alg := range algs {
-			res, err := dfrs.Run(tr, alg, dfrs.RunOptions{PenaltySeconds: *penalty})
+			res, err := dfrs.Run(context.Background(), tr, alg, dfrs.WithPenalty(*penalty))
 			if err != nil {
 				log.Fatal(err)
 			}

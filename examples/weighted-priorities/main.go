@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := dfrs.Run(trace, "dynmcb8", dfrs.RunOptions{CheckInvariants: true})
+	res, err := dfrs.Run(context.Background(), trace, "dynmcb8", dfrs.WithInvariantChecking())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package dfrs_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -79,7 +80,7 @@ func TestResultAccessors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := dfrs.Run(scaled, "dynmcb8-per", dfrs.RunOptions{PenaltySeconds: 300})
+	res, err := dfrs.Run(context.Background(), scaled, "dynmcb8-per", dfrs.WithPenalty(300))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestRunUnknownAlgorithm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := dfrs.Run(tr, "nope", dfrs.RunOptions{}); err == nil {
+	if _, err := dfrs.Run(context.Background(), tr, "nope"); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 }
@@ -127,11 +128,11 @@ func TestGangVsDFRSOnMemoryHeavyLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gang, err := dfrs.Run(tr, "gang", dfrs.RunOptions{CheckInvariants: true})
+	gang, err := dfrs.Run(context.Background(), tr, "gang", dfrs.WithInvariantChecking())
 	if err != nil {
 		t.Fatal(err)
 	}
-	dyn, err := dfrs.Run(tr, "dynmcb8", dfrs.RunOptions{CheckInvariants: true})
+	dyn, err := dfrs.Run(context.Background(), tr, "dynmcb8", dfrs.WithInvariantChecking())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestConservativeThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := dfrs.Run(scaled, "conservative", dfrs.RunOptions{PenaltySeconds: 300, CheckInvariants: true})
+	res, err := dfrs.Run(context.Background(), scaled, "conservative", dfrs.WithPenalty(300), dfrs.WithInvariantChecking())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package dfrs_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -32,10 +33,8 @@ func TestAllAlgorithmsRunClean(t *testing.T) {
 			alg, penalty := alg, penalty
 			t.Run(alg+pen(penalty), func(t *testing.T) {
 				t.Parallel()
-				res, err := dfrs.Run(tr, alg, dfrs.RunOptions{
-					PenaltySeconds:  penalty,
-					CheckInvariants: true,
-				})
+				res, err := dfrs.Run(context.Background(), tr, alg,
+					dfrs.WithPenalty(penalty), dfrs.WithInvariantChecking())
 				if err != nil {
 					t.Fatalf("Run(%s): %v", alg, err)
 				}
@@ -62,7 +61,7 @@ func TestDFRSOutperformsBatchOnContendedLoad(t *testing.T) {
 	tr := smallTrace(t, 3, 120, 0.8)
 	max := map[string]float64{}
 	for _, alg := range []string{"fcfs", "easy", "greedy-pmtn", "dynmcb8-asap-per"} {
-		res, err := dfrs.Run(tr, alg, dfrs.RunOptions{PenaltySeconds: 300})
+		res, err := dfrs.Run(context.Background(), tr, alg, dfrs.WithPenalty(300))
 		if err != nil {
 			t.Fatalf("Run(%s): %v", alg, err)
 		}
@@ -80,11 +79,11 @@ func TestDFRSOutperformsBatchOnContendedLoad(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	for _, alg := range []string{"easy", "greedy-pmtn-migr", "dynmcb8-per"} {
 		tr := smallTrace(t, 5, 50, 0.6)
-		a, err := dfrs.Run(tr, alg, dfrs.RunOptions{PenaltySeconds: 300})
+		a, err := dfrs.Run(context.Background(), tr, alg, dfrs.WithPenalty(300))
 		if err != nil {
 			t.Fatalf("Run(%s): %v", alg, err)
 		}
-		b, err := dfrs.Run(tr, alg, dfrs.RunOptions{PenaltySeconds: 300})
+		b, err := dfrs.Run(context.Background(), tr, alg, dfrs.WithPenalty(300))
 		if err != nil {
 			t.Fatalf("Run(%s): %v", alg, err)
 		}
@@ -142,7 +141,7 @@ func TestFromJobs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := dfrs.Run(tr, "greedy", dfrs.RunOptions{CheckInvariants: true})
+	res, err := dfrs.Run(context.Background(), tr, "greedy", dfrs.WithInvariantChecking())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +194,7 @@ func TestFromSWF(t *testing.T) {
 	if jobs[2].Tasks != 1 || jobs[2].CPUNeed != 0.5 || math.Abs(jobs[2].MemReq-0.1) > 1e-3 {
 		t.Errorf("job 3 preprocessed wrong: %+v", jobs[2])
 	}
-	if _, err := dfrs.Run(tr, "dynmcb8", dfrs.RunOptions{CheckInvariants: true}); err != nil {
+	if _, err := dfrs.Run(context.Background(), tr, "dynmcb8", dfrs.WithInvariantChecking()); err != nil {
 		t.Fatalf("running SWF trace: %v", err)
 	}
 }

@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -35,12 +37,29 @@ type Runner struct {
 	// Progress, when non-nil, is called after each finished cell with the
 	// number of cells done and the total to run. Calls are serialised.
 	Progress func(done, total int, rec Record)
+	// Observe, when non-nil, is called once per cell before its
+	// simulation; a non-nil return value receives that cell's scheduling
+	// transitions (sim.Observer). Observation does not perturb results:
+	// event sequences are a deterministic function of the cell alone, so
+	// they are identical for any worker count.
+	Observe func(Cell) sim.Observer
 }
 
 // Run expands, validates and executes the grid, returning the records of
 // every cell that was not skipped, sorted by cell key. The first cell error
 // aborts the run.
 func (r *Runner) Run(g *Grid) ([]Record, error) {
+	return r.RunContext(context.Background(), g)
+}
+
+// RunContext is Run with cooperative cancellation. Each worker checks the
+// context before claiming another cell and the simulator checks it between
+// events, so cancellation stops the campaign within one cell per worker.
+// Cells finished before the cancellation are returned (sorted by key) and
+// were already streamed to the Sink, so a JSONL checkpoint stays valid and
+// resumable: exactly the completed cells are skipped on resume. The
+// returned error wraps ctx.Err() when the run was cancelled.
+func (r *Runner) RunContext(ctx context.Context, g *Grid) ([]Record, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -82,13 +101,16 @@ func (r *Runner) Run(g *Grid) ([]Record, error) {
 		go func() {
 			defer wg.Done()
 			for c := range next {
+				if ctx.Err() != nil {
+					return
+				}
 				mu.Lock()
 				stop := firstErr != nil
 				mu.Unlock()
 				if stop {
 					return
 				}
-				rec, err := runCell(mat, g, c)
+				rec, err := runCell(ctx, r, mat, g, c)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -114,16 +136,23 @@ func (r *Runner) Run(g *Grid) ([]Record, error) {
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
+	if firstErr != nil && !errors.Is(firstErr, context.Canceled) && !errors.Is(firstErr, context.DeadlineExceeded) {
 		return nil, firstErr
 	}
 	SortRecords(records)
+	if err := ctx.Err(); err != nil {
+		return records, fmt.Errorf("campaign: grid %q interrupted after %d of %d cells: %w",
+			g.Name, done, len(cells), err)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	return records, nil
 }
 
 // runCell materialises the cell's trace and simulates it, producing the
 // checkpoint record.
-func runCell(mat *materialiser, g *Grid, c Cell) (Record, error) {
+func runCell(ctx context.Context, r *Runner, mat *materialiser, g *Grid, c Cell) (Record, error) {
 	tr, err := mat.trace(c)
 	if err != nil {
 		return Record{}, err
@@ -138,6 +167,10 @@ func runCell(mat *materialiser, g *Grid, c Cell) (Record, error) {
 	if err != nil {
 		return Record{}, err
 	}
+	var obs sim.Observer
+	if r.Observe != nil {
+		obs = r.Observe(c)
+	}
 	simulator, err := sim.New(sim.Config{
 		Trace:            tr,
 		Cluster:          cl,
@@ -145,11 +178,12 @@ func runCell(mat *materialiser, g *Grid, c Cell) (Record, error) {
 		CheckInvariants:  g.Check,
 		RecordSchedTimes: g.Timing,
 		MaxSimTime:       maxSimTime,
+		Observer:         obs,
 	}, s)
 	if err != nil {
 		return Record{}, err
 	}
-	res, err := simulator.Run()
+	res, err := simulator.RunContext(ctx)
 	if err != nil {
 		return Record{}, err
 	}

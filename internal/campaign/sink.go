@@ -41,6 +41,20 @@ func (s *JSONLSink) Write(rec Record) error {
 	return err
 }
 
+// MultiSink fans every record out to each member sink in order, stopping
+// at the first error.
+type MultiSink []Sink
+
+// Write implements Sink.
+func (m MultiSink) Write(rec Record) error {
+	for _, s := range m {
+		if err := s.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // MemorySink collects records in memory, mainly for tests and in-process
 // aggregation.
 type MemorySink struct {

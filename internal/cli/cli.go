@@ -1,0 +1,39 @@
+// Package cli holds the small amount of machinery shared by every command
+// in cmd/: signal-driven context cancellation for graceful shutdown, and a
+// context-aware writer that aborts long encodes when the user interrupts.
+package cli
+
+import (
+	"context"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM. The
+// first signal cancels the context so the command can shut down gracefully
+// (flushing checkpoints, closing files); a second signal kills the process
+// via the restored default handler.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// Writer wraps w so every Write first checks the context, turning
+// cancellation into a write error that unwinds encoders and generators at
+// write granularity.
+func Writer(ctx context.Context, w io.Writer) io.Writer {
+	return &ctxWriter{ctx: ctx, w: w}
+}
+
+type ctxWriter struct {
+	ctx context.Context
+	w   io.Writer
+}
+
+func (c *ctxWriter) Write(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.w.Write(p)
+}

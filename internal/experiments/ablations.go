@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -26,8 +27,8 @@ type AblationResult struct {
 // scaled traces and aggregates degradation factors. The named algorithms
 // must be registered; ablation-only variants register themselves via
 // registerVariants.
-func runAblation(cfg Config, title string, algs []string, penalty float64) (*AblationResult, error) {
-	recs, err := cfg.run(cfg.grid("ablation", algs, cfg.Loads, penalty))
+func runAblation(ctx context.Context, cfg Config, title string, algs []string, penalty float64) (*AblationResult, error) {
+	recs, err := cfg.run(ctx, cfg.grid("ablation", algs, cfg.Loads, penalty))
 	if err != nil {
 		return nil, err
 	}
@@ -41,32 +42,32 @@ func runAblation(cfg Config, title string, algs []string, penalty float64) (*Abl
 // AblationPriorityPower compares the paper's squared-virtual-time priority
 // against the linear variant the authors report as markedly inferior
 // (experiment A1).
-func AblationPriorityPower(cfg Config) (*AblationResult, error) {
-	return runAblation(cfg, "A1: priority function power (squared vs linear virtual time)",
+func AblationPriorityPower(ctx context.Context, cfg Config) (*AblationResult, error) {
+	return runAblation(ctx, cfg, "A1: priority function power (squared vs linear virtual time)",
 		[]string{"greedy-pmtn", "greedy-pmtn-linprio"}, PaperPenalty)
 }
 
 // AblationPeriod sweeps the scheduling period T over {60, 600, 3600} for
 // DYNMCB8-ASAP-PER (experiment A2; the paper reports T=600 as the sweet
 // spot against the 5-minute penalty).
-func AblationPeriod(cfg Config) (*AblationResult, error) {
+func AblationPeriod(ctx context.Context, cfg Config) (*AblationResult, error) {
 	ensurePeriodVariants()
-	return runAblation(cfg, "A2: scheduling period sweep for DYNMCB8-ASAP-PER",
+	return runAblation(ctx, cfg, "A2: scheduling period sweep for DYNMCB8-ASAP-PER",
 		[]string{"dynmcb8-asap-per-60", "dynmcb8-asap-per", "dynmcb8-asap-per-3600"}, PaperPenalty)
 }
 
 // AblationPacker swaps MCB8 for first-fit-decreasing and
 // best-fit-decreasing inside DYNMCB8-PER (experiment A3).
-func AblationPacker(cfg Config) (*AblationResult, error) {
+func AblationPacker(ctx context.Context, cfg Config) (*AblationResult, error) {
 	ensurePackerVariants()
-	return runAblation(cfg, "A3: packing heuristic inside DYNMCB8-PER",
+	return runAblation(ctx, cfg, "A3: packing heuristic inside DYNMCB8-PER",
 		[]string{"dynmcb8-per", "dynmcb8-per-ffd", "dynmcb8-per-bfd"}, PaperPenalty)
 }
 
 // ExtensionFairness evaluates the Section VII future-work idea: excluding
 // long-running jobs from the average-yield improvement (experiment A4).
-func ExtensionFairness(cfg Config) (*AblationResult, error) {
-	return runAblation(cfg, "A4: fairness extension (yield decay for long-running jobs)",
+func ExtensionFairness(ctx context.Context, cfg Config) (*AblationResult, error) {
+	return runAblation(ctx, cfg, "A4: fairness extension (yield decay for long-running jobs)",
 		[]string{"dynmcb8-per", "dynmcb8-per-fair"}, PaperPenalty)
 }
 

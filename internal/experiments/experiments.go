@@ -1,17 +1,20 @@
 // Package experiments defines the paper's evaluation campaigns (Figure 1,
 // Table I, Table II, the Section V timing study) and the ablation studies
-// listed in DESIGN.md as thin grid definitions over the campaign engine
-// (internal/campaign): each experiment declares a campaign.Grid, runs it on
-// the engine's worker pool, and aggregates the resulting records into the
-// paper's tables and figures. Every experiment is deterministic given its
-// seed and scales from quick smoke runs to the paper's full 100-trace
-// campaigns via Config.
+// listed in DESIGN.md as thin grid definitions over the public campaign
+// API (dfrs.Campaign): each experiment declares a campaign.Grid, runs it
+// on the engine's worker pool, and aggregates the resulting records into
+// the paper's tables and figures. Every experiment takes a context —
+// cancellation stops the campaign within one cell per worker — and is
+// deterministic given its seed, scaling from quick smoke runs to the
+// paper's full 100-trace campaigns via Config.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	dfrs "repro"
 	"repro/internal/campaign"
 	"repro/internal/lublin"
 	"repro/internal/metrics"
@@ -20,11 +23,6 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
-	// Register all scheduling algorithms.
-	_ "repro/internal/sched/batch"
-	_ "repro/internal/sched/gang"
-	_ "repro/internal/sched/greedy"
-	_ "repro/internal/sched/mcb"
 )
 
 // Algorithms is the paper's nine algorithms in the order of Figure 1's
@@ -101,10 +99,14 @@ func (c Config) grid(name string, algs []string, loads []float64, penalty float6
 	}
 }
 
-// run executes the grid on the campaign engine with the config's worker
-// budget.
-func (c Config) run(g *campaign.Grid) ([]campaign.Record, error) {
-	return (&campaign.Runner{Workers: c.Workers}).Run(g)
+// run executes the grid through the public campaign API with the config's
+// worker budget; cancelling the context stops within one cell per worker.
+func (c Config) run(ctx context.Context, g *campaign.Grid) ([]campaign.Record, error) {
+	run, err := dfrs.Campaign(ctx, *g, dfrs.CampaignOptions{Workers: c.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return run.Wait()
 }
 
 // BaseTraces generates the campaign's synthetic traces (the "unscaled"
@@ -142,8 +144,9 @@ func (c Config) ScaledTraces(base []*workload.Trace) (map[float64][]*workload.Tr
 	return out, nil
 }
 
-// RunOne simulates one named algorithm over one trace.
-func RunOne(tr *workload.Trace, alg string, penalty float64, check bool) (*sim.Result, error) {
+// RunOne simulates one named algorithm over one trace; the context cancels
+// at event granularity.
+func RunOne(ctx context.Context, tr *workload.Trace, alg string, penalty float64, check bool) (*sim.Result, error) {
 	s, err := sched.New(alg)
 	if err != nil {
 		return nil, err
@@ -157,7 +160,7 @@ func RunOne(tr *workload.Trace, alg string, penalty float64, check bool) (*sim.R
 	if err != nil {
 		return nil, err
 	}
-	res, err := simulator.Run()
+	res, err := simulator.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +183,7 @@ type Instance struct {
 
 // RunInstance executes every algorithm on the trace and computes
 // per-instance degradation factors.
-func RunInstance(tr *workload.Trace, algs []string, penalty float64, check bool, load float64) (*Instance, error) {
+func RunInstance(ctx context.Context, tr *workload.Trace, algs []string, penalty float64, check bool, load float64) (*Instance, error) {
 	inst := &Instance{
 		Trace:       tr.Name,
 		Load:        load,
@@ -189,7 +192,7 @@ func RunInstance(tr *workload.Trace, algs []string, penalty float64, check bool,
 		Costs:       map[string]metrics.CostSummary{},
 	}
 	for _, alg := range algs {
-		res, err := RunOne(tr, alg, penalty, check)
+		res, err := RunOne(ctx, tr, alg, penalty, check)
 		if err != nil {
 			return nil, fmt.Errorf("%s on %s: %w", alg, tr.Name, err)
 		}

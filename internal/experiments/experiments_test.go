@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -74,7 +75,7 @@ func TestRunInstance(t *testing.T) {
 		t.Fatal(err)
 	}
 	algs := []string{"easy", "greedy-pmtn", "dynmcb8-asap-per"}
-	inst, err := RunInstance(scaled, algs, PaperPenalty, true, 0.7)
+	inst, err := RunInstance(context.Background(), scaled, algs, PaperPenalty, true, 0.7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestRunInstance(t *testing.T) {
 func TestFigure1EndToEnd(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Algorithms = []string{"easy", "greedy-pmtn", "dynmcb8-per"}
-	res, err := Figure1(cfg, PaperPenalty)
+	res, err := Figure1(context.Background(), cfg, PaperPenalty)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestFigure1EndToEnd(t *testing.T) {
 func TestTableIEndToEnd(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Algorithms = []string{"easy", "dynmcb8-asap-per"}
-	res, err := TableI(cfg)
+	res, err := TableI(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestTableIEndToEnd(t *testing.T) {
 func TestTableIIEndToEnd(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Algorithms = []string{"greedy-pmtn", "dynmcb8-per"}
-	res, err := TableII(cfg)
+	res, err := TableII(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,14 +178,14 @@ func TestTableIIEndToEnd(t *testing.T) {
 func TestTableIIRequiresHighLoads(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Loads = []float64{0.1, 0.2}
-	if _, err := TableII(cfg); err == nil {
+	if _, err := TableII(context.Background(), cfg); err == nil {
 		t.Error("Table II without >=0.7 loads should fail")
 	}
 }
 
 func TestTimingStudy(t *testing.T) {
 	cfg := tinyConfig()
-	res, err := TimingStudy(cfg, "")
+	res, err := TimingStudy(context.Background(), cfg, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,13 +210,13 @@ func TestTimingStudy(t *testing.T) {
 func TestAblations(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.Loads = []float64{0.7}
-	for name, run := range map[string]func(Config) (*AblationResult, error){
+	for name, run := range map[string]func(context.Context, Config) (*AblationResult, error){
 		"priority": AblationPriorityPower,
 		"period":   AblationPeriod,
 		"packer":   AblationPacker,
 		"fairness": ExtensionFairness,
 	} {
-		res, err := run(cfg)
+		res, err := run(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

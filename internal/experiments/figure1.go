@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -25,9 +26,9 @@ type Figure1Result struct {
 // configured algorithm over every scaled synthetic trace, averaging
 // degradation factors per load level. The campaign is one grid —
 // algorithms x traces x loads — on the campaign engine.
-func Figure1(cfg Config, penalty float64) (*Figure1Result, error) {
+func Figure1(ctx context.Context, cfg Config, penalty float64) (*Figure1Result, error) {
 	g := cfg.grid(fmt.Sprintf("figure1-pen%.0f", penalty), cfg.Algorithms, cfg.Loads, penalty)
-	recs, err := cfg.run(g)
+	recs, err := cfg.run(ctx, g)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -39,10 +40,10 @@ type HeterogeneityResult struct {
 // HeterogeneityStudy runs every configured algorithm over every scaled
 // synthetic trace on each node-mix profile — a single campaign grid with
 // the node-mix axis — and aggregates stretch and degradation per mix.
-func HeterogeneityStudy(cfg Config) (*HeterogeneityResult, error) {
+func HeterogeneityStudy(ctx context.Context, cfg Config) (*HeterogeneityResult, error) {
 	g := cfg.grid("heterogeneity", cfg.Algorithms, cfg.Loads, PaperPenalty)
 	g.NodeMixes = HeterogeneityMixes
-	recs, err := cfg.run(g)
+	recs, err := cfg.run(ctx, g)
 	if err != nil {
 		return nil, err
 	}

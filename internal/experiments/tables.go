@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -22,14 +23,14 @@ type TableIResult struct {
 // TableI runs experiment E3 as a single grid spanning the three workload
 // legs: load-scaled synthetic traces, the same traces unscaled, and the
 // HPC2N-like weekly segments. The records partition by family and load.
-func TableI(cfg Config) (*TableIResult, error) {
+func TableI(ctx context.Context, cfg Config) (*TableIResult, error) {
 	g := cfg.grid("table1", cfg.Algorithms, cfg.Loads, PaperPenalty)
 	g.Families = []campaign.Family{
 		{Kind: campaign.FamilyLublin, Count: cfg.Traces},                                         // scaled (grid loads)
 		{Kind: campaign.FamilyLublin, Count: cfg.Traces, Loads: []float64{campaign.Unscaled}},    // unscaled
 		{Kind: campaign.FamilyHPC2N, Count: cfg.HPC2NWeeks, Loads: []float64{campaign.Unscaled}}, // real-world stand-in
 	}
-	recs, err := cfg.run(g)
+	recs, err := cfg.run(ctx, g)
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +102,7 @@ const tableIIMinLoad = 0.7
 // TableII runs experiment E4: the preempting algorithms over the high-load
 // scaled traces, aggregating the six cost columns directly from the
 // campaign records.
-func TableII(cfg Config) (*TableIIResult, error) {
+func TableII(ctx context.Context, cfg Config) (*TableIIResult, error) {
 	var loads []float64
 	for _, l := range cfg.Loads {
 		if l >= tableIIMinLoad {
@@ -115,7 +116,7 @@ func TableII(cfg Config) (*TableIIResult, error) {
 	if len(algs) == 0 {
 		algs = PreemptingAlgorithms
 	}
-	recs, err := cfg.run(cfg.grid("table2", algs, loads, PaperPenalty))
+	recs, err := cfg.run(ctx, cfg.grid("table2", algs, loads, PaperPenalty))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -28,13 +29,13 @@ type TimingResult struct {
 // one-algorithm grid with per-cell timing aggregates enabled, merged into
 // campaign-wide statistics. Timing numbers are wall-clock and therefore the
 // only nondeterministic output of the harness.
-func TimingStudy(cfg Config, algorithm string) (*TimingResult, error) {
+func TimingStudy(ctx context.Context, cfg Config, algorithm string) (*TimingResult, error) {
 	if algorithm == "" {
 		algorithm = "dynmcb8"
 	}
 	g := cfg.grid("timing", []string{algorithm}, []float64{campaign.Unscaled}, PaperPenalty)
 	g.Timing = true
-	recs, err := cfg.run(g)
+	recs, err := cfg.run(ctx, g)
 	if err != nil {
 		return nil, err
 	}

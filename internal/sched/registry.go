@@ -21,12 +21,38 @@ var (
 // registration happens in package init functions, where a duplicate is a
 // programming error.
 func Register(name string, f Factory) {
+	if err := RegisterFactory(name, f); err != nil {
+		panic(err.Error())
+	}
+}
+
+// RegisterFactory adds a named scheduler constructor, returning an error
+// on an empty name, a nil factory, or a duplicate registration. It is the
+// non-panicking form behind the public dfrs.RegisterAlgorithm entry point,
+// where out-of-tree callers register schedulers at run time rather than in
+// package init functions.
+func RegisterFactory(name string, f Factory) error {
+	if name == "" {
+		return fmt.Errorf("sched: empty algorithm name")
+	}
+	if f == nil {
+		return fmt.Errorf("sched: nil factory for algorithm %q", name)
+	}
 	regMu.Lock()
 	defer regMu.Unlock()
 	if _, dup := registry[name]; dup {
-		panic(fmt.Sprintf("sched: duplicate registration of %q", name))
+		return fmt.Errorf("sched: duplicate registration of %q", name)
 	}
 	registry[name] = f
+	return nil
+}
+
+// Registered reports whether an algorithm name is registered.
+func Registered(name string) bool {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := registry[name]
+	return ok
 }
 
 // New returns a fresh instance of the named scheduler.

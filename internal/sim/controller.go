@@ -155,6 +155,9 @@ func (c *Controller) Start(jid int, nodes []int) {
 		j.start = s.now
 	}
 	s.record(TlStart, jid, 0, 0)
+	if s.obs != nil {
+		s.obs.JobStarted(s.now, jid, append([]int(nil), nodes...))
+	}
 }
 
 // Pause preempts running job jid: it stops progressing and releases its
@@ -177,6 +180,9 @@ func (c *Controller) Pause(jid int) {
 	s.result.PreemptionOps++
 	s.result.PreemptionGB += s.memGB(j)
 	s.record(TlPause, jid, 0, 0)
+	if s.obs != nil {
+		s.obs.JobPreempted(s.now, jid)
+	}
 }
 
 // Resume restarts paused job jid on the given nodes with yield zero and
@@ -233,6 +239,18 @@ func (c *Controller) Resume(jid int, nodes []int) {
 		j.start = s.now
 	}
 	s.record(TlResume, jid, 0, j.frozenUntil)
+	if s.obs != nil {
+		// The stream reports raw transitions: the JobPreempted emitted by
+		// the matching Pause is never retracted, even when the accounting
+		// above refunds or reclassifies it (see Observer docs). A
+		// reclassified pair surfaces the migration; a plain or refunded
+		// resume surfaces a restart.
+		if sameEvent && !sameMultiset(nodes, j.lastNodes) {
+			s.obs.JobMigrated(s.now, jid, append([]int(nil), nodes...))
+		} else {
+			s.obs.JobStarted(s.now, jid, append([]int(nil), nodes...))
+		}
+	}
 }
 
 // Migrate moves running job jid to a new node multiset in one step
@@ -259,6 +277,9 @@ func (c *Controller) Migrate(jid int, nodes []int) {
 	s.result.MigrationOps++
 	s.result.MigrationGB += 2 * s.memGB(j)
 	s.record(TlMigrate, jid, 0, j.frozenUntil)
+	if s.obs != nil {
+		s.obs.JobMigrated(s.now, jid, append([]int(nil), nodes...))
+	}
 }
 
 // SetYield assigns job jid's yield, adjusting every hosting node's

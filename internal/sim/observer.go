@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Observer receives scheduling transitions as a simulation executes. A nil
+// observer costs nothing: every emission site is guarded by a nil check, so
+// the hot path of an unobserved run is unchanged. Observers are invoked
+// synchronously from the simulation loop, in deterministic order for a
+// deterministic (trace, algorithm, cluster, penalty) tuple; an observer
+// that blocks stalls the simulation, so long-running consumers should hand
+// events off (see the dfrs.Stream facade helper).
+//
+// All times are simulated seconds. Node slices are copies the observer may
+// retain. Elapsed in SchedulerInvoked is wall-clock time and therefore the
+// only nondeterministic quantity delivered through this interface.
+type Observer interface {
+	// JobSubmitted fires when job jid enters the system, before the
+	// scheduler's OnArrival hook runs.
+	JobSubmitted(now float64, jid int)
+	// JobStarted fires when job jid is dispatched onto nodes (one entry
+	// per task) — both the first start and every restart after a
+	// preemption.
+	JobStarted(now float64, jid int, nodes []int)
+	// JobPreempted fires when job jid is paused and releases its nodes.
+	// The stream reports raw transitions: a pause that a same-event
+	// resume later refunds or reclassifies as a migration still appears
+	// here, so counting JobPreempted events can exceed the run's
+	// Table II preemption accounting (Result.PreemptionOps), which is
+	// charged net of those refunds.
+	JobPreempted(now float64, jid int)
+	// JobMigrated fires when job jid moves to a new node multiset,
+	// including a same-event pause+resume pair the simulator reclassifies
+	// as one migration.
+	JobMigrated(now float64, jid int, nodes []int)
+	// JobCompleted fires after job jid finishes and releases its nodes.
+	JobCompleted(now float64, jid int, turnaround float64)
+	// SchedulerInvoked fires after every scheduler hook invocation with
+	// the hook's name ("init", "arrival", "completion", "timer"), the
+	// number of unfinished jobs in the system, and the hook's wall-clock
+	// duration (nondeterministic).
+	SchedulerInvoked(now float64, hook string, jobsInSystem int, elapsed time.Duration)
+}
+
+// EventKind labels one Event delivered by an observer adapter.
+type EventKind int
+
+// Event kinds, in lifecycle order.
+const (
+	EvSubmitted EventKind = iota
+	EvStarted
+	EvPreempted
+	EvMigrated
+	EvCompleted
+	EvSchedulerInvoked
+)
+
+// String returns the lowercase kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EvSubmitted:
+		return "submitted"
+	case EvStarted:
+		return "started"
+	case EvPreempted:
+		return "preempted"
+	case EvMigrated:
+		return "migrated"
+	case EvCompleted:
+		return "completed"
+	case EvSchedulerInvoked:
+		return "scheduler-invoked"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one observer callback flattened into a value, the unit of the
+// streaming facade (dfrs.Stream) and of test assertions on event
+// sequences. Fields beyond Kind/Time are populated per kind: JID and Nodes
+// for job transitions, Turnaround for completions, Hook/JobsInSystem/
+// Elapsed for scheduler invocations. Elapsed is wall-clock time; zero it
+// before comparing sequences for determinism.
+type Event struct {
+	Kind         EventKind
+	Time         float64
+	JID          int
+	Nodes        []int
+	Turnaround   float64
+	Hook         string
+	JobsInSystem int
+	Elapsed      time.Duration
+}
+
+// String renders the event compactly for logs and live dashboards.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvCompleted:
+		return fmt.Sprintf("t=%.1f job %d completed (turnaround %.1fs)", e.Time, e.JID, e.Turnaround)
+	case EvStarted, EvMigrated:
+		return fmt.Sprintf("t=%.1f job %d %s on %v", e.Time, e.JID, e.Kind, e.Nodes)
+	case EvSchedulerInvoked:
+		return fmt.Sprintf("t=%.1f scheduler %s (%d jobs in system, %v)", e.Time, e.Hook, e.JobsInSystem, e.Elapsed)
+	default:
+		return fmt.Sprintf("t=%.1f job %d %s", e.Time, e.JID, e.Kind)
+	}
+}
+
+// Recorder is an Observer that collects every event in memory. It is safe
+// for use from one simulation at a time (the simulator invokes observers
+// synchronously); Events is additionally guarded so a recorder can be read
+// while another goroutine runs the simulation.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+func (r *Recorder) add(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// JobSubmitted implements Observer.
+func (r *Recorder) JobSubmitted(now float64, jid int) {
+	r.add(Event{Kind: EvSubmitted, Time: now, JID: jid})
+}
+
+// JobStarted implements Observer.
+func (r *Recorder) JobStarted(now float64, jid int, nodes []int) {
+	r.add(Event{Kind: EvStarted, Time: now, JID: jid, Nodes: nodes})
+}
+
+// JobPreempted implements Observer.
+func (r *Recorder) JobPreempted(now float64, jid int) {
+	r.add(Event{Kind: EvPreempted, Time: now, JID: jid})
+}
+
+// JobMigrated implements Observer.
+func (r *Recorder) JobMigrated(now float64, jid int, nodes []int) {
+	r.add(Event{Kind: EvMigrated, Time: now, JID: jid, Nodes: nodes})
+}
+
+// JobCompleted implements Observer.
+func (r *Recorder) JobCompleted(now float64, jid int, turnaround float64) {
+	r.add(Event{Kind: EvCompleted, Time: now, JID: jid, Turnaround: turnaround})
+}
+
+// SchedulerInvoked implements Observer.
+func (r *Recorder) SchedulerInvoked(now float64, hook string, jobsInSystem int, elapsed time.Duration) {
+	r.add(Event{Kind: EvSchedulerInvoked, Time: now, Hook: hook, JobsInSystem: jobsInSystem, Elapsed: elapsed})
+}
+
+// FanoutObserver forwards every callback to each member in order. It lets
+// callers combine an application observer with an adapter such as the
+// streaming channel bridge.
+type FanoutObserver []Observer
+
+// JobSubmitted implements Observer.
+func (f FanoutObserver) JobSubmitted(now float64, jid int) {
+	for _, o := range f {
+		o.JobSubmitted(now, jid)
+	}
+}
+
+// JobStarted implements Observer.
+func (f FanoutObserver) JobStarted(now float64, jid int, nodes []int) {
+	for _, o := range f {
+		o.JobStarted(now, jid, nodes)
+	}
+}
+
+// JobPreempted implements Observer.
+func (f FanoutObserver) JobPreempted(now float64, jid int) {
+	for _, o := range f {
+		o.JobPreempted(now, jid)
+	}
+}
+
+// JobMigrated implements Observer.
+func (f FanoutObserver) JobMigrated(now float64, jid int, nodes []int) {
+	for _, o := range f {
+		o.JobMigrated(now, jid, nodes)
+	}
+}
+
+// JobCompleted implements Observer.
+func (f FanoutObserver) JobCompleted(now float64, jid int, turnaround float64) {
+	for _, o := range f {
+		o.JobCompleted(now, jid, turnaround)
+	}
+}
+
+// SchedulerInvoked implements Observer.
+func (f FanoutObserver) SchedulerInvoked(now float64, hook string, jobsInSystem int, elapsed time.Duration) {
+	for _, o := range f {
+		o.SchedulerInvoked(now, hook, jobsInSystem, elapsed)
+	}
+}

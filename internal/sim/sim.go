@@ -15,6 +15,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -204,12 +205,39 @@ type Config struct {
 	// MaxSimTime aborts runs whose simulated clock passes this value
 	// (safety net against livelock; 0 disables).
 	MaxSimTime float64
+	// Observer, when non-nil, receives every scheduling transition as it
+	// happens (see Observer). Nil costs nothing on the hot path.
+	Observer Observer
+}
+
+// UnschedulableError reports a job that can never run on the configured
+// cluster: its per-task requirement for the binding resource exceeds the
+// capacity of every node, so batch baselines would starve it forever and
+// DFRS placements could never succeed. The simulator rejects such traces
+// eagerly at construction instead of deadlocking at run time.
+type UnschedulableError struct {
+	// JobID is the trace job ID (workload.Job.ID).
+	JobID int
+	// Resource is the binding resource, "memory" or "cpu".
+	Resource string
+	// Need is the job's per-task requirement of the binding resource.
+	Need float64
+	// MaxCap is the largest per-node capacity of that resource in the
+	// cluster.
+	MaxCap float64
+}
+
+// Error implements error, naming the job and the binding resource.
+func (e *UnschedulableError) Error() string {
+	return fmt.Sprintf("sim: job %d is unschedulable: per-task %s requirement %g exceeds every node (max capacity %g)",
+		e.JobID, e.Resource, e.Need, e.MaxCap)
 }
 
 // Simulator executes one scheduling algorithm over one trace.
 type Simulator struct {
 	cfg   Config
 	sched Scheduler
+	obs   Observer
 
 	now     float64
 	jobs    []*jobRT
@@ -239,7 +267,7 @@ func New(cfg Config, sched Scheduler) (*Simulator, error) {
 	if cfg.Penalty < 0 {
 		return nil, fmt.Errorf("sim: negative penalty %g", cfg.Penalty)
 	}
-	s := &Simulator{cfg: cfg, sched: sched}
+	s := &Simulator{cfg: cfg, sched: sched, obs: cfg.Observer}
 	n := cfg.Trace.Nodes
 	s.cl = cfg.Cluster
 	if s.cl == nil {
@@ -250,6 +278,22 @@ func New(cfg Config, sched Scheduler) (*Simulator, error) {
 	}
 	if s.cl.N() != n {
 		return nil, fmt.Errorf("sim: cluster has %d nodes but trace %q targets %d", s.cl.N(), cfg.Trace.Name, n)
+	}
+	// Eager unschedulability check: a job whose per-task requirement
+	// exceeds every node of the materialised cluster can never be placed,
+	// so reject the trace up front instead of starving at run time.
+	var maxCPU, maxMem float64
+	for node := 0; node < n; node++ {
+		maxCPU = math.Max(maxCPU, s.cl.CPUCap(node))
+		maxMem = math.Max(maxMem, s.cl.MemCap(node))
+	}
+	for _, j := range cfg.Trace.Jobs {
+		if !floats.LessEq(j.MemReq, maxMem) {
+			return nil, &UnschedulableError{JobID: j.ID, Resource: "memory", Need: j.MemReq, MaxCap: maxMem}
+		}
+		if !floats.LessEq(j.CPUNeed, maxCPU) {
+			return nil, &UnschedulableError{JobID: j.ID, Resource: "cpu", Need: j.CPUNeed, MaxCap: maxCPU}
+		}
 	}
 	s.usedCPU = make([]float64, n)
 	s.cpuLoad = make([]float64, n)
@@ -274,11 +318,29 @@ func New(cfg Config, sched Scheduler) (*Simulator, error) {
 // simulation fails if the event queue drains while jobs remain (scheduler
 // livelock) or the simulated clock exceeds MaxSimTime.
 func (s *Simulator) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// between simulation events, so a cancelled or deadline-exceeded context
+// stops the run at event granularity with an error wrapping ctx.Err(). A
+// context that can never be cancelled adds a single nil comparison per
+// event to the hot path.
+func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
+	done := ctx.Done()
 	for jid := range s.jobs {
 		s.queue.Push(s.jobs[jid].job.Submit, arrivalEv{jid: jid})
 	}
-	s.invoke(func() { s.sched.Init(&s.ctl) })
+	s.invoke("init", func() { s.sched.Init(&s.ctl) })
 	for s.remainingJobs > 0 {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("sim: %s stopped at t=%.1f with %d jobs unfinished: %w",
+					s.sched.Name(), s.now, s.remainingJobs, ctx.Err())
+			default:
+			}
+		}
 		ev := s.queue.Pop()
 		if ev == nil {
 			return nil, fmt.Errorf("sim: %s deadlocked at t=%.1f with %d jobs unfinished",
@@ -292,17 +354,20 @@ func (s *Simulator) Run() (*Result, error) {
 		switch p := ev.Payload.(type) {
 		case arrivalEv:
 			s.record(TlSubmit, p.jid, 0, 0)
-			s.invoke(func() { s.sched.OnArrival(&s.ctl, p.jid) })
+			if s.obs != nil {
+				s.obs.JobSubmitted(s.now, p.jid)
+			}
+			s.invoke("arrival", func() { s.sched.OnArrival(&s.ctl, p.jid) })
 		case completionEv:
 			if p.gen != s.completionGen {
 				break // stale tentative completion
 			}
 			s.pendingComplete = nil
 			for _, jid := range s.finishDue() {
-				s.invoke(func() { s.sched.OnCompletion(&s.ctl, jid) })
+				s.invoke("completion", func() { s.sched.OnCompletion(&s.ctl, jid) })
 			}
 		case timerEv:
-			s.invoke(func() { s.sched.OnTimer(&s.ctl, p.tag) })
+			s.invoke("timer", func() { s.sched.OnTimer(&s.ctl, p.tag) })
 		}
 		s.rescheduleCompletion()
 		if s.cfg.CheckInvariants {
@@ -319,9 +384,9 @@ func (s *Simulator) Run() (*Result, error) {
 	return &s.result, nil
 }
 
-func (s *Simulator) invoke(hook func()) {
-	if !s.cfg.RecordSchedTimes {
-		hook()
+func (s *Simulator) invoke(hook string, fn func()) {
+	if !s.cfg.RecordSchedTimes && s.obs == nil {
+		fn()
 		return
 	}
 	inSystem := 0
@@ -331,11 +396,17 @@ func (s *Simulator) invoke(hook func()) {
 		}
 	}
 	t0 := time.Now()
-	hook()
-	s.result.SchedSamples = append(s.result.SchedSamples, SchedSample{
-		JobsInSystem: inSystem,
-		Seconds:      time.Since(t0).Seconds(),
-	})
+	fn()
+	elapsed := time.Since(t0)
+	if s.cfg.RecordSchedTimes {
+		s.result.SchedSamples = append(s.result.SchedSamples, SchedSample{
+			JobsInSystem: inSystem,
+			Seconds:      elapsed.Seconds(),
+		})
+	}
+	if s.obs != nil {
+		s.obs.SchedulerInvoked(s.now, hook, inSystem, elapsed)
+	}
 }
 
 // advance moves the clock to t, accruing virtual time for running jobs.
@@ -385,6 +456,9 @@ func (s *Simulator) finishDue() []int {
 			s.result.Makespan = j.finish
 		}
 		s.record(TlFinish, jid, 0, 0)
+		if s.obs != nil {
+			s.obs.JobCompleted(s.now, jid, j.finish-j.job.Submit)
+		}
 		done = append(done, jid)
 	}
 	return done

@@ -1,0 +1,53 @@
+package dfrs
+
+import (
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Scheduler is the algorithm interface the simulator drives: one hook per
+// simulation event (Init, OnArrival, OnCompletion, OnTimer), each
+// inspecting and mutating cluster state through the Controller. Implement
+// it to bring an out-of-tree scheduling algorithm to Run and Campaign via
+// RegisterAlgorithm; the nine paper algorithms are implementations of the
+// same interface and register themselves the same way.
+type Scheduler = sim.Scheduler
+
+// Controller is the interface a Scheduler uses to inspect and mutate
+// cluster state: job snapshots, per-node loads and capacities, and the
+// Section II-B1 operations (Start, Pause, Resume, Migrate, SetYield,
+// SetTimer).
+type Controller = sim.Controller
+
+// JobInfo is a read-only snapshot of one job's simulation state, as
+// returned by Controller.Job.
+type JobInfo = sim.JobInfo
+
+// JobState is the lifecycle state of a job inside the simulator.
+type JobState = sim.JobState
+
+// Job lifecycle states.
+const (
+	// JobPending jobs have been submitted and hold no resources.
+	JobPending = sim.Pending
+	// JobRunning jobs hold nodes and progress at their yield.
+	JobRunning = sim.Running
+	// JobPaused jobs were preempted and hold no resources.
+	JobPaused = sim.Paused
+	// JobDone jobs have completed.
+	JobDone = sim.Done
+)
+
+// RegisterAlgorithm adds a named scheduler constructor to the registry
+// shared by Run, Campaign and the CLIs, making out-of-tree schedulers
+// first-class: once registered, the name is accepted everywhere a built-in
+// algorithm name is and appears in Algorithms. The constructor must return
+// a fresh instance on every call — schedulers carry per-run state. It
+// returns an error for an empty name, a nil constructor, or a name that is
+// already registered.
+func RegisterAlgorithm(name string, constructor func() Scheduler) error {
+	if constructor == nil {
+		return sched.RegisterFactory(name, nil)
+	}
+	return sched.RegisterFactory(name, sched.Factory(constructor))
+}

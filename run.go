@@ -1,0 +1,327 @@
+package dfrs
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// defaultMaxSimTime is the livelock guard for facade runs: 50 years of
+// simulated time.
+const defaultMaxSimTime = 50 * 365 * 24 * 3600
+
+// Observer receives scheduling transitions live as a simulation executes:
+// JobSubmitted, JobStarted, JobPreempted, JobMigrated, JobCompleted, and
+// SchedulerInvoked with wall-clock timing. Attach one with WithObserver;
+// see Stream for a channel-based consumer. Event sequences are
+// deterministic for a fixed (trace, algorithm, cluster, penalty); only the
+// Elapsed timing of scheduler invocations varies between runs.
+type Observer = sim.Observer
+
+// Event is one observer callback as a value, the element type of Stream's
+// channel.
+type Event = sim.Event
+
+// EventKind labels an Event.
+type EventKind = sim.EventKind
+
+// Event kinds delivered by Stream and EventRecorder.
+const (
+	EvSubmitted        = sim.EvSubmitted
+	EvStarted          = sim.EvStarted
+	EvPreempted        = sim.EvPreempted
+	EvMigrated         = sim.EvMigrated
+	EvCompleted        = sim.EvCompleted
+	EvSchedulerInvoked = sim.EvSchedulerInvoked
+)
+
+// EventRecorder is an Observer that collects every event in memory, useful
+// for tests and post-run analysis.
+type EventRecorder = sim.Recorder
+
+// UnschedulableError reports a job whose per-task requirement for the
+// binding resource exceeds every node of the materialised cluster; Run and
+// Campaign reject such traces eagerly instead of letting them starve.
+type UnschedulableError = sim.UnschedulableError
+
+// JobResult records the outcome of one job of a finished run.
+type JobResult = sim.JobResult
+
+// TimelineEvent is one recorded per-job scheduling transition (see
+// WithTimeline).
+type TimelineEvent = sim.TimelineEvent
+
+// Segment is one homogeneous interval of a job's recorded timeline.
+type Segment = sim.Segment
+
+// RunOption configures one simulation run.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	penalty    float64
+	nodeMix    string
+	check      bool
+	timeline   bool
+	maxSimTime float64
+	observer   sim.Observer
+}
+
+// WithPenalty sets the rescheduling penalty in seconds charged to every
+// resume and migration (the paper evaluates 0 and 300; the default is 0).
+func WithPenalty(seconds float64) RunOption {
+	return func(c *runConfig) { c.penalty = seconds }
+}
+
+// WithNodeMix selects a heterogeneous node-mix profile (see NodeMixes)
+// laid out over the trace's node count. The default is the paper's
+// homogeneous platform.
+func WithNodeMix(profile string) RunOption {
+	return func(c *runConfig) { c.nodeMix = profile }
+}
+
+// WithInvariantChecking enables per-event state validation (slow; for
+// tests).
+func WithInvariantChecking() RunOption {
+	return func(c *runConfig) { c.check = true }
+}
+
+// WithTimeline records every per-job scheduling transition so the run can
+// be rendered as a Gantt chart (Result.Timeline, Result.JobSegments).
+func WithTimeline() RunOption {
+	return func(c *runConfig) { c.timeline = true }
+}
+
+// WithMaxSimTime overrides the livelock guard: a run whose simulated clock
+// passes this many seconds fails. The default is 50 simulated years; 0
+// disables the guard.
+func WithMaxSimTime(seconds float64) RunOption {
+	return func(c *runConfig) { c.maxSimTime = seconds }
+}
+
+// WithObserver attaches an observer that receives every scheduling
+// transition live. Multiple WithObserver options fan out in order.
+// Observation never changes results: an observed run produces the
+// identical Result as an unobserved one.
+func WithObserver(o Observer) RunOption {
+	return func(c *runConfig) {
+		switch {
+		case o == nil:
+		case c.observer == nil:
+			c.observer = o
+		default:
+			if f, ok := c.observer.(sim.FanoutObserver); ok {
+				c.observer = append(f, o)
+			} else {
+				c.observer = sim.FanoutObserver{c.observer, o}
+			}
+		}
+	}
+}
+
+// Result wraps a finished simulation.
+type Result struct {
+	r *sim.Result
+}
+
+// Run simulates the named algorithm over the trace. The context is checked
+// between simulation events, so cancellation or a deadline stops the run at
+// event granularity with an error wrapping ctx.Err(); context.Background()
+// runs to completion. Options default to the paper's homogeneous platform
+// with no rescheduling penalty.
+func Run(ctx context.Context, t Trace, algorithm string, opts ...RunOption) (Result, error) {
+	cfg := runConfig{maxSimTime: defaultMaxSimTime}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	s, err := sched.New(algorithm)
+	if err != nil {
+		return Result{}, err
+	}
+	cl, err := cluster.Profile(cfg.nodeMix, t.t.Nodes)
+	if err != nil {
+		return Result{}, err
+	}
+	simulator, err := sim.New(sim.Config{
+		Trace:           t.t,
+		Cluster:         cl,
+		Penalty:         cfg.penalty,
+		CheckInvariants: cfg.check,
+		RecordTimeline:  cfg.timeline,
+		MaxSimTime:      cfg.maxSimTime,
+		Observer:        cfg.observer,
+	}, s)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := simulator.RunContext(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := metrics.Validate(res); err != nil {
+		return Result{}, err
+	}
+	return Result{r: res}, nil
+}
+
+// Stream runs the simulation in a background goroutine and returns its
+// scheduling transitions as a typed event channel, enabling live
+// dashboards, online metrics and early termination at event granularity.
+// The channel is unbuffered — the simulation advances in lockstep with the
+// consumer — and is closed when the run ends. The returned wait function
+// blocks until then and returns the final Result (it may be called before
+// or after draining the channel; an abandoned channel is drained by wait
+// itself, so `for range events` loops may break early as long as wait is
+// eventually called). Cancelling the context stops the run between two
+// events.
+func Stream(ctx context.Context, t Trace, algorithm string, opts ...RunOption) (<-chan Event, func() (Result, error)) {
+	ch := make(chan Event)
+	bridge := &chanObserver{ch: ch, abandoned: make(chan struct{})}
+	done := make(chan struct{})
+	var (
+		res Result
+		err error
+	)
+	go func() {
+		defer close(done)
+		defer close(ch)
+		res, err = Run(ctx, t, algorithm, append(opts, WithObserver(bridge))...)
+	}()
+	wait := func() (Result, error) {
+		bridge.abandon() // unblock the producer if the consumer stopped reading
+		<-done
+		return res, err
+	}
+	return ch, wait
+}
+
+// chanObserver bridges observer callbacks onto an event channel. After
+// abandon, events are discarded so the simulation can finish even when the
+// consumer stopped reading.
+type chanObserver struct {
+	ch        chan Event
+	abandoned chan struct{}
+	once      sync.Once
+}
+
+func (c *chanObserver) abandon() {
+	c.once.Do(func() { close(c.abandoned) })
+}
+
+func (c *chanObserver) send(e Event) {
+	select {
+	case c.ch <- e:
+	case <-c.abandoned:
+	}
+}
+
+// JobSubmitted implements Observer.
+func (c *chanObserver) JobSubmitted(now float64, jid int) {
+	c.send(Event{Kind: EvSubmitted, Time: now, JID: jid})
+}
+
+// JobStarted implements Observer.
+func (c *chanObserver) JobStarted(now float64, jid int, nodes []int) {
+	c.send(Event{Kind: EvStarted, Time: now, JID: jid, Nodes: nodes})
+}
+
+// JobPreempted implements Observer.
+func (c *chanObserver) JobPreempted(now float64, jid int) {
+	c.send(Event{Kind: EvPreempted, Time: now, JID: jid})
+}
+
+// JobMigrated implements Observer.
+func (c *chanObserver) JobMigrated(now float64, jid int, nodes []int) {
+	c.send(Event{Kind: EvMigrated, Time: now, JID: jid, Nodes: nodes})
+}
+
+// JobCompleted implements Observer.
+func (c *chanObserver) JobCompleted(now float64, jid int, turnaround float64) {
+	c.send(Event{Kind: EvCompleted, Time: now, JID: jid, Turnaround: turnaround})
+}
+
+// SchedulerInvoked implements Observer.
+func (c *chanObserver) SchedulerInvoked(now float64, hook string, jobsInSystem int, elapsed time.Duration) {
+	c.send(Event{Kind: EvSchedulerInvoked, Time: now, Hook: hook, JobsInSystem: jobsInSystem, Elapsed: elapsed})
+}
+
+// Algorithm returns the algorithm that produced this result.
+func (r Result) Algorithm() string { return r.r.Algorithm }
+
+// Makespan returns the completion time of the last job, in seconds.
+func (r Result) Makespan() float64 { return r.r.Makespan }
+
+// MaxStretch returns the maximum bounded stretch over all jobs, the
+// paper's headline metric.
+func (r Result) MaxStretch() float64 { return metrics.Summarize(r.r).MaxStretch }
+
+// Utilization returns the fraction of cluster CPU capacity that delivered
+// useful work over the makespan (Section II-B2's platform-utilization
+// view).
+func (r Result) Utilization() float64 { return r.r.Utilization() }
+
+// AvgStretch returns the average bounded stretch over all jobs.
+func (r Result) AvgStretch() float64 { return metrics.Summarize(r.r).AvgStretch }
+
+// Events returns the number of simulation events processed.
+func (r Result) Events() int { return r.r.Events }
+
+// Preemptions returns the number of preemption operations charged to the
+// run (Table II occurrences).
+func (r Result) Preemptions() int { return r.r.PreemptionOps }
+
+// Migrations returns the number of migration operations charged to the
+// run.
+func (r Result) Migrations() int { return r.r.MigrationOps }
+
+// Jobs returns a copy of the per-job outcomes, ordered by job ID.
+func (r Result) Jobs() []JobResult { return append([]JobResult(nil), r.r.Jobs...) }
+
+// Timeline returns the recorded per-job scheduling transitions; empty
+// unless the run used WithTimeline.
+func (r Result) Timeline() []TimelineEvent {
+	return append([]TimelineEvent(nil), r.r.Timeline...)
+}
+
+// JobSegments reconstructs job jid's life as contiguous
+// waiting/running/frozen/paused segments from the recorded timeline; nil
+// unless the run used WithTimeline.
+func (r Result) JobSegments(jid int) []Segment { return r.r.JobSegments(jid) }
+
+// JobStretches returns the bounded stretch of every job, indexed as in
+// Trace.Jobs ordering by job ID.
+func (r Result) JobStretches() []float64 {
+	out := make([]float64, len(r.r.Jobs))
+	for i, jr := range r.r.Jobs {
+		out[i] = metrics.BoundedStretch(jr.Turnaround, jr.Job.ExecTime)
+	}
+	return out
+}
+
+// Costs summarizes preemption/migration bandwidth and operation rates as in
+// Table II.
+func (r Result) Costs() CostSummary {
+	c := metrics.Costs(r.r)
+	return CostSummary{
+		PreemptionGBps:     c.PmtnGBps,
+		MigrationGBps:      c.MigGBps,
+		PreemptionsPerHour: c.PmtnPerHour,
+		MigrationsPerHour:  c.MigPerHour,
+		PreemptionsPerJob:  c.PmtnPerJob,
+		MigrationsPerJob:   c.MigPerJob,
+	}
+}
+
+// CostSummary mirrors one row of the paper's Table II for one run.
+type CostSummary struct {
+	PreemptionGBps     float64
+	MigrationGBps      float64
+	PreemptionsPerHour float64
+	MigrationsPerHour  float64
+	PreemptionsPerJob  float64
+	MigrationsPerJob   float64
+}

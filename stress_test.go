@@ -1,6 +1,7 @@
 package dfrs_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -59,10 +60,8 @@ func TestRandomWorkloadStress(t *testing.T) {
 			}
 			penalty := []float64{0, 300}[r.Intn(2)]
 			for _, alg := range algorithms {
-				res, err := dfrs.Run(tr, alg, dfrs.RunOptions{
-					PenaltySeconds:  penalty,
-					CheckInvariants: true,
-				})
+				res, err := dfrs.Run(context.Background(), tr, alg,
+					dfrs.WithPenalty(penalty), dfrs.WithInvariantChecking())
 				if err != nil {
 					t.Fatalf("%s (penalty %.0f): %v", alg, penalty, err)
 				}

@@ -1,6 +1,7 @@
 package dfrs_test
 
 import (
+	"context"
 	"testing"
 
 	dfrs "repro"
@@ -18,7 +19,7 @@ func TestWeightedJobFinishesFaster(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := dfrs.Run(tr, "dynmcb8", dfrs.RunOptions{CheckInvariants: true})
+	res, err := dfrs.Run(context.Background(), tr, "dynmcb8", dfrs.WithInvariantChecking())
 	if err != nil {
 		t.Fatal(err)
 	}
