@@ -1,0 +1,274 @@
+package dfrs_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	dfrs "repro"
+)
+
+// v2Trace builds a small contended instance for the v2-surface tests.
+func v2Trace(t *testing.T) dfrs.Trace {
+	t.Helper()
+	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 33, Nodes: 32, Jobs: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := tr.ScaleToLoad(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scaled
+}
+
+// stripElapsed zeroes the only nondeterministic event field.
+func stripElapsed(evs []dfrs.Event) []dfrs.Event {
+	out := append([]dfrs.Event(nil), evs...)
+	for i := range out {
+		out[i].Elapsed = 0
+	}
+	return out
+}
+
+// TestObserverSequenceDeterministicThroughFacade runs the same simulation
+// twice through Run with observers and demands identical event sequences.
+func TestObserverSequenceDeterministicThroughFacade(t *testing.T) {
+	tr := v2Trace(t)
+	record := func() []dfrs.Event {
+		rec := &dfrs.EventRecorder{}
+		if _, err := dfrs.Run(context.Background(), tr, "greedy-pmtn",
+			dfrs.WithPenalty(300), dfrs.WithObserver(rec)); err != nil {
+			t.Fatal(err)
+		}
+		return stripElapsed(rec.Events())
+	}
+	a, b := record(), record()
+	if len(a) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("event sequences differ across identical runs")
+	}
+}
+
+// TestStreamMatchesObservedRun checks Stream delivers exactly the observer
+// event sequence and the same final result as a blocking Run.
+func TestStreamMatchesObservedRun(t *testing.T) {
+	tr := v2Trace(t)
+	rec := &dfrs.EventRecorder{}
+	blocking, err := dfrs.Run(context.Background(), tr, "dynmcb8-per",
+		dfrs.WithPenalty(300), dfrs.WithObserver(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events, wait := dfrs.Stream(context.Background(), tr, "dynmcb8-per", dfrs.WithPenalty(300))
+	var streamed []dfrs.Event
+	for ev := range events {
+		streamed = append(streamed, ev)
+	}
+	res, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxStretch() != blocking.MaxStretch() || res.Makespan() != blocking.Makespan() ||
+		res.Events() != blocking.Events() {
+		t.Errorf("streamed result differs from blocking run")
+	}
+	if !reflect.DeepEqual(stripElapsed(streamed), stripElapsed(rec.Events())) {
+		t.Error("streamed events differ from observer events")
+	}
+}
+
+// TestStreamEarlyBreak abandons the channel mid-run; wait must still
+// drain, finish the simulation, and return the result.
+func TestStreamEarlyBreak(t *testing.T) {
+	tr := v2Trace(t)
+	events, wait := dfrs.Stream(context.Background(), tr, "easy")
+	seen := 0
+	for range events {
+		if seen++; seen >= 5 {
+			break
+		}
+	}
+	res, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan() <= 0 {
+		t.Error("abandoned stream did not finish the run")
+	}
+}
+
+// TestRunCancellation covers both pre-cancelled contexts and cancellation
+// mid-run from an observer hook: Run must stop at event granularity with
+// an error wrapping context.Canceled.
+func TestRunCancellation(t *testing.T) {
+	tr := v2Trace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := dfrs.Run(ctx, tr, "easy"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Run: err = %v, want context.Canceled", err)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	events, wait := dfrs.Stream(ctx2, tr, "easy")
+	completions := 0
+	for ev := range events {
+		if ev.Kind == dfrs.EvCompleted {
+			if completions++; completions == 3 {
+				cancel2()
+			}
+		}
+	}
+	if _, err := wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel: err = %v, want context.Canceled", err)
+	}
+	if completions < 3 || completions >= len(tr.Jobs()) {
+		t.Errorf("cancelled run completed %d of %d jobs", completions, len(tr.Jobs()))
+	}
+}
+
+// TestRunWithOptionsMatchesV2 pins the deprecated v1 wrapper to the v2
+// entry point: identical results for identical settings.
+func TestRunWithOptionsMatchesV2(t *testing.T) {
+	tr := v2Trace(t)
+	v1, err := dfrs.RunWithOptions(tr, "greedy-pmtn", dfrs.RunOptions{PenaltySeconds: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := dfrs.Run(context.Background(), tr, "greedy-pmtn", dfrs.WithPenalty(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.MaxStretch() != v2.MaxStretch() || v1.Makespan() != v2.Makespan() || v1.Events() != v2.Events() {
+		t.Errorf("v1 wrapper diverged from v2: (%v,%v) vs (%v,%v)",
+			v1.MaxStretch(), v1.Makespan(), v2.MaxStretch(), v2.Makespan())
+	}
+}
+
+// toyScheduler is the out-of-tree registration round-trip subject: a
+// deliberately naive FCFS-with-sharing scheduler written against only the
+// public Scheduler/Controller surface.
+type toyScheduler struct{}
+
+func (toyScheduler) Name() string                    { return "toy-fcfs-share" }
+func (toyScheduler) Init(*dfrs.Controller)           {}
+func (toyScheduler) OnTimer(*dfrs.Controller, int64) {}
+func (toyScheduler) OnArrival(ctl *dfrs.Controller, jid int) {
+	toyStartAll(ctl)
+}
+func (toyScheduler) OnCompletion(ctl *dfrs.Controller, jid int) {
+	toyStartAll(ctl)
+}
+
+// toyStartAll starts every placeable pending job in submission order (first
+// fit by free memory, with the float tolerance any real scheduler needs
+// against accumulated release residue) and reapplies the uniform greedy
+// yield.
+func toyStartAll(ctl *dfrs.Controller) {
+	const eps = 1e-9
+	for _, jid := range ctl.JobsInState(dfrs.JobPending) {
+		ji := ctl.Job(jid)
+		extra := make([]float64, ctl.NumNodes())
+		nodes := make([]int, 0, ji.Job.Tasks)
+		for task := 0; task < ji.Job.Tasks; task++ {
+			placed := false
+			for n := 0; n < ctl.NumNodes() && !placed; n++ {
+				if ctl.FreeMem(n)-extra[n] >= ji.Job.MemReq-eps {
+					nodes = append(nodes, n)
+					extra[n] += ji.Job.MemReq
+					placed = true
+				}
+			}
+			if !placed {
+				break
+			}
+		}
+		if len(nodes) == ji.Job.Tasks {
+			ctl.Start(jid, nodes)
+		}
+	}
+	running := ctl.JobsInState(dfrs.JobRunning)
+	y := 1.0 / math.Max(1, ctl.MaxCPULoad())
+	for _, jid := range running {
+		ctl.SetYield(jid, 0)
+	}
+	for _, jid := range running {
+		ctl.SetYield(jid, y)
+	}
+}
+
+// TestRegisterAlgorithmRoundTrip registers a toy out-of-tree scheduler and
+// drives it through the full public pipeline: listing, Run with invariant
+// checking, and duplicate/invalid registration errors.
+func TestRegisterAlgorithmRoundTrip(t *testing.T) {
+	if err := dfrs.RegisterAlgorithm("toy-fcfs-share", func() dfrs.Scheduler { return toyScheduler{} }); err != nil {
+		t.Fatal(err)
+	}
+	if !dfrs.KnownAlgorithm("toy-fcfs-share") {
+		t.Fatal("registered algorithm not listed")
+	}
+	found := false
+	for _, name := range dfrs.Algorithms() {
+		if name == "toy-fcfs-share" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Algorithms() does not include the registered scheduler")
+	}
+
+	tr := v2Trace(t)
+	res, err := dfrs.Run(context.Background(), tr, "toy-fcfs-share", dfrs.WithInvariantChecking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Jobs()); got != len(tr.Jobs()) {
+		t.Errorf("toy scheduler finished %d of %d jobs", got, len(tr.Jobs()))
+	}
+	if res.MaxStretch() < 1 || math.IsNaN(res.MaxStretch()) {
+		t.Errorf("toy scheduler max stretch = %v", res.MaxStretch())
+	}
+
+	if err := dfrs.RegisterAlgorithm("toy-fcfs-share", func() dfrs.Scheduler { return toyScheduler{} }); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := dfrs.RegisterAlgorithm("", func() dfrs.Scheduler { return toyScheduler{} }); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := dfrs.RegisterAlgorithm("toy-nil", nil); err == nil {
+		t.Error("nil constructor accepted")
+	}
+}
+
+// TestSchedulerInvokedTiming checks the timing side channel delivers
+// non-negative wall-clock durations and job counts.
+func TestSchedulerInvokedTiming(t *testing.T) {
+	tr := v2Trace(t)
+	rec := &dfrs.EventRecorder{}
+	if _, err := dfrs.Run(context.Background(), tr, "easy", dfrs.WithObserver(rec)); err != nil {
+		t.Fatal(err)
+	}
+	invocations := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind != dfrs.EvSchedulerInvoked {
+			continue
+		}
+		invocations++
+		if ev.Elapsed < 0 || ev.Elapsed > time.Minute {
+			t.Errorf("implausible hook duration %v", ev.Elapsed)
+		}
+		if ev.JobsInSystem < 0 || ev.JobsInSystem > len(tr.Jobs()) {
+			t.Errorf("implausible jobs-in-system %d", ev.JobsInSystem)
+		}
+	}
+	if invocations == 0 {
+		t.Error("no scheduler invocations observed")
+	}
+}
