@@ -51,7 +51,8 @@ func main() {
 		traces    = flag.Int("traces", 3, "synthetic traces per seed (paper: 100)")
 		jobs      = flag.Int("jobs", 150, "jobs per synthetic trace (paper: 1000)")
 		nodes     = flag.String("nodes", "128", "comma-separated cluster sizes (paper: 128)")
-		nodeMix   = flag.String("node-mix", "", "comma-separated node-mix profiles (uniform, bimodal, powerlaw); empty = homogeneous")
+		nodeMix   = flag.String("node-mix", "", "comma-separated node-mix profiles (uniform, bimodal, powerlaw, gpu-uniform, gpu-bimodal); empty = homogeneous")
+		gpuFrac   = flag.Float64("gpu-frac", 0, "fraction of each cell's jobs given a GPU demand (adds a third resource dimension)")
 		loads     = flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9", "comma-separated load levels; 0 means unscaled")
 		penalties = flag.String("penalties", "300", "comma-separated rescheduling penalties in seconds")
 		weeks     = flag.Int("weeks", 0, "HPC2N-like weekly segments to add as a second family (0 = none; paper: 182)")
@@ -64,7 +65,7 @@ func main() {
 	)
 	flag.Parse()
 
-	g, err := buildGrid(*preset, *algs, *seeds, *traces, *jobs, *nodes, *nodeMix, *loads, *penalties, *weeks)
+	g, err := buildGrid(*preset, *algs, *seeds, *traces, *jobs, *nodes, *nodeMix, *loads, *penalties, *weeks, *gpuFrac)
 	if err != nil {
 		fatal(err)
 	}
@@ -114,7 +115,7 @@ func main() {
 // dimensions that define the paper campaign, so -traces/-jobs/-seeds still
 // scale them. Flag values are validated eagerly so a bad sweep fails with a
 // clear message before any cell runs.
-func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loads, penalties string, weeks int) (*dfrs.Grid, error) {
+func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loads, penalties string, weeks int, gpuFrac float64) (*dfrs.Grid, error) {
 	seedList, err := parseUints(seeds)
 	if err != nil {
 		return nil, fmt.Errorf("bad -seeds: %w", err)
@@ -155,6 +156,9 @@ func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loa
 			return nil, fmt.Errorf("bad -penalties: negative penalty %g", p)
 		}
 	}
+	if !(gpuFrac >= 0 && gpuFrac <= 1) { // negated so NaN is rejected too
+		return nil, fmt.Errorf("bad -gpu-frac: fraction %g outside [0,1]", gpuFrac)
+	}
 	mixList := splitList(nodeMix)
 	for _, mix := range mixList {
 		if !dfrs.ValidNodeMix(mix) {
@@ -176,6 +180,7 @@ func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loa
 		Penalties:    penList,
 		Nodes:        nodeList,
 		NodeMixes:    mixList,
+		GPUFrac:      gpuFrac,
 		JobsPerTrace: jobs,
 	}
 	if weeks > 0 {

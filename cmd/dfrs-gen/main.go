@@ -18,18 +18,20 @@ import (
 	"repro/internal/hpc2n"
 	"repro/internal/lublin"
 	"repro/internal/rng"
+	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		model = flag.String("model", "lublin", "workload model: lublin or hpc2n")
-		nodes = flag.Int("nodes", 128, "cluster size (lublin)")
-		jobs  = flag.Int("jobs", 1000, "number of jobs (lublin)")
-		weeks = flag.Int("weeks", 4, "weeks of log (hpc2n)")
-		seed  = flag.Uint64("seed", 1, "generator seed")
-		load  = flag.Float64("load", 0, "rescale to this offered load (0 = keep natural load)")
-		swfFl = flag.Bool("swf", false, "emit raw SWF instead of the trace format (hpc2n only)")
-		name  = flag.String("name", "", "trace name (default derived from model and seed)")
+		model   = flag.String("model", "lublin", "workload model: lublin or hpc2n")
+		nodes   = flag.Int("nodes", 128, "cluster size (lublin)")
+		jobs    = flag.Int("jobs", 1000, "number of jobs (lublin)")
+		weeks   = flag.Int("weeks", 4, "weeks of log (hpc2n)")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		load    = flag.Float64("load", 0, "rescale to this offered load (0 = keep natural load)")
+		gpuFrac = flag.Float64("gpu-frac", 0, "fraction of jobs given a GPU demand in [0.1,0.5] (adds a gpu column to the trace format)")
+		swfFl   = flag.Bool("swf", false, "emit raw SWF instead of the trace format (hpc2n only)")
+		name    = flag.String("name", "", "trace name (default derived from model and seed)")
 	)
 	flag.Parse()
 
@@ -40,22 +42,16 @@ func main() {
 	defer stop()
 	var out io.Writer = cli.Writer(ctx, os.Stdout)
 
+	var tr *workload.Trace
 	switch *model {
 	case "lublin":
 		n := *name
 		if n == "" {
 			n = fmt.Sprintf("lublin-seed%d", *seed)
 		}
-		tr, err := lublin.GenerateTrace(rng.New(*seed), lublin.DefaultParams(*nodes), *jobs, n)
+		var err error
+		tr, err = lublin.GenerateTrace(rng.New(*seed), lublin.DefaultParams(*nodes), *jobs, n)
 		if err != nil {
-			fatal(err)
-		}
-		if *load > 0 {
-			if tr, err = tr.ScaleToLoad(*load); err != nil {
-				fatal(err)
-			}
-		}
-		if err := tr.Encode(out); err != nil {
 			fatal(err)
 		}
 	case "hpc2n":
@@ -75,22 +71,33 @@ func main() {
 		if n == "" {
 			n = fmt.Sprintf("hpc2n-like-seed%d", *seed)
 		}
-		tr, st, err := hpc2n.Preprocess(log, n)
+		var st hpc2n.PreprocessStats
+		tr, st, err = hpc2n.Preprocess(log, n)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "dfrs-gen: %d/%d jobs kept (%d missing memory, %d dropped)\n",
 			st.Kept, st.Total, st.MissingMemory, st.DroppedRuntime+st.DroppedSize)
-		if *load > 0 {
-			if tr, err = tr.ScaleToLoad(*load); err != nil {
-				fatal(err)
-			}
-		}
-		if err := tr.Encode(out); err != nil {
-			fatal(err)
-		}
 	default:
 		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+	// Shared post-processing: optional GPU-demand axis, load rescaling,
+	// trace-format encoding.
+	var err error
+	if *gpuFrac > 0 {
+		tr, err = workload.AttachGPUDemand(tr, rng.New(*seed).Split("gpu"),
+			*gpuFrac, workload.GPUDemandLo, workload.GPUDemandHi)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *load > 0 {
+		if tr, err = tr.ScaleToLoad(*load); err != nil {
+			fatal(err)
+		}
+	}
+	if err := tr.Encode(out); err != nil {
+		fatal(err)
 	}
 }
 

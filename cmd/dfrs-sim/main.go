@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	dfrs "repro"
@@ -34,7 +35,9 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "synthetic workload seed")
 		jobs      = flag.Int("jobs", 300, "synthetic workload size")
 		nodes     = flag.Int("nodes", 128, "synthetic cluster size")
-		nodeMix   = flag.String("node-mix", "", "node-mix profile (uniform, bimodal, powerlaw); empty = homogeneous")
+		nodeMix   = flag.String("node-mix", "", "node-mix profile (see dfrs.NodeMixes, e.g. bimodal, gpu-bimodal); empty = homogeneous")
+		resources = flag.String("resources", "", "comma-separated resource dimensions, e.g. cpu,mem,gpu; empty = cpu,mem (or the node-mix profile's own)")
+		gpuFrac   = flag.Float64("gpu-frac", 0, "fraction of synthetic jobs given a GPU demand (adds a third resource dimension)")
 		load      = flag.Float64("load", 0.7, "synthetic offered load (0 = natural)")
 		check     = flag.Bool("check", false, "enable per-event invariant checking")
 		events    = flag.Bool("events", false, "stream every scheduling transition live to stderr")
@@ -71,6 +74,9 @@ func main() {
 	if !dfrs.ValidNodeMix(*nodeMix) {
 		fatal(fmt.Errorf("bad -node-mix: unknown profile %q (known: %v)", *nodeMix, dfrs.NodeMixes()))
 	}
+	if !(*gpuFrac >= 0 && *gpuFrac <= 1) { // negated so NaN is rejected too
+		fatal(fmt.Errorf("bad -gpu-frac: fraction %g outside [0,1]", *gpuFrac))
+	}
 	if !dfrs.KnownAlgorithm(*alg) {
 		fatal(fmt.Errorf("bad -alg: unknown algorithm %q (known: %v)", *alg, dfrs.Algorithms()))
 	}
@@ -78,11 +84,14 @@ func main() {
 	ctx, stop := cli.SignalContext()
 	defer stop()
 
-	tr, err := loadTrace(*tracePath, *seed, *nodes, *jobs, *load)
+	tr, err := loadTrace(*tracePath, *seed, *nodes, *jobs, *load, *gpuFrac)
 	if err != nil {
 		fatal(err)
 	}
 	opts := []dfrs.RunOption{dfrs.WithPenalty(*penalty), dfrs.WithNodeMix(*nodeMix)}
+	if *resources != "" {
+		opts = append(opts, dfrs.WithResources(strings.Split(*resources, ",")...))
+	}
 	if *check {
 		opts = append(opts, dfrs.WithInvariantChecking())
 	}
@@ -217,7 +226,7 @@ func ganttLanes(res dfrs.Result, maxJobs int) []report.GanttLane {
 	return lanes
 }
 
-func loadTrace(path string, seed uint64, nodes, jobs int, load float64) (dfrs.Trace, error) {
+func loadTrace(path string, seed uint64, nodes, jobs int, load, gpuFrac float64) (dfrs.Trace, error) {
 	if path != "" {
 		f, err := os.Open(path)
 		if err != nil {
@@ -226,7 +235,7 @@ func loadTrace(path string, seed uint64, nodes, jobs int, load float64) (dfrs.Tr
 		defer f.Close()
 		return dfrs.ReadTrace(f)
 	}
-	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: seed, Nodes: nodes, Jobs: jobs})
+	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: seed, Nodes: nodes, Jobs: jobs, GPUFrac: gpuFrac})
 	if err != nil {
 		return dfrs.Trace{}, err
 	}

@@ -51,17 +51,24 @@
 // # Cluster resource model
 //
 // Every layer works against a shared cluster resource model
-// (internal/cluster): each node has its own CPU and memory capacity in
-// units of the paper's reference node. By default a trace runs on the
-// paper's homogeneous platform — Trace.Nodes reference nodes of capacity
-// 1.0 x 1.0 — and reproduces the published algorithms exactly.
-// Heterogeneous platforms are selected with WithNodeMix, one of the
-// deterministic named profiles listed by NodeMixes (for example "bimodal":
-// alternating double-capacity fat nodes and reference nodes). A job whose
-// per-task requirement exceeds every node of the materialised cluster can
-// never be placed; such traces are rejected up front with a typed
-// UnschedulableError naming the job and the binding resource instead of
-// starving at run time.
+// (internal/cluster): each node has its own capacity vector over named
+// resource dimensions in units of the paper's reference node. Dimensions
+// 0 and 1 are always CPU and memory — the paper's pair — and further
+// rigid dimensions (GPU, ...) are optional: WithResources("cpu", "mem",
+// "gpu") adds them, SyntheticOptions.GPUFrac decorates synthetic
+// workloads with GPU demands (Job.Extra), and the gpu-uniform/gpu-bimodal
+// node mixes model partially GPU-equipped platforms. By default a trace
+// runs on the paper's homogeneous platform — Trace.Nodes reference nodes
+// of capacity 1.0 x 1.0 — and reproduces the published algorithms
+// exactly. Heterogeneous platforms are selected with WithNodeMix, one of
+// the deterministic named profiles listed by NodeMixes (for example
+// "bimodal": alternating double-capacity fat nodes and reference nodes).
+// A job whose per-task requirement in any dimension exceeds every node of
+// the materialised cluster can never be placed; such traces are rejected
+// up front with a typed UnschedulableError naming the job and the binding
+// resource instead of starving at run time (and, similarly, with
+// InsufficientCapacityError when a job's simultaneous tasks exceed the
+// cluster's aggregate rigid capacity).
 //
 // # Campaigns
 //
@@ -149,10 +156,16 @@ type SyntheticOptions struct {
 	Nodes int // cluster size (the paper uses 128)
 	Jobs  int // number of jobs (the paper uses 1000)
 	Name  string
+	// GPUFrac, when positive, gives that fraction of the jobs a per-task
+	// GPU demand (resource dimension 2) drawn uniformly from [0.1, 0.5] of
+	// a reference node's GPU capacity, from a dedicated deterministic
+	// substream of Seed. Zero keeps the paper's two-resource workload.
+	GPUFrac float64
 }
 
 // SyntheticTrace draws a synthetic trace from the Lublin–Feitelson model
-// annotated with the paper's CPU needs and memory requirements.
+// annotated with the paper's CPU needs and memory requirements, and
+// optionally with a GPU-demand axis (SyntheticOptions.GPUFrac).
 func SyntheticTrace(opt SyntheticOptions) (Trace, error) {
 	if opt.Nodes <= 0 {
 		opt.Nodes = 128
@@ -166,6 +179,13 @@ func SyntheticTrace(opt SyntheticOptions) (Trace, error) {
 	tr, err := lublin.GenerateTrace(rng.New(opt.Seed), lublin.DefaultParams(opt.Nodes), opt.Jobs, opt.Name)
 	if err != nil {
 		return Trace{}, err
+	}
+	if opt.GPUFrac > 0 {
+		tr, err = workload.AttachGPUDemand(tr, rng.New(opt.Seed).Split("gpu"),
+			opt.GPUFrac, workload.GPUDemandLo, workload.GPUDemandHi)
+		if err != nil {
+			return Trace{}, err
+		}
 	}
 	return Trace{t: tr}, nil
 }

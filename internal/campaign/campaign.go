@@ -77,8 +77,16 @@ type Grid struct {
 	// giving each cell's per-node capacities; empty means the homogeneous
 	// platform. "uniform" and "" are aliases for homogeneous and expand to
 	// the same cell keys as grids predating the heterogeneity axis, so old
-	// checkpoints stay resumable.
+	// checkpoints stay resumable. Three-dimensional profiles ("gpu-uniform",
+	// "gpu-bimodal") give every cell a GPU capacity axis.
 	NodeMixes []string `json:"node_mixes,omitempty"`
+	// GPUFrac, when positive, gives that fraction of each cell's jobs a
+	// per-task GPU demand (resource dimension 2) drawn from the cell's
+	// deterministic RNG substream. Cells with a two-dimensional node mix
+	// are extended with a unit GPU capacity per node so the demand is
+	// satisfiable. Zero keeps the paper's two-resource workloads and the
+	// pre-GPU cell keys.
+	GPUFrac float64 `json:"gpu_frac,omitempty"`
 	// JobsPerTrace is the lublin trace length; 0 means 1000 (the paper's).
 	JobsPerTrace int `json:"jobs_per_trace"`
 	// Check enables per-event simulator invariant validation (slow).
@@ -100,18 +108,22 @@ type Cell struct {
 	Jobs     int     `json:"jobs"`
 	// NodeMix is the canonical node-mix profile name; empty means the
 	// homogeneous platform.
-	NodeMix   string  `json:"node_mix,omitempty"`
+	NodeMix string `json:"node_mix,omitempty"`
+	// GPUFrac is the fraction of the cell's jobs carrying a GPU demand;
+	// zero means the paper's two-resource workload.
+	GPUFrac   float64 `json:"gpu_frac,omitempty"`
 	Penalty   float64 `json:"penalty"`
 	Algorithm string  `json:"algorithm"`
 }
 
 // Key returns the cell's canonical identity, the string used for
 // checkpoint/resume matching. It is stable across runs and versions of the
-// expansion order; homogeneous cells keep the pre-heterogeneity key format
-// so existing checkpoints remain valid.
+// expansion order; homogeneous two-resource cells keep the
+// pre-heterogeneity, pre-GPU key format so existing checkpoints remain
+// valid.
 func (c Cell) Key() string {
-	return fmt.Sprintf("seed=%d/family=%s/trace=%d/load=%s/nodes=%d/jobs=%d%s/pen=%s/alg=%s",
-		c.Seed, c.Family, c.TraceIdx, ftoa(c.Load), c.Nodes, c.Jobs, mixKey(c.NodeMix), ftoa(c.Penalty), c.Algorithm)
+	return fmt.Sprintf("seed=%d/family=%s/trace=%d/load=%s/nodes=%d/jobs=%d%s%s/pen=%s/alg=%s",
+		c.Seed, c.Family, c.TraceIdx, ftoa(c.Load), c.Nodes, c.Jobs, mixKey(c.NodeMix), gpuKey(c.GPUFrac), ftoa(c.Penalty), c.Algorithm)
 }
 
 // mixKey renders the node-mix key segment; homogeneous cells contribute
@@ -121,6 +133,15 @@ func mixKey(mix string) string {
 		return ""
 	}
 	return "/mix=" + mix
+}
+
+// gpuKey renders the GPU-axis key segment; two-resource cells contribute
+// nothing so their keys match grids predating the GPU axis.
+func gpuKey(frac float64) string {
+	if frac == 0 {
+		return ""
+	}
+	return "/gpu=" + ftoa(frac)
 }
 
 // ftoa formats a float with the shortest exact representation so keys are
@@ -171,6 +192,9 @@ func (g *Grid) Validate() error {
 		if !cluster.ValidProfile(mix) {
 			return fmt.Errorf("campaign: unknown node-mix profile %q (known: %v)", mix, cluster.ProfileNames())
 		}
+	}
+	if !(g.GPUFrac >= 0 && g.GPUFrac <= 1) { // negated so NaN is rejected too
+		return fmt.Errorf("campaign: gpu job fraction %g outside [0,1]", g.GPUFrac)
 	}
 	if g.JobsPerTrace < 0 {
 		return fmt.Errorf("campaign: negative jobs per trace %d", g.JobsPerTrace)
@@ -241,6 +265,7 @@ func (g *Grid) Cells() []Cell {
 										Nodes:     n,
 										Jobs:      famJobs,
 										NodeMix:   mix,
+										GPUFrac:   g.GPUFrac,
 										Penalty:   pen,
 										Algorithm: alg,
 									}
@@ -264,8 +289,8 @@ func (g *Grid) Cells() []Cell {
 // identical clusters, so their stretches are comparable — this is the
 // grouping behind degradation factors.
 func (c Cell) InstanceKey() string {
-	return fmt.Sprintf("seed=%d/family=%s/trace=%d/load=%s/nodes=%d/jobs=%d%s/pen=%s",
-		c.Seed, c.Family, c.TraceIdx, ftoa(c.Load), c.Nodes, c.Jobs, mixKey(c.NodeMix), ftoa(c.Penalty))
+	return fmt.Sprintf("seed=%d/family=%s/trace=%d/load=%s/nodes=%d/jobs=%d%s%s/pen=%s",
+		c.Seed, c.Family, c.TraceIdx, ftoa(c.Load), c.Nodes, c.Jobs, mixKey(c.NodeMix), gpuKey(c.GPUFrac), ftoa(c.Penalty))
 }
 
 // TimingAgg aggregates the Section V scheduler-timing samples of one run so
@@ -300,7 +325,10 @@ type Record struct {
 	Jobs     int     `json:"jobs"`
 	// NodeMix is the cell's node-mix profile; omitted for homogeneous
 	// cells so pre-heterogeneity outputs are byte-identical.
-	NodeMix   string  `json:"node_mix,omitempty"`
+	NodeMix string `json:"node_mix,omitempty"`
+	// GPUFrac is the cell's GPU-demand fraction; omitted for two-resource
+	// cells so pre-GPU outputs are byte-identical.
+	GPUFrac   float64 `json:"gpu_frac,omitempty"`
 	Penalty   float64 `json:"penalty"`
 	Algorithm string  `json:"algorithm"`
 
@@ -325,7 +353,7 @@ type Record struct {
 // algorithms; see Cell.InstanceKey.
 func (r Record) InstanceKey() string {
 	return Cell{Seed: r.Seed, Family: r.Family, TraceIdx: r.TraceIdx, Load: r.Load,
-		Nodes: r.Nodes, Jobs: r.Jobs, NodeMix: r.NodeMix, Penalty: r.Penalty}.InstanceKey()
+		Nodes: r.Nodes, Jobs: r.Jobs, NodeMix: r.NodeMix, GPUFrac: r.GPUFrac, Penalty: r.Penalty}.InstanceKey()
 }
 
 // SortRecords orders records by cell key, the canonical presentation order.

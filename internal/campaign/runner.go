@@ -167,6 +167,10 @@ func runCell(ctx context.Context, r *Runner, mat *materialiser, g *Grid, c Cell)
 	if err != nil {
 		return Record{}, err
 	}
+	// A GPU-demanding trace on a two-dimensional mix gets a unit GPU
+	// capacity per node, so the demand axis is satisfiable everywhere;
+	// GPU profiles keep their own layout.
+	cl = cl.ExtendUnit(tr.Dims())
 	var obs sim.Observer
 	if r.Observe != nil {
 		obs = r.Observe(c)
@@ -191,7 +195,7 @@ func runCell(ctx context.Context, r *Runner, mat *materialiser, g *Grid, c Cell)
 		return Record{}, err
 	}
 	sum := metrics.Summarize(res)
-	if math.IsNaN(sum.MaxStretch) {
+	if sum.Jobs == 0 {
 		return Record{}, fmt.Errorf("no finished jobs")
 	}
 	costs := metrics.Costs(res)
@@ -205,6 +209,7 @@ func runCell(ctx context.Context, r *Runner, mat *materialiser, g *Grid, c Cell)
 		Nodes:     c.Nodes,
 		Jobs:      c.Jobs,
 		NodeMix:   c.NodeMix,
+		GPUFrac:   c.GPUFrac,
 		Penalty:   c.Penalty,
 		Algorithm: c.Algorithm,
 
@@ -295,9 +300,9 @@ func (m *materialiser) trace(c Cell) (*workload.Trace, error) {
 }
 
 // base returns the unscaled trace for the cell, generating it at most once
-// per (seed, family, index, nodes, jobs) combination.
+// per (seed, family, index, nodes, jobs, gpu) combination.
 func (m *materialiser) base(c Cell) (*workload.Trace, error) {
-	key := fmt.Sprintf("%s/%d/%d/%d/%d", c.Family, c.Seed, c.TraceIdx, c.Nodes, c.Jobs)
+	key := fmt.Sprintf("%s/%d/%d/%d/%d/%g", c.Family, c.Seed, c.TraceIdx, c.Nodes, c.Jobs, c.GPUFrac)
 	m.mu.Lock()
 	e, ok := m.entries[key]
 	if !ok {
@@ -319,6 +324,21 @@ func (m *materialiser) base(c Cell) (*workload.Trace, error) {
 // independent one-week synthesis, so each cell's trace is a function of
 // (seed, index) alone.
 func generateBase(c Cell) (*workload.Trace, error) {
+	base, err := generateFamilyBase(c)
+	if err != nil || c.GPUFrac == 0 {
+		return base, err
+	}
+	// The GPU axis is a deterministic decoration of the base trace: a
+	// dedicated substream keyed by (seed, family, index) hands GPUFrac of
+	// the jobs a per-task GPU demand in the shared default bounds.
+	root := rng.New(c.Seed)
+	return workload.AttachGPUDemand(base,
+		root.Split(fmt.Sprintf("gpu-%s-%d", c.Family, c.TraceIdx)),
+		c.GPUFrac, workload.GPUDemandLo, workload.GPUDemandHi)
+}
+
+// generateFamilyBase draws the cell's two-resource base trace.
+func generateFamilyBase(c Cell) (*workload.Trace, error) {
 	root := rng.New(c.Seed)
 	switch c.Family {
 	case FamilyLublin:

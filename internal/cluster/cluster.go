@@ -1,48 +1,177 @@
 // Package cluster defines the shared cluster resource model: a set of
-// nodes, each with its own CPU and memory capacity, expressed in units of
-// the paper's reference node (capacity 1.0 x 1.0). Every layer of the
-// reproduction — the vector-packing kernel, the DFRS allocation math, the
-// discrete-event simulator and the scheduling algorithms — works against
-// this model, so heterogeneous platforms are a first-class scenario axis
-// rather than a special case.
+// nodes, each with its own capacity vector over d named resource
+// dimensions, expressed in units of the paper's reference node. Dimensions
+// 0 and 1 are always CPU and memory — the paper's two resources — so the
+// published DFRS platform is exactly the d=2 special case; further
+// dimensions (GPU, network, disk, ...) are optional and rigid (hard
+// constraints, like memory). Every layer of the reproduction — the
+// vector-packing kernel, the DFRS allocation math, the discrete-event
+// simulator and the scheduling algorithms — works against this model, so
+// heterogeneous and multi-resource platforms are first-class scenario axes
+// rather than special cases.
 //
 // A homogeneous cluster (Homogeneous, or the "uniform" profile) reproduces
-// the paper's platform exactly: capacities of 1.0 collapse every per-node
-// capacity computation to the original unit-capacity arithmetic,
-// bit-for-bit. Heterogeneous platforms come from explicit NodeSpec lists or
-// from the named node-mix profiles (Profile): deterministic capacity
-// layouts such as a bimodal fat/thin mix or a power-law tier mix, keyed
-// only by profile name and node count so campaign results stay reproducible.
+// the paper's platform exactly: two dimensions, capacities of 1.0, which
+// collapse every per-node per-dimension computation to the original
+// unit-capacity arithmetic, bit-for-bit. Heterogeneous platforms come from
+// explicit NodeSpec lists or from the named node-mix profiles (Profile):
+// deterministic capacity layouts such as a bimodal fat/thin mix, a
+// power-law tier mix, or the three-dimensional GPU mixes, keyed only by
+// profile name and node count so campaign results stay reproducible.
 //
-// Job resource requirements remain fractions of the reference node in
-// (0, 1]; profiles therefore never shrink a node below 1.0 x 1.0, which
-// guarantees that every workload valid on the paper's platform stays
-// schedulable on every profile. Custom clusters built with New may include
-// thin nodes (capacity below 1.0); the packing and placement layers treat
-// such nodes correctly, but callers are responsible for workload
-// feasibility.
+// Job CPU and memory requirements remain fractions of the reference node in
+// (0, 1]; profiles therefore never shrink those two dimensions below 1.0,
+// which guarantees that every workload valid on the paper's platform stays
+// schedulable on every profile. Extra dimensions may have zero capacity on
+// some nodes (a node without GPUs); the packing and placement layers treat
+// such nodes correctly, and the simulator rejects jobs whose demand exceeds
+// every node eagerly.
 package cluster
 
 import "fmt"
 
-// NodeSpec is the capacity of one node in units of the reference node.
-type NodeSpec struct {
-	// CPUCap is the node's CPU capacity; a task with CPU need c consumes
-	// c*yield of it. The paper's reference node has CPUCap 1.0.
-	CPUCap float64
-	// MemCap is the node's memory capacity, a hard constraint on the sum of
-	// the memory requirements of the tasks it hosts.
-	MemCap float64
+// Dimension indices of the canonical resource vector. CPU is the only
+// fluid dimension (consumption scales with the allocated yield); every
+// other dimension is rigid — a hard constraint on the sum of demands of
+// the tasks a node hosts, exactly like the paper's memory constraint.
+const (
+	// DimCPU is the CPU dimension, dimension 0.
+	DimCPU = 0
+	// DimMem is the memory dimension, dimension 1.
+	DimMem = 1
+)
+
+// MinDims is the minimum number of dimensions of any node or cluster: the
+// paper's (CPU, memory) pair.
+const MinDims = 2
+
+// Vec is a resource vector: one value per dimension, in units of the
+// reference node.
+type Vec []float64
+
+// Clone returns a copy of the vector.
+func (v Vec) Clone() Vec { return append(Vec(nil), v...) }
+
+// Equal reports whether the vectors have identical length and values.
+func (v Vec) Equal(o Vec) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
 }
 
-// Unit is the reference node of the paper's homogeneous platform.
-var Unit = NodeSpec{CPUCap: 1, MemCap: 1}
+// NodeSpec is the capacity vector of one node in units of the reference
+// node. Caps[DimCPU] is the CPU capacity — a task with CPU need c consumes
+// c*yield of it; Caps[DimMem] and every further dimension are rigid
+// capacities, hard constraints on the sum of the demands of the tasks the
+// node hosts. The paper's reference node is Unit(): capacity 1.0 in every
+// dimension.
+type NodeSpec struct {
+	Caps Vec
+}
 
-// Cluster is an immutable-by-convention set of nodes. Construct one with
-// New, Homogeneous or Profile; callers must not mutate Nodes afterwards.
+// Spec builds a node spec from explicit capacities; the first two are CPU
+// and memory.
+func Spec(caps ...float64) NodeSpec {
+	return NodeSpec{Caps: append(Vec(nil), caps...)}
+}
+
+// Unit returns the reference node of the paper's homogeneous platform:
+// capacity 1.0 x 1.0 over the two canonical dimensions.
+func Unit() NodeSpec { return NodeSpec{Caps: Vec{1, 1}} }
+
+// UnitD returns a reference node with d dimensions, capacity 1.0 in each.
+func UnitD(d int) NodeSpec {
+	caps := make(Vec, d)
+	for i := range caps {
+		caps[i] = 1
+	}
+	return NodeSpec{Caps: caps}
+}
+
+// Dims returns the node's dimension count.
+func (n NodeSpec) Dims() int { return len(n.Caps) }
+
+// Cap returns the capacity in dimension k, or 0 for dimensions beyond the
+// node's vector (a node has none of a resource it does not declare).
+func (n NodeSpec) Cap(k int) float64 {
+	if k >= len(n.Caps) {
+		return 0
+	}
+	return n.Caps[k]
+}
+
+// CPUCap returns the CPU capacity (dimension 0).
+func (n NodeSpec) CPUCap() float64 { return n.Caps[DimCPU] }
+
+// MemCap returns the memory capacity (dimension 1).
+func (n NodeSpec) MemCap() float64 { return n.Caps[DimMem] }
+
+// IsUnit reports whether the node is a d=2 reference node (capacity
+// exactly 1.0 in CPU and memory and no further dimensions).
+func (n NodeSpec) IsUnit() bool {
+	return len(n.Caps) == MinDims && n.Caps[DimCPU] == 1 && n.Caps[DimMem] == 1
+}
+
+// Equal reports whether both specs have identical capacity vectors.
+func (n NodeSpec) Equal(o NodeSpec) bool { return n.Caps.Equal(o.Caps) }
+
+// WithDims returns a copy of the spec extended (or truncated — never below
+// MinDims) to d dimensions; new dimensions receive capacity fill.
+func (n NodeSpec) WithDims(d int, fill float64) NodeSpec {
+	if d < MinDims {
+		d = MinDims
+	}
+	caps := make(Vec, d)
+	copy(caps, n.Caps)
+	for i := len(n.Caps); i < d; i++ {
+		caps[i] = fill
+	}
+	return NodeSpec{Caps: caps}
+}
+
+// CanonicalDimName returns the conventional name of dimension k: "cpu",
+// "mem", "gpu" for the conventional third axis, and "res<k>" beyond it.
+// It is the single source of the naming rule shared by cluster metadata,
+// trace column headers and simulator error messages.
+func CanonicalDimName(k int) string {
+	switch k {
+	case DimCPU:
+		return "cpu"
+	case DimMem:
+		return "mem"
+	case 2:
+		return "gpu"
+	}
+	return fmt.Sprintf("res%d", k)
+}
+
+// DefaultDimNames returns the canonical names of the first d dimensions
+// (see CanonicalDimName).
+func DefaultDimNames(d int) []string {
+	names := make([]string, d)
+	for i := range names {
+		names[i] = CanonicalDimName(i)
+	}
+	return names
+}
+
+// Cluster is an immutable-by-convention set of nodes sharing one dimension
+// count. Construct one with New, NewWithDims, Homogeneous or Profile;
+// callers must not mutate Nodes or DimNames afterwards.
 type Cluster struct {
-	// Nodes holds one spec per node, indexed by node id.
+	// Nodes holds one capacity vector per node, indexed by node id. All
+	// nodes of a cluster have the same dimension count.
 	Nodes []NodeSpec
+	// DimNames optionally names the dimensions ("cpu", "mem", "gpu", ...).
+	// Nil means DefaultDimNames(D()). When set its length must equal the
+	// node dimension count.
+	DimNames []string
 }
 
 // New builds a cluster from explicit node specs (the slice is copied).
@@ -50,8 +179,16 @@ func New(nodes []NodeSpec) *Cluster {
 	return &Cluster{Nodes: append([]NodeSpec(nil), nodes...)}
 }
 
+// NewWithDims builds a cluster with explicit dimension names.
+func NewWithDims(dimNames []string, nodes []NodeSpec) *Cluster {
+	return &Cluster{
+		Nodes:    append([]NodeSpec(nil), nodes...),
+		DimNames: append([]string(nil), dimNames...),
+	}
+}
+
 // Homogeneous returns the paper's platform: n reference nodes of capacity
-// 1.0 x 1.0.
+// 1.0 x 1.0 over the two canonical dimensions.
 func Homogeneous(n int) *Cluster {
 	return &Cluster{Nodes: Uniform(n)}
 }
@@ -60,7 +197,7 @@ func Homogeneous(n int) *Cluster {
 func Uniform(n int) []NodeSpec {
 	nodes := make([]NodeSpec, n)
 	for i := range nodes {
-		nodes[i] = Unit
+		nodes[i] = Unit()
 	}
 	return nodes
 }
@@ -68,36 +205,63 @@ func Uniform(n int) []NodeSpec {
 // N returns the number of nodes.
 func (c *Cluster) N() int { return len(c.Nodes) }
 
+// D returns the cluster's dimension count (MinDims for an empty cluster).
+func (c *Cluster) D() int {
+	if len(c.Nodes) == 0 {
+		return MinDims
+	}
+	return c.Nodes[0].Dims()
+}
+
+// DimName returns the name of dimension k.
+func (c *Cluster) DimName(k int) string {
+	if k < len(c.DimNames) {
+		return c.DimNames[k]
+	}
+	return CanonicalDimName(k)
+}
+
+// Cap returns node i's capacity in dimension k (0 beyond the cluster's
+// dimensions).
+func (c *Cluster) Cap(i, k int) float64 { return c.Nodes[i].Cap(k) }
+
 // CPUCap returns node i's CPU capacity.
-func (c *Cluster) CPUCap(i int) float64 { return c.Nodes[i].CPUCap }
+func (c *Cluster) CPUCap(i int) float64 { return c.Nodes[i].Caps[DimCPU] }
 
 // MemCap returns node i's memory capacity.
-func (c *Cluster) MemCap(i int) float64 { return c.Nodes[i].MemCap }
+func (c *Cluster) MemCap(i int) float64 { return c.Nodes[i].Caps[DimMem] }
+
+// TotalCap returns the cluster's aggregate capacity in dimension k.
+func (c *Cluster) TotalCap(k int) float64 {
+	var t float64
+	for _, n := range c.Nodes {
+		t += n.Cap(k)
+	}
+	return t
+}
+
+// MeanCap returns the mean per-node capacity in dimension k (1.0 for an
+// empty cluster, matching the reference node). The vector-packing kernel
+// normalizes item requirements by it on heterogeneous platforms.
+func (c *Cluster) MeanCap(k int) float64 {
+	if len(c.Nodes) == 0 {
+		return 1
+	}
+	return c.TotalCap(k) / float64(len(c.Nodes))
+}
 
 // TotalCPU returns the cluster's aggregate CPU capacity. For a homogeneous
 // cluster this is exactly float64(n), matching the unit-capacity arithmetic
 // the paper's formulas use.
-func (c *Cluster) TotalCPU() float64 {
-	var t float64
-	for _, n := range c.Nodes {
-		t += n.CPUCap
-	}
-	return t
-}
+func (c *Cluster) TotalCPU() float64 { return c.TotalCap(DimCPU) }
 
 // TotalMem returns the cluster's aggregate memory capacity.
-func (c *Cluster) TotalMem() float64 {
-	var t float64
-	for _, n := range c.Nodes {
-		t += n.MemCap
-	}
-	return t
-}
+func (c *Cluster) TotalMem() float64 { return c.TotalCap(DimMem) }
 
-// Homogeneous reports whether every node is the reference node.
+// Homogeneous reports whether every node is the d=2 reference node.
 func (c *Cluster) Homogeneous() bool {
 	for _, n := range c.Nodes {
-		if n != Unit {
+		if !n.IsUnit() {
 			return false
 		}
 	}
@@ -105,17 +269,73 @@ func (c *Cluster) Homogeneous() bool {
 }
 
 // Clone returns a deep copy.
-func (c *Cluster) Clone() *Cluster { return New(c.Nodes) }
+func (c *Cluster) Clone() *Cluster {
+	return &Cluster{
+		Nodes:    append([]NodeSpec(nil), c.Nodes...),
+		DimNames: append([]string(nil), c.DimNames...),
+	}
+}
 
-// Validate checks that the cluster is non-empty with positive capacities.
+// WithDims returns a copy of the cluster extended to d dimensions; new
+// dimensions receive capacity fill on every node and the given names (or
+// the canonical defaults when names is nil). A cluster that already has at
+// least d dimensions is returned unchanged (as a clone).
+func (c *Cluster) WithDims(d int, fill float64, names []string) *Cluster {
+	if d <= c.D() {
+		return c.Clone()
+	}
+	out := &Cluster{Nodes: make([]NodeSpec, len(c.Nodes))}
+	for i, n := range c.Nodes {
+		out.Nodes[i] = n.WithDims(d, fill)
+	}
+	if names != nil {
+		out.DimNames = append([]string(nil), names...)
+	} else if c.DimNames != nil {
+		out.DimNames = append(append([]string(nil), c.DimNames...), DefaultDimNames(d)[c.D():]...)
+	}
+	return out
+}
+
+// ExtendUnit returns the cluster extended to d dimensions with capacity
+// 1.0 per node in each added dimension and the canonical dimension names —
+// the shared rule by which the facade and the campaign engine make a
+// demand axis (e.g. GPU jobs on a two-resource mix) satisfiable
+// everywhere. A cluster already declaring at least d dimensions is
+// returned as is.
+func (c *Cluster) ExtendUnit(d int) *Cluster {
+	if d <= c.D() {
+		return c
+	}
+	return c.WithDims(d, 1, DefaultDimNames(d))
+}
+
+// Validate checks that the cluster is non-empty, that every node has the
+// same dimension count (at least MinDims), that CPU and memory capacities
+// are positive, that extra dimensions are non-negative, and that DimNames
+// (when set) matches the dimension count.
 func (c *Cluster) Validate() error {
 	if len(c.Nodes) == 0 {
 		return fmt.Errorf("cluster: no nodes")
 	}
+	d := c.Nodes[0].Dims()
+	if d < MinDims {
+		return fmt.Errorf("cluster: nodes have %d dimensions, want at least %d (cpu, mem)", d, MinDims)
+	}
 	for i, n := range c.Nodes {
-		if n.CPUCap <= 0 || n.MemCap <= 0 {
-			return fmt.Errorf("cluster: node %d has non-positive capacity %+v", i, n)
+		if n.Dims() != d {
+			return fmt.Errorf("cluster: node %d has %d dimensions, node 0 has %d", i, n.Dims(), d)
 		}
+		if n.Caps[DimCPU] <= 0 || n.Caps[DimMem] <= 0 {
+			return fmt.Errorf("cluster: node %d has non-positive cpu/mem capacity %v", i, n.Caps)
+		}
+		for k := MinDims; k < d; k++ {
+			if n.Caps[k] < 0 {
+				return fmt.Errorf("cluster: node %d has negative %s capacity %g", i, c.DimName(k), n.Caps[k])
+			}
+		}
+	}
+	if c.DimNames != nil && len(c.DimNames) != d {
+		return fmt.Errorf("cluster: %d dimension names for %d dimensions", len(c.DimNames), d)
 	}
 	return nil
 }

@@ -23,14 +23,14 @@ func TestHomogeneous(t *testing.T) {
 }
 
 func TestNewCopies(t *testing.T) {
-	src := []NodeSpec{{CPUCap: 2, MemCap: 2}}
+	src := []NodeSpec{Spec(2, 2)}
 	c := New(src)
-	src[0].CPUCap = 99
+	src[0] = Spec(99, 99)
 	if c.CPUCap(0) != 2 {
 		t.Error("New aliased the caller's slice")
 	}
 	d := c.Clone()
-	d.Nodes[0].MemCap = 5
+	d.Nodes[0] = Spec(5, 5)
 	if c.MemCap(0) != 2 {
 		t.Error("Clone aliased the original")
 	}
@@ -40,10 +40,10 @@ func TestValidate(t *testing.T) {
 	if err := (&Cluster{}).Validate(); err == nil {
 		t.Error("empty cluster accepted")
 	}
-	if err := New([]NodeSpec{{CPUCap: 0, MemCap: 1}}).Validate(); err == nil {
+	if err := New([]NodeSpec{Spec(0, 1)}).Validate(); err == nil {
 		t.Error("zero CPU capacity accepted")
 	}
-	if err := New([]NodeSpec{{CPUCap: 1, MemCap: -1}}).Validate(); err == nil {
+	if err := New([]NodeSpec{Spec(1, -1)}).Validate(); err == nil {
 		t.Error("negative memory capacity accepted")
 	}
 }
@@ -118,7 +118,7 @@ func TestProfileDeterminism(t *testing.T) {
 		a, _ := Profile(name, 32)
 		b, _ := Profile(name, 32)
 		for i := range a.Nodes {
-			if a.Nodes[i] != b.Nodes[i] {
+			if !a.Nodes[i].Equal(b.Nodes[i]) {
 				t.Fatalf("profile %q differs between calls at node %d", name, i)
 			}
 		}

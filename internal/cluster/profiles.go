@@ -8,8 +8,10 @@ import (
 // Named node-mix profiles. A profile is a deterministic function of
 // (name, node count): no randomness, so campaign cells using a profile stay
 // byte-reproducible. Every profile keeps each node at or above the
-// reference capacity 1.0 x 1.0, guaranteeing that any workload valid on the
-// paper's homogeneous platform remains schedulable.
+// reference CPU and memory capacity 1.0 x 1.0, guaranteeing that any
+// workload valid on the paper's homogeneous platform remains schedulable;
+// three-dimensional profiles additionally declare a GPU capacity, which may
+// be zero on some nodes (a GPU-demanding job then only fits the GPU nodes).
 const (
 	// ProfileUniform is the paper's homogeneous platform (all nodes
 	// 1.0 x 1.0). The empty string is an accepted alias.
@@ -21,27 +23,52 @@ const (
 	// a further 1/8 are 2.0x, and the remaining 3/4 are reference nodes —
 	// few very fat nodes, many thin ones.
 	ProfilePowerlaw = "powerlaw"
+	// ProfileGPUUniform is the three-dimensional reference platform: every
+	// node is 1.0 x 1.0 with one GPU unit (dimensions cpu, mem, gpu).
+	ProfileGPUUniform = "gpu-uniform"
+	// ProfileGPUBimodal is a GPU-partitioned mix: every fourth node is a
+	// double-GPU accelerator node (1.0 x 1.0 x 2.0), the rest carry no GPU
+	// (1.0 x 1.0 x 0.0) — GPU-demanding jobs compete for a quarter of the
+	// cluster while CPU/memory stay uniform.
+	ProfileGPUBimodal = "gpu-bimodal"
 )
 
-// profileBuilders maps canonical profile names to their layout functions.
-var profileBuilders = map[string]func(i int) NodeSpec{
-	ProfileUniform: func(int) NodeSpec { return Unit },
-	ProfileBimodal: func(i int) NodeSpec {
+// gpuDims is the dimension-name set of the three-dimensional profiles.
+var gpuDims = []string{"cpu", "mem", "gpu"}
+
+// profile is one named node-mix layout: its dimension names (nil = the
+// canonical d=2 pair) and the per-node capacity function.
+type profile struct {
+	dims  []string
+	build func(i int) NodeSpec
+}
+
+// profileBuilders maps canonical profile names to their layouts.
+var profileBuilders = map[string]profile{
+	ProfileUniform: {build: func(int) NodeSpec { return Unit() }},
+	ProfileBimodal: {build: func(i int) NodeSpec {
 		if i%2 == 0 {
-			return NodeSpec{CPUCap: 2, MemCap: 2}
+			return Spec(2, 2)
 		}
-		return Unit
-	},
-	ProfilePowerlaw: func(i int) NodeSpec {
+		return Unit()
+	}},
+	ProfilePowerlaw: {build: func(i int) NodeSpec {
 		switch {
 		case i%8 == 0:
-			return NodeSpec{CPUCap: 4, MemCap: 4}
+			return Spec(4, 4)
 		case i%8 == 4:
-			return NodeSpec{CPUCap: 2, MemCap: 2}
+			return Spec(2, 2)
 		default:
-			return Unit
+			return Unit()
 		}
-	},
+	}},
+	ProfileGPUUniform: {dims: gpuDims, build: func(int) NodeSpec { return Spec(1, 1, 1) }},
+	ProfileGPUBimodal: {dims: gpuDims, build: func(i int) NodeSpec {
+		if i%4 == 0 {
+			return Spec(1, 1, 2)
+		}
+		return Spec(1, 1, 0)
+	}},
 }
 
 // ProfileNames lists the canonical profile names, sorted.
@@ -84,13 +111,17 @@ func Profile(name string, n int) (*Cluster, error) {
 	if name == "" {
 		name = ProfileUniform
 	}
-	build, ok := profileBuilders[name]
+	p, ok := profileBuilders[name]
 	if !ok {
 		return nil, fmt.Errorf("cluster: unknown node-mix profile %q (known: %v)", name, ProfileNames())
 	}
 	nodes := make([]NodeSpec, n)
 	for i := range nodes {
-		nodes[i] = build(i)
+		nodes[i] = p.build(i)
 	}
-	return &Cluster{Nodes: nodes}, nil
+	c := &Cluster{Nodes: nodes}
+	if p.dims != nil {
+		c.DimNames = append([]string(nil), p.dims...)
+	}
+	return c, nil
 }

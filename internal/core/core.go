@@ -46,6 +46,10 @@ type JobSpec struct {
 	Tasks   int
 	CPUNeed float64 // per-task CPU need, fraction of a node in (0, 1]
 	MemReq  float64 // per-task memory requirement, fraction of a node in (0, 1]
+	// Extra holds per-task rigid demands for resource dimensions beyond
+	// CPU and memory (Extra[0] is dimension 2, e.g. GPU), as fractions of
+	// the reference node. Nil means no demand beyond the paper's pair.
+	Extra []float64
 	// Weight scales the job's yield under contention (user-priority
 	// extension, paper Section VII); 0 means the default weight 1.
 	Weight float64
@@ -102,35 +106,58 @@ func PriorityLinear(flowTime, virtualTime float64) float64 {
 	return math.Max(StretchBound, flowTime) / virtualTime
 }
 
-// items builds the vector-packing instance for the given per-job yields:
-// one item per task with CPU requirement need*yield and the fixed memory
-// requirement.
-func items(jobs []JobSpec, yieldOf func(JobSpec) float64) ([]vectorpack.Item, []int) {
-	var its []vectorpack.Item
-	var owner []int // item index -> index into jobs
+// items builds the d-dimensional vector-packing instance for the given
+// per-job yields: one item per task with CPU requirement need*yield
+// (dimension 0) and the fixed rigid demands (memory in dimension 1, Extra
+// beyond). All tasks of one job share a single requirement vector, so a
+// probe allocates O(jobs) vectors, not O(tasks). Job demands beyond the
+// cluster's dimensions are rejected by the simulator up front and are not
+// represented here.
+func items(jobs []JobSpec, d int, yieldOf func(JobSpec) float64) ([]vectorpack.Item, []int) {
+	total := 0
+	for _, j := range jobs {
+		total += j.Tasks
+	}
+	its := make([]vectorpack.Item, 0, total)
+	owner := make([]int, 0, total) // item index -> index into jobs
+	backing := make([]float64, len(jobs)*d)
 	for ji, j := range jobs {
 		cpu := j.CPUNeed * yieldOf(j)
 		if cpu > 1 {
 			cpu = 1
 		}
+		req := cluster.Vec(backing[ji*d : (ji+1)*d : (ji+1)*d])
+		req[cluster.DimCPU] = cpu
+		req[cluster.DimMem] = j.MemReq
+		for k := 0; k < d-cluster.MinDims && k < len(j.Extra); k++ {
+			req[cluster.MinDims+k] = j.Extra[k]
+		}
 		for k := 0; k < j.Tasks; k++ {
-			its = append(its, vectorpack.Item{CPU: cpu, Mem: j.MemReq})
+			its = append(its, vectorpack.Item{Req: req})
 			owner = append(owner, ji)
 		}
 	}
 	return its, owner
 }
 
-// capacityBound is the O(T) necessary condition for packability: total CPU
-// and memory requirements cannot exceed the cluster's aggregate capacity.
-// It prunes hopeless binary-search probes before the expensive packing.
+// capacityBound is the O(T) necessary condition for packability: the total
+// requirement in every dimension cannot exceed the cluster's aggregate
+// capacity in that dimension. It prunes hopeless binary-search probes
+// before the expensive packing.
 func capacityBound(its []vectorpack.Item, c *cluster.Cluster) bool {
-	var cpu, mem float64
+	d := c.D()
+	totals := make([]float64, d)
 	for _, it := range its {
-		cpu += it.CPU
-		mem += it.Mem
+		for k := 0; k < d; k++ {
+			totals[k] += it.Req[k]
+		}
 	}
-	return cpu <= c.TotalCPU()+floats.Eps && mem <= c.TotalMem()+floats.Eps
+	for k := 0; k < d; k++ {
+		if totals[k] > c.TotalCap(k)+floats.Eps {
+			return false
+		}
+	}
+	return true
 }
 
 // buildAllocation converts a packing assignment back to per-job node lists.
@@ -175,8 +202,9 @@ func MaxMinYield(jobs []JobSpec, c *cluster.Cluster, packer vectorpack.Packer) (
 			return w
 		}
 	}
+	d := c.D()
 	feasible := func(y float64) ([]int, []int, bool) {
-		its, owner := items(jobs, yieldAt(y))
+		its, owner := items(jobs, d, yieldAt(y))
 		if !capacityBound(its, c) {
 			return nil, nil, false
 		}
@@ -355,8 +383,9 @@ func MinEstimatedStretch(jobs []StretchState, c *cluster.Cluster, packer vectorp
 		}
 		return func(j JobSpec) float64 { return byID[j.ID] }
 	}
+	d := c.D()
 	try := func(target float64) ([]int, []int, bool) {
-		its, owner := items(specs, yieldAt(target))
+		its, owner := items(specs, d, yieldAt(target))
 		if !capacityBound(its, c) {
 			return nil, nil, false
 		}
@@ -412,13 +441,14 @@ func ImproveAverageStretch(jobs []StretchState, alloc *Allocation, c *cluster.Cl
 }
 
 // ValidateAllocation checks an allocation against the hard constraints of
-// Section II-B1, generalized to per-node capacities: each node's memory and
-// allocated CPU stay within its own capacity, yields lie within [0, 1], and
-// every job owns exactly Tasks placements.
+// Section II-B1, generalized to per-node capacity vectors: each node's
+// allocated CPU and every rigid dimension (memory, GPU, ...) stay within
+// its own capacity, yields lie within [0, 1], and every job owns exactly
+// Tasks placements.
 func ValidateAllocation(jobs []JobSpec, alloc *Allocation, c *cluster.Cluster) error {
 	n := c.N()
-	cpu := make([]float64, n)
-	mem := make([]float64, n)
+	d := c.D()
+	used := make([]float64, n*d)
 	for _, j := range jobs {
 		nodes, ok := alloc.NodesOf[j.ID]
 		if !ok {
@@ -435,16 +465,19 @@ func ValidateAllocation(jobs []JobSpec, alloc *Allocation, c *cluster.Cluster) e
 			if node < 0 || node >= n {
 				return fmt.Errorf("core: job %d placed on node %d of %d", j.ID, node, n)
 			}
-			cpu[node] += j.CPUNeed * y
-			mem[node] += j.MemReq
+			used[node*d+cluster.DimCPU] += j.CPUNeed * y
+			used[node*d+cluster.DimMem] += j.MemReq
+			for k := 0; k < d-cluster.MinDims && k < len(j.Extra); k++ {
+				used[node*d+cluster.MinDims+k] += j.Extra[k]
+			}
 		}
 	}
 	for node := 0; node < n; node++ {
-		if floats.Greater(cpu[node], c.CPUCap(node)) {
-			return fmt.Errorf("core: node %d CPU %.6f > capacity %.6f", node, cpu[node], c.CPUCap(node))
-		}
-		if floats.Greater(mem[node], c.MemCap(node)) {
-			return fmt.Errorf("core: node %d memory %.6f > capacity %.6f", node, mem[node], c.MemCap(node))
+		for k := 0; k < d; k++ {
+			if floats.Greater(used[node*d+k], c.Cap(node, k)) {
+				return fmt.Errorf("core: node %d %s usage %.6f > capacity %.6f",
+					node, c.DimName(k), used[node*d+k], c.Cap(node, k))
+			}
 		}
 	}
 	return nil

@@ -12,7 +12,6 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"math"
 
 	dfrs "repro"
 	"repro/internal/campaign"
@@ -197,7 +196,7 @@ func RunInstance(ctx context.Context, tr *workload.Trace, algs []string, penalty
 			return nil, fmt.Errorf("%s on %s: %w", alg, tr.Name, err)
 		}
 		sum := metrics.Summarize(res)
-		if math.IsNaN(sum.MaxStretch) {
+		if sum.Jobs == 0 {
 			return nil, fmt.Errorf("%s on %s produced no finished jobs", alg, tr.Name)
 		}
 		inst.MaxStretch[alg] = sum.MaxStretch

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -38,7 +39,7 @@ func TestBaseTracesDeterministic(t *testing.T) {
 			t.Fatal("trace sizes differ across generations")
 		}
 		for j := range a[i].Jobs {
-			if a[i].Jobs[j] != b[i].Jobs[j] {
+			if !reflect.DeepEqual(a[i].Jobs[j], b[i].Jobs[j]) {
 				t.Fatalf("trace %d job %d differs", i, j)
 			}
 		}

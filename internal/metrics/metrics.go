@@ -34,31 +34,45 @@ type InstanceSummary struct {
 	Jobs       int
 }
 
-// Summarize computes per-instance stretch statistics.
+// Summarize computes per-instance stretch statistics. A result with zero
+// finished jobs yields zero stretches rather than the NaN an empty stream
+// would produce — NaN is unmarshalable by encoding/json and would poison
+// any JSONL record sink mid-run; callers that must distinguish "no jobs"
+// from "stretch 0" check the Jobs count.
 func Summarize(res *sim.Result) InstanceSummary {
+	sum := InstanceSummary{
+		Algorithm: res.Algorithm,
+		Trace:     res.Trace,
+		Makespan:  res.Makespan,
+		Jobs:      len(res.Jobs),
+	}
+	if len(res.Jobs) == 0 {
+		return sum
+	}
 	var s stats.Stream
 	for _, jr := range res.Jobs {
 		s.Add(BoundedStretch(jr.Turnaround, jr.Job.ExecTime))
 	}
-	return InstanceSummary{
-		Algorithm:  res.Algorithm,
-		Trace:      res.Trace,
-		MaxStretch: s.Max(),
-		AvgStretch: s.Mean(),
-		Makespan:   res.Makespan,
-		Jobs:       len(res.Jobs),
-	}
+	sum.MaxStretch = s.Max()
+	sum.AvgStretch = s.Mean()
+	return sum
 }
 
 // DegradationFactors converts per-algorithm maximum stretches on one
 // instance into degradation factors: each value divided by the instance's
 // best (smallest) maximum stretch. The best algorithm scores exactly 1.
+// A NaN input is rejected with an error naming the offending algorithm
+// (NaN would otherwise slip through every comparison and surface much
+// later as an unmarshalable record).
 func DegradationFactors(maxStretch map[string]float64) (map[string]float64, error) {
 	if len(maxStretch) == 0 {
 		return nil, fmt.Errorf("metrics: no algorithms to compare")
 	}
 	best := math.Inf(1)
-	for _, v := range maxStretch {
+	for alg, v := range maxStretch {
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("metrics: algorithm %q reports NaN maximum stretch", alg)
+		}
 		if v < best {
 			best = v
 		}

@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -69,6 +71,38 @@ func TestSummarize(t *testing.T) {
 	}
 	if math.Abs(s.AvgStretch-2.5) > 1e-12 {
 		t.Errorf("AvgStretch = %v, want 2.5", s.AvgStretch)
+	}
+}
+
+// TestSummarizeZeroJobs is the regression test for the NaN defect: a
+// result with no finished jobs must summarize to zero stretches (an empty
+// stats stream yields NaN, which encoding/json cannot marshal, so one
+// zero-job cell used to poison a campaign's JSONL sink mid-run).
+func TestSummarizeZeroJobs(t *testing.T) {
+	s := Summarize(&sim.Result{Algorithm: "a", Trace: "t"})
+	if s.Jobs != 0 {
+		t.Fatalf("Jobs = %d, want 0", s.Jobs)
+	}
+	if math.IsNaN(s.MaxStretch) || math.IsNaN(s.AvgStretch) {
+		t.Fatalf("zero-job summary carries NaN: %+v", s)
+	}
+	if s.MaxStretch != 0 || s.AvgStretch != 0 {
+		t.Errorf("zero-job stretches = %v/%v, want 0/0", s.MaxStretch, s.AvgStretch)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Errorf("zero-job summary is unmarshalable: %v", err)
+	}
+}
+
+// TestDegradationFactorsNaN: a NaN maximum stretch is rejected with an
+// error naming the offending algorithm.
+func TestDegradationFactorsNaN(t *testing.T) {
+	_, err := DegradationFactors(map[string]float64{"good": 3, "bad-alg": math.NaN()})
+	if err == nil {
+		t.Fatal("NaN input accepted")
+	}
+	if !strings.Contains(err.Error(), "bad-alg") {
+		t.Errorf("error %q does not name the offending algorithm", err)
 	}
 }
 

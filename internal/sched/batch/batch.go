@@ -16,6 +16,7 @@
 package batch
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/cluster"
@@ -30,24 +31,98 @@ func init() {
 }
 
 // nodePool tracks which nodes are exclusively held by batch jobs and which
-// of them can host a given job's tasks at yield 1.0.
+// of them can host a given job's tasks at yield 1.0. The CPU and memory
+// capacities are cached as flat arrays because the eligibility predicate
+// sits in the dispatch and reservation hot loops.
 type nodePool struct {
-	cl   *cluster.Cluster
-	free []int // sorted free node ids
+	cl             *cluster.Cluster
+	cpuCap, memCap []float64 // per-node caches of dimensions 0/1
+	multiDim       bool      // cluster has dimensions beyond (cpu, mem)
+	free           []int     // sorted free node ids
 }
 
 func newNodePool(cl *cluster.Cluster) *nodePool {
-	p := &nodePool{cl: cl, free: make([]int, cl.N())}
+	n := cl.N()
+	p := &nodePool{
+		cl:       cl,
+		cpuCap:   make([]float64, n),
+		memCap:   make([]float64, n),
+		multiDim: cl.D() > cluster.MinDims,
+		free:     make([]int, n),
+	}
 	for i := range p.free {
 		p.free[i] = i
+		p.cpuCap[i] = cl.CPUCap(i)
+		p.memCap[i] = cl.MemCap(i)
 	}
 	return p
 }
 
-// fits reports whether a node can exclusively host one task of the job at
-// full speed.
-func (p *nodePool) fits(node int, j workload.Job) bool {
-	return p.cl.CPUCap(node) >= j.CPUNeed && p.cl.MemCap(node) >= j.MemReq
+// nodeFits reports whether a node can exclusively host one task of the job
+// at full speed: its capacity covers the per-task demand in every resource
+// dimension (a job demanding a dimension the cluster lacks fits nowhere).
+func nodeFits(cl *cluster.Cluster, node int, j *workload.Job) bool {
+	caps := cl.Nodes[node].Caps
+	if caps[cluster.DimCPU] < j.CPUNeed || caps[cluster.DimMem] < j.MemReq {
+		return false
+	}
+	return nodeFitsExtra(cl, node, j)
+}
+
+// nodeFitsExtra checks only the dimensions beyond the (cpu, mem) pair —
+// the node's extra capacities and any job demand past the cluster's
+// dimensions.
+func nodeFitsExtra(cl *cluster.Cluster, node int, j *workload.Job) bool {
+	caps := cl.Nodes[node].Caps
+	for k := cluster.MinDims; k < len(caps); k++ {
+		if caps[k] < j.Demand(k) {
+			return false
+		}
+	}
+	for k := len(caps); k < j.Dims(); k++ {
+		if j.Demand(k) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// fits reports whether a node can exclusively host one task of the job.
+// The CPU/memory comparisons run against the pool's flat caches — this
+// predicate sits in the dispatch and reservation hot loops — and only the
+// dimensions beyond the pair go through the generic path.
+func (p *nodePool) fits(node int, j *workload.Job) bool {
+	if p.cpuCap[node] < j.CPUNeed || p.memCap[node] < j.MemReq {
+		return false
+	}
+	if !p.multiDim && len(j.Extra) == 0 {
+		return true
+	}
+	return nodeFitsExtra(p.cl, node, j)
+}
+
+// wholeNodeAdmission implements sim.CapacityChecker for the batch family:
+// allocations are integral and exclusive, so a job is only ever served
+// when at least Tasks distinct nodes are eligible for it. On platforms
+// where eligibility is partial — a GPU job on a cluster where only some
+// nodes carry GPUs — a job with more tasks than eligible nodes would
+// otherwise block the FIFO queue forever; the simulator rejects such
+// (scheduler, trace, cluster) combinations eagerly instead.
+type wholeNodeAdmission struct{}
+
+// CheckJob implements sim.CapacityChecker.
+func (wholeNodeAdmission) CheckJob(cl *cluster.Cluster, j workload.Job) error {
+	eligible := 0
+	for node := 0; node < cl.N(); node++ {
+		if nodeFits(cl, node, &j) {
+			eligible++
+			if eligible >= j.Tasks {
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("batch: job %d needs %d exclusive nodes but only %d of %d nodes can host its tasks",
+		j.ID, j.Tasks, eligible, cl.N())
 }
 
 // freeCount counts all free nodes regardless of eligibility (used by the
@@ -56,7 +131,7 @@ func (p *nodePool) fits(node int, j workload.Job) bool {
 func (p *nodePool) freeCount() int { return len(p.free) }
 
 // freeFor counts the free nodes eligible for the job.
-func (p *nodePool) freeFor(j workload.Job) int {
+func (p *nodePool) freeFor(j *workload.Job) int {
 	n := 0
 	for _, node := range p.free {
 		if p.fits(node, j) {
@@ -69,7 +144,7 @@ func (p *nodePool) freeFor(j workload.Job) int {
 // takeFor removes and returns the first k free nodes eligible for the job
 // (in node-id order, deterministic). The caller must have checked
 // freeFor(j) >= k.
-func (p *nodePool) takeFor(j workload.Job, k int) []int {
+func (p *nodePool) takeFor(j *workload.Job, k int) []int {
 	nodes := make([]int, 0, k)
 	kept := p.free[:0]
 	for _, node := range p.free {
@@ -93,6 +168,7 @@ func (p *nodePool) give(nodes []int) {
 // backfilling. The head of the queue blocks all later jobs until enough
 // nodes are free.
 type FCFS struct {
+	wholeNodeAdmission
 	pool    *nodePool
 	queue   []int
 	holding map[int][]int // jid -> nodes held (the simulator clears a job's
@@ -128,10 +204,10 @@ func (f *FCFS) OnTimer(*sim.Controller, int64) {}
 func (f *FCFS) dispatch(ctl *sim.Controller) {
 	for len(f.queue) > 0 {
 		head := ctl.Job(f.queue[0])
-		if head.Job.Tasks > f.pool.freeFor(head.Job) {
+		if head.Job.Tasks > f.pool.freeFor(&head.Job) {
 			return
 		}
-		nodes := f.pool.takeFor(head.Job, head.Job.Tasks)
+		nodes := f.pool.takeFor(&head.Job, head.Job.Tasks)
 		ctl.Start(head.JID, nodes)
 		ctl.SetYield(head.JID, 1)
 		f.holding[head.JID] = nodes
@@ -143,6 +219,7 @@ func (f *FCFS) dispatch(ctl *sim.Controller) {
 // queued jobs whenever they cannot delay the earliest-possible start of the
 // queue's head job, computed from perfect execution-time estimates.
 type EASY struct {
+	wholeNodeAdmission
 	pool    *nodePool
 	queue   []int
 	holding map[int][]int
@@ -176,7 +253,7 @@ func (e *EASY) OnTimer(*sim.Controller, int64) {}
 
 func (e *EASY) start(ctl *sim.Controller, jid int) {
 	j := ctl.Job(jid).Job
-	nodes := e.pool.takeFor(j, j.Tasks)
+	nodes := e.pool.takeFor(&j, j.Tasks)
 	ctl.Start(jid, nodes)
 	ctl.SetYield(jid, 1)
 	e.holding[jid] = nodes
@@ -186,7 +263,7 @@ func (e *EASY) dispatch(ctl *sim.Controller) {
 	// Start jobs in FIFO order while they fit.
 	for len(e.queue) > 0 {
 		j := ctl.Job(e.queue[0]).Job
-		if j.Tasks > e.pool.freeFor(j) {
+		if j.Tasks > e.pool.freeFor(&j) {
 			break
 		}
 		e.start(ctl, e.queue[0])
@@ -201,7 +278,7 @@ func (e *EASY) dispatch(ctl *sim.Controller) {
 	for i := 1; i < len(e.queue); {
 		jid := e.queue[i]
 		ji := ctl.Job(jid)
-		if ji.Job.Tasks > e.pool.freeFor(ji.Job) {
+		if ji.Job.Tasks > e.pool.freeFor(&ji.Job) {
 			i++
 			continue
 		}
@@ -231,7 +308,7 @@ func (e *EASY) dispatch(ctl *sim.Controller) {
 func (e *EASY) reservation(ctl *sim.Controller) (shadow float64, extra int) {
 	head := ctl.Job(e.queue[0]).Job
 	need := head.Tasks
-	avail := e.pool.freeFor(head)
+	avail := e.pool.freeFor(&head)
 	if avail >= need {
 		return ctl.Now(), avail - need
 	}
@@ -243,7 +320,7 @@ func (e *EASY) reservation(ctl *sim.Controller) (shadow float64, extra int) {
 	for _, jid := range ctl.JobsInState(sim.Running) {
 		eligible := 0
 		for _, node := range e.holding[jid] {
-			if e.pool.fits(node, head) {
+			if e.pool.fits(node, &head) {
 				eligible++
 			}
 		}

@@ -159,10 +159,10 @@ func TestFCFSFullClusterJob(t *testing.T) {
 func TestNodePool(t *testing.T) {
 	p := newNodePool(cluster.Homogeneous(4))
 	j := workload.Job{Tasks: 3, CPUNeed: 0.5, MemReq: 0.5}
-	if p.freeCount() != 4 || p.freeFor(j) != 4 {
-		t.Fatalf("freeCount = %d, freeFor = %d", p.freeCount(), p.freeFor(j))
+	if p.freeCount() != 4 || p.freeFor(&j) != 4 {
+		t.Fatalf("freeCount = %d, freeFor = %d", p.freeCount(), p.freeFor(&j))
 	}
-	taken := p.takeFor(j, 3)
+	taken := p.takeFor(&j, 3)
 	if len(taken) != 3 || p.freeCount() != 1 {
 		t.Fatalf("take: %v, free %d", taken, p.freeCount())
 	}
@@ -180,21 +180,21 @@ func TestNodePool(t *testing.T) {
 // cannot host at full speed, while still counting as free for others.
 func TestNodePoolEligibility(t *testing.T) {
 	p := newNodePool(cluster.New([]cluster.NodeSpec{
-		{CPUCap: 0.5, MemCap: 0.5},
-		{CPUCap: 1, MemCap: 1},
-		{CPUCap: 2, MemCap: 2},
+		cluster.Spec(0.5, 0.5),
+		cluster.Spec(1, 1),
+		cluster.Spec(2, 2),
 	}))
 	big := workload.Job{Tasks: 1, CPUNeed: 0.8, MemReq: 0.8}
 	small := workload.Job{Tasks: 1, CPUNeed: 0.3, MemReq: 0.3}
-	if p.freeFor(big) != 2 || p.freeFor(small) != 3 {
-		t.Fatalf("freeFor: big %d small %d", p.freeFor(big), p.freeFor(small))
+	if p.freeFor(&big) != 2 || p.freeFor(&small) != 3 {
+		t.Fatalf("freeFor: big %d small %d", p.freeFor(&big), p.freeFor(&small))
 	}
 	// takeFor skips the ineligible thin node 0.
-	taken := p.takeFor(big, 2)
+	taken := p.takeFor(&big, 2)
 	if len(taken) != 2 || taken[0] != 1 || taken[1] != 2 {
-		t.Fatalf("takeFor(big, 2) = %v, want [1 2]", taken)
+		t.Fatalf("takeFor(&big, 2) = %v, want [1 2]", taken)
 	}
-	if p.freeCount() != 1 || p.freeFor(big) != 0 {
-		t.Errorf("after take: free %d, freeFor(big) %d", p.freeCount(), p.freeFor(big))
+	if p.freeCount() != 1 || p.freeFor(&big) != 0 {
+		t.Errorf("after take: free %d, freeFor(&big) %d", p.freeCount(), p.freeFor(&big))
 	}
 }

@@ -20,6 +20,7 @@ func init() {
 // the paper's evaluation but is the natural third batch comparator, and the
 // experiment harness accepts it anywhere "fcfs" or "easy" appear.
 type Conservative struct {
+	wholeNodeAdmission
 	pool    *nodePool
 	queue   []int
 	holding map[int][]int
@@ -150,8 +151,8 @@ func (c *Conservative) dispatchOnce(ctl *sim.Controller) bool {
 			// Starts now: take real nodes and dispatch. On a heterogeneous
 			// cluster the profile is advisory; the eligibility check here is
 			// what keeps every start within per-node capacities.
-			if ji.Job.Tasks <= c.pool.freeFor(ji.Job) {
-				nodes := c.pool.takeFor(ji.Job, ji.Job.Tasks)
+			if ji.Job.Tasks <= c.pool.freeFor(&ji.Job) {
+				nodes := c.pool.takeFor(&ji.Job, ji.Job.Tasks)
 				ctl.Start(jid, nodes)
 				ctl.SetYield(jid, 1)
 				c.holding[jid] = nodes

@@ -25,9 +25,11 @@ package gang
 import (
 	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/floats"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // DefaultQuantum is the registered variant's time slice in seconds.
@@ -46,7 +48,10 @@ type Scheduler struct {
 
 	rows    []row
 	current int // row currently executing
-	memUse  []float64
+	// rigidUse[r][node] is the cumulative demand in rigid dimension r+1
+	// (rigidUse[0] is memory) across all rows — suspended jobs keep their
+	// VM-resident footprint, the memory pressure Section VI identifies.
+	rigidUse [][]float64
 	// placed[jid] = row index.
 	placed map[int]int
 	queue  []int
@@ -74,11 +79,32 @@ func (g *Scheduler) Name() string {
 	return g.name
 }
 
+// CheckJob implements sim.CapacityChecker: a gang row runs at yield 1, so
+// within one row a node hosts at most floor(cpuCap/need) of the job's
+// tasks on top of the rigid limits. A job whose tasks exceed even a fresh
+// row on an empty cluster can never be admitted — without this veto it
+// would sit queued while the quantum timer re-arms forever. On the paper's
+// platform (unit nodes, need and demands in (0,1], tasks <= nodes) every
+// node holds at least one task and the check never fires; it bites on
+// partially-equipped mixes (a CPU-hungry multi-task GPU job with fewer
+// GPU nodes than tasks).
+func (g *Scheduler) CheckJob(cl *cluster.Cluster, j workload.Job) error {
+	slots := sim.TaskSlots(cl.N(), j.Tasks, 0, cl.D(), j.Demand, cl.Cap)
+	if slots < j.Tasks {
+		return fmt.Errorf("gang: job %d needs %d tasks in one time slice but a fresh row on the empty cluster holds at most %d",
+			j.ID, j.Tasks, slots)
+	}
+	return nil
+}
+
 // Init implements sim.Scheduler.
 func (g *Scheduler) Init(ctl *sim.Controller) {
 	g.rows = nil
 	g.current = 0
-	g.memUse = make([]float64, ctl.NumNodes())
+	g.rigidUse = make([][]float64, ctl.NumDims()-1)
+	for r := range g.rigidUse {
+		g.rigidUse[r] = make([]float64, ctl.NumNodes())
+	}
 	g.placed = map[int]int{}
 	g.queue = nil
 	ctl.SetTimer(ctl.Now()+g.quantum, tickTag)
@@ -137,19 +163,30 @@ func (g *Scheduler) tryPlace(ctl *sim.Controller, jid int) bool {
 
 // fitInRow plans one node per task: the node must have CPU headroom within
 // the row (need sums to at most the node's CPU capacity per slice, so the
-// row can run at yield 1) and global memory headroom across all rows. On a
-// homogeneous cluster both capacities are 1.0, the published formulation.
+// row can run at yield 1) and global headroom in every rigid dimension
+// (memory, GPU, ...) across all rows. On a homogeneous cluster both
+// capacities are 1.0, the published formulation.
 func (g *Scheduler) fitInRow(ctl *sim.Controller, ji sim.JobInfo, r *row, n int) ([]int, bool) {
 	nodes := make([]int, 0, ji.Job.Tasks)
 	planLoad := make([]float64, n)
-	planMem := make([]float64, n)
+	planRigid := make([][]float64, len(g.rigidUse))
+	for ri := range planRigid {
+		planRigid[ri] = make([]float64, n)
+	}
 	for task := 0; task < ji.Job.Tasks; task++ {
 		found := -1
 		for node := 0; node < n; node++ {
 			if !floats.LessEq(r.load[node]+planLoad[node]+ji.Job.CPUNeed, ctl.CPUCap(node)) {
 				continue
 			}
-			if !floats.LessEq(g.memUse[node]+planMem[node]+ji.Job.MemReq, ctl.MemCap(node)) {
+			fit := true
+			for ri := range g.rigidUse {
+				if !floats.LessEq(g.rigidUse[ri][node]+planRigid[ri][node]+ji.Job.Demand(ri+1), ctl.ResCap(node, ri+1)) {
+					fit = false
+					break
+				}
+			}
+			if !fit {
 				continue
 			}
 			found = node
@@ -160,7 +197,9 @@ func (g *Scheduler) fitInRow(ctl *sim.Controller, ji sim.JobInfo, r *row, n int)
 		}
 		nodes = append(nodes, found)
 		planLoad[found] += ji.Job.CPUNeed
-		planMem[found] += ji.Job.MemReq
+		for ri := range planRigid {
+			planRigid[ri][found] += ji.Job.Demand(ri + 1)
+		}
 	}
 	return nodes, true
 }
@@ -172,7 +211,9 @@ func (g *Scheduler) commit(ctl *sim.Controller, jid, ri int, nodes []int) {
 	ji := ctl.Job(jid)
 	for _, node := range nodes {
 		r.load[node] += ji.Job.CPUNeed
-		g.memUse[node] += ji.Job.MemReq
+		for k := range g.rigidUse {
+			g.rigidUse[k][node] += ji.Job.Demand(k + 1)
+		}
 	}
 	g.placed[jid] = ri
 	ctl.Start(jid, nodes)
@@ -188,9 +229,10 @@ func (g *Scheduler) remove(ctl *sim.Controller, jid int) {
 	ji := ctl.Job(jid)
 	for _, node := range r.nodes[jid] {
 		r.load[node] -= ji.Job.CPUNeed
-		g.memUse[node] -= ji.Job.MemReq
 		r.load[node] = floats.NonNeg(r.load[node])
-		g.memUse[node] = floats.NonNeg(g.memUse[node])
+		for k := range g.rigidUse {
+			g.rigidUse[k][node] = floats.NonNeg(g.rigidUse[k][node] - ji.Job.Demand(k+1))
+		}
 	}
 	delete(r.nodes, jid)
 	for i, j := range r.jobs {

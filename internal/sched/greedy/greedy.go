@@ -18,9 +18,9 @@ package greedy
 
 import (
 	"repro/internal/core"
-	"repro/internal/floats"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 func init() {
@@ -99,17 +99,14 @@ func (g *Greedy) admit(ctl *sim.Controller, jid int) {
 	g.forceAdmission(ctl, jid)
 }
 
-// memFeasible reports whether a job with the given task count and memory
-// requirement fits on the cluster given per-node free memory.
-func memFeasible(freeMem []float64, tasks int, memReq float64) bool {
-	fit := 0
-	for _, free := range freeMem {
-		fit += int((free + floats.Eps) / memReq)
-		if fit >= tasks {
-			return true
-		}
-	}
-	return false
+// rigidFeasible reports whether the job's task count fits on the cluster
+// given per-node free capacity in every rigid dimension (freeRigid[r][node]
+// is dimension r+1). A node's task capacity is the minimum over the
+// dimensions the job actually demands; on the paper's platform this is
+// exactly the memory-only count of Section III-A.
+func rigidFeasible(freeRigid [][]float64, j workload.Job) bool {
+	free := func(node, k int) float64 { return freeRigid[k-1][node] }
+	return sim.TaskSlots(len(freeRigid[0]), j.Tasks, 1, len(freeRigid)+1, j.Demand, free) >= j.Tasks
 }
 
 // forceAdmission implements the GREEDY-PMTN admission procedure: mark
@@ -121,28 +118,38 @@ func (g *Greedy) forceAdmission(ctl *sim.Controller, jid int) {
 	ji := ctl.Job(jid)
 	now := ctl.Now()
 	n := ctl.NumNodes()
-	freeMem := make([]float64, n)
-	for node := 0; node < n; node++ {
-		freeMem[node] = ctl.FreeMem(node)
+	d := ctl.NumDims()
+	freeRigid := make([][]float64, d-1)
+	for r := range freeRigid {
+		freeRigid[r] = make([]float64, n)
+		for node := 0; node < n; node++ {
+			freeRigid[r][node] = ctl.FreeRes(node, r+1)
+		}
+	}
+	// addRigid adds (sign = +1) or removes (sign = -1) the job's rigid
+	// demands on its hosting nodes from the hypothetical free state.
+	addRigid := func(cj sim.JobInfo, sign float64) {
+		for _, node := range cj.Nodes {
+			for r := range freeRigid {
+				freeRigid[r][node] += sign * cj.Job.Demand(r+1)
+			}
+		}
 	}
 	running := sched.ByPriority(ctl, ctl.JobsInState(sim.Running), now, g.priority, true)
 
 	marked := map[int]bool{}
 	var markOrder []int
 	for _, cand := range running {
-		if memFeasible(freeMem, ji.Job.Tasks, ji.Job.MemReq) {
+		if rigidFeasible(freeRigid, ji.Job) {
 			break
 		}
-		cj := ctl.Job(cand)
-		for _, node := range cj.Nodes {
-			freeMem[node] += cj.Job.MemReq
-		}
+		addRigid(ctl.Job(cand), +1)
 		marked[cand] = true
 		markOrder = append(markOrder, cand)
 	}
-	if !memFeasible(freeMem, ji.Job.Tasks, ji.Job.MemReq) {
+	if !rigidFeasible(freeRigid, ji.Job) {
 		// Even pausing everything is not enough; cannot happen for valid
-		// traces (tasks <= nodes, memReq <= 1) but keep the job pending
+		// traces (tasks <= nodes, demands <= 1) but keep the job pending
 		// rather than panicking on a malformed workload.
 		return
 	}
@@ -150,16 +157,12 @@ func (g *Greedy) forceAdmission(ctl *sim.Controller, jid int) {
 	for i := len(markOrder) - 1; i >= 0; i-- {
 		cand := markOrder[i]
 		cj := ctl.Job(cand)
-		for _, node := range cj.Nodes {
-			freeMem[node] -= cj.Job.MemReq
-		}
-		if memFeasible(freeMem, ji.Job.Tasks, ji.Job.MemReq) {
+		addRigid(cj, -1)
+		if rigidFeasible(freeRigid, ji.Job) {
 			delete(marked, cand)
 			continue
 		}
-		for _, node := range cj.Nodes {
-			freeMem[node] += cj.Job.MemReq
-		}
+		addRigid(cj, +1)
 	}
 	for _, cand := range markOrder {
 		if marked[cand] {

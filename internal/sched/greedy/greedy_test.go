@@ -231,18 +231,33 @@ func TestLinprioVariantRuns(t *testing.T) {
 	}
 }
 
-func TestMemFeasible(t *testing.T) {
-	free := []float64{0.5, 1.0, 0.25}
-	if !memFeasible(free, 3, 0.5) {
+func TestRigidFeasible(t *testing.T) {
+	free := [][]float64{{0.5, 1.0, 0.25}}
+	job := func(tasks int, mem float64, extra ...float64) workload.Job {
+		return workload.Job{Tasks: tasks, MemReq: mem, Extra: extra}
+	}
+	if !rigidFeasible(free, job(3, 0.5)) {
 		t.Error("3 tasks of 0.5 fit in (0.5, 1.0): one + two")
 	}
-	if memFeasible(free, 4, 0.5) {
+	if rigidFeasible(free, job(4, 0.5)) {
 		t.Error("4 tasks of 0.5 cannot fit")
 	}
-	if !memFeasible(free, 1, 0.25) {
+	if !rigidFeasible(free, job(1, 0.25)) {
 		t.Error("1 task of 0.25 fits")
 	}
-	if memFeasible([]float64{}, 1, 0.1) {
+	if rigidFeasible([][]float64{{}}, job(1, 0.1)) {
 		t.Error("no nodes, no fit")
+	}
+	// A second rigid dimension binds independently: memory would admit two
+	// tasks, the GPU row only one.
+	twoDim := [][]float64{{1.0, 1.0}, {0.5, 0}}
+	if !rigidFeasible(twoDim, job(1, 0.5, 0.5)) {
+		t.Error("1 gpu task fits the gpu node")
+	}
+	if rigidFeasible(twoDim, job(2, 0.5, 0.5)) {
+		t.Error("2 gpu tasks cannot fit a single 0.5-gpu node")
+	}
+	if !rigidFeasible(twoDim, job(2, 0.5)) {
+		t.Error("gpu-less job unaffected by the gpu row")
 	}
 }

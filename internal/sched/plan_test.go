@@ -50,7 +50,7 @@ func TestGreedyPlaceExtraAccountsPlannedMemory(t *testing.T) {
 		jb(1, 0, 1, 0.2, 0.6, 100),
 	}}
 	buildSim(t, tr, func(ctl *sim.Controller) {
-		plan := NewPlan(ctl.NumNodes())
+		plan := NewPlan(ctl.NumNodes(), ctl.NumDims())
 		nodes0, ok := GreedyPlaceExtra(ctl, 0, plan)
 		if !ok {
 			t.Fatal("job 0 placement failed")
@@ -74,7 +74,7 @@ func TestGreedyPlaceExtraAccountsPlannedLoad(t *testing.T) {
 		jb(1, 0, 1, 0.8, 0.1, 100),
 	}}
 	buildSim(t, tr, func(ctl *sim.Controller) {
-		plan := NewPlan(ctl.NumNodes())
+		plan := NewPlan(ctl.NumNodes(), ctl.NumDims())
 		nodes0, _ := GreedyPlaceExtra(ctl, 0, plan)
 		plan.Commit(nodes0, 0.1, 0.8)
 		nodes1, ok := GreedyPlaceExtra(ctl, 1, plan)
@@ -98,7 +98,7 @@ func TestGreedyPlaceExtraPlanFillsMemory(t *testing.T) {
 		jb(1, 200, 1, 0.1, 0.7, 100),
 	}}
 	buildSim(t, tr, func(ctl *sim.Controller) {
-		plan := NewPlan(ctl.NumNodes())
+		plan := NewPlan(ctl.NumNodes(), ctl.NumDims())
 		nodes0, ok := GreedyPlaceExtra(ctl, 0, plan)
 		if !ok {
 			t.Fatal("job 0 placement failed")
@@ -119,8 +119,8 @@ func TestGreedyPlacePrefersFatNodesRelativeLoad(t *testing.T) {
 		jb(1, 0, 1, 0.4, 0.1, 100),
 	}}
 	cl := cluster.New([]cluster.NodeSpec{
-		{CPUCap: 2, MemCap: 2},
-		{CPUCap: 1, MemCap: 1},
+		cluster.Spec(2, 2),
+		cluster.Spec(1, 1),
 	})
 	buildSimCluster(t, tr, cl, func(ctl *sim.Controller) {
 		// Load the fat node with 0.6: relative load 0.3 versus 0 on the
@@ -138,7 +138,7 @@ func TestGreedyPlacePrefersFatNodesRelativeLoad(t *testing.T) {
 		// next placement must prefer the fat node again.
 		ctl.Start(1, []int{1})
 		ctl.SetYield(1, 1)
-		plan := NewPlan(ctl.NumNodes())
+		plan := NewPlan(ctl.NumNodes(), ctl.NumDims())
 		nodes2, ok := GreedyPlaceExtra(ctl, 1, plan)
 		if !ok {
 			t.Fatal("hypothetical placement failed")
@@ -156,8 +156,8 @@ func TestGreedyPlaceRespectsThinNodeMemory(t *testing.T) {
 		jb(0, 0, 1, 0.1, 0.8, 100),
 	}}
 	cl := cluster.New([]cluster.NodeSpec{
-		{CPUCap: 0.5, MemCap: 0.5},
-		{CPUCap: 1, MemCap: 1},
+		cluster.Spec(0.5, 0.5),
+		cluster.Spec(1, 1),
 	})
 	buildSimCluster(t, tr, cl, func(ctl *sim.Controller) {
 		nodes, ok := GreedyPlace(ctl, 0)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/floats"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // PriorityFunc computes a job's preemption priority from its flow time and
@@ -26,6 +27,7 @@ func Spec(ji sim.JobInfo) core.JobSpec {
 		Tasks:   ji.Job.Tasks,
 		CPUNeed: ji.Job.CPUNeed,
 		MemReq:  ji.Job.MemReq,
+		Extra:   ji.Job.Extra,
 		Weight:  ji.Job.Weight,
 	}
 }
@@ -33,8 +35,9 @@ func Spec(ji sim.JobInfo) core.JobSpec {
 // GreedyPlace computes the GREEDY placement of Section III-A for job jid:
 // each task in turn goes to the node with the lowest relative CPU load
 // (load divided by the node's CPU capacity — on the paper's unit-capacity
-// platform exactly the raw load) among nodes with enough free memory
-// (taking the tasks already placed in this call into account). It returns
+// platform exactly the raw load) among nodes with enough free capacity in
+// every rigid dimension (memory, and GPU etc. on multi-resource clusters;
+// tasks already placed in this call are taken into account). It returns
 // one node per task, or ok=false if some task cannot be placed. Cluster
 // state is not modified.
 func GreedyPlace(ctl *sim.Controller, jid int) (nodes []int, ok bool) {
@@ -42,28 +45,49 @@ func GreedyPlace(ctl *sim.Controller, jid int) (nodes []int, ok bool) {
 }
 
 // GreedyPlaceExtra is GreedyPlace with additional hypothetical usage: the
-// plan's extra memory and load (indexed by node, may be nil) are added on
-// top of the simulator's current state. This lets callers plan multi-job
-// placements (e.g. resuming several paused jobs in one event) without
-// mutating the cluster between decisions.
+// plan's extra rigid demands and load (indexed by node, may be nil) are
+// added on top of the simulator's current state. This lets callers plan
+// multi-job placements (e.g. resuming several paused jobs in one event)
+// without mutating the cluster between decisions.
 func GreedyPlaceExtra(ctl *sim.Controller, jid int, extra *Plan) ([]int, bool) {
 	ji := ctl.Job(jid)
 	n := ctl.NumNodes()
-	nodes := make([]int, 0, ji.Job.Tasks)
-	planMem := make([]float64, n)
-	planLoad := make([]float64, n)
+	d := ctl.NumDims()
+	plan := NewPlan(n, d)
 	if extra != nil {
-		copy(planMem, extra.Mem)
-		copy(planLoad, extra.Load)
+		copy(plan.Load, extra.Load)
+		for r := range plan.Rigid {
+			copy(plan.Rigid[r], extra.Rigid[r])
+		}
 	}
+	if d == 2 {
+		// The paper's two-resource platform is the placement hot path
+		// (every greedy admission and every DYNMCB8-ASAP arrival); keep it
+		// on the memory-only scan. The general path below computes exactly
+		// this for d == 2.
+		return greedyPlace2(ctl, ji, plan)
+	}
+	// Hoist the per-dimension demands out of the scan loops.
+	dems := make([]float64, d-1)
+	for r := range dems {
+		dems[r] = ji.Job.Demand(r + 1)
+	}
+	nodes := make([]int, 0, ji.Job.Tasks)
 	for task := 0; task < ji.Job.Tasks; task++ {
 		best := -1
 		bestLoad := math.Inf(1)
 		for node := 0; node < n; node++ {
-			if !floats.LessEq(ji.Job.MemReq, ctl.FreeMem(node)-planMem[node]) {
+			fit := true
+			for r, dem := range dems {
+				if !floats.LessEq(dem, ctl.FreeRes(node, r+1)-plan.Rigid[r][node]) {
+					fit = false
+					break
+				}
+			}
+			if !fit {
 				continue
 			}
-			load := (ctl.CPULoad(node) + planLoad[node]) / ctl.CPUCap(node)
+			load := (ctl.CPULoad(node) + plan.Load[node]) / ctl.CPUCap(node)
 			if load < bestLoad {
 				bestLoad = load
 				best = node
@@ -73,29 +97,85 @@ func GreedyPlaceExtra(ctl *sim.Controller, jid int, extra *Plan) ([]int, bool) {
 			return nil, false
 		}
 		nodes = append(nodes, best)
-		planMem[best] += ji.Job.MemReq
-		planLoad[best] += ji.Job.CPUNeed
+		plan.Load[best] += ji.Job.CPUNeed
+		for r, dem := range dems {
+			plan.Rigid[r][best] += dem
+		}
 	}
 	return nodes, true
 }
 
-// Plan accumulates hypothetical extra memory and CPU load per node across a
-// sequence of placement decisions within one scheduling event.
+// greedyPlace2 is the two-resource specialization of the placement scan.
+func greedyPlace2(ctl *sim.Controller, ji sim.JobInfo, plan *Plan) ([]int, bool) {
+	n := ctl.NumNodes()
+	memReq := ji.Job.MemReq
+	planMem := plan.Rigid[0]
+	nodes := make([]int, 0, ji.Job.Tasks)
+	for task := 0; task < ji.Job.Tasks; task++ {
+		best := -1
+		bestLoad := math.Inf(1)
+		for node := 0; node < n; node++ {
+			if !floats.LessEq(memReq, ctl.FreeMem(node)-planMem[node]) {
+				continue
+			}
+			load := (ctl.CPULoad(node) + plan.Load[node]) / ctl.CPUCap(node)
+			if load < bestLoad {
+				bestLoad = load
+				best = node
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		nodes = append(nodes, best)
+		planMem[best] += memReq
+		plan.Load[best] += ji.Job.CPUNeed
+	}
+	return nodes, true
+}
+
+// Plan accumulates hypothetical extra rigid demands and CPU load per node
+// across a sequence of placement decisions within one scheduling event.
 type Plan struct {
-	Mem  []float64
+	// Rigid[r][node] is the planned extra demand in rigid dimension r+1
+	// (Rigid[0] is memory).
+	Rigid [][]float64
+	// Load[node] is the planned extra CPU load.
 	Load []float64
 }
 
-// NewPlan returns an empty plan for n nodes.
-func NewPlan(n int) *Plan {
-	return &Plan{Mem: make([]float64, n), Load: make([]float64, n)}
+// NewPlan returns an empty plan for n nodes and d resource dimensions.
+func NewPlan(n, d int) *Plan {
+	if d < 2 {
+		d = 2
+	}
+	p := &Plan{Load: make([]float64, n), Rigid: make([][]float64, d-1)}
+	for r := range p.Rigid {
+		p.Rigid[r] = make([]float64, n)
+	}
+	return p
 }
 
-// Commit adds a placement for the given job shape to the plan.
+// Mem returns the plan's memory row (rigid dimension 1).
+func (p *Plan) Mem() []float64 { return p.Rigid[0] }
+
+// Commit adds a placement with the given memory and CPU shape to the plan
+// (the d=2 case; use CommitJob for jobs with further demands).
 func (p *Plan) Commit(nodes []int, memReq, cpuNeed float64) {
 	for _, node := range nodes {
-		p.Mem[node] += memReq
+		p.Rigid[0][node] += memReq
 		p.Load[node] += cpuNeed
+	}
+}
+
+// CommitJob adds a placement of one of the job's tasks per listed node to
+// the plan, covering every rigid dimension the plan tracks.
+func (p *Plan) CommitJob(nodes []int, j workload.Job) {
+	for _, node := range nodes {
+		p.Load[node] += j.CPUNeed
+		for r := range p.Rigid {
+			p.Rigid[r][node] += j.Demand(r + 1)
+		}
 	}
 }
 

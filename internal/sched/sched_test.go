@@ -204,16 +204,27 @@ func TestApplyGreedyYields(t *testing.T) {
 }
 
 func TestPlanCommit(t *testing.T) {
-	p := NewPlan(3)
+	p := NewPlan(3, 2)
 	p.Commit([]int{0, 0, 2}, 0.3, 0.5)
-	if math.Abs(p.Mem[0]-0.6) > 1e-12 || math.Abs(p.Load[0]-1.0) > 1e-12 {
-		t.Errorf("node 0 plan: mem %v load %v", p.Mem[0], p.Load[0])
+	if math.Abs(p.Mem()[0]-0.6) > 1e-12 || math.Abs(p.Load[0]-1.0) > 1e-12 {
+		t.Errorf("node 0 plan: mem %v load %v", p.Mem()[0], p.Load[0])
 	}
-	if p.Mem[1] != 0 || p.Load[1] != 0 {
+	if p.Mem()[1] != 0 || p.Load[1] != 0 {
 		t.Error("untouched node changed")
 	}
-	if math.Abs(p.Mem[2]-0.3) > 1e-12 {
-		t.Errorf("node 2 mem %v", p.Mem[2])
+	if math.Abs(p.Mem()[2]-0.3) > 1e-12 {
+		t.Errorf("node 2 mem %v", p.Mem()[2])
+	}
+}
+
+func TestPlanCommitJobRigidDims(t *testing.T) {
+	p := NewPlan(2, 3)
+	p.CommitJob([]int{1}, workload.Job{CPUNeed: 0.4, MemReq: 0.2, Extra: []float64{0.7}})
+	if math.Abs(p.Rigid[0][1]-0.2) > 1e-12 || math.Abs(p.Rigid[1][1]-0.7) > 1e-12 {
+		t.Errorf("rigid plan = %v", p.Rigid)
+	}
+	if math.Abs(p.Load[1]-0.4) > 1e-12 {
+		t.Errorf("load plan = %v", p.Load)
 	}
 }
 

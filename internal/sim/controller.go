@@ -39,6 +39,38 @@ func (c *Controller) CPUCap(node int) float64 { return c.sim.cl.CPUCap(node) }
 // MemCap returns node's memory capacity (1.0 on the paper's platform).
 func (c *Controller) MemCap(node int) float64 { return c.sim.cl.MemCap(node) }
 
+// NumDims returns the cluster's resource dimension count (2 on the paper's
+// platform: CPU and memory).
+func (c *Controller) NumDims() int { return c.sim.cl.D() }
+
+// DimName returns the name of resource dimension k ("cpu", "mem",
+// "gpu", ...).
+func (c *Controller) DimName(k int) string { return c.sim.cl.DimName(k) }
+
+// ResCap returns node's capacity in resource dimension k.
+func (c *Controller) ResCap(node, k int) float64 { return c.sim.cl.Cap(node, k) }
+
+// UsedRes returns the amount of rigid resource dimension k currently
+// allocated on node. Dimension 1 is memory; dimensions beyond the
+// cluster's count report 0, consistent with Cluster.Cap. Asking for the
+// fluid CPU dimension (k = 0) panics — use AllocatedCPU for it.
+func (c *Controller) UsedRes(node, k int) float64 {
+	if k < 1 {
+		panic(fmt.Sprintf("sim: UsedRes(%d, %d): rigid dimensions start at 1; use AllocatedCPU for the CPU dimension", node, k))
+	}
+	if k-1 >= len(c.sim.usedRigid) {
+		return 0
+	}
+	return c.sim.usedRigid[k-1][node]
+}
+
+// FreeRes returns the free amount of rigid resource dimension k on node
+// (its capacity minus the allocated amount; 0 for dimensions the cluster
+// does not declare). Asking for the fluid CPU dimension (k = 0) panics.
+func (c *Controller) FreeRes(node, k int) float64 {
+	return floats.NonNeg(c.sim.cl.Cap(node, k) - c.UsedRes(node, k))
+}
+
 // NumJobs returns the number of jobs in the trace.
 func (c *Controller) NumJobs() int { return len(c.sim.jobs) }
 
@@ -98,12 +130,12 @@ func (c *Controller) CPULoad(node int) float64 { return c.sim.cpuLoad[node] }
 func (c *Controller) AllocatedCPU(node int) float64 { return c.sim.usedCPU[node] }
 
 // UsedMem returns the memory of a node currently allocated.
-func (c *Controller) UsedMem(node int) float64 { return c.sim.usedMem[node] }
+func (c *Controller) UsedMem(node int) float64 { return c.sim.usedRigid[0][node] }
 
 // FreeMem returns the free memory of a node (its capacity minus the
 // allocated memory).
 func (c *Controller) FreeMem(node int) float64 {
-	return floats.NonNeg(c.sim.cl.MemCap(node) - c.sim.usedMem[node])
+	return floats.NonNeg(c.sim.cl.MemCap(node) - c.sim.usedRigid[0][node])
 }
 
 // MaxCPULoad returns the maximum relative CPU load over all nodes — each

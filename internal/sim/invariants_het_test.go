@@ -66,9 +66,9 @@ func TestInvariantsOnFatThinMemoryPressure(t *testing.T) {
 	}
 	tr := &workload.Trace{Name: "fat-thin", Nodes: 3, NodeMemGB: 4, Jobs: jobs}
 	cl := cluster.New([]cluster.NodeSpec{
-		{CPUCap: 2, MemCap: 2},     // fat
-		{CPUCap: 1, MemCap: 1},     // reference
-		{CPUCap: 0.5, MemCap: 0.5}, // thin: only job 2 fits here
+		cluster.Spec(2, 2),     // fat
+		cluster.Spec(1, 1),     // reference
+		cluster.Spec(0.5, 0.5), // thin: only job 2 fits here
 	})
 	for _, alg := range nineAlgorithms {
 		s, err := sched.New(alg)
@@ -112,7 +112,7 @@ func TestHeterogeneousUtilization(t *testing.T) {
 	tr := &workload.Trace{Name: "u", Nodes: 2, NodeMemGB: 4, Jobs: []workload.Job{
 		{ID: 0, Submit: 0, Tasks: 1, CPUNeed: 1.0, MemReq: 0.5, ExecTime: 100},
 	}}
-	cl := cluster.New([]cluster.NodeSpec{{CPUCap: 2, MemCap: 2}, {CPUCap: 2, MemCap: 2}})
+	cl := cluster.New([]cluster.NodeSpec{cluster.Spec(2, 2), cluster.Spec(2, 2)})
 	s, err := sched.New("fcfs")
 	if err != nil {
 		t.Fatal(err)

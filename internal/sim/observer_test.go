@@ -261,7 +261,7 @@ func TestRunContextPreCancelled(t *testing.T) {
 // a job too big for every node of a thin cluster must fail at construction
 // with an UnschedulableError naming the job and the binding resource.
 func TestUnschedulableJobRejectedEagerly(t *testing.T) {
-	thin := cluster.New([]cluster.NodeSpec{{CPUCap: 0.5, MemCap: 0.5}, {CPUCap: 0.6, MemCap: 0.6}})
+	thin := cluster.New([]cluster.NodeSpec{cluster.Spec(0.5, 0.5), cluster.Spec(0.6, 0.6)})
 	mk := func(cpu, mem float64) *workload.Trace {
 		tr := &workload.Trace{Name: "thin", Nodes: 2, NodeMemGB: 8, Jobs: []workload.Job{
 			{ID: 7, Submit: 0, Tasks: 1, CPUNeed: cpu, MemReq: mem, ExecTime: 10},

@@ -61,6 +61,19 @@ func (s JobState) String() string {
 	return fmt.Sprintf("JobState(%d)", int(s))
 }
 
+// CapacityChecker is an optional interface a Scheduler may implement to
+// veto jobs it can structurally never run. The generic eager check of New
+// only rejects jobs no scheduler could place (a per-task demand exceeding
+// every node); schedulers with stronger allocation rules — batch baselines
+// allocate whole nodes exclusively, so a job eligible on fewer nodes than
+// its task count starves forever — report those jobs here and New fails
+// eagerly with a descriptive error instead of deadlocking mid-run.
+type CapacityChecker interface {
+	// CheckJob returns a non-nil error if the scheduler can never finish
+	// the job on the given cluster.
+	CheckJob(cl *cluster.Cluster, j workload.Job) error
+}
+
 // Scheduler is the algorithm under test. The simulator invokes exactly one
 // hook per event, after advancing job progress to the event time; the hook
 // inspects and mutates cluster state through the Controller.
@@ -214,11 +227,14 @@ type Config struct {
 // cluster: its per-task requirement for the binding resource exceeds the
 // capacity of every node, so batch baselines would starve it forever and
 // DFRS placements could never succeed. The simulator rejects such traces
-// eagerly at construction instead of deadlocking at run time.
+// eagerly at construction instead of deadlocking at run time. A job
+// demanding a resource dimension the cluster does not declare (e.g. a GPU
+// job on a two-resource cluster) is unschedulable with MaxCap 0.
 type UnschedulableError struct {
 	// JobID is the trace job ID (workload.Job.ID).
 	JobID int
-	// Resource is the binding resource, "memory" or "cpu".
+	// Resource is the binding resource: "cpu", "memory", or the cluster's
+	// name for a further dimension ("gpu", ...).
 	Resource string
 	// Need is the job's per-task requirement of the binding resource.
 	Need float64
@@ -231,6 +247,29 @@ type UnschedulableError struct {
 func (e *UnschedulableError) Error() string {
 	return fmt.Sprintf("sim: job %d is unschedulable: per-task %s requirement %g exceeds every node (max capacity %g)",
 		e.JobID, e.Resource, e.Need, e.MaxCap)
+}
+
+// InsufficientCapacityError reports a job whose identical tasks cannot all
+// be placed simultaneously even on an empty cluster: summing over nodes
+// the number of tasks each can hold (the minimum over the rigid dimensions
+// the job demands) falls short of the job's task count. Every scheduler
+// places a job's tasks at one instant, so such a job can never run — e.g.
+// a 16-task job demanding memory and GPU together when only four nodes
+// carry GPUs. The simulator rejects such traces eagerly at construction.
+type InsufficientCapacityError struct {
+	// JobID is the trace job ID (workload.Job.ID).
+	JobID int
+	// Tasks is the job's task count.
+	Tasks int
+	// Slots is the number of simultaneous task placements the empty
+	// cluster can hold for this job's demand vector.
+	Slots int
+}
+
+// Error implements error.
+func (e *InsufficientCapacityError) Error() string {
+	return fmt.Sprintf("sim: job %d is unschedulable: %d simultaneous tasks but the empty cluster holds at most %d across its rigid resource dimensions",
+		e.JobID, e.Tasks, e.Slots)
 }
 
 // Simulator executes one scheduling algorithm over one trace.
@@ -246,7 +285,11 @@ type Simulator struct {
 	cl      *cluster.Cluster
 	usedCPU []float64 // sum over tasks of need*yield
 	cpuLoad []float64 // sum over tasks of need (the paper's "CPU load")
-	usedMem []float64
+	// usedRigid[r][node] is the allocated amount of rigid dimension r+1 on
+	// node (usedRigid[0] is memory, further rows are GPU etc.). Rigid
+	// resources are hard constraints: occupied on Start/Resume/Migrate,
+	// released on Pause/completion, never scaled by yield.
+	usedRigid [][]float64
 
 	completionGen   uint64
 	pendingComplete *eventq.Event
@@ -279,25 +322,60 @@ func New(cfg Config, sched Scheduler) (*Simulator, error) {
 	if s.cl.N() != n {
 		return nil, fmt.Errorf("sim: cluster has %d nodes but trace %q targets %d", s.cl.N(), cfg.Trace.Name, n)
 	}
-	// Eager unschedulability check: a job whose per-task requirement
-	// exceeds every node of the materialised cluster can never be placed,
-	// so reject the trace up front instead of starving at run time.
-	var maxCPU, maxMem float64
+	// Eager unschedulability check: a job whose per-task requirement in
+	// any dimension exceeds every node of the materialised cluster can
+	// never be placed, so reject the trace up front instead of starving at
+	// run time. A job demanding a dimension the cluster does not declare
+	// faces capacity 0 everywhere and is likewise rejected.
+	d := s.cl.D()
+	maxDims := d
+	for _, j := range cfg.Trace.Jobs {
+		if j.Dims() > maxDims {
+			maxDims = j.Dims()
+		}
+	}
+	maxCap := make([]float64, maxDims)
 	for node := 0; node < n; node++ {
-		maxCPU = math.Max(maxCPU, s.cl.CPUCap(node))
-		maxMem = math.Max(maxMem, s.cl.MemCap(node))
+		for k := 0; k < d; k++ {
+			maxCap[k] = math.Max(maxCap[k], s.cl.Cap(node, k))
+		}
 	}
 	for _, j := range cfg.Trace.Jobs {
-		if !floats.LessEq(j.MemReq, maxMem) {
-			return nil, &UnschedulableError{JobID: j.ID, Resource: "memory", Need: j.MemReq, MaxCap: maxMem}
+		for k := 0; k < maxDims; k++ {
+			if !floats.LessEq(j.Demand(k), maxCap[k]) {
+				return nil, &UnschedulableError{
+					JobID: j.ID, Resource: resourceName(s.cl, k), Need: j.Demand(k), MaxCap: maxCap[k],
+				}
+			}
 		}
-		if !floats.LessEq(j.CPUNeed, maxCPU) {
-			return nil, &UnschedulableError{JobID: j.ID, Resource: "cpu", Need: j.CPUNeed, MaxCap: maxCPU}
+	}
+	// A job's tasks are placed simultaneously, so a job whose identical
+	// tasks cannot fit even an empty cluster can never run under any
+	// scheduler: each node holds min over the demanded rigid dimensions of
+	// floor(capacity/demand) tasks, and the total must reach the task
+	// count. On the paper's platform (unit nodes, demands in (0,1],
+	// tasks <= nodes) every node holds at least one task and the check
+	// never fires; it bites on partially-equipped clusters (GPU mixes).
+	for _, j := range cfg.Trace.Jobs {
+		if slots := TaskSlots(n, j.Tasks, cluster.DimMem, d, j.Demand, s.cl.Cap); slots < j.Tasks {
+			return nil, &InsufficientCapacityError{JobID: j.ID, Tasks: j.Tasks, Slots: slots}
+		}
+	}
+	// Scheduler-specific admission (see CapacityChecker): reject jobs the
+	// algorithm's allocation rules can structurally never serve.
+	if chk, ok := sched.(CapacityChecker); ok {
+		for _, j := range cfg.Trace.Jobs {
+			if err := chk.CheckJob(s.cl, j); err != nil {
+				return nil, fmt.Errorf("sim: %s cannot run trace %q: %w", sched.Name(), cfg.Trace.Name, err)
+			}
 		}
 	}
 	s.usedCPU = make([]float64, n)
 	s.cpuLoad = make([]float64, n)
-	s.usedMem = make([]float64, n)
+	s.usedRigid = make([][]float64, d-1)
+	for r := range s.usedRigid {
+		s.usedRigid[r] = make([]float64, n)
+	}
 	s.jobs = make([]*jobRT, len(cfg.Trace.Jobs))
 	for i, j := range cfg.Trace.Jobs {
 		s.jobs[i] = &jobRT{job: j, state: Pending, remaining: j.ExecTime, start: -1, lastPauseTime: -1}
@@ -488,14 +566,64 @@ func (s *Simulator) rescheduleCompletion() {
 	}
 }
 
+// TaskSlots returns how many of a job's identical tasks the described
+// capacity can hold simultaneously, capped at tasks: each of the n nodes
+// holds the minimum over dimensions [loDim, hiDim) of
+// floor(capacity/demand), and the per-node counts are summed. Quotients
+// are compared in float before the int conversion — a tiny demand can
+// push them past the int range, where the conversion is
+// implementation-defined; counts at or above tasks are all equivalent.
+// Non-positive demands leave a dimension unconstrained. This is the one
+// slot-counting rule shared by the simulator's eager capacity check and
+// the scheduler-specific admission vetoes (gang rows, greedy forced
+// admission).
+func TaskSlots(n, tasks, loDim, hiDim int, demand func(k int) float64, capacity func(node, k int) float64) int {
+	slots := 0
+	for node := 0; node < n && slots < tasks; node++ {
+		nodeSlots := tasks
+		for k := loDim; k < hiDim; k++ {
+			dem := demand(k)
+			if dem <= 0 {
+				continue
+			}
+			if q := (capacity(node, k) + floats.Eps) / dem; q < float64(nodeSlots) {
+				nodeSlots = int(q)
+				if nodeSlots == 0 {
+					break
+				}
+			}
+		}
+		slots += nodeSlots
+	}
+	return slots
+}
+
+// resourceName names dimension k for error reporting, keeping the
+// historical "cpu"/"memory" names for the paper's pair.
+func resourceName(cl *cluster.Cluster, k int) string {
+	switch k {
+	case cluster.DimCPU:
+		return "cpu"
+	case cluster.DimMem:
+		return "memory"
+	}
+	return cl.DimName(k)
+}
+
 func (s *Simulator) occupyNodes(j *jobRT, nodes []int) {
 	j.nodes = append([]int(nil), nodes...)
 	for _, node := range nodes {
 		s.cpuLoad[node] += j.job.CPUNeed
-		s.usedMem[node] += j.job.MemReq
-		if s.usedMem[node] > s.cl.MemCap(node)+capTol {
-			panic(fmt.Sprintf("sim: %s oversubscribed memory on node %d (%.6f of %.6f) at t=%.1f",
-				s.sched.Name(), node, s.usedMem[node], s.cl.MemCap(node), s.now))
+		for r := range s.usedRigid {
+			dem := j.job.Demand(r + 1)
+			if dem == 0 {
+				continue
+			}
+			s.usedRigid[r][node] += dem
+			if s.usedRigid[r][node] > s.cl.Cap(node, r+1)+capTol {
+				panic(fmt.Sprintf("sim: %s oversubscribed %s on node %d (%.6f of %.6f) at t=%.1f",
+					s.sched.Name(), resourceName(s.cl, r+1), node, s.usedRigid[r][node], s.cl.Cap(node, r+1), s.now))
+			}
 		}
 	}
 }
@@ -503,11 +631,14 @@ func (s *Simulator) occupyNodes(j *jobRT, nodes []int) {
 func (s *Simulator) releaseNodes(j *jobRT) {
 	for _, node := range j.nodes {
 		s.cpuLoad[node] -= j.job.CPUNeed
-		s.usedMem[node] -= j.job.MemReq
 		s.usedCPU[node] -= j.job.CPUNeed * j.yield
 		s.cpuLoad[node] = floats.NonNeg(s.cpuLoad[node])
-		s.usedMem[node] = floats.NonNeg(s.usedMem[node])
 		s.usedCPU[node] = floats.NonNeg(s.usedCPU[node])
+		for r := range s.usedRigid {
+			if dem := j.job.Demand(r + 1); dem != 0 {
+				s.usedRigid[r][node] = floats.NonNeg(s.usedRigid[r][node] - dem)
+			}
+		}
 	}
 	j.nodes = nil
 }
@@ -520,8 +651,10 @@ func (s *Simulator) memGB(j *jobRT) float64 {
 
 // validate is the paranoia check run after every event in tests.
 func (s *Simulator) validate() error {
-	usedCPU := make([]float64, len(s.usedCPU))
-	usedMem := make([]float64, len(s.usedMem))
+	n := len(s.usedCPU)
+	d := s.cl.D()
+	usedCPU := make([]float64, n)
+	usedRigid := make([]float64, n*(d-1))
 	for jid, j := range s.jobs {
 		switch j.state {
 		case Running:
@@ -533,7 +666,9 @@ func (s *Simulator) validate() error {
 			}
 			for _, node := range j.nodes {
 				usedCPU[node] += j.job.CPUNeed * j.yield
-				usedMem[node] += j.job.MemReq
+				for r := 0; r < d-1; r++ {
+					usedRigid[node*(d-1)+r] += j.job.Demand(r + 1)
+				}
 			}
 		case Pending, Paused, Done:
 			if j.nodes != nil {
@@ -544,12 +679,15 @@ func (s *Simulator) validate() error {
 			return fmt.Errorf("sim: job %d has negative remaining work %g", jid, j.remaining)
 		}
 	}
-	for node := range usedCPU {
+	for node := 0; node < n; node++ {
 		if usedCPU[node] > s.cl.CPUCap(node)+capTol {
 			return fmt.Errorf("sim: node %d allocated CPU %.6f > capacity %.6f", node, usedCPU[node], s.cl.CPUCap(node))
 		}
-		if usedMem[node] > s.cl.MemCap(node)+capTol {
-			return fmt.Errorf("sim: node %d allocated memory %.6f > capacity %.6f", node, usedMem[node], s.cl.MemCap(node))
+		for r := 0; r < d-1; r++ {
+			if usedRigid[node*(d-1)+r] > s.cl.Cap(node, r+1)+capTol {
+				return fmt.Errorf("sim: node %d allocated %s %.6f > capacity %.6f",
+					node, resourceName(s.cl, r+1), usedRigid[node*(d-1)+r], s.cl.Cap(node, r+1))
+			}
 		}
 	}
 	return nil

@@ -140,12 +140,16 @@ func Percentile(xs []float64, p float64) float64 {
 func Median(xs []float64) float64 { return Percentile(xs, 50) }
 
 // Histogram counts observations into nbins equal-width bins over [lo, hi).
-// Observations outside the range are clamped into the first or last bin so
-// that totals always match the number of Add calls.
+// Finite observations outside the range (and infinities) are clamped into
+// the first or last bin. NaN observations carry no position at all — the
+// float-to-int conversion of a NaN bin index is implementation-defined, so
+// counting them would land in an arbitrary bin — and are dropped from the
+// bins and the total; DroppedNaN reports how many were seen.
 type Histogram struct {
 	Lo, Hi float64
 	Counts []int
 	total  int
+	nan    int
 }
 
 // NewHistogram creates a histogram with nbins bins spanning [lo, hi).
@@ -160,21 +164,31 @@ func NewHistogram(lo, hi float64, nbins int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
 }
 
-// Add records one observation.
+// Add records one observation. NaN observations are dropped (see the type
+// comment); infinities clamp into the edge bins. The bin index is clamped
+// in floating point before the int conversion, which would be
+// implementation-defined for values beyond the int range.
 func (h *Histogram) Add(x float64) {
-	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
-	if idx < 0 {
-		idx = 0
+	if math.IsNaN(x) {
+		h.nan++
+		return
 	}
-	if idx >= len(h.Counts) {
+	idx := 0
+	if f := (x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)); f >= float64(len(h.Counts)) {
 		idx = len(h.Counts) - 1
+	} else if f > 0 {
+		idx = int(f)
 	}
 	h.Counts[idx]++
 	h.total++
 }
 
-// Total returns the number of observations recorded.
+// Total returns the number of observations recorded (NaN observations are
+// not recorded).
 func (h *Histogram) Total() int { return h.total }
+
+// DroppedNaN returns the number of NaN observations dropped by Add.
+func (h *Histogram) DroppedNaN() int { return h.nan }
 
 // Fraction returns the fraction of observations in bin i.
 func (h *Histogram) Fraction(i int) float64 {

@@ -156,6 +156,43 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramNonFinite is the regression test for the NaN defect: the
+// float-to-int conversion of a NaN bin index is implementation-defined, so
+// a NaN observation used to land in an arbitrary bin and inflate Total.
+// NaN must be dropped (and reported via DroppedNaN); infinities clamp into
+// the edge bins like any other out-of-range observation.
+func TestHistogramNonFinite(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(math.NaN())
+	h.Add(math.NaN())
+	if h.Total() != 0 {
+		t.Errorf("Total = %d after NaN observations, want 0", h.Total())
+	}
+	for i, c := range h.Counts {
+		if c != 0 {
+			t.Errorf("bin %d = %d after NaN observations, want 0", i, c)
+		}
+	}
+	if h.DroppedNaN() != 2 {
+		t.Errorf("DroppedNaN = %d, want 2", h.DroppedNaN())
+	}
+	h.Add(math.Inf(1))
+	h.Add(math.Inf(-1))
+	h.Add(5)
+	if h.Total() != 3 {
+		t.Errorf("Total = %d, want 3", h.Total())
+	}
+	if h.Counts[4] != 1 || h.Counts[0] != 1 || h.Counts[2] != 1 {
+		t.Errorf("bins = %v, want +Inf in bin 4, -Inf in bin 0, 5 in bin 2", h.Counts)
+	}
+	// A huge finite value whose scaled index overflows int range still
+	// clamps into the last bin.
+	h.Add(1e300)
+	if h.Counts[4] != 2 {
+		t.Errorf("bin 4 = %d after 1e300, want 2", h.Counts[4])
+	}
+}
+
 func TestHistogramPanics(t *testing.T) {
 	for name, fn := range map[string]func(){
 		"zero bins":   func() { NewHistogram(0, 1, 0) },

@@ -1,18 +1,33 @@
-// Package vectorpack implements bi-dimensional vector packing heuristics for
-// the DFRS resource-allocation problem: place tasks, each with a CPU
-// requirement and a memory requirement (fractions of the reference node),
-// onto a cluster of nodes with individual CPU and memory capacities
-// (internal/cluster.NodeSpec). On the paper's homogeneous platform every
-// bin is the 1.0 x 1.0 reference node and the heuristics reduce exactly to
-// their published form; heterogeneous clusters simply present unequal bins.
+// Package vectorpack implements d-dimensional vector packing heuristics for
+// the DFRS resource-allocation problem: place tasks, each with a
+// requirement vector over the cluster's resource dimensions (CPU, memory,
+// and optionally GPU or further rigid resources, as fractions of the
+// reference node), onto a cluster of nodes with individual capacity
+// vectors (internal/cluster.NodeSpec). On the paper's homogeneous
+// two-resource platform every bin is the 1.0 x 1.0 reference node and the
+// heuristics reduce exactly to their published form; heterogeneous or
+// higher-dimensional clusters simply present unequal, longer bins.
 //
-// The primary algorithm is MCB8, the multi-capacity bin-packing heuristic of
-// Leinberger, Karypis and Kumar ("Multi-capacity bin packing algorithms with
-// applications to job scheduling under multiple constraints", ICPP 1999) as
-// used by Stillwell et al.: tasks are split into a CPU-heavy and a
-// memory-heavy list, each sorted by non-increasing largest requirement, and
-// nodes are filled one at a time, always picking the first fitting task from
-// the list that goes against the node's current resource imbalance.
+// The primary algorithm is MCB8, the multi-capacity bin-packing heuristic
+// of Leinberger, Karypis and Kumar ("Multi-capacity bin packing algorithms
+// with applications to job scheduling under multiple constraints", ICPP
+// 1999) as used by Stillwell et al., generalized from two lists to d:
+// every item is classified by its dominant dimension (the corner of the
+// capacity space its requirement vector leans into), each of the d lists
+// is sorted by non-increasing largest requirement, and nodes are filled
+// one at a time, always trying lists in the order of the node's current
+// per-dimension headroom so that the chosen item goes against the node's
+// resource imbalance (the imbalance window). With d=2 this is exactly the
+// published CPU-heavy/memory-heavy two-list scheme.
+//
+// On heterogeneous clusters all classification and sorting uses
+// capacity-normalized requirements — each dimension divided by the
+// cluster's mean per-node capacity in that dimension — so that "large" is
+// judged relative to what the platform can hold, not in absolute reference
+// units (absolute sorting misorders items when bins are unequal). On any
+// cluster whose mean capacities are 1.0 — in particular the paper's
+// homogeneous platform — normalization is exact identity and the packing
+// is bit-for-bit the published one.
 //
 // First-fit-decreasing and best-fit-decreasing packers are provided as
 // ablation baselines.
@@ -27,52 +42,124 @@ import (
 	"repro/internal/floats"
 )
 
-// Item is one task to pack. CPU and Mem are fractions of the reference node
-// in [0, 1]. Items are identified by index so callers can map assignments
-// back to (job, task) pairs.
+// Item is one task to pack. Req holds one requirement per cluster
+// dimension (Req[cluster.DimCPU], Req[cluster.DimMem], ...), as fractions
+// of the reference node. Items are identified by index so callers can map
+// assignments back to (job, task) pairs; items of one job may share the
+// same backing Req vector.
 type Item struct {
-	CPU float64
-	Mem float64
+	Req cluster.Vec
+}
+
+// NewItem builds an item from explicit requirements; the first two are CPU
+// and memory.
+func NewItem(req ...float64) Item {
+	return Item{Req: append(cluster.Vec(nil), req...)}
 }
 
 // Packer places items onto the given nodes (one NodeSpec per bin). Pack
 // returns, for each item, the node index it was assigned to, and reports
 // whether every item was placed. A failed pack returns a nil assignment.
+// Every item's Req must have exactly the nodes' dimension count.
 type Packer interface {
 	Name() string
 	Pack(items []Item, nodes []cluster.NodeSpec) (assign []int, ok bool)
 }
 
-// Validate checks that an assignment respects every node's capacities; it
-// is used by tests and the simulator's paranoia mode. A nil error means the
-// assignment is feasible.
+// Validate checks that an assignment respects every node's capacities in
+// every dimension; it is used by tests and the simulator's paranoia mode.
+// A nil error means the assignment is feasible.
 func Validate(items []Item, assign []int, nodes []cluster.NodeSpec) error {
 	if len(assign) != len(items) {
 		return fmt.Errorf("vectorpack: %d assignments for %d items", len(assign), len(items))
 	}
 	n := len(nodes)
-	cpu := make([]float64, n)
-	mem := make([]float64, n)
+	d := dims(nodes)
+	used := make([]float64, n*d)
 	for i, node := range assign {
 		if node < 0 || node >= n {
 			return fmt.Errorf("vectorpack: item %d assigned to node %d of %d", i, node, n)
 		}
-		cpu[node] += items[i].CPU
-		mem[node] += items[i].Mem
+		if len(items[i].Req) != d {
+			return fmt.Errorf("vectorpack: item %d has %d dimensions, nodes have %d", i, len(items[i].Req), d)
+		}
+		for k := 0; k < d; k++ {
+			used[node*d+k] += items[i].Req[k]
+		}
 	}
 	for node := 0; node < n; node++ {
-		if floats.Greater(cpu[node], nodes[node].CPUCap) {
-			return fmt.Errorf("vectorpack: node %d CPU %.6f > capacity %.6f", node, cpu[node], nodes[node].CPUCap)
-		}
-		if floats.Greater(mem[node], nodes[node].MemCap) {
-			return fmt.Errorf("vectorpack: node %d memory %.6f > capacity %.6f", node, mem[node], nodes[node].MemCap)
+		for k := 0; k < d; k++ {
+			if floats.Greater(used[node*d+k], nodes[node].Caps[k]) {
+				return fmt.Errorf("vectorpack: node %d dimension %d usage %.6f > capacity %.6f",
+					node, k, used[node*d+k], nodes[node].Caps[k])
+			}
 		}
 	}
 	return nil
 }
 
+// dims returns the dimension count of the bin set (cluster.MinDims when
+// empty).
+func dims(nodes []cluster.NodeSpec) int {
+	if len(nodes) == 0 {
+		return cluster.MinDims
+	}
+	return nodes[0].Dims()
+}
+
+// meanCaps returns the per-dimension mean node capacity, the normalization
+// the heuristics sort by. Dimensions with non-positive mean capacity (a
+// resource no node has) normalize by 1 so zero demands stay zero instead
+// of NaN. On the paper's homogeneous platform every entry is exactly 1.0
+// and normalization is the identity.
+func meanCaps(nodes []cluster.NodeSpec) cluster.Vec {
+	d := dims(nodes)
+	norm := make(cluster.Vec, d)
+	for _, n := range nodes {
+		for k := 0; k < d; k++ {
+			norm[k] += n.Caps[k]
+		}
+	}
+	for k := 0; k < d; k++ {
+		norm[k] /= float64(len(nodes))
+		if !(norm[k] > 0) {
+			norm[k] = 1
+		}
+	}
+	return norm
+}
+
+// normMax returns the item's largest capacity-normalized requirement, the
+// sort key of every heuristic, and the dimension attaining it (ties go to
+// the lowest dimension index, keeping the d=2 tie rule "CPU-heavy wins").
+func normMax(req, norm cluster.Vec) (float64, int) {
+	best, bestDim := math.Inf(-1), 0
+	for k := range req {
+		if v := req[k] / norm[k]; v > best {
+			best, bestDim = v, k
+		}
+	}
+	return best, bestDim
+}
+
+// fits reports whether the requirement vector fits the free vector in
+// every dimension. The d=2 case — the paper's platform, and the packing
+// hot path — is unrolled.
+func fits(req cluster.Vec, free []float64) bool {
+	if len(req) == 2 {
+		return floats.LessEq(req[0], free[0]) && floats.LessEq(req[1], free[1])
+	}
+	for k := range req {
+		if !floats.LessEq(req[k], free[k]) {
+			return false
+		}
+	}
+	return true
+}
+
 // MCB8 is the multi-capacity bin-packing heuristic used by every DYNMCB8
-// scheduler variant. The zero value is ready to use.
+// scheduler variant, generalized to d dimensions. The zero value is ready
+// to use.
 type MCB8 struct{}
 
 // Name returns "mcb8".
@@ -95,12 +182,11 @@ func newChain(order []int) *chain {
 }
 
 // findFit returns the chain position (and its predecessor) of the first
-// chained item fitting (cpuFree, memFree), or (-1, -1).
-func (c *chain) findFit(items []Item, cpuFree, memFree float64) (pos, prev int) {
+// chained item fitting the free vector, or (-1, -1).
+func (c *chain) findFit(items []Item, free []float64) (pos, prev int) {
 	prev = -1
 	for k := c.head; k < len(c.order); k = c.next[k] {
-		idx := c.order[k]
-		if floats.LessEq(items[idx].CPU, cpuFree) && floats.LessEq(items[idx].Mem, memFree) {
+		if fits(items[c.order[k]].Req, free) {
 			return k, prev
 		}
 		prev = k
@@ -118,10 +204,10 @@ func (c *chain) unlink(pos, prev int) {
 	}
 }
 
-// firstFit finds the first chained item fitting (cpuFree, memFree), unlinks
+// firstFit finds the first chained item fitting the free vector, unlinks
 // it and returns its item index, or -1.
-func (c *chain) firstFit(items []Item, cpuFree, memFree float64) int {
-	pos, prev := c.findFit(items, cpuFree, memFree)
+func (c *chain) firstFit(items []Item, free []float64) int {
+	pos, prev := c.findFit(items, free)
 	if pos < 0 {
 		return -1
 	}
@@ -134,87 +220,96 @@ func (MCB8) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
 	if len(items) == 0 {
 		return []int{}, true
 	}
-	// Split into CPU-heavy and memory-heavy lists; ties go to the CPU list
-	// (arbitrary but fixed for determinism).
-	var cpuHeavy, memHeavy []int
-	for i, it := range items {
-		if it.CPU >= it.Mem {
-			cpuHeavy = append(cpuHeavy, i)
-		} else {
-			memHeavy = append(memHeavy, i)
-		}
+	if len(nodes) == 0 {
+		return nil, false
 	}
-	// Sort each list by non-increasing largest requirement; break ties by
-	// index for determinism.
-	byMaxReq := func(list []int) {
+	d := dims(nodes)
+	norm := meanCaps(nodes)
+	// Classify every item by its dominant (largest capacity-normalized)
+	// dimension — the corner of the capacity space it leans into — and
+	// remember its sort key. Ties go to the lowest dimension, so with d=2
+	// an equal-requirement item counts as CPU-heavy, as published.
+	maxReq := make([]float64, len(items))
+	lists := make([][]int, d)
+	for i, it := range items {
+		m, heavy := normMax(it.Req, norm)
+		maxReq[i] = m
+		lists[heavy] = append(lists[heavy], i)
+	}
+	// Sort each list by non-increasing largest normalized requirement;
+	// break ties by index for determinism.
+	chains := make([]*chain, d)
+	for k, list := range lists {
 		sort.SliceStable(list, func(a, b int) bool {
-			ma := max2(items[list[a]].CPU, items[list[a]].Mem)
-			mb := max2(items[list[b]].CPU, items[list[b]].Mem)
-			if ma != mb {
-				return ma > mb
+			if maxReq[list[a]] != maxReq[list[b]] {
+				return maxReq[list[a]] > maxReq[list[b]]
 			}
 			return list[a] < list[b]
 		})
+		chains[k] = newChain(list)
 	}
-	byMaxReq(cpuHeavy)
-	byMaxReq(memHeavy)
-	cpuChain := newChain(cpuHeavy)
-	memChain := newChain(memHeavy)
 
 	assign := make([]int, len(items))
 	for i := range assign {
 		assign[i] = -1
 	}
+	free := make([]float64, d)
+	dimOrder := make([]int, d)
 	placed := 0
 	for node := 0; node < len(nodes) && placed < len(items); node++ {
-		cpuFree, memFree := nodes[node].CPUCap, nodes[node].MemCap
-		// Seed the node with the first item of either list that fits its
-		// capacities, preferring the one with the overall largest
-		// requirement (the original algorithm picks arbitrarily; this choice
-		// is deterministic and matches the sort order). On a reference node
-		// every item fits, so the first fitting item is the list head and
+		caps := nodes[node].Caps
+		copy(free, caps)
+		// Seed the node with the first fitting item of any list,
+		// preferring the one with the overall largest normalized
+		// requirement (the original algorithm picks arbitrarily; this
+		// choice is deterministic and matches the sort order — ties go to
+		// the lowest list, the published CPU-first rule). On a reference
+		// node every item fits, so each list's candidate is its head and
 		// the behaviour is identical to the homogeneous algorithm; a thin
 		// node may have to skip items too large for it.
-		cPos, cPrev := cpuChain.findFit(items, cpuFree, memFree)
-		mPos, mPrev := memChain.findFit(items, cpuFree, memFree)
-		var seed int
-		switch {
-		case cPos < 0 && mPos < 0:
-			continue
-		case mPos < 0 || (cPos >= 0 && itemMax(items, cpuChain, cPos) >= itemMax(items, memChain, mPos)):
-			seed = cpuChain.order[cPos]
-			cpuChain.unlink(cPos, cPrev)
-		default:
-			seed = memChain.order[mPos]
-			memChain.unlink(mPos, mPrev)
-		}
-		assign[seed] = node
-		cpuFree -= items[seed].CPU
-		memFree -= items[seed].Mem
-		placed++
-		// Keep filling: pick from the list that goes against the node's
-		// current imbalance, measured relative to the node's own capacities
-		// (on equal-ratio nodes — every built-in profile and the reference
-		// node — this is exactly the absolute comparison of the published
-		// algorithm).
-		for {
-			var primary, secondary *chain
-			if cpuFree/nodes[node].CPUCap >= memFree/nodes[node].MemCap {
-				// More CPU headroom than memory: prefer a CPU-heavy task.
-				primary, secondary = cpuChain, memChain
-			} else {
-				primary, secondary = memChain, cpuChain
+		seed, seedList, seedPos, seedPrev := -1, -1, -1, -1
+		best := math.Inf(-1)
+		for k := 0; k < d; k++ {
+			pos, prev := chains[k].findFit(items, free)
+			if pos < 0 {
+				continue
 			}
-			idx := primary.firstFit(items, cpuFree, memFree)
-			if idx < 0 {
-				idx = secondary.firstFit(items, cpuFree, memFree)
+			if idx := chains[k].order[pos]; maxReq[idx] > best {
+				best = maxReq[idx]
+				seed, seedList, seedPos, seedPrev = idx, k, pos, prev
+			}
+		}
+		if seed < 0 {
+			continue
+		}
+		chains[seedList].unlink(seedPos, seedPrev)
+		assign[seed] = node
+		for k := 0; k < d; k++ {
+			free[k] -= items[seed].Req[k]
+		}
+		placed++
+		// Keep filling: try the lists in order of the node's remaining
+		// per-dimension headroom, measured relative to the node's own
+		// capacities, so the chosen item goes against the current
+		// imbalance (on equal-ratio nodes — every built-in d=2 profile and
+		// the reference node — this is exactly the absolute comparison of
+		// the published algorithm; ties keep the lower dimension first,
+		// the published CPU-primary rule).
+		for {
+			headroomOrder(free, caps, dimOrder)
+			idx := -1
+			for _, k := range dimOrder {
+				if idx = chains[k].firstFit(items, free); idx >= 0 {
+					break
+				}
 			}
 			if idx < 0 {
 				break
 			}
 			assign[idx] = node
-			cpuFree -= items[idx].CPU
-			memFree -= items[idx].Mem
+			for k := 0; k < d; k++ {
+				free[k] -= items[idx].Req[k]
+			}
 			placed++
 		}
 	}
@@ -224,14 +319,36 @@ func (MCB8) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
 	return assign, true
 }
 
-// itemMax returns the largest requirement of the item at chain position pos.
-func itemMax(items []Item, c *chain, pos int) float64 {
-	it := items[c.order[pos]]
-	return max2(it.CPU, it.Mem)
+// headroomOrder fills order with the dimension indices sorted by
+// non-increasing relative headroom free[k]/caps[k]; ties keep the lower
+// dimension first (insertion sort with strict comparison — d is small).
+// Zero-capacity dimensions (a node without that resource) have no headroom
+// and sort last.
+func headroomOrder(free []float64, caps cluster.Vec, order []int) {
+	ratio := func(k int) float64 {
+		if caps[k] > 0 {
+			return free[k] / caps[k]
+		}
+		return math.Inf(-1)
+	}
+	for k := range order {
+		order[k] = k
+	}
+	for i := 1; i < len(order); i++ {
+		k := order[i]
+		r := ratio(k)
+		j := i - 1
+		for j >= 0 && ratio(order[j]) < r {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = k
+	}
 }
 
 // FirstFitDecreasing packs items in non-increasing order of their largest
-// requirement onto the first node with room. Ablation baseline A3.
+// capacity-normalized requirement onto the first node with room in every
+// dimension. Ablation baseline A3.
 type FirstFitDecreasing struct{}
 
 // Name returns "ffd".
@@ -239,16 +356,18 @@ func (FirstFitDecreasing) Name() string { return "ffd" }
 
 // Pack implements Packer.
 func (FirstFitDecreasing) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
-	order := sortedByMaxReq(items)
+	d := dims(nodes)
+	norm := meanCaps(nodes)
+	order := sortedByNormMax(items, norm)
 	assign := make([]int, len(items))
 	for i := range assign {
 		assign[i] = -1
 	}
-	cpuFree, memFree := freeCaps(nodes)
+	free := freeCaps(nodes, d)
 	for _, idx := range order {
 		placedNode := -1
 		for node := range nodes {
-			if floats.LessEq(items[idx].CPU, cpuFree[node]) && floats.LessEq(items[idx].Mem, memFree[node]) {
+			if fits(items[idx].Req, free[node*d:(node+1)*d]) {
 				placedNode = node
 				break
 			}
@@ -257,15 +376,17 @@ func (FirstFitDecreasing) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, b
 			return nil, false
 		}
 		assign[idx] = placedNode
-		cpuFree[placedNode] -= items[idx].CPU
-		memFree[placedNode] -= items[idx].Mem
+		for k := 0; k < d; k++ {
+			free[placedNode*d+k] -= items[idx].Req[k]
+		}
 	}
 	return assign, true
 }
 
 // BestFitDecreasing packs items in non-increasing order of largest
-// requirement onto the feasible node with the least remaining slack
-// (CPU+memory). Ablation baseline A3.
+// capacity-normalized requirement onto the feasible node with the least
+// remaining slack (the normalized sum of leftover capacities). Ablation
+// baseline A3.
 type BestFitDecreasing struct{}
 
 // Name returns "bfd".
@@ -273,20 +394,26 @@ func (BestFitDecreasing) Name() string { return "bfd" }
 
 // Pack implements Packer.
 func (BestFitDecreasing) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
-	order := sortedByMaxReq(items)
+	d := dims(nodes)
+	norm := meanCaps(nodes)
+	order := sortedByNormMax(items, norm)
 	assign := make([]int, len(items))
 	for i := range assign {
 		assign[i] = -1
 	}
-	cpuFree, memFree := freeCaps(nodes)
+	free := freeCaps(nodes, d)
 	for _, idx := range order {
 		best := -1
 		bestSlack := math.Inf(1)
 		for node := range nodes {
-			if !floats.LessEq(items[idx].CPU, cpuFree[node]) || !floats.LessEq(items[idx].Mem, memFree[node]) {
+			nodeFree := free[node*d : (node+1)*d]
+			if !fits(items[idx].Req, nodeFree) {
 				continue
 			}
-			slack := cpuFree[node] - items[idx].CPU + memFree[node] - items[idx].Mem
+			slack := 0.0
+			for k := 0; k < d; k++ {
+				slack += (nodeFree[k] - items[idx].Req[k]) / norm[k]
+			}
 			if slack < bestSlack {
 				bestSlack = slack
 				best = node
@@ -296,8 +423,9 @@ func (BestFitDecreasing) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bo
 			return nil, false
 		}
 		assign[idx] = best
-		cpuFree[best] -= items[idx].CPU
-		memFree[best] -= items[idx].Mem
+		for k := 0; k < d; k++ {
+			free[best*d+k] -= items[idx].Req[k]
+		}
 	}
 	return assign, true
 }
@@ -315,36 +443,32 @@ func ByName(name string) (Packer, error) {
 	return nil, fmt.Errorf("vectorpack: unknown packer %q", name)
 }
 
-func max2(a, b float64) float64 {
-	if a > b {
-		return a
+// sortedByNormMax returns item indices by non-increasing largest
+// normalized requirement, ties by index.
+func sortedByNormMax(items []Item, norm cluster.Vec) []int {
+	keys := make([]float64, len(items))
+	for i, it := range items {
+		keys[i], _ = normMax(it.Req, norm)
 	}
-	return b
-}
-
-func sortedByMaxReq(items []Item) []int {
 	order := make([]int, len(items))
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		ma := max2(items[order[a]].CPU, items[order[a]].Mem)
-		mb := max2(items[order[b]].CPU, items[order[b]].Mem)
-		if ma != mb {
-			return ma > mb
+		if keys[order[a]] != keys[order[b]] {
+			return keys[order[a]] > keys[order[b]]
 		}
 		return order[a] < order[b]
 	})
 	return order
 }
 
-// freeCaps returns per-node free CPU and memory initialized to capacity.
-func freeCaps(nodes []cluster.NodeSpec) (cpu, mem []float64) {
-	cpu = make([]float64, len(nodes))
-	mem = make([]float64, len(nodes))
+// freeCaps returns the per-node free-capacity matrix (row-major, stride d)
+// initialized to each node's capacities.
+func freeCaps(nodes []cluster.NodeSpec, d int) []float64 {
+	free := make([]float64, len(nodes)*d)
 	for i, n := range nodes {
-		cpu[i] = n.CPUCap
-		mem[i] = n.MemCap
+		copy(free[i*d:(i+1)*d], n.Caps)
 	}
-	return cpu, mem
+	return free
 }

@@ -21,7 +21,7 @@ func TestPackEmpty(t *testing.T) {
 
 func TestPackSingleItem(t *testing.T) {
 	for _, p := range allPackers {
-		assign, ok := p.Pack([]Item{{CPU: 0.5, Mem: 0.5}}, cluster.Uniform(1))
+		assign, ok := p.Pack([]Item{NewItem(0.5, 0.5)}, cluster.Uniform(1))
 		if !ok || assign[0] != 0 {
 			t.Errorf("%s: single item pack: %v %v", p.Name(), assign, ok)
 		}
@@ -30,7 +30,7 @@ func TestPackSingleItem(t *testing.T) {
 
 func TestPackInfeasible(t *testing.T) {
 	// Three items of 0.6 memory cannot share two nodes.
-	items := []Item{{CPU: 0.1, Mem: 0.6}, {CPU: 0.1, Mem: 0.6}, {CPU: 0.1, Mem: 0.6}}
+	items := []Item{NewItem(0.1, 0.6), NewItem(0.1, 0.6), NewItem(0.1, 0.6)}
 	for _, p := range allPackers {
 		if _, ok := p.Pack(items, cluster.Uniform(2)); ok {
 			t.Errorf("%s: infeasible instance packed", p.Name())
@@ -39,7 +39,7 @@ func TestPackInfeasible(t *testing.T) {
 }
 
 func TestPackZeroNodes(t *testing.T) {
-	items := []Item{{CPU: 0.1, Mem: 0.1}}
+	items := []Item{NewItem(0.1, 0.1)}
 	for _, p := range allPackers {
 		if _, ok := p.Pack(items, nil); ok {
 			t.Errorf("%s: packed onto zero nodes", p.Name())
@@ -53,8 +53,8 @@ func TestPackZeroNodes(t *testing.T) {
 
 func TestPackItemLargerThanAnyNode(t *testing.T) {
 	// A 0.9 x 0.9 item cannot fit a cluster of 0.5-capacity thin nodes.
-	thin := []cluster.NodeSpec{{CPUCap: 0.5, MemCap: 0.5}, {CPUCap: 0.5, MemCap: 0.5}}
-	items := []Item{{CPU: 0.9, Mem: 0.9}}
+	thin := []cluster.NodeSpec{cluster.Spec(0.5, 0.5), cluster.Spec(0.5, 0.5)}
+	items := []Item{NewItem(0.9, 0.9)}
 	for _, p := range allPackers {
 		if _, ok := p.Pack(items, thin); ok {
 			t.Errorf("%s: oversized item placed on thin nodes", p.Name())
@@ -62,7 +62,7 @@ func TestPackItemLargerThanAnyNode(t *testing.T) {
 	}
 	// The same item fits as soon as one node is fat enough.
 	mixed := append([]cluster.NodeSpec{}, thin...)
-	mixed = append(mixed, cluster.NodeSpec{CPUCap: 1, MemCap: 1})
+	mixed = append(mixed, cluster.Spec(1, 1))
 	for _, p := range allPackers {
 		assign, ok := p.Pack(items, mixed)
 		if !ok || assign[0] != 2 {
@@ -74,8 +74,8 @@ func TestPackItemLargerThanAnyNode(t *testing.T) {
 func TestPackExactFit(t *testing.T) {
 	// Four 0.5x0.5 items exactly fill two nodes.
 	items := []Item{
-		{CPU: 0.5, Mem: 0.5}, {CPU: 0.5, Mem: 0.5},
-		{CPU: 0.5, Mem: 0.5}, {CPU: 0.5, Mem: 0.5},
+		NewItem(0.5, 0.5), NewItem(0.5, 0.5),
+		NewItem(0.5, 0.5), NewItem(0.5, 0.5),
 	}
 	for _, p := range allPackers {
 		assign, ok := p.Pack(items, cluster.Uniform(2))
@@ -94,9 +94,9 @@ func TestPackExactFit(t *testing.T) {
 func TestPackUnequalBins(t *testing.T) {
 	items := make([]Item, 6)
 	for i := range items {
-		items[i] = Item{CPU: 0.5, Mem: 0.5}
+		items[i] = NewItem(0.5, 0.5)
 	}
-	het := []cluster.NodeSpec{{CPUCap: 2, MemCap: 2}, {CPUCap: 1, MemCap: 1}}
+	het := []cluster.NodeSpec{cluster.Spec(2, 2), cluster.Spec(1, 1)}
 	for _, p := range allPackers {
 		if _, ok := p.Pack(items, cluster.Uniform(2)); ok {
 			t.Errorf("%s: six half-items packed into two reference nodes", p.Name())
@@ -118,10 +118,10 @@ func TestPackUnequalBins(t *testing.T) {
 // items that only fit pairwise complementary.
 func TestMCB8Balancing(t *testing.T) {
 	items := []Item{
-		{CPU: 0.9, Mem: 0.1}, // cpu-heavy
-		{CPU: 0.9, Mem: 0.1},
-		{CPU: 0.1, Mem: 0.9}, // mem-heavy
-		{CPU: 0.1, Mem: 0.9},
+		NewItem(0.9, 0.1), // cpu-heavy
+		NewItem(0.9, 0.1),
+		NewItem(0.1, 0.9), // mem-heavy
+		NewItem(0.1, 0.9),
 	}
 	assign, ok := MCB8{}.Pack(items, cluster.Uniform(2))
 	if !ok {
@@ -140,7 +140,7 @@ func TestMCB8Balancing(t *testing.T) {
 }
 
 func TestValidate(t *testing.T) {
-	items := []Item{{CPU: 0.7, Mem: 0.2}, {CPU: 0.5, Mem: 0.2}}
+	items := []Item{NewItem(0.7, 0.2), NewItem(0.5, 0.2)}
 	if err := Validate(items, []int{0, 0}, cluster.Uniform(1)); err == nil {
 		t.Error("CPU oversubscription not detected")
 	}
@@ -153,13 +153,13 @@ func TestValidate(t *testing.T) {
 	if err := Validate(items, []int{0, 5}, cluster.Uniform(2)); err == nil {
 		t.Error("out-of-range node not detected")
 	}
-	memItems := []Item{{CPU: 0.1, Mem: 0.8}, {CPU: 0.1, Mem: 0.8}}
+	memItems := []Item{NewItem(0.1, 0.8), NewItem(0.1, 0.8)}
 	if err := Validate(memItems, []int{0, 0}, cluster.Uniform(1)); err == nil {
 		t.Error("memory oversubscription not detected")
 	}
 	// Per-node capacities: the same two items that oversubscribe a
 	// reference node are fine on a fat node.
-	fat := []cluster.NodeSpec{{CPUCap: 2, MemCap: 2}}
+	fat := []cluster.NodeSpec{cluster.Spec(2, 2)}
 	if err := Validate(items, []int{0, 0}, fat); err != nil {
 		t.Errorf("fat-node assignment rejected: %v", err)
 	}
@@ -169,10 +169,10 @@ func TestValidate(t *testing.T) {
 func randomItems(r *rand.Rand, n int, maxReq float64) []Item {
 	items := make([]Item, n)
 	for i := range items {
-		items[i] = Item{
-			CPU: r.Float64() * maxReq,
-			Mem: 0.01 + r.Float64()*(maxReq-0.01),
-		}
+		items[i] = NewItem(
+			r.Float64()*maxReq,
+			0.01+r.Float64()*(maxReq-0.01),
+		)
 	}
 	return items
 }
@@ -181,10 +181,10 @@ func randomItems(r *rand.Rand, n int, maxReq float64) []Item {
 func randomNodes(r *rand.Rand, n int) []cluster.NodeSpec {
 	nodes := make([]cluster.NodeSpec, n)
 	for i := range nodes {
-		nodes[i] = cluster.NodeSpec{
-			CPUCap: 0.5 + 2*r.Float64(),
-			MemCap: 0.5 + 2*r.Float64(),
-		}
+		nodes[i] = cluster.Spec(
+			0.5+2*r.Float64(),
+			0.5+2*r.Float64(),
+		)
 	}
 	return nodes
 }

@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Default GPU demand bounds shared by every GPU-axis generator (the
+// campaign engine, the facade's SyntheticTrace and the dfrs-gen CLI):
+// demands are drawn uniformly from [GPUDemandLo, GPUDemandHi] of a
+// reference GPU node, so several GPU tasks can share one accelerator but
+// demand still binds under load.
+const (
+	GPUDemandLo = 0.1
+	GPUDemandHi = 0.5
+)
+
+// AttachGPUDemand returns a copy of the trace in which each job
+// independently receives, with probability frac, a per-task GPU demand
+// (resource dimension 2) drawn uniformly from [lo, hi]; the remaining jobs
+// keep a zero GPU demand. The draw order is the job order, so the result
+// is a deterministic function of the trace and the RNG substream — exactly
+// two variates are consumed per selected job and one per unselected job,
+// keeping downstream substreams stable. The paper's two-resource workloads
+// are the frac = 0 special case.
+func AttachGPUDemand(t *Trace, r *rng.Source, frac, lo, hi float64) (*Trace, error) {
+	if !(frac >= 0 && frac <= 1) { // negated so NaN is rejected too
+		return nil, fmt.Errorf("workload: gpu demand fraction %g outside [0,1]", frac)
+	}
+	if !(lo >= 0 && hi <= 1 && lo <= hi) {
+		return nil, fmt.Errorf("workload: gpu demand range [%g,%g] outside [0,1]", lo, hi)
+	}
+	c := t.Clone()
+	if frac == 0 {
+		return c, nil
+	}
+	for i := range c.Jobs {
+		if !r.Bernoulli(frac) {
+			continue
+		}
+		c.Jobs[i].Extra = []float64{r.Uniform(lo, hi)}
+	}
+	return c, nil
+}

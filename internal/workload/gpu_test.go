@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func gpuBaseTrace() *Trace {
+	jobs := make([]Job, 20)
+	for i := range jobs {
+		jobs[i] = Job{ID: i, Submit: float64(i), Tasks: 1 + i%3,
+			CPUNeed: 0.5, MemReq: 0.25, ExecTime: 100}
+	}
+	return &Trace{Name: "gpu-base", Nodes: 8, NodeMemGB: 4, Jobs: jobs}
+}
+
+func TestAttachGPUDemand(t *testing.T) {
+	base := gpuBaseTrace()
+	got, err := AttachGPUDemand(base, rng.New(3).Split("gpu"), 0.5, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gpuJobs := 0
+	for i, j := range got.Jobs {
+		if len(base.Jobs[i].Extra) != 0 {
+			t.Fatal("base trace mutated")
+		}
+		if len(j.Extra) == 0 {
+			continue
+		}
+		gpuJobs++
+		if j.Extra[0] < 0.1 || j.Extra[0] > 0.5 {
+			t.Errorf("job %d gpu demand %g outside [0.1,0.5]", j.ID, j.Extra[0])
+		}
+	}
+	if gpuJobs == 0 || gpuJobs == len(got.Jobs) {
+		t.Errorf("%d of %d jobs decorated, want a strict subset", gpuJobs, len(got.Jobs))
+	}
+	// Determinism: an identical substream reproduces the identical trace.
+	again, err := AttachGPUDemand(base, rng.New(3).Split("gpu"), 0.5, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Jobs, again.Jobs) {
+		t.Error("AttachGPUDemand is not deterministic")
+	}
+	// frac 0 is the identity.
+	plain, err := AttachGPUDemand(base, rng.New(3), 0, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Jobs, base.Jobs) {
+		t.Error("frac=0 changed the trace")
+	}
+}
+
+func TestAttachGPUDemandErrors(t *testing.T) {
+	base := gpuBaseTrace()
+	if _, err := AttachGPUDemand(base, rng.New(1), 1.5, 0.1, 0.5); err == nil {
+		t.Error("fraction above 1 accepted")
+	}
+	if _, err := AttachGPUDemand(base, rng.New(1), 0.5, 0.6, 0.5); err == nil {
+		t.Error("inverted demand range accepted")
+	}
+	if _, err := AttachGPUDemand(base, rng.New(1), 0.5, 0.1, 1.5); err == nil {
+		t.Error("demand above 1 accepted")
+	}
+}
+
+// TestEncodeReadRoundTripGPU: traces with a GPU column survive the trace
+// format round trip, and traces without one encode byte-identically to the
+// historical two-resource format.
+func TestEncodeReadRoundTripGPU(t *testing.T) {
+	tr, err := AttachGPUDemand(gpuBaseTrace(), rng.New(3).Split("gpu"), 0.5, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != len(tr.Jobs) {
+		t.Fatalf("%d jobs read back, want %d", len(back.Jobs), len(tr.Jobs))
+	}
+	for i, j := range back.Jobs {
+		want := tr.Jobs[i]
+		if len(j.Extra) != len(want.Extra) {
+			// Zero-demand jobs may round-trip to an explicit zero column.
+			if len(want.Extra) == 0 && len(j.Extra) == 1 && j.Extra[0] == 0 {
+				continue
+			}
+			t.Fatalf("job %d extras %v, want %v", j.ID, j.Extra, want.Extra)
+		}
+		for k := range j.Extra {
+			if diff := j.Extra[k] - want.Extra[k]; diff > 1e-6 || diff < -1e-6 {
+				t.Errorf("job %d extra[%d] = %v, want %v", j.ID, k, j.Extra[k], want.Extra[k])
+			}
+		}
+	}
+	// Two-resource traces keep the exact historical encoding (no weight or
+	// gpu columns).
+	var plain bytes.Buffer
+	if err := gpuBaseTrace().Encode(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(plain.Bytes(), []byte("id submit tasks cpu_need mem_req exec_time\n")) {
+		t.Error("two-resource trace does not keep the historical column header")
+	}
+}

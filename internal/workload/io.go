@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"repro/internal/cluster"
 )
 
 // The trace file format is a small line-oriented text format so generated
@@ -23,34 +25,55 @@ import (
 
 // Encode serializes the trace in the dfrs trace format. When any job
 // carries a non-default weight, the optional seventh column is emitted.
+// When any job carries demands beyond CPU and memory, the weight column
+// and one column per extra dimension follow (so column positions stay
+// unambiguous); traces without extras encode byte-identically to the
+// original two-resource format.
 func (t *Trace) Encode(w io.Writer) error {
 	weighted := false
+	extraDims := 0
 	for _, j := range t.Jobs {
 		if j.Weight > 0 && j.Weight != 1 {
 			weighted = true
-			break
 		}
+		if len(j.Extra) > extraDims {
+			extraDims = len(j.Extra)
+		}
+	}
+	if extraDims > 0 {
+		weighted = true
 	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# dfrs-trace v1\n")
 	fmt.Fprintf(bw, "# name: %s\n", t.Name)
 	fmt.Fprintf(bw, "# nodes: %d\n", t.Nodes)
 	fmt.Fprintf(bw, "# nodemem_gb: %g\n", t.NodeMemGB)
+	fmt.Fprintf(bw, "id submit tasks cpu_need mem_req exec_time")
 	if weighted {
-		fmt.Fprintf(bw, "id submit tasks cpu_need mem_req exec_time weight\n")
-	} else {
-		fmt.Fprintf(bw, "id submit tasks cpu_need mem_req exec_time\n")
+		fmt.Fprintf(bw, " weight")
 	}
+	for k := 0; k < extraDims; k++ {
+		fmt.Fprintf(bw, " %s", extraDimName(k))
+	}
+	fmt.Fprintf(bw, "\n")
 	for _, j := range t.Jobs {
+		fmt.Fprintf(bw, "%d %.6f %d %.6f %.6f %.6f",
+			j.ID, j.Submit, j.Tasks, j.CPUNeed, j.MemReq, j.ExecTime)
 		if weighted {
-			fmt.Fprintf(bw, "%d %.6f %d %.6f %.6f %.6f %.6f\n",
-				j.ID, j.Submit, j.Tasks, j.CPUNeed, j.MemReq, j.ExecTime, j.EffectiveWeight())
-		} else {
-			fmt.Fprintf(bw, "%d %.6f %d %.6f %.6f %.6f\n",
-				j.ID, j.Submit, j.Tasks, j.CPUNeed, j.MemReq, j.ExecTime)
+			fmt.Fprintf(bw, " %.6f", j.EffectiveWeight())
 		}
+		for k := 0; k < extraDims; k++ {
+			fmt.Fprintf(bw, " %.6f", j.Demand(2+k))
+		}
+		fmt.Fprintf(bw, "\n")
 	}
 	return bw.Flush()
+}
+
+// extraDimName returns the conventional column name of extra dimension k
+// (dimension 2+k of the resource vector; see cluster.CanonicalDimName).
+func extraDimName(k int) string {
+	return cluster.CanonicalDimName(2 + k)
 }
 
 // ReadTrace parses a trace file written by Encode.
@@ -94,8 +117,8 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			continue
 		}
 		f := strings.Fields(line)
-		if len(f) != 6 && len(f) != 7 {
-			return nil, fmt.Errorf("workload: line %d: %d fields, want 6 or 7", lineno, len(f))
+		if len(f) < 6 {
+			return nil, fmt.Errorf("workload: line %d: %d fields, want at least 6", lineno, len(f))
 		}
 		var j Job
 		var err error
@@ -117,9 +140,17 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		if j.ExecTime, err = strconv.ParseFloat(f[5], 64); err != nil {
 			return nil, fmt.Errorf("workload: line %d: exec_time: %v", lineno, err)
 		}
-		if len(f) == 7 {
+		if len(f) >= 7 {
 			if j.Weight, err = strconv.ParseFloat(f[6], 64); err != nil {
 				return nil, fmt.Errorf("workload: line %d: weight: %v", lineno, err)
+			}
+		}
+		if len(f) > 7 {
+			j.Extra = make([]float64, len(f)-7)
+			for k, field := range f[7:] {
+				if j.Extra[k], err = strconv.ParseFloat(field, 64); err != nil {
+					return nil, fmt.Errorf("workload: line %d: %s: %v", lineno, extraDimName(k), err)
+				}
 			}
 		}
 		t.Jobs = append(t.Jobs, j)

@@ -41,6 +41,32 @@ type Job struct {
 	// proportional to its weight (capped at 1.0). Zero means the default
 	// weight of 1; the paper's own evaluation is unweighted.
 	Weight float64
+	// Extra holds per-task rigid demands for resource dimensions beyond
+	// CPU and memory (Extra[0] is dimension 2, conventionally GPU), as
+	// fractions of the reference node in [0, 1]. Rigid demands are hard
+	// constraints like memory: never oversubscribed, never scaled by
+	// yield. Nil means no demand beyond the paper's (CPU, mem) pair, so
+	// legacy traces run unchanged on any cluster.
+	Extra []float64
+}
+
+// Dims returns the number of resource dimensions the job demands (at least
+// 2: CPU and memory).
+func (j Job) Dims() int { return 2 + len(j.Extra) }
+
+// Demand returns the per-task demand in resource dimension k: CPU need for
+// dimension 0, memory for dimension 1, Extra beyond (0 when the job does
+// not reach dimension k).
+func (j Job) Demand(k int) float64 {
+	switch {
+	case k == 0:
+		return j.CPUNeed
+	case k == 1:
+		return j.MemReq
+	case k-2 < len(j.Extra):
+		return j.Extra[k-2]
+	}
+	return 0
 }
 
 // EffectiveWeight returns the job's weight, defaulting to 1.
@@ -73,6 +99,11 @@ func (j Job) Validate(nodes int) error {
 		return fmt.Errorf("workload: job %d has execution time %g", j.ID, j.ExecTime)
 	case j.Weight < 0:
 		return fmt.Errorf("workload: job %d has negative weight %g", j.ID, j.Weight)
+	}
+	for k, x := range j.Extra {
+		if x < 0 || x > 1 {
+			return fmt.Errorf("workload: job %d has demand %g outside [0,1] in dimension %d", j.ID, x, 2+k)
+		}
 	}
 	return nil
 }
@@ -119,6 +150,18 @@ func (t *Trace) Span() float64 {
 	return t.Jobs[len(t.Jobs)-1].Submit - t.Jobs[0].Submit
 }
 
+// Dims returns the number of resource dimensions the trace's jobs demand
+// (at least 2: CPU and memory).
+func (t *Trace) Dims() int {
+	d := 2
+	for _, j := range t.Jobs {
+		if j.Dims() > d {
+			d = j.Dims()
+		}
+	}
+	return d
+}
+
 // TotalWork returns the total CPU work of the trace in node-seconds.
 func (t *Trace) TotalWork() float64 {
 	var w float64
@@ -140,10 +183,17 @@ func (t *Trace) OfferedLoad() float64 {
 	return t.TotalWork() / (span * float64(t.Nodes))
 }
 
-// Clone returns a deep copy of the trace.
+// Clone returns a deep copy of the trace, including each job's extra
+// demand vector (so in-place edits on a clone never reach the original —
+// the campaign engine caches base traces and derives cells from clones).
 func (t *Trace) Clone() *Trace {
 	c := *t
 	c.Jobs = append([]Job(nil), t.Jobs...)
+	for i := range c.Jobs {
+		if c.Jobs[i].Extra != nil {
+			c.Jobs[i].Extra = append([]float64(nil), c.Jobs[i].Extra...)
+		}
+	}
 	return &c
 }
 

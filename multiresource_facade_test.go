@@ -1,0 +1,122 @@
+package dfrs_test
+
+// Facade-level coverage of the N-dimensional resource model: synthetic
+// GPU workloads, WithResources, and the auto-extension of two-dimensional
+// clusters for GPU-demanding traces.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	dfrs "repro"
+)
+
+// TestRunGPUWorkloadEndToEnd: a GPU-decorated synthetic trace completes
+// under a DFRS scheduler on a three-resource cluster with per-event
+// invariant checking, through the public API alone.
+func TestRunGPUWorkloadEndToEnd(t *testing.T) {
+	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 9, Nodes: 16, Jobs: 40, GPUFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuJobs := 0
+	for _, j := range tr.Jobs() {
+		if len(j.Extra) > 0 {
+			gpuJobs++
+		}
+	}
+	if gpuJobs == 0 {
+		t.Fatal("GPUFrac produced no GPU jobs")
+	}
+	res, err := dfrs.Run(context.Background(), tr, "dynmcb8-asap-per",
+		dfrs.WithResources("cpu", "mem", "gpu"),
+		dfrs.WithPenalty(300),
+		dfrs.WithInvariantChecking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Jobs()); got != 40 {
+		t.Errorf("finished %d of 40 jobs", got)
+	}
+	// The same trace also runs without WithResources: the facade extends
+	// the homogeneous platform with a unit GPU dimension automatically.
+	res2, err := dfrs.Run(context.Background(), tr, "greedy-pmtn", dfrs.WithInvariantChecking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res2.Jobs()); got != 40 {
+		t.Errorf("auto-extended run finished %d of 40 jobs", got)
+	}
+}
+
+// TestWithResourcesValidation: the dimension list must start with the
+// paper's pair.
+func TestWithResourcesValidation(t *testing.T) {
+	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 1, Nodes: 8, Jobs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]string{{"gpu"}, {"mem", "cpu"}, {"cpu", "gpu", "mem"}} {
+		_, err := dfrs.Run(context.Background(), tr, "fcfs", dfrs.WithResources(bad...))
+		if err == nil || !strings.Contains(err.Error(), "cpu") {
+			t.Errorf("WithResources(%v) = %v, want a cpu/mem ordering error", bad, err)
+		}
+	}
+	// A valid list is accepted and inert for a two-resource workload.
+	if _, err := dfrs.Run(context.Background(), tr, "fcfs", dfrs.WithResources("cpu", "mem", "gpu")); err != nil {
+		t.Errorf("valid resource list rejected: %v", err)
+	}
+	// The list must agree with a three-dimensional profile's own
+	// dimensions: conflicting names or a shorter list fail instead of
+	// silently dropping the request.
+	if _, err := dfrs.Run(context.Background(), tr, "greedy",
+		dfrs.WithNodeMix("gpu-uniform"), dfrs.WithResources("cpu", "mem", "net")); err == nil {
+		t.Error("conflicting dimension name accepted against gpu-uniform")
+	}
+	if _, err := dfrs.Run(context.Background(), tr, "greedy",
+		dfrs.WithNodeMix("gpu-uniform"), dfrs.WithResources("cpu", "mem")); err == nil {
+		t.Error("shorter resource list accepted against gpu-uniform")
+	}
+	if _, err := dfrs.Run(context.Background(), tr, "greedy",
+		dfrs.WithNodeMix("gpu-uniform"), dfrs.WithResources("cpu", "mem", "gpu")); err != nil {
+		t.Errorf("matching resource list rejected against gpu-uniform: %v", err)
+	}
+	// An explicit two-resource declaration is honoured: a GPU-demanding
+	// trace is rejected instead of being granted phantom GPU capacity.
+	gpuTr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 1, Nodes: 8, Jobs: 10, GPUFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ue *dfrs.UnschedulableError
+	if _, err := dfrs.Run(context.Background(), gpuTr, "greedy",
+		dfrs.WithResources("cpu", "mem")); !errors.As(err, &ue) || ue.Resource != "gpu" {
+		t.Errorf("gpu trace on an explicit 2-resource platform: err = %v, want UnschedulableError on gpu", err)
+	}
+}
+
+// TestGPUDeterminismThroughFacade: the same options give byte-identical
+// job outcomes across runs.
+func TestGPUDeterminismThroughFacade(t *testing.T) {
+	run := func() []dfrs.JobResult {
+		tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 4, Nodes: 16, Jobs: 30, GPUFrac: 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dfrs.Run(context.Background(), tr, "dynmcb8", dfrs.WithNodeMix("gpu-uniform"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Jobs()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("job counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Finish != b[i].Finish || a[i].Start != b[i].Start {
+			t.Fatalf("job %d outcomes differ between identical runs", a[i].Job.ID)
+		}
+	}
+}

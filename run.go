@@ -2,6 +2,7 @@ package dfrs
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -49,6 +50,12 @@ type EventRecorder = sim.Recorder
 // Campaign reject such traces eagerly instead of letting them starve.
 type UnschedulableError = sim.UnschedulableError
 
+// InsufficientCapacityError reports a job whose simultaneous tasks exceed
+// the empty cluster's aggregate capacity in its rigid resource dimensions
+// (e.g. a 16-task GPU job on a cluster with four GPU nodes); Run and
+// Campaign reject such traces eagerly instead of deadlocking mid-run.
+type InsufficientCapacityError = sim.InsufficientCapacityError
+
 // JobResult records the outcome of one job of a finished run.
 type JobResult = sim.JobResult
 
@@ -65,6 +72,7 @@ type RunOption func(*runConfig)
 type runConfig struct {
 	penalty    float64
 	nodeMix    string
+	resources  []string
 	check      bool
 	timeline   bool
 	maxSimTime float64
@@ -82,6 +90,22 @@ func WithPenalty(seconds float64) RunOption {
 // homogeneous platform.
 func WithNodeMix(profile string) RunOption {
 	return func(c *runConfig) { c.nodeMix = profile }
+}
+
+// WithResources names the cluster's resource dimensions, e.g. "cpu",
+// "mem", "gpu". The first two must be "cpu" and "mem" (the paper's pair);
+// each further name adds a rigid dimension with capacity 1.0 per node on
+// top of the node-mix profile, so jobs may carry demands in those
+// dimensions (Job.Extra). The names must agree with the profile's own
+// dimensions where they overlap (e.g. "cpu", "mem", "gpu" with
+// "gpu-bimodal", whose GPU layout is then kept); a conflicting or shorter
+// list fails the run, and a trace demanding dimensions beyond the list is
+// rejected rather than granted capacity the declared platform lacks. The
+// default is the two-dimensional platform — or the profile's own
+// dimensions for three-dimensional mixes — auto-extended when the trace
+// demands more.
+func WithResources(names ...string) RunOption {
+	return func(c *runConfig) { c.resources = append([]string(nil), names...) }
 }
 
 // WithInvariantChecking enables per-event state validation (slow; for
@@ -145,6 +169,36 @@ func Run(ctx context.Context, t Trace, algorithm string, opts ...RunOption) (Res
 	cl, err := cluster.Profile(cfg.nodeMix, t.t.Nodes)
 	if err != nil {
 		return Result{}, err
+	}
+	if len(cfg.resources) > 0 {
+		if len(cfg.resources) < 2 || cfg.resources[0] != "cpu" || cfg.resources[1] != "mem" {
+			return Result{}, fmt.Errorf("dfrs: resources must start with \"cpu\", \"mem\", got %v", cfg.resources)
+		}
+		// The names must agree with the node-mix profile's own dimensions
+		// where they overlap — WithDims only adds dimensions, so silently
+		// accepting e.g. "net" for a profile's "gpu" axis (with its own
+		// capacity layout) would break the documented "capacity 1.0 per
+		// added resource" contract.
+		if cl.D() > len(cfg.resources) {
+			return Result{}, fmt.Errorf("dfrs: node mix %q declares %d resource dimensions but WithResources names %d",
+				cfg.nodeMix, cl.D(), len(cfg.resources))
+		}
+		for k := 0; k < cl.D(); k++ {
+			if cl.DimName(k) != cfg.resources[k] {
+				return Result{}, fmt.Errorf("dfrs: node mix %q names dimension %d %q, WithResources names it %q",
+					cfg.nodeMix, k, cl.DimName(k), cfg.resources[k])
+			}
+		}
+		cl = cl.WithDims(len(cfg.resources), 1, cfg.resources)
+	}
+	// A trace demanding more dimensions than the cluster declares (GPU
+	// jobs on a two-resource mix) gets a unit capacity in the missing
+	// dimensions — the same rule the campaign engine applies. An explicit
+	// WithResources list is a declaration of the platform and disables the
+	// extension: demands beyond it are rejected by the simulator's eager
+	// checks rather than granted phantom capacity.
+	if len(cfg.resources) == 0 {
+		cl = cl.ExtendUnit(t.t.Dims())
 	}
 	simulator, err := sim.New(sim.Config{
 		Trace:           t.t,
