@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"testing"
 
+	dfrs "repro"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/lublin"
+	"repro/internal/placement"
 	"repro/internal/rng"
 	"repro/internal/vectorpack"
 )
@@ -204,6 +206,87 @@ func BenchmarkExtensionFairness(b *testing.B) {
 		}
 		b.ReportMetric(res.Stats["dynmcb8-per"].Mean, "base-deg")
 		b.ReportMetric(res.Stats["dynmcb8-per-fair"].Mean, "fair-deg")
+	}
+}
+
+// benchState is a flat-array placement.State over a 128-node bimodal
+// priced platform, the shape every selection scan presents to an
+// objective.
+type benchState struct {
+	d          int
+	caps, free []float64
+	load, cost []float64
+}
+
+func (s *benchState) Dims() int                { return s.d }
+func (s *benchState) Cap(node, k int) float64  { return s.caps[node*s.d+k] }
+func (s *benchState) Free(node, k int) float64 { return s.free[node*s.d+k] }
+func (s *benchState) CPULoad(node int) float64 { return s.load[node] }
+func (s *benchState) Cost(node int) float64    { return s.cost[node] }
+
+// BenchmarkObjectiveScore measures one full selection scan — scoring all
+// 128 candidates of a bimodal priced platform through the objective
+// indirection and picking the argmin — for each built-in objective. This
+// is the per-task overhead every scheduler family pays when a placement
+// objective is configured; the default (nil-objective) paths bypass it.
+func BenchmarkObjectiveScore(b *testing.B) {
+	const n, d = 128, 3
+	st := &benchState{
+		d:    d,
+		caps: make([]float64, n*d),
+		free: make([]float64, n*d),
+		load: make([]float64, n),
+		cost: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		scale := 1.0
+		if i%2 == 0 {
+			scale, st.cost[i] = 2, 3
+		} else {
+			st.cost[i] = 1
+		}
+		for k := 0; k < d; k++ {
+			st.caps[i*d+k] = scale
+			st.free[i*d+k] = scale * float64(1+i%7) / 7
+		}
+		st.load[i] = scale - st.free[i*d]
+	}
+	dem := func(k int) float64 { return 0.1 }
+	feasible := func(node int) bool { return st.free[node*d+1] >= 0.1 }
+	for _, obj := range []placement.Objective{
+		placement.LoadBalance{}, placement.Cost{}, placement.BestFit{}, placement.WorstFit{},
+	} {
+		b.Run(obj.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if placement.Pick(n, dem, st, feasible, obj) < 0 {
+					b.Fatal("no feasible node")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCostObjectiveSimulation measures a full greedy-pmtn simulation
+// on the priced bimodal mix under the cost objective — the end-to-end
+// price of routing every placement through the objective layer, to be
+// read against BenchmarkSingleSimulation/greedy-pmtn-like baselines.
+func BenchmarkCostObjectiveSimulation(b *testing.B) {
+	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 2, Nodes: 128, Jobs: 150})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err = tr.ScaleToLoad(0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := dfrs.Run(context.Background(), tr, "greedy-pmtn",
+			dfrs.WithPenalty(experiments.PaperPenalty),
+			dfrs.WithNodeMix("bimodal-priced"), dfrs.WithObjective("cost"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Cost(), "cost-units")
 	}
 }
 

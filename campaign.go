@@ -10,9 +10,10 @@ import (
 )
 
 // Grid declares a campaign: the full cross product of algorithms, workload
-// families, offered loads, seeds, rescheduling penalties, cluster sizes
-// and node-mix profiles. Empty dimensions fall back to single-element
-// defaults, so a minimal grid needs only Algorithms and one Family.
+// families, offered loads, seeds, rescheduling penalties, cluster sizes,
+// node-mix profiles and placement objectives. Empty dimensions fall back
+// to single-element defaults, so a minimal grid needs only Algorithms and
+// one Family.
 type Grid = campaign.Grid
 
 // CampaignFamily selects one workload family of a Grid and its per-family

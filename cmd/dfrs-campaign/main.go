@@ -51,7 +51,9 @@ func main() {
 		traces    = flag.Int("traces", 3, "synthetic traces per seed (paper: 100)")
 		jobs      = flag.Int("jobs", 150, "jobs per synthetic trace (paper: 1000)")
 		nodes     = flag.String("nodes", "128", "comma-separated cluster sizes (paper: 128)")
-		nodeMix   = flag.String("node-mix", "", "comma-separated node-mix profiles (uniform, bimodal, powerlaw, gpu-uniform, gpu-bimodal); empty = homogeneous")
+		nodeMix   = flag.String("node-mix", "", "comma-separated node-mix profiles (uniform, bimodal, bimodal-priced, powerlaw, gpu-uniform, gpu-bimodal); empty = homogeneous")
+		resources = flag.String("resources", "", "@file node inventory (one capacity vector per line, optional cost= field), registered as a node mix and added to the sweep")
+		objective = flag.String("objective", "", "comma-separated placement objectives to sweep (cost, bestfit, worstfit, ...); empty = each family's default rule")
 		gpuFrac   = flag.Float64("gpu-frac", 0, "fraction of each cell's jobs given a GPU demand (adds a third resource dimension)")
 		loads     = flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9", "comma-separated load levels; 0 means unscaled")
 		penalties = flag.String("penalties", "300", "comma-separated rescheduling penalties in seconds")
@@ -65,7 +67,30 @@ func main() {
 	)
 	flag.Parse()
 
-	g, err := buildGrid(*preset, *algs, *seeds, *traces, *jobs, *nodes, *nodeMix, *loads, *penalties, *weeks, *gpuFrac)
+	// -resources @file loads an explicit node inventory, registers it under
+	// the "@file" name and adds it to the node-mix sweep.
+	if *resources != "" {
+		if !strings.HasPrefix(*resources, "@") {
+			fatal(fmt.Errorf("bad -resources: want @file (a node-inventory path), got %q", *resources))
+		}
+		path := strings.TrimPrefix(*resources, "@")
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(fmt.Errorf("bad -resources: %v", err))
+		}
+		_, err = dfrs.LoadNodeMix(*resources, f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("bad -resources: %s: %v", path, err))
+		}
+		if *nodeMix == "" {
+			*nodeMix = *resources
+		} else {
+			*nodeMix += "," + *resources
+		}
+	}
+
+	g, err := buildGrid(*preset, *algs, *seeds, *traces, *jobs, *nodes, *nodeMix, *loads, *penalties, *weeks, *gpuFrac, *objective)
 	if err != nil {
 		fatal(err)
 	}
@@ -115,7 +140,7 @@ func main() {
 // dimensions that define the paper campaign, so -traces/-jobs/-seeds still
 // scale them. Flag values are validated eagerly so a bad sweep fails with a
 // clear message before any cell runs.
-func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loads, penalties string, weeks int, gpuFrac float64) (*dfrs.Grid, error) {
+func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loads, penalties string, weeks int, gpuFrac float64, objectives string) (*dfrs.Grid, error) {
 	seedList, err := parseUints(seeds)
 	if err != nil {
 		return nil, fmt.Errorf("bad -seeds: %w", err)
@@ -166,6 +191,13 @@ func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loa
 				mix, dfrs.NodeMixes())
 		}
 	}
+	objList := splitList(objectives)
+	for _, obj := range objList {
+		if !dfrs.KnownObjective(obj) {
+			return nil, fmt.Errorf("bad -objective: unknown objective %q (known: %v)",
+				obj, dfrs.Objectives())
+		}
+	}
 	for _, alg := range splitList(algs) {
 		if !dfrs.KnownAlgorithm(alg) {
 			return nil, fmt.Errorf("bad -algs: unknown algorithm %q (known: %v)", alg, dfrs.Algorithms())
@@ -181,6 +213,7 @@ func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loa
 		Nodes:        nodeList,
 		NodeMixes:    mixList,
 		GPUFrac:      gpuFrac,
+		Objectives:   objList,
 		JobsPerTrace: jobs,
 	}
 	if weeks > 0 {

@@ -35,8 +35,9 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "synthetic workload seed")
 		jobs      = flag.Int("jobs", 300, "synthetic workload size")
 		nodes     = flag.Int("nodes", 128, "synthetic cluster size")
-		nodeMix   = flag.String("node-mix", "", "node-mix profile (see dfrs.NodeMixes, e.g. bimodal, gpu-bimodal); empty = homogeneous")
-		resources = flag.String("resources", "", "comma-separated resource dimensions, e.g. cpu,mem,gpu; empty = cpu,mem (or the node-mix profile's own)")
+		nodeMix   = flag.String("node-mix", "", "node-mix profile (see dfrs.NodeMixes, e.g. bimodal, bimodal-priced, gpu-bimodal); empty = homogeneous")
+		resources = flag.String("resources", "", "comma-separated resource dimensions, e.g. cpu,mem,gpu; or @file to load a node inventory (one capacity vector per line, optional cost= field, tiled over -nodes); empty = cpu,mem (or the node-mix profile's own)")
+		objective = flag.String("objective", "", "placement objective (see dfrs.Objectives, e.g. cost, bestfit); empty = each scheduler family's default rule")
 		gpuFrac   = flag.Float64("gpu-frac", 0, "fraction of synthetic jobs given a GPU demand (adds a third resource dimension)")
 		load      = flag.Float64("load", 0.7, "synthetic offered load (0 = natural)")
 		check     = flag.Bool("check", false, "enable per-event invariant checking")
@@ -71,8 +72,30 @@ func main() {
 	if *penalty < 0 {
 		fatal(fmt.Errorf("bad -penalty: negative rescheduling penalty %g", *penalty))
 	}
+	// -resources @file loads an explicit node inventory and registers it as
+	// the run's node mix under the "@file" name.
+	if strings.HasPrefix(*resources, "@") {
+		if *nodeMix != "" {
+			fatal(fmt.Errorf("bad -resources: %q conflicts with -node-mix %q (an inventory defines the node mix)", *resources, *nodeMix))
+		}
+		path := strings.TrimPrefix(*resources, "@")
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(fmt.Errorf("bad -resources: %v", err))
+		}
+		if _, err := dfrs.LoadNodeMix(*resources, f); err != nil {
+			f.Close()
+			fatal(fmt.Errorf("bad -resources: %s: %v", path, err))
+		}
+		f.Close()
+		*nodeMix = *resources
+		*resources = ""
+	}
 	if !dfrs.ValidNodeMix(*nodeMix) {
 		fatal(fmt.Errorf("bad -node-mix: unknown profile %q (known: %v)", *nodeMix, dfrs.NodeMixes()))
+	}
+	if !dfrs.KnownObjective(*objective) {
+		fatal(fmt.Errorf("bad -objective: unknown objective %q (known: %v)", *objective, dfrs.Objectives()))
 	}
 	if !(*gpuFrac >= 0 && *gpuFrac <= 1) { // negated so NaN is rejected too
 		fatal(fmt.Errorf("bad -gpu-frac: fraction %g outside [0,1]", *gpuFrac))
@@ -91,6 +114,9 @@ func main() {
 	opts := []dfrs.RunOption{dfrs.WithPenalty(*penalty), dfrs.WithNodeMix(*nodeMix)}
 	if *resources != "" {
 		opts = append(opts, dfrs.WithResources(strings.Split(*resources, ",")...))
+	}
+	if *objective != "" {
+		opts = append(opts, dfrs.WithObjective(*objective))
 	}
 	if *check {
 		opts = append(opts, dfrs.WithInvariantChecking())
@@ -116,6 +142,9 @@ func main() {
 		fmt.Printf("cluster      node-mix %s\n", *nodeMix)
 	}
 	fmt.Printf("algorithm    %s (penalty %.0fs)\n", res.Algorithm(), *penalty)
+	if *objective != "" {
+		fmt.Printf("objective    %s\n", *objective)
+	}
 	fmt.Printf("makespan     %.1f h\n", res.Makespan()/3600)
 	fmt.Printf("max stretch  %.2f\n", res.MaxStretch())
 	fmt.Printf("avg stretch  %.2f\n", res.AvgStretch())
@@ -124,6 +153,9 @@ func main() {
 	fmt.Printf("migrations   %d (%.3f GB/s, %.2f/h, %.2f/job)\n",
 		res.Migrations(), costs.MigrationGBps, costs.MigrationsPerHour, costs.MigrationsPerJob)
 	fmt.Printf("utilization  %.1f%% of cluster CPU over the makespan\n", 100*res.Utilization())
+	if res.Cost() > 0 {
+		fmt.Printf("cost         %.1f price units (%.2f/job)\n", res.Cost(), costs.NodeCostPerJob)
+	}
 	fmt.Printf("events       %d\n", res.Events())
 
 	if *tlCSV != "" {

@@ -9,6 +9,12 @@
 //     GREEDY-PMTN, GREEDY-PMTN-MIGR, DYNMCB8, DYNMCB8-PER,
 //     DYNMCB8-ASAP-PER, DYNMCB8-STRETCH-PER), selected by name, plus open
 //     registration of out-of-tree schedulers (RegisterAlgorithm);
+//   - pluggable placement objectives (WithObjective, RegisterObjective):
+//     every family's node selection is split into feasibility filtering
+//     and scoring, the paper's rules are the default scores, and the
+//     built-in cost/bestfit/worstfit objectives open cost-aware scheduling
+//     on priced platforms (NodeSpec.Cost, the bimodal-priced mix,
+//     LoadNodeMix inventories) with per-run cost accounting (Result.Cost);
 //   - context-aware, observable simulation of a fractionally shared
 //     cluster: Run takes a context and cancels at event granularity,
 //     WithObserver taps every scheduling transition, and Stream turns the
@@ -69,6 +75,29 @@
 // resource instead of starving at run time (and, similarly, with
 // InsufficientCapacityError when a job's simultaneous tasks exceed the
 // cluster's aggregate rigid capacity).
+//
+// # Placement objectives and cost-aware scheduling
+//
+// Every scheduling family answers "which nodes get this job?" in two
+// steps: a feasibility filter (the paper's hard memory/GPU/CPU
+// constraints, never relaxed) and a score over the feasible candidates.
+// The paper hard-codes one score per family — greedy's least relative
+// CPU load, the batch baselines' first-eligible-node rule, the MCB8
+// kernel's index bin order — and those remain the defaults, locked
+// bit-for-bit. WithObjective(name) swaps the score everywhere at once:
+//
+//	res, _ := dfrs.Run(ctx, trace, "greedy-pmtn",
+//	    dfrs.WithNodeMix("bimodal-priced"), dfrs.WithObjective("cost"))
+//	fmt.Println(res.Cost()) // cost-weighted occupancy, price units
+//
+// Built-ins: "cost" places tasks on the cheapest feasible nodes
+// (per-node-type pricing via NodeSpec.Cost; the bimodal-priced mix and
+// LoadNodeMix inventories with cost= fields declare prices), "bestfit"
+// packs densely, "worstfit" spreads, and "loadbalance"/"first" spell out
+// the family defaults. Campaign grids sweep objectives through the
+// Objectives axis (cell keys gain an obj= segment; default-objective
+// cells keep their historical keys), and out-of-tree objectives register
+// with RegisterObjective, mirroring RegisterAlgorithm.
 //
 // # Campaigns
 //

@@ -24,6 +24,7 @@ import (
 	"strconv"
 
 	"repro/internal/cluster"
+	"repro/internal/placement"
 )
 
 // Family kinds understood by the trace materialiser.
@@ -87,6 +88,13 @@ type Grid struct {
 	// satisfiable. Zero keeps the paper's two-resource workloads and the
 	// pre-GPU cell keys.
 	GPUFrac float64 `json:"gpu_frac,omitempty"`
+	// Objectives are placement-objective names (internal/placement) to
+	// sweep: each cell's schedulers choose among feasible nodes by the
+	// cell's objective instead of their family defaults. The empty string
+	// is the per-family default (the paper's published rules) and expands
+	// to the same cell keys as grids predating the objective axis, so old
+	// checkpoints stay resumable. Empty means {""}.
+	Objectives []string `json:"objectives,omitempty"`
 	// JobsPerTrace is the lublin trace length; 0 means 1000 (the paper's).
 	JobsPerTrace int `json:"jobs_per_trace"`
 	// Check enables per-event simulator invariant validation (slow).
@@ -111,7 +119,10 @@ type Cell struct {
 	NodeMix string `json:"node_mix,omitempty"`
 	// GPUFrac is the fraction of the cell's jobs carrying a GPU demand;
 	// zero means the paper's two-resource workload.
-	GPUFrac   float64 `json:"gpu_frac,omitempty"`
+	GPUFrac float64 `json:"gpu_frac,omitempty"`
+	// Objective is the cell's placement-objective name; empty means every
+	// scheduler family's default rule (the paper's behaviour).
+	Objective string  `json:"objective,omitempty"`
 	Penalty   float64 `json:"penalty"`
 	Algorithm string  `json:"algorithm"`
 }
@@ -122,8 +133,8 @@ type Cell struct {
 // pre-heterogeneity, pre-GPU key format so existing checkpoints remain
 // valid.
 func (c Cell) Key() string {
-	return fmt.Sprintf("seed=%d/family=%s/trace=%d/load=%s/nodes=%d/jobs=%d%s%s/pen=%s/alg=%s",
-		c.Seed, c.Family, c.TraceIdx, ftoa(c.Load), c.Nodes, c.Jobs, mixKey(c.NodeMix), gpuKey(c.GPUFrac), ftoa(c.Penalty), c.Algorithm)
+	return fmt.Sprintf("seed=%d/family=%s/trace=%d/load=%s/nodes=%d/jobs=%d%s%s%s/pen=%s/alg=%s",
+		c.Seed, c.Family, c.TraceIdx, ftoa(c.Load), c.Nodes, c.Jobs, mixKey(c.NodeMix), gpuKey(c.GPUFrac), objKey(c.Objective), ftoa(c.Penalty), c.Algorithm)
 }
 
 // mixKey renders the node-mix key segment; homogeneous cells contribute
@@ -142,6 +153,16 @@ func gpuKey(frac float64) string {
 		return ""
 	}
 	return "/gpu=" + ftoa(frac)
+}
+
+// objKey renders the objective-axis key segment; default-objective cells
+// contribute nothing so their keys match grids predating the objective
+// axis.
+func objKey(obj string) string {
+	if obj == "" {
+		return ""
+	}
+	return "/obj=" + obj
 }
 
 // ftoa formats a float with the shortest exact representation so keys are
@@ -196,6 +217,11 @@ func (g *Grid) Validate() error {
 	if !(g.GPUFrac >= 0 && g.GPUFrac <= 1) { // negated so NaN is rejected too
 		return fmt.Errorf("campaign: gpu job fraction %g outside [0,1]", g.GPUFrac)
 	}
+	for _, obj := range g.Objectives {
+		if !placement.Known(obj) {
+			return fmt.Errorf("campaign: unknown placement objective %q (known: %v)", obj, placement.Names())
+		}
+	}
 	if g.JobsPerTrace < 0 {
 		return fmt.Errorf("campaign: negative jobs per trace %d", g.JobsPerTrace)
 	}
@@ -203,8 +229,8 @@ func (g *Grid) Validate() error {
 }
 
 // Cells expands the grid into its cells in a deterministic order:
-// seed-major, then family, trace index, load, nodes, node mix, penalty,
-// algorithm.
+// seed-major, then family, trace index, load, nodes, node mix, objective,
+// penalty, algorithm.
 func (g *Grid) Cells() []Cell {
 	seeds := g.Seeds
 	if len(seeds) == 0 {
@@ -228,6 +254,10 @@ func (g *Grid) Cells() []Cell {
 	}
 	if len(mixes) == 0 {
 		mixes = []string{""}
+	}
+	objectives := g.Objectives
+	if len(objectives) == 0 {
+		objectives = []string{""}
 	}
 	jobs := g.JobsPerTrace
 	if jobs == 0 {
@@ -255,23 +285,26 @@ func (g *Grid) Cells() []Cell {
 				for _, load := range loads {
 					for _, n := range famNodes {
 						for _, mix := range mixes {
-							for _, pen := range penalties {
-								for _, alg := range g.Algorithms {
-									c := Cell{
-										Seed:      seed,
-										Family:    fam.Kind,
-										TraceIdx:  idx,
-										Load:      load,
-										Nodes:     n,
-										Jobs:      famJobs,
-										NodeMix:   mix,
-										GPUFrac:   g.GPUFrac,
-										Penalty:   pen,
-										Algorithm: alg,
-									}
-									if key := c.Key(); !seen[key] {
-										seen[key] = true
-										cells = append(cells, c)
+							for _, obj := range objectives {
+								for _, pen := range penalties {
+									for _, alg := range g.Algorithms {
+										c := Cell{
+											Seed:      seed,
+											Family:    fam.Kind,
+											TraceIdx:  idx,
+											Load:      load,
+											Nodes:     n,
+											Jobs:      famJobs,
+											NodeMix:   mix,
+											GPUFrac:   g.GPUFrac,
+											Objective: obj,
+											Penalty:   pen,
+											Algorithm: alg,
+										}
+										if key := c.Key(); !seen[key] {
+											seen[key] = true
+											cells = append(cells, c)
+										}
 									}
 								}
 							}
@@ -286,11 +319,13 @@ func (g *Grid) Cells() []Cell {
 
 // InstanceKey identifies the instance a cell belongs to: everything except
 // the algorithm. Records sharing an instance key ran identical traces on
-// identical clusters, so their stretches are comparable — this is the
-// grouping behind degradation factors.
+// identical clusters under the same placement objective, so their
+// stretches are comparable — this is the grouping behind degradation
+// factors (cells swept across objectives compare algorithms within each
+// objective, never a cost-constrained run against an unconstrained one).
 func (c Cell) InstanceKey() string {
-	return fmt.Sprintf("seed=%d/family=%s/trace=%d/load=%s/nodes=%d/jobs=%d%s%s/pen=%s",
-		c.Seed, c.Family, c.TraceIdx, ftoa(c.Load), c.Nodes, c.Jobs, mixKey(c.NodeMix), gpuKey(c.GPUFrac), ftoa(c.Penalty))
+	return fmt.Sprintf("seed=%d/family=%s/trace=%d/load=%s/nodes=%d/jobs=%d%s%s%s/pen=%s",
+		c.Seed, c.Family, c.TraceIdx, ftoa(c.Load), c.Nodes, c.Jobs, mixKey(c.NodeMix), gpuKey(c.GPUFrac), objKey(c.Objective), ftoa(c.Penalty))
 }
 
 // TimingAgg aggregates the Section V scheduler-timing samples of one run so
@@ -328,7 +363,10 @@ type Record struct {
 	NodeMix string `json:"node_mix,omitempty"`
 	// GPUFrac is the cell's GPU-demand fraction; omitted for two-resource
 	// cells so pre-GPU outputs are byte-identical.
-	GPUFrac   float64 `json:"gpu_frac,omitempty"`
+	GPUFrac float64 `json:"gpu_frac,omitempty"`
+	// Objective is the cell's placement objective; omitted for
+	// default-objective cells so pre-objective outputs are byte-identical.
+	Objective string  `json:"objective,omitempty"`
 	Penalty   float64 `json:"penalty"`
 	Algorithm string  `json:"algorithm"`
 
@@ -338,6 +376,11 @@ type Record struct {
 	Utilization float64 `json:"utilization"`
 	Finished    int     `json:"finished"`
 	Events      int     `json:"events"`
+	// Cost is the run's cost-weighted occupancy (hosting node's cost rate
+	// x occupied seconds, accrued once per task placement; see
+	// sim.Result.NodeCostSeconds). Omitted on unpriced clusters so
+	// pre-pricing outputs are byte-identical.
+	Cost float64 `json:"cost,omitempty"`
 
 	PmtnGBps    float64 `json:"pmtn_gbps"`
 	MigGBps     float64 `json:"mig_gbps"`
@@ -353,7 +396,8 @@ type Record struct {
 // algorithms; see Cell.InstanceKey.
 func (r Record) InstanceKey() string {
 	return Cell{Seed: r.Seed, Family: r.Family, TraceIdx: r.TraceIdx, Load: r.Load,
-		Nodes: r.Nodes, Jobs: r.Jobs, NodeMix: r.NodeMix, GPUFrac: r.GPUFrac, Penalty: r.Penalty}.InstanceKey()
+		Nodes: r.Nodes, Jobs: r.Jobs, NodeMix: r.NodeMix, GPUFrac: r.GPUFrac,
+		Objective: r.Objective, Penalty: r.Penalty}.InstanceKey()
 }
 
 // SortRecords orders records by cell key, the canonical presentation order.

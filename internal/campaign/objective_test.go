@@ -1,0 +1,141 @@
+package campaign
+
+// Objective-axis tests: cell expansion and key compatibility (cells with
+// the default objective keep their pre-objective keys so old checkpoints
+// resume), grid validation, worker-count determinism of a cost-objective
+// campaign on a priced mix with populated cost metrics, and checkpoint
+// resume over objective cells.
+
+import (
+	"strings"
+	"testing"
+)
+
+func objGrid() *Grid {
+	return &Grid{
+		Name:         "obj-test",
+		Seeds:        []uint64{7},
+		Algorithms:   []string{"easy", "greedy-pmtn", "dynmcb8-asap-per"},
+		Families:     []Family{{Kind: FamilyLublin, Count: 1}},
+		Loads:        []float64{0.7},
+		Penalties:    []float64{300},
+		Nodes:        []int{16},
+		NodeMixes:    []string{"bimodal-priced"},
+		Objectives:   []string{"", "cost"},
+		JobsPerTrace: 25,
+	}
+}
+
+func TestObjectiveExpansionAndKeys(t *testing.T) {
+	g := objGrid()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells := g.Cells()
+	// 1 trace x 1 load x 1 nodes x 1 mix x 2 objectives x 1 penalty x 3 algs.
+	if len(cells) != 6 {
+		t.Fatalf("expanded to %d cells, want 6", len(cells))
+	}
+	for _, c := range cells {
+		key := c.Key()
+		switch c.Objective {
+		case "":
+			if strings.Contains(key, "obj=") {
+				t.Errorf("default-objective cell key carries an obj segment: %s", key)
+			}
+		default:
+			if !strings.Contains(key, "/obj="+c.Objective+"/") {
+				t.Errorf("objective cell key lacks its obj segment: %s", key)
+			}
+		}
+		// The objective is part of the instance grouping: degradation
+		// factors never compare across objectives.
+		if (c.Objective != "") != strings.Contains(c.InstanceKey(), "obj=") {
+			t.Errorf("instance key objective segment mismatch: %s", c.InstanceKey())
+		}
+	}
+	// Key compatibility: a default-objective cell's key is identical to the
+	// same cell's key before the objective axis existed.
+	plain := Cell{Seed: 1, Family: FamilyLublin, TraceIdx: 0, Load: 0.7, Nodes: 16, Jobs: 25,
+		Penalty: 300, Algorithm: "easy"}
+	if got, want := plain.Key(), "seed=1/family=lublin/trace=0/load=0.7/nodes=16/jobs=25/pen=300/alg=easy"; got != want {
+		t.Fatalf("pre-objective key changed: %s, want %s", got, want)
+	}
+	// Unknown objectives are rejected at validation.
+	bad := objGrid()
+	bad.Objectives = []string{"no-such-objective"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+}
+
+// TestObjectiveCampaignDeterminismAndCost runs the acceptance scenario:
+// a cost-objective campaign on the priced bimodal mix must be
+// byte-deterministic for any worker count and every record must carry a
+// populated cost metric.
+func TestObjectiveCampaignDeterminismAndCost(t *testing.T) {
+	g := objGrid()
+	run := func(workers int) []Record {
+		r := &Runner{Workers: workers}
+		recs, err := r.Run(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	serial := run(1)
+	parallel := run(4)
+	if len(serial) != 6 || len(parallel) != 6 {
+		t.Fatalf("record counts %d/%d, want 6", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("record %d differs between worker counts:\n%+v\n%+v", i, serial[i], parallel[i])
+		}
+		if serial[i].Cost <= 0 {
+			t.Fatalf("record %s has no cost on a priced mix", serial[i].Key)
+		}
+	}
+	// The objective field round-trips into records and the default stays
+	// empty.
+	byObj := map[string]int{}
+	for _, rec := range serial {
+		byObj[rec.Objective]++
+	}
+	if byObj[""] != 3 || byObj["cost"] != 3 {
+		t.Fatalf("objective distribution %v", byObj)
+	}
+}
+
+// TestObjectiveCampaignResume: a checkpoint holding a subset of objective
+// cells resumes exactly the missing ones.
+func TestObjectiveCampaignResume(t *testing.T) {
+	g := objGrid()
+	all, err := (&Runner{Workers: 2}).Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skip := map[string]bool{all[0].Key: true, all[3].Key: true}
+	rest, err := (&Runner{Workers: 2, Skip: skip}).Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != len(all)-2 {
+		t.Fatalf("resume ran %d cells, want %d", len(rest), len(all)-2)
+	}
+	got := map[string]Record{}
+	for _, rec := range rest {
+		if skip[rec.Key] {
+			t.Fatalf("resume re-ran skipped cell %s", rec.Key)
+		}
+		got[rec.Key] = rec
+	}
+	for _, rec := range all {
+		if skip[rec.Key] {
+			continue
+		}
+		if got[rec.Key] != rec {
+			t.Fatalf("resumed cell %s differs from the uninterrupted run", rec.Key)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/hpc2n"
 	"repro/internal/lublin"
 	"repro/internal/metrics"
+	"repro/internal/placement"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -171,6 +172,12 @@ func runCell(ctx context.Context, r *Runner, mat *materialiser, g *Grid, c Cell)
 	// capacity per node, so the demand axis is satisfiable everywhere;
 	// GPU profiles keep their own layout.
 	cl = cl.ExtendUnit(tr.Dims())
+	// Each cell resolves a fresh objective instance (objectives may carry
+	// state, like schedulers).
+	obj, err := placement.ByName(c.Objective)
+	if err != nil {
+		return Record{}, err
+	}
 	var obs sim.Observer
 	if r.Observe != nil {
 		obs = r.Observe(c)
@@ -183,6 +190,7 @@ func runCell(ctx context.Context, r *Runner, mat *materialiser, g *Grid, c Cell)
 		RecordSchedTimes: g.Timing,
 		MaxSimTime:       maxSimTime,
 		Observer:         obs,
+		Objective:        obj,
 	}, s)
 	if err != nil {
 		return Record{}, err
@@ -210,6 +218,7 @@ func runCell(ctx context.Context, r *Runner, mat *materialiser, g *Grid, c Cell)
 		Jobs:      c.Jobs,
 		NodeMix:   c.NodeMix,
 		GPUFrac:   c.GPUFrac,
+		Objective: c.Objective,
 		Penalty:   c.Penalty,
 		Algorithm: c.Algorithm,
 
@@ -219,6 +228,7 @@ func runCell(ctx context.Context, r *Runner, mat *materialiser, g *Grid, c Cell)
 		Utilization: res.Utilization(),
 		Finished:    len(res.Jobs),
 		Events:      res.Events,
+		Cost:        res.NodeCostSeconds,
 
 		PmtnGBps:    costs.PmtnGBps,
 		MigGBps:     costs.MigGBps,

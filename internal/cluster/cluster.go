@@ -73,6 +73,13 @@ func (v Vec) Equal(o Vec) bool {
 // dimension.
 type NodeSpec struct {
 	Caps Vec
+	// Cost is the node's cost rate in abstract price units per second of
+	// occupancy (per-node-type pricing). It never constrains scheduling —
+	// the paper's model has no prices and its platform is the all-zero
+	// special case — but the simulator accounts cost-weighted occupancy
+	// (cost x seconds, accrued once per task the node hosts) and the cost
+	// placement objective minimizes it.
+	Cost float64
 }
 
 // Spec builds a node spec from explicit capacities; the first two are CPU
@@ -118,11 +125,19 @@ func (n NodeSpec) IsUnit() bool {
 	return len(n.Caps) == MinDims && n.Caps[DimCPU] == 1 && n.Caps[DimMem] == 1
 }
 
-// Equal reports whether both specs have identical capacity vectors.
-func (n NodeSpec) Equal(o NodeSpec) bool { return n.Caps.Equal(o.Caps) }
+// Equal reports whether both specs have identical capacity vectors and
+// cost rates.
+func (n NodeSpec) Equal(o NodeSpec) bool { return n.Cost == o.Cost && n.Caps.Equal(o.Caps) }
+
+// WithCost returns a copy of the spec with the given cost rate.
+func (n NodeSpec) WithCost(cost float64) NodeSpec {
+	n.Cost = cost
+	return n
+}
 
 // WithDims returns a copy of the spec extended (or truncated — never below
-// MinDims) to d dimensions; new dimensions receive capacity fill.
+// MinDims) to d dimensions; new dimensions receive capacity fill. The cost
+// rate is preserved.
 func (n NodeSpec) WithDims(d int, fill float64) NodeSpec {
 	if d < MinDims {
 		d = MinDims
@@ -132,7 +147,7 @@ func (n NodeSpec) WithDims(d int, fill float64) NodeSpec {
 	for i := len(n.Caps); i < d; i++ {
 		caps[i] = fill
 	}
-	return NodeSpec{Caps: caps}
+	return NodeSpec{Caps: caps, Cost: n.Cost}
 }
 
 // CanonicalDimName returns the conventional name of dimension k: "cpu",
@@ -230,6 +245,21 @@ func (c *Cluster) CPUCap(i int) float64 { return c.Nodes[i].Caps[DimCPU] }
 
 // MemCap returns node i's memory capacity.
 func (c *Cluster) MemCap(i int) float64 { return c.Nodes[i].Caps[DimMem] }
+
+// Cost returns node i's cost rate (price units per second of occupancy;
+// 0 on unpriced platforms).
+func (c *Cluster) Cost(i int) float64 { return c.Nodes[i].Cost }
+
+// Priced reports whether any node carries a non-zero cost rate; the
+// simulator skips cost accounting entirely on unpriced platforms.
+func (c *Cluster) Priced() bool {
+	for _, n := range c.Nodes {
+		if n.Cost != 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // TotalCap returns the cluster's aggregate capacity in dimension k.
 func (c *Cluster) TotalCap(k int) float64 {
@@ -332,6 +362,9 @@ func (c *Cluster) Validate() error {
 			if n.Caps[k] < 0 {
 				return fmt.Errorf("cluster: node %d has negative %s capacity %g", i, c.DimName(k), n.Caps[k])
 			}
+		}
+		if !(n.Cost >= 0) { // negated so NaN is rejected too
+			return fmt.Errorf("cluster: node %d has invalid cost rate %g", i, n.Cost)
 		}
 	}
 	if c.DimNames != nil && len(c.DimNames) != d {

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Named node-mix profiles. A profile is a deterministic function of
@@ -11,7 +12,9 @@ import (
 // reference CPU and memory capacity 1.0 x 1.0, guaranteeing that any
 // workload valid on the paper's homogeneous platform remains schedulable;
 // three-dimensional profiles additionally declare a GPU capacity, which may
-// be zero on some nodes (a GPU-demanding job then only fits the GPU nodes).
+// be zero on some nodes (a GPU-demanding job then only fits the GPU nodes),
+// and priced profiles declare per-node cost rates (NodeSpec.Cost) for the
+// cost-aware placement objectives.
 const (
 	// ProfileUniform is the paper's homogeneous platform (all nodes
 	// 1.0 x 1.0). The empty string is an accepted alias.
@@ -31,6 +34,13 @@ const (
 	// (1.0 x 1.0 x 0.0) — GPU-demanding jobs compete for a quarter of the
 	// cluster while CPU/memory stay uniform.
 	ProfileGPUBimodal = "gpu-bimodal"
+	// ProfileBimodalPriced is the bimodal fat/thin capacity mix with
+	// super-linear per-node-type pricing: fat 2.0 x 2.0 nodes cost 3.0 per
+	// second of occupancy, reference nodes cost 1.0 — double the capacity
+	// at triple the price, the classic premium-tier trade-off that makes
+	// cost-aware placement objectives bite (a cost-minimizing scheduler
+	// keeps the fat nodes idle unless capacity forces their use).
+	ProfileBimodalPriced = "bimodal-priced"
 )
 
 // gpuDims is the dimension-name set of the three-dimensional profiles.
@@ -43,36 +53,90 @@ type profile struct {
 	build func(i int) NodeSpec
 }
 
-// profileBuilders maps canonical profile names to their layouts.
-var profileBuilders = map[string]profile{
-	ProfileUniform: {build: func(int) NodeSpec { return Unit() }},
-	ProfileBimodal: {build: func(i int) NodeSpec {
-		if i%2 == 0 {
-			return Spec(2, 2)
-		}
-		return Unit()
-	}},
-	ProfilePowerlaw: {build: func(i int) NodeSpec {
-		switch {
-		case i%8 == 0:
-			return Spec(4, 4)
-		case i%8 == 4:
-			return Spec(2, 2)
-		default:
+// profileBuilders maps canonical profile names to their layouts. Built-ins
+// are installed here; RegisterProfile adds named inventories at run time,
+// so all access goes through profileMu.
+var (
+	profileMu       sync.RWMutex
+	profileBuilders = map[string]profile{
+		ProfileUniform: {build: func(int) NodeSpec { return Unit() }},
+		ProfileBimodal: {build: func(i int) NodeSpec {
+			if i%2 == 0 {
+				return Spec(2, 2)
+			}
 			return Unit()
+		}},
+		ProfilePowerlaw: {build: func(i int) NodeSpec {
+			switch {
+			case i%8 == 0:
+				return Spec(4, 4)
+			case i%8 == 4:
+				return Spec(2, 2)
+			default:
+				return Unit()
+			}
+		}},
+		ProfileGPUUniform: {dims: gpuDims, build: func(int) NodeSpec { return Spec(1, 1, 1) }},
+		ProfileGPUBimodal: {dims: gpuDims, build: func(i int) NodeSpec {
+			if i%4 == 0 {
+				return Spec(1, 1, 2)
+			}
+			return Spec(1, 1, 0)
+		}},
+		ProfileBimodalPriced: {build: func(i int) NodeSpec {
+			if i%2 == 0 {
+				return Spec(2, 2).WithCost(3)
+			}
+			return Unit().WithCost(1)
+		}},
+	}
+)
+
+// RegisterProfile adds a named node-mix profile built from an explicit
+// node inventory (e.g. one parsed by FromSpecs): the profile lays the
+// specs out cyclically over any requested node count (node i receives
+// specs[i mod len(specs)]), so an inventory describes a node-type pattern
+// rather than one fixed cluster size, exactly like the built-in profiles.
+// dims optionally names the dimensions (nil means the canonical names).
+// Registration fails on an empty name, an empty inventory, a duplicate
+// name, or specs of unequal dimension counts.
+func RegisterProfile(name string, dims []string, specs []NodeSpec) error {
+	if name == "" {
+		return fmt.Errorf("cluster: empty profile name")
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("cluster: profile %q has no node specs", name)
+	}
+	d := specs[0].Dims()
+	for i, s := range specs {
+		if s.Dims() != d {
+			return fmt.Errorf("cluster: profile %q: node %d has %d dimensions, node 0 has %d", name, i, s.Dims(), d)
 		}
-	}},
-	ProfileGPUUniform: {dims: gpuDims, build: func(int) NodeSpec { return Spec(1, 1, 1) }},
-	ProfileGPUBimodal: {dims: gpuDims, build: func(i int) NodeSpec {
-		if i%4 == 0 {
-			return Spec(1, 1, 2)
-		}
-		return Spec(1, 1, 0)
-	}},
+	}
+	if dims != nil && len(dims) != d {
+		return fmt.Errorf("cluster: profile %q: %d dimension names for %d dimensions", name, len(dims), d)
+	}
+	owned := append([]NodeSpec(nil), specs...)
+	var ownedDims []string
+	if dims != nil {
+		ownedDims = append([]string(nil), dims...)
+	}
+	profileMu.Lock()
+	defer profileMu.Unlock()
+	if _, dup := profileBuilders[name]; dup {
+		return fmt.Errorf("cluster: duplicate registration of profile %q", name)
+	}
+	profileBuilders[name] = profile{
+		dims:  ownedDims,
+		build: func(i int) NodeSpec { return owned[i%len(owned)] },
+	}
+	return nil
 }
 
 // ProfileNames lists the canonical profile names, sorted.
 func ProfileNames() []string {
+	profileMu.RLock()
+	defer profileMu.RUnlock()
 	names := make([]string, 0, len(profileBuilders))
 	for n := range profileBuilders {
 		names = append(names, n)
@@ -98,6 +162,8 @@ func ValidProfile(name string) bool {
 	if name == "" {
 		return true
 	}
+	profileMu.RLock()
+	defer profileMu.RUnlock()
 	_, ok := profileBuilders[name]
 	return ok
 }
@@ -111,7 +177,9 @@ func Profile(name string, n int) (*Cluster, error) {
 	if name == "" {
 		name = ProfileUniform
 	}
+	profileMu.RLock()
 	p, ok := profileBuilders[name]
+	profileMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("cluster: unknown node-mix profile %q (known: %v)", name, ProfileNames())
 	}

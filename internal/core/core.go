@@ -257,6 +257,19 @@ func MaxMinYield(jobs []JobSpec, c *cluster.Cluster, packer vectorpack.Packer) (
 // all of them. eligible, when non-nil, restricts which jobs may be raised
 // (the fairness extension excludes long-running jobs); nil means all.
 func ImproveAverageYield(jobs []JobSpec, alloc *Allocation, c *cluster.Cluster, eligible func(JobSpec) bool) {
+	ImproveAverageYieldRanked(jobs, alloc, c, eligible, nil)
+}
+
+// ImproveAverageYieldRanked is ImproveAverageYield with an optional
+// placement-objective tie-break: rank, when non-nil, holds one secondary
+// key per job (parallel to jobs), and jobs with equal total CPU need are
+// visited in descending rank order before the ID tie-break. The paper's
+// primary ascending-total-need order is never altered; a nil rank is
+// exactly the published ties-by-ID rule. The greedy and DYNMCB8 families
+// derive rank from the run's objective via sched.ImproveRank (the cost
+// objective ranks jobs by the cost of their hosting nodes, so leftover CPU
+// drains priced capacity first).
+func ImproveAverageYieldRanked(jobs []JobSpec, alloc *Allocation, c *cluster.Cluster, eligible func(JobSpec) bool, rank []float64) {
 	used := make([]float64, c.N())
 	// tasksOn[jobIdx][node] = number of that job's tasks on node.
 	tasksOn := make([]map[int]int, len(jobs))
@@ -267,7 +280,8 @@ func ImproveAverageYield(jobs []JobSpec, alloc *Allocation, c *cluster.Cluster, 
 			used[node] += j.CPUNeed * alloc.YieldOf[j.ID]
 		}
 	}
-	// Ascending total CPU need, ties by ID for determinism.
+	// Ascending total CPU need, ties by descending rank (when given), then
+	// by ID for determinism.
 	order := make([]int, len(jobs))
 	for i := range order {
 		order[i] = i
@@ -276,6 +290,9 @@ func ImproveAverageYield(jobs []JobSpec, alloc *Allocation, c *cluster.Cluster, 
 		ta, tb := jobs[order[a]].TotalCPUNeed(), jobs[order[b]].TotalCPUNeed()
 		if ta != tb {
 			return ta < tb
+		}
+		if rank != nil && rank[order[a]] != rank[order[b]] {
+			return rank[order[a]] > rank[order[b]]
 		}
 		return jobs[order[a]].ID < jobs[order[b]].ID
 	})

@@ -89,7 +89,8 @@ func DegradationFactors(maxStretch map[string]float64) (map[string]float64, erro
 
 // CostSummary is one row of Table II for one instance: bandwidth in GB/s,
 // occurrences per hour, and occurrences per job, split between preemptions
-// and migrations.
+// and migrations — plus, beyond the paper, the monetary cost accounting of
+// priced platforms.
 type CostSummary struct {
 	Algorithm   string
 	Trace       string
@@ -99,12 +100,20 @@ type CostSummary struct {
 	MigPerHour  float64
 	PmtnPerJob  float64
 	MigPerJob   float64
+	// NodeCost is the run's cost-weighted occupancy in price units
+	// (hosting node's cost rate x occupied seconds, accrued once per task
+	// placement; see sim.Result.NodeCostSeconds). Always 0 on unpriced
+	// clusters, where the paper's model is the exact special case.
+	NodeCost float64
+	// NodeCostPerJob is NodeCost divided by the number of finished jobs —
+	// the average price of running one job under the schedule.
+	NodeCostPerJob float64
 }
 
 // Costs derives Table II quantities from a run. Rates use the instance
 // makespan; per-job counts use the job population.
 func Costs(res *sim.Result) CostSummary {
-	c := CostSummary{Algorithm: res.Algorithm, Trace: res.Trace}
+	c := CostSummary{Algorithm: res.Algorithm, Trace: res.Trace, NodeCost: res.NodeCostSeconds}
 	if res.Makespan > 0 {
 		c.PmtnGBps = res.PreemptionGB / res.Makespan
 		c.MigGBps = res.MigrationGB / res.Makespan
@@ -120,6 +129,7 @@ func Costs(res *sim.Result) CostSummary {
 		}
 		c.PmtnPerJob = float64(pmtn) / float64(n)
 		c.MigPerJob = float64(mig) / float64(n)
+		c.NodeCostPerJob = res.NodeCostSeconds / float64(n)
 	}
 	return c
 }
@@ -144,6 +154,9 @@ func Validate(res *sim.Result) error {
 	if res.PreemptionOps < 0 || res.MigrationOps < 0 ||
 		res.PreemptionGB < -1e-9 || res.MigrationGB < -1e-9 {
 		return fmt.Errorf("metrics: negative cost accounting in %s/%s", res.Algorithm, res.Trace)
+	}
+	if res.NodeCostSeconds < -1e-9 || math.IsNaN(res.NodeCostSeconds) {
+		return fmt.Errorf("metrics: invalid node-cost accounting %g in %s/%s", res.NodeCostSeconds, res.Algorithm, res.Trace)
 	}
 	return nil
 }

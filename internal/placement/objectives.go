@@ -1,0 +1,107 @@
+package placement
+
+// Built-in objectives. First and LoadBalance are the paper's hard-coded
+// rules factored out of the scheduler families; Cost, BestFit and WorstFit
+// open the cost/packing axis over the capacity vector.
+
+// First scores every node identically, so selection degenerates to the
+// lowest-id (first) feasible node. It is the default objective of the
+// batch family (FCFS/EASY/conservative take eligible free nodes in id
+// order), of gang row filling, and of the packing kernels' bin order —
+// exactly the published behaviour.
+type First struct{}
+
+// Name returns "first".
+func (First) Name() string { return "first" }
+
+// Score implements Objective: all nodes tie, so ties resolve to the
+// lowest id.
+func (First) Score(Demand, int, State) float64 { return 0 }
+
+// LoadBalance scores a node by its relative CPU load — CPU load divided by
+// the node's CPU capacity, the paper's Section III-A greedy rule (on the
+// unit-capacity platform exactly the raw load). It is the default
+// objective of the greedy family and of DYNMCB8-ASAP's immediate
+// placement.
+type LoadBalance struct{}
+
+// Name returns "loadbalance".
+func (LoadBalance) Name() string { return "loadbalance" }
+
+// Score implements Objective.
+func (LoadBalance) Score(_ Demand, node int, st State) float64 {
+	return st.CPULoad(node) / st.Cap(node, 0)
+}
+
+// Cost scores a node by its cost rate (cluster.NodeSpec.Cost), so tasks
+// concentrate on the cheapest feasible nodes and priced capacity stays
+// idle: the per-node-type pricing objective over heterogeneous
+// inventories. Within one price tier (equal cost) it spreads tasks by
+// relative CPU load (see TieBreaker) — without that, every tier would pile
+// onto its lowest-id node and the collapsed yields would stretch occupancy
+// far enough to raise total cost, defeating the objective. On an unpriced
+// platform (all costs zero) Cost therefore degenerates to LoadBalance.
+// Cost also ranks jobs for the average-yield improvement tie-break (see
+// JobRanker): leftover CPU goes to the jobs hosted on the most expensive
+// nodes first, finishing them sooner and releasing the priced capacity.
+type Cost struct{}
+
+// Name returns "cost".
+func (Cost) Name() string { return "cost" }
+
+// Score implements Objective.
+func (Cost) Score(_ Demand, node int, st State) float64 { return st.Cost(node) }
+
+// Secondary implements TieBreaker: relative CPU load, the published greedy
+// spreading rule, applied within a price tier.
+func (Cost) Secondary(_ Demand, node int, st State) float64 {
+	return st.CPULoad(node) / st.Cap(node, 0)
+}
+
+// RanksJobs implements JobRanker.
+func (Cost) RanksJobs() bool { return true }
+
+// BestFit scores a node by its normalized leftover capacity after the
+// placement — the sum over resource dimensions of (free - demand) divided
+// by the node's capacity in that dimension (dimensions the node lacks are
+// skipped). Minimizing leftover packs tasks densely, the packing-density
+// end of the packing-vs-spreading axis; it is also exactly the slack rule
+// of the best-fit-decreasing packer, which routes through this objective
+// with its own capacity normalization (the platform's mean capacities, as
+// documented there).
+type BestFit struct{}
+
+// Name returns "bestfit".
+func (BestFit) Name() string { return "bestfit" }
+
+// Score implements Objective.
+func (BestFit) Score(dem Demand, node int, st State) float64 {
+	return slack(dem, node, st)
+}
+
+// WorstFit is BestFit negated: it places every task on the feasible node
+// with the most normalized leftover capacity, spreading load across the
+// platform — the classical worst-fit rule that trades consolidation for
+// per-node headroom.
+type WorstFit struct{}
+
+// Name returns "worstfit".
+func (WorstFit) Name() string { return "worstfit" }
+
+// Score implements Objective.
+func (WorstFit) Score(dem Demand, node int, st State) float64 {
+	return -slack(dem, node, st)
+}
+
+// slack is the shared normalized-leftover measure of BestFit/WorstFit.
+func slack(dem Demand, node int, st State) float64 {
+	var s float64
+	for k := 0; k < st.Dims(); k++ {
+		cap := st.Cap(node, k)
+		if cap <= 0 {
+			continue
+		}
+		s += (st.Free(node, k) - dem(k)) / cap
+	}
+	return s
+}

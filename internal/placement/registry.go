@@ -1,0 +1,93 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory builds a fresh objective instance. The built-in objectives are
+// stateless, but out-of-tree objectives may carry per-run state, so every
+// simulation resolves its own instance — mirroring the scheduler registry.
+type Factory func() Objective
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+func init() {
+	// The built-in objectives; First and LoadBalance are the families'
+	// defaults factored out, registered so a sweep can force one family's
+	// rule onto another.
+	for _, f := range []Factory{
+		func() Objective { return First{} },
+		func() Objective { return LoadBalance{} },
+		func() Objective { return Cost{} },
+		func() Objective { return BestFit{} },
+		func() Objective { return WorstFit{} },
+	} {
+		if err := Register(f().Name(), f); err != nil {
+			panic(err.Error())
+		}
+	}
+}
+
+// Register adds a named objective constructor, returning an error on an
+// empty name, a nil factory, or a duplicate registration. It is the
+// non-panicking form behind the public dfrs.RegisterObjective entry point.
+func Register(name string, f Factory) error {
+	if name == "" {
+		return fmt.Errorf("placement: empty objective name")
+	}
+	if f == nil {
+		return fmt.Errorf("placement: nil factory for objective %q", name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("placement: duplicate registration of %q", name)
+	}
+	registry[name] = f
+	return nil
+}
+
+// Known reports whether an objective name is registered. The empty name is
+// always valid: it selects every family's default (the paper's published
+// rules).
+func Known(name string) bool {
+	if name == "" {
+		return true
+	}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
+// ByName returns a fresh instance of the named objective. The empty name
+// returns (nil, nil): a nil Objective means "use each family's default".
+func ByName(name string) (Objective, error) {
+	if name == "" {
+		return nil, nil
+	}
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("placement: unknown objective %q (known: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists all registered objective names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/placement"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -33,15 +34,18 @@ func init() {
 // nodePool tracks which nodes are exclusively held by batch jobs and which
 // of them can host a given job's tasks at yield 1.0. The CPU and memory
 // capacities are cached as flat arrays because the eligibility predicate
-// sits in the dispatch and reservation hot loops.
+// sits in the dispatch and reservation hot loops. The objective, when
+// non-nil, selects which eligible free nodes a job takes (see takeFor);
+// nil is the published rule — node-id order, the First objective.
 type nodePool struct {
 	cl             *cluster.Cluster
 	cpuCap, memCap []float64 // per-node caches of dimensions 0/1
 	multiDim       bool      // cluster has dimensions beyond (cpu, mem)
 	free           []int     // sorted free node ids
+	obj            placement.Objective
 }
 
-func newNodePool(cl *cluster.Cluster) *nodePool {
+func newNodePool(cl *cluster.Cluster, obj placement.Objective) *nodePool {
 	n := cl.N()
 	p := &nodePool{
 		cl:       cl,
@@ -49,6 +53,7 @@ func newNodePool(cl *cluster.Cluster) *nodePool {
 		memCap:   make([]float64, n),
 		multiDim: cl.D() > cluster.MinDims,
 		free:     make([]int, n),
+		obj:      obj,
 	}
 	for i := range p.free {
 		p.free[i] = i
@@ -57,6 +62,26 @@ func newNodePool(cl *cluster.Cluster) *nodePool {
 	}
 	return p
 }
+
+// poolState adapts the pool to placement.State. Batch allocations are
+// integral and exclusive, so every candidate (free) node is fully idle:
+// free capacity is the node's own capacity and the CPU load is zero.
+type poolState struct{ p *nodePool }
+
+// Dims implements placement.State.
+func (s poolState) Dims() int { return s.p.cl.D() }
+
+// Cap implements placement.State.
+func (s poolState) Cap(node, k int) float64 { return s.p.cl.Cap(node, k) }
+
+// Free implements placement.State.
+func (s poolState) Free(node, k int) float64 { return s.p.cl.Cap(node, k) }
+
+// CPULoad implements placement.State.
+func (s poolState) CPULoad(int) float64 { return 0 }
+
+// Cost implements placement.State.
+func (s poolState) Cost(node int) float64 { return s.p.cl.Nodes[node].Cost }
 
 // nodeFits reports whether a node can exclusively host one task of the job
 // at full speed: its capacity covers the per-task demand in every resource
@@ -141,10 +166,14 @@ func (p *nodePool) freeFor(j *workload.Job) int {
 	return n
 }
 
-// takeFor removes and returns the first k free nodes eligible for the job
-// (in node-id order, deterministic). The caller must have checked
-// freeFor(j) >= k.
+// takeFor removes and returns k free nodes eligible for the job: the
+// first k in node-id order (deterministic, the published rule) with no
+// objective configured, or the k best under the objective's score (ties by
+// id) otherwise. The caller must have checked freeFor(j) >= k.
 func (p *nodePool) takeFor(j *workload.Job, k int) []int {
+	if p.obj != nil {
+		return p.takeForObjective(j, k)
+	}
 	nodes := make([]int, 0, k)
 	kept := p.free[:0]
 	for _, node := range p.free {
@@ -156,6 +185,33 @@ func (p *nodePool) takeFor(j *workload.Job, k int) []int {
 	}
 	p.free = kept
 	return nodes
+}
+
+// takeForObjective is the objective-scored variant of takeFor: rank the
+// eligible free nodes by ascending (score, id) and take the k best.
+func (p *nodePool) takeForObjective(j *workload.Job, k int) []int {
+	eligible := make([]int, 0, len(p.free))
+	for _, node := range p.free {
+		if p.fits(node, j) {
+			eligible = append(eligible, node)
+		}
+	}
+	ranked := placement.Rank(eligible, j.Demand, poolState{p}, p.obj)
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	taken := make(map[int]bool, len(ranked))
+	for _, node := range ranked {
+		taken[node] = true
+	}
+	kept := p.free[:0]
+	for _, node := range p.free {
+		if !taken[node] {
+			kept = append(kept, node)
+		}
+	}
+	p.free = kept
+	return ranked
 }
 
 // give returns nodes to the pool, keeping it sorted for determinism.
@@ -180,7 +236,7 @@ func (f *FCFS) Name() string { return "fcfs" }
 
 // Init implements sim.Scheduler.
 func (f *FCFS) Init(ctl *sim.Controller) {
-	f.pool = newNodePool(ctl.Cluster())
+	f.pool = newNodePool(ctl.Cluster(), ctl.Objective())
 	f.queue = nil
 	f.holding = map[int][]int{}
 }
@@ -230,7 +286,7 @@ func (e *EASY) Name() string { return "easy" }
 
 // Init implements sim.Scheduler.
 func (e *EASY) Init(ctl *sim.Controller) {
-	e.pool = newNodePool(ctl.Cluster())
+	e.pool = newNodePool(ctl.Cluster(), ctl.Objective())
 	e.queue = nil
 	e.holding = map[int][]int{}
 }

@@ -157,7 +157,7 @@ func TestFCFSFullClusterJob(t *testing.T) {
 }
 
 func TestNodePool(t *testing.T) {
-	p := newNodePool(cluster.Homogeneous(4))
+	p := newNodePool(cluster.Homogeneous(4), nil)
 	j := workload.Job{Tasks: 3, CPUNeed: 0.5, MemReq: 0.5}
 	if p.freeCount() != 4 || p.freeFor(&j) != 4 {
 		t.Fatalf("freeCount = %d, freeFor = %d", p.freeCount(), p.freeFor(&j))
@@ -183,7 +183,7 @@ func TestNodePoolEligibility(t *testing.T) {
 		cluster.Spec(0.5, 0.5),
 		cluster.Spec(1, 1),
 		cluster.Spec(2, 2),
-	}))
+	}), nil)
 	big := workload.Job{Tasks: 1, CPUNeed: 0.8, MemReq: 0.8}
 	small := workload.Job{Tasks: 1, CPUNeed: 0.3, MemReq: 0.3}
 	if p.freeFor(&big) != 2 || p.freeFor(&small) != 3 {

@@ -31,7 +31,7 @@ func (c *Conservative) Name() string { return "conservative" }
 
 // Init implements sim.Scheduler.
 func (c *Conservative) Init(ctl *sim.Controller) {
-	c.pool = newNodePool(ctl.Cluster())
+	c.pool = newNodePool(ctl.Cluster(), ctl.Objective())
 	c.queue = nil
 	c.holding = map[int][]int{}
 }

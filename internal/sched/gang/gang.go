@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/floats"
+	"repro/internal/placement"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -161,36 +162,78 @@ func (g *Scheduler) tryPlace(ctl *sim.Controller, jid int) bool {
 	return false
 }
 
+// rowState adapts one gang row (plus the in-call placement plan) to
+// placement.State: CPU load is the row's per-slice load, rigid usage is
+// the cumulative footprint across all rows — the same quantities the
+// feasibility filter checks.
+type rowState struct {
+	g         *Scheduler
+	ctl       *sim.Controller
+	r         *row
+	planLoad  []float64
+	planRigid [][]float64
+}
+
+// Dims implements placement.State.
+func (s rowState) Dims() int { return s.ctl.NumDims() }
+
+// Cap implements placement.State.
+func (s rowState) Cap(node, k int) float64 { return s.ctl.ResCap(node, k) }
+
+// Free implements placement.State.
+func (s rowState) Free(node, k int) float64 {
+	if k == 0 {
+		return s.ctl.CPUCap(node) - s.CPULoad(node)
+	}
+	return s.ctl.ResCap(node, k) - s.g.rigidUse[k-1][node] - s.planRigid[k-1][node]
+}
+
+// CPULoad implements placement.State: the row's CPU load on the node.
+func (s rowState) CPULoad(node int) float64 { return s.r.load[node] + s.planLoad[node] }
+
+// Cost implements placement.State.
+func (s rowState) Cost(node int) float64 { return s.ctl.NodeCost(node) }
+
 // fitInRow plans one node per task: the node must have CPU headroom within
 // the row (need sums to at most the node's CPU capacity per slice, so the
 // row can run at yield 1) and global headroom in every rigid dimension
 // (memory, GPU, ...) across all rows. On a homogeneous cluster both
-// capacities are 1.0, the published formulation.
+// capacities are 1.0, the published formulation. With no objective
+// configured each task takes the first feasible node in id order (the
+// First objective, inlined); a configured objective picks the feasible
+// node with the best score instead.
 func (g *Scheduler) fitInRow(ctl *sim.Controller, ji sim.JobInfo, r *row, n int) ([]int, bool) {
+	obj := ctl.Objective()
 	nodes := make([]int, 0, ji.Job.Tasks)
 	planLoad := make([]float64, n)
 	planRigid := make([][]float64, len(g.rigidUse))
 	for ri := range planRigid {
 		planRigid[ri] = make([]float64, n)
 	}
+	feasible := func(node int) bool {
+		if !floats.LessEq(r.load[node]+planLoad[node]+ji.Job.CPUNeed, ctl.CPUCap(node)) {
+			return false
+		}
+		for ri := range g.rigidUse {
+			if !floats.LessEq(g.rigidUse[ri][node]+planRigid[ri][node]+ji.Job.Demand(ri+1), ctl.ResCap(node, ri+1)) {
+				return false
+			}
+		}
+		return true
+	}
+	st := rowState{g: g, ctl: ctl, r: r, planLoad: planLoad, planRigid: planRigid}
+	dem := placement.Demand(ji.Job.Demand)
 	for task := 0; task < ji.Job.Tasks; task++ {
 		found := -1
-		for node := 0; node < n; node++ {
-			if !floats.LessEq(r.load[node]+planLoad[node]+ji.Job.CPUNeed, ctl.CPUCap(node)) {
-				continue
-			}
-			fit := true
-			for ri := range g.rigidUse {
-				if !floats.LessEq(g.rigidUse[ri][node]+planRigid[ri][node]+ji.Job.Demand(ri+1), ctl.ResCap(node, ri+1)) {
-					fit = false
+		if obj != nil {
+			found = placement.Pick(n, dem, st, feasible, obj)
+		} else {
+			for node := 0; node < n; node++ {
+				if feasible(node) {
+					found = node
 					break
 				}
 			}
-			if !fit {
-				continue
-			}
-			found = node
-			break
 		}
 		if found < 0 {
 			return nil, false

@@ -120,8 +120,17 @@ func New(opt Options) *Scheduler {
 // Name implements sim.Scheduler.
 func (s *Scheduler) Name() string { return s.name }
 
-// Init implements sim.Scheduler: periodic variants arm the first tick.
+// Init implements sim.Scheduler: periodic variants arm the first tick, and
+// the run's placement objective (if any) is threaded into the packing
+// kernel so repacks fill bins in objective order (e.g. cheap nodes first
+// under the cost objective). Scheduler instances are per-run, so the
+// packer swap never leaks across simulations.
 func (s *Scheduler) Init(ctl *sim.Controller) {
+	if obj := ctl.Objective(); obj != nil {
+		if oa, ok := s.packer.(vectorpack.ObjectiveAware); ok {
+			s.packer = oa.WithObjective(obj)
+		}
+	}
 	if s.opt.Period > 0 {
 		ctl.SetTimer(ctl.Now()+s.opt.Period, tickTag)
 	}
@@ -230,7 +239,7 @@ func (s *Scheduler) solve(ctl *sim.Controller, jids []int, now float64) (*core.A
 			return ctl.Job(spec.ID).VirtualTime <= s.opt.FairnessAge
 		}
 	}
-	core.ImproveAverageYield(specs, alloc, ctl.Cluster(), eligible)
+	core.ImproveAverageYieldRanked(specs, alloc, ctl.Cluster(), eligible, sched.ImproveRank(ctl, specs, alloc))
 	return alloc, true
 }
 

@@ -3,6 +3,16 @@
 // Section III-A, uniform-yield application with the average-yield
 // improvement heuristic, and a registry mapping the paper's algorithm names
 // to constructors.
+//
+// Node selection is split into feasibility filtering (the paper's hard
+// memory/GPU constraints, implemented here) and scoring (which feasible
+// node to prefer), the placement-objective layer of internal/placement.
+// With no objective configured (Controller.Objective() == nil) placement
+// uses the inlined Section III-A rule — the least relatively CPU-loaded
+// feasible node, exactly the published GREEDY — which coincides with the
+// placement.LoadBalance objective; a configured objective (cost, bestfit,
+// worstfit, ...) replaces the scoring half while the feasibility filter
+// stays untouched.
 package sched
 
 import (
@@ -11,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/floats"
+	"repro/internal/placement"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -48,7 +59,9 @@ func GreedyPlace(ctl *sim.Controller, jid int) (nodes []int, ok bool) {
 // plan's extra rigid demands and load (indexed by node, may be nil) are
 // added on top of the simulator's current state. This lets callers plan
 // multi-job placements (e.g. resuming several paused jobs in one event)
-// without mutating the cluster between decisions.
+// without mutating the cluster between decisions. When the run configures
+// a placement objective, the relative-load score is replaced by the
+// objective's score over the same feasibility filter.
 func GreedyPlaceExtra(ctl *sim.Controller, jid int, extra *Plan) ([]int, bool) {
 	ji := ctl.Job(jid)
 	n := ctl.NumNodes()
@@ -60,11 +73,15 @@ func GreedyPlaceExtra(ctl *sim.Controller, jid int, extra *Plan) ([]int, bool) {
 			copy(plan.Rigid[r], extra.Rigid[r])
 		}
 	}
+	if obj := ctl.Objective(); obj != nil {
+		return greedyPlaceObjective(ctl, ji, plan, obj)
+	}
 	if d == 2 {
 		// The paper's two-resource platform is the placement hot path
 		// (every greedy admission and every DYNMCB8-ASAP arrival); keep it
 		// on the memory-only scan. The general path below computes exactly
-		// this for d == 2.
+		// this for d == 2, and both are the inlined placement.LoadBalance
+		// objective (locked equivalent by TestGreedyDefaultObjectiveLock).
 		return greedyPlace2(ctl, ji, plan)
 	}
 	// Hoist the per-dimension demands out of the scan loops.
@@ -132,6 +149,108 @@ func greedyPlace2(ctl *sim.Controller, ji sim.JobInfo, plan *Plan) ([]int, bool)
 		plan.Load[best] += ji.Job.CPUNeed
 	}
 	return nodes, true
+}
+
+// planState adapts the simulator's live usage plus an in-event placement
+// plan to placement.State, so objectives score nodes as if the plan's
+// placements had already happened.
+type planState struct {
+	ctl  *sim.Controller
+	plan *Plan
+}
+
+// Dims implements placement.State.
+func (s planState) Dims() int { return s.ctl.NumDims() }
+
+// Cap implements placement.State.
+func (s planState) Cap(node, k int) float64 { return s.ctl.ResCap(node, k) }
+
+// Free implements placement.State: free capacity net of the plan. For the
+// fluid CPU dimension this is capacity minus load (possibly negative under
+// time-sharing).
+func (s planState) Free(node, k int) float64 {
+	if k == 0 {
+		return s.ctl.CPUCap(node) - s.CPULoad(node)
+	}
+	free := s.ctl.FreeRes(node, k)
+	if s.plan != nil && k-1 < len(s.plan.Rigid) {
+		free -= s.plan.Rigid[k-1][node]
+	}
+	return free
+}
+
+// CPULoad implements placement.State.
+func (s planState) CPULoad(node int) float64 {
+	load := s.ctl.CPULoad(node)
+	if s.plan != nil {
+		load += s.plan.Load[node]
+	}
+	return load
+}
+
+// Cost implements placement.State.
+func (s planState) Cost(node int) float64 { return s.ctl.NodeCost(node) }
+
+// greedyPlaceObjective is the objective-scored placement scan: the same
+// per-task feasibility filter as the default paths (free capacity in every
+// rigid dimension, plan-aware), with the node choice delegated to
+// placement.Pick under the configured objective.
+func greedyPlaceObjective(ctl *sim.Controller, ji sim.JobInfo, plan *Plan, obj placement.Objective) ([]int, bool) {
+	n := ctl.NumNodes()
+	d := ctl.NumDims()
+	dems := make([]float64, d-1)
+	for r := range dems {
+		dems[r] = ji.Job.Demand(r + 1)
+	}
+	st := planState{ctl: ctl, plan: plan}
+	dem := placement.Demand(ji.Job.Demand)
+	feasible := func(node int) bool {
+		for r, dm := range dems {
+			if !floats.LessEq(dm, ctl.FreeRes(node, r+1)-plan.Rigid[r][node]) {
+				return false
+			}
+		}
+		return true
+	}
+	nodes := make([]int, 0, ji.Job.Tasks)
+	for task := 0; task < ji.Job.Tasks; task++ {
+		best := placement.Pick(n, dem, st, feasible, obj)
+		if best < 0 {
+			return nil, false
+		}
+		nodes = append(nodes, best)
+		plan.Load[best] += ji.Job.CPUNeed
+		for r, dm := range dems {
+			plan.Rigid[r][best] += dm
+		}
+	}
+	return nodes, true
+}
+
+// ImproveRank returns the per-job secondary sort keys the average-yield
+// improvement heuristic uses for tie-breaking under the run's objective:
+// the sum of the objective's static node scores (zero demand) over each
+// job's hosting nodes. It returns nil — the paper's tie-break by job ID —
+// unless the configured objective opts in through placement.JobRanker (the
+// cost objective does: granting leftover CPU to jobs on expensive nodes
+// first finishes them sooner and releases the priced capacity).
+func ImproveRank(ctl *sim.Controller, specs []core.JobSpec, alloc *core.Allocation) []float64 {
+	obj := ctl.Objective()
+	if obj == nil {
+		return nil
+	}
+	jr, ok := obj.(placement.JobRanker)
+	if !ok || !jr.RanksJobs() {
+		return nil
+	}
+	st := planState{ctl: ctl}
+	rank := make([]float64, len(specs))
+	for i, spec := range specs {
+		for _, node := range alloc.NodesOf[spec.ID] {
+			rank[i] += obj.Score(placement.ZeroDemand, node, st)
+		}
+	}
+	return rank
 }
 
 // Plan accumulates hypothetical extra rigid demands and CPU load per node
@@ -226,7 +345,7 @@ func ApplyGreedyYields(ctl *sim.Controller) {
 		alloc.YieldOf[jid] = base
 	}
 	alloc.MinYield = base
-	core.ImproveAverageYield(specs, alloc, ctl.Cluster(), nil)
+	core.ImproveAverageYieldRanked(specs, alloc, ctl.Cluster(), nil, ImproveRank(ctl, specs, alloc))
 	ApplyYields(ctl, alloc.YieldOf)
 }
 

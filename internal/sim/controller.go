@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/floats"
+	"repro/internal/placement"
 )
 
 // Controller is the interface the simulator hands to scheduling algorithms.
@@ -42,6 +43,16 @@ func (c *Controller) MemCap(node int) float64 { return c.sim.cl.MemCap(node) }
 // NumDims returns the cluster's resource dimension count (2 on the paper's
 // platform: CPU and memory).
 func (c *Controller) NumDims() int { return c.sim.cl.D() }
+
+// Objective returns the run's configured placement objective, or nil when
+// the run uses each scheduler family's default selection rule (the paper's
+// behaviour). Every family consults it when choosing among feasible nodes
+// (see internal/placement).
+func (c *Controller) Objective() placement.Objective { return c.sim.cfg.Objective }
+
+// NodeCost returns node's cost rate (cluster.NodeSpec.Cost; 0 on unpriced
+// platforms).
+func (c *Controller) NodeCost(node int) float64 { return c.sim.cl.Nodes[node].Cost }
 
 // DimName returns the name of resource dimension k ("cpu", "mem",
 // "gpu", ...).

@@ -1,0 +1,121 @@
+package sim
+
+// Cost-accounting unit tests against hand-computed schedules: the
+// simulator's NodeCostSeconds must equal node cost rate x occupied
+// seconds, summed per hosted job, including yield-0 and frozen intervals,
+// and must stay exactly zero on unpriced clusters.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// pricedCluster returns 4 unit-capacity nodes with cost rates 2, 5, 1, 0.
+func pricedCluster() *cluster.Cluster {
+	return cluster.New([]cluster.NodeSpec{
+		cluster.Unit().WithCost(2),
+		cluster.Unit().WithCost(5),
+		cluster.Unit().WithCost(1),
+		cluster.Unit(),
+	})
+}
+
+func TestCostSingleJobFullYield(t *testing.T) {
+	// One task on node 0 (rate 2) for exactly 100 seconds: 200 units.
+	res := mustRun(t, Config{Trace: trace(job(0, 0, 1, 100)), Cluster: pricedCluster()}, startImmediately(1))
+	if got, want := res.NodeCostSeconds, 200.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("NodeCostSeconds = %g, want %g", got, want)
+	}
+}
+
+func TestCostScalesWithOccupancyNotYield(t *testing.T) {
+	// Yield 0.5 doubles the occupancy of the same 100-second job: the node
+	// is held for 200 seconds, so cost doubles even though delivered work
+	// is identical.
+	res := mustRun(t, Config{Trace: trace(job(0, 0, 1, 100)), Cluster: pricedCluster()}, startImmediately(0.5))
+	if got, want := res.NodeCostSeconds, 400.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("NodeCostSeconds = %g, want %g", got, want)
+	}
+}
+
+func TestCostMultiTaskCountsPerTask(t *testing.T) {
+	// Three tasks on nodes 0, 1, 2 (rates 2+5+1 = 8) for 50 seconds: 400
+	// units — a node hosting several tasks accrues its rate once per task.
+	res := mustRun(t, Config{Trace: trace(job(0, 0, 3, 50)), Cluster: pricedCluster()}, startImmediately(1))
+	if got, want := res.NodeCostSeconds, 400.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("NodeCostSeconds = %g, want %g", got, want)
+	}
+}
+
+func TestCostPauseResumeAndFrozenInterval(t *testing.T) {
+	// Hand-computed pause/resume schedule with a 10-second penalty:
+	//
+	//	t=0    start on node 0 (rate 2), yield 1
+	//	t=50   timer: pause (node released; 50 virtual seconds done)
+	//	t=80   timer: resume on node 1 (rate 5), frozen until t=90
+	//	t=140  completion (50 remaining virtual seconds after the freeze)
+	//
+	// Occupancy: node 0 for 50s (100 units) + node 1 for 60s including the
+	// 10 frozen seconds (300 units) = 400. The paused interval accrues
+	// nothing.
+	s := &script{
+		onInit: func(ctl *Controller) {
+			ctl.SetTimer(50, 1)
+			ctl.SetTimer(80, 2)
+		},
+		onArrival: func(ctl *Controller, jid int) {
+			ctl.Start(jid, []int{0})
+			ctl.SetYield(jid, 1)
+		},
+		onTimer: func(ctl *Controller, tag int64) {
+			switch tag {
+			case 1:
+				ctl.Pause(0)
+			case 2:
+				ctl.Resume(0, []int{1})
+				ctl.SetYield(0, 1)
+			}
+		},
+	}
+	res := mustRun(t, Config{Trace: trace(job(0, 0, 1, 100)), Cluster: pricedCluster(), Penalty: 10}, s)
+	if got := res.Jobs[0].Finish; math.Abs(got-140) > 1e-9 {
+		t.Fatalf("finish = %g, want 140", got)
+	}
+	if got, want := res.NodeCostSeconds, 400.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("NodeCostSeconds = %g, want %g", got, want)
+	}
+}
+
+func TestCostYieldZeroStillOccupies(t *testing.T) {
+	// A suspended (yield-0) job keeps its nodes — a gang row's VM-resident
+	// footprint: 40 seconds suspended on node 0 then 100 at full speed:
+	// 2 x 140 = 280 units.
+	s := &script{
+		onInit: func(ctl *Controller) { ctl.SetTimer(40, 1) },
+		onArrival: func(ctl *Controller, jid int) {
+			ctl.Start(jid, []int{0})
+			ctl.SetYield(jid, 0)
+		},
+		onTimer: func(ctl *Controller, tag int64) {
+			ctl.SetYield(0, 1)
+		},
+	}
+	res := mustRun(t, Config{Trace: trace(job(0, 0, 1, 100)), Cluster: pricedCluster()}, s)
+	if got := res.Jobs[0].Finish; math.Abs(got-140) > 1e-9 {
+		t.Fatalf("finish = %g, want 140", got)
+	}
+	if got, want := res.NodeCostSeconds, 280.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("NodeCostSeconds = %g, want %g", got, want)
+	}
+}
+
+func TestCostZeroOnUnpricedCluster(t *testing.T) {
+	// The paper's platform carries no prices: the accounting must stay
+	// exactly 0.0 (not merely small) so pre-pricing outputs are identical.
+	res := mustRun(t, Config{Trace: trace(job(0, 0, 2, 100))}, startImmediately(0.7))
+	if res.NodeCostSeconds != 0 {
+		t.Fatalf("NodeCostSeconds = %g on an unpriced cluster, want exact 0", res.NodeCostSeconds)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/eventq"
 	"repro/internal/floats"
+	"repro/internal/placement"
 	"repro/internal/workload"
 )
 
@@ -117,6 +118,7 @@ type jobRT struct {
 	frozenUntil float64
 	attempts    int
 
+	costRate      float64 // sum of hosting nodes' cost rates (0 on unpriced clusters)
 	start         float64 // first dispatch time (-1 until started)
 	finish        float64
 	pauses        int
@@ -190,6 +192,16 @@ type Result struct {
 	// platform utilization; Utilization() derives it from this.
 	DeliveredCPUSeconds float64
 
+	// NodeCostSeconds is the cost-weighted occupancy of the run: the
+	// integral over time of the hosting node's cost rate
+	// (cluster.NodeSpec.Cost), summed over every task placement — a node
+	// hosting three tasks (of one job or of several) accrues its rate
+	// three times, so the quantity decomposes per task and per job.
+	// Occupancy counts from dispatch to pause or completion, including
+	// frozen and yield-0 intervals — a suspended gang row still holds its
+	// VM-resident footprint. Always 0 on unpriced clusters.
+	NodeCostSeconds float64
+
 	SchedSamples []SchedSample   // empty unless Config.RecordSchedTimes
 	Timeline     []TimelineEvent // empty unless Config.RecordTimeline
 	Events       int             // number of simulation events processed
@@ -221,6 +233,12 @@ type Config struct {
 	// Observer, when non-nil, receives every scheduling transition as it
 	// happens (see Observer). Nil costs nothing on the hot path.
 	Observer Observer
+	// Objective, when non-nil, overrides every scheduler family's node
+	// selection rule with the given placement objective (internal/placement).
+	// Nil keeps the paper's per-family defaults — greedy's relative-load
+	// rule, the batch/gang first-eligible rule and the packing kernels'
+	// index bin order — bit-for-bit.
+	Objective placement.Objective
 }
 
 // UnschedulableError reports a job that can never run on the configured
@@ -283,6 +301,7 @@ type Simulator struct {
 	queue   eventq.Queue
 	ctl     Controller
 	cl      *cluster.Cluster
+	hasCost bool      // any node carries a non-zero cost rate
 	usedCPU []float64 // sum over tasks of need*yield
 	cpuLoad []float64 // sum over tasks of need (the paper's "CPU load")
 	// usedRigid[r][node] is the allocated amount of rigid dimension r+1 on
@@ -370,6 +389,7 @@ func New(cfg Config, sched Scheduler) (*Simulator, error) {
 			}
 		}
 	}
+	s.hasCost = s.cl.Priced()
 	s.usedCPU = make([]float64, n)
 	s.cpuLoad = make([]float64, n)
 	s.usedRigid = make([][]float64, d-1)
@@ -487,14 +507,22 @@ func (s *Simulator) invoke(hook string, fn func()) {
 	}
 }
 
-// advance moves the clock to t, accruing virtual time for running jobs.
+// advance moves the clock to t, accruing virtual time for running jobs and,
+// on priced clusters, cost-weighted occupancy for every job holding nodes
+// (frozen and yield-0 intervals included — the nodes stay occupied).
 func (s *Simulator) advance(t float64) {
 	if t <= s.now {
 		s.now = math.Max(s.now, t)
 		return
 	}
 	for _, j := range s.jobs {
-		if j.state != Running || j.yield <= 0 {
+		if j.state != Running {
+			continue
+		}
+		if s.hasCost {
+			s.result.NodeCostSeconds += j.costRate * (t - s.now)
+		}
+		if j.yield <= 0 {
 			continue
 		}
 		from := math.Max(s.now, j.frozenUntil)
@@ -612,6 +640,12 @@ func resourceName(cl *cluster.Cluster, k int) string {
 
 func (s *Simulator) occupyNodes(j *jobRT, nodes []int) {
 	j.nodes = append([]int(nil), nodes...)
+	if s.hasCost {
+		j.costRate = 0
+		for _, node := range nodes {
+			j.costRate += s.cl.Nodes[node].Cost
+		}
+	}
 	for _, node := range nodes {
 		s.cpuLoad[node] += j.job.CPUNeed
 		for r := range s.usedRigid {
@@ -641,6 +675,7 @@ func (s *Simulator) releaseNodes(j *jobRT) {
 		}
 	}
 	j.nodes = nil
+	j.costRate = 0
 }
 
 // memGB returns the job's total memory footprint in gigabytes, the unit of

@@ -31,6 +31,17 @@
 //
 // First-fit-decreasing and best-fit-decreasing packers are provided as
 // ablation baselines.
+//
+// Node choice is split from feasibility through the placement-objective
+// layer (internal/placement): with an objective configured,
+// FirstFitDecreasing and BestFitDecreasing route every bin choice through
+// placement.Pick, and MCB8 opens bins in objective order (the within-bin
+// imbalance-window fill is part of the algorithm and never delegated) — a
+// cost objective therefore makes every packer fill cheap nodes first on
+// priced inventories. With no objective the published loops run inlined;
+// they are exactly the First (FFD) and BestFit (BFD, under the packers'
+// mean-capacity normalization) objectives and the index bin order (MCB8),
+// locked bit-for-bit by the frozen-copy tests.
 package vectorpack
 
 import (
@@ -40,6 +51,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/floats"
+	"repro/internal/placement"
 )
 
 // Item is one task to pack. Req holds one requirement per cluster
@@ -157,13 +169,65 @@ func fits(req cluster.Vec, free []float64) bool {
 	return true
 }
 
+// ObjectiveAware is implemented by packers whose node choice can be
+// steered by a placement objective; the DYNMCB8 schedulers use it to
+// thread the run's configured objective into their packer.
+type ObjectiveAware interface {
+	// WithObjective returns a copy of the packer applying the objective
+	// (nil restores the published default).
+	WithObjective(placement.Objective) Packer
+}
+
+// packState adapts a packer's free-capacity matrix (row-major, stride d)
+// to placement.State. Cap returns the packing normalization — the
+// cluster's mean per-dimension capacity, the same normalization the
+// decreasing-order sorts use — so bestfit/worstfit slack is measured in
+// the packers' canonical units; on the paper's homogeneous platform the
+// normalization is the identity and Cap is the true node capacity.
+type packState struct {
+	d     int
+	specs []cluster.NodeSpec
+	free  []float64
+	norm  cluster.Vec
+}
+
+// Dims implements placement.State.
+func (s packState) Dims() int { return s.d }
+
+// Cap implements placement.State (see packState).
+func (s packState) Cap(node, k int) float64 { return s.norm[k] }
+
+// Free implements placement.State.
+func (s packState) Free(node, k int) float64 { return s.free[node*s.d+k] }
+
+// CPULoad implements placement.State: the CPU already packed into the bin.
+func (s packState) CPULoad(node int) float64 { return s.specs[node].Cap(0) - s.free[node*s.d] }
+
+// Cost implements placement.State.
+func (s packState) Cost(node int) float64 { return s.specs[node].Cost }
+
+// vecDemand adapts a requirement vector to placement.Demand.
+func vecDemand(req cluster.Vec) placement.Demand {
+	return func(k int) float64 { return req[k] }
+}
+
 // MCB8 is the multi-capacity bin-packing heuristic used by every DYNMCB8
 // scheduler variant, generalized to d dimensions. The zero value is ready
-// to use.
-type MCB8 struct{}
+// to use. Objective, when non-nil, selects the order in which bins are
+// opened (ascending score on the empty bin, ties by index); the default is
+// the published index order.
+type MCB8 struct {
+	Objective placement.Objective
+}
 
 // Name returns "mcb8".
 func (MCB8) Name() string { return "mcb8" }
+
+// WithObjective implements ObjectiveAware.
+func (m MCB8) WithObjective(obj placement.Objective) Packer {
+	m.Objective = obj
+	return m
+}
 
 // chain is a singly linked list over a sorted item order; placed items are
 // unlinked in O(1) so repeated first-fit scans never revisit them.
@@ -216,7 +280,7 @@ func (c *chain) firstFit(items []Item, free []float64) int {
 }
 
 // Pack implements Packer.
-func (MCB8) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
+func (m MCB8) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
 	if len(items) == 0 {
 		return []int{}, true
 	}
@@ -256,7 +320,18 @@ func (MCB8) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
 	free := make([]float64, d)
 	dimOrder := make([]int, d)
 	placed := 0
-	for node := 0; node < len(nodes) && placed < len(items); node++ {
+	// The published kernel opens bins in index order; only a configured
+	// objective pays for an explicit order (Pack sits inside the min-yield
+	// binary search, so the nil path must not allocate).
+	var order []int
+	if m.Objective != nil {
+		order = binOrder(m.Objective, nodes, d, norm)
+	}
+	for bi := 0; bi < len(nodes) && placed < len(items); bi++ {
+		node := bi
+		if order != nil {
+			node = order[bi]
+		}
 		caps := nodes[node].Caps
 		copy(free, caps)
 		// Seed the node with the first fitting item of any list,
@@ -319,6 +394,27 @@ func (MCB8) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
 	return assign, true
 }
 
+// binIndices is the identity bin order of the published kernels.
+func binIndices(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// binOrder returns the order in which a packer opens bins: the published
+// index order when obj is nil, otherwise ascending objective score on the
+// empty bin (zero demand), ties by index — so a cost objective opens cheap
+// bins first while score-uniform objectives keep the published order.
+func binOrder(obj placement.Objective, nodes []cluster.NodeSpec, d int, norm cluster.Vec) []int {
+	if obj == nil {
+		return binIndices(len(nodes))
+	}
+	st := packState{d: d, specs: nodes, free: freeCaps(nodes, d), norm: norm}
+	return placement.Rank(binIndices(len(nodes)), placement.ZeroDemand, st, obj)
+}
+
 // headroomOrder fills order with the dimension indices sorted by
 // non-increasing relative headroom free[k]/caps[k]; ties keep the lower
 // dimension first (insertion sort with strict comparison — d is small).
@@ -348,14 +444,31 @@ func headroomOrder(free []float64, caps cluster.Vec, order []int) {
 
 // FirstFitDecreasing packs items in non-increasing order of their largest
 // capacity-normalized requirement onto the first node with room in every
-// dimension. Ablation baseline A3.
-type FirstFitDecreasing struct{}
+// dimension. Ablation baseline A3. The node choice routes through the
+// placement layer: the published first-fit rule is exactly the First
+// objective (the zero value's default), and a configured objective (cost,
+// bestfit, ...) replaces it under the same feasibility filter.
+type FirstFitDecreasing struct {
+	Objective placement.Objective
+}
 
 // Name returns "ffd".
 func (FirstFitDecreasing) Name() string { return "ffd" }
 
-// Pack implements Packer.
-func (FirstFitDecreasing) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
+// WithObjective implements ObjectiveAware.
+func (p FirstFitDecreasing) WithObjective(obj placement.Objective) Packer {
+	p.Objective = obj
+	return p
+}
+
+// Pack implements Packer. The nil-objective path is the published
+// first-fit loop inlined (it sits inside DYNMCB8 binary searches, where
+// the scoring indirection is measurable); it is exactly the First
+// objective, locked bit-for-bit by TestPackersMatchFrozenPR4Copies.
+func (p FirstFitDecreasing) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
+	if p.Objective != nil {
+		return packDecreasing(items, nodes, p.Objective)
+	}
 	d := dims(nodes)
 	norm := meanCaps(nodes)
 	order := sortedByNormMax(items, norm)
@@ -386,14 +499,31 @@ func (FirstFitDecreasing) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, b
 // BestFitDecreasing packs items in non-increasing order of largest
 // capacity-normalized requirement onto the feasible node with the least
 // remaining slack (the normalized sum of leftover capacities). Ablation
-// baseline A3.
-type BestFitDecreasing struct{}
+// baseline A3. The node choice routes through the placement layer: the
+// published slack rule is exactly the BestFit objective under the packers'
+// mean-capacity normalization (the zero value's default), and a configured
+// objective replaces it under the same feasibility filter.
+type BestFitDecreasing struct {
+	Objective placement.Objective
+}
 
 // Name returns "bfd".
 func (BestFitDecreasing) Name() string { return "bfd" }
 
-// Pack implements Packer.
-func (BestFitDecreasing) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
+// WithObjective implements ObjectiveAware.
+func (p BestFitDecreasing) WithObjective(obj placement.Objective) Packer {
+	p.Objective = obj
+	return p
+}
+
+// Pack implements Packer. The nil-objective path is the published
+// best-fit loop inlined (see FirstFitDecreasing.Pack); it is exactly the
+// BestFit objective under the packers' mean-capacity normalization, locked
+// bit-for-bit by TestPackersMatchFrozenPR4Copies.
+func (p BestFitDecreasing) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
+	if p.Objective != nil {
+		return packDecreasing(items, nodes, p.Objective)
+	}
 	d := dims(nodes)
 	norm := meanCaps(nodes)
 	order := sortedByNormMax(items, norm)
@@ -425,6 +555,36 @@ func (BestFitDecreasing) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bo
 		assign[idx] = best
 		for k := 0; k < d; k++ {
 			free[best*d+k] -= items[idx].Req[k]
+		}
+	}
+	return assign, true
+}
+
+// packDecreasing is the shared decreasing-order packing loop of FFD/BFD:
+// items in non-increasing largest-normalized-requirement order, each
+// placed on the feasible node minimizing the objective score (ties to the
+// lowest index).
+func packDecreasing(items []Item, nodes []cluster.NodeSpec, obj placement.Objective) ([]int, bool) {
+	d := dims(nodes)
+	norm := meanCaps(nodes)
+	order := sortedByNormMax(items, norm)
+	assign := make([]int, len(items))
+	for i := range assign {
+		assign[i] = -1
+	}
+	st := packState{d: d, specs: nodes, free: freeCaps(nodes, d), norm: norm}
+	for _, idx := range order {
+		req := items[idx].Req
+		feasible := func(node int) bool {
+			return fits(req, st.free[node*d:(node+1)*d])
+		}
+		best := placement.Pick(len(nodes), vecDemand(req), st, feasible, obj)
+		if best < 0 {
+			return nil, false
+		}
+		assign[idx] = best
+		for k := 0; k < d; k++ {
+			st.free[best*d+k] -= req[k]
 		}
 	}
 	return assign, true

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/rng"
 )
@@ -25,8 +26,31 @@ const (
 // keeping downstream substreams stable. The paper's two-resource workloads
 // are the frac = 0 special case.
 func AttachGPUDemand(t *Trace, r *rng.Source, frac, lo, hi float64) (*Trace, error) {
+	return AttachGPUDemandCorrelated(t, r, frac, 0, lo, hi)
+}
+
+// AttachGPUDemandCorrelated is AttachGPUDemand with a dimension-correlated
+// demand model: instead of an independent uniform draw, a selected job's
+// per-task GPU demand mixes its per-task memory requirement into the
+// variate, so memory-hungry jobs tend to be GPU-hungry too (memory sizing
+// tracks accelerator sizing on real GPU clusters). corr in [-1, 1] is the
+// mixing weight: the uniform variate u is replaced by
+//
+//	|corr| * m + (1 - |corr|) * u,  m = MemReq (corr >= 0) or 1 - MemReq (corr < 0),
+//
+// and the demand is lo + (hi-lo) times that mix, so corr = 0 is exactly
+// the independent AttachGPUDemand model, corr = 1 makes GPU demand a
+// deterministic affine function of memory, and corr = -1 anticorrelates
+// them. Variate consumption is identical to AttachGPUDemand for every
+// corr — one per unselected job, two per selected job — so downstream
+// substreams are unaffected by the correlation axis, and the whole
+// transformation is deterministic under internal/rng substreams.
+func AttachGPUDemandCorrelated(t *Trace, r *rng.Source, frac, corr, lo, hi float64) (*Trace, error) {
 	if !(frac >= 0 && frac <= 1) { // negated so NaN is rejected too
 		return nil, fmt.Errorf("workload: gpu demand fraction %g outside [0,1]", frac)
+	}
+	if !(corr >= -1 && corr <= 1) {
+		return nil, fmt.Errorf("workload: gpu demand correlation %g outside [-1,1]", corr)
 	}
 	if !(lo >= 0 && hi <= 1 && lo <= hi) {
 		return nil, fmt.Errorf("workload: gpu demand range [%g,%g] outside [0,1]", lo, hi)
@@ -35,11 +59,17 @@ func AttachGPUDemand(t *Trace, r *rng.Source, frac, lo, hi float64) (*Trace, err
 	if frac == 0 {
 		return c, nil
 	}
+	w := math.Abs(corr)
 	for i := range c.Jobs {
 		if !r.Bernoulli(frac) {
 			continue
 		}
-		c.Jobs[i].Extra = []float64{r.Uniform(lo, hi)}
+		u := r.Float64()
+		m := c.Jobs[i].MemReq
+		if corr < 0 {
+			m = 1 - m
+		}
+		c.Jobs[i].Extra = []float64{lo + (hi-lo)*(w*m+(1-w)*u)}
 	}
 	return c, nil
 }

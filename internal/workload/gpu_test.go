@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"math"
 	"reflect"
 	"testing"
 
@@ -57,6 +58,120 @@ func TestAttachGPUDemand(t *testing.T) {
 	}
 	if !reflect.DeepEqual(plain.Jobs, base.Jobs) {
 		t.Error("frac=0 changed the trace")
+	}
+}
+
+// gpuVariedTrace has per-job memory spread over (0, 1] so correlation is
+// measurable.
+func gpuVariedTrace() *Trace {
+	jobs := make([]Job, 400)
+	for i := range jobs {
+		jobs[i] = Job{ID: i, Submit: float64(i), Tasks: 1 + i%3,
+			CPUNeed: 0.5, MemReq: 0.05 + 0.9*float64(i%100)/99, ExecTime: 100}
+	}
+	return &Trace{Name: "gpu-varied", Nodes: 8, NodeMemGB: 4, Jobs: jobs}
+}
+
+// pearson computes the sample correlation between memory and GPU demand of
+// the decorated jobs.
+func pearson(tr *Trace) float64 {
+	var xs, ys []float64
+	for _, j := range tr.Jobs {
+		if len(j.Extra) == 1 {
+			xs = append(xs, j.MemReq)
+			ys = append(ys, j.Extra[0])
+		}
+	}
+	n := float64(len(xs))
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i] / n
+		my += ys[i] / n
+	}
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	return sxy / (math.Sqrt(sxx) * math.Sqrt(syy))
+}
+
+func TestAttachGPUDemandCorrelated(t *testing.T) {
+	base := gpuVariedTrace()
+	// corr = 0 is bit-for-bit the independent decorator (same variates,
+	// same values), so existing GPU campaigns are unchanged.
+	indep, err := AttachGPUDemand(base, rng.New(7).Split("gpu"), 0.5, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := AttachGPUDemandCorrelated(base, rng.New(7).Split("gpu"), 0.5, 0, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(indep.Jobs, zero.Jobs) {
+		t.Fatal("corr=0 differs from the independent decorator")
+	}
+	// Positive correlation raises the memory-GPU correlation, negative
+	// lowers it; corr=1 is a deterministic affine function of memory.
+	r0 := pearson(zero)
+	pos, err := AttachGPUDemandCorrelated(base, rng.New(7).Split("gpu"), 0.5, 0.8, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rPos := pearson(pos)
+	neg, err := AttachGPUDemandCorrelated(base, rng.New(7).Split("gpu"), 0.5, -0.8, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNeg := pearson(neg)
+	if !(rPos > 0.6) || !(rPos > r0+0.3) {
+		t.Errorf("corr=0.8 yields sample correlation %.3f (independent %.3f), want strongly positive", rPos, r0)
+	}
+	if !(rNeg < -0.6) {
+		t.Errorf("corr=-0.8 yields sample correlation %.3f, want strongly negative", rNeg)
+	}
+	full, err := AttachGPUDemandCorrelated(base, rng.New(7).Split("gpu"), 0.5, 1, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range full.Jobs {
+		if len(j.Extra) != 1 {
+			continue
+		}
+		want := 0.1 + 0.4*j.MemReq
+		if math.Abs(j.Extra[0]-want) > 1e-12 {
+			t.Fatalf("corr=1: job %d gpu %g, want affine %g of mem %g", j.ID, j.Extra[0], want, j.MemReq)
+		}
+	}
+	// Demands stay inside [lo, hi] for every corr, and the same set of
+	// jobs is selected regardless of corr (the Bernoulli stream is
+	// unchanged).
+	for i := range pos.Jobs {
+		if (len(pos.Jobs[i].Extra) == 1) != (len(zero.Jobs[i].Extra) == 1) ||
+			(len(neg.Jobs[i].Extra) == 1) != (len(zero.Jobs[i].Extra) == 1) {
+			t.Fatal("correlation changed which jobs are selected")
+		}
+		if len(pos.Jobs[i].Extra) == 1 {
+			if v := pos.Jobs[i].Extra[0]; v < 0.1-1e-12 || v > 0.5+1e-12 {
+				t.Fatalf("job %d gpu demand %g outside [0.1,0.5]", i, v)
+			}
+		}
+	}
+	// Determinism under the same substream.
+	again, err := AttachGPUDemandCorrelated(base, rng.New(7).Split("gpu"), 0.5, 0.8, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pos.Jobs, again.Jobs) {
+		t.Error("AttachGPUDemandCorrelated is not deterministic")
+	}
+	if _, err := AttachGPUDemandCorrelated(base, rng.New(7), 0.5, 1.5, 0.1, 0.5); err == nil {
+		t.Error("correlation above 1 accepted")
+	}
+	if _, err := AttachGPUDemandCorrelated(base, rng.New(7), 0.5, math.NaN(), 0.1, 0.5); err == nil {
+		t.Error("NaN correlation accepted")
 	}
 }
 

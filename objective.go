@@ -1,0 +1,89 @@
+package dfrs
+
+import (
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/placement"
+)
+
+// Objective is the pluggable placement-objective interface: it scores a
+// candidate node for hosting one task given the task's demand vector and
+// the node's current state, and selection picks the feasible node with the
+// lowest score (ties toward the lowest node id). Every scheduler family
+// routes its node choice through the configured objective — greedy task
+// placement, batch whole-node allocation, gang row filling and the
+// vector-packing kernels — while feasibility (memory, GPU, CPU capacity)
+// always stays with the scheduler. Implement it to bring an out-of-tree
+// objective to Run, Campaign and the CLIs via RegisterObjective; the
+// built-ins ("cost", "bestfit", "worstfit", and the family defaults
+// "first" and "loadbalance") are implementations of the same interface.
+type Objective = placement.Objective
+
+// PlacementState is the read-only platform view handed to an Objective's
+// Score: per-node capacities, free capacities, CPU load and cost rate.
+type PlacementState = placement.State
+
+// PlacementDemand is the per-task demand-vector view handed to an
+// Objective's Score: Demand(k) is the requirement in resource dimension k.
+type PlacementDemand = placement.Demand
+
+// RegisterObjective adds a named placement objective to the registry
+// shared by Run, Campaign and the CLIs, mirroring RegisterAlgorithm: once
+// registered, the name is accepted everywhere a built-in objective name is
+// and appears in Objectives. The constructor must return a fresh instance
+// on every call. It returns an error for an empty name, a nil constructor,
+// or a name that is already registered.
+func RegisterObjective(name string, constructor func() Objective) error {
+	return placement.Register(name, placement.Factory(constructor))
+}
+
+// Objectives lists every registered placement-objective name, including
+// objectives added through RegisterObjective. The empty string — every
+// family's published default rule — is always valid but not listed.
+func Objectives() []string { return placement.Names() }
+
+// KnownObjective reports whether name is a registered objective; the empty
+// string (the per-family default) is always known.
+func KnownObjective(name string) bool { return placement.Known(name) }
+
+// NodeSpec describes one node of an explicit cluster inventory: its
+// capacity vector in units of the paper's reference node (the first two
+// dimensions are CPU and memory) and its cost rate in price units per
+// second of occupancy.
+type NodeSpec = cluster.NodeSpec
+
+// ParseNodeSpecs parses a node-inventory stream — one capacity vector per
+// line with an optional trailing cost= field and an optional "# dims:"
+// header naming the dimensions — and returns the dimension names (nil
+// means the canonical cpu/mem/gpu naming) and one NodeSpec per line.
+// Errors name the offending line. See RegisterNodeMix for turning an
+// inventory into a sweepable node mix.
+func ParseNodeSpecs(r io.Reader) (dims []string, specs []NodeSpec, err error) {
+	return cluster.FromSpecs(r)
+}
+
+// RegisterNodeMix registers an explicit node inventory under a node-mix
+// name accepted everywhere a built-in profile name is (WithNodeMix, the
+// campaign grid's NodeMixes axis, the CLIs' -node-mix flags). The specs
+// are laid out cyclically over the requested cluster size — node i
+// receives specs[i mod len(specs)] — so an inventory describes a node-type
+// pattern, like the built-in profiles, rather than one fixed cluster size.
+func RegisterNodeMix(name string, dims []string, specs []NodeSpec) error {
+	return cluster.RegisterProfile(name, dims, specs)
+}
+
+// LoadNodeMix parses a node-inventory stream (see ParseNodeSpecs) and
+// registers it as the named node mix in one step; the CLIs use it to wire
+// "-resources @file". The returned node count is the inventory's natural
+// size (the pattern length).
+func LoadNodeMix(name string, r io.Reader) (nodes int, err error) {
+	dims, specs, err := cluster.FromSpecs(r)
+	if err != nil {
+		return 0, err
+	}
+	if err := cluster.RegisterProfile(name, dims, specs); err != nil {
+		return 0, err
+	}
+	return len(specs), nil
+}

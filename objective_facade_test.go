@@ -1,0 +1,105 @@
+package dfrs_test
+
+// Facade tests for the placement-objective layer: WithObjective selects a
+// built-in, RegisterObjective round-trips an out-of-tree objective through
+// Run (mirroring the RegisterAlgorithm contract), and LoadNodeMix wires a
+// priced inventory into the node-mix registry.
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	dfrs "repro"
+)
+
+// mostExpensive is a deliberately pathological out-of-tree objective: it
+// prefers the costliest node, the mirror image of the built-in cost rule.
+type mostExpensive struct{}
+
+func (mostExpensive) Name() string { return "most-expensive" }
+func (mostExpensive) Score(_ dfrs.PlacementDemand, node int, st dfrs.PlacementState) float64 {
+	return -st.Cost(node)
+}
+
+func TestRegisterObjectiveRoundTrip(t *testing.T) {
+	if err := dfrs.RegisterObjective("most-expensive", func() dfrs.Objective { return mostExpensive{} }); err != nil {
+		t.Fatal(err)
+	}
+	if !dfrs.KnownObjective("most-expensive") {
+		t.Fatal("registered objective unknown")
+	}
+	found := false
+	for _, name := range dfrs.Objectives() {
+		if name == "most-expensive" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Objectives() = %v lacks the registered objective", dfrs.Objectives())
+	}
+	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 21, Nodes: 8, Jobs: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := dfrs.Run(context.Background(), tr, "greedy-pmtn",
+		dfrs.WithNodeMix("bimodal-priced"), dfrs.WithObjective("most-expensive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := dfrs.Run(context.Background(), tr, "greedy-pmtn",
+		dfrs.WithNodeMix("bimodal-priced"), dfrs.WithObjective("cost"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(worst.Cost() > best.Cost()) {
+		t.Fatalf("most-expensive objective cost %g not above cost objective %g", worst.Cost(), best.Cost())
+	}
+	// Registry error paths mirror RegisterAlgorithm.
+	if err := dfrs.RegisterObjective("most-expensive", func() dfrs.Objective { return mostExpensive{} }); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := dfrs.RegisterObjective("nil-ctor", nil); err == nil {
+		t.Fatal("nil constructor accepted")
+	}
+	if _, err := dfrs.Run(context.Background(), tr, "greedy", dfrs.WithObjective("bogus")); err == nil {
+		t.Fatal("unknown objective accepted by Run")
+	}
+}
+
+func TestLoadNodeMixPricedInventory(t *testing.T) {
+	inv := "# dims: cpu mem\n2 2 cost=4\n1 1 cost=1\n1 1 cost=1\n"
+	n, err := dfrs.LoadNodeMix("test-priced-inventory", strings.NewReader(inv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("inventory size %d, want 3", n)
+	}
+	if !dfrs.ValidNodeMix("test-priced-inventory") {
+		t.Fatal("loaded inventory is not a valid node mix")
+	}
+	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 4, Nodes: 9, Jobs: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dfrs.Run(context.Background(), tr, "easy",
+		dfrs.WithNodeMix("test-priced-inventory"), dfrs.WithObjective("cost"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost() <= 0 {
+		t.Fatal("priced inventory produced no cost accounting")
+	}
+	if res.Costs().NodeCost != res.Cost() {
+		t.Fatal("CostSummary.NodeCost disagrees with Result.Cost")
+	}
+	// Parse errors carry line numbers through the facade.
+	if _, err := dfrs.LoadNodeMix("x-bad", strings.NewReader("1 1\noops\n")); err == nil ||
+		!strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("parse error lacks line number: %v", err)
+	}
+	if _, _, err := dfrs.ParseNodeSpecs(strings.NewReader("")); err == nil {
+		t.Fatal("empty inventory accepted")
+	}
+}

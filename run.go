@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/placement"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -73,6 +74,7 @@ type runConfig struct {
 	penalty    float64
 	nodeMix    string
 	resources  []string
+	objective  string
 	check      bool
 	timeline   bool
 	maxSimTime float64
@@ -106,6 +108,19 @@ func WithNodeMix(profile string) RunOption {
 // demands more.
 func WithResources(names ...string) RunOption {
 	return func(c *runConfig) { c.resources = append([]string(nil), names...) }
+}
+
+// WithObjective selects the placement objective by which every scheduler
+// family chooses among feasible nodes: one of Objectives ("cost",
+// "bestfit", "worstfit", ...) or a name registered with RegisterObjective.
+// The empty string (the default) keeps each family's published rule —
+// greedy's least-relative-load placement, the batch baselines'
+// first-eligible-node choice, the packing kernel's index bin order — so
+// the paper's behaviour is the default objective. The feasibility
+// constraints (memory, GPU, CPU capacity) are never relaxed; an objective
+// only reorders the choice among feasible nodes.
+func WithObjective(name string) RunOption {
+	return func(c *runConfig) { c.objective = name }
 }
 
 // WithInvariantChecking enables per-event state validation (slow; for
@@ -166,6 +181,10 @@ func Run(ctx context.Context, t Trace, algorithm string, opts ...RunOption) (Res
 	if err != nil {
 		return Result{}, err
 	}
+	obj, err := placement.ByName(cfg.objective)
+	if err != nil {
+		return Result{}, err
+	}
 	cl, err := cluster.Profile(cfg.nodeMix, t.t.Nodes)
 	if err != nil {
 		return Result{}, err
@@ -208,6 +227,7 @@ func Run(ctx context.Context, t Trace, algorithm string, opts ...RunOption) (Res
 		RecordTimeline:  cfg.timeline,
 		MaxSimTime:      cfg.maxSimTime,
 		Observer:        cfg.observer,
+		Objective:       obj,
 	}, s)
 	if err != nil {
 		return Result{}, err
@@ -356,8 +376,14 @@ func (r Result) JobStretches() []float64 {
 	return out
 }
 
+// Cost returns the run's cost-weighted occupancy in price units: the
+// hosting node's cost rate (see NodeSpec.Cost and the priced node mixes)
+// times the occupied seconds, accrued once per task placement and summed
+// over the run. Always 0 on unpriced platforms, including the paper's.
+func (r Result) Cost() float64 { return r.r.NodeCostSeconds }
+
 // Costs summarizes preemption/migration bandwidth and operation rates as in
-// Table II.
+// Table II, plus the cost accounting of priced platforms.
 func (r Result) Costs() CostSummary {
 	c := metrics.Costs(r.r)
 	return CostSummary{
@@ -367,10 +393,14 @@ func (r Result) Costs() CostSummary {
 		MigrationsPerHour:  c.MigPerHour,
 		PreemptionsPerJob:  c.PmtnPerJob,
 		MigrationsPerJob:   c.MigPerJob,
+		NodeCost:           c.NodeCost,
+		NodeCostPerJob:     c.NodeCostPerJob,
 	}
 }
 
-// CostSummary mirrors one row of the paper's Table II for one run.
+// CostSummary mirrors one row of the paper's Table II for one run, plus
+// the monetary cost accounting of priced platforms (NodeCost fields; zero
+// on unpriced clusters).
 type CostSummary struct {
 	PreemptionGBps     float64
 	MigrationGBps      float64
@@ -378,4 +408,6 @@ type CostSummary struct {
 	MigrationsPerHour  float64
 	PreemptionsPerJob  float64
 	MigrationsPerJob   float64
+	NodeCost           float64
+	NodeCostPerJob     float64
 }
