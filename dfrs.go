@@ -114,13 +114,6 @@
 // this API directly, dfrs-exp renders the paper's tables and figures from
 // the same engine, and examples/campaign and examples/streaming are
 // runnable end-to-end walkthroughs.
-//
-// # Deprecated v1 entry points
-//
-// The v1 blocking entry point RunWithOptions (the former Run(Trace,
-// string, RunOptions) signature) remains as a thin wrapper over the v2 API
-// and will be kept for at least two further releases; new code should call
-// Run with a context and functional options.
 package dfrs
 
 import (

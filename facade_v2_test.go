@@ -134,24 +134,6 @@ func TestRunCancellation(t *testing.T) {
 	}
 }
 
-// TestRunWithOptionsMatchesV2 pins the deprecated v1 wrapper to the v2
-// entry point: identical results for identical settings.
-func TestRunWithOptionsMatchesV2(t *testing.T) {
-	tr := v2Trace(t)
-	v1, err := dfrs.RunWithOptions(tr, "greedy-pmtn", dfrs.RunOptions{PenaltySeconds: 300})
-	if err != nil {
-		t.Fatal(err)
-	}
-	v2, err := dfrs.Run(context.Background(), tr, "greedy-pmtn", dfrs.WithPenalty(300))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if v1.MaxStretch() != v2.MaxStretch() || v1.Makespan() != v2.Makespan() || v1.Events() != v2.Events() {
-		t.Errorf("v1 wrapper diverged from v2: (%v,%v) vs (%v,%v)",
-			v1.MaxStretch(), v1.Makespan(), v2.MaxStretch(), v2.Makespan())
-	}
-}
-
 // toyScheduler is the out-of-tree registration round-trip subject: a
 // deliberately naive FCFS-with-sharing scheduler written against only the
 // public Scheduler/Controller surface.

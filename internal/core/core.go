@@ -20,7 +20,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/cluster"
 	"repro/internal/floats"
@@ -106,76 +106,252 @@ func PriorityLinear(flowTime, virtualTime float64) float64 {
 	return math.Max(StretchBound, flowTime) / virtualTime
 }
 
-// items builds the d-dimensional vector-packing instance for the given
-// per-job yields: one item per task with CPU requirement need*yield
-// (dimension 0) and the fixed rigid demands (memory in dimension 1, Extra
-// beyond). All tasks of one job share a single requirement vector, so a
-// probe allocates O(jobs) vectors, not O(tasks). Job demands beyond the
-// cluster's dimensions are rejected by the simulator up front and are not
-// represented here.
-func items(jobs []JobSpec, d int, yieldOf func(JobSpec) float64) ([]vectorpack.Item, []int) {
-	total := 0
-	for _, j := range jobs {
-		total += j.Tasks
-	}
-	its := make([]vectorpack.Item, 0, total)
-	owner := make([]int, 0, total) // item index -> index into jobs
-	backing := make([]float64, len(jobs)*d)
-	for ji, j := range jobs {
-		cpu := j.CPUNeed * yieldOf(j)
-		if cpu > 1 {
-			cpu = 1
+// packProbe is the reusable d-dimensional vector-packing instance behind
+// one allocator call (MaxMinYield, MinEstimatedStretch). It is built once
+// per call — one item per task, all tasks of one job sharing a single
+// requirement vector in a flat backing array — and every binary-search
+// probe then only rewrites the per-job CPU requirement (dimension 0) for
+// the probe's yields; the rigid dimensions (memory, Extra) never change.
+// Job demands beyond the cluster's dimensions are rejected by the
+// simulator up front and are not represented here.
+type packProbe struct {
+	jobs    []JobSpec
+	c       *cluster.Cluster
+	packer  vectorpack.Packer
+	mcb     vectorpack.MCB8 // buffered packing path (used when isMCB)
+	isMCB   bool
+	d       int
+	its     []vectorpack.Item
+	owner   []int // item index -> index into jobs
+	backing []float64
+	yields  []float64 // per-job yield of the current probe
+	totals  []float64
+	// rigidTotals caches the per-dimension demand sums for dimensions >= 1,
+	// which are invariant across the probes of one instance (only the CPU
+	// dimension changes with the yields). Accumulated in item order, exactly
+	// as pack's per-probe loop would.
+	rigidTotals []float64
+	buf         vectorpack.PackBuffer
+	best        []int // assignment of the last feasible probe
+
+	alloc     *Allocation // reused result object, rebuilt by allocation()
+	nodesBack []int       // flat backing for the per-job node lists
+	prevTasks []int       // task counts of the instance the items were built for
+}
+
+// Workspace carries the scratch buffers of the packing allocators across
+// calls, so a scheduler invoking MaxMinYield or MinEstimatedStretch on
+// every event reuses one set of allocations for the lifetime of a run. The
+// zero value is ready; a workspace must not be used concurrently.
+type Workspace struct {
+	probe packProbe
+	specs []JobSpec
+}
+
+// reset rebinds the probe to a new instance, reusing every buffer. When the
+// new instance has the same shape as the previous one — same dimension
+// count and, job for job, the same task count and rigid requirements — the
+// item array and its backing are reused as-is: pack rewrites the CPU
+// dimension on every probe anyway, so only the rigid dimensions (already
+// equal) carry over. Successive repacks of a mostly-stable job set hit this
+// path, which skips the write-barrier-heavy item rebuild.
+func (p *packProbe) reset(jobs []JobSpec, c *cluster.Cluster, packer vectorpack.Packer) {
+	d := c.D()
+	same := d == p.d && len(jobs) == len(p.prevTasks) && len(p.backing) == len(jobs)*d
+	if same {
+	compare:
+		for ji := range jobs {
+			j := &jobs[ji]
+			if p.prevTasks[ji] != j.Tasks || p.backing[ji*d+cluster.DimMem] != j.MemReq {
+				same = false
+				break
+			}
+			for k := 0; k < d-cluster.MinDims; k++ {
+				want := 0.0
+				if k < len(j.Extra) {
+					want = j.Extra[k]
+				}
+				if p.backing[ji*d+cluster.MinDims+k] != want {
+					same = false
+					break compare
+				}
+			}
 		}
-		req := cluster.Vec(backing[ji*d : (ji+1)*d : (ji+1)*d])
-		req[cluster.DimCPU] = cpu
+	}
+	p.jobs, p.c, p.packer, p.d = jobs, c, packer, d
+	p.mcb, p.isMCB = vectorpack.MCB8{}, false
+	if m, ok := packer.(vectorpack.MCB8); ok {
+		p.mcb, p.isMCB = m, true
+	}
+	if same {
+		return
+	}
+	nItems := 0
+	for ji := range jobs {
+		nItems += jobs[ji].Tasks
+	}
+	if cap(p.its) < nItems {
+		p.its = make([]vectorpack.Item, nItems)
+	}
+	p.its = p.its[:nItems]
+	if cap(p.owner) < nItems {
+		p.owner = make([]int, nItems)
+	}
+	p.owner = p.owner[:nItems]
+	if cap(p.backing) < len(jobs)*d {
+		p.backing = make([]float64, len(jobs)*d)
+	}
+	p.backing = p.backing[:len(jobs)*d]
+	if cap(p.yields) < len(jobs) {
+		p.yields = make([]float64, len(jobs))
+	}
+	p.yields = p.yields[:len(jobs)]
+	if cap(p.totals) < d {
+		p.totals = make([]float64, d)
+	}
+	p.totals = p.totals[:d]
+	if cap(p.prevTasks) < len(jobs) {
+		p.prevTasks = make([]int, len(jobs))
+	}
+	p.prevTasks = p.prevTasks[:len(jobs)]
+	idx := 0
+	for ji := range jobs {
+		j := &jobs[ji]
+		p.prevTasks[ji] = j.Tasks
+		req := cluster.Vec(p.backing[ji*d : (ji+1)*d : (ji+1)*d])
+		req[cluster.DimCPU] = 0
 		req[cluster.DimMem] = j.MemReq
+		for k := cluster.MinDims; k < d; k++ {
+			req[k] = 0
+		}
 		for k := 0; k < d-cluster.MinDims && k < len(j.Extra); k++ {
 			req[cluster.MinDims+k] = j.Extra[k]
 		}
 		for k := 0; k < j.Tasks; k++ {
-			its = append(its, vectorpack.Item{Req: req})
-			owner = append(owner, ji)
+			// Items whose Req already aliases this job's backing row (a
+			// stable prefix across resets) are left untouched: the Item
+			// write carries a pointer and thus a write barrier, and those
+			// barriers dominate the rebuild on large instances.
+			if it := &p.its[idx]; len(it.Req) != d || &it.Req[0] != &req[0] {
+				it.Req = req
+			}
+			p.owner[idx] = ji
+			idx++
 		}
 	}
-	return its, owner
+	p.refreshRigidTotals()
 }
 
-// capacityBound is the O(T) necessary condition for packability: the total
-// requirement in every dimension cannot exceed the cluster's aggregate
-// capacity in that dimension. It prunes hopeless binary-search probes
-// before the expensive packing.
-func capacityBound(its []vectorpack.Item, c *cluster.Cluster) bool {
-	d := c.D()
-	totals := make([]float64, d)
-	for _, it := range its {
-		for k := 0; k < d; k++ {
-			totals[k] += it.Req[k]
+// refreshRigidTotals recomputes the cached demand sums of the rigid
+// dimensions (>= 1) in item order — the same accumulation sequence as a
+// per-probe loop over the flat backing, so pack's capacity bound sees
+// bit-identical sums.
+func (p *packProbe) refreshRigidTotals() {
+	d := p.d
+	if cap(p.rigidTotals) < d {
+		p.rigidTotals = make([]float64, d)
+	}
+	p.rigidTotals = p.rigidTotals[:d]
+	for k := 1; k < d; k++ {
+		p.rigidTotals[k] = 0
+	}
+	if d == 2 {
+		// Two-resource hot path: one rigid dimension, no inner loop.
+		total := 0.0
+		for ji := range p.jobs {
+			v := p.backing[2*ji+1]
+			for t := 0; t < p.jobs[ji].Tasks; t++ {
+				total += v
+			}
+		}
+		p.rigidTotals[1] = total
+		return
+	}
+	for ji := range p.jobs {
+		base := ji * d
+		for t := 0; t < p.jobs[ji].Tasks; t++ {
+			for k := 1; k < d; k++ {
+				p.rigidTotals[k] += p.backing[base+k]
+			}
 		}
 	}
+}
+
+// pack refreshes the CPU dimension from the current per-job yields, applies
+// the capacity bound — the O(T) necessary condition for packability: the
+// total requirement in every dimension cannot exceed the cluster's
+// aggregate capacity in that dimension, pruning hopeless probes before the
+// expensive packing — and runs the packer. On success the assignment is
+// remembered as the probe's best.
+func (p *packProbe) pack() bool {
+	d := p.d
+	// Only the CPU dimension changes between probes; the rigid-dimension
+	// sums are cached by reset. The CPU sum runs in item order (tasks of a
+	// job are consecutive), keeping the accumulation order of a per-item
+	// loop.
+	cpuTotal := 0.0
+	for ji := range p.jobs {
+		cpu := p.jobs[ji].CPUNeed * p.yields[ji]
+		if cpu > 1 {
+			cpu = 1
+		}
+		p.backing[ji*d+cluster.DimCPU] = cpu
+		for t := 0; t < p.jobs[ji].Tasks; t++ {
+			cpuTotal += cpu
+		}
+	}
+	copy(p.totals[1:], p.rigidTotals[1:])
+	p.totals[0] = cpuTotal
 	for k := 0; k < d; k++ {
-		if totals[k] > c.TotalCap(k)+floats.Eps {
+		if p.totals[k] > p.c.TotalCap(k)+floats.Eps {
 			return false
 		}
 	}
+	var assign []int
+	var ok bool
+	if p.isMCB {
+		assign, ok = p.mcb.PackBuf(p.its, p.c.Nodes, &p.buf)
+	} else {
+		assign, ok = p.packer.Pack(p.its, p.c.Nodes)
+	}
+	if !ok {
+		return false
+	}
+	p.best = append(p.best[:0], assign...)
 	return true
 }
 
-// buildAllocation converts a packing assignment back to per-job node lists.
-func buildAllocation(jobs []JobSpec, owner, assign []int, yieldOf func(JobSpec) float64) *Allocation {
-	alloc := NewAllocation()
-	for ji, j := range jobs {
-		alloc.NodesOf[j.ID] = make([]int, 0, j.Tasks)
-		y := yieldOf(jobs[ji])
+// allocation converts the best assignment back to per-job node lists at the
+// current per-job yields. The returned Allocation and its node lists are
+// owned by the probe and overwritten by the next allocator call on the same
+// workspace.
+func (p *packProbe) allocation() *Allocation {
+	if p.alloc == nil {
+		p.alloc = NewAllocation()
+	}
+	alloc := p.alloc
+	clear(alloc.NodesOf)
+	clear(alloc.YieldOf)
+	alloc.MinYield = 0
+	if cap(p.nodesBack) < len(p.its) {
+		p.nodesBack = make([]int, len(p.its))
+	}
+	off := 0
+	for ji := range p.jobs {
+		j := &p.jobs[ji]
+		alloc.NodesOf[j.ID] = p.nodesBack[off : off : off+j.Tasks]
+		off += j.Tasks
+		y := p.yields[ji]
 		alloc.YieldOf[j.ID] = y
 		if alloc.MinYield == 0 || y < alloc.MinYield {
 			alloc.MinYield = y
 		}
 	}
-	for item, node := range assign {
-		j := jobs[owner[item]]
-		alloc.NodesOf[j.ID] = append(alloc.NodesOf[j.ID], node)
+	for item, node := range p.best {
+		id := p.jobs[p.owner[item]].ID
+		alloc.NodesOf[id] = append(alloc.NodesOf[id], node)
 	}
-	if len(jobs) == 0 {
+	if len(p.jobs) == 0 {
 		alloc.MinYield = 0
 	}
 	return alloc
@@ -190,42 +366,41 @@ func buildAllocation(jobs []JobSpec, owner, assign []int, yieldOf func(JobSpec) 
 // job its weighted yield. It fails only when even Y -> 0 is infeasible,
 // i.e. the jobs' memory requirements alone cannot be packed.
 func MaxMinYield(jobs []JobSpec, c *cluster.Cluster, packer vectorpack.Packer) (*Allocation, bool) {
+	var w Workspace
+	return w.MaxMinYield(jobs, c, packer)
+}
+
+// MaxMinYield is the workspace-backed form of the package-level function;
+// repeated calls reuse the workspace's buffers.
+func (w *Workspace) MaxMinYield(jobs []JobSpec, c *cluster.Cluster, packer vectorpack.Packer) (*Allocation, bool) {
 	if len(jobs) == 0 {
 		return NewAllocation(), true
 	}
-	yieldAt := func(y float64) func(JobSpec) float64 {
-		return func(j JobSpec) float64 {
-			w := y * j.effectiveWeight()
+	p := &w.probe
+	p.reset(jobs, c, packer)
+	feasible := func(y float64) bool {
+		for ji := range jobs {
+			w := y * jobs[ji].effectiveWeight()
 			if w > 1 {
-				return 1
+				w = 1
 			}
-			return w
+			p.yields[ji] = w
 		}
-	}
-	d := c.D()
-	feasible := func(y float64) ([]int, []int, bool) {
-		its, owner := items(jobs, d, yieldAt(y))
-		if !capacityBound(its, c) {
-			return nil, nil, false
-		}
-		assign, ok := packer.Pack(its, c.Nodes)
-		return assign, owner, ok
+		return p.pack()
 	}
 	// Memory-only feasibility first: with Y = 0 CPU vanishes.
-	bestAssign, bestOwner, ok := feasible(0)
-	if !ok {
+	if !feasible(0) {
 		return nil, false
 	}
 	bestY := 0.0
-	if assign, owner, ok := feasible(1); ok {
-		return buildAllocation(jobs, owner, assign, yieldAt(1)), true
+	if feasible(1) {
+		return p.allocation(), true
 	}
 	lo, hi := 0.0, 1.0
 	for hi-lo > YieldAccuracy {
 		mid := (lo + hi) / 2
-		if assign, owner, ok := feasible(mid); ok {
+		if feasible(mid) {
 			lo, bestY = mid, mid
-			bestAssign, bestOwner = assign, owner
 		} else {
 			hi = mid
 		}
@@ -236,14 +411,22 @@ func MaxMinYield(jobs []JobSpec, c *cluster.Cluster, packer vectorpack.Packer) (
 	// without ever progressing.
 	for bestY == 0 && hi > 1e-9 {
 		mid := hi / 2
-		if assign, owner, ok := feasible(mid); ok {
+		if feasible(mid) {
 			bestY = mid
-			bestAssign, bestOwner = assign, owner
 		} else {
 			hi = mid
 		}
 	}
-	return buildAllocation(jobs, bestOwner, bestAssign, yieldAt(bestY)), true
+	// Restore the winning probe's yields (the last probe may have failed)
+	// before converting its saved assignment.
+	for ji := range jobs {
+		w := bestY * jobs[ji].effectiveWeight()
+		if w > 1 {
+			w = 1
+		}
+		p.yields[ji] = w
+	}
+	return p.allocation(), true
 }
 
 // ImproveAverageYield implements the average-yield improvement heuristic of
@@ -270,51 +453,127 @@ func ImproveAverageYield(jobs []JobSpec, alloc *Allocation, c *cluster.Cluster, 
 // objective ranks jobs by the cost of their hosting nodes, so leftover CPU
 // drains priced capacity first).
 func ImproveAverageYieldRanked(jobs []JobSpec, alloc *Allocation, c *cluster.Cluster, eligible func(JobSpec) bool, rank []float64) {
-	used := make([]float64, c.N())
-	// tasksOn[jobIdx][node] = number of that job's tasks on node.
-	tasksOn := make([]map[int]int, len(jobs))
-	for ji, j := range jobs {
-		tasksOn[ji] = map[int]int{}
+	var sc ImproveScratch
+	sc.ImproveAverageYieldRanked(jobs, alloc, c, eligible, rank)
+}
+
+// nodeCnt is a (node, task count) pair of one job's placement.
+type nodeCnt struct {
+	node, cnt int
+}
+
+// ImproveScratch carries the buffers of the average-yield improvement
+// heuristic across calls; the zero value is ready. The heuristic runs on
+// every scheduling event of the greedy and DYNMCB8 families, so per-call
+// allocation of its node bookkeeping is measurable at scale.
+type ImproveScratch struct {
+	used  []float64
+	pairs []nodeCnt
+	off   []int
+	order []int
+}
+
+// ImproveAverageYieldRanked is the scratch-backed form of the package-level
+// function.
+func (sc *ImproveScratch) ImproveAverageYieldRanked(jobs []JobSpec, alloc *Allocation, c *cluster.Cluster, eligible func(JobSpec) bool, rank []float64) {
+	if cap(sc.used) < c.N() {
+		sc.used = make([]float64, c.N())
+	}
+	used := sc.used[:c.N()]
+	for i := range used {
+		used[i] = 0
+	}
+	// Per-job (node, task count) pairs, flattened into one slice with
+	// offsets — the per-job map this used to be was the dominant allocation
+	// of every scheduling event. Pair order is first-occurrence order;
+	// every per-node quantity below is accumulated independently per node,
+	// so the order does not affect the arithmetic.
+	pairs := sc.pairs[:0]
+	if cap(sc.off) < len(jobs)+1 {
+		sc.off = make([]int, len(jobs)+1)
+	}
+	off := sc.off[:len(jobs)+1]
+	off[0] = 0
+	for ji := range jobs {
+		j := &jobs[ji]
+		start := len(pairs)
 		for _, node := range alloc.NodesOf[j.ID] {
-			tasksOn[ji][node]++
+			found := false
+			for k := start; k < len(pairs); k++ {
+				if pairs[k].node == node {
+					pairs[k].cnt++
+					found = true
+					break
+				}
+			}
+			if !found {
+				pairs = append(pairs, nodeCnt{node, 1})
+			}
 			used[node] += j.CPUNeed * alloc.YieldOf[j.ID]
 		}
+		off[ji+1] = len(pairs)
 	}
+	sc.pairs = pairs
 	// Ascending total CPU need, ties by descending rank (when given), then
-	// by ID for determinism.
-	order := make([]int, len(jobs))
+	// by ID for determinism. IDs are unique, so the comparator is a total
+	// order and the unstable sort is deterministic.
+	if cap(sc.order) < len(jobs) {
+		sc.order = make([]int, len(jobs))
+	}
+	order := sc.order[:len(jobs)]
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ta, tb := jobs[order[a]].TotalCPUNeed(), jobs[order[b]].TotalCPUNeed()
-		if ta != tb {
-			return ta < tb
+	slices.SortFunc(order, func(a, b int) int {
+		ta, tb := jobs[a].TotalCPUNeed(), jobs[b].TotalCPUNeed()
+		if ta < tb {
+			return -1
 		}
-		if rank != nil && rank[order[a]] != rank[order[b]] {
-			return rank[order[a]] > rank[order[b]]
+		if ta > tb {
+			return 1
 		}
-		return jobs[order[a]].ID < jobs[order[b]].ID
+		if rank != nil {
+			if rank[a] > rank[b] {
+				return -1
+			}
+			if rank[b] > rank[a] {
+				return 1
+			}
+		}
+		return jobs[a].ID - jobs[b].ID
 	})
+	// active is the order with permanently-finished jobs compacted away:
+	// ineligible jobs stay so, and a yield never decreases, so a job at 1.0
+	// is done for good and need not be rescanned on every restart. Jobs
+	// merely out of headroom stay active (an improvement elsewhere never
+	// frees headroom, but the original scan retried them, so keep the same
+	// visit sequence). Compaction preserves relative order, so each restart
+	// still finds the same first improvable job as a scan of the full order.
+	active := order
 	for {
 		improvedAny := false
-		for _, ji := range order {
-			j := jobs[ji]
-			if eligible != nil && !eligible(j) {
+		w := 0
+		r := 0
+		for ; r < len(active); r++ {
+			ji := active[r]
+			j := &jobs[ji]
+			if eligible != nil && !eligible(*j) {
 				continue
 			}
 			y := alloc.YieldOf[j.ID]
 			if floats.GreaterEq(y, 1) {
 				continue
 			}
+			active[w] = ji
+			w++
 			// Maximum extra yield limited by the tightest node.
 			delta := math.Inf(1)
-			for node, cnt := range tasksOn[ji] {
-				head := c.CPUCap(node) - used[node]
+			for _, nc := range pairs[off[ji]:off[ji+1]] {
+				head := c.CPUCap(nc.node) - used[nc.node]
 				if head < 0 {
 					head = 0
 				}
-				d := head / (j.CPUNeed * float64(cnt))
+				d := head / (j.CPUNeed * float64(nc.cnt))
 				if d < delta {
 					delta = d
 				}
@@ -326,8 +585,8 @@ func ImproveAverageYieldRanked(jobs []JobSpec, alloc *Allocation, c *cluster.Clu
 				continue
 			}
 			alloc.YieldOf[j.ID] = y + delta
-			for node, cnt := range tasksOn[ji] {
-				used[node] += j.CPUNeed * float64(cnt) * delta
+			for _, nc := range pairs[off[ji]:off[ji+1]] {
+				used[nc.node] += j.CPUNeed * float64(nc.cnt) * delta
 			}
 			improvedAny = true
 			// The paper re-selects the cheapest improvable job after
@@ -337,6 +596,11 @@ func ImproveAverageYieldRanked(jobs []JobSpec, alloc *Allocation, c *cluster.Clu
 		if !improvedAny {
 			return
 		}
+		// Keep the unvisited tail after the improved job, then restart.
+		if r+1 < len(active) {
+			w += copy(active[w:], active[r+1:])
+		}
+		active = active[:w]
 	}
 }
 
@@ -386,47 +650,47 @@ func YieldForStretchTarget(s StretchState, T, target float64) float64 {
 // targets need smaller yields. The search stops at 1% relative accuracy.
 // It fails only when the memory requirements alone cannot be packed.
 func MinEstimatedStretch(jobs []StretchState, c *cluster.Cluster, packer vectorpack.Packer, T float64) (*Allocation, bool) {
+	var w Workspace
+	return w.MinEstimatedStretch(jobs, c, packer, T)
+}
+
+// MinEstimatedStretch is the workspace-backed form of the package-level
+// function; repeated calls reuse the workspace's buffers.
+func (w *Workspace) MinEstimatedStretch(jobs []StretchState, c *cluster.Cluster, packer vectorpack.Packer, T float64) (*Allocation, bool) {
 	if len(jobs) == 0 {
 		return NewAllocation(), true
 	}
-	specs := make([]JobSpec, len(jobs))
-	for i, s := range jobs {
-		specs[i] = s.JobSpec
+	if cap(w.specs) < len(jobs) {
+		w.specs = make([]JobSpec, len(jobs))
 	}
-	yieldAt := func(target float64) func(JobSpec) float64 {
-		byID := make(map[int]float64, len(jobs))
-		for _, s := range jobs {
-			byID[s.ID] = YieldForStretchTarget(s, T, target)
-		}
-		return func(j JobSpec) float64 { return byID[j.ID] }
+	specs := w.specs[:len(jobs)]
+	for i := range jobs {
+		specs[i] = jobs[i].JobSpec
 	}
-	d := c.D()
-	try := func(target float64) ([]int, []int, bool) {
-		its, owner := items(specs, d, yieldAt(target))
-		if !capacityBound(its, c) {
-			return nil, nil, false
+	p := &w.probe
+	p.reset(specs, c, packer)
+	try := func(target float64) bool {
+		for i := range jobs {
+			p.yields[i] = YieldForStretchTarget(jobs[i], T, target)
 		}
-		assign, ok := packer.Pack(its, c.Nodes)
-		return assign, owner, ok
+		return p.pack()
 	}
 	// Even an infinite target leaves every job its 0.01 floor yield; if
 	// that is infeasible the instance is memory-bound and the caller must
 	// shed a job.
 	const maxTarget = 1e12
-	bestAssign, bestOwner, ok := try(maxTarget)
-	if !ok {
+	if !try(maxTarget) {
 		return nil, false
 	}
 	bestTarget := maxTarget
 	lo := 1.0
-	if assign, owner, ok := try(lo); ok {
-		return buildAllocation(specs, owner, assign, yieldAt(lo)), true
+	if try(lo) {
+		return p.allocation(), true
 	}
 	hi := 2.0
 	for hi < maxTarget {
-		if assign, owner, ok := try(hi); ok {
+		if try(hi) {
 			bestTarget = hi
-			bestAssign, bestOwner = assign, owner
 			break
 		}
 		lo = hi
@@ -434,14 +698,18 @@ func MinEstimatedStretch(jobs []StretchState, c *cluster.Cluster, packer vectorp
 	}
 	for (hi-lo)/lo > 0.01 {
 		mid := (lo + hi) / 2
-		if assign, owner, ok := try(mid); ok {
+		if try(mid) {
 			hi, bestTarget = mid, mid
-			bestAssign, bestOwner = assign, owner
 		} else {
 			lo = mid
 		}
 	}
-	return buildAllocation(specs, bestOwner, bestAssign, yieldAt(bestTarget)), true
+	// Restore the winning probe's yields before converting its saved
+	// assignment.
+	for i := range jobs {
+		p.yields[i] = YieldForStretchTarget(jobs[i], T, bestTarget)
+	}
+	return p.allocation(), true
 }
 
 // ImproveAverageStretch is the stretch-driven counterpart of

@@ -3,6 +3,12 @@
 // insertion, extraction and cancellation. The sequence number breaks ties so
 // that events scheduled earlier fire first at equal timestamps, which keeps
 // simulations fully deterministic.
+//
+// Cancellation is by handle: Push returns the *Event, and Cancel removes it
+// from the heap in O(log n) by its tracked index. The simulator leans on
+// this to keep a single tentative completion event armed — every yield
+// change cancels and re-pushes it rather than letting stale events
+// accumulate.
 package eventq
 
 // Event is an entry in the calendar. The payload is opaque to the queue.

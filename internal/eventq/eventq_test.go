@@ -147,6 +147,93 @@ func TestStableSortProperty(t *testing.T) {
 	}
 }
 
+// TestRandomizedAgainstReference drives a long random interleaving of
+// Push, Pop, Cancel and Peek against a reference model — a list kept
+// sorted by (time, seq) — and demands the queue agree with the model at
+// every step, handle for handle. Times are drawn from a small discrete set
+// so equal-time ties (broken by insertion sequence) occur constantly.
+func TestRandomizedAgainstReference(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var q Queue
+	var ref []*Event  // pending events, sorted by (Time, Seq)
+	var dead []*Event // popped or cancelled handles; Cancel must reject them
+
+	insert := func(e *Event) {
+		at := sort.Search(len(ref), func(i int) bool {
+			if ref[i].Time != e.Time {
+				return ref[i].Time > e.Time
+			}
+			return ref[i].Seq > e.Seq
+		})
+		ref = append(ref, nil)
+		copy(ref[at+1:], ref[at:])
+		ref[at] = e
+	}
+
+	check := func(step int) {
+		if q.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, model has %d", step, q.Len(), len(ref))
+		}
+		head := q.Peek()
+		switch {
+		case len(ref) == 0 && head != nil:
+			t.Fatalf("step %d: Peek = %v on empty model", step, head)
+		case len(ref) > 0 && head != ref[0]:
+			t.Fatalf("step %d: Peek = %+v, model head %+v", step, head, ref[0])
+		}
+	}
+
+	for step := 0; step < 5000; step++ {
+		switch op := r.Intn(10); {
+		case op < 5: // push, times from {0..7} to force ties
+			insert(q.Push(float64(r.Intn(8)), step))
+		case op < 8: // pop
+			got := q.Pop()
+			if len(ref) == 0 {
+				if got != nil {
+					t.Fatalf("step %d: Pop = %+v on empty model", step, got)
+				}
+				break
+			}
+			if got != ref[0] {
+				t.Fatalf("step %d: Pop = %+v, model head %+v", step, got, ref[0])
+			}
+			dead = append(dead, got)
+			ref = ref[1:]
+		case op < 9: // cancel a pending event
+			if len(ref) == 0 {
+				break
+			}
+			i := r.Intn(len(ref))
+			victim := ref[i]
+			if !q.Cancel(victim) {
+				t.Fatalf("step %d: Cancel of pending event %+v returned false", step, victim)
+			}
+			dead = append(dead, victim)
+			ref = append(ref[:i], ref[i+1:]...)
+		default: // cancel an already-dead handle: must be a no-op
+			if len(dead) == 0 {
+				break
+			}
+			if q.Cancel(dead[r.Intn(len(dead))]) {
+				t.Fatalf("step %d: Cancel of dead handle returned true", step)
+			}
+		}
+		check(step)
+	}
+
+	// Drain: remaining events must come out in exact model order.
+	for len(ref) > 0 {
+		if got := q.Pop(); got != ref[0] {
+			t.Fatalf("drain: Pop = %+v, model head %+v", got, ref[0])
+		}
+		ref = ref[1:]
+	}
+	if !q.Empty() {
+		t.Fatal("queue not empty after draining the model")
+	}
+}
+
 func BenchmarkPushPop(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	var q Queue

@@ -23,6 +23,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/sim/index"
 	"repro/internal/workload"
 )
 
@@ -34,15 +35,25 @@ func init() {
 // nodePool tracks which nodes are exclusively held by batch jobs and which
 // of them can host a given job's tasks at yield 1.0. The CPU and memory
 // capacities are cached as flat arrays because the eligibility predicate
-// sits in the dispatch and reservation hot loops. The objective, when
-// non-nil, selects which eligible free nodes a job takes (see takeFor);
-// nil is the published rule — node-id order, the First objective.
+// sits in the dispatch and reservation hot loops. Nodes are additionally
+// grouped into capacity classes (identical capacity vectors): eligibility
+// depends only on a node's capacities, so the eligible-free count collapses
+// to one fits check per class against a running per-class free count —
+// O(classes) instead of O(free nodes) per query, with one or two classes on
+// the paper's platforms. The objective, when non-nil, selects which
+// eligible free nodes a job takes (see takeFor); nil is the published rule
+// — node-id order, the First objective.
 type nodePool struct {
 	cl             *cluster.Cluster
 	cpuCap, memCap []float64 // per-node caches of dimensions 0/1
 	multiDim       bool      // cluster has dimensions beyond (cpu, mem)
 	free           []int     // sorted free node ids
 	obj            placement.Objective
+
+	classOf   []int  // node -> capacity class
+	reps      []int  // class -> lowest-numbered member node
+	classFree []int  // class -> number of free nodes
+	classFits []bool // scratch: class -> fits result for one job
 }
 
 func newNodePool(cl *cluster.Cluster, obj placement.Objective) *nodePool {
@@ -59,6 +70,12 @@ func newNodePool(cl *cluster.Cluster, obj placement.Objective) *nodePool {
 		p.free[i] = i
 		p.cpuCap[i] = cl.CPUCap(i)
 		p.memCap[i] = cl.MemCap(i)
+	}
+	p.classOf, p.reps = index.Classes(cl.Nodes)
+	p.classFree = make([]int, len(p.reps))
+	p.classFits = make([]bool, len(p.reps))
+	for _, node := range p.free {
+		p.classFree[p.classOf[node]]++
 	}
 	return p
 }
@@ -155,12 +172,23 @@ func (wholeNodeAdmission) CheckJob(cl *cluster.Cluster, j workload.Job) error {
 // homogeneous cluster and advisory on a heterogeneous one).
 func (p *nodePool) freeCount() int { return len(p.free) }
 
-// freeFor counts the free nodes eligible for the job.
+// fitsFor evaluates the eligibility predicate once per capacity class into
+// the classFits scratch. fits depends only on a node's capacities, so the
+// representative's answer holds for every member of its class.
+func (p *nodePool) fitsFor(j *workload.Job) []bool {
+	for c, rep := range p.reps {
+		p.classFits[c] = p.fits(rep, j)
+	}
+	return p.classFits
+}
+
+// freeFor counts the free nodes eligible for the job: the sum of the
+// per-class free counts over eligible classes.
 func (p *nodePool) freeFor(j *workload.Job) int {
 	n := 0
-	for _, node := range p.free {
-		if p.fits(node, j) {
-			n++
+	for c, rep := range p.reps {
+		if p.classFree[c] > 0 && p.fits(rep, j) {
+			n += p.classFree[c]
 		}
 	}
 	return n
@@ -179,6 +207,7 @@ func (p *nodePool) takeFor(j *workload.Job, k int) []int {
 	for _, node := range p.free {
 		if len(nodes) < k && p.fits(node, j) {
 			nodes = append(nodes, node)
+			p.classFree[p.classOf[node]]--
 			continue
 		}
 		kept = append(kept, node)
@@ -208,6 +237,8 @@ func (p *nodePool) takeForObjective(j *workload.Job, k int) []int {
 	for _, node := range p.free {
 		if !taken[node] {
 			kept = append(kept, node)
+		} else {
+			p.classFree[p.classOf[node]]--
 		}
 	}
 	p.free = kept
@@ -218,6 +249,9 @@ func (p *nodePool) takeForObjective(j *workload.Job, k int) []int {
 func (p *nodePool) give(nodes []int) {
 	p.free = append(p.free, nodes...)
 	sort.Ints(p.free)
+	for _, node := range nodes {
+		p.classFree[p.classOf[node]]++
+	}
 }
 
 // FCFS is the First-Come-First-Serve baseline: a strict FIFO queue with no
@@ -259,14 +293,15 @@ func (f *FCFS) OnTimer(*sim.Controller, int64) {}
 
 func (f *FCFS) dispatch(ctl *sim.Controller) {
 	for len(f.queue) > 0 {
-		head := ctl.Job(f.queue[0])
-		if head.Job.Tasks > f.pool.freeFor(&head.Job) {
+		jid := f.queue[0]
+		head := ctl.JobRef(jid)
+		if head.Tasks > f.pool.freeFor(head) {
 			return
 		}
-		nodes := f.pool.takeFor(&head.Job, head.Job.Tasks)
-		ctl.Start(head.JID, nodes)
-		ctl.SetYield(head.JID, 1)
-		f.holding[head.JID] = nodes
+		nodes := f.pool.takeFor(head, head.Tasks)
+		ctl.Start(jid, nodes)
+		ctl.SetYield(jid, 1)
+		f.holding[jid] = nodes
 		f.queue = f.queue[1:]
 	}
 }
@@ -279,6 +314,16 @@ type EASY struct {
 	pool    *nodePool
 	queue   []int
 	holding map[int][]int
+
+	runBuf []int     // scratch: running jobs, reused across reservations
+	rel    []release // scratch: pending releases, reused across reservations
+}
+
+// release is one running job's contribution to the head reservation: at
+// time t it frees tasks head-eligible nodes.
+type release struct {
+	t     float64
+	tasks int
 }
 
 // Name implements sim.Scheduler.
@@ -308,8 +353,8 @@ func (e *EASY) OnCompletion(ctl *sim.Controller, jid int) {
 func (e *EASY) OnTimer(*sim.Controller, int64) {}
 
 func (e *EASY) start(ctl *sim.Controller, jid int) {
-	j := ctl.Job(jid).Job
-	nodes := e.pool.takeFor(&j, j.Tasks)
+	j := ctl.JobRef(jid)
+	nodes := e.pool.takeFor(j, j.Tasks)
 	ctl.Start(jid, nodes)
 	ctl.SetYield(jid, 1)
 	e.holding[jid] = nodes
@@ -318,8 +363,8 @@ func (e *EASY) start(ctl *sim.Controller, jid int) {
 func (e *EASY) dispatch(ctl *sim.Controller) {
 	// Start jobs in FIFO order while they fit.
 	for len(e.queue) > 0 {
-		j := ctl.Job(e.queue[0]).Job
-		if j.Tasks > e.pool.freeFor(&j) {
+		j := ctl.JobRef(e.queue[0])
+		if j.Tasks > e.pool.freeFor(j) {
 			break
 		}
 		e.start(ctl, e.queue[0])
@@ -333,14 +378,14 @@ func (e *EASY) dispatch(ctl *sim.Controller) {
 	// not interfere with that reservation.
 	for i := 1; i < len(e.queue); {
 		jid := e.queue[i]
-		ji := ctl.Job(jid)
-		if ji.Job.Tasks > e.pool.freeFor(&ji.Job) {
+		j := ctl.JobRef(jid)
+		if j.Tasks > e.pool.freeFor(j) {
 			i++
 			continue
 		}
 		shadow, extra := e.reservation(ctl)
-		finish := ctl.Now() + ji.Job.ExecTime
-		if finish <= shadow || ji.Job.Tasks <= extra {
+		finish := ctl.Now() + j.ExecTime
+		if finish <= shadow || j.Tasks <= extra {
 			e.start(ctl, jid)
 			e.queue = append(e.queue[:i], e.queue[i+1:]...)
 			// A started job changes the free pool (and possibly the
@@ -362,21 +407,22 @@ func (e *EASY) dispatch(ctl *sim.Controller) {
 // head. On a homogeneous cluster every node is head-eligible and this is
 // exactly classical EASY backfilling.
 func (e *EASY) reservation(ctl *sim.Controller) (shadow float64, extra int) {
-	head := ctl.Job(e.queue[0]).Job
+	head := ctl.JobRef(e.queue[0])
 	need := head.Tasks
-	avail := e.pool.freeFor(&head)
+	avail := e.pool.freeFor(head)
 	if avail >= need {
 		return ctl.Now(), avail - need
 	}
-	type release struct {
-		t     float64
-		tasks int
-	}
-	var rel []release
-	for _, jid := range ctl.JobsInState(sim.Running) {
+	// Head eligibility depends only on node capacities: resolve it once per
+	// capacity class, then count each running job's held nodes by class.
+	classFits := e.pool.fitsFor(head)
+	classOf := e.pool.classOf
+	rel := e.rel[:0]
+	e.runBuf = ctl.AppendJobsInState(e.runBuf[:0], sim.Running)
+	for _, jid := range e.runBuf {
 		eligible := 0
 		for _, node := range e.holding[jid] {
-			if e.pool.fits(node, &head) {
+			if classFits[classOf[node]] {
 				eligible++
 			}
 		}
@@ -384,6 +430,7 @@ func (e *EASY) reservation(ctl *sim.Controller) (shadow float64, extra int) {
 			rel = append(rel, release{t: ctl.EarliestFinish(jid), tasks: eligible})
 		}
 	}
+	e.rel = rel
 	sort.Slice(rel, func(a, b int) bool { return rel[a].t < rel[b].t })
 	for _, r := range rel {
 		avail += r.tasks

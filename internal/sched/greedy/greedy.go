@@ -47,6 +47,8 @@ type Greedy struct {
 	preempt  bool
 	migrate  bool
 	priority sched.PriorityFunc
+
+	yields sched.YieldScratch // yield-rule buffers, reused across events
 }
 
 // Name implements sim.Scheduler.
@@ -61,7 +63,7 @@ func (g *Greedy) OnArrival(ctl *sim.Controller, jid int) {
 	if g.preempt {
 		g.resumePaused(ctl)
 	}
-	sched.ApplyGreedyYields(ctl)
+	g.yields.Apply(ctl)
 }
 
 // OnCompletion implements sim.Scheduler.
@@ -69,7 +71,7 @@ func (g *Greedy) OnCompletion(ctl *sim.Controller, _ int) {
 	if g.preempt {
 		g.resumePaused(ctl)
 	}
-	sched.ApplyGreedyYields(ctl)
+	g.yields.Apply(ctl)
 }
 
 // OnTimer implements sim.Scheduler: the tag is the jid of a postponed job
@@ -80,7 +82,7 @@ func (g *Greedy) OnTimer(ctl *sim.Controller, tag int64) {
 		return
 	}
 	g.admit(ctl, jid)
-	sched.ApplyGreedyYields(ctl)
+	g.yields.Apply(ctl)
 }
 
 // admit places job jid, by plain greedy placement when possible and through

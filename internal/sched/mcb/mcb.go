@@ -82,12 +82,25 @@ type Options struct {
 	NameOverride string
 }
 
-// Scheduler is the DYNMCB8 family implementation.
+// Scheduler is the DYNMCB8 family implementation. The trailing fields are
+// scratch buffers reused across scheduling events — repacks run at every
+// event (or tick), so per-event allocations dominate without them.
 type Scheduler struct {
 	opt    Options
 	packer vectorpack.Packer
 	prio   sched.PriorityFunc
 	name   string
+
+	ws      core.Workspace
+	imp     core.ImproveScratch
+	states  []core.StretchState
+	specs   []core.JobSpec
+	cands   []int
+	runBuf  []int
+	yields  []float64
+	prioBuf []float64
+	memBuf  []float64
+	greedy  sched.YieldScratch
 }
 
 // New builds a DYNMCB8-family scheduler from options.
@@ -145,7 +158,7 @@ func (s *Scheduler) OnArrival(ctl *sim.Controller, jid int) {
 	if s.opt.ASAP {
 		if nodes, ok := sched.GreedyPlace(ctl, jid); ok {
 			ctl.Start(jid, nodes)
-			sched.ApplyGreedyYields(ctl)
+			s.greedy.Apply(ctl)
 		}
 	}
 	// Otherwise the job waits in the queue until the next tick.
@@ -172,12 +185,14 @@ func (s *Scheduler) OnTimer(ctl *sim.Controller, tag int64) {
 // reschedule runs the global repack over every job in the system.
 func (s *Scheduler) reschedule(ctl *sim.Controller) {
 	now := ctl.Now()
-	candidates := ctl.ActiveJobs()
+	s.cands = ctl.AppendActiveJobs(s.cands[:0])
+	candidates := s.cands
 	if len(candidates) == 0 {
 		return
 	}
 	var alloc *core.Allocation
 	var inSet []int
+	var prios, mems []float64 // removal keys, parallel to candidates
 	for {
 		inSet = candidates
 		var ok bool
@@ -187,15 +202,17 @@ func (s *Scheduler) reschedule(ctl *sim.Controller) {
 		}
 		// Memory-bound: drop the smallest-priority job and retry. Ties
 		// break toward the job with the largest memory footprint (fastest
-		// route back to feasibility), then by jid.
-		drop := s.pickRemoval(ctl, candidates, now)
-		next := candidates[:0:0]
-		for _, jid := range candidates {
-			if jid != drop {
-				next = append(next, jid)
-			}
+		// route back to feasibility), then by jid. The keys depend only on
+		// the event time, so they are computed once and filtered alongside
+		// the candidate list across retries; nothing retains the unfiltered
+		// list, so the removal is in place.
+		if prios == nil {
+			prios, mems = s.removalKeys(ctl, candidates, now)
 		}
-		candidates = next
+		di := pickRemoval(candidates, prios, mems)
+		candidates = append(candidates[:di], candidates[di+1:]...)
+		prios = append(prios[:di], prios[di+1:]...)
+		mems = append(mems[:di], mems[di+1:]...)
 		if len(candidates) == 0 {
 			alloc = core.NewAllocation()
 			inSet = nil
@@ -209,58 +226,72 @@ func (s *Scheduler) reschedule(ctl *sim.Controller) {
 // variant's objective.
 func (s *Scheduler) solve(ctl *sim.Controller, jids []int, now float64) (*core.Allocation, bool) {
 	if s.opt.Stretch {
-		states := make([]core.StretchState, 0, len(jids))
+		states := s.states[:0]
 		for _, jid := range jids {
-			ji := ctl.Job(jid)
 			states = append(states, core.StretchState{
-				JobSpec:     sched.Spec(ji),
-				FlowTime:    ji.FlowTime(now),
-				VirtualTime: ji.VirtualTime,
+				JobSpec:     sched.SpecOf(ctl, jid),
+				FlowTime:    now - ctl.JobRef(jid).Submit,
+				VirtualTime: ctl.VirtualTime(jid),
 			})
 		}
-		alloc, ok := core.MinEstimatedStretch(states, ctl.Cluster(), s.packer, s.opt.Period)
+		s.states = states
+		alloc, ok := s.ws.MinEstimatedStretch(states, ctl.Cluster(), s.packer, s.opt.Period)
 		if !ok {
 			return nil, false
 		}
 		core.ImproveAverageStretch(states, alloc, ctl.Cluster())
 		return alloc, true
 	}
-	specs := make([]core.JobSpec, 0, len(jids))
+	specs := s.specs[:0]
 	for _, jid := range jids {
-		specs = append(specs, sched.Spec(ctl.Job(jid)))
+		specs = append(specs, sched.SpecOf(ctl, jid))
 	}
-	alloc, ok := core.MaxMinYield(specs, ctl.Cluster(), s.packer)
+	s.specs = specs
+	alloc, ok := s.ws.MaxMinYield(specs, ctl.Cluster(), s.packer)
 	if !ok {
 		return nil, false
 	}
 	var eligible func(core.JobSpec) bool
 	if s.opt.FairnessAge > 0 {
 		eligible = func(spec core.JobSpec) bool {
-			return ctl.Job(spec.ID).VirtualTime <= s.opt.FairnessAge
+			return ctl.VirtualTime(spec.ID) <= s.opt.FairnessAge
 		}
 	}
-	core.ImproveAverageYieldRanked(specs, alloc, ctl.Cluster(), eligible, sched.ImproveRank(ctl, specs, alloc))
+	s.imp.ImproveAverageYieldRanked(specs, alloc, ctl.Cluster(), eligible, sched.ImproveRank(ctl, specs, alloc))
 	return alloc, true
 }
 
-// pickRemoval selects the job to drop from a memory-bound instance.
-func (s *Scheduler) pickRemoval(ctl *sim.Controller, jids []int, now float64) int {
+// removalKeys computes each candidate's removal priority and memory
+// footprint into the scheduler's scratch buffers.
+func (s *Scheduler) removalKeys(ctl *sim.Controller, jids []int, now float64) (prios, mems []float64) {
+	prios, mems = s.prioBuf[:0], s.memBuf[:0]
+	for _, jid := range jids {
+		j := ctl.JobRef(jid)
+		prios = append(prios, s.prio(now-j.Submit, ctl.VirtualTime(jid)))
+		mems = append(mems, float64(j.Tasks)*j.MemReq)
+	}
+	s.prioBuf, s.memBuf = prios, mems
+	return prios, mems
+}
+
+// pickRemoval selects the job to drop from a memory-bound instance and
+// returns its index in jids.
+func pickRemoval(jids []int, prios, mems []float64) int {
 	best := -1
+	bi := -1
 	bestPrio := math.Inf(1)
 	bestMem := -1.0
-	for _, jid := range jids {
-		ji := ctl.Job(jid)
-		p := s.prio(ji.FlowTime(now), ji.VirtualTime)
-		mem := float64(ji.Job.Tasks) * ji.Job.MemReq
+	for i, jid := range jids {
+		p, mem := prios[i], mems[i]
 		switch {
 		case best < 0,
 			p < bestPrio,
 			p == bestPrio && mem > bestMem,
 			p == bestPrio && mem == bestMem && jid < best:
-			best, bestPrio, bestMem = jid, p, mem
+			best, bi, bestPrio, bestMem = jid, i, p, mem
 		}
 	}
-	return best
+	return bi
 }
 
 // apply transitions the cluster from its current allocation to alloc:
@@ -270,28 +301,29 @@ func (s *Scheduler) pickRemoval(ctl *sim.Controller, jids []int, now float64) in
 // in the set are started/resumed; finally yields are applied through the
 // two-phase update.
 func (s *Scheduler) apply(ctl *sim.Controller, inSet []int, alloc *core.Allocation) {
-	keep := map[int]bool{}
-	for _, jid := range inSet {
-		keep[jid] = true
+	// inSet descends from ActiveJobs with jobs filtered out in place, so it
+	// is sorted ascending: membership is a binary search, no keep-map.
+	inKeptSet := func(jid int) bool {
+		i := sort.SearchInts(inSet, jid)
+		return i < len(inSet) && inSet[i] == jid
 	}
-	// Phase 1: release everything that leaves or moves.
-	for _, jid := range ctl.JobsInState(sim.Running) {
-		ji := ctl.Job(jid)
-		if !keep[jid] {
+	// Phase 1: release everything that leaves or moves. Pausing mutates the
+	// running set, so iterate a snapshot.
+	s.runBuf = ctl.AppendJobsInState(s.runBuf[:0], sim.Running)
+	for _, jid := range s.runBuf {
+		if !inKeptSet(jid) {
 			ctl.Pause(jid)
 			continue
 		}
-		if !sameMultiset(ji.Nodes, alloc.NodesOf[jid]) {
+		if !sim.SameMultiset(ctl.JobNodes(jid), alloc.NodesOf[jid]) {
 			ctl.Pause(jid)
 		}
 	}
-	// Phase 2: occupy new placements (deterministic order).
-	ordered := append([]int(nil), inSet...)
-	sort.Ints(ordered)
-	yields := map[int]float64{}
-	for _, jid := range ordered {
+	// Phase 2: occupy new placements (deterministic ascending-jid order).
+	s.yields = s.yields[:0]
+	for _, jid := range inSet {
 		nodes := alloc.NodesOf[jid]
-		switch ctl.Job(jid).State {
+		switch ctl.JobState(jid) {
 		case sim.Pending:
 			ctl.Start(jid, nodes)
 		case sim.Paused:
@@ -299,24 +331,7 @@ func (s *Scheduler) apply(ctl *sim.Controller, inSet []int, alloc *core.Allocati
 		case sim.Running:
 			// Unchanged multiset; nothing to move.
 		}
-		yields[jid] = alloc.YieldOf[jid]
+		s.yields = append(s.yields, alloc.YieldOf[jid])
 	}
-	sched.ApplyYields(ctl, yields)
-}
-
-func sameMultiset(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	count := map[int]int{}
-	for _, x := range a {
-		count[x]++
-	}
-	for _, x := range b {
-		count[x]--
-		if count[x] < 0 {
-			return false
-		}
-	}
-	return true
+	sched.ApplyYieldsList(ctl, inSet, s.yields)
 }

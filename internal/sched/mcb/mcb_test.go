@@ -246,8 +246,8 @@ func TestSameMultiset(t *testing.T) {
 		{[]int{3, 3}, []int{3, 3}, true},
 	}
 	for _, c := range cases {
-		if got := sameMultiset(c.a, c.b); got != c.want {
-			t.Errorf("sameMultiset(%v, %v) = %v", c.a, c.b, got)
+		if got := sim.SameMultiset(c.a, c.b); got != c.want {
+			t.Errorf("SameMultiset(%v, %v) = %v", c.a, c.b, got)
 		}
 	}
 }

@@ -43,6 +43,20 @@ func Spec(ji sim.JobInfo) core.JobSpec {
 	}
 }
 
+// SpecOf is Spec straight off the controller, reading the job record in
+// place instead of copying a JobInfo snapshot first.
+func SpecOf(ctl *sim.Controller, jid int) core.JobSpec {
+	j := ctl.JobRef(jid)
+	return core.JobSpec{
+		ID:      jid,
+		Tasks:   j.Tasks,
+		CPUNeed: j.CPUNeed,
+		MemReq:  j.MemReq,
+		Extra:   j.Extra,
+		Weight:  j.Weight,
+	}
+}
+
 // GreedyPlace computes the GREEDY placement of Section III-A for job jid:
 // each task in turn goes to the node with the lowest relative CPU load
 // (load divided by the node's CPU capacity — on the paper's unit-capacity
@@ -63,9 +77,16 @@ func GreedyPlace(ctl *sim.Controller, jid int) (nodes []int, ok bool) {
 // a placement objective, the relative-load score is replaced by the
 // objective's score over the same feasibility filter.
 func GreedyPlaceExtra(ctl *sim.Controller, jid int, extra *Plan) ([]int, bool) {
-	ji := ctl.Job(jid)
+	ji := ctl.JobLite(jid)
 	n := ctl.NumNodes()
 	d := ctl.NumDims()
+	if d == 2 && extra == nil && ctl.Objective() == nil {
+		// The paper's two-resource platform with no hypothetical usage is
+		// the placement hot path (every greedy admission and every
+		// DYNMCB8-ASAP arrival): answer each task's least-loaded-feasible
+		// query from the node index in O(log n) instead of scanning.
+		return greedyPlace2Indexed(ctl, ji)
+	}
 	plan := NewPlan(n, d)
 	if extra != nil {
 		copy(plan.Load, extra.Load)
@@ -147,6 +168,59 @@ func greedyPlace2(ctl *sim.Controller, ji sim.JobInfo, plan *Plan) ([]int, bool)
 		nodes = append(nodes, best)
 		planMem[best] += memReq
 		plan.Load[best] += ji.Job.CPUNeed
+	}
+	return nodes, true
+}
+
+// greedyPlace2Indexed answers the two-resource placement scan from the
+// simulator's node index. Tasks already placed in this call are overlaid
+// onto the touched leaves with exactly the expressions of the linear scan
+// — free memory minus accumulated plan memory, (load plus accumulated plan
+// load) over capacity — and every touched leaf is restored to its live
+// values before returning, on success and on failure alike. Untouched
+// leaves already hold the scan's values (a zero plan term only flips the
+// sign of a zero, which no comparison observes), and ArgminLoad applies the
+// same strict-improvement, ascending-node-order selection as the scan, so
+// the chosen nodes are identical bit for bit.
+func greedyPlace2Indexed(ctl *sim.Controller, ji sim.JobInfo) ([]int, bool) {
+	t := ctl.NodeIndex()
+	memReq := ji.Job.MemReq
+	cpuNeed := ji.Job.CPUNeed
+	nodes := make([]int, 0, ji.Job.Tasks)
+	var touched []int
+	var planMem, planLoad []float64 // parallel to touched
+	ok := true
+	for task := 0; task < ji.Job.Tasks; task++ {
+		node := t.ArgminLoad(memReq)
+		if node < 0 {
+			ok = false
+			break
+		}
+		nodes = append(nodes, node)
+		ti := -1
+		for i, tn := range touched {
+			if tn == node {
+				ti = i
+				break
+			}
+		}
+		if ti < 0 {
+			ti = len(touched)
+			touched = append(touched, node)
+			planMem = append(planMem, 0)
+			planLoad = append(planLoad, 0)
+		}
+		planMem[ti] += memReq
+		planLoad[ti] += cpuNeed
+		t.Set(node,
+			(ctl.CPULoad(node)+planLoad[ti])/ctl.CPUCap(node),
+			ctl.FreeMem(node)-planMem[ti])
+	}
+	for _, node := range touched {
+		t.Set(node, ctl.CPULoad(node)/ctl.CPUCap(node), ctl.FreeMem(node))
+	}
+	if !ok {
+		return nil, false
 	}
 	return nodes, true
 }
@@ -303,50 +377,83 @@ func (p *Plan) CommitJob(nodes []int, j workload.Job) {
 // candidates first) otherwise. Infinite priorities sort last in ascending
 // order and first in descending order; ties break by jid for determinism.
 func ByPriority(ctl *sim.Controller, jids []int, now float64, pf PriorityFunc, asc bool) []int {
-	out := append([]int(nil), jids...)
-	prio := make(map[int]float64, len(out))
-	for _, jid := range out {
-		ji := ctl.Job(jid)
-		prio[jid] = pf(ji.FlowTime(now), ji.VirtualTime)
+	type jidPrio struct {
+		jid int
+		p   float64
 	}
-	sort.SliceStable(out, func(a, b int) bool {
-		pa, pb := prio[out[a]], prio[out[b]]
+	pairs := make([]jidPrio, len(jids))
+	for i, jid := range jids {
+		pairs[i] = jidPrio{jid: jid, p: pf(now-ctl.JobRef(jid).Submit, ctl.VirtualTime(jid))}
+	}
+	sort.SliceStable(pairs, func(a, b int) bool {
+		pa, pb := pairs[a].p, pairs[b].p
 		if pa != pb {
 			if asc {
 				return pa < pb
 			}
 			return pa > pb
 		}
-		return out[a] < out[b]
+		return pairs[a].jid < pairs[b].jid
 	})
+	out := make([]int, len(pairs))
+	for i, pr := range pairs {
+		out[i] = pr.jid
+	}
 	return out
 }
 
-// ApplyGreedyYields implements the GREEDY yield rule of Section III-A on
-// the current set of running jobs: every job receives the uniform yield
+// YieldScratch holds the buffers of the GREEDY yield computation so
+// schedulers invoking it on every event can reuse them. The zero value is
+// ready to use.
+type YieldScratch struct {
+	running []int
+	specs   []core.JobSpec
+	vals    []float64
+	alloc   *core.Allocation
+	imp     core.ImproveScratch
+}
+
+// Apply implements the GREEDY yield rule of Section III-A on the current
+// set of running jobs: every job receives the uniform yield
 // 1/max(1, maxLoad) — maxLoad being the maximum relative (capacity-scaled)
 // CPU load, which maximizes the minimum yield for the current placement and
 // keeps every node within its own CPU capacity — and the average-yield
 // improvement heuristic then distributes leftover CPU. Yields are applied
 // through a zero-first two-phase update so no node ever transiently exceeds
 // capacity.
-func ApplyGreedyYields(ctl *sim.Controller) {
-	running := ctl.JobsInState(sim.Running)
+func (ys *YieldScratch) Apply(ctl *sim.Controller) {
+	ys.running = ctl.AppendJobsInState(ys.running[:0], sim.Running)
+	running := ys.running
 	if len(running) == 0 {
 		return
 	}
 	base := 1.0 / math.Max(1, ctl.MaxCPULoad())
-	alloc := core.NewAllocation()
-	specs := make([]core.JobSpec, 0, len(running))
+	if ys.alloc == nil {
+		ys.alloc = core.NewAllocation()
+	}
+	alloc := ys.alloc
+	clear(alloc.NodesOf)
+	clear(alloc.YieldOf)
+	ys.specs = ys.specs[:0]
 	for _, jid := range running {
-		ji := ctl.Job(jid)
-		specs = append(specs, Spec(ji))
-		alloc.NodesOf[jid] = ji.Nodes
+		ys.specs = append(ys.specs, SpecOf(ctl, jid))
+		alloc.NodesOf[jid] = ctl.JobNodes(jid)
 		alloc.YieldOf[jid] = base
 	}
 	alloc.MinYield = base
-	core.ImproveAverageYieldRanked(specs, alloc, ctl.Cluster(), nil, ImproveRank(ctl, specs, alloc))
-	ApplyYields(ctl, alloc.YieldOf)
+	ys.imp.ImproveAverageYieldRanked(ys.specs, alloc, ctl.Cluster(), nil, ImproveRank(ctl, ys.specs, alloc))
+	ys.vals = ys.vals[:0]
+	for _, jid := range running {
+		ys.vals = append(ys.vals, alloc.YieldOf[jid])
+	}
+	ApplyYieldsList(ctl, running, ys.vals)
+}
+
+// ApplyGreedyYields is YieldScratch.Apply with one-shot buffers, for
+// callers off the hot path.
+func ApplyGreedyYields(ctl *sim.Controller) {
+	var ys YieldScratch
+	ys.Apply(ctl)
 }
 
 // ApplyYields sets each listed running job's yield, zeroing all of them
@@ -362,6 +469,18 @@ func ApplyYields(ctl *sim.Controller, yields map[int]float64) {
 	}
 	for _, jid := range jids {
 		ctl.SetYield(jid, floats.Clamp01(yields[jid]))
+	}
+}
+
+// ApplyYieldsList is ApplyYields over parallel slices: jids must be in
+// ascending order with yields[i] the yield of jids[i]. It performs the same
+// zero-first two-phase update without building a map.
+func ApplyYieldsList(ctl *sim.Controller, jids []int, yields []float64) {
+	for _, jid := range jids {
+		ctl.SetYield(jid, 0)
+	}
+	for i, jid := range jids {
+		ctl.SetYield(jid, floats.Clamp01(yields[i]))
 	}
 }
 

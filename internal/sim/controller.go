@@ -7,6 +7,8 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/floats"
 	"repro/internal/placement"
+	"repro/internal/sim/index"
+	"repro/internal/workload"
 )
 
 // Controller is the interface the simulator hands to scheduling algorithms.
@@ -106,30 +108,104 @@ func (c *Controller) Job(jid int) JobInfo {
 	}
 }
 
+// JobLite returns the same snapshot as Job without copying the node list:
+// the Nodes field is nil regardless of state. Schedulers on the hot path
+// pair it with JobNodes when they actually need the placement.
+func (c *Controller) JobLite(jid int) JobInfo {
+	j := c.sim.jobs[jid]
+	return JobInfo{
+		JID:         jid,
+		Job:         j.job,
+		State:       j.state,
+		Yield:       j.yield,
+		VirtualTime: j.virtual,
+		Remaining:   j.remaining,
+		FrozenUntil: j.frozenUntil,
+		Attempts:    j.attempts,
+		LastPause:   j.lastPauseTime,
+	}
+}
+
+// JobNodes returns the node placement of job jid (one entry per task while
+// Running, nil otherwise) as a read-only view into simulator state. Callers
+// must not mutate or retain it across Controller mutations.
+func (c *Controller) JobNodes(jid int) []int { return c.sim.jobs[jid].nodes }
+
+// JobState returns the lifecycle state of job jid.
+func (c *Controller) JobState(jid int) JobState { return c.sim.jobs[jid].state }
+
+// JobRef returns a read-only pointer to job jid's immutable trace record,
+// sparing hot-path callers the full JobInfo copy when they only need the
+// static job description.
+func (c *Controller) JobRef(jid int) *workload.Job { return &c.sim.jobs[jid].job }
+
+// VirtualTime returns job jid's accumulated virtual seconds.
+func (c *Controller) VirtualTime(jid int) float64 { return c.sim.jobs[jid].virtual }
+
 // JobsInState returns the jids of all jobs currently in the given state, in
 // increasing jid order (deterministic). Jobs whose submission time lies in
 // the future are invisible to schedulers and never returned, even though
 // they sit in the Pending state internally.
 func (c *Controller) JobsInState(state JobState) []int {
-	var out []int
-	for jid, j := range c.sim.jobs {
-		if j.state == state && j.job.Submit <= c.sim.now {
-			out = append(out, jid)
+	return c.AppendJobsInState(nil, state)
+}
+
+// AppendJobsInState appends the jids JobsInState would return to dst and
+// returns the extended slice; hot-path callers reuse dst across events to
+// avoid per-call allocations. The Pending/Running/Paused states are served
+// from the simulator's incremental indexes in O(answer).
+func (c *Controller) AppendJobsInState(dst []int, state JobState) []int {
+	s := c.sim
+	switch state {
+	case Pending:
+		return append(dst, s.visPending...)
+	case Running:
+		return append(dst, s.running...)
+	case Paused:
+		return append(dst, s.paused...)
+	}
+	for jid, j := range s.jobs {
+		if j.state == state && j.job.Submit <= s.now {
+			dst = append(dst, jid)
 		}
 	}
-	return out
+	return dst
 }
 
 // ActiveJobs returns the jids of all jobs currently in the system and
 // holding or wanting resources: submitted-pending, running and paused.
 func (c *Controller) ActiveJobs() []int {
-	var out []int
-	for jid, j := range c.sim.jobs {
-		if j.state != Done && j.job.Submit <= c.sim.now {
-			out = append(out, jid)
+	return c.AppendActiveJobs(nil)
+}
+
+// AppendActiveJobs appends the jids ActiveJobs would return to dst — in
+// increasing jid order, merged from the three per-state indexes — and
+// returns the extended slice.
+func (c *Controller) AppendActiveJobs(dst []int) []int {
+	s := c.sim
+	p, r, q := s.visPending, s.running, s.paused
+	for len(p) > 0 || len(r) > 0 || len(q) > 0 {
+		best := math.MaxInt
+		if len(p) > 0 {
+			best = p[0]
 		}
+		if len(r) > 0 && r[0] < best {
+			best = r[0]
+		}
+		if len(q) > 0 && q[0] < best {
+			best = q[0]
+		}
+		switch {
+		case len(p) > 0 && p[0] == best:
+			p = p[1:]
+		case len(r) > 0 && r[0] == best:
+			r = r[1:]
+		default:
+			q = q[1:]
+		}
+		dst = append(dst, best)
 	}
-	return out
+	return dst
 }
 
 // CPULoad returns the paper's CPU load of a node: the sum of the CPU needs
@@ -152,16 +228,18 @@ func (c *Controller) FreeMem(node int) float64 {
 // MaxCPULoad returns the maximum relative CPU load over all nodes — each
 // node's load divided by its own CPU capacity (the paper's capital lambda;
 // on the unit-capacity platform this is exactly the raw load). The greedy
-// yield rule 1/max(1, lambda) keeps every node within its capacity.
+// yield rule 1/max(1, lambda) keeps every node within its capacity. The
+// value is read from the node index's root, so it is O(1).
 func (c *Controller) MaxCPULoad() float64 {
-	m := 0.0
-	for node, l := range c.sim.cpuLoad {
-		if rel := l / c.sim.cl.CPUCap(node); rel > m {
-			m = rel
-		}
-	}
-	return m
+	return c.sim.nodeIdx.MaxLoad()
 }
+
+// NodeIndex exposes the simulator's tournament tree over per-node
+// (relative CPU load, free memory). Schedulers may query it — and overlay
+// tentative placements with Set — but must restore every touched leaf to
+// the live values (CPULoad(node)/CPUCap(node), FreeMem(node)) before
+// returning control to the simulator.
+func (c *Controller) NodeIndex() *index.NodeIndex { return c.sim.nodeIdx }
 
 // IncrementAttempts bumps and returns the job's failed-attempt counter,
 // which greedy algorithms use for bounded exponential backoff.
@@ -194,6 +272,8 @@ func (c *Controller) Start(jid int, nodes []int) {
 	s.occupyNodes(j, nodes)
 	j.state = Running
 	j.yield = 0
+	s.visPending = removeJid(s.visPending, jid)
+	s.running = insertJid(s.running, jid)
 	if j.start < 0 {
 		j.start = s.now
 	}
@@ -217,7 +297,10 @@ func (c *Controller) Pause(jid int) {
 	s.releaseNodes(j)
 	j.state = Paused
 	j.yield = 0
+	s.running = removeJid(s.running, jid)
+	s.paused = insertJid(s.paused, jid)
 	j.pauses++
+	j.prevPauseTime = j.lastPauseTime
 	j.lastPauseTime = s.now
 	j.lastPauseWas = true
 	s.result.PreemptionOps++
@@ -250,9 +333,13 @@ func (c *Controller) Resume(jid int, nodes []int) {
 	}
 	sameEvent := j.lastPauseWas && j.lastPauseTime == s.now
 	switch {
-	case sameEvent && sameMultiset(nodes, j.lastNodes):
-		// Undo: the job never actually moved.
+	case sameEvent && SameMultiset(nodes, j.lastNodes):
+		// Undo: the job never actually moved. The pause's accounting is
+		// refunded in full, including the LastPause timestamp — the refund
+		// says the pause never physically happened, so JobInfo must not
+		// report it.
 		j.pauses--
+		j.lastPauseTime = j.prevPauseTime
 		s.result.PreemptionOps--
 		s.result.PreemptionGB -= s.memGB(j)
 		s.occupyNodes(j, nodes)
@@ -278,6 +365,8 @@ func (c *Controller) Resume(jid int, nodes []int) {
 		j.frozenUntil = s.now + s.cfg.Penalty
 	}
 	j.lastPauseWas = false
+	s.paused = removeJid(s.paused, jid)
+	s.running = insertJid(s.running, jid)
 	if j.start < 0 {
 		j.start = s.now
 	}
@@ -288,7 +377,7 @@ func (c *Controller) Resume(jid int, nodes []int) {
 		// above refunds or reclassifies it (see Observer docs). A
 		// reclassified pair surfaces the migration; a plain or refunded
 		// resume surfaces a restart.
-		if sameEvent && !sameMultiset(nodes, j.lastNodes) {
+		if sameEvent && !SameMultiset(nodes, j.lastNodes) {
 			s.obs.JobMigrated(s.now, jid, append([]int(nil), nodes...))
 		} else {
 			s.obs.JobStarted(s.now, jid, append([]int(nil), nodes...))
@@ -309,7 +398,7 @@ func (c *Controller) Migrate(jid int, nodes []int) {
 	if len(nodes) != j.job.Tasks {
 		panic(fmt.Sprintf("sim: Migrate job %d with %d nodes for %d tasks", jid, len(nodes), j.job.Tasks))
 	}
-	if sameMultiset(nodes, j.nodes) {
+	if SameMultiset(nodes, j.nodes) {
 		return
 	}
 	s.releaseNodes(j)
@@ -357,12 +446,57 @@ func (c *Controller) SetYield(jid int, y float64) {
 // and reports only; the paper's algorithms never consult it.
 func (c *Controller) Penalty() float64 { return c.sim.cfg.Penalty }
 
-// sameMultiset reports whether a and b contain the same nodes with the same
+// SameMultiset reports whether a and b contain the same nodes with the same
 // multiplicities. Tasks are interchangeable, so allocations differing only
-// by a permutation are physically identical.
-func sameMultiset(a, b []int) bool {
+// by a permutation are physically identical. Jobs rarely exceed a handful
+// of tasks, so small inputs take an allocation-free quadratic count-compare
+// path; only larger ones fall back to a counting map.
+func SameMultiset(a, b []int) bool {
 	if len(a) != len(b) {
 		return false
+	}
+	// Identical sequences are the overwhelmingly common case (a repack that
+	// leaves a job where it was reproduces the node list in the same
+	// order): resolve them without touching a counting structure.
+	equal := true
+	for i, x := range a {
+		if b[i] != x {
+			equal = false
+			break
+		}
+	}
+	if equal {
+		return true
+	}
+	if len(a) <= 8 {
+		for i, x := range a {
+			// Count x once, on its first occurrence in a.
+			first := true
+			for _, y := range a[:i] {
+				if y == x {
+					first = false
+					break
+				}
+			}
+			if !first {
+				continue
+			}
+			na, nb := 0, 0
+			for _, y := range a[i:] {
+				if y == x {
+					na++
+				}
+			}
+			for _, y := range b {
+				if y == x {
+					nb++
+				}
+			}
+			if na != nb {
+				return false
+			}
+		}
+		return true
 	}
 	count := map[int]int{}
 	for _, x := range a {

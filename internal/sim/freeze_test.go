@@ -1,0 +1,61 @@
+package sim
+
+import "testing"
+
+// TestFrozenJobCompletesNoEarlierThanPenalty pins the finishDue freeze
+// check: a job migrated at the brink of completion (zero virtual time
+// left) still pays the full rescheduling penalty. Before the fix, any
+// later event — here the completions of two bystander jobs at t=150 and
+// t=200 — would complete the frozen job early, silently erasing the
+// penalty from its turnaround.
+func TestFrozenJobCompletesNoEarlierThanPenalty(t *testing.T) {
+	s := &script{
+		onArrival: func(ctl *Controller, jid int) {
+			switch jid {
+			case 0:
+				ctl.Start(0, []int{0})
+				ctl.SetYield(0, 1)
+			case 1:
+				ctl.Start(1, []int{1})
+				ctl.SetYield(1, 1)
+			case 2:
+				// t=100: job 0's remaining virtual time hits zero at this
+				// very instant (arrival events outrank the re-armed
+				// completion event at equal times). Migrating it now leaves
+				// a running job with zero remaining, frozen until t=400.
+				ctl.Migrate(0, []int{2})
+				ctl.SetYield(0, 1)
+				ctl.Start(2, []int{3})
+				ctl.SetYield(2, 1)
+			}
+		},
+	}
+	res := mustRun(t, Config{
+		Trace: trace(
+			job(0, 0, 1, 100),
+			job(1, 0, 1, 200),
+			job(2, 100, 1, 50),
+		),
+		Penalty: 300,
+	}, s)
+
+	byID := map[int]JobResult{}
+	for _, jr := range res.Jobs {
+		byID[jr.Job.ID] = jr
+	}
+	if got := byID[0].Finish; got != 400 {
+		t.Errorf("migrated job finish = %v, want 400 (migration at 100 + penalty 300)", got)
+	}
+	if byID[0].Migrations != 1 {
+		t.Errorf("migrations = %d, want 1", byID[0].Migrations)
+	}
+	if got := byID[2].Finish; got != 150 {
+		t.Errorf("bystander job 2 finish = %v, want 150", got)
+	}
+	if got := byID[1].Finish; got != 200 {
+		t.Errorf("bystander job 1 finish = %v, want 200", got)
+	}
+	if res.Makespan != 400 {
+		t.Errorf("makespan = %v, want 400", res.Makespan)
+	}
+}

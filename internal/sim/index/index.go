@@ -1,0 +1,200 @@
+// Package index provides the incremental node-state indexes behind the
+// simulator's O(log n) scheduling queries: a tournament (segment) tree over
+// per-node (relative CPU load, free memory) pairs answering max-load and
+// feasible-argmin queries without scanning every node, and capacity classes
+// grouping nodes with identical capacity vectors so whole-node eligibility
+// counts collapse to one check per distinct node shape.
+//
+// The tree reproduces the simulator's historical O(n) scans bit for bit:
+// leaves store exactly the values the scans computed per node, aggregation
+// uses only comparisons (max/min are exact and associative for floats, NaN
+// excluded), and the argmin query visits leaves in ascending node order so
+// the strict-improvement rule selects the same node as a left-to-right
+// scan.
+package index
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/floats"
+)
+
+// NodeIndex is a tournament tree over the cluster's nodes. Each leaf holds
+// one node's relative CPU load (load divided by the node's CPU capacity)
+// and free memory; internal vertices aggregate the minimum load, maximum
+// load and maximum free memory of their subtree. All three aggregates are
+// maintained on every Set, so max-load reads are O(1) and feasibility-
+// pruned argmin queries are O(log n) amortized.
+type NodeIndex struct {
+	n    int // node count
+	size int // leaf span: smallest power of two >= n
+	// Arrays are 1-based segment-tree layouts of length 2*size: vertex v
+	// has children 2v and 2v+1, leaves live at [size, size+n).
+	minLoad []float64
+	maxLoad []float64
+	maxMem  []float64
+
+	qBest int     // argmin query scratch
+	qLoad float64 // argmin query scratch
+}
+
+// NewNodeIndex builds an index for n nodes with all loads zero and the
+// given per-node free memory. Padding leaves (beyond n) are initialized so
+// they never win any query: +Inf min-load, -Inf max-load and free memory.
+func NewNodeIndex(n int, freeMem func(node int) float64) *NodeIndex {
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	t := &NodeIndex{
+		n:       n,
+		size:    size,
+		minLoad: make([]float64, 2*size),
+		maxLoad: make([]float64, 2*size),
+		maxMem:  make([]float64, 2*size),
+	}
+	for i := 0; i < size; i++ {
+		v := size + i
+		if i < n {
+			t.minLoad[v], t.maxLoad[v], t.maxMem[v] = 0, 0, freeMem(i)
+		} else {
+			t.minLoad[v], t.maxLoad[v], t.maxMem[v] = math.Inf(1), math.Inf(-1), math.Inf(-1)
+		}
+	}
+	for v := size - 1; v >= 1; v-- {
+		t.pull(v)
+	}
+	return t
+}
+
+// N returns the node count the index was built for.
+func (t *NodeIndex) N() int { return t.n }
+
+// fmin/fmax are branchy min/max for NaN-free values: unlike math.Min/Max
+// (real calls on platforms without float min/max instructions) they inline.
+// Leaves never hold NaN, and the ±0 ordering difference from math.Min/Max
+// is invisible to the index's comparisons.
+func fmin(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fmax(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (t *NodeIndex) pull(v int) {
+	l, r := 2*v, 2*v+1
+	t.minLoad[v] = fmin(t.minLoad[l], t.minLoad[r])
+	t.maxLoad[v] = fmax(t.maxLoad[l], t.maxLoad[r])
+	t.maxMem[v] = fmax(t.maxMem[l], t.maxMem[r])
+}
+
+// Set updates one node's leaf to the given relative load and free memory
+// and re-aggregates its root path. The climb stops at the first vertex
+// whose aggregates come out unchanged — its ancestors cannot change either
+// — so updates to non-extremal nodes touch only a level or two.
+func (t *NodeIndex) Set(node int, relLoad, freeMem float64) {
+	v := t.size + node
+	t.minLoad[v], t.maxLoad[v], t.maxMem[v] = relLoad, relLoad, freeMem
+	for v >>= 1; v >= 1; v >>= 1 {
+		l, r := 2*v, 2*v+1
+		nMin := fmin(t.minLoad[l], t.minLoad[r])
+		nMax := fmax(t.maxLoad[l], t.maxLoad[r])
+		nMem := fmax(t.maxMem[l], t.maxMem[r])
+		if nMin == t.minLoad[v] && nMax == t.maxLoad[v] && nMem == t.maxMem[v] {
+			return
+		}
+		t.minLoad[v], t.maxLoad[v], t.maxMem[v] = nMin, nMax, nMem
+	}
+}
+
+// Load returns the relative load currently stored for node.
+func (t *NodeIndex) Load(node int) float64 { return t.minLoad[t.size+node] }
+
+// FreeMem returns the free memory currently stored for node.
+func (t *NodeIndex) FreeMem(node int) float64 { return t.maxMem[t.size+node] }
+
+// MaxLoad returns the maximum relative load over all nodes, floored at
+// zero — exactly the result of the historical scan that started its
+// running maximum at 0 and only took strictly larger values.
+func (t *NodeIndex) MaxLoad() float64 {
+	if t.n == 0 || t.maxLoad[1] <= 0 {
+		return 0
+	}
+	return t.maxLoad[1]
+}
+
+// ArgminLoad returns the lowest-numbered node with the strictly smallest
+// relative load among nodes whose free memory covers memReq under
+// floats.LessEq, or -1 if no node does. LessEq is monotone in its second
+// argument, so subtrees are pruned when even their maximum free memory
+// fails the predicate; right subtrees are pruned when they cannot strictly
+// beat the best load found to their left. Together that reproduces an
+// ascending-node-id scan with the strict-improvement rule, in O(log n)
+// amortized.
+func (t *NodeIndex) ArgminLoad(memReq float64) int {
+	t.qBest, t.qLoad = -1, math.Inf(1)
+	t.argmin(1, memReq)
+	return t.qBest
+}
+
+func (t *NodeIndex) argmin(v int, memReq float64) {
+	if !floats.LessEq(memReq, t.maxMem[v]) {
+		return
+	}
+	if t.qBest >= 0 && t.minLoad[v] >= t.qLoad {
+		return
+	}
+	if v >= t.size {
+		if node := v - t.size; node < t.n && t.minLoad[v] < t.qLoad {
+			t.qBest, t.qLoad = node, t.minLoad[v]
+		}
+		return
+	}
+	t.argmin(2*v, memReq)
+	t.argmin(2*v+1, memReq)
+}
+
+// Classes partitions nodes by capacity-vector equality: all nodes whose
+// Caps compare equal element for element share a class. It returns the
+// per-node class assignment and one representative node id per class (the
+// lowest-numbered member). Predicates that depend only on a node's
+// capacities — batch whole-node eligibility, for one — are then evaluated
+// once per class instead of once per node.
+func Classes(nodes []cluster.NodeSpec) (classOf []int, reps []int) {
+	classOf = make([]int, len(nodes))
+	for i := range nodes {
+		found := -1
+		for c, rep := range reps {
+			if sameCaps(nodes[i].Caps, nodes[rep].Caps) {
+				found = c
+				break
+			}
+		}
+		if found < 0 {
+			found = len(reps)
+			reps = append(reps, i)
+		}
+		classOf[i] = found
+	}
+	return classOf, reps
+}
+
+func sameCaps(a, b cluster.Vec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}

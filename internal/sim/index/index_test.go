@@ -1,0 +1,139 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/floats"
+)
+
+// scanMaxLoad is the historical O(n) max-load scan the tree replaces.
+func scanMaxLoad(load []float64) float64 {
+	m := 0.0
+	for _, l := range load {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// scanArgmin is the historical O(n) least-loaded-feasible-node scan.
+func scanArgmin(load, mem []float64, memReq float64) int {
+	best := -1
+	bestLoad := math.Inf(1)
+	for node := range load {
+		if !floats.LessEq(memReq, mem[node]) {
+			continue
+		}
+		if load[node] < bestLoad {
+			bestLoad = load[node]
+			best = node
+		}
+	}
+	return best
+}
+
+// TestNodeIndexMatchesScan drives random Set/query interleavings against
+// the reference scans for a range of node counts (including non-powers of
+// two, so padding leaves are exercised) and checks every answer agrees.
+func TestNodeIndexMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 64, 100} {
+		load := make([]float64, n)
+		mem := make([]float64, n)
+		for i := range mem {
+			mem[i] = rng.Float64() * 4
+		}
+		idx := NewNodeIndex(n, func(node int) float64 { return mem[node] })
+		for step := 0; step < 2000; step++ {
+			switch rng.Intn(3) {
+			case 0: // mutate one node
+				node := rng.Intn(n)
+				load[node] = rng.Float64() * 3
+				mem[node] = rng.Float64() * 4
+				if rng.Intn(10) == 0 {
+					mem[node] = 0
+				}
+				if rng.Intn(10) == 0 {
+					load[node] = 0
+				}
+				idx.Set(node, load[node], mem[node])
+			case 1:
+				want := scanMaxLoad(load)
+				if got := idx.MaxLoad(); got != want {
+					t.Fatalf("n=%d step=%d: MaxLoad=%v, scan=%v", n, step, got, want)
+				}
+			case 2:
+				memReq := rng.Float64() * 4.5
+				if rng.Intn(8) == 0 {
+					// Exact-boundary request: equality must resolve the
+					// same way in tree and scan (both use floats.LessEq).
+					memReq = mem[rng.Intn(n)]
+				}
+				want := scanArgmin(load, mem, memReq)
+				if got := idx.ArgminLoad(memReq); got != want {
+					t.Fatalf("n=%d step=%d: ArgminLoad(%v)=%d, scan=%d", n, step, memReq, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestNodeIndexTies checks the ascending-node-id tie-break: among equally
+// loaded feasible nodes the lowest id must win, exactly like a
+// left-to-right scan with strict improvement.
+func TestNodeIndexTies(t *testing.T) {
+	idx := NewNodeIndex(6, func(int) float64 { return 1 })
+	if got := idx.ArgminLoad(0.5); got != 0 {
+		t.Fatalf("all-equal argmin = %d, want 0", got)
+	}
+	idx.Set(0, 0, 0.1) // node 0 infeasible for large requests
+	if got := idx.ArgminLoad(0.5); got != 1 {
+		t.Fatalf("argmin with node 0 infeasible = %d, want 1", got)
+	}
+	idx.Set(3, -0.0, 1) // -0 compares equal to 0: node 1 still wins
+	if got := idx.ArgminLoad(0.5); got != 1 {
+		t.Fatalf("argmin with -0 tie = %d, want 1", got)
+	}
+}
+
+// TestNodeIndexEmpty covers the degenerate zero-node index.
+func TestNodeIndexEmpty(t *testing.T) {
+	idx := NewNodeIndex(0, nil)
+	if got := idx.MaxLoad(); got != 0 {
+		t.Fatalf("empty MaxLoad = %v, want 0", got)
+	}
+	if got := idx.ArgminLoad(0); got != -1 {
+		t.Fatalf("empty ArgminLoad = %d, want -1", got)
+	}
+}
+
+// TestClasses groups nodes by capacity-vector equality.
+func TestClasses(t *testing.T) {
+	nodes := []cluster.NodeSpec{
+		{Caps: cluster.Vec{1, 1}},
+		{Caps: cluster.Vec{2, 1}},
+		{Caps: cluster.Vec{1, 1}},
+		{Caps: cluster.Vec{1, 1, 1}},
+		{Caps: cluster.Vec{2, 1}},
+	}
+	classOf, reps := Classes(nodes)
+	wantClass := []int{0, 1, 0, 2, 1}
+	wantReps := []int{0, 1, 3}
+	for i, c := range classOf {
+		if c != wantClass[i] {
+			t.Fatalf("classOf[%d] = %d, want %d", i, c, wantClass[i])
+		}
+	}
+	if len(reps) != len(wantReps) {
+		t.Fatalf("reps = %v, want %v", reps, wantReps)
+	}
+	for i, r := range reps {
+		if r != wantReps[i] {
+			t.Fatalf("reps[%d] = %d, want %d", i, r, wantReps[i])
+		}
+	}
+}

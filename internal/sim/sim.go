@@ -12,6 +12,24 @@
 // A job hit by a preemption or migration is frozen (makes no progress) for
 // the rescheduling penalty while already occupying its destination nodes,
 // which is the paper's pessimistic pause/resume model of migration.
+//
+// The engine is indexed for scale. The event calendar is a binary heap
+// (internal/eventq) holding arrivals, timers and a single tentative
+// completion event that is cancelled and re-armed as yields change. Job
+// listings (pending/running/paused) and the jobs-in-system count are
+// maintained incrementally on state transitions, never recomputed by
+// scanning the trace. Per-node (relative load, free memory) state lives in
+// a tournament-tree index (internal/sim/index) kept current by every
+// occupy/release, so Controller.MaxCPULoad is an O(1) read and
+// feasibility-pruned least-loaded-node queries are O(log n) — each
+// reproducing the historical O(nodes) scans bit for bit.
+//
+// The event loop is a step API: Start seeds the calendar,
+// HasPendingEvents/PeekNextEventTime inspect it, ProcessNextEvent advances
+// the clock by exactly one event, and Finalize produces the Result. Run is
+// precisely a loop over ProcessNextEvent, so callers can single-step a
+// simulation, interleave several simulators under one external clock, or
+// stop between any two events at no cost to the batch path.
 package sim
 
 import (
@@ -25,6 +43,7 @@ import (
 	"repro/internal/eventq"
 	"repro/internal/floats"
 	"repro/internal/placement"
+	"repro/internal/sim/index"
 	"repro/internal/workload"
 )
 
@@ -125,6 +144,7 @@ type jobRT struct {
 	migrations    int
 	lastPauseTime float64 // for same-event pause+resume reclassification
 	lastPauseWas  bool
+	prevPauseTime float64 // lastPauseTime before the most recent Pause, for undo
 	lastNodes     []int
 }
 
@@ -309,10 +329,27 @@ type Simulator struct {
 	// resources are hard constraints: occupied on Start/Resume/Migrate,
 	// released on Pause/completion, never scaled by yield.
 	usedRigid [][]float64
+	// nodeIdx mirrors per-node (relative CPU load, free memory) in a
+	// tournament tree, refreshed whenever a node's occupancy changes, so
+	// MaxCPULoad and the greedy least-loaded-feasible-node query need no
+	// O(nodes) scans.
+	nodeIdx *index.NodeIndex
 
 	completionGen   uint64
 	pendingComplete *eventq.Event
 
+	// Incremental job-state indexes: per-event work follows these instead
+	// of scanning the full trace. Each list holds jids in ascending order;
+	// state transitions maintain them in O(log jobs-in-state).
+	running    []int // jobs in state Running
+	paused     []int // jobs in state Paused
+	visPending []int // Pending jobs whose submission time has been reached
+	bySubmit   []int // all jids ordered by (Submit, jid), activation source
+	nextAct    int   // next bySubmit entry to activate
+	finishBuf  []int // scratch: running snapshot for the completion sweep
+	doneBuf    []int // scratch: jids completed by the current sweep
+
+	started       bool
 	remainingJobs int
 	result        Result
 }
@@ -396,11 +433,25 @@ func New(cfg Config, sched Scheduler) (*Simulator, error) {
 	for r := range s.usedRigid {
 		s.usedRigid[r] = make([]float64, n)
 	}
+	s.nodeIdx = index.NewNodeIndex(n, func(node int) float64 {
+		return floats.NonNeg(s.cl.MemCap(node) - s.usedRigid[0][node])
+	})
 	s.jobs = make([]*jobRT, len(cfg.Trace.Jobs))
 	for i, j := range cfg.Trace.Jobs {
-		s.jobs[i] = &jobRT{job: j, state: Pending, remaining: j.ExecTime, start: -1, lastPauseTime: -1}
+		s.jobs[i] = &jobRT{job: j, state: Pending, remaining: j.ExecTime, start: -1, lastPauseTime: -1, prevPauseTime: -1}
 	}
 	s.remainingJobs = len(s.jobs)
+	s.bySubmit = make([]int, len(s.jobs))
+	for jid := range s.jobs {
+		s.bySubmit[jid] = jid
+	}
+	sort.Slice(s.bySubmit, func(a, b int) bool {
+		ja, jb := s.jobs[s.bySubmit[a]], s.jobs[s.bySubmit[b]]
+		if ja.job.Submit != jb.job.Submit {
+			return ja.job.Submit < jb.job.Submit
+		}
+		return s.bySubmit[a] < s.bySubmit[b]
+	})
 	s.ctl = Controller{sim: s}
 	s.result = Result{
 		Algorithm:   sched.Name(),
@@ -426,11 +477,8 @@ func (s *Simulator) Run() (*Result, error) {
 // event to the hot path.
 func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	done := ctx.Done()
-	for jid := range s.jobs {
-		s.queue.Push(s.jobs[jid].job.Submit, arrivalEv{jid: jid})
-	}
-	s.invoke("init", func() { s.sched.Init(&s.ctl) })
-	for s.remainingJobs > 0 {
+	s.Start()
+	for s.HasPendingJobs() {
 		if done != nil {
 			select {
 			case <-done:
@@ -439,47 +487,106 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 			default:
 			}
 		}
-		ev := s.queue.Pop()
-		if ev == nil {
-			return nil, fmt.Errorf("sim: %s deadlocked at t=%.1f with %d jobs unfinished",
-				s.sched.Name(), s.now, s.remainingJobs)
-		}
-		if ev.Time < s.now-floats.Eps {
-			return nil, fmt.Errorf("sim: event time %.6f precedes clock %.6f", ev.Time, s.now)
-		}
-		s.advance(ev.Time)
-		s.result.Events++
-		switch p := ev.Payload.(type) {
-		case arrivalEv:
-			s.record(TlSubmit, p.jid, 0, 0)
-			if s.obs != nil {
-				s.obs.JobSubmitted(s.now, p.jid)
-			}
-			s.invoke("arrival", func() { s.sched.OnArrival(&s.ctl, p.jid) })
-		case completionEv:
-			if p.gen != s.completionGen {
-				break // stale tentative completion
-			}
-			s.pendingComplete = nil
-			for _, jid := range s.finishDue() {
-				s.invoke("completion", func() { s.sched.OnCompletion(&s.ctl, jid) })
-			}
-		case timerEv:
-			s.invoke("timer", func() { s.sched.OnTimer(&s.ctl, p.tag) })
-		}
-		s.rescheduleCompletion()
-		if s.cfg.CheckInvariants {
-			if err := s.validate(); err != nil {
-				return nil, err
-			}
-		}
-		if s.cfg.MaxSimTime > 0 && s.now > s.cfg.MaxSimTime {
-			return nil, fmt.Errorf("sim: %s exceeded max simulated time %.0f with %d jobs unfinished",
-				s.sched.Name(), s.cfg.MaxSimTime, s.remainingJobs)
+		if err := s.ProcessNextEvent(); err != nil {
+			return nil, err
 		}
 	}
+	return s.Finalize(), nil
+}
+
+// Start seeds the event queue with the trace's arrival events and runs the
+// scheduler's Init hook. It is idempotent; ProcessNextEvent calls it
+// implicitly, so explicit use is only needed by step-driven callers that
+// want to inspect state before the first event.
+func (s *Simulator) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	for jid := range s.jobs {
+		s.queue.Push(s.jobs[jid].job.Submit, arrivalEv{jid: jid})
+	}
+	s.activateUpTo(s.now)
+	s.invoke("init", func() { s.sched.Init(&s.ctl) })
+}
+
+// HasPendingJobs reports whether any job has yet to complete. Run processes
+// events until this turns false.
+func (s *Simulator) HasPendingJobs() bool { return s.remainingJobs > 0 }
+
+// HasPendingEvents reports whether the event queue holds at least one
+// armed event. Timer events may outlive the last job, so this can stay true
+// after HasPendingJobs turns false; Run stops at job completion.
+func (s *Simulator) HasPendingEvents() bool {
+	s.Start()
+	return s.queue.Len() > 0
+}
+
+// PeekNextEventTime returns the timestamp of the next armed event without
+// processing it. ok is false when the queue is empty.
+func (s *Simulator) PeekNextEventTime() (t float64, ok bool) {
+	s.Start()
+	ev := s.queue.Peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.Time, true
+}
+
+// ProcessNextEvent pops the next event, advances the clock and job progress
+// to its timestamp, dispatches the scheduler hook it implies, and re-arms
+// the tentative completion event. It returns an error on scheduler livelock
+// (empty queue with jobs unfinished), on a time-ordering violation, or when
+// the clock passes Config.MaxSimTime. Run is exactly a loop over this.
+func (s *Simulator) ProcessNextEvent() error {
+	s.Start()
+	ev := s.queue.Pop()
+	if ev == nil {
+		return fmt.Errorf("sim: %s deadlocked at t=%.1f with %d jobs unfinished",
+			s.sched.Name(), s.now, s.remainingJobs)
+	}
+	if ev.Time < s.now-floats.Eps {
+		return fmt.Errorf("sim: event time %.6f precedes clock %.6f", ev.Time, s.now)
+	}
+	s.advance(ev.Time)
+	s.result.Events++
+	switch p := ev.Payload.(type) {
+	case arrivalEv:
+		s.record(TlSubmit, p.jid, 0, 0)
+		if s.obs != nil {
+			s.obs.JobSubmitted(s.now, p.jid)
+		}
+		s.invoke("arrival", func() { s.sched.OnArrival(&s.ctl, p.jid) })
+	case completionEv:
+		if p.gen != s.completionGen {
+			break // stale tentative completion
+		}
+		s.pendingComplete = nil
+		for _, jid := range s.finishDue() {
+			s.invoke("completion", func() { s.sched.OnCompletion(&s.ctl, jid) })
+		}
+	case timerEv:
+		s.invoke("timer", func() { s.sched.OnTimer(&s.ctl, p.tag) })
+	}
+	s.rescheduleCompletion()
+	if s.cfg.CheckInvariants {
+		if err := s.validate(); err != nil {
+			return err
+		}
+	}
+	if s.cfg.MaxSimTime > 0 && s.now > s.cfg.MaxSimTime {
+		return fmt.Errorf("sim: %s exceeded max simulated time %.0f with %d jobs unfinished",
+			s.sched.Name(), s.cfg.MaxSimTime, s.remainingJobs)
+	}
+	return nil
+}
+
+// Finalize sorts the per-job results by job ID and returns the accumulated
+// Result. Step-driven callers invoke it once HasPendingJobs turns false;
+// calling it earlier returns the partial result accumulated so far.
+func (s *Simulator) Finalize() *Result {
 	sort.Slice(s.result.Jobs, func(a, b int) bool { return s.result.Jobs[a].Job.ID < s.result.Jobs[b].Job.ID })
-	return &s.result, nil
+	return &s.result
 }
 
 func (s *Simulator) invoke(hook string, fn func()) {
@@ -487,12 +594,7 @@ func (s *Simulator) invoke(hook string, fn func()) {
 		fn()
 		return
 	}
-	inSystem := 0
-	for _, j := range s.jobs {
-		if j.state != Done {
-			inSystem++
-		}
-	}
+	inSystem := s.remainingJobs
 	t0 := time.Now()
 	fn()
 	elapsed := time.Since(t0)
@@ -515,10 +617,8 @@ func (s *Simulator) advance(t float64) {
 		s.now = math.Max(s.now, t)
 		return
 	}
-	for _, j := range s.jobs {
-		if j.state != Running {
-			continue
-		}
+	for _, jid := range s.running {
+		j := s.jobs[jid]
 		if s.hasCost {
 			s.result.NodeCostSeconds += j.costRate * (t - s.now)
 		}
@@ -535,20 +635,51 @@ func (s *Simulator) advance(t float64) {
 		s.result.DeliveredCPUSeconds += progress * j.job.CPUNeed * float64(j.job.Tasks)
 	}
 	s.now = t
+	s.activateUpTo(t)
+}
+
+// activateUpTo makes every still-pending job submitted at or before t
+// visible to the scheduler-facing job listings. bySubmit orders jobs by
+// submission time, so the sweep resumes where the previous one stopped and
+// each job is considered exactly once across the whole run.
+func (s *Simulator) activateUpTo(t float64) {
+	for s.nextAct < len(s.bySubmit) {
+		jid := s.bySubmit[s.nextAct]
+		if s.jobs[jid].job.Submit > t {
+			return
+		}
+		if s.jobs[jid].state == Pending {
+			s.visPending = insertJid(s.visPending, jid)
+		}
+		s.nextAct++
+	}
 }
 
 // finishDue completes every running job whose remaining virtual time has
-// reached zero, releasing its resources, and returns their jids.
+// reached zero and whose freeze has expired, releasing its resources, and
+// returns their jids. The
+// returned slice is scratch storage reused by the next sweep; callers must
+// not retain it across events.
 func (s *Simulator) finishDue() []int {
-	var done []int
-	for jid, j := range s.jobs {
+	// Snapshot the running set: completions mutate s.running in place.
+	s.finishBuf = append(s.finishBuf[:0], s.running...)
+	s.doneBuf = s.doneBuf[:0]
+	for _, jid := range s.finishBuf {
+		j := s.jobs[jid]
 		if j.state != Running || j.remaining > floats.Eps {
+			continue
+		}
+		// A frozen job still pays its rescheduling penalty even with no
+		// virtual time left (it was preempted or migrated at the brink of
+		// completion): it may not finish before frozenUntil.
+		if s.now < j.frozenUntil-floats.Eps {
 			continue
 		}
 		s.releaseNodes(j)
 		j.state = Done
 		j.finish = s.now
 		j.yield = 0
+		s.running = removeJid(s.running, jid)
 		s.remainingJobs--
 		s.result.Jobs = append(s.result.Jobs, JobResult{
 			Job:        j.job,
@@ -565,17 +696,18 @@ func (s *Simulator) finishDue() []int {
 		if s.obs != nil {
 			s.obs.JobCompleted(s.now, jid, j.finish-j.job.Submit)
 		}
-		done = append(done, jid)
+		s.doneBuf = append(s.doneBuf, jid)
 	}
-	return done
+	return s.doneBuf
 }
 
 // rescheduleCompletion computes the earliest tentative completion across
 // running jobs and (re)arms the single completion event.
 func (s *Simulator) rescheduleCompletion() {
 	earliest := math.Inf(1)
-	for _, j := range s.jobs {
-		if j.state != Running || j.yield <= 0 {
+	for _, jid := range s.running {
+		j := s.jobs[jid]
+		if j.yield <= 0 {
 			continue
 		}
 		from := math.Max(s.now, j.frozenUntil)
@@ -660,6 +792,21 @@ func (s *Simulator) occupyNodes(j *jobRT, nodes []int) {
 			}
 		}
 	}
+	// Refresh after all occupancy is accumulated: a node listed once per
+	// task then re-derives its leaf from final values, and repeats beyond
+	// the first stop at the leaf's unchanged parent.
+	for _, node := range nodes {
+		s.refreshNode(node)
+	}
+}
+
+// refreshNode re-derives node's tournament-tree leaf from its live
+// occupancy, using exactly the expressions of the historical per-node
+// scans (Controller.MaxCPULoad, FreeMem).
+func (s *Simulator) refreshNode(node int) {
+	s.nodeIdx.Set(node,
+		s.cpuLoad[node]/s.cl.CPUCap(node),
+		floats.NonNeg(s.cl.MemCap(node)-s.usedRigid[0][node]))
 }
 
 func (s *Simulator) releaseNodes(j *jobRT) {
@@ -674,8 +821,33 @@ func (s *Simulator) releaseNodes(j *jobRT) {
 			}
 		}
 	}
+	for _, node := range j.nodes {
+		s.refreshNode(node)
+	}
 	j.nodes = nil
 	j.costRate = 0
+}
+
+// insertJid inserts jid into the ascending list, keeping it sorted. A jid
+// already present is left alone, so state transitions need no pre-checks.
+func insertJid(list []int, jid int) []int {
+	i := sort.SearchInts(list, jid)
+	if i < len(list) && list[i] == jid {
+		return list
+	}
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = jid
+	return list
+}
+
+// removeJid removes jid from the ascending list, a no-op if absent.
+func removeJid(list []int, jid int) []int {
+	i := sort.SearchInts(list, jid)
+	if i >= len(list) || list[i] != jid {
+		return list
+	}
+	return append(list[:i], list[i+1:]...)
 }
 
 // memGB returns the job's total memory footprint in gigabytes, the unit of
@@ -690,7 +862,25 @@ func (s *Simulator) validate() error {
 	d := s.cl.D()
 	usedCPU := make([]float64, n)
 	usedRigid := make([]float64, n*(d-1))
+	remaining := 0
 	for jid, j := range s.jobs {
+		inList := func(list []int) bool {
+			i := sort.SearchInts(list, jid)
+			return i < len(list) && list[i] == jid
+		}
+		if inList(s.running) != (j.state == Running) {
+			return fmt.Errorf("sim: job %d in state %v, running-index membership %v", jid, j.state, inList(s.running))
+		}
+		if inList(s.paused) != (j.state == Paused) {
+			return fmt.Errorf("sim: job %d in state %v, paused-index membership %v", jid, j.state, inList(s.paused))
+		}
+		if want := j.state == Pending && j.job.Submit <= s.now; inList(s.visPending) != want {
+			return fmt.Errorf("sim: job %d in state %v submit=%g now=%g, pending-index membership %v",
+				jid, j.state, j.job.Submit, s.now, inList(s.visPending))
+		}
+		if j.state != Done {
+			remaining++
+		}
 		switch j.state {
 		case Running:
 			if len(j.nodes) != j.job.Tasks {
@@ -713,6 +903,9 @@ func (s *Simulator) validate() error {
 		if j.remaining < -floats.Eps {
 			return fmt.Errorf("sim: job %d has negative remaining work %g", jid, j.remaining)
 		}
+	}
+	if remaining != s.remainingJobs {
+		return fmt.Errorf("sim: remaining-jobs counter %d disagrees with state scan %d", s.remainingJobs, remaining)
 	}
 	for node := 0; node < n; node++ {
 		if usedCPU[node] > s.cl.CPUCap(node)+capTol {

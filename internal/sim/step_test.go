@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// contendedScript returns a fresh deterministic scheduler exercising the
+// interesting control paths: first-fit placement with queueing, uniform
+// yield sharing, and a timer-driven pause/resume (migration) of job 0.
+// Each call returns an independent instance so two simulators never share
+// state.
+func contendedScript() *script {
+	startAll := func(ctl *Controller) {
+		const eps = 1e-9
+		for _, jid := range ctl.JobsInState(Pending) {
+			ji := ctl.Job(jid)
+			extra := make([]float64, ctl.NumNodes())
+			nodes := make([]int, 0, ji.Job.Tasks)
+			for task := 0; task < ji.Job.Tasks; task++ {
+				placed := false
+				for n := 0; n < ctl.NumNodes() && !placed; n++ {
+					if ctl.FreeMem(n)-extra[n] >= ji.Job.MemReq-eps {
+						nodes = append(nodes, n)
+						extra[n] += ji.Job.MemReq
+						placed = true
+					}
+				}
+				if !placed {
+					break
+				}
+			}
+			if len(nodes) == ji.Job.Tasks {
+				ctl.Start(jid, nodes)
+			}
+		}
+		running := ctl.JobsInState(Running)
+		for _, jid := range running {
+			ctl.SetYield(jid, 0)
+		}
+		y := 1 / math.Max(1, ctl.MaxCPULoad())
+		for _, jid := range running {
+			ctl.SetYield(jid, y)
+		}
+	}
+	return &script{
+		onInit: func(ctl *Controller) {
+			ctl.SetTimer(15, 1)
+			ctl.SetTimer(25, 2)
+		},
+		onArrival:    func(ctl *Controller, jid int) { startAll(ctl) },
+		onCompletion: func(ctl *Controller, jid int) { startAll(ctl) },
+		onTimer: func(ctl *Controller, tag int64) {
+			switch tag {
+			case 1:
+				ctl.Pause(0)
+			case 2:
+				ctl.Resume(0, []int{2, 3})
+			}
+			startAll(ctl)
+		},
+	}
+}
+
+func stepTrace() Config {
+	return Config{
+		Trace: trace(
+			job(0, 0, 2, 100),
+			job(1, 10, 2, 50),
+			job(2, 20, 4, 30),
+		),
+		Penalty:         300,
+		CheckInvariants: true,
+	}
+}
+
+// TestStepAPIMatchesRun drives one simulator with Run and a second,
+// identically configured one through the step API —
+// Start/HasPendingEvents/PeekNextEventTime/ProcessNextEvent/Finalize — and
+// demands bit-identical results. Run is documented as exactly a loop over
+// ProcessNextEvent; this pins that equivalence.
+func TestStepAPIMatchesRun(t *testing.T) {
+	ran, err := New(stepTrace(), contendedScript())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ran.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stepped, err := New(stepTrace(), contendedScript())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepped.Start()
+	prev := math.Inf(-1)
+	steps := 0
+	for stepped.HasPendingJobs() {
+		if !stepped.HasPendingEvents() {
+			t.Fatal("pending jobs but no pending events")
+		}
+		next, ok := stepped.PeekNextEventTime()
+		if !ok {
+			t.Fatal("PeekNextEventTime disagrees with HasPendingEvents")
+		}
+		if next < prev {
+			t.Fatalf("event time went backwards: %v after %v", next, prev)
+		}
+		prev = next
+		if err := stepped.ProcessNextEvent(); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+	}
+	got := stepped.Finalize()
+
+	if steps != want.Events {
+		t.Errorf("stepped %d events, Run counted %d", steps, want.Events)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("step-driven result differs from Run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestResumeUndoRestoresLastPause pins the refund semantics of a same-event
+// pause+resume on the same node multiset: the pause never physically
+// happened, so JobInfo.LastPause must report the previous real pause time
+// (or -1 when there was none), not the refunded event's timestamp.
+func TestResumeUndoRestoresLastPause(t *testing.T) {
+	afterUndo := math.NaN()
+	afterReal := math.NaN()
+	s := &script{
+		onArrival: func(ctl *Controller, jid int) {
+			ctl.Start(jid, []int{0})
+			ctl.SetYield(jid, 1)
+		},
+		onInit: func(ctl *Controller) {
+			ctl.SetTimer(10, 1)
+			ctl.SetTimer(20, 2)
+			ctl.SetTimer(30, 3)
+		},
+		onTimer: func(ctl *Controller, tag int64) {
+			switch tag {
+			case 1: // real pause at t=10
+				ctl.Pause(0)
+			case 2: // real resume at t=20
+				ctl.Resume(0, []int{0})
+				ctl.SetYield(0, 1)
+				afterReal = ctl.Job(0).LastPause
+			case 3: // same event, same nodes: a refunded pause
+				ctl.Pause(0)
+				ctl.Resume(0, []int{0})
+				ctl.SetYield(0, 1)
+				afterUndo = ctl.Job(0).LastPause
+			}
+		},
+	}
+	res := mustRun(t, Config{Trace: trace(job(0, 0, 1, 100))}, s)
+	if afterReal != 10 {
+		t.Errorf("LastPause after real resume = %v, want 10", afterReal)
+	}
+	if afterUndo != 10 {
+		t.Errorf("LastPause after refunded pause+resume = %v, want 10 (the previous real pause)", afterUndo)
+	}
+	if res.Jobs[0].Pauses != 1 {
+		t.Errorf("recorded pauses = %d, want 1 (the refunded pause must not count)", res.Jobs[0].Pauses)
+	}
+	if res.PreemptionOps != 1 {
+		t.Errorf("PreemptionOps = %d, want 1", res.PreemptionOps)
+	}
+}
+
+// TestResumeUndoNeverPaused covers the refund when the job had no earlier
+// real pause: LastPause must return to its never-paused sentinel.
+func TestResumeUndoNeverPaused(t *testing.T) {
+	last := math.NaN()
+	s := &script{
+		onArrival: func(ctl *Controller, jid int) {
+			ctl.Start(jid, []int{0})
+			ctl.SetYield(jid, 1)
+		},
+		onInit: func(ctl *Controller) { ctl.SetTimer(10, 1) },
+		onTimer: func(ctl *Controller, tag int64) {
+			ctl.Pause(0)
+			ctl.Resume(0, []int{0})
+			ctl.SetYield(0, 1)
+			last = ctl.Job(0).LastPause
+		},
+	}
+	res := mustRun(t, Config{Trace: trace(job(0, 0, 1, 100))}, s)
+	if last != -1 {
+		t.Errorf("LastPause after refunded first pause = %v, want -1 (never paused)", last)
+	}
+	if res.Jobs[0].Pauses != 0 || res.PreemptionOps != 0 {
+		t.Errorf("pauses/ops = %d/%d, want 0/0", res.Jobs[0].Pauses, res.PreemptionOps)
+	}
+}

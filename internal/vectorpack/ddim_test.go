@@ -21,6 +21,33 @@ import (
 	"repro/internal/floats"
 )
 
+// chain is the historical per-item singly linked list over a sorted item
+// order (the production kernel now chains same-requirement groups); it is
+// kept here verbatim as part of the frozen PR 3 reference below.
+type chain struct {
+	order []int // item indices in sorted order
+	next  []int // next[k] = position after k in the chain, len(order) = end
+	head  int
+}
+
+func newChain(order []int) *chain {
+	c := &chain{order: order, next: make([]int, len(order)), head: 0}
+	for k := range c.next {
+		c.next[k] = k + 1
+	}
+	return c
+}
+
+// unlink removes position pos (whose predecessor is prev, -1 for the head)
+// from the chain.
+func (c *chain) unlink(pos, prev int) {
+	if prev < 0 {
+		c.head = c.next[pos]
+	} else {
+		c.next[prev] = c.next[pos]
+	}
+}
+
 // legacyMCB8Pack is the historical two-resource MCB8 exactly as shipped in
 // PR 3 (absolute-requirement sorting, CPU/memory lists), kept verbatim as
 // the reference for the d=2 equivalence lock below.

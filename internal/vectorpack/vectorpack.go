@@ -47,6 +47,7 @@ package vectorpack
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/cluster"
@@ -125,8 +126,15 @@ func dims(nodes []cluster.NodeSpec) int {
 // of NaN. On the paper's homogeneous platform every entry is exactly 1.0
 // and normalization is the identity.
 func meanCaps(nodes []cluster.NodeSpec) cluster.Vec {
-	d := dims(nodes)
-	norm := make(cluster.Vec, d)
+	return meanCapsInto(nodes, make(cluster.Vec, dims(nodes)))
+}
+
+// meanCapsInto is meanCaps computing into a caller-provided d-sized vector.
+func meanCapsInto(nodes []cluster.NodeSpec, norm cluster.Vec) cluster.Vec {
+	d := len(norm)
+	for k := range norm {
+		norm[k] = 0
+	}
 	for _, n := range nodes {
 		for k := 0; k < d; k++ {
 			norm[k] += n.Caps[k]
@@ -229,28 +237,54 @@ func (m MCB8) WithObjective(obj placement.Objective) Packer {
 	return m
 }
 
-// chain is a singly linked list over a sorted item order; placed items are
-// unlinked in O(1) so repeated first-fit scans never revisit them.
-type chain struct {
-	order []int // item indices in sorted order
+// PackBuffer holds the scratch state of one MCB8.PackBuf call so repeated
+// packings — the min-yield binary search runs dozens per scheduling event —
+// reuse their allocations. The zero value is ready; a buffer must not be
+// shared between concurrent packings. The assignment returned by PackBuf
+// aliases the buffer and is only valid until the next PackBuf call with the
+// same buffer.
+type PackBuffer struct {
+	assign   []int
+	norm     cluster.Vec
+	gFirst   []int // group -> index of its first (lowest) item
+	gCount   []int // group -> number of items
+	gUsed    []int // group -> items already placed this packing
+	gMax     []float64
+	gHeavy   []int
+	listMem  []int // backing for the d per-dimension group lists
+	listLen  []int
+	listOff  []int
+	listFill []int
+	chains   []groupChain
+	free     []float64
+	dimOrder []int
+}
+
+// groupChain is a singly linked list over a sorted group order; exhausted
+// groups are unlinked in O(1) so repeated first-fit scans never revisit
+// them.
+type groupChain struct {
+	order []int // group ids in sorted order
 	next  []int // next[k] = position after k in the chain, len(order) = end
 	head  int
 }
 
-func newChain(order []int) *chain {
-	c := &chain{order: order, next: make([]int, len(order)), head: 0}
-	for k := range c.next {
-		c.next[k] = k + 1
+func (c *groupChain) reset(order []int) {
+	c.order = order
+	c.next = c.next[:0]
+	for k := range order {
+		c.next = append(c.next, k+1)
 	}
-	return c
+	c.head = 0
 }
 
 // findFit returns the chain position (and its predecessor) of the first
-// chained item fitting the free vector, or (-1, -1).
-func (c *chain) findFit(items []Item, free []float64) (pos, prev int) {
+// chained group fitting the free vector, or (-1, -1). All items of a group
+// share one requirement vector, so one fits test covers the whole group.
+func (c *groupChain) findFit(b *PackBuffer, items []Item, free []float64) (pos, prev int) {
 	prev = -1
 	for k := c.head; k < len(c.order); k = c.next[k] {
-		if fits(items[c.order[k]].Req, free) {
+		if fits(items[b.gFirst[c.order[k]]].Req, free) {
 			return k, prev
 		}
 		prev = k
@@ -260,7 +294,7 @@ func (c *chain) findFit(items []Item, free []float64) (pos, prev int) {
 
 // unlink removes position pos (whose predecessor is prev, -1 for the head)
 // from the chain.
-func (c *chain) unlink(pos, prev int) {
+func (c *groupChain) unlink(pos, prev int) {
 	if prev < 0 {
 		c.head = c.next[pos]
 	} else {
@@ -268,19 +302,37 @@ func (c *chain) unlink(pos, prev int) {
 	}
 }
 
-// firstFit finds the first chained item fitting the free vector, unlinks
-// it and returns its item index, or -1.
-func (c *chain) firstFit(items []Item, free []float64) int {
-	pos, prev := c.findFit(items, free)
-	if pos < 0 {
-		return -1
+// take consumes the next item of the group at chain position pos (items of
+// a group are handed out in ascending index order, exactly the tie-by-index
+// order of the per-item formulation) and unlinks the group once empty.
+func (b *PackBuffer) take(list, pos, prev int) int {
+	c := &b.chains[list]
+	g := c.order[pos]
+	item := b.gFirst[g] + b.gUsed[g]
+	b.gUsed[g]++
+	if b.gUsed[g] == b.gCount[g] {
+		c.unlink(pos, prev)
 	}
-	c.unlink(pos, prev)
-	return c.order[pos]
+	return item
 }
 
 // Pack implements Packer.
 func (m MCB8) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
+	var b PackBuffer
+	assign, ok := m.PackBuf(items, nodes, &b)
+	if !ok {
+		return nil, false
+	}
+	return assign, ok
+}
+
+// PackBuf is Pack with caller-provided scratch. Runs of consecutive items
+// sharing one requirement vector (all tasks of one job, as built by the
+// core allocators) are collapsed into a single group, so the classify/sort/
+// first-fit machinery works on O(jobs) groups instead of O(tasks) items;
+// items that share nothing degrade to singleton groups and reproduce the
+// per-item algorithm exactly. The returned assignment aliases buf.
+func (m MCB8) PackBuf(items []Item, nodes []cluster.NodeSpec, b *PackBuffer) ([]int, bool) {
 	if len(items) == 0 {
 		return []int{}, true
 	}
@@ -288,41 +340,94 @@ func (m MCB8) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
 		return nil, false
 	}
 	d := dims(nodes)
-	norm := meanCaps(nodes)
-	// Classify every item by its dominant (largest capacity-normalized)
-	// dimension — the corner of the capacity space it leans into — and
-	// remember its sort key. Ties go to the lowest dimension, so with d=2
-	// an equal-requirement item counts as CPU-heavy, as published.
-	maxReq := make([]float64, len(items))
-	lists := make([][]int, d)
-	for i, it := range items {
-		m, heavy := normMax(it.Req, norm)
-		maxReq[i] = m
-		lists[heavy] = append(lists[heavy], i)
+	norm := meanCapsInto(nodes, b.normBuf(d))
+	// Collapse adjacent items with the same backing requirement vector
+	// into groups, classify every group by its dominant (largest
+	// capacity-normalized) dimension — the corner of the capacity space it
+	// leans into — and remember its sort key. Ties go to the lowest
+	// dimension, so with d=2 an equal-requirement group counts as
+	// CPU-heavy, as published.
+	b.gFirst, b.gCount, b.gUsed, b.gMax = b.gFirst[:0], b.gCount[:0], b.gUsed[:0], b.gMax[:0]
+	b.gHeavy = b.gHeavy[:0]
+	if cap(b.listLen) < d {
+		b.listLen = make([]int, d)
+		b.listOff = make([]int, d+1)
+		b.listFill = make([]int, d)
 	}
-	// Sort each list by non-increasing largest normalized requirement;
-	// break ties by index for determinism.
-	chains := make([]*chain, d)
-	for k, list := range lists {
-		sort.SliceStable(list, func(a, b int) bool {
-			if maxReq[list[a]] != maxReq[list[b]] {
-				return maxReq[list[a]] > maxReq[list[b]]
+	b.listLen, b.listOff, b.listFill = b.listLen[:d], b.listOff[:d+1], b.listFill[:d]
+	for k := range b.listLen {
+		b.listLen[k] = 0
+	}
+	for i := 0; i < len(items); {
+		req := items[i].Req
+		j := i + 1
+		if len(req) > 0 {
+			for j < len(items) && len(items[j].Req) == len(req) && &items[j].Req[0] == &req[0] {
+				j++
 			}
-			return list[a] < list[b]
+		}
+		mx, heavy := normMax(req, norm)
+		b.gFirst = append(b.gFirst, i)
+		b.gCount = append(b.gCount, j-i)
+		b.gUsed = append(b.gUsed, 0)
+		b.gMax = append(b.gMax, mx)
+		b.gHeavy = append(b.gHeavy, heavy)
+		b.listLen[heavy]++
+		i = j
+	}
+	// Bucket the groups into the d per-dimension lists (one shared backing
+	// array, offsets from the counts) and sort each list by non-increasing
+	// largest normalized requirement, ties by first item index — the exact
+	// expansion of the per-item (key desc, index asc) order, since a
+	// group's items occupy consecutive indices.
+	if cap(b.listMem) < len(b.gFirst) {
+		b.listMem = make([]int, len(b.gFirst))
+	}
+	b.listMem = b.listMem[:len(b.gFirst)]
+	off := b.listOff
+	off[0] = 0
+	for k := 0; k < d; k++ {
+		off[k+1] = off[k] + b.listLen[k]
+		b.listFill[k] = off[k]
+	}
+	for g, heavy := range b.gHeavy {
+		b.listMem[b.listFill[heavy]] = g
+		b.listFill[heavy]++
+	}
+	if cap(b.chains) < d {
+		b.chains = make([]groupChain, d)
+	}
+	b.chains = b.chains[:d]
+	for k := 0; k < d; k++ {
+		list := b.listMem[off[k]:off[k+1]]
+		slices.SortFunc(list, func(ga, gb int) int {
+			if b.gMax[ga] != b.gMax[gb] {
+				if b.gMax[ga] > b.gMax[gb] {
+					return -1
+				}
+				return 1
+			}
+			return b.gFirst[ga] - b.gFirst[gb]
 		})
-		chains[k] = newChain(list)
+		b.chains[k].reset(list)
 	}
 
-	assign := make([]int, len(items))
+	if cap(b.assign) < len(items) {
+		b.assign = make([]int, len(items))
+	}
+	assign := b.assign[:len(items)]
 	for i := range assign {
 		assign[i] = -1
 	}
-	free := make([]float64, d)
-	dimOrder := make([]int, d)
+	if cap(b.free) < d {
+		b.free = make([]float64, d)
+		b.dimOrder = make([]int, d)
+	}
+	free, dimOrder := b.free[:d], b.dimOrder[:d]
 	placed := 0
 	// The published kernel opens bins in index order; only a configured
 	// objective pays for an explicit order (Pack sits inside the min-yield
-	// binary search, so the nil path must not allocate).
+	// binary search, so the nil path must not allocate in steady state).
 	var order []int
 	if m.Objective != nil {
 		order = binOrder(m.Objective, nodes, d, norm)
@@ -342,22 +447,22 @@ func (m MCB8) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
 		// node every item fits, so each list's candidate is its head and
 		// the behaviour is identical to the homogeneous algorithm; a thin
 		// node may have to skip items too large for it.
-		seed, seedList, seedPos, seedPrev := -1, -1, -1, -1
+		seedList, seedPos, seedPrev := -1, -1, -1
 		best := math.Inf(-1)
 		for k := 0; k < d; k++ {
-			pos, prev := chains[k].findFit(items, free)
+			pos, prev := b.chains[k].findFit(b, items, free)
 			if pos < 0 {
 				continue
 			}
-			if idx := chains[k].order[pos]; maxReq[idx] > best {
-				best = maxReq[idx]
-				seed, seedList, seedPos, seedPrev = idx, k, pos, prev
+			if g := b.chains[k].order[pos]; b.gMax[g] > best {
+				best = b.gMax[g]
+				seedList, seedPos, seedPrev = k, pos, prev
 			}
 		}
-		if seed < 0 {
+		if seedList < 0 {
 			continue
 		}
-		chains[seedList].unlink(seedPos, seedPrev)
+		seed := b.take(seedList, seedPos, seedPrev)
 		assign[seed] = node
 		for k := 0; k < d; k++ {
 			free[k] -= items[seed].Req[k]
@@ -374,7 +479,8 @@ func (m MCB8) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
 			headroomOrder(free, caps, dimOrder)
 			idx := -1
 			for _, k := range dimOrder {
-				if idx = chains[k].firstFit(items, free); idx >= 0 {
+				if pos, prev := b.chains[k].findFit(b, items, free); pos >= 0 {
+					idx = b.take(k, pos, prev)
 					break
 				}
 			}
@@ -392,6 +498,15 @@ func (m MCB8) Pack(items []Item, nodes []cluster.NodeSpec) ([]int, bool) {
 		return nil, false
 	}
 	return assign, true
+}
+
+// normBuf returns the buffer's d-sized normalization scratch.
+func (b *PackBuffer) normBuf(d int) cluster.Vec {
+	if cap(b.norm) < d {
+		b.norm = make(cluster.Vec, d)
+	}
+	b.norm = b.norm[:d]
+	return b.norm
 }
 
 // binIndices is the identity bin order of the published kernels.
