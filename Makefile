@@ -16,20 +16,20 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
 
 # Benchmark results as committable JSON (see BENCH_PR*.json baselines).
 # Override BENCH_OUT to choose the output file.
 BENCH_OUT ?= BENCH.json
 bench-json:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./... | $(GO) run ./cmd/dfrs-bench > $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./... | $(GO) run ./cmd/dfrs-bench > $(BENCH_OUT)
 
 # Compare the current PR's committed baseline against the previous one and
 # flag >10% ns/op regressions. Non-blocking in CI (single-iteration
 # benchmark timings are noisy; treat failures as a prompt to re-measure,
 # not a verdict). Override BENCH_OLD/BENCH_NEW to diff other baselines.
-BENCH_OLD ?= BENCH_PR5.json
-BENCH_NEW ?= BENCH_PR6.json
+BENCH_OLD ?= BENCH_PR6.json
+BENCH_NEW ?= BENCH_PR7.json
 bench-compare:
 	$(GO) run ./cmd/dfrs-bench -compare -old $(BENCH_OLD) -new $(BENCH_NEW) -threshold 10
 

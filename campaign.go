@@ -75,6 +75,10 @@ type CampaignOptions struct {
 	// transitions. Per-cell event sequences are deterministic and
 	// identical for any worker count.
 	Observer func(CampaignCell) Observer
+	// Stream runs every cell through the simulator's streaming path (lazy
+	// job admission, pooled runtime records). Records are identical to a
+	// materialized run; the switch bounds live memory on large traces.
+	Stream bool
 }
 
 // CampaignRun is a campaign in flight, started by Campaign.
@@ -100,7 +104,7 @@ func Campaign(ctx context.Context, g Grid, opt CampaignOptions) (*CampaignRun, e
 	if opt.Resume && opt.Checkpoint == "" {
 		return nil, fmt.Errorf("dfrs: CampaignOptions.Resume requires Checkpoint")
 	}
-	runner := &campaign.Runner{Workers: opt.Workers}
+	runner := &campaign.Runner{Workers: opt.Workers, Stream: opt.Stream}
 	var checkpoint *os.File
 	switch {
 	case opt.Checkpoint != "" && opt.Resume:

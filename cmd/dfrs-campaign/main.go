@@ -63,6 +63,7 @@ func main() {
 		resume    = flag.Bool("resume", false, "skip cells already present in -out and append the rest")
 		check     = flag.Bool("check", false, "enable per-event simulator invariant checking")
 		timing    = flag.Bool("timing", false, "record wall-clock scheduler timing aggregates (nondeterministic)")
+		stream    = flag.Bool("stream", false, "run cells through the streaming simulator path (lazy admission, pooled records); identical output, bounded live memory")
 		quiet     = flag.Bool("q", false, "suppress progress output on stderr")
 	)
 	flag.Parse()
@@ -97,7 +98,7 @@ func main() {
 	g.Check = *check
 	g.Timing = *timing
 
-	opt := dfrs.CampaignOptions{Workers: *workers}
+	opt := dfrs.CampaignOptions{Workers: *workers, Stream: *stream}
 	if !*quiet {
 		opt.Progress = func(done, total int, rec dfrs.CampaignRecord) {
 			fmt.Fprintf(os.Stderr, "dfrs-campaign: [%d/%d] %s\n", done, total, rec.Key)

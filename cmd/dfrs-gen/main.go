@@ -32,8 +32,18 @@ func main() {
 		gpuFrac = flag.Float64("gpu-frac", 0, "fraction of jobs given a GPU demand in [0.1,0.5] (adds a gpu column to the trace format)")
 		swfFl   = flag.Bool("swf", false, "emit raw SWF instead of the trace format (hpc2n only)")
 		name    = flag.String("name", "", "trace name (default derived from model and seed)")
+		stream  = flag.Bool("stream", false, "generate and emit jobs one at a time without materializing the trace (lublin with -load 0 only; output is identical except that -gpu-frac always emits the gpu column)")
 	)
 	flag.Parse()
+
+	if *stream {
+		if *model != "lublin" {
+			fatal(fmt.Errorf("bad -stream: model %q materializes inherently (lublin only)", *model))
+		}
+		if *load > 0 {
+			fatal(fmt.Errorf("bad -stream: -load %g needs the whole trace to rescale (use -load 0)", *load))
+		}
+	}
 
 	// SIGINT/SIGTERM cancels the context; the context-aware writer then
 	// fails the in-flight encode so the command exits promptly instead of
@@ -48,6 +58,12 @@ func main() {
 		n := *name
 		if n == "" {
 			n = fmt.Sprintf("lublin-seed%d", *seed)
+		}
+		if *stream {
+			if err := streamLublin(out, *seed, *nodes, *jobs, n, *gpuFrac); err != nil {
+				fatal(err)
+			}
+			return
 		}
 		var err error
 		tr, err = lublin.GenerateTrace(rng.New(*seed), lublin.DefaultParams(*nodes), *jobs, n)
@@ -99,6 +115,47 @@ func main() {
 	if err := tr.Encode(out); err != nil {
 		fatal(err)
 	}
+}
+
+// streamLublin is the -stream pipeline: generate a raw job, annotate it,
+// optionally attach a GPU demand, encode it, discard it. Each stage pulls
+// from the same deterministic substream as its batch counterpart, in the
+// same per-job order, so the emitted rows match GenerateTrace (+
+// AttachGPUDemand) byte for byte — except that the column layout is fixed
+// up front (a streaming writer cannot scan the jobs), so -gpu-frac emits
+// the gpu column even if the Bernoulli draws happen to select no job.
+func streamLublin(out io.Writer, seed uint64, nodes, njobs int, name string, gpuFrac float64) error {
+	if njobs < 0 {
+		return fmt.Errorf("lublin: %d jobs requested", njobs)
+	}
+	root := rng.New(seed)
+	raw, err := lublin.DefaultParams(nodes).Stream(root.Split("arrivals"))
+	if err != nil {
+		return err
+	}
+	ann := root.Split("annotations")
+	var gpu *rng.Source
+	extraDims := 0
+	if gpuFrac > 0 {
+		gpu = rng.New(seed).Split("gpu")
+		extraDims = 1
+	}
+	meta := &workload.Trace{Name: name, Nodes: nodes, NodeMemGB: lublin.NodeMemGB}
+	enc := workload.NewTraceEncoder(out, meta, false, extraDims)
+	for i := 0; i < njobs; i++ {
+		j := lublin.AnnotateJob(ann, raw.Next(), i)
+		if gpu != nil && gpu.Bernoulli(gpuFrac) {
+			u := gpu.Float64()
+			j.Extra = []float64{workload.GPUDemandLo + (workload.GPUDemandHi-workload.GPUDemandLo)*u}
+		}
+		if err := j.Validate(nodes); err != nil {
+			return err
+		}
+		if err := enc.Write(j); err != nil {
+			return err
+		}
+	}
+	return enc.Flush()
 }
 
 func fatal(err error) {

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -46,6 +47,10 @@ func main() {
 		gantt     = flag.Bool("gantt", false, "print an ASCII Gantt chart of the schedule")
 		ganttJobs = flag.Int("gantt-jobs", 40, "max jobs shown in the Gantt chart")
 		tlCSV     = flag.String("timeline-csv", "", "write every per-job scheduling transition as CSV to this file")
+		stream    = flag.Bool("stream", false, "stream the trace through the simulator without materializing the job list (-trace file, or stdin when -trace is empty)")
+		summary   = flag.Bool("summary-only", false, "with -stream: aggregate per-job metrics online and drop per-job results, bounding live memory by jobs in system")
+		maxHeapMB = flag.Int("max-heap-mb", 0, "fail if the live Go heap exceeds this many MiB after the run (0 = no check)")
+		maxYears  = flag.Float64("max-sim-years", 50, "livelock guard: fail a run whose simulated clock passes this many years (long natural-load traces need more)")
 	)
 	flag.Parse()
 
@@ -58,7 +63,19 @@ func main() {
 
 	// Validate flags eagerly so misuse fails with a clear message instead
 	// of a generator or simulator error deep in the run.
-	if *tracePath == "" {
+	if *summary && !*stream {
+		fatal(errors.New("bad -summary-only: requires -stream"))
+	}
+	if *summary && (*perJob || *gantt || *tlCSV != "") {
+		fatal(errors.New("bad -summary-only: incompatible with -jobs-detail, -gantt and -timeline-csv (they need retained per-job results)"))
+	}
+	if *maxHeapMB < 0 {
+		fatal(fmt.Errorf("bad -max-heap-mb: negative limit %d", *maxHeapMB))
+	}
+	if *maxYears <= 0 {
+		fatal(fmt.Errorf("bad -max-sim-years: non-positive guard %g", *maxYears))
+	}
+	if *tracePath == "" && !*stream {
 		if *nodes <= 0 {
 			fatal(fmt.Errorf("bad -nodes: cluster size %d, want at least 1", *nodes))
 		}
@@ -107,11 +124,18 @@ func main() {
 	ctx, stop := cli.SignalContext()
 	defer stop()
 
-	tr, err := loadTrace(*tracePath, *seed, *nodes, *jobs, *load, *gpuFrac)
-	if err != nil {
-		fatal(err)
+	var tr dfrs.Trace
+	if !*stream {
+		var err error
+		tr, err = loadTrace(*tracePath, *seed, *nodes, *jobs, *load, *gpuFrac)
+		if err != nil {
+			fatal(err)
+		}
 	}
-	opts := []dfrs.RunOption{dfrs.WithPenalty(*penalty), dfrs.WithNodeMix(*nodeMix)}
+	opts := []dfrs.RunOption{
+		dfrs.WithPenalty(*penalty), dfrs.WithNodeMix(*nodeMix),
+		dfrs.WithMaxSimTime(*maxYears * 365 * 24 * 3600),
+	}
 	if *resources != "" {
 		opts = append(opts, dfrs.WithResources(strings.Split(*resources, ",")...))
 	}
@@ -127,7 +151,34 @@ func main() {
 	if *events {
 		opts = append(opts, dfrs.WithObserver(stderrObserver{}))
 	}
-	res, err := dfrs.Run(ctx, tr, *alg, opts...)
+	// -summary-only folds each job's stretch into running aggregates as it
+	// completes, instead of retaining the per-job result list. The average
+	// is summed in completion order, so it can differ from the
+	// materialized report in the last float bits; max is order-free.
+	var agg *onlineAgg
+	if *summary {
+		agg = &onlineAgg{}
+		opts = append(opts, dfrs.WithJobSink(agg.add))
+	}
+	var res dfrs.Result
+	var err error
+	traceLabel := *tracePath
+	if *stream {
+		in := os.Stdin
+		if *tracePath != "" {
+			f, oerr := os.Open(*tracePath)
+			if oerr != nil {
+				fatal(oerr)
+			}
+			defer f.Close()
+			in = f
+		} else {
+			traceLabel = "stdin"
+		}
+		res, err = dfrs.RunStream(ctx, in, *alg, opts...)
+	} else {
+		res, err = dfrs.Run(ctx, tr, *alg, opts...)
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "dfrs-sim: interrupted; partial run discarded")
@@ -136,8 +187,23 @@ func main() {
 		fatal(err)
 	}
 	costs := res.Costs()
-	fmt.Printf("trace        %s (%d jobs, %d nodes, offered load %.2f)\n",
-		tr.Name(), len(tr.Jobs()), tr.Nodes(), tr.OfferedLoad())
+	// Per-job rates divide by the retained job list, which -summary-only
+	// keeps empty; recompute them from the online completion count.
+	if agg != nil && agg.n > 0 {
+		costs.PreemptionsPerJob = float64(res.Preemptions()) / float64(agg.n)
+		costs.MigrationsPerJob = float64(res.Migrations()) / float64(agg.n)
+		costs.NodeCostPerJob = res.Cost() / float64(agg.n)
+	}
+	if *stream {
+		done := len(res.Jobs())
+		if agg != nil {
+			done = agg.n
+		}
+		fmt.Printf("trace        %s (streamed, %d jobs completed)\n", traceLabel, done)
+	} else {
+		fmt.Printf("trace        %s (%d jobs, %d nodes, offered load %.2f)\n",
+			tr.Name(), len(tr.Jobs()), tr.Nodes(), tr.OfferedLoad())
+	}
 	if *nodeMix != "" && *nodeMix != "uniform" {
 		fmt.Printf("cluster      node-mix %s\n", *nodeMix)
 	}
@@ -146,8 +212,12 @@ func main() {
 		fmt.Printf("objective    %s\n", *objective)
 	}
 	fmt.Printf("makespan     %.1f h\n", res.Makespan()/3600)
-	fmt.Printf("max stretch  %.2f\n", res.MaxStretch())
-	fmt.Printf("avg stretch  %.2f\n", res.AvgStretch())
+	maxStretch, avgStretch := res.MaxStretch(), res.AvgStretch()
+	if agg != nil && agg.n > 0 {
+		maxStretch, avgStretch = agg.max, agg.sum/float64(agg.n)
+	}
+	fmt.Printf("max stretch  %.2f\n", maxStretch)
+	fmt.Printf("avg stretch  %.2f\n", avgStretch)
 	fmt.Printf("preemptions  %d (%.3f GB/s, %.2f/h, %.2f/job)\n",
 		res.Preemptions(), costs.PreemptionGBps, costs.PreemptionsPerHour, costs.PreemptionsPerJob)
 	fmt.Printf("migrations   %d (%.3f GB/s, %.2f/h, %.2f/job)\n",
@@ -185,6 +255,36 @@ func main() {
 				dfrs.BoundedStretch(jr.Turnaround, jr.Job.ExecTime),
 				jr.Pauses, jr.Migrations)
 		}
+	}
+
+	// -max-heap-mb turns the streaming memory promise into an exit code:
+	// collect, read the live heap, and fail loudly if it blew the budget.
+	if *maxHeapMB > 0 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapMiB := float64(ms.HeapAlloc) / (1 << 20)
+		fmt.Printf("heap         %.1f MiB live (limit %d MiB)\n", heapMiB, *maxHeapMB)
+		if heapMiB > float64(*maxHeapMB) {
+			fmt.Fprintf(os.Stderr, "dfrs-sim: live heap %.1f MiB exceeds -max-heap-mb %d\n", heapMiB, *maxHeapMB)
+			os.Exit(1)
+		}
+	}
+}
+
+// onlineAgg folds completed jobs into summary statistics as they finish,
+// the -summary-only replacement for retaining Result.Jobs.
+type onlineAgg struct {
+	n        int
+	sum, max float64
+}
+
+func (a *onlineAgg) add(jr dfrs.JobResult) {
+	s := dfrs.BoundedStretch(jr.Turnaround, jr.Job.ExecTime)
+	a.n++
+	a.sum += s
+	if s > a.max {
+		a.max = s
 	}
 }
 

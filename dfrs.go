@@ -161,6 +161,11 @@ func (t Trace) Jobs() []Job { return append([]Job(nil), t.t.Jobs...) }
 // capacity across the submission span).
 func (t Trace) OfferedLoad() float64 { return t.t.OfferedLoad() }
 
+// Encode writes the trace in the dfrs text format. The output round-trips
+// through ReadTrace and RunStream, so a trace can be generated once, stored,
+// and later replayed without rematerializing its job list in memory.
+func (t Trace) Encode(w io.Writer) error { return t.t.Encode(w) }
+
 // ScaleToLoad returns a copy of the trace with inter-arrival times rescaled
 // so its offered load matches target, as in the paper's construction of the
 // load-0.1 through load-0.9 instances.

@@ -44,6 +44,12 @@ type Runner struct {
 	// event sequences are a deterministic function of the cell alone, so
 	// they are identical for any worker count.
 	Observe func(Cell) sim.Observer
+	// Stream, when set, feeds each cell's jobs through the simulator's
+	// streaming path (lazy admission plus pooled runtime records) instead
+	// of materializing the arrival schedule up front. Results are
+	// identical either way; the switch exists to bound live memory on
+	// very large traces and to exercise the streaming engine in anger.
+	Stream bool
 }
 
 // Run expands, validates and executes the grid, returning the records of
@@ -182,8 +188,18 @@ func runCell(ctx context.Context, r *Runner, mat *materialiser, g *Grid, c Cell)
 	if r.Observe != nil {
 		obs = r.Observe(c)
 	}
+	// Streaming mode hands the simulator a meta-only trace and pulls jobs
+	// from a source; the job list itself stays owned by the materialiser
+	// cache and runtime records are pooled as jobs complete.
+	simTrace := tr
+	var source workload.JobSource
+	if r.Stream {
+		simTrace = &workload.Trace{Name: tr.Name, Nodes: tr.Nodes, NodeMemGB: tr.NodeMemGB}
+		source = workload.NewSliceSource(tr)
+	}
 	simulator, err := sim.New(sim.Config{
-		Trace:            tr,
+		Trace:            simTrace,
+		Source:           source,
 		Cluster:          cl,
 		Penalty:          c.Penalty,
 		CheckInvariants:  g.Check,

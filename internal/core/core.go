@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"slices"
 
 	"repro/internal/cluster"
@@ -132,7 +133,8 @@ type packProbe struct {
 	// as pack's per-probe loop would.
 	rigidTotals []float64
 	buf         vectorpack.PackBuffer
-	best        []int // assignment of the last feasible probe
+	repack      vectorpack.RepackState // warm-start state for the MCB path
+	best        []int                  // assignment of the last feasible probe
 
 	alloc     *Allocation // reused result object, rebuilt by allocation()
 	nodesBack []int       // flat backing for the per-job node lists
@@ -146,6 +148,21 @@ type packProbe struct {
 type Workspace struct {
 	probe packProbe
 	specs []JobSpec
+}
+
+// samePacker reports whether two packer values are interchangeable for
+// warm-start purposes. Incomparable packer types (none exist in this
+// repository) conservatively report false, which only costs a cache
+// rebuild, never correctness.
+func samePacker(a, b vectorpack.Packer) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	if va.Type() != vb.Type() || !va.Comparable() || !vb.Comparable() {
+		return false
+	}
+	return a == b
 }
 
 // reset rebinds the probe to a new instance, reusing every buffer. When the
@@ -177,6 +194,12 @@ func (p *packProbe) reset(jobs []JobSpec, c *cluster.Cluster, packer vectorpack.
 				}
 			}
 		}
+	}
+	if !samePacker(packer, p.packer) {
+		// The warm-start replay is only valid for the packer configuration
+		// that produced it (the sorted orders are packer-independent, but
+		// the exact-repeat fast path replays a full prior assignment).
+		p.repack.Invalidate()
 	}
 	p.jobs, p.c, p.packer, p.d = jobs, c, packer, d
 	p.mcb, p.isMCB = vectorpack.MCB8{}, false
@@ -310,7 +333,7 @@ func (p *packProbe) pack() bool {
 	var assign []int
 	var ok bool
 	if p.isMCB {
-		assign, ok = p.mcb.PackBuf(p.its, p.c.Nodes, &p.buf)
+		assign, ok = p.mcb.PackWarm(p.its, p.c.Nodes, &p.buf, &p.repack)
 	} else {
 		assign, ok = p.packer.Pack(p.its, p.c.Nodes)
 	}

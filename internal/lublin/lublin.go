@@ -178,23 +178,46 @@ func gammaPDF(x, shape, scale float64) float64 {
 	return math.Exp(logp)
 }
 
+// RawStream draws raw jobs one at a time, consuming variates in exactly
+// the order GenerateRaw does, so a job-by-job pipeline (generate, annotate,
+// encode, discard) produces the same jobs as batch generation without ever
+// holding the whole trace. Submits are nondecreasing by construction.
+type RawStream struct {
+	p Params
+	r *rng.Source
+	t float64
+}
+
+// Stream validates p and returns a per-job generator over r.
+func (p Params) Stream(r *rng.Source) (*RawStream, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &RawStream{p: p, r: r}, nil
+}
+
+// Next draws the next raw job.
+func (s *RawStream) Next() RawJob {
+	base := math.Exp(s.r.Gamma(s.p.AArr, s.p.BArr))
+	hour := math.Mod(s.t/3600, 24)
+	s.t += base / s.p.cycleWeight(hour)
+	size := s.p.sampleSize(s.r)
+	return RawJob{Submit: s.t, Size: size, Runtime: s.p.sampleRuntime(s.r, size)}
+}
+
 // GenerateRaw draws njobs jobs (sizes, runtimes, arrival times) from the
 // model.
 func (p Params) GenerateRaw(r *rng.Source, njobs int) ([]RawJob, error) {
-	if err := p.Validate(); err != nil {
+	s, err := p.Stream(r)
+	if err != nil {
 		return nil, err
 	}
 	if njobs < 0 {
 		return nil, fmt.Errorf("lublin: %d jobs requested", njobs)
 	}
 	jobs := make([]RawJob, njobs)
-	t := 0.0
 	for i := range jobs {
-		base := math.Exp(r.Gamma(p.AArr, p.BArr))
-		hour := math.Mod(t/3600, 24)
-		t += base / p.cycleWeight(hour)
-		size := p.sampleSize(r)
-		jobs[i] = RawJob{Submit: t, Size: size, Runtime: p.sampleRuntime(r, size)}
+		jobs[i] = s.Next()
 	}
 	return jobs, nil
 }

@@ -165,7 +165,7 @@ func (c *Controller) AppendJobsInState(dst []int, state JobState) []int {
 		return append(dst, s.paused...)
 	}
 	for jid, j := range s.jobs {
-		if j.state == state && j.job.Submit <= s.now {
+		if j != nil && j.state == state && j.job.Submit <= s.now {
 			dst = append(dst, jid)
 		}
 	}

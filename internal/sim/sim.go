@@ -30,6 +30,23 @@
 // precisely a loop over ProcessNextEvent, so callers can single-step a
 // simulation, interleave several simulators under one external clock, or
 // stop between any two events at no cost to the batch path.
+//
+// # Streaming
+//
+// A simulator normally materializes the whole trace up front. With
+// Config.Source set (a workload.JobSource), jobs are instead pulled
+// lazily, one look-ahead job at a time: an arrival is admitted — validated,
+// capacity-checked and handed to the scheduler — only when the clock
+// reaches its submission time, and the runtime record of a completed job
+// is recycled through a free list once its completion hooks have run.
+// Config.JobSink routes each finished job's JobResult to a callback
+// instead of accumulating Result.Jobs. With all three in play the live
+// set is bounded by jobs concurrently in the system, not by trace length,
+// which is what lets a million-job trace run in a few megabytes. Event
+// order is identical to the materialized run: arrivals outrank coincident
+// queue events exactly as the materialized seeding makes them (lowest
+// sequence numbers at equal timestamps), so Results match field for field
+// — pinned by the streaming equivalence tests.
 package sim
 
 import (
@@ -229,7 +246,26 @@ type Result struct {
 
 // Config configures one simulation run.
 type Config struct {
+	// Trace is the workload. In streaming mode (Source non-nil) only its
+	// metadata is used — Name, Nodes, NodeMemGB — and Trace.Jobs is
+	// ignored; otherwise its job list is the whole input.
 	Trace *workload.Trace
+	// Source, when non-nil, switches the run to streaming mode: jobs are
+	// pulled lazily, in nondecreasing submission order, as virtual time
+	// reaches their submission instant, and each job's runtime record is
+	// recycled at completion. Memory is then bounded by jobs-in-system
+	// rather than trace length. Per-job admission checks (validation,
+	// unschedulability, capacity) run on admission, so a bad job fails the
+	// run mid-stream instead of at construction. Completed jobs are
+	// forgotten: scheduler hooks and observers must not query a jid after
+	// its completion hook returned.
+	Source workload.JobSource
+	// JobSink, when non-nil, receives each completed job's JobResult as it
+	// completes instead of accumulating it in Result.Jobs (which stays
+	// empty). Aggregates (Makespan, DeliveredCPUSeconds, ...) are
+	// unaffected. Required for bounded-memory million-job runs, where the
+	// per-job result array would dominate the heap.
+	JobSink func(JobResult)
 	// Cluster describes per-node capacities. Nil means the paper's
 	// homogeneous platform: Trace.Nodes reference nodes of capacity
 	// 1.0 x 1.0. When set, its node count must equal Trace.Nodes.
@@ -349,6 +385,22 @@ type Simulator struct {
 	finishBuf  []int // scratch: running snapshot for the completion sweep
 	doneBuf    []int // scratch: jids completed by the current sweep
 
+	// Streaming mode (cfg.Source != nil): one-job lookahead into the
+	// source, the FIFO of admitted jobs whose arrival hook has not fired
+	// yet, the free-list of recycled runtime records, and the admission
+	// bookkeeping. The capacity checks of the materialized constructor
+	// (maxCap, chk) are kept to re-run them per admitted job.
+	src        workload.JobSource
+	srcNext    *workload.Job
+	srcJob     workload.Job // backing storage for srcNext
+	srcDone    bool
+	streamErr  error
+	arrFIFO    []int
+	freeRT     []*jobRT
+	lastSubmit float64
+	maxCap     []float64
+	chk        CapacityChecker
+
 	started       bool
 	remainingJobs int
 	result        Result
@@ -360,7 +412,13 @@ func New(cfg Config, sched Scheduler) (*Simulator, error) {
 	if cfg.Trace == nil {
 		return nil, fmt.Errorf("sim: nil trace")
 	}
-	if err := cfg.Trace.Validate(); err != nil {
+	if cfg.Source != nil {
+		// Streaming mode: the trace supplies metadata only; jobs are
+		// validated one by one as they are admitted.
+		if cfg.Trace.Nodes < 1 {
+			return nil, fmt.Errorf("sim: trace has no nodes")
+		}
+	} else if err := cfg.Trace.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Penalty < 0 {
@@ -384,45 +442,21 @@ func New(cfg Config, sched Scheduler) (*Simulator, error) {
 	// run time. A job demanding a dimension the cluster does not declare
 	// faces capacity 0 everywhere and is likewise rejected.
 	d := s.cl.D()
-	maxDims := d
-	for _, j := range cfg.Trace.Jobs {
-		if j.Dims() > maxDims {
-			maxDims = j.Dims()
-		}
-	}
-	maxCap := make([]float64, maxDims)
+	s.maxCap = make([]float64, d)
 	for node := 0; node < n; node++ {
 		for k := 0; k < d; k++ {
-			maxCap[k] = math.Max(maxCap[k], s.cl.Cap(node, k))
+			s.maxCap[k] = math.Max(s.maxCap[k], s.cl.Cap(node, k))
 		}
 	}
-	for _, j := range cfg.Trace.Jobs {
-		for k := 0; k < maxDims; k++ {
-			if !floats.LessEq(j.Demand(k), maxCap[k]) {
-				return nil, &UnschedulableError{
-					JobID: j.ID, Resource: resourceName(s.cl, k), Need: j.Demand(k), MaxCap: maxCap[k],
-				}
-			}
-		}
-	}
-	// A job's tasks are placed simultaneously, so a job whose identical
-	// tasks cannot fit even an empty cluster can never run under any
-	// scheduler: each node holds min over the demanded rigid dimensions of
-	// floor(capacity/demand) tasks, and the total must reach the task
-	// count. On the paper's platform (unit nodes, demands in (0,1],
-	// tasks <= nodes) every node holds at least one task and the check
-	// never fires; it bites on partially-equipped clusters (GPU mixes).
-	for _, j := range cfg.Trace.Jobs {
-		if slots := TaskSlots(n, j.Tasks, cluster.DimMem, d, j.Demand, s.cl.Cap); slots < j.Tasks {
-			return nil, &InsufficientCapacityError{JobID: j.ID, Tasks: j.Tasks, Slots: slots}
-		}
-	}
-	// Scheduler-specific admission (see CapacityChecker): reject jobs the
-	// algorithm's allocation rules can structurally never serve.
-	if chk, ok := sched.(CapacityChecker); ok {
+	s.chk, _ = sched.(CapacityChecker)
+	if cfg.Source != nil {
+		s.src = cfg.Source
+	} else {
+		// Materialized mode runs every admission check up front; the same
+		// checks run per job on admission in streaming mode (admit).
 		for _, j := range cfg.Trace.Jobs {
-			if err := chk.CheckJob(s.cl, j); err != nil {
-				return nil, fmt.Errorf("sim: %s cannot run trace %q: %w", sched.Name(), cfg.Trace.Name, err)
+			if err := s.checkSchedulable(j); err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -436,22 +470,24 @@ func New(cfg Config, sched Scheduler) (*Simulator, error) {
 	s.nodeIdx = index.NewNodeIndex(n, func(node int) float64 {
 		return floats.NonNeg(s.cl.MemCap(node) - s.usedRigid[0][node])
 	})
-	s.jobs = make([]*jobRT, len(cfg.Trace.Jobs))
-	for i, j := range cfg.Trace.Jobs {
-		s.jobs[i] = &jobRT{job: j, state: Pending, remaining: j.ExecTime, start: -1, lastPauseTime: -1, prevPauseTime: -1}
-	}
-	s.remainingJobs = len(s.jobs)
-	s.bySubmit = make([]int, len(s.jobs))
-	for jid := range s.jobs {
-		s.bySubmit[jid] = jid
-	}
-	sort.Slice(s.bySubmit, func(a, b int) bool {
-		ja, jb := s.jobs[s.bySubmit[a]], s.jobs[s.bySubmit[b]]
-		if ja.job.Submit != jb.job.Submit {
-			return ja.job.Submit < jb.job.Submit
+	if s.src == nil {
+		s.jobs = make([]*jobRT, len(cfg.Trace.Jobs))
+		for i, j := range cfg.Trace.Jobs {
+			s.jobs[i] = &jobRT{job: j, state: Pending, remaining: j.ExecTime, start: -1, lastPauseTime: -1, prevPauseTime: -1}
 		}
-		return s.bySubmit[a] < s.bySubmit[b]
-	})
+		s.remainingJobs = len(s.jobs)
+		s.bySubmit = make([]int, len(s.jobs))
+		for jid := range s.jobs {
+			s.bySubmit[jid] = jid
+		}
+		sort.Slice(s.bySubmit, func(a, b int) bool {
+			ja, jb := s.jobs[s.bySubmit[a]], s.jobs[s.bySubmit[b]]
+			if ja.job.Submit != jb.job.Submit {
+				return ja.job.Submit < jb.job.Submit
+			}
+			return s.bySubmit[a] < s.bySubmit[b]
+		})
+	}
 	s.ctl = Controller{sim: s}
 	s.result = Result{
 		Algorithm:   sched.Name(),
@@ -461,6 +497,168 @@ func New(cfg Config, sched Scheduler) (*Simulator, error) {
 		Penalty:     cfg.Penalty,
 	}
 	return s, nil
+}
+
+// checkSchedulable rejects a job that can never run on the configured
+// cluster. A job whose per-task requirement in any dimension exceeds every
+// node can never be placed (a job demanding a dimension the cluster does
+// not declare faces capacity 0 everywhere). A job's tasks are placed
+// simultaneously, so a job whose identical tasks cannot fit even an empty
+// cluster can never run under any scheduler: each node holds min over the
+// demanded rigid dimensions of floor(capacity/demand) tasks, and the total
+// must reach the task count. On the paper's platform (unit nodes, demands
+// in (0,1], tasks <= nodes) neither check fires; they bite on
+// partially-equipped clusters (GPU mixes). Scheduler-specific admission
+// (see CapacityChecker) runs last.
+func (s *Simulator) checkSchedulable(j workload.Job) error {
+	d := s.cl.D()
+	dims := d
+	if j.Dims() > dims {
+		dims = j.Dims()
+	}
+	for k := 0; k < dims; k++ {
+		capK := 0.0
+		if k < d {
+			capK = s.maxCap[k]
+		}
+		if !floats.LessEq(j.Demand(k), capK) {
+			return &UnschedulableError{
+				JobID: j.ID, Resource: resourceName(s.cl, k), Need: j.Demand(k), MaxCap: capK,
+			}
+		}
+	}
+	if slots := TaskSlots(s.cl.N(), j.Tasks, cluster.DimMem, d, j.Demand, s.cl.Cap); slots < j.Tasks {
+		return &InsufficientCapacityError{JobID: j.ID, Tasks: j.Tasks, Slots: slots}
+	}
+	if s.chk != nil {
+		if err := s.chk.CheckJob(s.cl, j); err != nil {
+			return fmt.Errorf("sim: %s cannot run trace %q: %w", s.sched.Name(), s.cfg.Trace.Name, err)
+		}
+	}
+	return nil
+}
+
+// peekSource maintains the one-job lookahead into the streaming source.
+// After it returns, srcNext is non-nil unless the source is exhausted or
+// failed (streamErr).
+func (s *Simulator) peekSource() {
+	if s.src == nil || s.srcNext != nil || s.srcDone || s.streamErr != nil {
+		return
+	}
+	j, ok, err := s.src.Next()
+	if err != nil {
+		s.streamErr = fmt.Errorf("sim: streaming trace %q: %w", s.cfg.Trace.Name, err)
+		s.srcDone = true
+		return
+	}
+	if !ok {
+		s.srcDone = true
+		return
+	}
+	s.srcJob = j
+	s.srcNext = &s.srcJob
+}
+
+// admitThrough admits every source job submitted at or before t: validated,
+// given the next jid, made visible to activation, and queued in the arrival
+// FIFO for its OnArrival hook. The clock never passes an unadmitted
+// submission (arrivals outrank other events at equal times), so admission
+// order is submission order. Failures park in streamErr, surfaced by the
+// next ProcessNextEvent.
+func (s *Simulator) admitThrough(t float64) {
+	for {
+		s.peekSource()
+		if s.streamErr != nil || s.srcNext == nil || s.srcNext.Submit > t {
+			return
+		}
+		j := *s.srcNext
+		s.srcNext = nil
+		if err := s.admit(j); err != nil {
+			s.streamErr = err
+			return
+		}
+	}
+}
+
+// admit runs the per-job admission checks and creates the job's runtime
+// record (recycled from the free list when one is available).
+func (s *Simulator) admit(j workload.Job) error {
+	if err := j.Validate(s.cl.N()); err != nil {
+		return err
+	}
+	if len(s.jobs) > 0 && j.Submit < s.lastSubmit {
+		return fmt.Errorf("workload: job %d submitted before its predecessor", j.ID)
+	}
+	if err := s.checkSchedulable(j); err != nil {
+		return err
+	}
+	s.lastSubmit = j.Submit
+	jid := len(s.jobs)
+	rt := s.newRT()
+	rt.job = j
+	rt.remaining = j.ExecTime
+	s.jobs = append(s.jobs, rt)
+	s.remainingJobs++
+	// The source contract (nondecreasing submits) makes admission order the
+	// (Submit, jid) order, so both activation and the arrival FIFO extend
+	// by plain append.
+	s.bySubmit = append(s.bySubmit, jid)
+	s.arrFIFO = append(s.arrFIFO, jid)
+	return nil
+}
+
+// newRT returns a zeroed runtime record, reusing one from the free list
+// when completions have recycled any.
+func (s *Simulator) newRT() *jobRT {
+	var rt *jobRT
+	if n := len(s.freeRT); n > 0 {
+		rt, s.freeRT = s.freeRT[n-1], s.freeRT[:n-1]
+		*rt = jobRT{}
+	} else {
+		rt = &jobRT{}
+	}
+	rt.state = Pending
+	rt.start = -1
+	rt.lastPauseTime = -1
+	rt.prevPauseTime = -1
+	return rt
+}
+
+// nextArrival returns the jid and submission time of the earliest admitted
+// arrival whose hook has not fired, admitting the lookahead job first when
+// the FIFO is empty. ok is false when no arrival is pending.
+func (s *Simulator) nextArrival() (jid int, at float64, ok bool) {
+	if len(s.arrFIFO) == 0 {
+		s.peekSource()
+		if s.srcNext == nil {
+			return 0, 0, false
+		}
+		s.admitThrough(s.srcNext.Submit)
+		if len(s.arrFIFO) == 0 {
+			return 0, 0, false
+		}
+	}
+	jid = s.arrFIFO[0]
+	return jid, s.jobs[jid].job.Submit, true
+}
+
+// popArrival removes the FIFO head.
+func (s *Simulator) popArrival() {
+	copy(s.arrFIFO, s.arrFIFO[1:])
+	s.arrFIFO = s.arrFIFO[:len(s.arrFIFO)-1]
+}
+
+// recycleDone returns the runtime records of the jobs completed by the
+// current event to the free list (streaming mode only; the completion
+// hooks for all of them have already run). The jid keeps pointing at a nil
+// entry, so any later query of a completed job fails loudly instead of
+// reading recycled state.
+func (s *Simulator) recycleDone(done []int) {
+	for _, jid := range done {
+		rt := s.jobs[jid]
+		s.jobs[jid] = nil
+		s.freeRT = append(s.freeRT, rt)
+	}
 }
 
 // Run executes the simulation to completion and returns the result. A
@@ -510,16 +708,34 @@ func (s *Simulator) Start() {
 	s.invoke("init", func() { s.sched.Init(&s.ctl) })
 }
 
-// HasPendingJobs reports whether any job has yet to complete. Run processes
+// HasPendingJobs reports whether any job has yet to complete — including,
+// in streaming mode, jobs the source has not produced yet. Run processes
 // events until this turns false.
-func (s *Simulator) HasPendingJobs() bool { return s.remainingJobs > 0 }
+func (s *Simulator) HasPendingJobs() bool {
+	if s.remainingJobs > 0 || s.streamErr != nil {
+		return true
+	}
+	if s.src != nil {
+		s.peekSource()
+		return s.srcNext != nil || s.streamErr != nil
+	}
+	return false
+}
 
 // HasPendingEvents reports whether the event queue holds at least one
-// armed event. Timer events may outlive the last job, so this can stay true
-// after HasPendingJobs turns false; Run stops at job completion.
+// armed event (in streaming mode, a not-yet-fired arrival counts). Timer
+// events may outlive the last job, so this can stay true after
+// HasPendingJobs turns false; Run stops at job completion.
 func (s *Simulator) HasPendingEvents() bool {
 	s.Start()
-	return s.queue.Len() > 0
+	if s.queue.Len() > 0 || len(s.arrFIFO) > 0 {
+		return true
+	}
+	if s.src != nil {
+		s.peekSource()
+		return s.srcNext != nil
+	}
+	return false
 }
 
 // PeekNextEventTime returns the timestamp of the next armed event without
@@ -527,6 +743,17 @@ func (s *Simulator) HasPendingEvents() bool {
 func (s *Simulator) PeekNextEventTime() (t float64, ok bool) {
 	s.Start()
 	ev := s.queue.Peek()
+	if s.src != nil {
+		at, okA := 0.0, false
+		if len(s.arrFIFO) > 0 {
+			at, okA = s.jobs[s.arrFIFO[0]].job.Submit, true
+		} else if s.peekSource(); s.srcNext != nil {
+			at, okA = s.srcNext.Submit, true
+		}
+		if okA && (ev == nil || at <= ev.Time) {
+			return at, true
+		}
+	}
 	if ev == nil {
 		return 0, false
 	}
@@ -540,6 +767,30 @@ func (s *Simulator) PeekNextEventTime() (t float64, ok bool) {
 // the clock passes Config.MaxSimTime. Run is exactly a loop over this.
 func (s *Simulator) ProcessNextEvent() error {
 	s.Start()
+	if s.streamErr != nil {
+		return s.streamErr
+	}
+	if s.src != nil {
+		if jid, at, ok := s.nextArrival(); ok {
+			// Arrivals outrank coincident completions and timers: the
+			// materialized engine pushes every arrival event before the run
+			// starts, so at equal timestamps its sequence number is lower
+			// than any event armed later.
+			if ev := s.queue.Peek(); ev == nil || at <= ev.Time {
+				s.popArrival()
+				s.advance(at)
+				s.result.Events++
+				s.record(TlSubmit, jid, 0, 0)
+				if s.obs != nil {
+					s.obs.JobSubmitted(s.now, jid)
+				}
+				s.invoke("arrival", func() { s.sched.OnArrival(&s.ctl, jid) })
+				return s.finishEvent()
+			}
+		} else if s.streamErr != nil {
+			return s.streamErr
+		}
+	}
 	ev := s.queue.Pop()
 	if ev == nil {
 		return fmt.Errorf("sim: %s deadlocked at t=%.1f with %d jobs unfinished",
@@ -562,12 +813,23 @@ func (s *Simulator) ProcessNextEvent() error {
 			break // stale tentative completion
 		}
 		s.pendingComplete = nil
-		for _, jid := range s.finishDue() {
+		done := s.finishDue()
+		for _, jid := range done {
 			s.invoke("completion", func() { s.sched.OnCompletion(&s.ctl, jid) })
+		}
+		if s.src != nil {
+			s.recycleDone(done)
 		}
 	case timerEv:
 		s.invoke("timer", func() { s.sched.OnTimer(&s.ctl, p.tag) })
 	}
+	return s.finishEvent()
+}
+
+// finishEvent is the shared tail of every processed event: re-arm the
+// tentative completion, run the optional invariant sweep, and enforce the
+// simulated-time ceiling.
+func (s *Simulator) finishEvent() error {
 	s.rescheduleCompletion()
 	if s.cfg.CheckInvariants {
 		if err := s.validate(); err != nil {
@@ -643,6 +905,13 @@ func (s *Simulator) advance(t float64) {
 // submission time, so the sweep resumes where the previous one stopped and
 // each job is considered exactly once across the whole run.
 func (s *Simulator) activateUpTo(t float64) {
+	if s.src != nil {
+		// Streaming: pull every source job submitted by t into the system
+		// first, so the activation sweep below sees it. The clock never
+		// passes an unadmitted submission (arrivals outrank coincident
+		// events), so no job is skipped.
+		s.admitThrough(t)
+	}
 	for s.nextAct < len(s.bySubmit) {
 		jid := s.bySubmit[s.nextAct]
 		if s.jobs[jid].job.Submit > t {
@@ -666,8 +935,18 @@ func (s *Simulator) finishDue() []int {
 	s.doneBuf = s.doneBuf[:0]
 	for _, jid := range s.finishBuf {
 		j := s.jobs[jid]
-		if j.state != Running || j.remaining > floats.Eps {
+		if j.state != Running {
 			continue
+		}
+		if j.remaining > floats.Eps {
+			// A remainder below the clock's float resolution can never be
+			// accrued: the tentative completion time from+remaining/yield
+			// rounds to now itself, the completion event fires without
+			// advancing the clock, and rescheduling would rearm it at the
+			// same instant forever. Such a job is done at clock precision.
+			if j.yield <= 0 || math.Max(s.now, j.frozenUntil)+j.remaining/j.yield > s.now {
+				continue
+			}
 		}
 		// A frozen job still pays its rescheduling penalty even with no
 		// virtual time left (it was preempted or migrated at the brink of
@@ -681,14 +960,19 @@ func (s *Simulator) finishDue() []int {
 		j.yield = 0
 		s.running = removeJid(s.running, jid)
 		s.remainingJobs--
-		s.result.Jobs = append(s.result.Jobs, JobResult{
+		jr := JobResult{
 			Job:        j.job,
 			Start:      j.start,
 			Finish:     j.finish,
 			Turnaround: j.finish - j.job.Submit,
 			Pauses:     j.pauses,
 			Migrations: j.migrations,
-		})
+		}
+		if s.cfg.JobSink != nil {
+			s.cfg.JobSink(jr)
+		} else {
+			s.result.Jobs = append(s.result.Jobs, jr)
+		}
 		if j.finish > s.result.Makespan {
 			s.result.Makespan = j.finish
 		}
@@ -864,6 +1148,9 @@ func (s *Simulator) validate() error {
 	usedRigid := make([]float64, n*(d-1))
 	remaining := 0
 	for jid, j := range s.jobs {
+		if j == nil {
+			continue // completed and recycled (streaming mode)
+		}
 		inList := func(list []int) bool {
 			i := sort.SearchInts(list, jid)
 			return i < len(list) && list[i] == jid

@@ -42,11 +42,33 @@
 // they are exactly the First (FFD) and BestFit (BFD, under the packers'
 // mean-capacity normalization) objectives and the index bin order (MCB8),
 // locked bit-for-bit by the frozen-copy tests.
+//
+// # Warm-start repacking
+//
+// DFRS schedulers call MCB8 on almost the same item set event after event:
+// one arrival or completion perturbs a live set that otherwise repeats,
+// and within one scheduler invocation the yield-optimization probes repack
+// the identical set several times under different yields. RepackState
+// exploits this. It caches the per-dimension sorted group orders of the
+// previous pack and, on the next one, classifies the new groups, patches
+// the cached orders in place when few groups changed (binary
+// insertion/removal instead of a full sort), replays the previous
+// assignment outright when the inputs are bitwise identical, and falls
+// back to a full rebuild otherwise. Every patched order is verified
+// against the sort invariant before use, so MCB8.PackWarm returns exactly
+// the assignment MCB8.PackBuf would have — warm-starting is a pure
+// time-for-memory trade, pinned by a differential property test and by
+// the campaign-level byte-identity checks. The fill phase itself walks
+// per-dimension block-skip lists (group chains with 64-group blocks
+// carrying component minima and live bitmaps), so a node that cannot hold
+// any group of a block skips the whole block, and the sorted-key jump
+// proves the own dimension fits before any member test.
 package vectorpack
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"slices"
 	"sort"
 
@@ -177,6 +199,21 @@ func fits(req cluster.Vec, free []float64) bool {
 	return true
 }
 
+// fitsExcept is fits with one dimension already proven to fit (the chain
+// scan's own dimension, established by the sorted-key jump in findFit).
+func fitsExcept(req, free []float64, skip int) bool {
+	if len(req) == 2 {
+		o := 1 - skip
+		return floats.LessEq(req[o], free[o])
+	}
+	for k := range req {
+		if k != skip && !floats.LessEq(req[k], free[k]) {
+			return false
+		}
+	}
+	return true
+}
+
 // ObjectiveAware is implemented by packers whose node choice can be
 // steered by a placement objective; the DYNMCB8 schedulers use it to
 // thread the run's configured objective into their packer.
@@ -260,58 +297,134 @@ type PackBuffer struct {
 	dimOrder []int
 }
 
-// groupChain is a singly linked list over a sorted group order; exhausted
-// groups are unlinked in O(1) so repeated first-fit scans never revisit
-// them.
+// chainBlock is the block size of groupChain's skip structure; a power of
+// two so position→block is a shift.
+const (
+	chainShift = 6
+	chainBlock = 1 << chainShift
+)
+
+// groupChain walks a sorted group order in blocks of chainBlock
+// positions. Each block keeps the component-wise minimum requirement over
+// its groups (computed once at reset — exhausting a group can only raise
+// the true minimum, so the cached value stays a valid lower bound) and a
+// bitmap of non-exhausted groups, so a first-fit scan skips a whole block
+// in O(1) when the block's minimum cannot fit the free vector or no group
+// in it is live, and within a visited block only live groups are touched.
+// The scan resumes from a per-node mark: a node's free vector only
+// shrinks while it is being filled, so positions that failed under a
+// larger free vector can never fit it again and are never revisited
+// (startNode rewinds the mark when a fresh node is opened). Every prune
+// is exact — it only skips groups proven unable to fit — so the walk
+// returns precisely the first fitting group of the published scan order.
 type groupChain struct {
-	order []int // group ids in sorted order
-	next  []int // next[k] = position after k in the chain, len(order) = end
-	head  int
+	order []int     // group ids in sorted order
+	keys  []float64 // raw requirement in the list's own dimension, per position (non-increasing)
+	bMin  []float64 // per block, stride d: min requirement over the block's groups
+	bBits []uint64  // per block: bit q set = group at position blk*64+q live
+	d     int
+	dim   int // the dimension this list is sorted by
+	mark  int
 }
 
-func (c *groupChain) reset(order []int) {
+func (c *groupChain) reset(order []int, b *PackBuffer, items []Item, d, dim int) {
 	c.order = order
-	c.next = c.next[:0]
-	for k := range order {
-		c.next = append(c.next, k+1)
+	c.d = d
+	c.dim = dim
+	c.mark = 0
+	if cap(c.keys) < len(order) {
+		c.keys = make([]float64, len(order))
 	}
-	c.head = 0
-}
-
-// findFit returns the chain position (and its predecessor) of the first
-// chained group fitting the free vector, or (-1, -1). All items of a group
-// share one requirement vector, so one fits test covers the whole group.
-func (c *groupChain) findFit(b *PackBuffer, items []Item, free []float64) (pos, prev int) {
-	prev = -1
-	for k := c.head; k < len(c.order); k = c.next[k] {
-		if fits(items[b.gFirst[c.order[k]]].Req, free) {
-			return k, prev
+	c.keys = c.keys[:len(order)]
+	for q, g := range order {
+		c.keys[q] = items[b.gFirst[g]].Req[dim]
+	}
+	nb := (len(order) + chainBlock - 1) >> chainShift
+	if cap(c.bMin) < nb*d {
+		c.bMin = make([]float64, nb*d)
+	}
+	c.bMin = c.bMin[:nb*d]
+	if cap(c.bBits) < nb {
+		c.bBits = make([]uint64, nb)
+	}
+	c.bBits = c.bBits[:nb]
+	for blk := 0; blk < nb; blk++ {
+		lo, hi := blk<<chainShift, (blk+1)<<chainShift
+		if hi > len(order) {
+			hi = len(order)
 		}
-		prev = k
+		if hi-lo == chainBlock {
+			c.bBits[blk] = ^uint64(0)
+		} else {
+			c.bBits[blk] = (uint64(1) << (hi - lo)) - 1
+		}
+		mn := c.bMin[blk*d : (blk+1)*d]
+		copy(mn, items[b.gFirst[order[lo]]].Req)
+		for q := lo + 1; q < hi; q++ {
+			req := items[b.gFirst[order[q]]].Req
+			for j := 0; j < d; j++ {
+				if req[j] < mn[j] {
+					mn[j] = req[j]
+				}
+			}
+		}
 	}
-	return -1, -1
 }
 
-// unlink removes position pos (whose predecessor is prev, -1 for the head)
-// from the chain.
-func (c *groupChain) unlink(pos, prev int) {
-	if prev < 0 {
-		c.head = c.next[pos]
-	} else {
-		c.next[prev] = c.next[pos]
+// startNode rewinds the scan mark to the start of the order for a freshly
+// opened node.
+func (c *groupChain) startNode() { c.mark = 0 }
+
+// findFit returns the position of the first live group fitting the free
+// vector, or -1. All items of a group share one requirement vector, so
+// one fits test covers the whole group. The list is sorted non-increasing
+// in its own dimension, so every position before the first one whose key
+// fits free in that dimension provably fails; a binary search jumps the
+// scan straight to that suffix. Past the jump every key fits the own
+// dimension (the keys only decrease), so the scan tests only the other
+// d-1 dimensions.
+func (c *groupChain) findFit(b *PackBuffer, items []Item, free []float64) int {
+	n := len(c.order)
+	d := c.d
+	q := c.mark
+	if q < n && !floats.LessEq(c.keys[q], free[c.dim]) {
+		q += sort.Search(n-q, func(i int) bool {
+			return floats.LessEq(c.keys[q+i], free[c.dim])
+		})
+		c.mark = q // the skipped prefix can never fit this node again
 	}
+	for q < n {
+		blk := q >> chainShift
+		w := c.bBits[blk] &^ ((uint64(1) << (q & (chainBlock - 1))) - 1)
+		if w == 0 || !fitsExcept(c.bMin[blk*d:(blk+1)*d], free, c.dim) {
+			q = (blk + 1) << chainShift
+			continue
+		}
+		for w != 0 {
+			pos := blk<<chainShift + bits.TrailingZeros64(w)
+			if fitsExcept(items[b.gFirst[c.order[pos]]].Req, free, c.dim) {
+				c.mark = pos
+				return pos
+			}
+			w &= w - 1
+		}
+		q = (blk + 1) << chainShift
+	}
+	c.mark = n
+	return -1
 }
 
-// take consumes the next item of the group at chain position pos (items of
-// a group are handed out in ascending index order, exactly the tie-by-index
-// order of the per-item formulation) and unlinks the group once empty.
-func (b *PackBuffer) take(list, pos, prev int) int {
+// take consumes the next item of the group at position pos (items of a
+// group are handed out in ascending index order, exactly the tie-by-index
+// order of the per-item formulation) and clears the group's live bit once
+// empty.
+func (b *PackBuffer) take(list, pos int) int {
 	c := &b.chains[list]
 	g := c.order[pos]
 	item := b.gFirst[g] + b.gUsed[g]
 	b.gUsed[g]++
 	if b.gUsed[g] == b.gCount[g] {
-		c.unlink(pos, prev)
+		c.bBits[pos>>chainShift] &^= uint64(1) << (pos & (chainBlock - 1))
 	}
 	return item
 }
@@ -409,9 +522,17 @@ func (m MCB8) PackBuf(items []Item, nodes []cluster.NodeSpec, b *PackBuffer) ([]
 			}
 			return b.gFirst[ga] - b.gFirst[gb]
 		})
-		b.chains[k].reset(list)
+		b.chains[k].reset(list, b, items, d, k)
 	}
+	return m.fill(items, nodes, d, norm, b)
+}
 
+// fill runs the bin-filling phase shared by PackBuf and PackWarm: the
+// chains in b hold each dimension's group list in (key desc, first-item
+// asc) order, and the loop below is the only consumer of that order, so
+// any preparation that reproduces the same sorted lists reproduces the
+// same assignment.
+func (m MCB8) fill(items []Item, nodes []cluster.NodeSpec, d int, norm cluster.Vec, b *PackBuffer) ([]int, bool) {
 	if cap(b.assign) < len(items) {
 		b.assign = make([]int, len(items))
 	}
@@ -439,6 +560,9 @@ func (m MCB8) PackBuf(items []Item, nodes []cluster.NodeSpec, b *PackBuffer) ([]
 		}
 		caps := nodes[node].Caps
 		copy(free, caps)
+		for k := 0; k < d; k++ {
+			b.chains[k].startNode()
+		}
 		// Seed the node with the first fitting item of any list,
 		// preferring the one with the overall largest normalized
 		// requirement (the original algorithm picks arbitrarily; this
@@ -447,22 +571,22 @@ func (m MCB8) PackBuf(items []Item, nodes []cluster.NodeSpec, b *PackBuffer) ([]
 		// node every item fits, so each list's candidate is its head and
 		// the behaviour is identical to the homogeneous algorithm; a thin
 		// node may have to skip items too large for it.
-		seedList, seedPos, seedPrev := -1, -1, -1
+		seedList, seedPos := -1, -1
 		best := math.Inf(-1)
 		for k := 0; k < d; k++ {
-			pos, prev := b.chains[k].findFit(b, items, free)
+			pos := b.chains[k].findFit(b, items, free)
 			if pos < 0 {
 				continue
 			}
 			if g := b.chains[k].order[pos]; b.gMax[g] > best {
 				best = b.gMax[g]
-				seedList, seedPos, seedPrev = k, pos, prev
+				seedList, seedPos = k, pos
 			}
 		}
 		if seedList < 0 {
 			continue
 		}
-		seed := b.take(seedList, seedPos, seedPrev)
+		seed := b.take(seedList, seedPos)
 		assign[seed] = node
 		for k := 0; k < d; k++ {
 			free[k] -= items[seed].Req[k]
@@ -479,8 +603,8 @@ func (m MCB8) PackBuf(items []Item, nodes []cluster.NodeSpec, b *PackBuffer) ([]
 			headroomOrder(free, caps, dimOrder)
 			idx := -1
 			for _, k := range dimOrder {
-				if pos, prev := b.chains[k].findFit(b, items, free); pos >= 0 {
-					idx = b.take(k, pos, prev)
+				if pos := b.chains[k].findFit(b, items, free); pos >= 0 {
+					idx = b.take(k, pos)
 					break
 				}
 			}

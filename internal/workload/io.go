@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -22,6 +23,97 @@ import (
 //	...
 //
 // Comment lines start with '#'; the single header row is required.
+//
+// The format can be both written and read as a stream: TraceEncoder emits
+// one job at a time (dfrs-gen generates million-job traces without
+// materializing them) and TraceReader parses one job at a time (the
+// simulator's streaming mode admits jobs as virtual time reaches them, so
+// memory is bounded by jobs-in-system, not trace length).
+
+// maxLineBytes bounds a single trace line. A line of the format is a few
+// dozen bytes; the guard exists so a corrupt or non-trace input fails with
+// a line-numbered error instead of a silent scanner stop.
+const maxLineBytes = 1 << 20
+
+// JobSource is a lazily-consumed stream of jobs in nondecreasing
+// submission order — the simulator's streaming input. Next returns the
+// next job with ok=true; ok=false ends the stream, with err nil on normal
+// exhaustion.
+type JobSource interface {
+	Next() (j Job, ok bool, err error)
+}
+
+// SliceSource adapts a materialized job list to JobSource. The slice is
+// not copied; it must already be in nondecreasing submission order (as
+// Trace.Validate requires).
+type SliceSource struct {
+	jobs []Job
+	pos  int
+}
+
+// NewSliceSource returns a JobSource replaying the trace's jobs in order.
+func NewSliceSource(t *Trace) *SliceSource { return &SliceSource{jobs: t.Jobs} }
+
+// Next implements JobSource.
+func (s *SliceSource) Next() (Job, bool, error) {
+	if s.pos >= len(s.jobs) {
+		return Job{}, false, nil
+	}
+	j := s.jobs[s.pos]
+	s.pos++
+	return j, true, nil
+}
+
+// TraceEncoder writes the trace format one job at a time. The caller fixes
+// the column layout up front (whether the weight column and how many extra
+// columns are emitted) because a streaming writer cannot scan the whole
+// job list first; Encode, which can, chooses the minimal layout.
+type TraceEncoder struct {
+	bw        *bufio.Writer
+	weighted  bool
+	extraDims int
+}
+
+// NewTraceEncoder writes the metadata comments and the column header for
+// meta (whose Jobs are ignored) and returns an encoder for the job rows.
+// If weighted is true, or extraDims > 0, the weight column is emitted;
+// extraDims fixes the number of extra-dimension columns.
+func NewTraceEncoder(w io.Writer, meta *Trace, weighted bool, extraDims int) *TraceEncoder {
+	if extraDims > 0 {
+		weighted = true
+	}
+	e := &TraceEncoder{bw: bufio.NewWriter(w), weighted: weighted, extraDims: extraDims}
+	fmt.Fprintf(e.bw, "# dfrs-trace v1\n")
+	fmt.Fprintf(e.bw, "# name: %s\n", meta.Name)
+	fmt.Fprintf(e.bw, "# nodes: %d\n", meta.Nodes)
+	fmt.Fprintf(e.bw, "# nodemem_gb: %g\n", meta.NodeMemGB)
+	fmt.Fprintf(e.bw, "id submit tasks cpu_need mem_req exec_time")
+	if weighted {
+		fmt.Fprintf(e.bw, " weight")
+	}
+	for k := 0; k < extraDims; k++ {
+		fmt.Fprintf(e.bw, " %s", extraDimName(k))
+	}
+	fmt.Fprintf(e.bw, "\n")
+	return e
+}
+
+// Write emits one job row.
+func (e *TraceEncoder) Write(j Job) error {
+	fmt.Fprintf(e.bw, "%d %.6f %d %.6f %.6f %.6f",
+		j.ID, j.Submit, j.Tasks, j.CPUNeed, j.MemReq, j.ExecTime)
+	if e.weighted {
+		fmt.Fprintf(e.bw, " %.6f", j.EffectiveWeight())
+	}
+	for k := 0; k < e.extraDims; k++ {
+		fmt.Fprintf(e.bw, " %.6f", j.Demand(2+k))
+	}
+	_, err := fmt.Fprintf(e.bw, "\n")
+	return err
+}
+
+// Flush flushes the encoder's buffer; call it once after the last Write.
+func (e *TraceEncoder) Flush() error { return e.bw.Flush() }
 
 // Encode serializes the trace in the dfrs trace format. When any job
 // carries a non-default weight, the optional seventh column is emitted.
@@ -40,34 +132,13 @@ func (t *Trace) Encode(w io.Writer) error {
 			extraDims = len(j.Extra)
 		}
 	}
-	if extraDims > 0 {
-		weighted = true
-	}
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# dfrs-trace v1\n")
-	fmt.Fprintf(bw, "# name: %s\n", t.Name)
-	fmt.Fprintf(bw, "# nodes: %d\n", t.Nodes)
-	fmt.Fprintf(bw, "# nodemem_gb: %g\n", t.NodeMemGB)
-	fmt.Fprintf(bw, "id submit tasks cpu_need mem_req exec_time")
-	if weighted {
-		fmt.Fprintf(bw, " weight")
-	}
-	for k := 0; k < extraDims; k++ {
-		fmt.Fprintf(bw, " %s", extraDimName(k))
-	}
-	fmt.Fprintf(bw, "\n")
+	e := NewTraceEncoder(w, t, weighted, extraDims)
 	for _, j := range t.Jobs {
-		fmt.Fprintf(bw, "%d %.6f %d %.6f %.6f %.6f",
-			j.ID, j.Submit, j.Tasks, j.CPUNeed, j.MemReq, j.ExecTime)
-		if weighted {
-			fmt.Fprintf(bw, " %.6f", j.EffectiveWeight())
+		if err := e.Write(j); err != nil {
+			return err
 		}
-		for k := 0; k < extraDims; k++ {
-			fmt.Fprintf(bw, " %.6f", j.Demand(2+k))
-		}
-		fmt.Fprintf(bw, "\n")
 	}
-	return bw.Flush()
+	return e.Flush()
 }
 
 // extraDimName returns the conventional column name of extra dimension k
@@ -76,90 +147,241 @@ func extraDimName(k int) string {
 	return cluster.CanonicalDimName(2 + k)
 }
 
-// ReadTrace parses a trace file written by Encode.
-func ReadTrace(r io.Reader) (*Trace, error) {
-	t := &Trace{}
+// TraceReader streams jobs from a trace file written by Encode or a
+// TraceEncoder. It implements JobSource. A reader created by StreamTrace
+// has parsed the metadata comments and column header, so Meta is valid
+// before the first job is read, and validates each job (including
+// submission ordering) as it is produced, with line-numbered errors.
+type TraceReader struct {
+	sc         *bufio.Scanner
+	meta       Trace
+	lineno     int
+	headerCols int
+	sawHeader  bool
+	strict     bool
+	lastSubmit float64
+	any        bool
+}
+
+// StreamTrace opens a trace for streaming: it parses the leading metadata
+// comments and the column header (erroring if the input has none) and
+// returns a TraceReader positioned before the first job. Metadata
+// comments after the header — which Encode never writes — are still
+// applied as they are passed, but are not visible in Meta before then.
+func StreamTrace(r io.Reader) (*TraceReader, error) {
+	tr := newTraceReader(r)
+	tr.strict = true
+	for !tr.sawHeader {
+		line, err := tr.scan()
+		if err != nil {
+			return nil, err
+		}
+		if line == nil {
+			return nil, errors.New("workload: missing column header")
+		}
+		if err := tr.headerLine(string(line)); err != nil {
+			return nil, err
+		}
+	}
+	if tr.meta.Nodes < 1 {
+		return nil, errors.New("workload: trace has no nodes")
+	}
+	return tr, nil
+}
+
+func newTraceReader(r io.Reader) *TraceReader {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	lineno := 0
-	sawHeader := false
-	for sc.Scan() {
-		lineno++
-		line := strings.TrimSpace(sc.Text())
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	return &TraceReader{sc: sc}
+}
+
+// Meta returns the trace metadata (Name, Nodes, NodeMemGB; Jobs is nil).
+func (tr *TraceReader) Meta() *Trace {
+	m := tr.meta
+	return &m
+}
+
+// Dims returns the trace's resource dimensionality as declared by the
+// column header (2 for the paper's cpu+mem pair, 2+k when the header
+// carries k extra-dimension columns after the weight column) — the
+// streaming stand-in for Trace.Dims, which scans the jobs.
+func (tr *TraceReader) Dims() int {
+	if tr.headerCols > 7 {
+		return 2 + (tr.headerCols - 7)
+	}
+	return 2
+}
+
+// scan returns the next line, nil at EOF. A scanner failure on an
+// over-long line is turned into a line-numbered error instead of the bare
+// bufio.ErrTooLong.
+func (tr *TraceReader) scan() ([]byte, error) {
+	if !tr.sc.Scan() {
+		if err := tr.sc.Err(); err != nil {
+			if errors.Is(err, bufio.ErrTooLong) {
+				return nil, fmt.Errorf("workload: line %d: line too long (over %d bytes)", tr.lineno+1, maxLineBytes)
+			}
+			return nil, fmt.Errorf("workload: %v", err)
+		}
+		return nil, nil
+	}
+	tr.lineno++
+	return tr.sc.Bytes(), nil
+}
+
+// headerLine consumes one pre-header line: blank, metadata comment, or the
+// column header itself.
+func (tr *TraceReader) headerLine(raw string) error {
+	line := strings.TrimSpace(raw)
+	switch {
+	case line == "":
+		return nil
+	case strings.HasPrefix(line, "#"):
+		return tr.applyMeta(line)
+	case strings.HasPrefix(line, "id "):
+		tr.sawHeader = true
+		tr.headerCols = len(strings.Fields(line))
+		return nil
+	default:
+		return fmt.Errorf("workload: line %d: missing column header", tr.lineno)
+	}
+}
+
+// applyMeta parses one '#' comment line, updating the metadata when it is
+// one of the known keys.
+func (tr *TraceReader) applyMeta(line string) error {
+	meta := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+	switch {
+	case strings.HasPrefix(meta, "name:"):
+		tr.meta.Name = strings.TrimSpace(strings.TrimPrefix(meta, "name:"))
+	case strings.HasPrefix(meta, "nodes:"):
+		v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(meta, "nodes:")))
+		if err != nil {
+			return fmt.Errorf("workload: line %d: bad nodes: %v", tr.lineno, err)
+		}
+		tr.meta.Nodes = v
+	case strings.HasPrefix(meta, "nodemem_gb:"):
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(meta, "nodemem_gb:")), 64)
+		if err != nil {
+			return fmt.Errorf("workload: line %d: bad nodemem_gb: %v", tr.lineno, err)
+		}
+		tr.meta.NodeMemGB = v
+	}
+	return nil
+}
+
+// Next implements JobSource: it parses lines until the next job row. In
+// strict (StreamTrace) mode each job is validated as it is produced and
+// out-of-order submissions fail with a line-numbered error; ReadTrace
+// defers whole-trace validation to the end instead, preserving its
+// original semantics.
+func (tr *TraceReader) Next() (Job, bool, error) {
+	for {
+		raw, err := tr.scan()
+		if err != nil {
+			return Job{}, false, err
+		}
+		if raw == nil {
+			return Job{}, false, nil
+		}
+		line := strings.TrimSpace(string(raw))
 		if line == "" {
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
-			meta := strings.TrimSpace(strings.TrimPrefix(line, "#"))
-			switch {
-			case strings.HasPrefix(meta, "name:"):
-				t.Name = strings.TrimSpace(strings.TrimPrefix(meta, "name:"))
-			case strings.HasPrefix(meta, "nodes:"):
-				v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(meta, "nodes:")))
-				if err != nil {
-					return nil, fmt.Errorf("workload: line %d: bad nodes: %v", lineno, err)
-				}
-				t.Nodes = v
-			case strings.HasPrefix(meta, "nodemem_gb:"):
-				v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(meta, "nodemem_gb:")), 64)
-				if err != nil {
-					return nil, fmt.Errorf("workload: line %d: bad nodemem_gb: %v", lineno, err)
-				}
-				t.NodeMemGB = v
+			if err := tr.applyMeta(line); err != nil {
+				return Job{}, false, err
 			}
 			continue
 		}
-		if !sawHeader {
+		if !tr.sawHeader {
 			if !strings.HasPrefix(line, "id ") {
-				return nil, fmt.Errorf("workload: line %d: missing column header", lineno)
+				return Job{}, false, fmt.Errorf("workload: line %d: missing column header", tr.lineno)
 			}
-			sawHeader = true
+			tr.sawHeader = true
+			tr.headerCols = len(strings.Fields(line))
 			continue
 		}
-		f := strings.Fields(line)
-		if len(f) < 6 {
-			return nil, fmt.Errorf("workload: line %d: %d fields, want at least 6", lineno, len(f))
+		j, err := parseJobLine(line, tr.lineno)
+		if err != nil {
+			return Job{}, false, err
 		}
-		var j Job
-		var err error
-		if j.ID, err = strconv.Atoi(f[0]); err != nil {
-			return nil, fmt.Errorf("workload: line %d: id: %v", lineno, err)
-		}
-		if j.Submit, err = strconv.ParseFloat(f[1], 64); err != nil {
-			return nil, fmt.Errorf("workload: line %d: submit: %v", lineno, err)
-		}
-		if j.Tasks, err = strconv.Atoi(f[2]); err != nil {
-			return nil, fmt.Errorf("workload: line %d: tasks: %v", lineno, err)
-		}
-		if j.CPUNeed, err = strconv.ParseFloat(f[3], 64); err != nil {
-			return nil, fmt.Errorf("workload: line %d: cpu_need: %v", lineno, err)
-		}
-		if j.MemReq, err = strconv.ParseFloat(f[4], 64); err != nil {
-			return nil, fmt.Errorf("workload: line %d: mem_req: %v", lineno, err)
-		}
-		if j.ExecTime, err = strconv.ParseFloat(f[5], 64); err != nil {
-			return nil, fmt.Errorf("workload: line %d: exec_time: %v", lineno, err)
-		}
-		if len(f) >= 7 {
-			if j.Weight, err = strconv.ParseFloat(f[6], 64); err != nil {
-				return nil, fmt.Errorf("workload: line %d: weight: %v", lineno, err)
+		if tr.strict {
+			if err := j.Validate(tr.meta.Nodes); err != nil {
+				return Job{}, false, fmt.Errorf("line %d: %w", tr.lineno, err)
+			}
+			if tr.any && j.Submit < tr.lastSubmit {
+				return Job{}, false, fmt.Errorf("workload: line %d: job %d submitted before its predecessor", tr.lineno, j.ID)
 			}
 		}
-		if len(f) > 7 {
-			j.Extra = make([]float64, len(f)-7)
-			for k, field := range f[7:] {
-				if j.Extra[k], err = strconv.ParseFloat(field, 64); err != nil {
-					return nil, fmt.Errorf("workload: line %d: %s: %v", lineno, extraDimName(k), err)
-				}
+		tr.lastSubmit, tr.any = j.Submit, true
+		return j, true, nil
+	}
+}
+
+// parseJobLine parses one job row of the trace format.
+func parseJobLine(line string, lineno int) (Job, error) {
+	f := strings.Fields(line)
+	if len(f) < 6 {
+		return Job{}, fmt.Errorf("workload: line %d: %d fields, want at least 6", lineno, len(f))
+	}
+	var j Job
+	var err error
+	if j.ID, err = strconv.Atoi(f[0]); err != nil {
+		return Job{}, fmt.Errorf("workload: line %d: id: %v", lineno, err)
+	}
+	if j.Submit, err = strconv.ParseFloat(f[1], 64); err != nil {
+		return Job{}, fmt.Errorf("workload: line %d: submit: %v", lineno, err)
+	}
+	if j.Tasks, err = strconv.Atoi(f[2]); err != nil {
+		return Job{}, fmt.Errorf("workload: line %d: tasks: %v", lineno, err)
+	}
+	if j.CPUNeed, err = strconv.ParseFloat(f[3], 64); err != nil {
+		return Job{}, fmt.Errorf("workload: line %d: cpu_need: %v", lineno, err)
+	}
+	if j.MemReq, err = strconv.ParseFloat(f[4], 64); err != nil {
+		return Job{}, fmt.Errorf("workload: line %d: mem_req: %v", lineno, err)
+	}
+	if j.ExecTime, err = strconv.ParseFloat(f[5], 64); err != nil {
+		return Job{}, fmt.Errorf("workload: line %d: exec_time: %v", lineno, err)
+	}
+	if len(f) >= 7 {
+		if j.Weight, err = strconv.ParseFloat(f[6], 64); err != nil {
+			return Job{}, fmt.Errorf("workload: line %d: weight: %v", lineno, err)
+		}
+	}
+	if len(f) > 7 {
+		j.Extra = make([]float64, len(f)-7)
+		for k, field := range f[7:] {
+			if j.Extra[k], err = strconv.ParseFloat(field, 64); err != nil {
+				return Job{}, fmt.Errorf("workload: line %d: %s: %v", lineno, extraDimName(k), err)
 			}
 		}
-		t.Jobs = append(t.Jobs, j)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("workload: %v", err)
+	return j, nil
+}
+
+// ReadTrace parses a trace file written by Encode, materializing every
+// job. For inputs too large to hold in memory, StreamTrace reads the same
+// format one job at a time.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	tr := newTraceReader(r)
+	for {
+		j, ok, err := tr.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		tr.meta.Jobs = append(tr.meta.Jobs, j)
 	}
+	if !tr.sawHeader {
+		return nil, errors.New("workload: missing column header")
+	}
+	t := tr.meta
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	return t, nil
+	return &t, nil
 }

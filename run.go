@@ -3,6 +3,7 @@ package dfrs
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // defaultMaxSimTime is the livelock guard for facade runs: 50 years of
@@ -79,6 +81,7 @@ type runConfig struct {
 	timeline   bool
 	maxSimTime float64
 	observer   sim.Observer
+	jobSink    func(JobResult)
 }
 
 // WithPenalty sets the rescheduling penalty in seconds charged to every
@@ -162,6 +165,16 @@ func WithObserver(o Observer) RunOption {
 	}
 }
 
+// WithJobSink streams each completed job's outcome to fn the moment it
+// completes, instead of accumulating it in the result (Result.Jobs stays
+// empty; aggregate metrics are unaffected, but the per-job summaries —
+// MaxStretch, AvgStretch, JobStretches — see no jobs and must be computed
+// by the sink). Required for bounded-memory million-job runs, where the
+// per-job result array would otherwise dominate the heap.
+func WithJobSink(fn func(JobResult)) RunOption {
+	return func(c *runConfig) { c.jobSink = fn }
+}
+
 // Result wraps a finished simulation.
 type Result struct {
 	r *sim.Result
@@ -173,6 +186,29 @@ type Result struct {
 // runs to completion. Options default to the paper's homogeneous platform
 // with no rescheduling penalty.
 func Run(ctx context.Context, t Trace, algorithm string, opts ...RunOption) (Result, error) {
+	return runTrace(ctx, t.t, t.t.Dims(), nil, algorithm, opts)
+}
+
+// RunStream simulates the named algorithm over a trace read lazily from r
+// (the dfrs trace format, as written by Trace.Encode or dfrs-gen): jobs
+// enter the simulator as virtual time reaches their submission instant and
+// each job's runtime record is recycled at completion, so memory is
+// bounded by jobs-in-system rather than trace length. The Result equals
+// Run's on the same trace. Pair it with WithJobSink to also stream the
+// per-job outcomes instead of accumulating them.
+func RunStream(ctx context.Context, r io.Reader, algorithm string, opts ...RunOption) (Result, error) {
+	tr, err := workload.StreamTrace(r)
+	if err != nil {
+		return Result{}, err
+	}
+	return runTrace(ctx, tr.Meta(), tr.Dims(), tr, algorithm, opts)
+}
+
+// runTrace is the shared engine of Run and RunStream: it materializes the
+// platform from the options and executes the simulation. In streaming mode
+// (source non-nil) t carries metadata only and dims comes from the trace
+// header rather than a job scan.
+func runTrace(ctx context.Context, t *workload.Trace, dims int, source workload.JobSource, algorithm string, opts []RunOption) (Result, error) {
 	cfg := runConfig{maxSimTime: defaultMaxSimTime}
 	for _, opt := range opts {
 		opt(&cfg)
@@ -185,7 +221,7 @@ func Run(ctx context.Context, t Trace, algorithm string, opts ...RunOption) (Res
 	if err != nil {
 		return Result{}, err
 	}
-	cl, err := cluster.Profile(cfg.nodeMix, t.t.Nodes)
+	cl, err := cluster.Profile(cfg.nodeMix, t.Nodes)
 	if err != nil {
 		return Result{}, err
 	}
@@ -217,10 +253,12 @@ func Run(ctx context.Context, t Trace, algorithm string, opts ...RunOption) (Res
 	// extension: demands beyond it are rejected by the simulator's eager
 	// checks rather than granted phantom capacity.
 	if len(cfg.resources) == 0 {
-		cl = cl.ExtendUnit(t.t.Dims())
+		cl = cl.ExtendUnit(dims)
 	}
 	simulator, err := sim.New(sim.Config{
-		Trace:           t.t,
+		Trace:           t,
+		Source:          source,
+		JobSink:         cfg.jobSink,
 		Cluster:         cl,
 		Penalty:         cfg.penalty,
 		CheckInvariants: cfg.check,

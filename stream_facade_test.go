@@ -1,0 +1,135 @@
+package dfrs_test
+
+// RunStream must agree exactly with Run: a trace encoded to the dfrs text
+// format and replayed through the streaming reader yields the same Result
+// as the materialized run, for both the plain and GPU-extended formats.
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	dfrs "repro"
+)
+
+func streamEqTrace(t *testing.T) dfrs.Trace {
+	t.Helper()
+	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 5, Nodes: 16, Jobs: 60, Name: "stream-eq"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err = tr.ScaleToLoad(1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRunStreamMatchesRun(t *testing.T) {
+	tr := streamEqTrace(t)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	// Both paths parse the same bytes: the comparison is StreamTrace vs
+	// ReadTrace, not in-memory vs text (the text format quantizes floats).
+	rtr, err := dfrs.ReadTrace(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []string{"fcfs", "easy", "greedy-pmtn-migr", "dynmcb8", "dynmcb8-stretch-per"} {
+		mat, err := dfrs.Run(context.Background(), rtr, alg)
+		if err != nil {
+			t.Fatalf("%s run: %v", alg, err)
+		}
+		str, err := dfrs.RunStream(context.Background(), bytes.NewReader(encoded), alg)
+		if err != nil {
+			t.Fatalf("%s stream: %v", alg, err)
+		}
+		compareRuns(t, alg, mat, str)
+	}
+}
+
+func compareRuns(t *testing.T, alg string, mat, str dfrs.Result) {
+	t.Helper()
+	if mat.Makespan() != str.Makespan() {
+		t.Errorf("%s: makespan %g vs %g", alg, mat.Makespan(), str.Makespan())
+	}
+	if mat.Events() != str.Events() {
+		t.Errorf("%s: events %d vs %d", alg, mat.Events(), str.Events())
+	}
+	if mat.Preemptions() != str.Preemptions() || mat.Migrations() != str.Migrations() {
+		t.Errorf("%s: ops %d/%d vs %d/%d", alg, mat.Preemptions(), mat.Migrations(), str.Preemptions(), str.Migrations())
+	}
+	if mat.Cost() != str.Cost() {
+		t.Errorf("%s: cost %g vs %g", alg, mat.Cost(), str.Cost())
+	}
+	mj, sj := mat.Jobs(), str.Jobs()
+	if len(mj) != len(sj) {
+		t.Fatalf("%s: %d jobs vs %d", alg, len(mj), len(sj))
+	}
+	for i := range mj {
+		if mj[i].Job.ID != sj[i].Job.ID || mj[i].Start != sj[i].Start ||
+			mj[i].Finish != sj[i].Finish || mj[i].Pauses != sj[i].Pauses {
+			t.Errorf("%s: job %d: %+v vs %+v", alg, mj[i].Job.ID, mj[i], sj[i])
+		}
+	}
+}
+
+func TestRunStreamGPUFormat(t *testing.T) {
+	gtr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 5, Nodes: 16, Jobs: 60, Name: "stream-gpu", GPUFrac: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gtr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rtr, err := dfrs.ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := dfrs.Run(context.Background(), rtr, "dynmcb8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := dfrs.RunStream(context.Background(), bytes.NewReader(buf.Bytes()), "dynmcb8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareRuns(t, "dynmcb8/gpu", mat, str)
+}
+
+func TestRunStreamWithJobSink(t *testing.T) {
+	tr := streamEqTrace(t)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	res, err := dfrs.RunStream(context.Background(), &buf, "greedy-pmtn",
+		dfrs.WithJobSink(func(dfrs.JobResult) { n++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 60 {
+		t.Errorf("sink saw %d jobs, want 60", n)
+	}
+	if len(res.Jobs()) != 0 {
+		t.Errorf("Result.Jobs holds %d entries despite sink", len(res.Jobs()))
+	}
+	if res.Makespan() <= 0 {
+		t.Error("makespan not computed under sink")
+	}
+}
+
+func TestRunStreamBadInput(t *testing.T) {
+	if _, err := dfrs.RunStream(context.Background(), strings.NewReader("not a trace\n"), "fcfs"); err == nil {
+		t.Error("garbage input accepted")
+	}
+	if _, err := dfrs.RunStream(context.Background(), strings.NewReader(""), "fcfs"); err == nil {
+		t.Error("empty input accepted")
+	}
+}
