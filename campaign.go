@@ -40,6 +40,12 @@ const (
 	UnscaledLoad = campaign.Unscaled
 )
 
+// ParseGrid decodes and validates a JSON grid declaration — the wire
+// format of dfrs-serve submissions. Unknown fields are rejected so a
+// typoed dimension name fails the submission instead of silently running
+// the default sweep.
+func ParseGrid(data []byte) (*Grid, error) { return campaign.ParseGrid(data) }
+
 // ReadCampaignRecords parses a JSONL results stream; unparseable lines
 // (e.g. a torn final line after an interrupt) are skipped, matching the
 // checkpoint-resume semantics.
@@ -79,6 +85,13 @@ type CampaignOptions struct {
 	// job admission, pooled runtime records). Records are identical to a
 	// materialized run; the switch bounds live memory on large traces.
 	Stream bool
+	// OnJob, when non-nil, receives every retained per-job outcome of each
+	// finished cell, after the cell validates and before its record
+	// reaches the sinks — the campaign-side feed for online aggregators
+	// (OnlineAggregator.ObserveJob), mirroring WithOnlineMetrics on single
+	// runs. The tap never perturbs records. Cells finish on concurrent
+	// workers, so OnJob must be safe for concurrent use.
+	OnJob func(CampaignCell, JobResult)
 }
 
 // CampaignRun is a campaign in flight, started by Campaign.
@@ -154,6 +167,9 @@ func Campaign(ctx context.Context, g Grid, opt CampaignOptions) (*CampaignRun, e
 	}
 	if opt.Observer != nil {
 		runner.Observe = opt.Observer
+	}
+	if opt.OnJob != nil {
+		runner.OnJob = opt.OnJob
 	}
 
 	go func() {

@@ -32,17 +32,12 @@ func main() {
 		gpuFrac = flag.Float64("gpu-frac", 0, "fraction of jobs given a GPU demand in [0.1,0.5] (adds a gpu column to the trace format)")
 		swfFl   = flag.Bool("swf", false, "emit raw SWF instead of the trace format (hpc2n only)")
 		name    = flag.String("name", "", "trace name (default derived from model and seed)")
-		stream  = flag.Bool("stream", false, "generate and emit jobs one at a time without materializing the trace (lublin with -load 0 only; output is identical except that -gpu-frac always emits the gpu column)")
+		stream  = flag.Bool("stream", false, "generate and emit jobs one at a time without materializing the trace (lublin only; output is identical except that -gpu-frac always emits the gpu column, and -load regenerates the deterministic stream twice — measure, then scale — and declares the load as '# offered_load:' metadata)")
 	)
 	flag.Parse()
 
-	if *stream {
-		if *model != "lublin" {
-			fatal(fmt.Errorf("bad -stream: model %q materializes inherently (lublin only)", *model))
-		}
-		if *load > 0 {
-			fatal(fmt.Errorf("bad -stream: -load %g needs the whole trace to rescale (use -load 0)", *load))
-		}
+	if *stream && *model != "lublin" {
+		fatal(fmt.Errorf("bad -stream: model %q materializes inherently (lublin only)", *model))
 	}
 
 	// SIGINT/SIGTERM cancels the context; the context-aware writer then
@@ -60,7 +55,7 @@ func main() {
 			n = fmt.Sprintf("lublin-seed%d", *seed)
 		}
 		if *stream {
-			if err := streamLublin(out, *seed, *nodes, *jobs, n, *gpuFrac); err != nil {
+			if err := streamLublin(out, *seed, *nodes, *jobs, n, *gpuFrac, *load); err != nil {
 				fatal(err)
 			}
 			return
@@ -124,38 +119,107 @@ func main() {
 // AttachGPUDemand) byte for byte — except that the column layout is fixed
 // up front (a streaming writer cannot scan the jobs), so -gpu-frac emits
 // the gpu column even if the Bernoulli draws happen to select no job.
-func streamLublin(out io.Writer, seed uint64, nodes, njobs int, name string, gpuFrac float64) error {
+//
+// A target load runs the pipeline twice: the sequence is a deterministic
+// function of the seed, so a first instance measures the natural offered
+// load in O(1) memory and a second replays through a ScaledSource — the
+// streaming counterpart of ScaleToLoad, still never materializing the
+// trace. The target is declared as "# offered_load:" metadata so
+// single-pass consumers (dfrs-sim -stream -load reading stdin) can rescale
+// further without their own measuring pass.
+func streamLublin(out io.Writer, seed uint64, nodes, njobs int, name string, gpuFrac, load float64) error {
 	if njobs < 0 {
 		return fmt.Errorf("lublin: %d jobs requested", njobs)
 	}
-	root := rng.New(seed)
-	raw, err := lublin.DefaultParams(nodes).Stream(root.Split("arrivals"))
+	extraDims := 0
+	if gpuFrac > 0 {
+		extraDims = 1
+	}
+	src, err := newLublinSource(seed, nodes, njobs, gpuFrac)
 	if err != nil {
 		return err
 	}
-	ann := root.Split("annotations")
-	var gpu *rng.Source
-	extraDims := 0
-	if gpuFrac > 0 {
-		gpu = rng.New(seed).Split("gpu")
-		extraDims = 1
-	}
+	var jobs workload.JobSource = src
 	meta := &workload.Trace{Name: name, Nodes: nodes, NodeMemGB: lublin.NodeMemGB}
-	enc := workload.NewTraceEncoder(out, meta, false, extraDims)
-	for i := 0; i < njobs; i++ {
-		j := lublin.AnnotateJob(ann, raw.Next(), i)
-		if gpu != nil && gpu.Bernoulli(gpuFrac) {
-			u := gpu.Float64()
-			j.Extra = []float64{workload.GPUDemandLo + (workload.GPUDemandHi-workload.GPUDemandLo)*u}
-		}
-		if err := j.Validate(nodes); err != nil {
+	if load > 0 {
+		measure, err := newLublinSource(seed, nodes, njobs, gpuFrac)
+		if err != nil {
 			return err
+		}
+		cur, _, err := workload.MeasureSourceLoad(measure, nodes)
+		if err != nil {
+			return err
+		}
+		if cur <= 0 {
+			return fmt.Errorf("lublin: cannot rescale a %d-job stream with zero offered load", njobs)
+		}
+		if jobs, err = workload.NewScaledSource(src, cur/load); err != nil {
+			return err
+		}
+		meta.Name = fmt.Sprintf("%s-load%.2f", name, load)
+	}
+	enc := workload.NewTraceEncoder(out, meta, false, extraDims)
+	if load > 0 {
+		if err := enc.SetOfferedLoad(load); err != nil {
+			return err
+		}
+	}
+	for {
+		j, ok, err := jobs.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
 		}
 		if err := enc.Write(j); err != nil {
 			return err
 		}
 	}
 	return enc.Flush()
+}
+
+// lublinSource replays the deterministic generate→annotate(→gpu) pipeline
+// as a workload.JobSource; instances with identical parameters emit
+// identical job sequences.
+type lublinSource struct {
+	raw     *lublin.RawStream
+	ann     *rng.Source
+	gpu     *rng.Source
+	gpuFrac float64
+	nodes   int
+	njobs   int
+	i       int
+}
+
+func newLublinSource(seed uint64, nodes, njobs int, gpuFrac float64) (*lublinSource, error) {
+	root := rng.New(seed)
+	raw, err := lublin.DefaultParams(nodes).Stream(root.Split("arrivals"))
+	if err != nil {
+		return nil, err
+	}
+	s := &lublinSource{raw: raw, ann: root.Split("annotations"), gpuFrac: gpuFrac, nodes: nodes, njobs: njobs}
+	if gpuFrac > 0 {
+		s.gpu = rng.New(seed).Split("gpu")
+	}
+	return s, nil
+}
+
+// Next implements workload.JobSource.
+func (s *lublinSource) Next() (workload.Job, bool, error) {
+	if s.i >= s.njobs {
+		return workload.Job{}, false, nil
+	}
+	j := lublin.AnnotateJob(s.ann, s.raw.Next(), s.i)
+	s.i++
+	if s.gpu != nil && s.gpu.Bernoulli(s.gpuFrac) {
+		u := s.gpu.Float64()
+		j.Extra = []float64{workload.GPUDemandLo + (workload.GPUDemandHi-workload.GPUDemandLo)*u}
+	}
+	if err := j.Validate(s.nodes); err != nil {
+		return workload.Job{}, false, err
+	}
+	return j, true, nil
 }
 
 func fatal(err error) {

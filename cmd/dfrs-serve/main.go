@@ -1,0 +1,82 @@
+// Command dfrs-serve runs the DFRS simulator as a service: an HTTP daemon
+// that accepts campaign grids and trace uploads, executes them on a
+// bounded worker pool, streams progress and live online-metric snapshots
+// over SSE, and checkpoints campaigns so a killed daemon resumes at cell
+// granularity on restart.
+//
+//	dfrs-serve -addr :8080 -state-dir /var/lib/dfrs
+//
+//	# submit the Figure 1 smoke grid
+//	curl -d '{"name":"fig1","algorithms":["fcfs","greedy"],
+//	          "families":[{"kind":"lublin","count":2}],
+//	          "loads":[0.7],"nodes":[32],"jobs_per_trace":200}' \
+//	     localhost:8080/v1/campaigns
+//
+//	# watch it live
+//	curl -N localhost:8080/v1/jobs/<id>/events
+//
+// See internal/serve for the API and the resume guarantees.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		stateDir = flag.String("state-dir", "dfrs-serve-state", "state directory (specs, checkpoints, summaries)")
+		jobs     = flag.Int("jobs", 2, "max concurrently executing submissions")
+		cellWork = flag.Int("cell-workers", 1, "concurrent cells per campaign (1 keeps checkpoints byte-reproducible across restarts)")
+	)
+	flag.Parse()
+
+	m, err := serve.New(serve.Options{Dir: *stateDir, Jobs: *jobs, CellWorkers: *cellWork})
+	if err != nil {
+		fatal(err)
+	}
+	resumed, err := m.Resume()
+	if err != nil {
+		fatal(err)
+	}
+	if len(resumed) > 0 {
+		fmt.Fprintf(os.Stderr, "dfrs-serve: resuming %d incomplete job(s): %v\n", len(resumed), resumed)
+	}
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: m.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "dfrs-serve: listening on %s (state in %s)\n", *addr, *stateDir)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting requests, then cancel the running
+	// jobs. Campaigns stop within one cell and their checkpoints stay
+	// valid, so the next boot resumes exactly the missing cells.
+	fmt.Fprintln(os.Stderr, "dfrs-serve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "dfrs-serve: shutdown:", err)
+	}
+	m.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfrs-serve:", err)
+	os.Exit(1)
+}

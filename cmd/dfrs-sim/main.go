@@ -40,7 +40,7 @@ func main() {
 		resources = flag.String("resources", "", "comma-separated resource dimensions, e.g. cpu,mem,gpu; or @file to load a node inventory (one capacity vector per line, optional cost= field, tiled over -nodes); empty = cpu,mem (or the node-mix profile's own)")
 		objective = flag.String("objective", "", "placement objective (see dfrs.Objectives, e.g. cost, bestfit); empty = each scheduler family's default rule")
 		gpuFrac   = flag.Float64("gpu-frac", 0, "fraction of synthetic jobs given a GPU demand (adds a third resource dimension)")
-		load      = flag.Float64("load", 0.7, "synthetic offered load (0 = natural)")
+		load      = flag.Float64("load", 0.7, "synthetic offered load (0 = natural); with -stream, explicitly setting it rescales the streamed trace to this load (two-pass measurement for a -trace file, '# offered_load:' metadata for stdin)")
 		check     = flag.Bool("check", false, "enable per-event invariant checking")
 		events    = flag.Bool("events", false, "stream every scheduling transition live to stderr")
 		perJob    = flag.Bool("jobs-detail", false, "print per-job stretch table")
@@ -53,6 +53,17 @@ func main() {
 		maxYears  = flag.Float64("max-sim-years", 50, "livelock guard: fail a run whose simulated clock passes this many years (long natural-load traces need more)")
 	)
 	flag.Parse()
+
+	// -load defaults to 0.7 for the synthetic generator; a streamed trace
+	// is rescaled only when the flag was given explicitly, so plain
+	// `dfrs-sim -stream -trace f` replays the file's natural load exactly
+	// like the materialized `dfrs-sim -trace f`.
+	loadSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "load" {
+			loadSet = true
+		}
+	})
 
 	if *list {
 		for _, name := range dfrs.Algorithms() {
@@ -151,19 +162,42 @@ func main() {
 	if *events {
 		opts = append(opts, dfrs.WithObserver(stderrObserver{}))
 	}
-	// -summary-only folds each job's stretch into running aggregates as it
+	// -summary-only folds each job's stretch into the shared online
+	// aggregator (the same layer behind dfrs-serve's live snapshots) as it
 	// completes, instead of retaining the per-job result list. The average
 	// is summed in completion order, so it can differ from the
-	// materialized report in the last float bits; max is order-free.
-	var agg *onlineAgg
+	// materialized report in the last float bits; max is order-free, and
+	// the printed percentiles carry the sketch's documented tolerance.
+	var agg *dfrs.OnlineAggregator
 	if *summary {
-		agg = &onlineAgg{}
-		opts = append(opts, dfrs.WithJobSink(agg.add))
+		agg = dfrs.NewOnlineAggregator()
+		opts = append(opts, dfrs.WithOnlineMetrics(agg))
 	}
 	var res dfrs.Result
 	var err error
 	traceLabel := *tracePath
 	if *stream {
+		// An explicit -load rescales the stream: a seekable -trace file is
+		// measured on a first pass and replayed; stdin must declare its
+		// load ("# offered_load:", as dfrs-gen -stream -load emits).
+		if loadSet && *load > 0 {
+			opts = append(opts, dfrs.WithTargetLoad(*load))
+			if *tracePath != "" {
+				mf, oerr := os.Open(*tracePath)
+				if oerr != nil {
+					fatal(oerr)
+				}
+				cur, _, merr := dfrs.MeasureStreamLoad(mf)
+				mf.Close()
+				if merr != nil {
+					fatal(merr)
+				}
+				if cur <= 0 {
+					fatal(fmt.Errorf("bad -load: trace %s has zero measured offered load", *tracePath))
+				}
+				opts = append(opts, dfrs.WithCurrentLoad(cur))
+			}
+		}
 		in := os.Stdin
 		if *tracePath != "" {
 			f, oerr := os.Open(*tracePath)
@@ -187,17 +221,21 @@ func main() {
 		fatal(err)
 	}
 	costs := res.Costs()
+	var snap dfrs.OnlineSnapshot
+	if agg != nil {
+		snap = agg.Snapshot()
+	}
 	// Per-job rates divide by the retained job list, which -summary-only
 	// keeps empty; recompute them from the online completion count.
-	if agg != nil && agg.n > 0 {
-		costs.PreemptionsPerJob = float64(res.Preemptions()) / float64(agg.n)
-		costs.MigrationsPerJob = float64(res.Migrations()) / float64(agg.n)
-		costs.NodeCostPerJob = res.Cost() / float64(agg.n)
+	if agg != nil && snap.Jobs > 0 {
+		costs.PreemptionsPerJob = float64(res.Preemptions()) / float64(snap.Jobs)
+		costs.MigrationsPerJob = float64(res.Migrations()) / float64(snap.Jobs)
+		costs.NodeCostPerJob = res.Cost() / float64(snap.Jobs)
 	}
 	if *stream {
-		done := len(res.Jobs())
+		done := int64(len(res.Jobs()))
 		if agg != nil {
-			done = agg.n
+			done = snap.Jobs
 		}
 		fmt.Printf("trace        %s (streamed, %d jobs completed)\n", traceLabel, done)
 	} else {
@@ -213,11 +251,15 @@ func main() {
 	}
 	fmt.Printf("makespan     %.1f h\n", res.Makespan()/3600)
 	maxStretch, avgStretch := res.MaxStretch(), res.AvgStretch()
-	if agg != nil && agg.n > 0 {
-		maxStretch, avgStretch = agg.max, agg.sum/float64(agg.n)
+	if agg != nil && snap.Jobs > 0 {
+		maxStretch, avgStretch = snap.MaxStretch, snap.AvgStretch
 	}
 	fmt.Printf("max stretch  %.2f\n", maxStretch)
 	fmt.Printf("avg stretch  %.2f\n", avgStretch)
+	if agg != nil && snap.Jobs > 0 {
+		fmt.Printf("stretch pcts p50 %.2f, p95 %.2f, p99 %.2f (online sketch)\n",
+			snap.StretchP50, snap.StretchP95, snap.StretchP99)
+	}
 	fmt.Printf("preemptions  %d (%.3f GB/s, %.2f/h, %.2f/job)\n",
 		res.Preemptions(), costs.PreemptionGBps, costs.PreemptionsPerHour, costs.PreemptionsPerJob)
 	fmt.Printf("migrations   %d (%.3f GB/s, %.2f/h, %.2f/job)\n",
@@ -269,22 +311,6 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dfrs-sim: live heap %.1f MiB exceeds -max-heap-mb %d\n", heapMiB, *maxHeapMB)
 			os.Exit(1)
 		}
-	}
-}
-
-// onlineAgg folds completed jobs into summary statistics as they finish,
-// the -summary-only replacement for retaining Result.Jobs.
-type onlineAgg struct {
-	n        int
-	sum, max float64
-}
-
-func (a *onlineAgg) add(jr dfrs.JobResult) {
-	s := dfrs.BoundedStretch(jr.Turnaround, jr.Job.ExecTime)
-	a.n++
-	a.sum += s
-	if s > a.max {
-		a.max = s
 	}
 }
 

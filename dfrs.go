@@ -23,7 +23,17 @@
 //     executed on a bounded worker pool, streamed as JSONL records that
 //     double as resumable checkpoints;
 //   - the paper's metrics: bounded stretch, degradation factors, and
-//     preemption/migration costs.
+//     preemption/migration costs — both post hoc (Result) and as rolling
+//     aggregates computed while a run executes (NewOnlineAggregator,
+//     WithOnlineMetrics: quantile-sketched stretch percentiles, event
+//     counters and cost burn with concurrent-safe snapshots, the layer
+//     behind the dfrs-serve daemon's live metrics).
+//
+// The simulator also runs as a service: cmd/dfrs-serve (internal/serve)
+// is an HTTP daemon that accepts campaign grids and trace uploads, runs
+// them on a bounded pool, streams records, scheduling events and online
+// snapshots over SSE, and resumes interrupted campaigns at cell
+// granularity after a restart.
 //
 // A minimal run:
 //

@@ -1,0 +1,140 @@
+// Command serve demonstrates the dfrs-serve HTTP API end to end: submit a
+// small Figure-1-style campaign grid, follow its server-sent event stream,
+// and print the rolling p95 stretch as online snapshots arrive — the live
+// view a dashboard would render — then fetch the final summary.
+//
+// Point it at a running daemon:
+//
+//	dfrs-serve -addr 127.0.0.1:8080 -state-dir /tmp/dfrs-state &
+//	go run ./examples/serve -addr 127.0.0.1:8080
+//
+// With no -addr, the example starts an in-process daemon on a loopback
+// port first, so it runs with zero setup.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+// grid is a small slice of the paper's Figure 1 campaign: three scheduler
+// families over two Lublin traces at offered load 0.7.
+const grid = `{
+  "name": "fig1-live",
+  "algorithms": ["fcfs", "greedy-pmtn", "dynmcb8-asap-per"],
+  "families": [{"kind": "lublin", "count": 2}],
+  "loads": [0.7],
+  "nodes": [32],
+  "jobs_per_trace": 2000
+}`
+
+func main() {
+	addr := flag.String("addr", "", "daemon address (empty: start one in-process)")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		base = startLocalDaemon()
+	}
+	base = "http://" + base
+
+	// Submit the grid; the daemon answers 202 with the job ID before any
+	// cell has run.
+	resp, err := http.Post(base+"/v1/campaigns", "application/json", strings.NewReader(grid))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sub struct {
+		ID    string `json:"id"`
+		Cells int    `json:"cells"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("submit rejected: %d %+v", resp.StatusCode, sub)
+	}
+	fmt.Printf("submitted job %s (%d cells)\n", sub.ID, sub.Cells)
+
+	// Follow the SSE stream. Record frames mark finished cells; snapshot
+	// frames carry the rolling aggregates, including the p95 stretch
+	// sketch value.
+	stream, err := http.Get(base + "/v1/jobs/" + sub.ID + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stream.Body.Close()
+	var (
+		event string
+		cells int
+	)
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case serve.EventRecord:
+				cells++
+			case serve.EventSnapshot:
+				var snap struct {
+					Jobs int64   `json:"jobs"`
+					P50  float64 `json:"stretch_p50"`
+					P95  float64 `json:"stretch_p95"`
+				}
+				if err := json.Unmarshal([]byte(data), &snap); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("cell %2d/%d  %5d jobs folded  rolling stretch p50 %8.2f  p95 %8.2f\n",
+					cells, sub.Cells, snap.Jobs, snap.P50, snap.P95)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The stream ended with the job: the summary is now final.
+	resp, err = http.Get(base + "/v1/jobs/" + sub.ID + "/summary")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sum serve.Status
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		log.Fatal(err)
+	}
+	s := sum.Snapshot
+	fmt.Printf("\njob %s %s: %d cells, %d jobs\n", sum.ID, sum.State, s.Cells, s.Jobs)
+	fmt.Printf("stretch p50 %.2f  p95 %.2f  p99 %.2f  max %.2f  utilization %.3f\n",
+		s.StretchP50, s.StretchP95, s.StretchP99, s.MaxStretch, s.Utilization)
+}
+
+// startLocalDaemon runs a throwaway in-process daemon and returns its
+// listen address.
+func startLocalDaemon() string {
+	m, err := serve.New(serve.Options{Dir: "dfrs-serve-state"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, m.Handler())
+	fmt.Printf("in-process daemon on %s (state in dfrs-serve-state/)\n", ln.Addr())
+	return ln.Addr().String()
+}

@@ -19,6 +19,8 @@
 package campaign
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strconv"
@@ -104,6 +106,36 @@ type Grid struct {
 	// leave it off for campaigns whose output must be reproducible
 	// byte-for-byte.
 	Timing bool `json:"timing"`
+}
+
+// ParseGrid decodes and validates a JSON grid declaration, the submission
+// format of the dfrs-serve daemon. Unknown fields are rejected so that a
+// typoed dimension name fails the submission instead of silently running
+// the default sweep.
+func ParseGrid(data []byte) (*Grid, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var g Grid
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("campaign: parse grid: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// Remaining counts the cells a resumed run still has to execute: the
+// grid's cells whose keys are not in the skip set (typically the keys read
+// back from a JSONL checkpoint by OpenCheckpoint or ReadKeys).
+func (g *Grid) Remaining(skip map[string]bool) int {
+	n := 0
+	for _, c := range g.Cells() {
+		if !skip[c.Key()] {
+			n++
+		}
+	}
+	return n
 }
 
 // Cell is one point of an expanded grid: exactly one simulation.

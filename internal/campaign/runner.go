@@ -50,6 +50,14 @@ type Runner struct {
 	// identical either way; the switch exists to bound live memory on
 	// very large traces and to exercise the streaming engine in anger.
 	Stream bool
+	// OnJob, when non-nil, is called once per retained job result of every
+	// finished cell, after the cell's invariants validate and before its
+	// record reaches the Sink. It exists to feed streaming aggregators
+	// (internal/metrics/online) without perturbing records: the fold walks
+	// the already-retained per-job results, so record bytes are identical
+	// with or without the tap. Cells finish on concurrent workers, so OnJob
+	// must be safe for concurrent use.
+	OnJob func(Cell, sim.JobResult)
 }
 
 // Run expands, validates and executes the grid, returning the records of
@@ -221,6 +229,11 @@ func runCell(ctx context.Context, r *Runner, mat *materialiser, g *Grid, c Cell)
 	sum := metrics.Summarize(res)
 	if sum.Jobs == 0 {
 		return Record{}, fmt.Errorf("no finished jobs")
+	}
+	if r.OnJob != nil {
+		for _, jr := range res.Jobs {
+			r.OnJob(c, jr)
+		}
 	}
 	costs := metrics.Costs(res)
 	rec := Record{

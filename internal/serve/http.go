@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+
+	"repro/internal/campaign"
+)
+
+// maxGridBytes bounds a grid submission body; a grid is a small JSON
+// declaration, so anything past this is a client error.
+const maxGridBytes = 1 << 20
+
+// maxTraceBytes bounds a trace upload body.
+const maxTraceBytes = 1 << 30
+
+// Handler returns the daemon's HTTP API over this manager:
+//
+//	GET  /healthz                  liveness probe
+//	POST /v1/campaigns             submit a grid (JSON body) -> 202 {id, cells}
+//	POST /v1/runs?alg=...          submit a trace run (body = trace) -> 202 {id}
+//	GET  /v1/jobs                  list job statuses
+//	GET  /v1/jobs/{id}             one job's status + live snapshot
+//	GET  /v1/jobs/{id}/events      SSE stream: status/record/event/snapshot
+//	GET  /v1/jobs/{id}/records     the JSONL checkpoint (grid jobs)
+//	GET  /v1/jobs/{id}/summary     final summary (live or from disk)
+//
+// /v1/runs accepts query parameters alg (required), penalty, load
+// (target offered load), node_mix and objective.
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONResp(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/campaigns", m.handleSubmitGrid)
+	mux.HandleFunc("POST /v1/runs", m.handleSubmitTrace)
+	mux.HandleFunc("GET /v1/jobs", m.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", m.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", m.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/records", m.handleRecords)
+	mux.HandleFunc("GET /v1/jobs/{id}/summary", m.handleSummary)
+	return mux
+}
+
+func (m *Manager) handleSubmitGrid(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxGridBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return
+	}
+	g, err := campaign.ParseGrid(data)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := m.SubmitGrid(g)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSONResp(w, http.StatusAccepted, map[string]any{
+		"id": j.ID(), "cells": len(g.Cells()),
+	})
+}
+
+func (m *Manager) handleSubmitTrace(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	ts := TraceSpec{
+		Algorithm: q.Get("alg"),
+		NodeMix:   q.Get("node_mix"),
+		Objective: q.Get("objective"),
+	}
+	if ts.Algorithm == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("serve: alg query parameter is required"))
+		return
+	}
+	var err error
+	if v := q.Get("penalty"); v != "" {
+		if ts.Penalty, err = strconv.ParseFloat(v, 64); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad penalty: %w", err))
+			return
+		}
+	}
+	if v := q.Get("load"); v != "" {
+		if ts.TargetLoad, err = strconv.ParseFloat(v, 64); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("serve: bad load: %w", err))
+			return
+		}
+	}
+	j, err := m.SubmitTrace(ts, http.MaxBytesReader(w, r.Body, maxTraceBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSONResp(w, http.StatusAccepted, map[string]any{"id": j.ID()})
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := m.List()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSONResp(w, http.StatusOK, out)
+}
+
+func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSONResp(w, http.StatusOK, j.Status())
+}
+
+// handleEvents streams the job live as Server-Sent Events: an initial
+// status frame, then record/event/snapshot frames as they happen, then a
+// final status frame when the job ends. The stream also ends when the
+// client disconnects; frames the client is too slow to take are dropped,
+// not buffered without bound.
+func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", r.PathValue("id")))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("serve: response writer cannot stream"))
+		return
+	}
+	// Subscribe before the initial status read so no frame between the two
+	// is missed (at worst a frame is duplicated into a fresher status).
+	ch, cancel := j.Subscribe(1024)
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if !writeSSE(w, fl, Event{Type: EventStatus, Data: j.Status()}) {
+		return
+	}
+	for {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				// Hub closed: the job finished. One final authoritative
+				// status so clients need not poll after the stream ends.
+				writeSSE(w, fl, Event{Type: EventStatus, Data: j.Status()})
+				return
+			}
+			if !writeSSE(w, fl, e) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (m *Manager) handleRecords(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := m.Get(id); !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+		return
+	}
+	f, err := os.Open(m.RecordsPath(id))
+	if err != nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: job %q has no records", id))
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/jsonl")
+	w.WriteHeader(http.StatusOK)
+	io.Copy(w, f)
+}
+
+// handleSummary serves the final summary: from the in-memory job when
+// known, else from the persisted summary document — so jobs completed
+// before a restart (which Resume does not re-load) still answer.
+func (m *Manager) handleSummary(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if j, ok := m.Get(id); ok {
+		st := j.Status()
+		if st.State != StateDone {
+			httpError(w, http.StatusConflict, fmt.Errorf("serve: job %q is %s", id, st.State))
+			return
+		}
+		writeJSONResp(w, http.StatusOK, st)
+		return
+	}
+	data, err := os.ReadFile(m.SummaryPath(id))
+	if err != nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// writeSSE emits one frame in SSE wire form; a marshal or write failure
+// ends the stream.
+func writeSSE(w http.ResponseWriter, fl http.Flusher, e Event) bool {
+	data, err := json.Marshal(e.Data)
+	if err != nil {
+		return false
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data); err != nil {
+		return false
+	}
+	fl.Flush()
+	return true
+}
+
+func writeJSONResp(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSONResp(w, code, map[string]string{"error": err.Error()})
+}

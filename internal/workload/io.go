@@ -69,37 +69,72 @@ func (s *SliceSource) Next() (Job, bool, error) {
 // columns are emitted) because a streaming writer cannot scan the whole
 // job list first; Encode, which can, chooses the minimal layout.
 type TraceEncoder struct {
-	bw        *bufio.Writer
-	weighted  bool
-	extraDims int
+	bw          *bufio.Writer
+	meta        Trace
+	weighted    bool
+	extraDims   int
+	offeredLoad float64
+	started     bool
 }
 
-// NewTraceEncoder writes the metadata comments and the column header for
-// meta (whose Jobs are ignored) and returns an encoder for the job rows.
-// If weighted is true, or extraDims > 0, the weight column is emitted;
-// extraDims fixes the number of extra-dimension columns.
+// NewTraceEncoder returns an encoder that writes the metadata comments and
+// the column header for meta (whose Jobs are ignored) followed by the job
+// rows. If weighted is true, or extraDims > 0, the weight column is
+// emitted; extraDims fixes the number of extra-dimension columns. The
+// preamble is deferred until the first Write (or Flush), so optional
+// metadata like SetOfferedLoad can still be attached after construction;
+// output bytes are unchanged from when the preamble was written eagerly.
 func NewTraceEncoder(w io.Writer, meta *Trace, weighted bool, extraDims int) *TraceEncoder {
 	if extraDims > 0 {
 		weighted = true
 	}
-	e := &TraceEncoder{bw: bufio.NewWriter(w), weighted: weighted, extraDims: extraDims}
+	m := Trace{Name: meta.Name, Nodes: meta.Nodes, NodeMemGB: meta.NodeMemGB}
+	return &TraceEncoder{bw: bufio.NewWriter(w), meta: m, weighted: weighted, extraDims: extraDims}
+}
+
+// SetOfferedLoad declares the stream's offered load in the preamble
+// ("# offered_load: v"), letting a single-pass consumer rescale to a
+// target load without draining the stream first (TraceReader.DeclaredLoad,
+// dfrs-sim -stream -load). It must be called before the first Write;
+// non-positive values are rejected. Traces that never declare a load
+// encode byte-identically to the pre-metadata format.
+func (e *TraceEncoder) SetOfferedLoad(load float64) error {
+	if e.started {
+		return errors.New("workload: SetOfferedLoad after first Write")
+	}
+	if !(load > 0) {
+		return fmt.Errorf("workload: declared offered load %g must be positive", load)
+	}
+	e.offeredLoad = load
+	return nil
+}
+
+// preamble writes the metadata comments and column header once.
+func (e *TraceEncoder) preamble() {
+	if e.started {
+		return
+	}
+	e.started = true
 	fmt.Fprintf(e.bw, "# dfrs-trace v1\n")
-	fmt.Fprintf(e.bw, "# name: %s\n", meta.Name)
-	fmt.Fprintf(e.bw, "# nodes: %d\n", meta.Nodes)
-	fmt.Fprintf(e.bw, "# nodemem_gb: %g\n", meta.NodeMemGB)
+	fmt.Fprintf(e.bw, "# name: %s\n", e.meta.Name)
+	fmt.Fprintf(e.bw, "# nodes: %d\n", e.meta.Nodes)
+	fmt.Fprintf(e.bw, "# nodemem_gb: %g\n", e.meta.NodeMemGB)
+	if e.offeredLoad > 0 {
+		fmt.Fprintf(e.bw, "# offered_load: %g\n", e.offeredLoad)
+	}
 	fmt.Fprintf(e.bw, "id submit tasks cpu_need mem_req exec_time")
-	if weighted {
+	if e.weighted {
 		fmt.Fprintf(e.bw, " weight")
 	}
-	for k := 0; k < extraDims; k++ {
+	for k := 0; k < e.extraDims; k++ {
 		fmt.Fprintf(e.bw, " %s", extraDimName(k))
 	}
 	fmt.Fprintf(e.bw, "\n")
-	return e
 }
 
 // Write emits one job row.
 func (e *TraceEncoder) Write(j Job) error {
+	e.preamble()
 	fmt.Fprintf(e.bw, "%d %.6f %d %.6f %.6f %.6f",
 		j.ID, j.Submit, j.Tasks, j.CPUNeed, j.MemReq, j.ExecTime)
 	if e.weighted {
@@ -113,7 +148,12 @@ func (e *TraceEncoder) Write(j Job) error {
 }
 
 // Flush flushes the encoder's buffer; call it once after the last Write.
-func (e *TraceEncoder) Flush() error { return e.bw.Flush() }
+// An encoder flushed without any Write still emits the preamble, so an
+// empty trace file remains well-formed.
+func (e *TraceEncoder) Flush() error {
+	e.preamble()
+	return e.bw.Flush()
+}
 
 // Encode serializes the trace in the dfrs trace format. When any job
 // carries a non-default weight, the optional seventh column is emitted.
@@ -153,14 +193,16 @@ func extraDimName(k int) string {
 // before the first job is read, and validates each job (including
 // submission ordering) as it is produced, with line-numbered errors.
 type TraceReader struct {
-	sc         *bufio.Scanner
-	meta       Trace
-	lineno     int
-	headerCols int
-	sawHeader  bool
-	strict     bool
-	lastSubmit float64
-	any        bool
+	sc          *bufio.Scanner
+	meta        Trace
+	lineno      int
+	headerCols  int
+	sawHeader   bool
+	strict      bool
+	lastSubmit  float64
+	any         bool
+	declLoad    float64
+	hasDeclLoad bool
 }
 
 // StreamTrace opens a trace for streaming: it parses the leading metadata
@@ -199,6 +241,15 @@ func newTraceReader(r io.Reader) *TraceReader {
 func (tr *TraceReader) Meta() *Trace {
 	m := tr.meta
 	return &m
+}
+
+// DeclaredLoad returns the offered load the trace preamble declares
+// ("# offered_load:", written by TraceEncoder.SetOfferedLoad), with
+// ok=false when the trace carries none. A declared load lets a single-pass
+// consumer rescale the stream to a target load (NewScaledSource with
+// factor declared/target) without draining it first.
+func (tr *TraceReader) DeclaredLoad() (load float64, ok bool) {
+	return tr.declLoad, tr.hasDeclLoad
 }
 
 // Dims returns the trace's resource dimensionality as declared by the
@@ -266,6 +317,15 @@ func (tr *TraceReader) applyMeta(line string) error {
 			return fmt.Errorf("workload: line %d: bad nodemem_gb: %v", tr.lineno, err)
 		}
 		tr.meta.NodeMemGB = v
+	case strings.HasPrefix(meta, "offered_load:"):
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(meta, "offered_load:")), 64)
+		if err != nil {
+			return fmt.Errorf("workload: line %d: bad offered_load: %v", tr.lineno, err)
+		}
+		if !(v > 0) {
+			return fmt.Errorf("workload: line %d: declared offered load %g must be positive", tr.lineno, v)
+		}
+		tr.declLoad, tr.hasDeclLoad = v, true
 	}
 	return nil
 }

@@ -1,0 +1,90 @@
+package workload
+
+import "fmt"
+
+// This file is the streaming counterpart of ScaleInterarrival/ScaleToLoad:
+// load scaling for job sources that are never materialized. The pieces
+// compose into two schemes, both used by dfrs-sim -stream -load:
+//
+//   - metadata-carried: a generator that knows its offered load stamps it
+//     into the trace preamble (TraceEncoder.SetOfferedLoad); the reader
+//     surfaces it (TraceReader.DeclaredLoad) and a ScaledSource with
+//     factor declared/target hits the target in a single pass.
+//   - two-pass: MeasureSourceLoad drains the stream once in O(1) memory to
+//     measure the load, then the (seekable) input is reopened and replayed
+//     through a ScaledSource.
+
+// ScaledSource rescales a job stream's inter-arrival times by a constant
+// factor, preserving the first submission instant. The gap walk is
+// arithmetically identical to Trace.ScaleInterarrival, so a scaled stream
+// replays the exact submission times of scaling the materialized trace —
+// streaming and materialized runs of the same scaled workload stay
+// bit-identical. Job IDs, sizes and runtimes pass through untouched: only
+// the offered load changes, as in the paper's scaled trace sets.
+type ScaledSource struct {
+	src     JobSource
+	factor  float64
+	prevOld float64
+	prevNew float64
+	any     bool
+}
+
+// NewScaledSource wraps src, multiplying every inter-arrival gap by factor
+// (> 0). A factor below 1 compresses arrivals (raising offered load); above
+// 1 stretches them.
+func NewScaledSource(src JobSource, factor float64) (*ScaledSource, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("workload: inter-arrival scale factor %g must be positive", factor)
+	}
+	return &ScaledSource{src: src, factor: factor}, nil
+}
+
+// Next implements JobSource.
+func (s *ScaledSource) Next() (Job, bool, error) {
+	j, ok, err := s.src.Next()
+	if !ok || err != nil {
+		return j, ok, err
+	}
+	if !s.any {
+		s.any = true
+		s.prevOld = j.Submit
+		s.prevNew = j.Submit
+		return j, true, nil
+	}
+	gap := j.Submit - s.prevOld
+	s.prevOld = j.Submit
+	s.prevNew += gap * s.factor
+	j.Submit = s.prevNew
+	return j, true, nil
+}
+
+// MeasureSourceLoad drains a job source and returns its offered load on a
+// cluster of the given node count — total work over the capacity available
+// across the submission span, the same definition (and summation order) as
+// Trace.OfferedLoad — in O(1) memory, plus the number of jobs seen. Spans
+// of zero, fewer than two jobs, or a non-positive node count measure as
+// load 0. The source is consumed; reopen a seekable input to replay it
+// (the two-pass scheme of dfrs-sim -stream -load).
+func MeasureSourceLoad(src JobSource, nodes int) (load float64, jobs int, err error) {
+	var work, first, last float64
+	for {
+		j, ok, err := src.Next()
+		if err != nil {
+			return 0, jobs, err
+		}
+		if !ok {
+			break
+		}
+		if jobs == 0 {
+			first = j.Submit
+		}
+		last = j.Submit
+		work += j.Work()
+		jobs++
+	}
+	span := last - first
+	if jobs < 2 || span <= 0 || nodes <= 0 {
+		return 0, jobs, nil
+	}
+	return work / (span * float64(nodes)), jobs, nil
+}

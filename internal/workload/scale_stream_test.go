@@ -1,0 +1,183 @@
+package workload
+
+// Tests for streaming load scaling: ScaledSource must replay the exact
+// submission times of the materialized ScaleInterarrival/ScaleToLoad path,
+// MeasureSourceLoad must agree with Trace.OfferedLoad bit-for-bit, and the
+// "# offered_load:" preamble metadata must round-trip through the encoder
+// and reader without disturbing traces that never declare one.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// irregularTrace builds a trace with uneven gaps and mixed job sizes so
+// scaling exercises non-trivial arithmetic.
+func irregularTrace() *Trace {
+	return &Trace{
+		Name:      "irregular",
+		Nodes:     8,
+		NodeMemGB: 8,
+		Jobs: []Job{
+			{ID: 0, Submit: 10.25, Tasks: 2, CPUNeed: 0.5, MemReq: 0.25, ExecTime: 300},
+			{ID: 1, Submit: 10.25, Tasks: 1, CPUNeed: 1.0, MemReq: 0.5, ExecTime: 120},
+			{ID: 2, Submit: 33.7, Tasks: 4, CPUNeed: 0.75, MemReq: 0.125, ExecTime: 900},
+			{ID: 3, Submit: 100.01, Tasks: 3, CPUNeed: 0.25, MemReq: 0.25, ExecTime: 60},
+			{ID: 4, Submit: 450.5, Tasks: 8, CPUNeed: 0.9, MemReq: 0.5, ExecTime: 1800},
+		},
+	}
+}
+
+func drain(t *testing.T, src JobSource) []Job {
+	t.Helper()
+	var jobs []Job
+	for {
+		j, ok, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return jobs
+		}
+		jobs = append(jobs, j)
+	}
+}
+
+func TestScaledSourceMatchesScaleInterarrival(t *testing.T) {
+	tr := irregularTrace()
+	for _, factor := range []float64{0.37, 1.0, 2.5} {
+		want, err := tr.ScaleInterarrival(factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := NewScaledSource(NewSliceSource(tr), factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drain(t, src)
+		if len(got) != len(want.Jobs) {
+			t.Fatalf("factor %g: %d jobs, want %d", factor, len(got), len(want.Jobs))
+		}
+		for i, j := range got {
+			w := want.Jobs[i]
+			// Bit-identical, not approximately equal: the streaming gap
+			// walk is the same arithmetic as the materialized one.
+			if j.Submit != w.Submit {
+				t.Errorf("factor %g job %d: submit %v, want %v", factor, i, j.Submit, w.Submit)
+			}
+			if j.ID != w.ID || j.Tasks != w.Tasks || j.CPUNeed != w.CPUNeed ||
+				j.MemReq != w.MemReq || j.ExecTime != w.ExecTime {
+				t.Errorf("factor %g job %d: payload changed: %+v vs %+v", factor, i, j, w)
+			}
+		}
+	}
+	if _, err := NewScaledSource(NewSliceSource(tr), 0); err == nil {
+		t.Error("zero factor accepted")
+	}
+}
+
+func TestMeasureSourceLoadMatchesOfferedLoad(t *testing.T) {
+	tr := irregularTrace()
+	load, jobs, err := MeasureSourceLoad(NewSliceSource(tr), tr.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs != len(tr.Jobs) {
+		t.Fatalf("measured %d jobs, want %d", jobs, len(tr.Jobs))
+	}
+	if want := tr.OfferedLoad(); load != want {
+		t.Fatalf("measured load %v, want OfferedLoad %v (must be bit-identical)", load, want)
+	}
+	// Degenerate inputs measure as zero load, never an error.
+	if load, _, err = MeasureSourceLoad(NewSliceSource(&Trace{Jobs: tr.Jobs[:1]}), tr.Nodes); err != nil || load != 0 {
+		t.Fatalf("single-job stream: load %v err %v, want 0/nil", load, err)
+	}
+}
+
+// TestScaledSourceHitsTargetLoad closes the loop: measure, rescale by
+// measured/target, re-measure, and land on the target within float error.
+func TestScaledSourceHitsTargetLoad(t *testing.T) {
+	tr := irregularTrace()
+	const target = 0.6
+	cur, _, err := MeasureSourceLoad(NewSliceSource(tr), tr.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewScaledSource(NewSliceSource(tr), cur/target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := MeasureSourceLoad(src, tr.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-target) > 1e-12 {
+		t.Fatalf("rescaled load %v, want %v", got, target)
+	}
+}
+
+func TestOfferedLoadMetaRoundTrip(t *testing.T) {
+	tr := irregularTrace()
+	var buf bytes.Buffer
+	enc := NewTraceEncoder(&buf, tr, false, 0)
+	if err := enc.SetOfferedLoad(0.42); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range tr.Jobs {
+		if err := enc.Write(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Declaring after the preamble is on the wire must fail loudly.
+	if err := enc.SetOfferedLoad(0.9); err == nil {
+		t.Error("SetOfferedLoad accepted after first Write")
+	}
+	sr, err := StreamTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load, ok := sr.DeclaredLoad(); !ok || load != 0.42 {
+		t.Fatalf("DeclaredLoad = %v/%v, want 0.42/true", load, ok)
+	}
+	if got := drain(t, sr); len(got) != len(tr.Jobs) {
+		t.Fatalf("round-tripped %d jobs, want %d", len(got), len(tr.Jobs))
+	}
+
+	// A trace that never declares a load encodes byte-identically to the
+	// pre-metadata format and reads back with ok=false.
+	plain := encodeSample(t, tr)
+	if bytes.Contains(plain, []byte("offered_load")) {
+		t.Fatal("undeclared trace grew an offered_load line")
+	}
+	sr2, err := StreamTrace(bytes.NewReader(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sr2.DeclaredLoad(); ok {
+		t.Fatal("undeclared trace reports a declared load")
+	}
+
+	// Bad declarations are line-numbered parse errors.
+	bad := "# dfrs-trace v1\n# nodes: 4\n# offered_load: -1\nid submit tasks cpu_need mem_req exec_time\n"
+	if _, err := StreamTrace(bytes.NewReader([]byte(bad))); err == nil {
+		t.Fatal("negative declared load accepted")
+	}
+}
+
+// TestEncoderEmptyFlush pins the lazy-preamble refactor: an encoder that
+// is flushed without writing any jobs still emits a well-formed header.
+func TestEncoderEmptyFlush(t *testing.T) {
+	tr := irregularTrace()
+	var buf bytes.Buffer
+	enc := NewTraceEncoder(&buf, tr, false, 0)
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StreamTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("header-only trace does not stream: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/metrics/online"
 	"repro/internal/placement"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -73,15 +74,17 @@ type Segment = sim.Segment
 type RunOption func(*runConfig)
 
 type runConfig struct {
-	penalty    float64
-	nodeMix    string
-	resources  []string
-	objective  string
-	check      bool
-	timeline   bool
-	maxSimTime float64
-	observer   sim.Observer
-	jobSink    func(JobResult)
+	penalty     float64
+	nodeMix     string
+	resources   []string
+	objective   string
+	check       bool
+	timeline    bool
+	maxSimTime  float64
+	observer    sim.Observer
+	jobSink     func(JobResult)
+	targetLoad  float64
+	currentLoad float64
 }
 
 // WithPenalty sets the rescheduling penalty in seconds charged to every
@@ -175,6 +178,79 @@ func WithJobSink(fn func(JobResult)) RunOption {
 	return func(c *runConfig) { c.jobSink = fn }
 }
 
+// OnlineAggregator folds scheduling events and per-job outcomes into
+// rolling aggregates — stretch quantile sketches, event counters, cost
+// burn — with a Snapshot safe for concurrent readers. It is the
+// aggregation layer behind dfrs-serve's live metrics and dfrs-sim
+// -summary-only; see repro/internal/metrics/online for the sketch
+// guarantees.
+type OnlineAggregator = online.Aggregator
+
+// OnlineSnapshot is a point-in-time view of an OnlineAggregator.
+type OnlineSnapshot = online.Snapshot
+
+// NewOnlineAggregator returns an empty online-metrics aggregator, ready to
+// attach with WithOnlineMetrics or to fold campaign records directly
+// (OnlineAggregator.ObserveRecord).
+func NewOnlineAggregator() *OnlineAggregator { return online.New() }
+
+// WithOnlineMetrics feeds the run's scheduling events and per-job outcomes
+// into a (snapshot-while-running) streaming aggregator. The per-job fold
+// rides the job-sink path, so — exactly as with WithJobSink — Result.Jobs
+// stays empty and the post-hoc per-job summaries must be read from the
+// aggregator instead; memory stays bounded for million-job runs. Composes
+// with an explicit WithJobSink: both receive every outcome. A nil
+// aggregator is a no-op.
+func WithOnlineMetrics(a *OnlineAggregator) RunOption {
+	return func(c *runConfig) {
+		if a == nil {
+			return
+		}
+		WithObserver(a.Observer())(c)
+		if prev := c.jobSink; prev != nil {
+			c.jobSink = func(jr JobResult) { prev(jr); a.ObserveJob(jr) }
+		} else {
+			c.jobSink = a.ObserveJob
+		}
+	}
+}
+
+// WithTargetLoad rescales the workload's inter-arrival times so its
+// offered load hits target, the paper's construction of the scaled trace
+// sets. Materialized runs rescale against the trace's own measured load
+// (Trace.OfferedLoad). Streaming runs cannot scan the stream first, so the
+// current load comes from WithCurrentLoad when given, else from the
+// stream's "# offered_load:" preamble metadata; a stream with neither
+// fails (measure a seekable input with MeasureStreamLoad, then reopen it).
+// Scaled streaming and materialized runs of the same trace are
+// bit-identical.
+func WithTargetLoad(target float64) RunOption {
+	return func(c *runConfig) { c.targetLoad = target }
+}
+
+// WithCurrentLoad declares the workload's present offered load for
+// WithTargetLoad's streaming path, overriding any "# offered_load:"
+// metadata (typically the value MeasureStreamLoad returned on a first
+// pass). Materialized runs measure the trace directly and ignore it.
+func WithCurrentLoad(current float64) RunOption {
+	return func(c *runConfig) { c.currentLoad = current }
+}
+
+// MeasureStreamLoad drains a trace stream in the dfrs trace format and
+// returns its offered load — total work over the cluster capacity across
+// the submission span, the definition behind Trace.OfferedLoad — plus the
+// number of jobs seen, in O(1) memory. The reader is consumed; reopen a
+// seekable input to replay it through RunStream with
+// WithTargetLoad+WithCurrentLoad (the two-pass scheme of dfrs-sim -stream
+// -load).
+func MeasureStreamLoad(r io.Reader) (load float64, jobs int, err error) {
+	tr, err := workload.StreamTrace(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	return workload.MeasureSourceLoad(tr, tr.Meta().Nodes)
+}
+
 // Result wraps a finished simulation.
 type Result struct {
 	r *sim.Result
@@ -212,6 +288,12 @@ func runTrace(ctx context.Context, t *workload.Trace, dims int, source workload.
 	cfg := runConfig{maxSimTime: defaultMaxSimTime}
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.targetLoad != 0 {
+		var err error
+		if t, source, err = rescaleToTarget(t, source, cfg.targetLoad, cfg.currentLoad); err != nil {
+			return Result{}, err
+		}
 	}
 	s, err := sched.New(algorithm)
 	if err != nil {
@@ -278,6 +360,42 @@ func runTrace(ctx context.Context, t *workload.Trace, dims int, source workload.
 		return Result{}, err
 	}
 	return Result{r: res}, nil
+}
+
+// rescaleToTarget applies WithTargetLoad: materialized traces rescale
+// against their own measured load; streams wrap the source in a
+// ScaledSource whose factor comes from WithCurrentLoad or the stream's
+// declared offered load. Both paths rename the trace exactly as
+// Trace.ScaleToLoad does, so result labels agree.
+func rescaleToTarget(t *workload.Trace, source workload.JobSource, target, current float64) (*workload.Trace, workload.JobSource, error) {
+	if !(target > 0) {
+		return nil, nil, fmt.Errorf("dfrs: target load %g must be positive", target)
+	}
+	if source == nil {
+		scaled, err := t.ScaleToLoad(target)
+		if err != nil {
+			return nil, nil, err
+		}
+		return scaled, nil, nil
+	}
+	cur := current
+	if cur == 0 {
+		if tr, ok := source.(*workload.TraceReader); ok {
+			if v, declared := tr.DeclaredLoad(); declared {
+				cur = v
+			}
+		}
+	}
+	if !(cur > 0) {
+		return nil, nil, fmt.Errorf("dfrs: cannot rescale stream to load %g: no \"# offered_load:\" metadata and no WithCurrentLoad (measure a seekable input with MeasureStreamLoad, then reopen it)", target)
+	}
+	scaledSrc, err := workload.NewScaledSource(source, cur/target)
+	if err != nil {
+		return nil, nil, err
+	}
+	meta := *t
+	meta.Name = fmt.Sprintf("%s-load%.2f", t.Name, target)
+	return &meta, scaledSrc, nil
 }
 
 // Stream runs the simulation in a background goroutine and returns its

@@ -1,0 +1,117 @@
+package dfrs_test
+
+// WithTargetLoad must behave identically on both run paths: a materialized
+// Run rescaled to a target load and a RunStream rescaled via measured or
+// declared current load replay the exact same simulation.
+
+import (
+	"bytes"
+	"context"
+	"strconv"
+	"testing"
+
+	dfrs "repro"
+)
+
+func encodedLoadTrace(t *testing.T) []byte {
+	t.Helper()
+	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 11, Nodes: 16, Jobs: 80, Name: "load-eq"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestTargetLoadStreamMatchesMaterialized(t *testing.T) {
+	encoded := encodedLoadTrace(t)
+	cur, jobs, err := dfrs.MeasureStreamLoad(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs != 80 || cur <= 0 {
+		t.Fatalf("measured %d jobs at load %g", jobs, cur)
+	}
+	rtr, err := dfrs.ReadTrace(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 0.8
+	for _, alg := range []string{"greedy-pmtn", "dynmcb8-stretch-per"} {
+		mat, err := dfrs.Run(context.Background(), rtr, alg, dfrs.WithTargetLoad(target))
+		if err != nil {
+			t.Fatalf("%s run: %v", alg, err)
+		}
+		// Two-pass scheme: the measured load feeds the second, scaled pass.
+		str, err := dfrs.RunStream(context.Background(), bytes.NewReader(encoded), alg,
+			dfrs.WithTargetLoad(target), dfrs.WithCurrentLoad(cur))
+		if err != nil {
+			t.Fatalf("%s stream: %v", alg, err)
+		}
+		compareRuns(t, alg, mat, str)
+	}
+}
+
+func TestTargetLoadDeclaredMetadata(t *testing.T) {
+	encoded := encodedLoadTrace(t)
+	cur, _, err := dfrs.MeasureStreamLoad(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Declare the measured load in the preamble, as dfrs-gen -stream does;
+	// FormatFloat 'g'/-1 round-trips the float64 exactly, so the declared
+	// path and the WithCurrentLoad path scale by the same factor.
+	decl := []byte("# offered_load: " + strconv.FormatFloat(cur, 'g', -1, 64) + "\nid submit")
+	declared := bytes.Replace(encoded, []byte("id submit"), decl, 1)
+
+	const target = 0.8
+	rtr, err := dfrs.ReadTrace(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := dfrs.Run(context.Background(), rtr, "greedy-pmtn", dfrs.WithTargetLoad(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := dfrs.RunStream(context.Background(), bytes.NewReader(declared), "greedy-pmtn",
+		dfrs.WithTargetLoad(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareRuns(t, "greedy-pmtn/declared", mat, str)
+}
+
+func TestTargetLoadStreamRequiresLoadInfo(t *testing.T) {
+	encoded := encodedLoadTrace(t)
+	if _, err := dfrs.RunStream(context.Background(), bytes.NewReader(encoded), "fcfs",
+		dfrs.WithTargetLoad(0.8)); err == nil {
+		t.Error("stream without declared or current load accepted a target load")
+	}
+	if _, err := dfrs.RunStream(context.Background(), bytes.NewReader(encoded), "fcfs",
+		dfrs.WithTargetLoad(-1), dfrs.WithCurrentLoad(0.5)); err == nil {
+		t.Error("negative target load accepted")
+	}
+}
+
+func TestWithOnlineMetricsWiring(t *testing.T) {
+	encoded := encodedLoadTrace(t)
+	agg := dfrs.NewOnlineAggregator()
+	res, err := dfrs.RunStream(context.Background(), bytes.NewReader(encoded), "greedy-pmtn",
+		dfrs.WithOnlineMetrics(agg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := agg.Snapshot()
+	if snap.Jobs != 80 || snap.Submitted != 80 {
+		t.Errorf("aggregator saw %d completions / %d submissions, want 80/80", snap.Jobs, snap.Submitted)
+	}
+	if snap.StretchP50 < 1 || snap.MaxStretch < snap.StretchP99 {
+		t.Errorf("implausible stretch snapshot: p50=%g p99=%g max=%g", snap.StretchP50, snap.StretchP99, snap.MaxStretch)
+	}
+	if len(res.Jobs()) != 0 {
+		t.Errorf("Result.Jobs holds %d entries despite online metrics riding the sink path", len(res.Jobs()))
+	}
+}
