@@ -314,6 +314,81 @@ func BenchmarkSingleSimulation(b *testing.B) {
 	}
 }
 
+// BenchmarkFederationDispatch measures the shared-clock orchestrator's
+// overhead per dispatch policy: a 2-cluster cloud-bursting federation
+// (free on-prem + priced remote) over one mid-load trace, to be read
+// against BenchmarkSingleSimulation (the single-cluster engine processes
+// the same kind of event stream without the dispatch layer).
+func BenchmarkFederationDispatch(b *testing.B) {
+	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: 2, Nodes: 64, Jobs: 150})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err = tr.ScaleToLoad(0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := dfrs.FederationSpec{
+		Clusters: []dfrs.ClusterSpec{
+			{Name: "onprem", Nodes: 64},
+			{Name: "remote", NodeMix: "bimodal-priced", Nodes: 64},
+		},
+		Algorithm: "greedy-pmtn",
+	}
+	for _, dispatcher := range dfrs.Dispatchers() {
+		spec.Dispatcher = dispatcher
+		b.Run(dispatcher, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := dfrs.RunFederated(context.Background(), tr, spec,
+					dfrs.WithPenalty(experiments.PaperPenalty))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Events()), "events")
+				b.ReportMetric(res.Cost(), "cost-units")
+				b.ReportMetric(float64(res.Dispatched()[1]), "burst-jobs")
+			}
+		})
+	}
+}
+
+// BenchmarkFederatedCampaign regenerates a Figure-1-shaped sweep on the
+// federated engine: a load sweep of the cloud-bursting topology across all
+// three dispatch policies through the campaign layer, reporting the mean
+// stretch and total burst cost — the federated counterpart of the
+// Figure 1 benchmarks above.
+func BenchmarkFederatedCampaign(b *testing.B) {
+	g := dfrs.Grid{
+		Name:         "fed-bench",
+		Seeds:        []uint64{42},
+		Algorithms:   []string{"greedy-pmtn"},
+		Families:     []dfrs.CampaignFamily{{Kind: dfrs.FamilyLublin, Count: 1}},
+		Loads:        []float64{0.1, 0.3, 0.5, 0.7, 0.9},
+		Penalties:    []float64{experiments.PaperPenalty},
+		Nodes:        []int{64},
+		Topologies:   []string{"uniform:64+bimodal-priced:64"},
+		Dispatchers:  []string{"roundrobin", "queuedepth", "costaware"},
+		JobsPerTrace: 100,
+	}
+	for i := 0; i < b.N; i++ {
+		run, err := dfrs.Campaign(context.Background(), g, dfrs.CampaignOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs, err := run.Wait()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var avg, cost float64
+		for _, rec := range recs {
+			avg += rec.AvgStretch
+			cost += rec.Cost
+		}
+		b.ReportMetric(avg/float64(len(recs)), "avg-stretch")
+		b.ReportMetric(cost, "cost-units")
+	}
+}
+
 func meanOf(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0

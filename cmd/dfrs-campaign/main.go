@@ -55,6 +55,9 @@ func main() {
 		resources = flag.String("resources", "", "@file node inventory (one capacity vector per line, optional cost= field), registered as a node mix and added to the sweep")
 		objective = flag.String("objective", "", "comma-separated placement objectives to sweep (cost, bestfit, worstfit, ...); empty = each family's default rule")
 		gpuFrac   = flag.Float64("gpu-frac", 0, "fraction of each cell's jobs given a GPU demand (adds a third resource dimension)")
+		gpuCorr   = flag.Float64("gpu-corr", 0, "correlation of GPU demands with memory requirements, in [-1,1] (requires -gpu-frac; 0 = independent draws)")
+		clusters  = flag.String("clusters", "", "comma-separated federation topologies to sweep (a count like 2, or mix:nodes terms joined by +, e.g. uniform:128+bimodal-priced:64); empty = single-cluster cells")
+		dispatch  = flag.String("dispatch", "", "comma-separated federation dispatch policies crossed with -clusters (see dfrs.Dispatchers); empty = "+dfrs.DefaultDispatcher)
 		loads     = flag.String("loads", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9", "comma-separated load levels; 0 means unscaled")
 		penalties = flag.String("penalties", "300", "comma-separated rescheduling penalties in seconds")
 		weeks     = flag.Int("weeks", 0, "HPC2N-like weekly segments to add as a second family (0 = none; paper: 182)")
@@ -91,7 +94,7 @@ func main() {
 		}
 	}
 
-	g, err := buildGrid(*preset, *algs, *seeds, *traces, *jobs, *nodes, *nodeMix, *loads, *penalties, *weeks, *gpuFrac, *objective)
+	g, err := buildGrid(*preset, *algs, *seeds, *traces, *jobs, *nodes, *nodeMix, *loads, *penalties, *weeks, *gpuFrac, *gpuCorr, *objective, *clusters, *dispatch)
 	if err != nil {
 		fatal(err)
 	}
@@ -141,7 +144,7 @@ func main() {
 // dimensions that define the paper campaign, so -traces/-jobs/-seeds still
 // scale them. Flag values are validated eagerly so a bad sweep fails with a
 // clear message before any cell runs.
-func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loads, penalties string, weeks int, gpuFrac float64, objectives string) (*dfrs.Grid, error) {
+func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loads, penalties string, weeks int, gpuFrac, gpuCorr float64, objectives, clusters, dispatchers string) (*dfrs.Grid, error) {
 	seedList, err := parseUints(seeds)
 	if err != nil {
 		return nil, fmt.Errorf("bad -seeds: %w", err)
@@ -185,6 +188,17 @@ func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loa
 	if !(gpuFrac >= 0 && gpuFrac <= 1) { // negated so NaN is rejected too
 		return nil, fmt.Errorf("bad -gpu-frac: fraction %g outside [0,1]", gpuFrac)
 	}
+	if !(gpuCorr >= -1 && gpuCorr <= 1) {
+		return nil, fmt.Errorf("bad -gpu-corr: correlation %g outside [-1,1]", gpuCorr)
+	}
+	if gpuCorr != 0 && gpuFrac == 0 {
+		return nil, fmt.Errorf("bad -gpu-corr: requires -gpu-frac > 0")
+	}
+	topoList := splitList(clusters)
+	dispList := splitList(dispatchers)
+	if len(dispList) > 0 && len(topoList) == 0 {
+		return nil, fmt.Errorf("bad -dispatch: requires -clusters")
+	}
 	mixList := splitList(nodeMix)
 	for _, mix := range mixList {
 		if !dfrs.ValidNodeMix(mix) {
@@ -214,7 +228,10 @@ func buildGrid(preset, algs, seeds string, traces, jobs int, nodes, nodeMix, loa
 		Nodes:        nodeList,
 		NodeMixes:    mixList,
 		GPUFrac:      gpuFrac,
+		GPUCorr:      gpuCorr,
 		Objectives:   objList,
+		Topologies:   topoList,
+		Dispatchers:  dispList,
 		JobsPerTrace: jobs,
 	}
 	if weeks > 0 {

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"repro/internal/cli"
@@ -30,6 +31,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "generator seed")
 		load    = flag.Float64("load", 0, "rescale to this offered load (0 = keep natural load)")
 		gpuFrac = flag.Float64("gpu-frac", 0, "fraction of jobs given a GPU demand in [0.1,0.5] (adds a gpu column to the trace format)")
+		gpuCorr = flag.Float64("gpu-corr", 0, "correlation of GPU demands with memory requirements, in [-1,1] (requires -gpu-frac; 0 = independent draws)")
 		swfFl   = flag.Bool("swf", false, "emit raw SWF instead of the trace format (hpc2n only)")
 		name    = flag.String("name", "", "trace name (default derived from model and seed)")
 		stream  = flag.Bool("stream", false, "generate and emit jobs one at a time without materializing the trace (lublin only; output is identical except that -gpu-frac always emits the gpu column, and -load regenerates the deterministic stream twice — measure, then scale — and declares the load as '# offered_load:' metadata)")
@@ -38,6 +40,12 @@ func main() {
 
 	if *stream && *model != "lublin" {
 		fatal(fmt.Errorf("bad -stream: model %q materializes inherently (lublin only)", *model))
+	}
+	if !(*gpuCorr >= -1 && *gpuCorr <= 1) {
+		fatal(fmt.Errorf("bad -gpu-corr: correlation %g outside [-1,1]", *gpuCorr))
+	}
+	if *gpuCorr != 0 && *gpuFrac == 0 {
+		fatal(fmt.Errorf("bad -gpu-corr: requires -gpu-frac > 0"))
 	}
 
 	// SIGINT/SIGTERM cancels the context; the context-aware writer then
@@ -55,7 +63,7 @@ func main() {
 			n = fmt.Sprintf("lublin-seed%d", *seed)
 		}
 		if *stream {
-			if err := streamLublin(out, *seed, *nodes, *jobs, n, *gpuFrac, *load); err != nil {
+			if err := streamLublin(out, *seed, *nodes, *jobs, n, *gpuFrac, *gpuCorr, *load); err != nil {
 				fatal(err)
 			}
 			return
@@ -96,8 +104,8 @@ func main() {
 	// trace-format encoding.
 	var err error
 	if *gpuFrac > 0 {
-		tr, err = workload.AttachGPUDemand(tr, rng.New(*seed).Split("gpu"),
-			*gpuFrac, workload.GPUDemandLo, workload.GPUDemandHi)
+		tr, err = workload.AttachGPUDemandCorrelated(tr, rng.New(*seed).Split("gpu"),
+			*gpuFrac, *gpuCorr, workload.GPUDemandLo, workload.GPUDemandHi)
 		if err != nil {
 			fatal(err)
 		}
@@ -127,7 +135,7 @@ func main() {
 // trace. The target is declared as "# offered_load:" metadata so
 // single-pass consumers (dfrs-sim -stream -load reading stdin) can rescale
 // further without their own measuring pass.
-func streamLublin(out io.Writer, seed uint64, nodes, njobs int, name string, gpuFrac, load float64) error {
+func streamLublin(out io.Writer, seed uint64, nodes, njobs int, name string, gpuFrac, gpuCorr, load float64) error {
 	if njobs < 0 {
 		return fmt.Errorf("lublin: %d jobs requested", njobs)
 	}
@@ -135,14 +143,14 @@ func streamLublin(out io.Writer, seed uint64, nodes, njobs int, name string, gpu
 	if gpuFrac > 0 {
 		extraDims = 1
 	}
-	src, err := newLublinSource(seed, nodes, njobs, gpuFrac)
+	src, err := newLublinSource(seed, nodes, njobs, gpuFrac, gpuCorr)
 	if err != nil {
 		return err
 	}
 	var jobs workload.JobSource = src
 	meta := &workload.Trace{Name: name, Nodes: nodes, NodeMemGB: lublin.NodeMemGB}
 	if load > 0 {
-		measure, err := newLublinSource(seed, nodes, njobs, gpuFrac)
+		measure, err := newLublinSource(seed, nodes, njobs, gpuFrac, gpuCorr)
 		if err != nil {
 			return err
 		}
@@ -187,18 +195,20 @@ type lublinSource struct {
 	ann     *rng.Source
 	gpu     *rng.Source
 	gpuFrac float64
+	gpuCorr float64
 	nodes   int
 	njobs   int
 	i       int
 }
 
-func newLublinSource(seed uint64, nodes, njobs int, gpuFrac float64) (*lublinSource, error) {
+func newLublinSource(seed uint64, nodes, njobs int, gpuFrac, gpuCorr float64) (*lublinSource, error) {
 	root := rng.New(seed)
 	raw, err := lublin.DefaultParams(nodes).Stream(root.Split("arrivals"))
 	if err != nil {
 		return nil, err
 	}
-	s := &lublinSource{raw: raw, ann: root.Split("annotations"), gpuFrac: gpuFrac, nodes: nodes, njobs: njobs}
+	s := &lublinSource{raw: raw, ann: root.Split("annotations"),
+		gpuFrac: gpuFrac, gpuCorr: gpuCorr, nodes: nodes, njobs: njobs}
 	if gpuFrac > 0 {
 		s.gpu = rng.New(seed).Split("gpu")
 	}
@@ -213,8 +223,18 @@ func (s *lublinSource) Next() (workload.Job, bool, error) {
 	j := lublin.AnnotateJob(s.ann, s.raw.Next(), s.i)
 	s.i++
 	if s.gpu != nil && s.gpu.Bernoulli(s.gpuFrac) {
+		// Mirrors workload.AttachGPUDemandCorrelated: the uniform variate
+		// is mixed with the job's memory requirement by |corr|, consuming
+		// the same variates in the same order as the batch decorator, so
+		// streamed and materialized traces stay byte-identical.
 		u := s.gpu.Float64()
-		j.Extra = []float64{workload.GPUDemandLo + (workload.GPUDemandHi-workload.GPUDemandLo)*u}
+		w := math.Abs(s.gpuCorr)
+		m := j.MemReq
+		if s.gpuCorr < 0 {
+			m = 1 - m
+		}
+		v := w*m + (1-w)*u
+		j.Extra = []float64{workload.GPUDemandLo + (workload.GPUDemandHi-workload.GPUDemandLo)*v}
 	}
 	if err := j.Validate(s.nodes); err != nil {
 		return workload.Job{}, false, err

@@ -40,6 +40,10 @@ func main() {
 		resources = flag.String("resources", "", "comma-separated resource dimensions, e.g. cpu,mem,gpu; or @file to load a node inventory (one capacity vector per line, optional cost= field, tiled over -nodes); empty = cpu,mem (or the node-mix profile's own)")
 		objective = flag.String("objective", "", "placement objective (see dfrs.Objectives, e.g. cost, bestfit); empty = each scheduler family's default rule")
 		gpuFrac   = flag.Float64("gpu-frac", 0, "fraction of synthetic jobs given a GPU demand (adds a third resource dimension)")
+		gpuCorr   = flag.Float64("gpu-corr", 0, "correlation of synthetic GPU demands with memory requirements, in [-1,1] (requires -gpu-frac; 0 = independent draws)")
+		clusters  = flag.String("clusters", "", "federated run over this cluster topology: a count like 2, or mix:nodes terms joined by +, e.g. uniform:128+bimodal-priced:64 (defaults per member: -nodes and -node-mix)")
+		dispatch  = flag.String("dispatch", "", "federation dispatch policy routing arrivals across -clusters (see -list-dispatchers); empty = "+dfrs.DefaultDispatcher)
+		listDisp  = flag.Bool("list-dispatchers", false, "list federation dispatch policies and exit")
 		load      = flag.Float64("load", 0.7, "synthetic offered load (0 = natural); with -stream, explicitly setting it rescales the streamed trace to this load (two-pass measurement for a -trace file, '# offered_load:' metadata for stdin)")
 		check     = flag.Bool("check", false, "enable per-event invariant checking")
 		events    = flag.Bool("events", false, "stream every scheduling transition live to stderr")
@@ -67,6 +71,12 @@ func main() {
 
 	if *list {
 		for _, name := range dfrs.Algorithms() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *listDisp {
+		for _, name := range dfrs.Dispatchers() {
 			fmt.Println(name)
 		}
 		return
@@ -128,8 +138,35 @@ func main() {
 	if !(*gpuFrac >= 0 && *gpuFrac <= 1) { // negated so NaN is rejected too
 		fatal(fmt.Errorf("bad -gpu-frac: fraction %g outside [0,1]", *gpuFrac))
 	}
+	if !(*gpuCorr >= -1 && *gpuCorr <= 1) {
+		fatal(fmt.Errorf("bad -gpu-corr: correlation %g outside [-1,1]", *gpuCorr))
+	}
+	if *gpuCorr != 0 && *gpuFrac == 0 {
+		fatal(errors.New("bad -gpu-corr: requires -gpu-frac > 0"))
+	}
 	if !dfrs.KnownAlgorithm(*alg) {
 		fatal(fmt.Errorf("bad -alg: unknown algorithm %q (known: %v)", *alg, dfrs.Algorithms()))
+	}
+	if *dispatch != "" && *clusters == "" {
+		fatal(errors.New("bad -dispatch: requires -clusters"))
+	}
+	if *clusters != "" {
+		known := false
+		for _, name := range dfrs.Dispatchers() {
+			if name == *dispatch || *dispatch == "" {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fatal(fmt.Errorf("bad -dispatch: unknown policy %q (known: %v)", *dispatch, dfrs.Dispatchers()))
+		}
+		if *gantt || *tlCSV != "" {
+			fatal(errors.New("bad -clusters: federated runs do not record timelines (-gantt, -timeline-csv)"))
+		}
+		if *resources != "" {
+			fatal(errors.New("bad -clusters: per-cluster dimensions come from the member node mixes, not -resources"))
+		}
 	}
 
 	ctx, stop := cli.SignalContext()
@@ -138,10 +175,25 @@ func main() {
 	var tr dfrs.Trace
 	if !*stream {
 		var err error
-		tr, err = loadTrace(*tracePath, *seed, *nodes, *jobs, *load, *gpuFrac)
+		tr, err = loadTrace(*tracePath, *seed, *nodes, *jobs, *load, *gpuFrac, *gpuCorr)
 		if err != nil {
 			fatal(err)
 		}
+	}
+	// -clusters switches the run into the federated engine: the topology is
+	// parsed over the single-run defaults (-nodes / the trace's node count,
+	// -node-mix), and arrivals are routed across the members by -dispatch.
+	var fspec dfrs.FederationSpec
+	if *clusters != "" {
+		defNodes := *nodes
+		if !*stream && *tracePath != "" {
+			defNodes = tr.Nodes()
+		}
+		cspecs, cerr := dfrs.ParseClusters(*clusters, defNodes, *nodeMix)
+		if cerr != nil {
+			fatal(fmt.Errorf("bad -clusters: %w", cerr))
+		}
+		fspec = dfrs.FederationSpec{Clusters: cspecs, Dispatcher: *dispatch, Algorithm: *alg}
 	}
 	opts := []dfrs.RunOption{
 		dfrs.WithPenalty(*penalty), dfrs.WithNodeMix(*nodeMix),
@@ -174,6 +226,7 @@ func main() {
 		opts = append(opts, dfrs.WithOnlineMetrics(agg))
 	}
 	var res dfrs.Result
+	var fres dfrs.FederatedResult
 	var err error
 	traceLabel := *tracePath
 	if *stream {
@@ -209,7 +262,13 @@ func main() {
 		} else {
 			traceLabel = "stdin"
 		}
-		res, err = dfrs.RunStream(ctx, in, *alg, opts...)
+		if *clusters != "" {
+			fres, err = dfrs.RunFederatedStream(ctx, in, fspec, opts...)
+		} else {
+			res, err = dfrs.RunStream(ctx, in, *alg, opts...)
+		}
+	} else if *clusters != "" {
+		fres, err = dfrs.RunFederated(ctx, tr, fspec, opts...)
 	} else {
 		res, err = dfrs.Run(ctx, tr, *alg, opts...)
 	}
@@ -219,6 +278,11 @@ func main() {
 			os.Exit(1)
 		}
 		fatal(err)
+	}
+	if *clusters != "" {
+		reportFederated(fres, tr, traceLabel, *stream, *penalty, agg)
+		checkHeap(*maxHeapMB)
+		return
 	}
 	costs := res.Costs()
 	var snap dfrs.OnlineSnapshot
@@ -299,19 +363,70 @@ func main() {
 		}
 	}
 
-	// -max-heap-mb turns the streaming memory promise into an exit code:
-	// collect, read the live heap, and fail loudly if it blew the budget.
-	if *maxHeapMB > 0 {
-		runtime.GC()
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		heapMiB := float64(ms.HeapAlloc) / (1 << 20)
-		fmt.Printf("heap         %.1f MiB live (limit %d MiB)\n", heapMiB, *maxHeapMB)
-		if heapMiB > float64(*maxHeapMB) {
-			fmt.Fprintf(os.Stderr, "dfrs-sim: live heap %.1f MiB exceeds -max-heap-mb %d\n", heapMiB, *maxHeapMB)
-			os.Exit(1)
-		}
+	checkHeap(*maxHeapMB)
+}
+
+// checkHeap turns the streaming memory promise into an exit code: collect,
+// read the live heap, and fail loudly if it blew the budget (-max-heap-mb).
+func checkHeap(maxHeapMB int) {
+	if maxHeapMB <= 0 {
+		return
 	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	heapMiB := float64(ms.HeapAlloc) / (1 << 20)
+	fmt.Printf("heap         %.1f MiB live (limit %d MiB)\n", heapMiB, maxHeapMB)
+	if heapMiB > float64(maxHeapMB) {
+		fmt.Fprintf(os.Stderr, "dfrs-sim: live heap %.1f MiB exceeds -max-heap-mb %d\n", heapMiB, maxHeapMB)
+		os.Exit(1)
+	}
+}
+
+// reportFederated prints the federated run summary: the aggregate headline
+// numbers plus one line per member cluster.
+func reportFederated(fres dfrs.FederatedResult, tr dfrs.Trace, traceLabel string, streamed bool, penalty float64, agg *dfrs.OnlineAggregator) {
+	var snap dfrs.OnlineSnapshot
+	if agg != nil {
+		snap = agg.Snapshot()
+	}
+	if streamed {
+		done := int64(len(fres.Jobs()))
+		if agg != nil {
+			done = snap.Jobs
+		}
+		fmt.Printf("trace        %s (streamed, %d jobs completed)\n", traceLabel, done)
+	} else {
+		fmt.Printf("trace        %s (%d jobs, offered load %.2f)\n",
+			tr.Name(), len(tr.Jobs()), tr.OfferedLoad())
+	}
+	fmt.Printf("federation   %d clusters, dispatch %s (penalty %.0fs)\n",
+		fres.Clusters(), fres.Dispatcher(), penalty)
+	for i := 0; i < fres.Clusters(); i++ {
+		c := fres.Cluster(i)
+		line := fmt.Sprintf("  cluster    %-18s %-16s %4d nodes  %5d jobs  max/avg stretch %.2f/%.2f  util %.1f%%",
+			c.Name, c.Algorithm, c.Nodes, c.Dispatched, c.MaxStretch, c.AvgStretch, 100*c.Utilization)
+		if c.Cost > 0 {
+			line += fmt.Sprintf("  cost %.1f", c.Cost)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("makespan     %.1f h\n", fres.Makespan()/3600)
+	maxStretch, avgStretch := fres.MaxStretch(), fres.AvgStretch()
+	if agg != nil && snap.Jobs > 0 {
+		maxStretch, avgStretch = snap.MaxStretch, snap.AvgStretch
+	}
+	fmt.Printf("max stretch  %.2f\n", maxStretch)
+	fmt.Printf("avg stretch  %.2f\n", avgStretch)
+	if agg != nil && snap.Jobs > 0 {
+		fmt.Printf("stretch pcts p50 %.2f, p95 %.2f, p99 %.2f (online sketch)\n",
+			snap.StretchP50, snap.StretchP95, snap.StretchP99)
+	}
+	fmt.Printf("utilization  %.1f%% of federated CPU over the makespan\n", 100*fres.Utilization())
+	if fres.Cost() > 0 {
+		fmt.Printf("cost         %.1f price units\n", fres.Cost())
+	}
+	fmt.Printf("events       %d\n", fres.Events())
 }
 
 // stderrObserver prints every scheduling transition live, the simplest
@@ -384,7 +499,7 @@ func ganttLanes(res dfrs.Result, maxJobs int) []report.GanttLane {
 	return lanes
 }
 
-func loadTrace(path string, seed uint64, nodes, jobs int, load, gpuFrac float64) (dfrs.Trace, error) {
+func loadTrace(path string, seed uint64, nodes, jobs int, load, gpuFrac, gpuCorr float64) (dfrs.Trace, error) {
 	if path != "" {
 		f, err := os.Open(path)
 		if err != nil {
@@ -393,7 +508,7 @@ func loadTrace(path string, seed uint64, nodes, jobs int, load, gpuFrac float64)
 		defer f.Close()
 		return dfrs.ReadTrace(f)
 	}
-	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: seed, Nodes: nodes, Jobs: jobs, GPUFrac: gpuFrac})
+	tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{Seed: seed, Nodes: nodes, Jobs: jobs, GPUFrac: gpuFrac, GPUCorr: gpuCorr})
 	if err != nil {
 		return dfrs.Trace{}, err
 	}

@@ -124,6 +124,40 @@
 // this API directly, dfrs-exp renders the paper's tables and figures from
 // the same engine, and examples/campaign and examples/streaming are
 // runnable end-to-end walkthroughs.
+//
+// # Federated simulations
+//
+// RunFederated promotes the engine to N clusters advancing under one
+// shared clock: each member of a FederationSpec is an independent
+// simulator with its own node mix, scheduler, and objective, and a
+// Dispatcher routes every arriving job to one member before it enters
+// that cluster's queue. Built-in policies are "roundrobin" (the
+// default), "queuedepth" (fewest jobs in system), and "costaware"
+// (cheapest cluster with free capacity, falling back to the cheapest
+// feasible one) — the cloud-bursting shape, keeping a priced elastic
+// remote mix idle until the on-prem cluster saturates:
+//
+//	res, _ := dfrs.RunFederated(ctx, trace, dfrs.FederationSpec{
+//	    Clusters: []dfrs.ClusterSpec{
+//	        {Name: "onprem", NodeMix: "uniform", Nodes: 64},
+//	        {Name: "cloud", NodeMix: "bimodal-priced", Nodes: 64},
+//	    },
+//	    Dispatcher: "costaware",
+//	    Algorithm:  "greedy-pmtn",
+//	})
+//	fmt.Println(res.Dispatched(), res.Cost()) // per-cluster job counts, price units
+//
+// The orchestrator only decides which member advances next (events fire
+// in global timestamp order; arrivals win ties), so a one-cluster
+// federation is byte-identical to Run on the same trace under every
+// dispatch policy — pinned by test. RunFederatedStream is the streaming
+// counterpart, ParseClusters parses the CLI topology notation
+// ("uniform:64+bimodal-priced:64", or a bare count for identical
+// members), RegisterDispatcher adds out-of-tree policies, and campaign
+// grids sweep Topologies x Dispatchers axes (cell keys gain fed= and
+// disp= segments; non-federated cells keep their historical keys). The
+// dfrs-sim -clusters/-dispatch flags and examples/federation exercise
+// the cloud-bursting scenario end to end.
 package dfrs
 
 import (
@@ -198,6 +232,13 @@ type SyntheticOptions struct {
 	// a reference node's GPU capacity, from a dedicated deterministic
 	// substream of Seed. Zero keeps the paper's two-resource workload.
 	GPUFrac float64
+	// GPUCorr, in [-1, 1], correlates the GPU demands drawn by GPUFrac
+	// with each job's per-task memory requirement
+	// (workload.AttachGPUDemandCorrelated): positive values make
+	// memory-hungry jobs GPU-hungry, negative values invert the relation,
+	// and the magnitude is the mixing weight. Zero keeps the independent
+	// draws, byte-identical to earlier releases.
+	GPUCorr float64
 }
 
 // SyntheticTrace draws a synthetic trace from the Lublin–Feitelson model
@@ -218,11 +259,13 @@ func SyntheticTrace(opt SyntheticOptions) (Trace, error) {
 		return Trace{}, err
 	}
 	if opt.GPUFrac > 0 {
-		tr, err = workload.AttachGPUDemand(tr, rng.New(opt.Seed).Split("gpu"),
-			opt.GPUFrac, workload.GPUDemandLo, workload.GPUDemandHi)
+		tr, err = workload.AttachGPUDemandCorrelated(tr, rng.New(opt.Seed).Split("gpu"),
+			opt.GPUFrac, opt.GPUCorr, workload.GPUDemandLo, workload.GPUDemandHi)
 		if err != nil {
 			return Trace{}, err
 		}
+	} else if opt.GPUCorr != 0 {
+		return Trace{}, fmt.Errorf("dfrs: GPUCorr %g requires GPUFrac > 0", opt.GPUCorr)
 	}
 	return Trace{t: tr}, nil
 }

@@ -26,6 +26,7 @@ import (
 	"strconv"
 
 	"repro/internal/cluster"
+	"repro/internal/federation"
 	"repro/internal/placement"
 )
 
@@ -90,6 +91,13 @@ type Grid struct {
 	// satisfiable. Zero keeps the paper's two-resource workloads and the
 	// pre-GPU cell keys.
 	GPUFrac float64 `json:"gpu_frac,omitempty"`
+	// GPUCorr correlates the GPU demands drawn by GPUFrac with each job's
+	// memory requirement (workload.AttachGPUDemandCorrelated): positive
+	// values make memory-hungry jobs GPU-hungry, negative values invert
+	// the relation, magnitude is the mixing weight. Zero keeps the
+	// independent draws — and the pre-correlation cell keys — and is the
+	// only valid value when GPUFrac is zero.
+	GPUCorr float64 `json:"gpu_corr,omitempty"`
 	// Objectives are placement-objective names (internal/placement) to
 	// sweep: each cell's schedulers choose among feasible nodes by the
 	// cell's objective instead of their family defaults. The empty string
@@ -97,6 +105,19 @@ type Grid struct {
 	// to the same cell keys as grids predating the objective axis, so old
 	// checkpoints stay resumable. Empty means {""}.
 	Objectives []string `json:"objectives,omitempty"`
+	// Topologies are federated-cluster topology specs
+	// (federation.ParseTopology notation: a bare count like "2", or a
+	// member list like "uniform:128+bimodal-priced:64"). Each named
+	// topology runs every cell as a federation of those clusters — the
+	// cell's trace becomes the global arrival feed, its node count and
+	// mix the defaults for count-form specs — crossed with Dispatchers.
+	// Empty means single-cluster cells only, with the pre-federation
+	// keys.
+	Topologies []string `json:"topologies,omitempty"`
+	// Dispatchers are federation dispatch-policy names routing arrivals
+	// across a topology's clusters; empty means the default policy.
+	// Ignored (and rejected) without Topologies.
+	Dispatchers []string `json:"dispatchers,omitempty"`
 	// JobsPerTrace is the lublin trace length; 0 means 1000 (the paper's).
 	JobsPerTrace int `json:"jobs_per_trace"`
 	// Check enables per-event simulator invariant validation (slow).
@@ -152,9 +173,20 @@ type Cell struct {
 	// GPUFrac is the fraction of the cell's jobs carrying a GPU demand;
 	// zero means the paper's two-resource workload.
 	GPUFrac float64 `json:"gpu_frac,omitempty"`
+	// GPUCorr is the memory correlation of those GPU demands; zero means
+	// independent draws.
+	GPUCorr float64 `json:"gpu_corr,omitempty"`
 	// Objective is the cell's placement-objective name; empty means every
 	// scheduler family's default rule (the paper's behaviour).
-	Objective string  `json:"objective,omitempty"`
+	Objective string `json:"objective,omitempty"`
+	// Topology, when non-empty, runs the cell as a federation of the
+	// clusters it describes (federation.ParseTopology notation), with
+	// Dispatch naming the routing policy. Empty means the single-cluster
+	// simulation.
+	Topology string `json:"topology,omitempty"`
+	// Dispatch is the federation dispatch policy; empty outside
+	// federated cells.
+	Dispatch  string  `json:"dispatch,omitempty"`
 	Penalty   float64 `json:"penalty"`
 	Algorithm string  `json:"algorithm"`
 }
@@ -165,8 +197,10 @@ type Cell struct {
 // pre-heterogeneity, pre-GPU key format so existing checkpoints remain
 // valid.
 func (c Cell) Key() string {
-	return fmt.Sprintf("seed=%d/family=%s/trace=%d/load=%s/nodes=%d/jobs=%d%s%s%s/pen=%s/alg=%s",
-		c.Seed, c.Family, c.TraceIdx, ftoa(c.Load), c.Nodes, c.Jobs, mixKey(c.NodeMix), gpuKey(c.GPUFrac), objKey(c.Objective), ftoa(c.Penalty), c.Algorithm)
+	return fmt.Sprintf("seed=%d/family=%s/trace=%d/load=%s/nodes=%d/jobs=%d%s%s%s%s%s/pen=%s/alg=%s",
+		c.Seed, c.Family, c.TraceIdx, ftoa(c.Load), c.Nodes, c.Jobs,
+		mixKey(c.NodeMix), gpuKey(c.GPUFrac, c.GPUCorr), objKey(c.Objective),
+		fedKey(c.Topology), dispKey(c.Dispatch), ftoa(c.Penalty), c.Algorithm)
 }
 
 // mixKey renders the node-mix key segment; homogeneous cells contribute
@@ -179,12 +213,17 @@ func mixKey(mix string) string {
 }
 
 // gpuKey renders the GPU-axis key segment; two-resource cells contribute
-// nothing so their keys match grids predating the GPU axis.
-func gpuKey(frac float64) string {
+// nothing so their keys match grids predating the GPU axis, and
+// uncorrelated GPU cells keep the pre-correlation format.
+func gpuKey(frac, corr float64) string {
 	if frac == 0 {
 		return ""
 	}
-	return "/gpu=" + ftoa(frac)
+	key := "/gpu=" + ftoa(frac)
+	if corr != 0 {
+		key += "/corr=" + ftoa(corr)
+	}
+	return key
 }
 
 // objKey renders the objective-axis key segment; default-objective cells
@@ -195,6 +234,25 @@ func objKey(obj string) string {
 		return ""
 	}
 	return "/obj=" + obj
+}
+
+// fedKey renders the federation-topology key segment; single-cluster
+// cells contribute nothing so their keys match grids predating the
+// federation axis.
+func fedKey(topology string) string {
+	if topology == "" {
+		return ""
+	}
+	return "/fed=" + topology
+}
+
+// dispKey renders the dispatch-policy key segment, present exactly when
+// the cell is federated.
+func dispKey(dispatch string) string {
+	if dispatch == "" {
+		return ""
+	}
+	return "/disp=" + dispatch
 }
 
 // ftoa formats a float with the shortest exact representation so keys are
@@ -249,10 +307,31 @@ func (g *Grid) Validate() error {
 	if !(g.GPUFrac >= 0 && g.GPUFrac <= 1) { // negated so NaN is rejected too
 		return fmt.Errorf("campaign: gpu job fraction %g outside [0,1]", g.GPUFrac)
 	}
+	if !(g.GPUCorr >= -1 && g.GPUCorr <= 1) { // negated so NaN is rejected too
+		return fmt.Errorf("campaign: gpu memory correlation %g outside [-1,1]", g.GPUCorr)
+	}
+	if g.GPUCorr != 0 && g.GPUFrac == 0 {
+		return fmt.Errorf("campaign: gpu_corr %g requires gpu_frac > 0", g.GPUCorr)
+	}
 	for _, obj := range g.Objectives {
 		if !placement.Known(obj) {
 			return fmt.Errorf("campaign: unknown placement objective %q (known: %v)", obj, placement.Names())
 		}
+	}
+	for _, topo := range g.Topologies {
+		// Parsed with placeholder defaults: validation is about syntax
+		// and mix names; actual node counts come from each cell.
+		if _, err := federation.ParseTopology(topo, 1, ""); err != nil {
+			return err
+		}
+	}
+	for _, disp := range g.Dispatchers {
+		if !federation.Known(disp) {
+			return fmt.Errorf("campaign: unknown dispatcher %q (known: %v)", disp, federation.Names())
+		}
+	}
+	if len(g.Dispatchers) > 0 && len(g.Topologies) == 0 {
+		return fmt.Errorf("campaign: dispatchers %v without topologies", g.Dispatchers)
 	}
 	if g.JobsPerTrace < 0 {
 		return fmt.Errorf("campaign: negative jobs per trace %d", g.JobsPerTrace)
@@ -291,6 +370,18 @@ func (g *Grid) Cells() []Cell {
 	if len(objectives) == 0 {
 		objectives = []string{""}
 	}
+	// The federation axis: single-cluster cells pair the empty topology
+	// with the empty dispatch (keeping pre-federation keys); named
+	// topologies cross with the dispatch policies, which are named
+	// explicitly in keys (the default stands in when none are given).
+	topologies := g.Topologies
+	if len(topologies) == 0 {
+		topologies = []string{""}
+	}
+	dispatchers := g.Dispatchers
+	if len(dispatchers) == 0 {
+		dispatchers = []string{federation.DefaultDispatcher}
+	}
 	jobs := g.JobsPerTrace
 	if jobs == 0 {
 		jobs = 1000
@@ -318,24 +409,35 @@ func (g *Grid) Cells() []Cell {
 					for _, n := range famNodes {
 						for _, mix := range mixes {
 							for _, obj := range objectives {
-								for _, pen := range penalties {
-									for _, alg := range g.Algorithms {
-										c := Cell{
-											Seed:      seed,
-											Family:    fam.Kind,
-											TraceIdx:  idx,
-											Load:      load,
-											Nodes:     n,
-											Jobs:      famJobs,
-											NodeMix:   mix,
-											GPUFrac:   g.GPUFrac,
-											Objective: obj,
-											Penalty:   pen,
-											Algorithm: alg,
-										}
-										if key := c.Key(); !seen[key] {
-											seen[key] = true
-											cells = append(cells, c)
+								for _, topo := range topologies {
+									cellDisps := dispatchers
+									if topo == "" {
+										cellDisps = []string{""}
+									}
+									for _, disp := range cellDisps {
+										for _, pen := range penalties {
+											for _, alg := range g.Algorithms {
+												c := Cell{
+													Seed:      seed,
+													Family:    fam.Kind,
+													TraceIdx:  idx,
+													Load:      load,
+													Nodes:     n,
+													Jobs:      famJobs,
+													NodeMix:   mix,
+													GPUFrac:   g.GPUFrac,
+													GPUCorr:   g.GPUCorr,
+													Objective: obj,
+													Topology:  topo,
+													Dispatch:  disp,
+													Penalty:   pen,
+													Algorithm: alg,
+												}
+												if key := c.Key(); !seen[key] {
+													seen[key] = true
+													cells = append(cells, c)
+												}
+											}
 										}
 									}
 								}
@@ -356,8 +458,10 @@ func (g *Grid) Cells() []Cell {
 // factors (cells swept across objectives compare algorithms within each
 // objective, never a cost-constrained run against an unconstrained one).
 func (c Cell) InstanceKey() string {
-	return fmt.Sprintf("seed=%d/family=%s/trace=%d/load=%s/nodes=%d/jobs=%d%s%s%s/pen=%s",
-		c.Seed, c.Family, c.TraceIdx, ftoa(c.Load), c.Nodes, c.Jobs, mixKey(c.NodeMix), gpuKey(c.GPUFrac), objKey(c.Objective), ftoa(c.Penalty))
+	return fmt.Sprintf("seed=%d/family=%s/trace=%d/load=%s/nodes=%d/jobs=%d%s%s%s%s%s/pen=%s",
+		c.Seed, c.Family, c.TraceIdx, ftoa(c.Load), c.Nodes, c.Jobs,
+		mixKey(c.NodeMix), gpuKey(c.GPUFrac, c.GPUCorr), objKey(c.Objective),
+		fedKey(c.Topology), dispKey(c.Dispatch), ftoa(c.Penalty))
 }
 
 // TimingAgg aggregates the Section V scheduler-timing samples of one run so
@@ -396,11 +500,19 @@ type Record struct {
 	// GPUFrac is the cell's GPU-demand fraction; omitted for two-resource
 	// cells so pre-GPU outputs are byte-identical.
 	GPUFrac float64 `json:"gpu_frac,omitempty"`
+	// GPUCorr is the cell's GPU/memory demand correlation; omitted for
+	// uncorrelated cells so earlier outputs are byte-identical.
+	GPUCorr float64 `json:"gpu_corr,omitempty"`
 	// Objective is the cell's placement objective; omitted for
 	// default-objective cells so pre-objective outputs are byte-identical.
 	Objective string  `json:"objective,omitempty"`
 	Penalty   float64 `json:"penalty"`
 	Algorithm string  `json:"algorithm"`
+	// Topology and Dispatch identify federated cells (the parsed cluster
+	// topology and the dispatch policy); omitted for single-cluster cells
+	// so pre-federation outputs are byte-identical.
+	Topology string `json:"topology,omitempty"`
+	Dispatch string `json:"dispatch,omitempty"`
 
 	MaxStretch  float64 `json:"max_stretch"`
 	AvgStretch  float64 `json:"avg_stretch"`
@@ -413,6 +525,9 @@ type Record struct {
 	// sim.Result.NodeCostSeconds). Omitted on unpriced clusters so
 	// pre-pricing outputs are byte-identical.
 	Cost float64 `json:"cost,omitempty"`
+	// Dispatched counts the jobs routed to each member cluster of a
+	// federated cell, in cluster order; omitted for single-cluster cells.
+	Dispatched []int `json:"dispatched,omitempty"`
 
 	PmtnGBps    float64 `json:"pmtn_gbps"`
 	MigGBps     float64 `json:"mig_gbps"`
@@ -429,7 +544,8 @@ type Record struct {
 func (r Record) InstanceKey() string {
 	return Cell{Seed: r.Seed, Family: r.Family, TraceIdx: r.TraceIdx, Load: r.Load,
 		Nodes: r.Nodes, Jobs: r.Jobs, NodeMix: r.NodeMix, GPUFrac: r.GPUFrac,
-		Objective: r.Objective, Penalty: r.Penalty}.InstanceKey()
+		GPUCorr: r.GPUCorr, Objective: r.Objective, Penalty: r.Penalty,
+		Topology: r.Topology, Dispatch: r.Dispatch}.InstanceKey()
 }
 
 // SortRecords orders records by cell key, the canonical presentation order.

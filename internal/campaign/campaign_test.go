@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -155,7 +156,7 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 		t.Fatalf("serial run emitted %d records, parallel %d", len(serial), len(parallel))
 	}
 	for i := range serial {
-		if serial[i] != parallel[i] {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
 			t.Fatalf("record %d differs:\nserial:   %s\nparallel: %s", i, serial[i], parallel[i])
 		}
 	}
@@ -206,7 +207,7 @@ func TestResumeSkipsFinishedCells(t *testing.T) {
 		t.Fatalf("merged %d records, want %d", len(merged), len(full))
 	}
 	for i := range merged {
-		if merged[i] != full[i] {
+		if !reflect.DeepEqual(merged[i], full[i]) {
 			t.Fatalf("record %d differs after resume:\nfull:   %+v\nmerged: %+v", i, full[i], merged[i])
 		}
 	}
@@ -265,7 +266,7 @@ func TestOpenCheckpoint(t *testing.T) {
 		t.Fatalf("checkpoint file holds %d parseable records, want %d", len(back), len(full))
 	}
 	for i := range back {
-		if back[i] != full[i] {
+		if !reflect.DeepEqual(back[i], full[i]) {
 			t.Fatalf("record %d differs after checkpointed resume", i)
 		}
 	}
@@ -290,7 +291,7 @@ func TestRecordsRoundTrip(t *testing.T) {
 		t.Fatalf("round-tripped %d records, want %d", len(back), len(recs))
 	}
 	for i := range back {
-		if back[i] != recs[i] {
+		if !reflect.DeepEqual(back[i], recs[i]) {
 			t.Fatalf("record %d changed in round trip:\n%+v\n%+v", i, recs[i], back[i])
 		}
 	}

@@ -8,6 +8,7 @@ package campaign
 
 import (
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -74,7 +75,7 @@ func TestGPUDeterminism(t *testing.T) {
 		t.Fatalf("serial run emitted %d records, parallel %d", len(serial), len(parallel))
 	}
 	for i := range serial {
-		if serial[i] != parallel[i] {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
 			t.Fatalf("record %d differs:\nserial:   %s\nparallel: %s", i, serial[i], parallel[i])
 		}
 	}

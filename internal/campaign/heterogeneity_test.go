@@ -6,6 +6,7 @@ package campaign
 // heterogeneous node mix with per-event capacity invariants enforced.
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -98,7 +99,7 @@ func TestHeterogeneousDeterminism(t *testing.T) {
 		t.Fatalf("serial run emitted %d records, parallel %d", len(serial), len(parallel))
 	}
 	for i := range serial {
-		if serial[i] != parallel[i] {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
 			t.Fatalf("record %d differs:\nserial:   %s\nparallel: %s", i, serial[i], parallel[i])
 		}
 	}

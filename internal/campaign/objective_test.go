@@ -7,6 +7,7 @@ package campaign
 // resume over objective cells.
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -89,7 +90,7 @@ func TestObjectiveCampaignDeterminismAndCost(t *testing.T) {
 		t.Fatalf("record counts %d/%d, want 6", len(serial), len(parallel))
 	}
 	for i := range serial {
-		if serial[i] != parallel[i] {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
 			t.Fatalf("record %d differs between worker counts:\n%+v\n%+v", i, serial[i], parallel[i])
 		}
 		if serial[i].Cost <= 0 {
@@ -134,7 +135,7 @@ func TestObjectiveCampaignResume(t *testing.T) {
 		if skip[rec.Key] {
 			continue
 		}
-		if got[rec.Key] != rec {
+		if !reflect.DeepEqual(got[rec.Key], rec) {
 			t.Fatalf("resumed cell %s differs from the uninterrupted run", rec.Key)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/federation"
 	"repro/internal/hpc2n"
 	"repro/internal/lublin"
 	"repro/internal/metrics"
@@ -166,11 +167,15 @@ func (r *Runner) RunContext(ctx context.Context, g *Grid) ([]Record, error) {
 }
 
 // runCell materialises the cell's trace and simulates it, producing the
-// checkpoint record.
+// checkpoint record. Federated cells (non-empty Topology) run through the
+// shared-clock orchestrator instead of a single simulator.
 func runCell(ctx context.Context, r *Runner, mat *materialiser, g *Grid, c Cell) (Record, error) {
 	tr, err := mat.trace(c)
 	if err != nil {
 		return Record{}, err
+	}
+	if c.Topology != "" {
+		return runFederatedCell(ctx, r, g, c, tr)
 	}
 	s, err := sched.New(c.Algorithm)
 	if err != nil {
@@ -247,6 +252,7 @@ func runCell(ctx context.Context, r *Runner, mat *materialiser, g *Grid, c Cell)
 		Jobs:      c.Jobs,
 		NodeMix:   c.NodeMix,
 		GPUFrac:   c.GPUFrac,
+		GPUCorr:   c.GPUCorr,
 		Objective: c.Objective,
 		Penalty:   c.Penalty,
 		Algorithm: c.Algorithm,
@@ -268,6 +274,96 @@ func runCell(ctx context.Context, r *Runner, mat *materialiser, g *Grid, c Cell)
 	}
 	if g.Timing {
 		rec.Timing = aggregateTiming(res.SchedSamples)
+	}
+	return rec, nil
+}
+
+// runFederatedCell runs one federated cell: the topology is parsed over
+// the cell's node count and mix, the trace feeds the shared-clock
+// orchestrator as the global arrival stream, and the record is built from
+// the merged federation result (per-member routing counts ride along in
+// Dispatched). Every quantity is a deterministic function of the cell, so
+// federated campaigns checkpoint and resume exactly like single-cluster
+// ones.
+func runFederatedCell(ctx context.Context, r *Runner, g *Grid, c Cell, tr *workload.Trace) (Record, error) {
+	members, err := federation.ParseTopology(c.Topology, tr.Nodes, c.NodeMix)
+	if err != nil {
+		return Record{}, err
+	}
+	fspec := federation.Spec{
+		TraceName:        tr.Name,
+		NodeMemGB:        tr.NodeMemGB,
+		Dims:             tr.Dims(),
+		Members:          members,
+		Dispatcher:       c.Dispatch,
+		Algorithm:        c.Algorithm,
+		Objective:        c.Objective,
+		Penalty:          c.Penalty,
+		MaxSimTime:       maxSimTime,
+		CheckInvariants:  g.Check,
+		RecordSchedTimes: g.Timing,
+	}
+	if r.Observe != nil {
+		obs := r.Observe(c)
+		fspec.Observer = func(int) sim.Observer { return obs }
+	}
+	fed, err := federation.New(fspec, workload.NewSliceSource(tr))
+	if err != nil {
+		return Record{}, err
+	}
+	res, err := fed.Run(ctx)
+	if err != nil {
+		return Record{}, err
+	}
+	sum := res.Summary
+	if sum.Jobs == 0 {
+		return Record{}, fmt.Errorf("no finished jobs")
+	}
+	if r.OnJob != nil {
+		for _, jr := range res.Merged.Jobs {
+			r.OnJob(c, jr)
+		}
+	}
+	dispatched := make([]int, len(res.Clusters))
+	for i := range res.Clusters {
+		dispatched[i] = res.Clusters[i].Dispatched
+	}
+	rec := Record{
+		Key:       c.Key(),
+		Seed:      c.Seed,
+		Family:    c.Family,
+		Trace:     tr.Name,
+		TraceIdx:  c.TraceIdx,
+		Load:      c.Load,
+		Nodes:     c.Nodes,
+		Jobs:      c.Jobs,
+		NodeMix:   c.NodeMix,
+		GPUFrac:   c.GPUFrac,
+		GPUCorr:   c.GPUCorr,
+		Objective: c.Objective,
+		Penalty:   c.Penalty,
+		Algorithm: c.Algorithm,
+		Topology:  c.Topology,
+		Dispatch:  c.Dispatch,
+
+		MaxStretch:  sum.MaxStretch,
+		AvgStretch:  sum.AvgStretch,
+		Makespan:    res.Merged.Makespan,
+		Utilization: res.Merged.Utilization(),
+		Finished:    len(res.Merged.Jobs),
+		Events:      res.Merged.Events,
+		Cost:        res.Merged.NodeCostSeconds,
+		Dispatched:  dispatched,
+
+		PmtnGBps:    res.Costs.PmtnGBps,
+		MigGBps:     res.Costs.MigGBps,
+		PmtnPerHour: res.Costs.PmtnPerHour,
+		MigPerHour:  res.Costs.MigPerHour,
+		PmtnPerJob:  res.Costs.PmtnPerJob,
+		MigPerJob:   res.Costs.MigPerJob,
+	}
+	if g.Timing {
+		rec.Timing = aggregateTiming(res.Merged.SchedSamples)
 	}
 	return rec, nil
 }
@@ -339,9 +435,9 @@ func (m *materialiser) trace(c Cell) (*workload.Trace, error) {
 }
 
 // base returns the unscaled trace for the cell, generating it at most once
-// per (seed, family, index, nodes, jobs, gpu) combination.
+// per (seed, family, index, nodes, jobs, gpu, corr) combination.
 func (m *materialiser) base(c Cell) (*workload.Trace, error) {
-	key := fmt.Sprintf("%s/%d/%d/%d/%d/%g", c.Family, c.Seed, c.TraceIdx, c.Nodes, c.Jobs, c.GPUFrac)
+	key := fmt.Sprintf("%s/%d/%d/%d/%d/%g/%g", c.Family, c.Seed, c.TraceIdx, c.Nodes, c.Jobs, c.GPUFrac, c.GPUCorr)
 	m.mu.Lock()
 	e, ok := m.entries[key]
 	if !ok {
@@ -369,11 +465,14 @@ func generateBase(c Cell) (*workload.Trace, error) {
 	}
 	// The GPU axis is a deterministic decoration of the base trace: a
 	// dedicated substream keyed by (seed, family, index) hands GPUFrac of
-	// the jobs a per-task GPU demand in the shared default bounds.
+	// the jobs a per-task GPU demand in the shared default bounds. GPUCorr
+	// mixes the per-task memory requirement into the demand variate; corr
+	// zero is exactly the independent model with identical variate
+	// consumption, so pre-correlation cells see byte-identical traces.
 	root := rng.New(c.Seed)
-	return workload.AttachGPUDemand(base,
+	return workload.AttachGPUDemandCorrelated(base,
 		root.Split(fmt.Sprintf("gpu-%s-%d", c.Family, c.TraceIdx)),
-		c.GPUFrac, workload.GPUDemandLo, workload.GPUDemandHi)
+		c.GPUFrac, c.GPUCorr, workload.GPUDemandLo, workload.GPUDemandHi)
 }
 
 // generateFamilyBase draws the cell's two-resource base trace.

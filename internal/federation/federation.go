@@ -1,0 +1,475 @@
+// Package federation promotes the single-cluster DFRS simulator to an
+// N-cluster orchestrator advancing under one shared clock, with a
+// pluggable dispatch layer routing arriving jobs across the members.
+//
+// A Federation owns N independent sim.Simulator instances — each with its
+// own node mix, scheduler family and placement objective — and drives them
+// event-by-event in global timestamp order through the simulator's step
+// API (Start / PeekNextEventTime / ProcessNextEvent / Finalize). Job
+// admission is lifted out of per-simulator trace or Source ownership into
+// a federation-level arrival feed: one workload.JobSource supplies the
+// global arrival stream, and at each arrival instant a Dispatcher
+// inspects a live ClusterView per member (queue depth, free capacity,
+// mean node cost) and picks the member the job enters, which then admits
+// it through the exact streaming-mode admission path.
+//
+// The orchestrator only decides which member advances next — it never
+// reaches into member state — so single-cluster behavior is locked by
+// construction: a 1-member federation processes the identical event
+// sequence as a plain run of the same trace, and its member Result is
+// byte-identical to dfrs.Run's (pinned by test). Per-member Results merge
+// into a federated Result with both per-cluster and aggregate metrics.
+//
+// Three dispatch policies ship behind a registry mirroring the scheduler
+// and placement layers: roundrobin (cycle the feasible members),
+// queuedepth (join the shortest queue) and costaware (cheapest member
+// with free capacity, falling back to the cheapest feasible — cloud
+// bursting over priced inventories, reusing cluster.NodeSpec.Cost).
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// MemberSpec declares one member cluster of a federation.
+type MemberSpec struct {
+	// Name identifies the member in results and errors; empty derives
+	// "c<i>" or "c<i>-<mix>" from the position and mix.
+	Name string
+	// Mix is the node-mix profile name (internal/cluster); empty is the
+	// uniform (homogeneous) profile.
+	Mix string
+	// Nodes is the member's node count; must be positive.
+	Nodes int
+	// Algorithm overrides the federation-level default scheduler for
+	// this member when non-empty.
+	Algorithm string
+	// Objective overrides the federation-level default placement
+	// objective for this member when non-empty ("" keeps the paper's
+	// per-family rules unless the federation sets one).
+	Objective string
+}
+
+// Spec configures a Federation.
+type Spec struct {
+	// TraceName labels results; NodeMemGB and Dims describe the global
+	// workload (Dims < cluster.MinDims is raised to it; member clusters
+	// are extended with unit capacity to cover Dims, exactly as a single
+	// run extends its cluster to the trace's dimensionality).
+	TraceName string
+	NodeMemGB float64
+	Dims      int
+	// Members are the clusters; at least one is required.
+	Members []MemberSpec
+	// Dispatcher names the routing policy; empty means
+	// DefaultDispatcher.
+	Dispatcher string
+	// Algorithm is the default scheduler family for members that do not
+	// set their own.
+	Algorithm string
+	// Objective is the default placement objective for members that do
+	// not set their own; empty keeps per-family defaults.
+	Objective string
+	// Penalty is the rescheduling penalty in seconds, applied in every
+	// member.
+	Penalty float64
+	// MaxSimTime aborts members whose clock passes this value (0
+	// disables).
+	MaxSimTime float64
+	// CheckInvariants enables full per-event state validation in every
+	// member (tests only; expensive).
+	CheckInvariants bool
+	// RecordSchedTimes samples scheduler wall-clock time per invocation
+	// in every member; the merged Result concatenates member samples in
+	// member order.
+	RecordSchedTimes bool
+	// Observer, when non-nil, returns the per-member observer wired into
+	// member i's simulator (nil return = no observer for that member).
+	// Job ids in observer callbacks are member-local.
+	Observer func(member int) sim.Observer
+	// JobSink, when non-nil, receives every completed job as
+	// (member index, result) and per-member Result.Jobs stay empty —
+	// the bounded-memory path, mirroring sim.Config.JobSink.
+	JobSink func(member int, jr sim.JobResult)
+}
+
+// ClusterResult is one member's share of a federated run.
+type ClusterResult struct {
+	// Name and Nodes echo the member spec; Algorithm is the resolved
+	// scheduler family.
+	Name      string
+	Algorithm string
+	Nodes     int
+	// Dispatched counts the jobs routed to this member.
+	Dispatched int
+	// Result is the member simulator's own full result.
+	Result *sim.Result
+	// Summary and Costs are the member's post-hoc metrics.
+	Summary metrics.InstanceSummary
+	Costs   metrics.CostSummary
+}
+
+// Result is the outcome of a federated run: every member's own result
+// plus the merged whole-federation view.
+type Result struct {
+	// Dispatcher is the routing policy that ran.
+	Dispatcher string
+	// Clusters holds one entry per member, in member order.
+	Clusters []ClusterResult
+	// Merged aggregates the members into one sim.Result — jobs
+	// concatenated and sorted by workload id, makespan the maximum,
+	// capacities, delivered work, cost and operation counts summed —
+	// labeled "federated-<dispatcher>" so it flows through
+	// internal/metrics like any single-cluster result.
+	Merged *sim.Result
+	// Summary summarizes Merged.
+	Summary metrics.InstanceSummary
+	// Costs summarizes Merged's cost and bandwidth quantities.
+	Costs metrics.CostSummary
+}
+
+// member is one cluster's runtime: its simulator plus the static facts
+// the dispatcher's views are built from.
+type member struct {
+	spec       MemberSpec
+	algorithm  string
+	cl         *cluster.Cluster
+	sim        *sim.Simulator
+	meanCost   float64
+	priced     bool
+	dispatched int
+}
+
+// closedSource is the always-exhausted JobSource members are configured
+// with: it switches them into streaming mode (lazy admission, recycled
+// runtime records) while the federation feeds every job through
+// InjectJob.
+type closedSource struct{}
+
+func (closedSource) Next() (workload.Job, bool, error) { return workload.Job{}, false, nil }
+
+// Federation drives N member simulators under one shared clock, routing
+// the global arrival feed across them. Construct with New, run with Run.
+type Federation struct {
+	spec    Spec
+	disp    Dispatcher
+	members []*member
+	src     workload.JobSource
+	next    *workload.Job
+	nextBuf workload.Job
+	srcDone bool
+	views   []ClusterView
+}
+
+// New builds a federation: the dispatcher and every member's scheduler,
+// objective and cluster are resolved eagerly so configuration errors
+// surface before any event runs. src is the global arrival feed — jobs in
+// nondecreasing submission order, consumed lazily.
+func New(spec Spec, src workload.JobSource) (*Federation, error) {
+	if len(spec.Members) == 0 {
+		return nil, fmt.Errorf("federation: no member clusters")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("federation: nil job source")
+	}
+	if spec.Penalty < 0 {
+		return nil, fmt.Errorf("federation: negative penalty %g", spec.Penalty)
+	}
+	disp, err := ByName(spec.Dispatcher)
+	if err != nil {
+		return nil, err
+	}
+	dims := spec.Dims
+	if dims < cluster.MinDims {
+		dims = cluster.MinDims
+	}
+	f := &Federation{
+		spec:    spec,
+		disp:    disp,
+		src:     src,
+		members: make([]*member, len(spec.Members)),
+		views:   make([]ClusterView, len(spec.Members)),
+	}
+	for i, ms := range spec.Members {
+		m, err := newMember(i, ms, spec, dims)
+		if err != nil {
+			return nil, err
+		}
+		f.members[i] = m
+	}
+	return f, nil
+}
+
+func newMember(i int, ms MemberSpec, spec Spec, dims int) (*member, error) {
+	name := ms.Name
+	if name == "" {
+		name = fmt.Sprintf("c%d", i)
+		if mix := cluster.NormalizeProfile(ms.Mix); mix != "" {
+			name += "-" + mix
+		}
+	}
+	if ms.Nodes <= 0 {
+		return nil, fmt.Errorf("federation: member %s: node count %d", name, ms.Nodes)
+	}
+	algorithm := ms.Algorithm
+	if algorithm == "" {
+		algorithm = spec.Algorithm
+	}
+	if algorithm == "" {
+		return nil, fmt.Errorf("federation: member %s: no algorithm (set MemberSpec.Algorithm or Spec.Algorithm)", name)
+	}
+	sch, err := sched.New(algorithm)
+	if err != nil {
+		return nil, fmt.Errorf("federation: member %s: %w", name, err)
+	}
+	objective := ms.Objective
+	if objective == "" {
+		objective = spec.Objective
+	}
+	obj, err := placement.ByName(objective)
+	if err != nil {
+		return nil, fmt.Errorf("federation: member %s: %w", name, err)
+	}
+	cl, err := cluster.Profile(ms.Mix, ms.Nodes)
+	if err != nil {
+		return nil, fmt.Errorf("federation: member %s: %w", name, err)
+	}
+	cl = cl.ExtendUnit(dims)
+	cfg := sim.Config{
+		Trace: &workload.Trace{
+			Name:      spec.TraceName,
+			Nodes:     ms.Nodes,
+			NodeMemGB: spec.NodeMemGB,
+		},
+		Source:           closedSource{},
+		Cluster:          cl,
+		Penalty:          spec.Penalty,
+		MaxSimTime:       spec.MaxSimTime,
+		CheckInvariants:  spec.CheckInvariants,
+		RecordSchedTimes: spec.RecordSchedTimes,
+		Objective:        obj,
+	}
+	if spec.Observer != nil {
+		cfg.Observer = spec.Observer(i)
+	}
+	if spec.JobSink != nil {
+		idx := i
+		cfg.JobSink = func(jr sim.JobResult) { spec.JobSink(idx, jr) }
+	}
+	s, err := sim.New(cfg, sch)
+	if err != nil {
+		return nil, fmt.Errorf("federation: member %s: %w", name, err)
+	}
+	m := &member{spec: ms, algorithm: algorithm, cl: cl, sim: s, priced: cl.Priced()}
+	m.spec.Name = name
+	for node := 0; node < cl.N(); node++ {
+		m.meanCost += cl.Cost(node)
+	}
+	m.meanCost /= float64(cl.N())
+	return m, nil
+}
+
+// peek maintains the one-job lookahead into the global feed.
+func (f *Federation) peek() error {
+	if f.next != nil || f.srcDone {
+		return nil
+	}
+	j, ok, err := f.src.Next()
+	if err != nil {
+		f.srcDone = true
+		return fmt.Errorf("federation: arrival feed: %w", err)
+	}
+	if !ok {
+		f.srcDone = true
+		return nil
+	}
+	f.nextBuf = j
+	f.next = &f.nextBuf
+	return nil
+}
+
+// dispatch routes one arriving job: views are rebuilt from live member
+// state, the policy picks a member, and the job is injected through the
+// member's streaming admission path.
+func (f *Federation) dispatch(j workload.Job) error {
+	for i, m := range f.members {
+		v := ClusterView{
+			Index:        i,
+			Name:         m.spec.Name,
+			Nodes:        m.cl.N(),
+			MeanCost:     m.meanCost,
+			Priced:       m.priced,
+			JobsInSystem: m.sim.JobsInSystem(),
+			Dispatched:   m.dispatched,
+		}
+		if err := m.sim.CanAdmit(j); err == nil {
+			v.CanRun = true
+			v.FreeSlots = m.sim.FreeTaskSlots(j)
+		}
+		f.views[i] = v
+	}
+	target := f.disp.Dispatch(j, f.views)
+	if target < 0 {
+		return fmt.Errorf("federation: dispatcher %s found no feasible cluster for job %d (%d tasks)",
+			f.disp.Name(), j.ID, j.Tasks)
+	}
+	if target >= len(f.members) {
+		return fmt.Errorf("federation: dispatcher %s returned member %d of %d for job %d",
+			f.disp.Name(), target, len(f.members), j.ID)
+	}
+	m := f.members[target]
+	if err := m.sim.InjectJob(j); err != nil {
+		return fmt.Errorf("federation: dispatch job %d to %s: %w", j.ID, m.spec.Name, err)
+	}
+	m.dispatched++
+	return nil
+}
+
+// Run drives the federation to completion: at every step the earliest
+// pending instant across the global feed and all member event queues is
+// selected — feed arrivals outrank coincident member events, exactly as
+// arrivals outrank coincident queue events inside one simulator — and
+// either the arriving job is dispatched or the owning member (lowest
+// index on ties) processes its next event. The context is checked between
+// steps. On success every member is finalized and the results merged.
+func (f *Federation) Run(ctx context.Context) (*Result, error) {
+	done := ctx.Done()
+	for {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("federation: %s stopped at t=%.1f with %d jobs unfinished: %w",
+					f.disp.Name(), f.clock(), f.jobsInSystem(), ctx.Err())
+			default:
+			}
+		}
+		if err := f.peek(); err != nil {
+			return nil, err
+		}
+		// A member is eligible to advance while it has unfinished jobs —
+		// or while the feed is open, since the next arrival may be
+		// dispatched to it (this keeps periodic scheduler timers firing
+		// through idle gaps, exactly as a single streaming run does).
+		// Once the feed closes and a member's last job completes, its
+		// trailing timer events are left unprocessed, matching the
+		// single-cluster run loop, which stops at the last completion.
+		feedOpen := f.next != nil
+		best, tBest := -1, 0.0
+		for i, m := range f.members {
+			if !feedOpen && !m.sim.HasPendingJobs() {
+				continue
+			}
+			if t, ok := m.sim.PeekNextEventTime(); ok && (best < 0 || t < tBest) {
+				best, tBest = i, t
+			}
+		}
+		switch {
+		case f.next != nil && (best < 0 || f.next.Submit <= tBest):
+			j := *f.next
+			f.next = nil
+			if err := f.dispatch(j); err != nil {
+				return nil, err
+			}
+		case best >= 0:
+			m := f.members[best]
+			if err := m.sim.ProcessNextEvent(); err != nil {
+				return nil, fmt.Errorf("federation: member %s: %w", m.spec.Name, err)
+			}
+		default:
+			// No arrivals left and no member has an armed event. Any
+			// remaining job means a member scheduler deadlocked; let it
+			// report with its own diagnostics. Otherwise the run is
+			// complete (trailing timer events are not processed, matching
+			// the single-cluster run loop, which stops at the last
+			// completion).
+			for _, m := range f.members {
+				if m.sim.HasPendingJobs() {
+					if err := m.sim.ProcessNextEvent(); err != nil {
+						return nil, fmt.Errorf("federation: member %s: %w", m.spec.Name, err)
+					}
+				}
+			}
+			return f.finalize()
+		}
+	}
+}
+
+// clock returns the maximum member clock, the federation's notion of
+// elapsed simulated time (used only for error reporting).
+func (f *Federation) clock() float64 {
+	t := 0.0
+	for _, m := range f.members {
+		if now := m.sim.Now(); now > t {
+			t = now
+		}
+	}
+	return t
+}
+
+func (f *Federation) jobsInSystem() int {
+	n := 0
+	for _, m := range f.members {
+		n += m.sim.JobsInSystem()
+	}
+	return n
+}
+
+// finalize collects every member's Result, validates them, and merges
+// them into the federated view.
+func (f *Federation) finalize() (*Result, error) {
+	res := &Result{
+		Dispatcher: f.disp.Name(),
+		Clusters:   make([]ClusterResult, len(f.members)),
+		Merged: &sim.Result{
+			Algorithm: "federated-" + f.disp.Name(),
+			Trace:     f.spec.TraceName,
+			Penalty:   f.spec.Penalty,
+		},
+	}
+	mg := res.Merged
+	for i, m := range f.members {
+		r := m.sim.Finalize()
+		if err := metrics.Validate(r); err != nil {
+			return nil, fmt.Errorf("federation: member %s: %w", m.spec.Name, err)
+		}
+		res.Clusters[i] = ClusterResult{
+			Name:       m.spec.Name,
+			Algorithm:  m.algorithm,
+			Nodes:      m.cl.N(),
+			Dispatched: m.dispatched,
+			Result:     r,
+			Summary:    metrics.Summarize(r),
+			Costs:      metrics.Costs(r),
+		}
+		mg.Nodes += r.Nodes
+		mg.TotalCPUCap += r.TotalCPUCap
+		mg.Jobs = append(mg.Jobs, r.Jobs...)
+		if r.Makespan > mg.Makespan {
+			mg.Makespan = r.Makespan
+		}
+		mg.PreemptionOps += r.PreemptionOps
+		mg.MigrationOps += r.MigrationOps
+		mg.PreemptionGB += r.PreemptionGB
+		mg.MigrationGB += r.MigrationGB
+		mg.DeliveredCPUSeconds += r.DeliveredCPUSeconds
+		mg.NodeCostSeconds += r.NodeCostSeconds
+		mg.SchedSamples = append(mg.SchedSamples, r.SchedSamples...)
+		mg.Events += r.Events
+	}
+	sort.Slice(mg.Jobs, func(a, b int) bool { return mg.Jobs[a].Job.ID < mg.Jobs[b].Job.ID })
+	if err := metrics.Validate(mg); err != nil {
+		return nil, fmt.Errorf("federation: merged result: %w", err)
+	}
+	res.Summary = metrics.Summarize(mg)
+	res.Costs = metrics.Costs(mg)
+	return res, nil
+}

@@ -1,0 +1,80 @@
+package federation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+)
+
+// ParseTopology parses the compact cluster-topology notation shared by
+// the -clusters CLI flag and the campaign federation axis. Two forms:
+//
+//   - a bare integer "N": N identical members of defNodes nodes of the
+//     defMix profile — "-clusters 2" duplicates the single-cluster
+//     platform;
+//   - a "+"-separated member list, each member "mix", "mix:nodes" or
+//     ":nodes" — e.g. "uniform:128+bimodal-priced:64" for an on-prem mix
+//     plus a priced remote. An omitted mix or node count falls back to
+//     defMix / defNodes.
+//
+// Mix names are validated against the registered profiles and normalized
+// ("uniform" and "" are the same profile); node counts must be positive.
+func ParseTopology(spec string, defNodes int, defMix string) ([]MemberSpec, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("federation: empty topology spec")
+	}
+	if defNodes <= 0 {
+		return nil, fmt.Errorf("federation: default node count %d", defNodes)
+	}
+	if n, err := strconv.Atoi(spec); err == nil {
+		if n < 1 {
+			return nil, fmt.Errorf("federation: topology %q: cluster count must be positive", spec)
+		}
+		members := make([]MemberSpec, n)
+		for i := range members {
+			members[i] = MemberSpec{Mix: cluster.NormalizeProfile(defMix), Nodes: defNodes}
+		}
+		return members, nil
+	}
+	parts := strings.Split(spec, "+")
+	members := make([]MemberSpec, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		mix, nodes := part, defNodes
+		if at := strings.IndexByte(part, ':'); at >= 0 {
+			mix = strings.TrimSpace(part[:at])
+			count := strings.TrimSpace(part[at+1:])
+			n, err := strconv.Atoi(count)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("federation: topology %q: bad node count %q", spec, count)
+			}
+			nodes = n
+		}
+		if mix == "" && part == "" {
+			return nil, fmt.Errorf("federation: topology %q: empty member", spec)
+		}
+		if !cluster.ValidProfile(mix) {
+			return nil, fmt.Errorf("federation: topology %q: unknown node mix %q (have %v)",
+				spec, mix, cluster.ProfileNames())
+		}
+		members = append(members, MemberSpec{Mix: cluster.NormalizeProfile(mix), Nodes: nodes})
+	}
+	return members, nil
+}
+
+// FormatTopology renders members back into the notation ParseTopology
+// accepts, always in the explicit "mix:nodes" form.
+func FormatTopology(members []MemberSpec) string {
+	parts := make([]string, len(members))
+	for i, m := range members {
+		mix := m.Mix
+		if mix == "" {
+			mix = cluster.ProfileUniform
+		}
+		parts[i] = fmt.Sprintf("%s:%d", mix, m.Nodes)
+	}
+	return strings.Join(parts, "+")
+}

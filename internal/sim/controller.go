@@ -293,7 +293,9 @@ func (c *Controller) Pause(jid int) {
 	if j.state != Running {
 		panic(fmt.Sprintf("sim: Pause on job %d in state %v", jid, j.state))
 	}
-	j.lastNodes = append([]int(nil), j.nodes...)
+	// Refill the retained buffer in place (newRT preserves it across
+	// recycling) so pauses allocate nothing at steady state.
+	j.lastNodes = append(j.lastNodes[:0], j.nodes...)
 	s.releaseNodes(j)
 	j.state = Paused
 	j.yield = 0

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/floats"
+	"repro/internal/workload"
+)
+
+// This file is the simulator's federation surface: the read accessors a
+// dispatch layer needs to route jobs across several simulators advancing
+// under one external clock (internal/federation), and the direct-admission
+// hook that hands a routed job to its destination simulator. Everything
+// here composes with the step API (Start / HasPendingEvents /
+// PeekNextEventTime / ProcessNextEvent / Finalize); none of it perturbs a
+// conventional Run.
+
+// Now returns the simulator's current clock in simulated seconds. Before
+// the first processed event it is 0.
+func (s *Simulator) Now() float64 { return s.now }
+
+// JobsInSystem returns the number of jobs admitted but not yet completed
+// (pending + running + paused). In streaming mode this counts only jobs the
+// source or InjectJob has actually delivered, so it is the queue-depth
+// signal dispatch policies balance on.
+func (s *Simulator) JobsInSystem() int { return s.remainingJobs }
+
+// CanAdmit reports whether job j could ever be admitted to this simulator's
+// cluster: it runs the exact admission checks of the streaming path —
+// workload validation against the cluster size, per-dimension
+// unschedulability, aggregate rigid capacity, and the scheduler's own
+// CapacityChecker veto — without admitting anything. A nil return means an
+// InjectJob of the same job cannot fail these checks (it may still fail the
+// nondecreasing-submission contract).
+func (s *Simulator) CanAdmit(j workload.Job) error {
+	if err := j.Validate(s.cl.N()); err != nil {
+		return err
+	}
+	return s.checkSchedulable(j)
+}
+
+// FreeTaskSlots returns how many of job j's identical tasks the cluster
+// could host right now on its unallocated rigid capacity (memory and any
+// further rigid dimensions), capped at the job's task count. It applies the
+// shared TaskSlots rule to free rather than total capacity, so a cluster
+// whose memory is fully committed reports 0 even when the job is statically
+// schedulable — the "is there room right now" signal behind cost-aware
+// cloud bursting. CPU is fluid (jobs share it through yields) and never
+// constrains the count.
+func (s *Simulator) FreeTaskSlots(j workload.Job) int {
+	return TaskSlots(s.cl.N(), j.Tasks, cluster.DimMem, s.cl.D(), j.Demand,
+		func(node, k int) float64 {
+			return floats.NonNeg(s.cl.Cap(node, k) - s.usedRigid[k-1][node])
+		})
+}
+
+// InjectJob admits a job directly into a streaming-mode simulator, exactly
+// as if the configured Source had produced it: the job is validated,
+// capacity-checked, given the next jid and queued for its arrival hook
+// (arrivals outrank coincident queue events, preserving the canonical event
+// order). It is the admission path of the federation layer, whose
+// dispatcher — not a per-simulator source — decides which simulator each
+// arriving job enters. Jobs must be injected in nondecreasing submission
+// order per simulator, and never behind the simulator's clock; both
+// violations are reported as errors. Materialized (non-streaming)
+// simulators own their whole trace up front and reject injection.
+func (s *Simulator) InjectJob(j workload.Job) error {
+	if s.src == nil {
+		return fmt.Errorf("sim: InjectJob on a materialized simulator (configure a streaming Source)")
+	}
+	// Seed the calendar first: Start pushes arrival events for every job
+	// already in s.jobs, so admitting before it would double-deliver the
+	// arrival (once from the queue, once from the arrival FIFO).
+	s.Start()
+	if j.Submit < s.now-floats.Eps {
+		return fmt.Errorf("sim: injected job %d submitted at %.6f behind the clock %.6f", j.ID, j.Submit, s.now)
+	}
+	return s.admit(j)
+}

@@ -390,13 +390,18 @@ type Simulator struct {
 	// yet, the free-list of recycled runtime records, and the admission
 	// bookkeeping. The capacity checks of the materialized constructor
 	// (maxCap, chk) are kept to re-run them per admitted job.
-	src        workload.JobSource
-	srcNext    *workload.Job
-	srcJob     workload.Job // backing storage for srcNext
-	srcDone    bool
-	streamErr  error
-	arrFIFO    []int
-	freeRT     []*jobRT
+	src       workload.JobSource
+	srcNext   *workload.Job
+	srcJob    workload.Job // backing storage for srcNext
+	srcDone   bool
+	streamErr error
+	arrFIFO   []int
+	freeRT    []*jobRT
+	// freeNodes recycles per-task node-assignment buffers (jobRT.nodes):
+	// releaseNodes pushes the slice a job held, occupyNodes pops one. At
+	// high jobs-in-system these buffers dominate the live heap, and on a
+	// steady-state stream the pool makes node assignments allocation-free.
+	freeNodes  [][]int
 	lastSubmit float64
 	maxCap     []float64
 	chk        CapacityChecker
@@ -613,7 +618,11 @@ func (s *Simulator) newRT() *jobRT {
 	var rt *jobRT
 	if n := len(s.freeRT); n > 0 {
 		rt, s.freeRT = s.freeRT[n-1], s.freeRT[:n-1]
+		// Keep the lastNodes buffer across the reset: Pause refills it
+		// in place, so one buffer per concurrent job suffices forever.
+		last := rt.lastNodes
 		*rt = jobRT{}
+		rt.lastNodes = last[:0]
 	} else {
 		rt = &jobRT{}
 	}
@@ -1054,8 +1063,26 @@ func resourceName(cl *cluster.Cluster, k int) string {
 	return cl.DimName(k)
 }
 
+// allocNodes returns a length-n buffer for a job's node assignment,
+// reusing the most recently recycled one when it is large enough (an
+// undersized buffer is simply dropped; task counts are similar across
+// jobs, so churn stays marginal).
+func (s *Simulator) allocNodes(n int) []int {
+	if l := len(s.freeNodes); l > 0 {
+		buf := s.freeNodes[l-1]
+		s.freeNodes[l-1] = nil
+		s.freeNodes = s.freeNodes[:l-1]
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]int, n)
+}
+
 func (s *Simulator) occupyNodes(j *jobRT, nodes []int) {
-	j.nodes = append([]int(nil), nodes...)
+	buf := s.allocNodes(len(nodes))
+	copy(buf, nodes)
+	j.nodes = buf
 	if s.hasCost {
 		j.costRate = 0
 		for _, node := range nodes {
@@ -1107,6 +1134,9 @@ func (s *Simulator) releaseNodes(j *jobRT) {
 	}
 	for _, node := range j.nodes {
 		s.refreshNode(node)
+	}
+	if cap(j.nodes) > 0 {
+		s.freeNodes = append(s.freeNodes, j.nodes[:0])
 	}
 	j.nodes = nil
 	j.costRate = 0
