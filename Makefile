@@ -28,8 +28,8 @@ bench-json:
 # flag >10% ns/op regressions. Non-blocking in CI (single-iteration
 # benchmark timings are noisy; treat failures as a prompt to re-measure,
 # not a verdict). Override BENCH_OLD/BENCH_NEW to diff other baselines.
-BENCH_OLD ?= BENCH_PR7.json
-BENCH_NEW ?= BENCH_PR9.json
+BENCH_OLD ?= BENCH_PR9.json
+BENCH_NEW ?= BENCH_PR10.json
 bench-compare:
 	$(GO) run ./cmd/dfrs-bench -compare -old $(BENCH_OLD) -new $(BENCH_NEW) -threshold 10
 

@@ -352,6 +352,52 @@ func BenchmarkFederationDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkFederationParallel measures the conservative-lookahead parallel
+// federation loop on a members × workers grid: identical uniform members
+// under round-robin dispatch (the stateless policy, so arrival batches
+// stretch the lookahead horizon), with the per-member MCB scheduler
+// supplying real work between barriers. workers=1 rows run the serial
+// heap loop and are the speedup baseline; the wall-clock ratio at
+// members=8/workers=4 is the PR-10 acceptance number. On single-core
+// hosts the rows collapse to parity (the pool cannot run concurrently);
+// results are byte-identical across rows either way.
+func BenchmarkFederationParallel(b *testing.B) {
+	for _, members := range []int{4, 8} {
+		tr, err := dfrs.SyntheticTrace(dfrs.SyntheticOptions{
+			Seed: 5, Nodes: 64, Jobs: 300 * members,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err = tr.ScaleToLoad(0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clusters := make([]dfrs.ClusterSpec, members)
+		for i := range clusters {
+			clusters[i] = dfrs.ClusterSpec{Nodes: 64}
+		}
+		spec := dfrs.FederationSpec{
+			Clusters:   clusters,
+			Dispatcher: "roundrobin",
+			Algorithm:  "dynmcb8-asap-per",
+		}
+		for _, workers := range []int{1, 2, 4} {
+			spec.Workers = workers
+			b.Run(fmt.Sprintf("members=%d/workers=%d", members, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := dfrs.RunFederated(context.Background(), tr, spec,
+						dfrs.WithPenalty(experiments.PaperPenalty))
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.Events()), "events")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFederatedCampaign regenerates a Figure-1-shaped sweep on the
 // federated engine: a load sweep of the cloud-bursting topology across all
 // three dispatch policies through the campaign layer, reporting the mean

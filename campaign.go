@@ -85,6 +85,14 @@ type CampaignOptions struct {
 	// job admission, pooled runtime records). Records are identical to a
 	// materialized run; the switch bounds live memory on large traces.
 	Stream bool
+	// FedWorkers sets FederationSpec.Workers for federated cells (those
+	// with a Topologies axis): values above 1 advance each cell's member
+	// clusters concurrently between dispatch points. The default 0 keeps
+	// federated cells serial, since the campaign worker pool already
+	// saturates the cores. Records and checkpoint JSONL are
+	// byte-identical across every value — an execution knob, never a
+	// grid axis.
+	FedWorkers int
 	// OnJob, when non-nil, receives every retained per-job outcome of each
 	// finished cell, after the cell validates and before its record
 	// reaches the sinks — the campaign-side feed for online aggregators
@@ -117,7 +125,7 @@ func Campaign(ctx context.Context, g Grid, opt CampaignOptions) (*CampaignRun, e
 	if opt.Resume && opt.Checkpoint == "" {
 		return nil, fmt.Errorf("dfrs: CampaignOptions.Resume requires Checkpoint")
 	}
-	runner := &campaign.Runner{Workers: opt.Workers, Stream: opt.Stream}
+	runner := &campaign.Runner{Workers: opt.Workers, Stream: opt.Stream, FedWorkers: opt.FedWorkers}
 	var checkpoint *os.File
 	switch {
 	case opt.Checkpoint != "" && opt.Resume:

@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	dfrs "repro"
@@ -44,6 +46,7 @@ func main() {
 		clusters  = flag.String("clusters", "", "federated run over this cluster topology: a count like 2, or mix:nodes terms joined by +, e.g. uniform:128+bimodal-priced:64 (defaults per member: -nodes and -node-mix)")
 		dispatch  = flag.String("dispatch", "", "federation dispatch policy routing arrivals across -clusters (see -list-dispatchers); empty = "+dfrs.DefaultDispatcher)
 		listDisp  = flag.Bool("list-dispatchers", false, "list federation dispatch policies and exit")
+		fedWork   = flag.Int("fed-workers", 0, "goroutines advancing -clusters members concurrently between dispatch points; 0 = all cores, 1 = serial (results identical either way)")
 		load      = flag.Float64("load", 0.7, "synthetic offered load (0 = natural); with -stream, explicitly setting it rescales the streamed trace to this load (two-pass measurement for a -trace file, '# offered_load:' metadata for stdin)")
 		check     = flag.Bool("check", false, "enable per-event invariant checking")
 		events    = flag.Bool("events", false, "stream every scheduling transition live to stderr")
@@ -55,6 +58,8 @@ func main() {
 		summary   = flag.Bool("summary-only", false, "with -stream: aggregate per-job metrics online and drop per-job results, bounding live memory by jobs in system")
 		maxHeapMB = flag.Int("max-heap-mb", 0, "fail if the live Go heap exceeds this many MiB after the run (0 = no check)")
 		maxYears  = flag.Float64("max-sim-years", 50, "livelock guard: fail a run whose simulated clock passes this many years (long natural-load traces need more)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file (flushed on any exit, including interrupts)")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file at exit (after a final GC)")
 	)
 	flag.Parse()
 
@@ -150,6 +155,12 @@ func main() {
 	if *dispatch != "" && *clusters == "" {
 		fatal(errors.New("bad -dispatch: requires -clusters"))
 	}
+	if *fedWork < 0 {
+		fatal(fmt.Errorf("bad -fed-workers: negative worker count %d", *fedWork))
+	}
+	if *fedWork != 0 && *clusters == "" {
+		fatal(errors.New("bad -fed-workers: requires -clusters"))
+	}
 	if *clusters != "" {
 		known := false
 		for _, name := range dfrs.Dispatchers() {
@@ -168,6 +179,11 @@ func main() {
 			fatal(errors.New("bad -clusters: per-cluster dimensions come from the member node mixes, not -resources"))
 		}
 	}
+
+	if err := startProfiles(*cpuProf, *memProf); err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	ctx, stop := cli.SignalContext()
 	defer stop()
@@ -193,7 +209,7 @@ func main() {
 		if cerr != nil {
 			fatal(fmt.Errorf("bad -clusters: %w", cerr))
 		}
-		fspec = dfrs.FederationSpec{Clusters: cspecs, Dispatcher: *dispatch, Algorithm: *alg}
+		fspec = dfrs.FederationSpec{Clusters: cspecs, Dispatcher: *dispatch, Algorithm: *alg, Workers: *fedWork}
 	}
 	opts := []dfrs.RunOption{
 		dfrs.WithPenalty(*penalty), dfrs.WithNodeMix(*nodeMix),
@@ -275,7 +291,7 @@ func main() {
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "dfrs-sim: interrupted; partial run discarded")
-			os.Exit(1)
+			exit(1)
 		}
 		fatal(err)
 	}
@@ -379,8 +395,59 @@ func checkHeap(maxHeapMB int) {
 	fmt.Printf("heap         %.1f MiB live (limit %d MiB)\n", heapMiB, maxHeapMB)
 	if heapMiB > float64(maxHeapMB) {
 		fmt.Fprintf(os.Stderr, "dfrs-sim: live heap %.1f MiB exceeds -max-heap-mb %d\n", heapMiB, maxHeapMB)
-		os.Exit(1)
+		exit(1)
 	}
+}
+
+// profileStop flushes the pprof outputs; startProfiles replaces it. It is
+// idempotent and wired into every exit path — os.Exit skips deferred
+// calls, so exit() and fatal() invoke it explicitly, which is what makes
+// profiles survive -max-heap-mb failures and SIGINT shutdowns.
+var profileStop = func() {}
+
+func startProfiles(cpu, mem string) error {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return fmt.Errorf("bad -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("bad -cpuprofile: %w", err)
+		}
+		cpuF = f
+	}
+	var once sync.Once
+	profileStop = func() {
+		once.Do(func() {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			if mem != "" {
+				f, err := os.Create(mem)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "dfrs-sim: -memprofile:", err)
+					return
+				}
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "dfrs-sim: -memprofile:", err)
+				}
+				f.Close()
+			}
+		})
+	}
+	return nil
+}
+
+func stopProfiles() { profileStop() }
+
+// exit flushes profiles and terminates with the code.
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
 }
 
 // reportFederated prints the federated run summary: the aggregate headline
@@ -520,5 +587,5 @@ func loadTrace(path string, seed uint64, nodes, jobs int, load, gpuFrac, gpuCorr
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dfrs-sim:", err)
-	os.Exit(1)
+	exit(1)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 
 	"repro/internal/federation"
 	"repro/internal/sim"
@@ -43,6 +44,15 @@ type FederationSpec struct {
 	// set their own. RunFederated's algorithm argument is this field; set
 	// per-cluster Algorithm for heterogeneous federations.
 	Algorithm string
+	// Workers selects the execution mode: 0 (the default) picks
+	// GOMAXPROCS workers for federations of two or more clusters and the
+	// serial loop otherwise; 1 forces the serial loop; higher values run
+	// that many goroutines advancing members concurrently between
+	// dispatch points (capped at the cluster count). Results are
+	// byte-identical across every value — the parallel loop processes the
+	// identical per-member event sequence (see internal/federation's
+	// package doc).
+	Workers int
 }
 
 // Dispatcher decides which member cluster each arriving job of a federated
@@ -132,6 +142,10 @@ type FederatedClusterResult struct {
 // same trace — the per-cluster result matches field for field, any
 // dispatcher — which pins federated semantics to the single-cluster
 // engine.
+//
+// Multi-cluster federations execute in parallel by default
+// (FederationSpec.Workers), advancing members concurrently between
+// dispatch points with byte-identical results to the serial loop.
 func RunFederated(ctx context.Context, t Trace, spec FederationSpec, opts ...RunOption) (FederatedResult, error) {
 	return runFederated(ctx, t.t, t.t.Dims(), nil, spec, opts)
 }
@@ -188,6 +202,13 @@ func runFederated(ctx context.Context, t *workload.Trace, dims int, source workl
 			Objective: cs.Objective,
 		}
 	}
+	workers := spec.Workers
+	if workers < 0 {
+		return FederatedResult{}, fmt.Errorf("dfrs: negative FederationSpec.Workers %d", workers)
+	}
+	if workers == 0 && len(spec.Clusters) > 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	fspec := federation.Spec{
 		TraceName:       t.Name,
 		NodeMemGB:       t.NodeMemGB,
@@ -199,6 +220,7 @@ func runFederated(ctx context.Context, t *workload.Trace, dims int, source workl
 		Penalty:         cfg.penalty,
 		MaxSimTime:      cfg.maxSimTime,
 		CheckInvariants: cfg.check,
+		Workers:         workers,
 	}
 	if cfg.observer != nil {
 		obs := cfg.observer

@@ -7,8 +7,10 @@ package campaign
 // GPU-correlation axis riding the same sweep.
 
 import (
+	"bytes"
 	"encoding/json"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -127,6 +129,41 @@ func TestFederationCampaignDeterminism(t *testing.T) {
 		}
 		if got := rec.Dispatched[0] + rec.Dispatched[1]; got != rec.Finished {
 			t.Errorf("record %s dispatched %d jobs but finished %d", rec.Key, got, rec.Finished)
+		}
+	}
+}
+
+// TestFederationCampaignFedWorkersDeterminism pins FedWorkers as a pure
+// execution knob: the same federated grid emits byte-identical sorted
+// JSONL whether each cell's member clusters advance serially or on a
+// parallel worker pool, alone and combined with a concurrent cell pool.
+// FedWorkers is not a grid axis, so keys and records cannot depend on it
+// by construction — this guards the engine half of that promise.
+func TestFederationCampaignFedWorkersDeterminism(t *testing.T) {
+	g := fedGrid()
+	run := func(cellWorkers, fedWorkers int) []string {
+		t.Helper()
+		var buf bytes.Buffer
+		r := &Runner{Workers: cellWorkers, FedWorkers: fedWorkers, Sink: NewJSONLSink(&buf)}
+		if _, err := r.Run(g); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+		sort.Strings(lines)
+		return lines
+	}
+	base := run(1, 0)
+	for _, tc := range []struct{ cell, fed int }{{1, 1}, {1, 4}, {2, 2}, {4, 4}} {
+		got := run(tc.cell, tc.fed)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d fed-workers=%d emitted %d records, want %d",
+				tc.cell, tc.fed, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d fed-workers=%d record %d differs:\nbase: %s\ngot:  %s",
+					tc.cell, tc.fed, i, base[i], got[i])
+			}
 		}
 	}
 }

@@ -51,6 +51,15 @@ type Runner struct {
 	// identical either way; the switch exists to bound live memory on
 	// very large traces and to exercise the streaming engine in anger.
 	Stream bool
+	// FedWorkers sets federation.Spec.Workers for federated cells:
+	// values above 1 advance a cell's member clusters concurrently
+	// between dispatch points. The default 0 keeps federated cells
+	// serial — the cell pool above already owns the cores — and is the
+	// right choice except for few-cell campaigns of wide topologies.
+	// Records are byte-identical across every value: FedWorkers is an
+	// execution knob, not a grid axis, so it never appears in keys or
+	// JSONL (pinned by test).
+	FedWorkers int
 	// OnJob, when non-nil, is called once per retained job result of every
 	// finished cell, after the cell's invariants validate and before its
 	// record reaches the Sink. It exists to feed streaming aggregators
@@ -302,6 +311,7 @@ func runFederatedCell(ctx context.Context, r *Runner, g *Grid, c Cell, tr *workl
 		MaxSimTime:       maxSimTime,
 		CheckInvariants:  g.Check,
 		RecordSchedTimes: g.Timing,
+		Workers:          r.FedWorkers,
 	}
 	if r.Observe != nil {
 		obs := r.Observe(c)

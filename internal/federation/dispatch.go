@@ -55,6 +55,24 @@ type Dispatcher interface {
 	Dispatch(j workload.Job, clusters []ClusterView) int
 }
 
+// StatelessDispatcher is an optional capability a Dispatcher can declare:
+// Stateless() returning true promises that Dispatch never reads the
+// dynamic view fields (JobsInSystem, FreeSlots, Dispatched) — only the
+// configuration-derived ones (Index, Name, Nodes, MeanCost, Priced, and
+// CanRun, which depends on the member's inventory and the job alone) and
+// the dispatcher's own internal state. The parallel federation loop
+// exploits the promise by routing whole batches of consecutive arrivals
+// ahead of the members, extending the lookahead horizon across many
+// dispatch points instead of barriering on every one. Declaring
+// statelessness while reading dynamic fields breaks the
+// parallel-equals-serial guarantee; policies that sample live state
+// (queuedepth, costaware) must not implement it, and keep per-arrival
+// barriers.
+type StatelessDispatcher interface {
+	Dispatcher
+	Stateless() bool
+}
+
 // Factory constructs a fresh Dispatcher. Each federation gets its own
 // instance, so policy state is never shared between runs.
 type Factory func() Dispatcher
@@ -142,6 +160,11 @@ type RoundRobin struct{ next int }
 
 // Name implements Dispatcher.
 func (d *RoundRobin) Name() string { return "roundrobin" }
+
+// Stateless implements StatelessDispatcher: the cursor walks CanRun flags
+// only, never dynamic member state, so arrivals can be routed arbitrarily
+// far ahead of the members.
+func (d *RoundRobin) Stateless() bool { return true }
 
 // Dispatch implements Dispatcher.
 func (d *RoundRobin) Dispatch(_ workload.Job, clusters []ClusterView) int {

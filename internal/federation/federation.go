@@ -25,12 +25,35 @@
 // queuedepth (join the shortest queue) and costaware (cheapest member
 // with free capacity, falling back to the cheapest feasible — cloud
 // bursting over priced inventories, reusing cluster.NodeSpec.Cost).
+//
+// # Parallel execution
+//
+// Members only interact at dispatch instants, which makes the federation
+// a conservative parallel-discrete-event simulation with the next arrival
+// as the lookahead horizon: every member event strictly before the next
+// arrival is independent of the routing decision, so Spec.Workers > 1
+// runs a worker pool that advances all members concurrently up to that
+// horizon (ties defer to the arrival, exactly as in the serial loop),
+// then barriers so the Dispatcher samples every ClusterView at the
+// arrival instant before routing. Dispatchers that implement the
+// StatelessDispatcher capability — routing independent of dynamic member
+// state, like roundrobin — let the loop dispatch whole arrival batches
+// ahead of the members, extending the horizon across many arrivals;
+// queuedepth and costaware read live views and keep per-arrival
+// barriers. Either way the parallel run processes the identical
+// per-member event sequence as the serial one, so results — merged and
+// per-cluster, streamed and materialized — are byte-identical under
+// every dispatcher (pinned by test). Observer and JobSink callbacks are
+// serialized behind one shared lock in parallel mode; per-member
+// ordering is preserved, but interleaving across members is not
+// deterministic.
 package federation
 
 import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
@@ -92,9 +115,17 @@ type Spec struct {
 	// in every member; the merged Result concatenates member samples in
 	// member order.
 	RecordSchedTimes bool
+	// Workers selects the execution mode: values above 1 advance members
+	// concurrently on that many goroutines between dispatch points (see
+	// the package doc's Parallel execution section), capped at the member
+	// count; 0 or 1 runs the serial loop. Results are byte-identical
+	// either way.
+	Workers int
 	// Observer, when non-nil, returns the per-member observer wired into
 	// member i's simulator (nil return = no observer for that member).
-	// Job ids in observer callbacks are member-local.
+	// Job ids in observer callbacks are member-local. In parallel mode
+	// all member observers share one lock, so callbacks never run
+	// concurrently.
 	Observer func(member int) sim.Observer
 	// JobSink, when non-nil, receives every completed job as
 	// (member index, result) and per-member Result.Jobs stay empty —
@@ -199,8 +230,15 @@ func New(spec Spec, src workload.JobSource) (*Federation, error) {
 		members: make([]*member, len(spec.Members)),
 		views:   make([]ClusterView, len(spec.Members)),
 	}
+	// In parallel mode member simulators run concurrently, so their
+	// callbacks must be serialized behind one shared lock.
+	var cbMu *sync.Mutex
+	if spec.Workers > 1 && len(spec.Members) > 1 &&
+		(spec.Observer != nil || spec.JobSink != nil) {
+		cbMu = new(sync.Mutex)
+	}
 	for i, ms := range spec.Members {
-		m, err := newMember(i, ms, spec, dims)
+		m, err := newMember(i, ms, spec, dims, cbMu)
 		if err != nil {
 			return nil, err
 		}
@@ -209,7 +247,7 @@ func New(spec Spec, src workload.JobSource) (*Federation, error) {
 	return f, nil
 }
 
-func newMember(i int, ms MemberSpec, spec Spec, dims int) (*member, error) {
+func newMember(i int, ms MemberSpec, spec Spec, dims int, cbMu *sync.Mutex) (*member, error) {
 	name := ms.Name
 	if name == "" {
 		name = fmt.Sprintf("c%d", i)
@@ -259,11 +297,24 @@ func newMember(i int, ms MemberSpec, spec Spec, dims int) (*member, error) {
 		Objective:        obj,
 	}
 	if spec.Observer != nil {
-		cfg.Observer = spec.Observer(i)
+		if obs := spec.Observer(i); obs != nil {
+			if cbMu != nil {
+				obs = &lockedObserver{mu: cbMu, o: obs}
+			}
+			cfg.Observer = obs
+		}
 	}
 	if spec.JobSink != nil {
 		idx := i
-		cfg.JobSink = func(jr sim.JobResult) { spec.JobSink(idx, jr) }
+		if cbMu != nil {
+			cfg.JobSink = func(jr sim.JobResult) {
+				cbMu.Lock()
+				spec.JobSink(idx, jr)
+				cbMu.Unlock()
+			}
+		} else {
+			cfg.JobSink = func(jr sim.JobResult) { spec.JobSink(idx, jr) }
+		}
 	}
 	s, err := sim.New(cfg, sch)
 	if err != nil {
@@ -299,8 +350,9 @@ func (f *Federation) peek() error {
 
 // dispatch routes one arriving job: views are rebuilt from live member
 // state, the policy picks a member, and the job is injected through the
-// member's streaming admission path.
-func (f *Federation) dispatch(j workload.Job) error {
+// member's streaming admission path. It returns the member index the job
+// entered.
+func (f *Federation) dispatch(j workload.Job) (int, error) {
 	for i, m := range f.members {
 		v := ClusterView{
 			Index:        i,
@@ -319,19 +371,19 @@ func (f *Federation) dispatch(j workload.Job) error {
 	}
 	target := f.disp.Dispatch(j, f.views)
 	if target < 0 {
-		return fmt.Errorf("federation: dispatcher %s found no feasible cluster for job %d (%d tasks)",
+		return -1, fmt.Errorf("federation: dispatcher %s found no feasible cluster for job %d (%d tasks)",
 			f.disp.Name(), j.ID, j.Tasks)
 	}
 	if target >= len(f.members) {
-		return fmt.Errorf("federation: dispatcher %s returned member %d of %d for job %d",
+		return -1, fmt.Errorf("federation: dispatcher %s returned member %d of %d for job %d",
 			f.disp.Name(), target, len(f.members), j.ID)
 	}
 	m := f.members[target]
 	if err := m.sim.InjectJob(j); err != nil {
-		return fmt.Errorf("federation: dispatch job %d to %s: %w", j.ID, m.spec.Name, err)
+		return -1, fmt.Errorf("federation: dispatch job %d to %s: %w", j.ID, m.spec.Name, err)
 	}
 	m.dispatched++
-	return nil
+	return target, nil
 }
 
 // Run drives the federation to completion: at every step the earliest
@@ -341,56 +393,91 @@ func (f *Federation) dispatch(j workload.Job) error {
 // either the arriving job is dispatched or the owning member (lowest
 // index on ties) processes its next event. The context is checked between
 // steps. On success every member is finalized and the results merged.
+//
+// Spec.Workers > 1 selects the parallel loop, which processes the
+// identical per-member event sequence concurrently between dispatch
+// points and returns byte-identical results; see the package doc.
 func (f *Federation) Run(ctx context.Context) (*Result, error) {
+	if w := f.parWorkers(); w > 1 {
+		return f.runParallel(ctx, w)
+	}
+	return f.runSerial(ctx)
+}
+
+// parWorkers resolves the effective parallel worker count: Spec.Workers
+// capped at the member count (extra workers would only idle); anything
+// at or below 1 selects the serial loop.
+func (f *Federation) parWorkers() int {
+	w := f.spec.Workers
+	if w > len(f.members) {
+		w = len(f.members)
+	}
+	return w
+}
+
+func (f *Federation) runSerial(ctx context.Context) (*Result, error) {
 	done := ctx.Done()
+	// Member next-event times are indexed in a positional min-heap keyed
+	// by (time, member index) — the same winner as the former O(N) sweep,
+	// at O(log N) per event. Only the member that just processed an event
+	// or received a job can change its next-event time, so exactly one
+	// entry is re-keyed per step.
+	h := newEventHeap(len(f.members))
+	for i, m := range f.members {
+		if t, ok := m.sim.PeekNextEventTime(); ok {
+			h.Set(i, t)
+		}
+	}
+	// A member is eligible to advance while it has unfinished jobs — or
+	// while the feed is open, since the next arrival may be dispatched to
+	// it (this keeps periodic scheduler timers firing through idle gaps,
+	// exactly as a single streaming run does). Once the feed closes and a
+	// member's last job completes, its trailing timer events are left
+	// unprocessed, matching the single-cluster run loop, which stops at
+	// the last completion.
+	feedClosed := false
 	for {
 		if done != nil {
 			select {
 			case <-done:
-				return nil, fmt.Errorf("federation: %s stopped at t=%.1f with %d jobs unfinished: %w",
-					f.disp.Name(), f.clock(), f.jobsInSystem(), ctx.Err())
+				return nil, f.cancelErr(ctx)
 			default:
 			}
 		}
 		if err := f.peek(); err != nil {
 			return nil, err
 		}
-		// A member is eligible to advance while it has unfinished jobs —
-		// or while the feed is open, since the next arrival may be
-		// dispatched to it (this keeps periodic scheduler timers firing
-		// through idle gaps, exactly as a single streaming run does).
-		// Once the feed closes and a member's last job completes, its
-		// trailing timer events are left unprocessed, matching the
-		// single-cluster run loop, which stops at the last completion.
-		feedOpen := f.next != nil
-		best, tBest := -1, 0.0
-		for i, m := range f.members {
-			if !feedOpen && !m.sim.HasPendingJobs() {
-				continue
-			}
-			if t, ok := m.sim.PeekNextEventTime(); ok && (best < 0 || t < tBest) {
-				best, tBest = i, t
+		if f.next == nil && !feedClosed {
+			// The feed just closed: members with no unfinished jobs drop
+			// out of the index, leaving their trailing timers unprocessed.
+			feedClosed = true
+			for i, m := range f.members {
+				if !m.sim.HasPendingJobs() {
+					h.Remove(i)
+				}
 			}
 		}
+		best, tBest, ok := h.Min()
 		switch {
-		case f.next != nil && (best < 0 || f.next.Submit <= tBest):
+		case f.next != nil && (!ok || f.next.Submit <= tBest):
 			j := *f.next
 			f.next = nil
-			if err := f.dispatch(j); err != nil {
+			target, err := f.dispatch(j)
+			if err != nil {
 				return nil, err
 			}
-		case best >= 0:
+			f.rekey(h, target, feedClosed)
+		case ok:
 			m := f.members[best]
 			if err := m.sim.ProcessNextEvent(); err != nil {
 				return nil, fmt.Errorf("federation: member %s: %w", m.spec.Name, err)
 			}
+			f.rekey(h, best, feedClosed)
 		default:
 			// No arrivals left and no member has an armed event. Any
 			// remaining job means a member scheduler deadlocked; let it
 			// report with its own diagnostics. Otherwise the run is
-			// complete (trailing timer events are not processed, matching
-			// the single-cluster run loop, which stops at the last
-			// completion).
+			// complete.
 			for _, m := range f.members {
 				if m.sim.HasPendingJobs() {
 					if err := m.sim.ProcessNextEvent(); err != nil {
@@ -401,6 +488,27 @@ func (f *Federation) Run(ctx context.Context) (*Result, error) {
 			return f.finalize()
 		}
 	}
+}
+
+// rekey refreshes member i's heap entry after it processed an event or
+// received a job; no other member's next-event time can have changed.
+func (f *Federation) rekey(h *eventHeap, i int, feedClosed bool) {
+	m := f.members[i]
+	if feedClosed && !m.sim.HasPendingJobs() {
+		h.Remove(i)
+		return
+	}
+	if t, ok := m.sim.PeekNextEventTime(); ok {
+		h.Set(i, t)
+	} else {
+		h.Remove(i)
+	}
+}
+
+// cancelErr formats the context-cancellation error common to both loops.
+func (f *Federation) cancelErr(ctx context.Context) error {
+	return fmt.Errorf("federation: %s stopped at t=%.1f with %d jobs unfinished: %w",
+		f.disp.Name(), f.clock(), f.jobsInSystem(), ctx.Err())
 }
 
 // clock returns the maximum member clock, the federation's notion of

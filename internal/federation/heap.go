@@ -1,0 +1,103 @@
+package federation
+
+// eventHeap is a positional binary min-heap over member next-event times,
+// ordered by (time, member index) so ties resolve to the lowest member —
+// the same winner as a linear sweep with a strict less-than comparison.
+// Each member has at most one entry; pos tracks where it sits (-1 when
+// absent) so a member can be re-keyed or removed in O(log N).
+type eventHeap struct {
+	time []float64
+	mem  []int
+	pos  []int
+}
+
+func newEventHeap(n int) *eventHeap {
+	h := &eventHeap{pos: make([]int, n)}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Min returns the earliest (member, time) entry without removing it.
+func (h *eventHeap) Min() (member int, t float64, ok bool) {
+	if len(h.mem) == 0 {
+		return -1, 0, false
+	}
+	return h.mem[0], h.time[0], true
+}
+
+// Set inserts member m at time t, or moves its existing entry there.
+func (h *eventHeap) Set(m int, t float64) {
+	if i := h.pos[m]; i >= 0 {
+		old := h.time[i]
+		h.time[i] = t
+		if t < old {
+			h.up(i)
+		} else {
+			h.down(i)
+		}
+		return
+	}
+	h.time = append(h.time, t)
+	h.mem = append(h.mem, m)
+	h.pos[m] = len(h.mem) - 1
+	h.up(len(h.mem) - 1)
+}
+
+// Remove drops member m's entry if present.
+func (h *eventHeap) Remove(m int) {
+	i := h.pos[m]
+	if i < 0 {
+		return
+	}
+	last := len(h.mem) - 1
+	h.swap(i, last)
+	h.pos[m] = -1
+	h.time = h.time[:last]
+	h.mem = h.mem[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+}
+
+func (h *eventHeap) less(i, j int) bool {
+	return h.time[i] < h.time[j] || (h.time[i] == h.time[j] && h.mem[i] < h.mem[j])
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.time[i], h.time[j] = h.time[j], h.time[i]
+	h.mem[i], h.mem[j] = h.mem[j], h.mem[i]
+	h.pos[h.mem[i]] = i
+	h.pos[h.mem[j]] = j
+}
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			return
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *eventHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(h.mem) && h.less(l, s) {
+			s = l
+		}
+		if r < len(h.mem) && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		h.swap(i, s)
+		i = s
+	}
+}

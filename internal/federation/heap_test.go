@@ -1,0 +1,69 @@
+package federation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEventHeapMatchesScan drives the heap with random Set/Remove traffic
+// and checks its minimum against a reference linear scan using the serial
+// loop's original tie rule (strict less-than, first member wins ties).
+func TestEventHeapMatchesScan(t *testing.T) {
+	const n = 17
+	rng := rand.New(rand.NewSource(42))
+	h := newEventHeap(n)
+	ref := make([]float64, n)
+	present := make([]bool, n)
+
+	scanMin := func() (int, float64, bool) {
+		best, tBest := -1, 0.0
+		for i := 0; i < n; i++ {
+			if present[i] && (best < 0 || ref[i] < tBest) {
+				best, tBest = i, ref[i]
+			}
+		}
+		return best, tBest, best >= 0
+	}
+
+	for step := 0; step < 5000; step++ {
+		m := rng.Intn(n)
+		switch {
+		case rng.Intn(4) == 0:
+			h.Remove(m)
+			present[m] = false
+		default:
+			// Coarse values force frequent timestamp ties.
+			v := float64(rng.Intn(40))
+			h.Set(m, v)
+			ref[m], present[m] = v, true
+		}
+		gm, gt, gok := h.Min()
+		wm, wt, wok := scanMin()
+		if gok != wok || (gok && (gm != wm || gt != wt)) {
+			t.Fatalf("step %d: heap min (%d, %g, %v), scan min (%d, %g, %v)",
+				step, gm, gt, gok, wm, wt, wok)
+		}
+	}
+}
+
+// TestDispatcherStatelessCapability pins which built-ins declare the
+// stateless capability: roundrobin batches ahead of the members, while the
+// view-sampling policies must not.
+func TestDispatcherStatelessCapability(t *testing.T) {
+	rr, err := ByName("roundrobin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := rr.(StatelessDispatcher); !ok || !s.Stateless() {
+		t.Error("roundrobin does not declare the stateless capability")
+	}
+	for _, name := range []string{"queuedepth", "costaware"} {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s, ok := d.(StatelessDispatcher); ok && s.Stateless() {
+			t.Errorf("%s declares statelessness but samples live views", name)
+		}
+	}
+}

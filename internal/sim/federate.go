@@ -78,3 +78,25 @@ func (s *Simulator) InjectJob(j workload.Job) error {
 	}
 	return s.admit(j)
 }
+
+// StepUntil processes pending events whose timestamps are strictly before
+// horizon, up to max of them, and returns how many ran. Events at or after
+// the horizon stay queued — the conservative-lookahead contract of the
+// parallel federation loop, where the horizon is the next arrival instant
+// and ties defer to the arrival. A return below max means no further event
+// lies before the horizon; a return of exactly max means the caller should
+// call again (the chunking lets it check for cancellation between chunks).
+func (s *Simulator) StepUntil(horizon float64, max int) (int, error) {
+	for n := 0; ; n++ {
+		if n >= max {
+			return n, nil
+		}
+		t, ok := s.PeekNextEventTime()
+		if !ok || t >= horizon {
+			return n, nil
+		}
+		if err := s.ProcessNextEvent(); err != nil {
+			return n, err
+		}
+	}
+}
